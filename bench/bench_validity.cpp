@@ -1,0 +1,177 @@
+//===-- bench/bench_validity.cpp - Validity checker ablation ----*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation of the Def. 3.1 validity checker (our substitution for the
+/// paper's Viper/Z3 backend): bounded-exhaustive vs. randomized tiers,
+/// scope scaling, and time-to-counterexample for invalid specifications
+/// (Fig. 1's assignments, the Fig. 3 map without the key-set abstraction,
+/// and the App. D sequence-abstraction pitfall).
+///
+//===----------------------------------------------------------------------===//
+
+#include "lang/TypeChecker.h"
+#include "parser/Parser.h"
+#include "rspec/Validity.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace commcsl;
+
+namespace {
+
+Program parseSpec(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Program P = Parser::parse(Source, Diags);
+  TypeChecker Checker(P, Diags);
+  Checker.check();
+  assert(!Diags.hasErrors());
+  return P;
+}
+
+const char *CounterSpec = R"(
+  resource Counter {
+    state: int;
+    alpha(v) = v;
+    shared action Add(a: int) { apply(v, a) = v + a; requires low(a); }
+  }
+)";
+
+const char *MapKeySetSpec = R"(
+  resource MapKS {
+    state: map<int, int>;
+    alpha(v) = dom(v);
+    scope int -1 .. 1;
+    scope size 2;
+    shared action Put(a: pair<int, int>) {
+      apply(v, a) = map_put(v, fst(a), snd(a));
+      requires low(fst(a));
+    }
+  }
+)";
+
+const char *QueueSpec = R"(
+  resource PCQueue {
+    state: pair<seq<int>, int>;
+    alpha(v) = v;
+    inv(v) = snd(v) >= 0 && snd(v) <= len(fst(v));
+    scope size 2;
+    unique action Prod(a: int) {
+      apply(v, a) = pair(append(fst(v), a), snd(v));
+      requires low(a);
+    }
+    unique action Cons(a: unit) {
+      apply(v, a) = pair(fst(v), snd(v) + 1);
+      returns(v, a) = at(fst(v), snd(v));
+      enabled(v) = snd(v) < len(fst(v));
+      history(v) = take(fst(v), snd(v));
+    }
+  }
+)";
+
+const char *RacySpec = R"(
+  resource Racy {
+    state: int;
+    alpha(v) = v;
+    unique action SetL(a: unit) { apply(v, a) = 3; }
+    unique action SetR(a: unit) { apply(v, a) = 4; }
+  }
+)";
+
+const char *OrderedListSpec = R"(
+  resource OrderedList {
+    state: seq<int>;
+    alpha(v) = v;
+    shared action Append(a: int) { apply(v, a) = append(v, a); requires low(a); }
+  }
+)";
+
+void runValidity(benchmark::State &State, const char *Source, bool Bounded,
+                 bool Random, bool ExpectValid) {
+  Program P = parseSpec(Source);
+  RSpecRuntime Runtime(P.Specs[0], &P);
+  ValidityConfig Cfg;
+  Cfg.RunBoundedTier = Bounded;
+  Cfg.RunRandomTier = Random;
+  uint64_t Checks = 0;
+  for (auto _ : State) {
+    ValidityChecker Checker(Runtime, Cfg);
+    ValidityResult R = Checker.check();
+    if (R.Valid != ExpectValid)
+      State.SkipWithError("unexpected validity verdict");
+    Checks = R.BoundedChecks + R.RandomChecks;
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["checks"] = static_cast<double>(Checks);
+}
+
+void BM_Valid_Counter_Both(benchmark::State &S) {
+  runValidity(S, CounterSpec, true, true, true);
+}
+void BM_Valid_Counter_BoundedOnly(benchmark::State &S) {
+  runValidity(S, CounterSpec, true, false, true);
+}
+void BM_Valid_MapKeySet_Both(benchmark::State &S) {
+  runValidity(S, MapKeySetSpec, true, true, true);
+}
+void BM_Valid_MapKeySet_RandomOnly(benchmark::State &S) {
+  runValidity(S, MapKeySetSpec, false, true, true);
+}
+void BM_Valid_Queue_Both(benchmark::State &S) {
+  runValidity(S, QueueSpec, true, true, true);
+}
+void BM_Refute_Fig1Racy(benchmark::State &S) {
+  runValidity(S, RacySpec, true, true, false);
+}
+void BM_Refute_OrderedList(benchmark::State &S) {
+  runValidity(S, OrderedListSpec, true, true, false);
+}
+
+BENCHMARK(BM_Valid_Counter_Both)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Valid_Counter_BoundedOnly)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Valid_MapKeySet_Both)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Valid_MapKeySet_RandomOnly)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Valid_Queue_Both)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Refute_Fig1Racy)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Refute_OrderedList)->Unit(benchmark::kMicrosecond);
+
+/// Scope scaling: how the bounded tier's cost grows with the enumeration
+/// scope (collection bound 1..3).
+void BM_ScopeScaling_MapKeySet(benchmark::State &State) {
+  std::string Source = std::string(R"(
+    resource MapKS {
+      state: map<int, int>;
+      alpha(v) = dom(v);
+      scope int -1 .. 1;
+      scope size )") + std::to_string(State.range(0)) + R"(;
+      shared action Put(a: pair<int, int>) {
+        apply(v, a) = map_put(v, fst(a), snd(a));
+        requires low(fst(a));
+      }
+    }
+  )";
+  Program P = parseSpec(Source);
+  RSpecRuntime Runtime(P.Specs[0], &P);
+  ValidityConfig Cfg;
+  Cfg.RunRandomTier = false;
+  uint64_t Checks = 0;
+  for (auto _ : State) {
+    ValidityChecker Checker(Runtime, Cfg);
+    ValidityResult R = Checker.check();
+    Checks = R.BoundedChecks;
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["checks"] = static_cast<double>(Checks);
+}
+BENCHMARK(BM_ScopeScaling_MapKeySet)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+//===-- bench/bench_verifier.cpp - Verifier scaling ---------------*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scaling of the relational verifier with program size, on generated
+/// well-typed programs (sequential and concurrent), plus the end-to-end
+/// pipeline split (parse vs. validity vs. verify) on a representative
+/// Table 1 example. Complements bench_table1: that one regenerates the
+/// paper's table, this one characterizes our engine.
+///
+//===----------------------------------------------------------------------===//
+
+#include "hyperviper/Driver.h"
+#include "testgen/ProgramGen.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace commcsl;
+
+namespace {
+
+void BM_Verify_Generated_Sequential(benchmark::State &State) {
+  GenConfig Cfg;
+  Cfg.Seed = 1234;
+  Cfg.TargetStatements = static_cast<unsigned>(State.range(0));
+  Cfg.EnableConcurrency = false;
+  GeneratedProgram G = generateProgram(Cfg);
+  DriverOptions Opts;
+  Opts.Verifier.SkipValidityCheck = true; // isolate program verification
+  Driver D(Opts);
+  for (auto _ : State) {
+    DriverResult R = D.verifySource(G.Source, "gen");
+    if (!R.Verified)
+      State.SkipWithError("generated program rejected");
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["stmts"] = Cfg.TargetStatements;
+}
+BENCHMARK(BM_Verify_Generated_Sequential)
+    ->Arg(10)
+    ->Arg(40)
+    ->Arg(160)
+    ->Arg(640)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Verify_Generated_Concurrent(benchmark::State &State) {
+  GenConfig Cfg;
+  Cfg.Seed = 99;
+  Cfg.TargetStatements = static_cast<unsigned>(State.range(0));
+  GeneratedProgram G = generateProgram(Cfg);
+  DriverOptions Opts;
+  Opts.Verifier.SkipValidityCheck = true;
+  Driver D(Opts);
+  for (auto _ : State) {
+    DriverResult R = D.verifySource(G.Source, "gen");
+    if (!R.Verified)
+      State.SkipWithError("generated program rejected");
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["stmts"] = Cfg.TargetStatements;
+}
+BENCHMARK(BM_Verify_Generated_Concurrent)
+    ->Arg(10)
+    ->Arg(40)
+    ->Arg(160)
+    ->Unit(benchmark::kMillisecond);
+
+/// Phase split on the Fig. 3 example: parse vs. validity vs. verify.
+void BM_Pipeline_Figure3(benchmark::State &State) {
+  std::string Path = std::string(COMMCSL_EXAMPLES_DIR) + "/figure3.hv";
+  Driver D;
+  double Parse = 0, Validity = 0, Verify = 0;
+  for (auto _ : State) {
+    DriverResult R = D.verifyFile(Path);
+    if (!R.Verified)
+      State.SkipWithError("figure3 rejected");
+    Parse = R.ParseSeconds * 1e3;
+    Validity = R.ValiditySeconds * 1e3;
+    Verify = R.VerifySeconds * 1e3;
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["parse_ms"] = Parse;
+  State.counters["validity_ms"] = Validity;
+  State.counters["verify_ms"] = Verify;
+}
+BENCHMARK(BM_Pipeline_Figure3)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+//===-- examples/commutativity_explorer.cpp - Spec playground ----*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Explores abstract commutativity (the paper's key idea) directly at the
+/// resource-specification level: the *same* map data structure is checked
+/// under three abstractions —
+///
+///   1. identity (leak everything): rejected, puts race on equal keys;
+///   2. key set (Fig. 4 left): valid — puts commute on the domain;
+///   3. constant (leak nothing): trivially valid.
+///
+/// For the rejected variant, the Def. 3.1 checker produces a concrete
+/// counterexample: two states and two arguments whose reordering is
+/// observable through the abstraction.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lang/TypeChecker.h"
+#include "parser/Parser.h"
+#include "rspec/Validity.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace commcsl;
+
+namespace {
+
+/// Builds a map-put specification parameterized by its abstraction.
+std::string mapSpec(const std::string &Alpha) {
+  return R"(
+    resource MapSpec {
+      state: map<int, int>;
+      alpha(v) = )" +
+         Alpha + R"(;
+      scope int -1 .. 1;
+      scope size 2;
+      shared action Put(a: pair<int, int>) {
+        apply(v, a) = map_put(v, fst(a), snd(a));
+        requires low(fst(a)) && low(snd(a));
+      }
+    }
+  )";
+}
+
+void explore(const char *Label, const std::string &Alpha) {
+  DiagnosticEngine Diags;
+  Program P = Parser::parse(mapSpec(Alpha), Diags);
+  TypeChecker Checker(P, Diags);
+  if (!Checker.check()) {
+    std::fputs(Diags.str().c_str(), stderr);
+    return;
+  }
+  RSpecRuntime Runtime(P.Specs[0], &P);
+  ValidityChecker VC(Runtime);
+  ValidityResult R = VC.check();
+  std::printf("alpha(v) = %-26s -> %s  (%llu bounded + %llu random checks)\n",
+              Label, R.Valid ? "VALID" : "invalid",
+              static_cast<unsigned long long>(R.BoundedChecks),
+              static_cast<unsigned long long>(R.RandomChecks));
+  if (!R.Valid)
+    std::printf("    counterexample: %s\n", R.CE->describe().c_str());
+}
+
+} // namespace
+
+int main() {
+  std::printf("Abstract commutativity of map_put under three abstractions "
+              "(Def. 3.1):\n\n");
+  explore("v          (identity)", "v");
+  explore("dom(v)     (key set)", "dom(v)");
+  explore("0          (constant)", "0");
+
+  std::printf("\nThe middle row is the paper's Fig. 4 (left): demanding "
+              "commutativity only\nmodulo the public view makes racing puts "
+              "acceptable as long as keys are low.\n");
+  return 0;
+}

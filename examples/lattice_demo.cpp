@@ -1,0 +1,118 @@
+//===-- examples/lattice_demo.cpp - Multi-level verification -----*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Demonstrates the finite-lattice extension (the paper's footnote 1): a
+/// payroll pipeline with three sensitivity levels — public, internal, and
+/// secret — verified by running the two-level CommCSL verification once
+/// per lattice element. An illegal internal-to-public flow is then
+/// introduced and pinpointed at exactly the cutoff where it matters.
+///
+//===----------------------------------------------------------------------===//
+
+#include "hyperviper/Lattice.h"
+
+#include "lang/TypeChecker.h"
+#include "parser/Parser.h"
+
+#include <cstdio>
+
+using namespace commcsl;
+
+namespace {
+
+Program parse(const char *Source) {
+  DiagnosticEngine Diags;
+  Program P = Parser::parse(Source, Diags);
+  TypeChecker Checker(P, Diags);
+  Checker.check();
+  if (Diags.hasErrors()) {
+    std::fputs(Diags.str().c_str(), stderr);
+    std::exit(1);
+  }
+  return P;
+}
+
+const char *Payroll = R"(
+  resource Totals {
+    state: int;
+    alpha(v) = v;
+    shared action Add(a: int) {
+      apply(v, a) = v + a;
+      requires low(a);
+    }
+  }
+  procedure main(headcount: int, budget: int, salaries: seq<int>)
+    returns (pressRelease: int, internalReport: int)
+  {
+    share t: Totals := 0;
+    par {
+      // Processing time depends on the secret salary details.
+      var w: int := 0;
+      while (w < sum(salaries) % 5) invariant w >= 0 { w := w + 1; }
+      atomic t { perform t.Add(headcount); }
+    } and {
+      atomic t { perform t.Add(2 * headcount); }
+    }
+    var total: int := 0;
+    total := unshare t;
+    pressRelease := headcount;
+    internalReport := total + budget;
+  }
+)";
+
+const char *PayrollLeaky = R"(
+  resource Totals {
+    state: int;
+    alpha(v) = v;
+    shared action Add(a: int) {
+      apply(v, a) = v + a;
+      requires low(a);
+    }
+  }
+  procedure main(headcount: int, budget: int, salaries: seq<int>)
+    returns (pressRelease: int, internalReport: int)
+  {
+    share t: Totals := 0;
+    atomic t { perform t.Add(headcount); }
+    var total: int := 0;
+    total := unshare t;
+    internalReport := total + budget;
+    pressRelease := budget;   // internal data in the press release!
+  }
+)";
+
+void report(const char *Label, const LatticeResult &R) {
+  std::printf("%s\n", Label);
+  const char *Names[] = {"public   (0)", "internal (1)", "secret   (2)"};
+  for (size_t I = 0; I < R.LevelOk.size(); ++I)
+    std::printf("  cutoff %s : %s\n", Names[I],
+                R.LevelOk[I] ? "verified" : "REJECTED");
+  std::printf("  => %s\n\n", R.Ok ? "secure for the whole lattice"
+                                  : "an illegal inter-level flow exists");
+}
+
+} // namespace
+
+int main() {
+  LatticeLevels Levels;
+  Levels.NumLevels = 3;
+  Levels.ParamLevel = {{"headcount", 0}, {"budget", 1}, {"salaries", 2}};
+  Levels.ReturnLevel = {{"pressRelease", 0}, {"internalReport", 1}};
+
+  std::printf("Three-level payroll lattice: public < internal < secret.\n"
+              "Verified once per lattice element (footnote 1 of the "
+              "paper).\n\n");
+
+  Program Good = parse(Payroll);
+  report("payroll (headcount -> press release, budget -> internal):",
+         verifyLattice(Good, "main", Levels));
+
+  Program Bad = parse(PayrollLeaky);
+  report("payroll with the budget leaked into the press release:",
+         verifyLattice(Bad, "main", Levels));
+  return 0;
+}

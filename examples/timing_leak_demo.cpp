@@ -1,0 +1,115 @@
+//===-- examples/timing_leak_demo.cpp - Fig. 1, live -------------*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes the paper's Fig. 1 program on the operational semantics and
+/// shows the internal timing channel turning into a value channel: with a
+/// deterministic round-robin scheduler, the printed value of `s` reveals
+/// whether the secret h exceeds the left thread's loop bound — even though
+/// no run ever branches on h into s. The repaired, commutative version
+/// produces the same output for every secret and schedule.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lang/TypeChecker.h"
+#include "parser/Parser.h"
+#include "sem/Interp.h"
+#include "sem/Scheduler.h"
+
+#include <cstdio>
+
+using namespace commcsl;
+
+namespace {
+
+Program parse(const char *Source) {
+  DiagnosticEngine Diags;
+  Program P = Parser::parse(Source, Diags);
+  TypeChecker Checker(P, Diags);
+  Checker.check();
+  if (Diags.hasErrors()) {
+    std::fputs(Diags.str().c_str(), stderr);
+    std::exit(1);
+  }
+  return P;
+}
+
+const char *Leaky = R"(
+  resource Cell {
+    state: int;
+    alpha(v) = 0;
+    unique action SetL(a: unit) { apply(v, a) = 3; }
+    unique action SetR(a: unit) { apply(v, a) = 4; }
+  }
+  procedure main(h: int) returns (s: int) {
+    var t1: int := 0;
+    var t2: int := 0;
+    share r: Cell := 0;
+    par {
+      while (t1 < 100) { t1 := t1 + 1; }
+      atomic r { perform r.SetL(unit); }
+    } and {
+      while (t2 < h) { t2 := t2 + 1; }
+      atomic r { perform r.SetR(unit); }
+    }
+    s := unshare r;
+  }
+)";
+
+const char *Repaired = R"(
+  resource Cell {
+    state: int;
+    alpha(v) = v;
+    unique action AddL(a: unit) { apply(v, a) = v + 3; }
+    unique action AddR(a: unit) { apply(v, a) = v + 4; }
+  }
+  procedure main(h: int) returns (s: int) {
+    var t1: int := 0;
+    var t2: int := 0;
+    share r: Cell := 0;
+    par {
+      while (t1 < 100) { t1 := t1 + 1; }
+      atomic r { perform r.AddL(unit); }
+    } and {
+      while (t2 < h) { t2 := t2 + 1; }
+      atomic r { perform r.AddR(unit); }
+    }
+    s := unshare r;
+  }
+)";
+
+void sweep(const char *Label, const char *Source) {
+  Program P = parse(Source);
+  Interpreter Interp(P);
+  std::printf("%s\n  h:      ", Label);
+  const int64_t Secrets[] = {10, 50, 90, 110, 150, 400};
+  for (int64_t H : Secrets)
+    std::printf("%6lld", static_cast<long long>(H));
+  std::printf("\n  s:      ");
+  for (int64_t H : Secrets) {
+    RoundRobinScheduler Sched;
+    RunResult R = Interp.run("main", {ValueFactory::intV(H)}, Sched);
+    if (!R.ok()) {
+      std::printf("  err(%s)", R.AbortReason.c_str());
+      continue;
+    }
+    std::printf("%6lld", static_cast<long long>(R.Returns[0]->getInt()));
+  }
+  std::printf("\n\n");
+}
+
+} // namespace
+
+int main() {
+  std::printf("Fig. 1 under a deterministic round-robin scheduler.\n"
+              "No branch on h ever writes s, yet:\n\n");
+  sweep("original (assignments race; REJECTED by CommCSL):", Leaky);
+  sweep("repaired (additions commute; verified by CommCSL):", Repaired);
+  std::printf("The original leaks [h > 100] through scheduling alone — the "
+              "internal timing\nchannel of Sec. 1. The repaired version is "
+              "constant across secrets.\n");
+  return 0;
+}

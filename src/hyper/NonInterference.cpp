@@ -1,0 +1,177 @@
+//===-- hyper/NonInterference.cpp - Empirical 2-safety testing -------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hyper/NonInterference.h"
+
+#include "sem/Scheduler.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace commcsl;
+
+std::string NIViolation::describe() const {
+  std::ostringstream OS;
+  OS << Kind << ": " << Detail << "\n";
+  auto PrintVals = [&OS](const char *Label,
+                         const std::vector<ValueRef> &Vals) {
+    OS << "  " << Label << ": [";
+    for (size_t I = 0; I < Vals.size(); ++I)
+      OS << (I ? ", " : "") << (Vals[I] ? Vals[I]->str() : "<none>");
+    OS << "]\n";
+  };
+  PrintVals("inputs A", InputsA);
+  PrintVals("inputs B", InputsB);
+  OS << "  schedulers: " << SchedulerA << " vs " << SchedulerB << "\n";
+  PrintVals("low outputs A", LowOutputsA);
+  PrintVals("low outputs B", LowOutputsB);
+  return OS.str();
+}
+
+NonInterferenceHarness::NonInterferenceHarness(const Program &Prog,
+                                               std::string ProcName,
+                                               NIConfig Config)
+    : Prog(Prog), Proc(Prog.findProc(ProcName)), Config(Config) {
+  if (!Proc)
+    return;
+  auto MarksLow = [](const Contract &C, const std::string &Name) {
+    for (const ContractAtom &A : C)
+      if (A.AtomKind == ContractAtom::Kind::Low && !A.Cond &&
+          A.E->Kind == ExprKind::Var && A.E->Name == Name)
+        return true;
+    return false;
+  };
+  for (size_t I = 0; I < Proc->Params.size(); ++I)
+    if (MarksLow(Proc->Requires, Proc->Params[I].Name))
+      LowParams.push_back(I);
+  for (size_t I = 0; I < Proc->Returns.size(); ++I)
+    if (MarksLow(Proc->Ensures, Proc->Returns[I].Name))
+      LowReturns.push_back(I);
+}
+
+NIReport NonInterferenceHarness::run() {
+  NIReport Report;
+  if (!Proc) {
+    NIViolation V;
+    V.Kind = "abort";
+    V.Detail = "unknown procedure";
+    Report.Violation = std::move(V);
+    return Report;
+  }
+  std::mt19937_64 Rng(Config.Seed);
+
+  std::vector<DomainRef> ParamDoms;
+  for (const Param &P : Proc->Params)
+    ParamDoms.push_back(P.Ty->toDomain(Config.InputScope));
+
+  auto IsLowParam = [this](size_t I) {
+    for (size_t L : LowParams)
+      if (L == I)
+        return true;
+    return false;
+  };
+
+  for (unsigned Trial = 0; Trial < Config.Trials; ++Trial) {
+    std::vector<std::vector<ValueRef>> Assignments;
+    if (Config.TrialGen) {
+      Assignments = Config.TrialGen(Rng);
+    } else {
+      // Fix the low inputs; vary the highs.
+      std::vector<ValueRef> LowVals(Proc->Params.size());
+      for (size_t I = 0; I < Proc->Params.size(); ++I)
+        if (IsLowParam(I))
+          LowVals[I] = ParamDoms[I]->sample(Rng);
+      for (unsigned H = 0; H < Config.HighSamples; ++H) {
+        std::vector<ValueRef> Inputs(Proc->Params.size());
+        for (size_t I = 0; I < Proc->Params.size(); ++I)
+          Inputs[I] = IsLowParam(I) ? LowVals[I] : ParamDoms[I]->sample(Rng);
+        Assignments.push_back(std::move(Inputs));
+      }
+    }
+    if (!runTrial(Assignments, Rng, Report))
+      return Report;
+  }
+  return Report;
+}
+
+bool NonInterferenceHarness::runTrial(
+    const std::vector<std::vector<ValueRef>> &Assignments,
+    std::mt19937_64 &Rng, NIReport &Report) {
+  RunConfig RC;
+  RC.MaxSteps = Config.MaxSteps;
+  Interpreter Interp(Prog, RC);
+
+  bool HaveRef = false;
+  std::vector<ValueRef> RefLow;
+  std::vector<ValueRef> RefInputs;
+  std::string RefSched;
+
+  for (const std::vector<ValueRef> &Inputs : Assignments) {
+    // Scheduler family: round-robin, several random seeds, burst.
+    std::vector<std::unique_ptr<Scheduler>> Scheds;
+    Scheds.push_back(std::make_unique<RoundRobinScheduler>());
+    for (unsigned R = 0; R < Config.RandomSchedules; ++R)
+      Scheds.push_back(std::make_unique<RandomScheduler>(Rng()));
+    Scheds.push_back(std::make_unique<BurstScheduler>(Rng(), Config.BurstLen));
+
+    for (auto &Sched : Scheds) {
+      RunResult R = Interp.run(Proc->Name, Inputs, *Sched);
+      ++Report.Runs;
+      if (R.St != RunResult::Status::Ok) {
+        NIViolation V;
+        V.Kind = R.St == RunResult::Status::Deadlock ? "deadlock" : "abort";
+        V.Detail = R.AbortReason;
+        V.InputsA = Inputs;
+        V.SchedulerA = Sched->name();
+        Report.Violation = std::move(V);
+        return false;
+      }
+      std::vector<ValueRef> Low;
+      for (size_t I : LowReturns)
+        Low.push_back(R.Returns[I]);
+      // The public output channel is observable in its entirety.
+      Low.insert(Low.end(), R.Outputs.begin(), R.Outputs.end());
+      if (!HaveRef) {
+        HaveRef = true;
+        RefLow = Low;
+        RefInputs = Inputs;
+        RefSched = Sched->name();
+        continue;
+      }
+      ++Report.PairsCompared;
+      if (Low.size() != RefLow.size()) {
+        NIViolation V;
+        V.Kind = "low-output mismatch";
+        V.Detail = "different numbers of public outputs";
+        V.InputsA = RefInputs;
+        V.InputsB = Inputs;
+        V.SchedulerA = RefSched;
+        V.SchedulerB = Sched->name();
+        V.LowOutputsA = RefLow;
+        V.LowOutputsB = Low;
+        Report.Violation = std::move(V);
+        return false;
+      }
+      for (size_t I = 0; I < Low.size(); ++I) {
+        if (!Value::equal(Low[I], RefLow[I])) {
+          NIViolation V;
+          V.Kind = "low-output mismatch";
+          V.Detail = "low-equivalent inputs produced different low "
+                     "outputs (a value channel)";
+          V.InputsA = RefInputs;
+          V.InputsB = Inputs;
+          V.SchedulerA = RefSched;
+          V.SchedulerB = Sched->name();
+          V.LowOutputsA = RefLow;
+          V.LowOutputsB = Low;
+          Report.Violation = std::move(V);
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}

@@ -1,0 +1,137 @@
+//===-- hyperviper/Driver.cpp - End-to-end verification driver -------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hyperviper/Driver.h"
+
+#include "lang/TypeChecker.h"
+#include "parser/Parser.h"
+#include "support/StringUtils.h"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+using namespace commcsl;
+
+namespace {
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+} // namespace
+
+SourceMetrics commcsl::measureSource(const std::string &Source) {
+  SourceMetrics M;
+  bool InBlockComment = false;
+  bool InResource = false;
+  int ResourceDepth = 0;
+  for (const std::string &RawLine : split(Source, '\n')) {
+    std::string Line = trim(RawLine);
+    if (InBlockComment) {
+      if (Line.find("*/") != std::string::npos)
+        InBlockComment = false;
+      continue;
+    }
+    if (Line.empty() || startsWith(Line, "//"))
+      continue;
+    if (startsWith(Line, "/*")) {
+      if (Line.find("*/") == std::string::npos)
+        InBlockComment = true;
+      continue;
+    }
+    // Resource specifications count as annotations in their entirety.
+    if (startsWith(Line, "resource ")) {
+      InResource = true;
+      ResourceDepth = 0;
+    }
+    bool IsAnnotation =
+        InResource || startsWith(Line, "requires") ||
+        startsWith(Line, "ensures") || startsWith(Line, "invariant") ||
+        startsWith(Line, "assert") || startsWith(Line, "function ");
+    if (InResource) {
+      for (char C : Line) {
+        if (C == '{')
+          ++ResourceDepth;
+        if (C == '}')
+          --ResourceDepth;
+      }
+      if (ResourceDepth == 0 && Line.find('}') != std::string::npos)
+        InResource = false;
+    }
+    if (IsAnnotation)
+      ++M.AnnotationLines;
+    else
+      ++M.LinesOfCode;
+  }
+  return M;
+}
+
+DriverResult Driver::verifySource(const std::string &Source,
+                                  const std::string &Name) {
+  DriverResult R;
+  R.Name = Name;
+  R.Metrics = measureSource(Source);
+
+  auto T0 = std::chrono::steady_clock::now();
+  R.Prog = std::make_shared<Program>(Parser::parse(Source, R.Diags));
+  if (!R.Diags.hasErrors()) {
+    TypeChecker Checker(*R.Prog, R.Diags);
+    Checker.check();
+  }
+  R.ParseSeconds = secondsSince(T0);
+  R.ParseOk = !R.Diags.hasErrors();
+  if (!R.ParseOk)
+    return R;
+
+  Verifier V(*R.Prog, R.Diags, Options.Verifier);
+
+  // Phase: spec validity.
+  auto T1 = std::chrono::steady_clock::now();
+  bool SpecsOk = true;
+  if (!Options.Verifier.SkipValidityCheck) {
+    for (const ResourceSpecDecl &Spec : R.Prog->Specs) {
+      ++R.Verification.NumSpecsChecked;
+      SpecsOk &= V.verifySpec(Spec);
+    }
+  }
+  R.ValiditySeconds = secondsSince(T1);
+
+  // Phase: procedure verification.
+  auto T2 = std::chrono::steady_clock::now();
+  bool ProcsOk = true;
+  for (const ProcDecl &Proc : R.Prog->Procs) {
+    ProcVerdict PV = V.verifyProc(Proc);
+    ProcsOk &= PV.Ok;
+    R.Verification.Procs.push_back(std::move(PV));
+  }
+  R.VerifySeconds = secondsSince(T2);
+
+  R.Verification.Ok = SpecsOk && ProcsOk;
+  R.Verified = R.Verification.Ok;
+  return R;
+}
+
+DriverResult Driver::verifyFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In) {
+    DriverResult R;
+    R.Name = Path;
+    R.Diags.error(DiagCode::ParseError, SourceLoc(),
+                  "cannot open file '" + Path + "'");
+    return R;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return verifySource(SS.str(), Path);
+}
+
+NIReport Driver::runEmpirical(const DriverResult &Result,
+                              const std::string &ProcName, NIConfig Config) {
+  assert(Result.Prog && Result.ParseOk && "empirical run needs a program");
+  NonInterferenceHarness Harness(*Result.Prog, ProcName, Config);
+  return Harness.run();
+}

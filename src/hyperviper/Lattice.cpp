@@ -1,0 +1,86 @@
+//===-- hyperviper/Lattice.cpp - Multi-level lattice verification ----------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hyperviper/Lattice.h"
+
+using namespace commcsl;
+
+namespace {
+
+/// True for a bare `low(x)` atom over an interface variable.
+bool isInterfaceLowAtom(const ContractAtom &A) {
+  return A.AtomKind == ContractAtom::Kind::Low && !A.Cond &&
+         A.E->Kind == ExprKind::Var;
+}
+
+/// Rebuilds a contract for cutoff \p Cutoff: interface low-atoms are
+/// replaced by `low(x)` for every variable with level <= Cutoff.
+Contract contractForCutoff(const Contract &Orig,
+                           const std::vector<Param> &Vars,
+                           const std::map<std::string, unsigned> &Level,
+                           unsigned Cutoff) {
+  Contract Out;
+  for (const ContractAtom &A : Orig)
+    if (!isInterfaceLowAtom(A))
+      Out.push_back(A);
+  for (const Param &P : Vars) {
+    auto It = Level.find(P.Name);
+    if (It == Level.end() || It->second > Cutoff)
+      continue;
+    ExprRef Var = Expr::var(P.Name, P.Loc);
+    Var->Ty = P.Ty;
+    Out.push_back(ContractAtom::low(std::move(Var), P.Loc));
+  }
+  return Out;
+}
+
+} // namespace
+
+LatticeResult commcsl::verifyLattice(const Program &Prog,
+                                     const std::string &ProcName,
+                                     const LatticeLevels &Levels,
+                                     VerifierConfig Config) {
+  LatticeResult Result;
+  const ProcDecl *Target = Prog.findProc(ProcName);
+  if (!Target) {
+    Result.Diags.error(DiagCode::UnknownName, SourceLoc(),
+                       "unknown procedure '" + ProcName + "'");
+    return Result;
+  }
+
+  Result.Ok = true;
+  for (unsigned Cutoff = 0; Cutoff < Levels.NumLevels; ++Cutoff) {
+    // Clone the program shallowly; the target procedure gets per-cutoff
+    // contracts (bodies and all other declarations are shared ASTs).
+    Program Variant = Prog;
+    for (ProcDecl &P : Variant.Procs) {
+      if (P.Name != ProcName)
+        continue;
+      P.Requires = contractForCutoff(Target->Requires, Target->Params,
+                                     Levels.ParamLevel, Cutoff);
+      P.Ensures = contractForCutoff(Target->Ensures, Target->Returns,
+                                    Levels.ReturnLevel, Cutoff);
+    }
+    DiagnosticEngine Diags;
+    Verifier V(Variant, Diags, Config);
+    ProcVerdict PV = V.verifyProc(*Variant.findProc(ProcName));
+    // Specs must additionally be valid once (cutoff-independent).
+    bool SpecsOk = true;
+    if (Cutoff == 0 && !Config.SkipValidityCheck)
+      for (const ResourceSpecDecl &Spec : Variant.Specs)
+        SpecsOk &= V.verifySpec(Spec);
+    bool Ok = PV.Ok && SpecsOk;
+    Result.LevelOk.push_back(Ok);
+    Result.Ok &= Ok;
+    if (!Ok) {
+      for (const Diagnostic &D : Diags.diagnostics())
+        Result.Diags.report(D.Kind, D.Code, D.Loc,
+                            "[level " + std::to_string(Cutoff) + "] " +
+                                D.Message);
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,70 @@
+//===-- hyperviper/Lattice.h - Multi-level lattice verification -*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Verification against finite sensitivity lattices, implementing the
+/// paper's footnote 1: "techniques for verifying information flow security
+/// with two levels can be used to verify programs with arbitrary finite
+/// lattices by performing the verification multiple times, once for every
+/// element of the lattice."
+///
+/// Inputs and outputs of the target procedure are assigned *levels*
+/// (0 = most public). For every lattice element ℓ, a two-level variant is
+/// verified in which exactly the variables at level <= ℓ are `low`: a flow
+/// from level j to level i < j fails the verification at cutoff i.
+///
+/// Caveat (inherent to the repetition encoding): resource specifications
+/// are reused verbatim at every cutoff, so their `low(...)` preconditions
+/// and abstractions are interpreted relative to the *current* cutoff. A
+/// resource fed with level-j data is therefore only verifiable at cutoffs
+/// >= j; at lower cutoffs one would need a per-level specification with a
+/// coarser abstraction (e.g. the constant one). Programs whose shared
+/// resources carry data of a single level — like the examples — verify at
+/// every cutoff directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_HYPERVIPER_LATTICE_H
+#define COMMCSL_HYPERVIPER_LATTICE_H
+
+#include "lang/Program.h"
+#include "support/Diagnostics.h"
+#include "verifier/Verifier.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace commcsl {
+
+/// Level assignment for one procedure's interface. Variables not mentioned
+/// default to the top level (never low).
+struct LatticeLevels {
+  std::map<std::string, unsigned> ParamLevel;
+  std::map<std::string, unsigned> ReturnLevel;
+  unsigned NumLevels = 2;
+};
+
+/// Result of a lattice verification run.
+struct LatticeResult {
+  bool Ok = false;
+  /// Per-cutoff verdicts, index = lattice element.
+  std::vector<bool> LevelOk;
+  DiagnosticEngine Diags;
+};
+
+/// Verifies \p ProcName of \p Prog against the level assignment: one
+/// two-level verification per lattice element. Any `low(x)` atoms already
+/// present on the target procedure's contract are replaced by the
+/// per-cutoff classification; all other contract atoms (and all other
+/// procedures' contracts) are kept.
+LatticeResult verifyLattice(const Program &Prog, const std::string &ProcName,
+                            const LatticeLevels &Levels,
+                            VerifierConfig Config = {});
+
+} // namespace commcsl
+
+#endif // COMMCSL_HYPERVIPER_LATTICE_H

@@ -1,0 +1,324 @@
+//===-- lang/Command.cpp - Command AST ------------------------------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Command.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace commcsl;
+
+namespace {
+void addUnique(std::vector<std::string> &Out, const std::string &Name) {
+  if (std::find(Out.begin(), Out.end(), Name) == Out.end())
+    Out.push_back(Name);
+}
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Factories
+//===----------------------------------------------------------------------===//
+
+CommandRef Command::skip(SourceLoc Loc) {
+  return std::make_shared<Command>(CmdKind::Skip, Loc);
+}
+
+CommandRef Command::varDecl(std::string Name, TypeRef Ty, ExprRef Init,
+                            SourceLoc Loc) {
+  auto C = std::make_shared<Command>(CmdKind::VarDecl, Loc);
+  C->Var = std::move(Name);
+  C->DeclTy = std::move(Ty);
+  if (Init)
+    C->Exprs = {std::move(Init)};
+  return C;
+}
+
+CommandRef Command::assign(std::string Name, ExprRef E, SourceLoc Loc) {
+  auto C = std::make_shared<Command>(CmdKind::Assign, Loc);
+  C->Var = std::move(Name);
+  C->Exprs = {std::move(E)};
+  return C;
+}
+
+CommandRef Command::heapRead(std::string Name, ExprRef Addr, SourceLoc Loc) {
+  auto C = std::make_shared<Command>(CmdKind::HeapRead, Loc);
+  C->Var = std::move(Name);
+  C->Exprs = {std::move(Addr)};
+  return C;
+}
+
+CommandRef Command::heapWrite(ExprRef Addr, ExprRef Val, SourceLoc Loc) {
+  auto C = std::make_shared<Command>(CmdKind::HeapWrite, Loc);
+  C->Exprs = {std::move(Addr), std::move(Val)};
+  return C;
+}
+
+CommandRef Command::alloc(std::string Name, ExprRef Init, SourceLoc Loc) {
+  auto C = std::make_shared<Command>(CmdKind::Alloc, Loc);
+  C->Var = std::move(Name);
+  C->Exprs = {std::move(Init)};
+  return C;
+}
+
+CommandRef Command::block(std::vector<CommandRef> Cmds, SourceLoc Loc) {
+  auto C = std::make_shared<Command>(CmdKind::Block, Loc);
+  C->Children = std::move(Cmds);
+  return C;
+}
+
+CommandRef Command::ifCmd(ExprRef Cond, CommandRef Then, CommandRef Else,
+                          SourceLoc Loc) {
+  auto C = std::make_shared<Command>(CmdKind::If, Loc);
+  C->Exprs = {std::move(Cond)};
+  C->Children = {std::move(Then),
+                 Else ? std::move(Else) : Command::skip(Loc)};
+  return C;
+}
+
+CommandRef Command::whileCmd(ExprRef Cond, std::vector<Contract> Invariants,
+                             CommandRef Body, SourceLoc Loc) {
+  auto C = std::make_shared<Command>(CmdKind::While, Loc);
+  C->Exprs = {std::move(Cond)};
+  C->Invariants = std::move(Invariants);
+  C->Children = {std::move(Body)};
+  return C;
+}
+
+CommandRef Command::par(std::vector<CommandRef> Branches, SourceLoc Loc) {
+  assert(Branches.size() >= 2 && "par needs at least two branches");
+  auto C = std::make_shared<Command>(CmdKind::Par, Loc);
+  C->Children = std::move(Branches);
+  return C;
+}
+
+CommandRef Command::callProc(std::string Callee, std::vector<ExprRef> Args,
+                             std::vector<std::string> Rets, SourceLoc Loc) {
+  auto C = std::make_shared<Command>(CmdKind::CallProc, Loc);
+  C->Aux = std::move(Callee);
+  C->Exprs = std::move(Args);
+  C->Rets = std::move(Rets);
+  return C;
+}
+
+CommandRef Command::share(std::string ResVar, std::string SpecName,
+                          ExprRef Init, SourceLoc Loc) {
+  auto C = std::make_shared<Command>(CmdKind::Share, Loc);
+  C->Var = std::move(ResVar);
+  C->Aux = std::move(SpecName);
+  C->Exprs = {std::move(Init)};
+  return C;
+}
+
+CommandRef Command::unshare(std::string TargetVar, std::string ResVar,
+                            SourceLoc Loc) {
+  auto C = std::make_shared<Command>(CmdKind::Unshare, Loc);
+  C->Var = std::move(TargetVar);
+  C->Aux = std::move(ResVar);
+  return C;
+}
+
+CommandRef Command::atomic(std::string ResVar, CommandRef Body,
+                           std::string WhenAction, SourceLoc Loc) {
+  auto C = std::make_shared<Command>(CmdKind::Atomic, Loc);
+  C->Aux = std::move(ResVar);
+  C->Var = std::move(WhenAction);
+  C->Children = {std::move(Body)};
+  return C;
+}
+
+CommandRef Command::perform(std::string TargetVar, std::string ResVar,
+                            std::string Action, ExprRef Arg, SourceLoc Loc) {
+  auto C = std::make_shared<Command>(CmdKind::Perform, Loc);
+  C->Var = std::move(TargetVar); // may be empty: no result binding
+  C->Aux = std::move(ResVar);
+  C->Rets = {std::move(Action)};
+  C->Exprs = {std::move(Arg)};
+  return C;
+}
+
+CommandRef Command::resVal(std::string TargetVar, std::string ResVar,
+                           SourceLoc Loc) {
+  auto C = std::make_shared<Command>(CmdKind::ResVal, Loc);
+  C->Var = std::move(TargetVar);
+  C->Aux = std::move(ResVar);
+  return C;
+}
+
+CommandRef Command::output(ExprRef E, SourceLoc Loc) {
+  auto C = std::make_shared<Command>(CmdKind::Output, Loc);
+  C->Exprs = {std::move(E)};
+  return C;
+}
+
+CommandRef Command::assertGhost(Contract Conjuncts, SourceLoc Loc) {
+  auto C = std::make_shared<Command>(CmdKind::AssertGhost, Loc);
+  C->Asserted = std::move(Conjuncts);
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// Analyses
+//===----------------------------------------------------------------------===//
+
+void Command::modifiedVars(std::vector<std::string> &Out) const {
+  switch (Kind) {
+  case CmdKind::VarDecl:
+  case CmdKind::Assign:
+  case CmdKind::HeapRead:
+  case CmdKind::Alloc:
+  case CmdKind::Unshare:
+  case CmdKind::ResVal:
+    addUnique(Out, Var);
+    break;
+  case CmdKind::Perform:
+    if (!Var.empty())
+      addUnique(Out, Var);
+    break;
+  case CmdKind::CallProc:
+    for (const std::string &R : Rets)
+      addUnique(Out, R);
+    break;
+  case CmdKind::Share:
+  case CmdKind::Skip:
+  case CmdKind::HeapWrite:
+  case CmdKind::AssertGhost:
+  case CmdKind::Output:
+    break;
+  case CmdKind::Block:
+  case CmdKind::If:
+  case CmdKind::While:
+  case CmdKind::Par:
+  case CmdKind::Atomic:
+    for (const CommandRef &Child : Children)
+      Child->modifiedVars(Out);
+    break;
+  }
+}
+
+void Command::readVars(std::vector<std::string> &Out) const {
+  for (const ExprRef &E : Exprs) {
+    std::vector<std::string> Vars;
+    E->freeVars(Vars);
+    for (const std::string &V : Vars)
+      addUnique(Out, V);
+  }
+  for (const CommandRef &Child : Children)
+    Child->readVars(Out);
+  for (const Contract &Inv : Invariants)
+    for (const ContractAtom &A : Inv)
+      if (A.E) {
+        std::vector<std::string> Vars;
+        A.E->freeVars(Vars);
+        for (const std::string &V : Vars)
+          addUnique(Out, V);
+      }
+}
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+namespace {
+std::string indentStr(unsigned Indent) { return std::string(Indent, ' '); }
+} // namespace
+
+std::string Command::str(unsigned Indent) const {
+  std::ostringstream OS;
+  std::string Pad = indentStr(Indent);
+  switch (Kind) {
+  case CmdKind::Skip:
+    OS << Pad << "skip;\n";
+    break;
+  case CmdKind::VarDecl:
+    OS << Pad << "var " << Var << ": " << DeclTy->str();
+    if (!Exprs.empty())
+      OS << " := " << Exprs[0]->str();
+    OS << ";\n";
+    break;
+  case CmdKind::Assign:
+    OS << Pad << Var << " := " << Exprs[0]->str() << ";\n";
+    break;
+  case CmdKind::HeapRead:
+    OS << Pad << Var << " := [" << Exprs[0]->str() << "];\n";
+    break;
+  case CmdKind::HeapWrite:
+    OS << Pad << "[" << Exprs[0]->str() << "] := " << Exprs[1]->str()
+       << ";\n";
+    break;
+  case CmdKind::Alloc:
+    OS << Pad << Var << " := alloc(" << Exprs[0]->str() << ");\n";
+    break;
+  case CmdKind::Block:
+    OS << Pad << "{\n";
+    for (const CommandRef &Child : Children)
+      OS << Child->str(Indent + 2);
+    OS << Pad << "}\n";
+    break;
+  case CmdKind::If:
+    OS << Pad << "if (" << Exprs[0]->str() << ")\n"
+       << Children[0]->str(Indent);
+    if (Children[1]->Kind != CmdKind::Skip)
+      OS << Pad << "else\n" << Children[1]->str(Indent);
+    break;
+  case CmdKind::While:
+    OS << Pad << "while (" << Exprs[0]->str() << ")\n";
+    for (const Contract &Inv : Invariants)
+      OS << Pad << "  invariant " << contractStr(Inv) << ";\n";
+    OS << Children[0]->str(Indent);
+    break;
+  case CmdKind::Par: {
+    OS << Pad << "par\n";
+    for (size_t I = 0; I < Children.size(); ++I) {
+      if (I != 0)
+        OS << Pad << "and\n";
+      OS << Children[I]->str(Indent);
+    }
+    break;
+  }
+  case CmdKind::CallProc: {
+    OS << Pad;
+    for (size_t I = 0; I < Rets.size(); ++I)
+      OS << (I ? ", " : "") << Rets[I];
+    if (!Rets.empty())
+      OS << " := ";
+    OS << "call " << Aux << "(";
+    for (size_t I = 0; I < Exprs.size(); ++I)
+      OS << (I ? ", " : "") << Exprs[I]->str();
+    OS << ");\n";
+    break;
+  }
+  case CmdKind::Share:
+    OS << Pad << "share " << Var << ": " << Aux << " := " << Exprs[0]->str()
+       << ";\n";
+    break;
+  case CmdKind::Unshare:
+    OS << Pad << Var << " := unshare " << Aux << ";\n";
+    break;
+  case CmdKind::Atomic:
+    OS << Pad << "atomic " << Aux;
+    if (!Var.empty())
+      OS << " when " << Var;
+    OS << "\n" << Children[0]->str(Indent);
+    break;
+  case CmdKind::Perform:
+    OS << Pad;
+    if (!Var.empty())
+      OS << Var << " := ";
+    OS << "perform " << Aux << "." << Rets[0] << "(" << Exprs[0]->str()
+       << ");\n";
+    break;
+  case CmdKind::ResVal:
+    OS << Pad << Var << " := resval(" << Aux << ");\n";
+    break;
+  case CmdKind::AssertGhost:
+    OS << Pad << "assert " << contractStr(Asserted) << ";\n";
+    break;
+  case CmdKind::Output:
+    OS << Pad << "output " << Exprs[0]->str() << ";\n";
+    break;
+  }
+  return OS.str();
+}

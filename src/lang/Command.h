@@ -1,0 +1,129 @@
+//===-- lang/Command.h - Command AST ----------------------------*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The command AST: a superset of the paper's language (Fig. 6) with
+/// procedures, n-ary parallel composition, share/unshare, and atomic blocks
+/// that perform declared resource actions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_LANG_COMMAND_H
+#define COMMCSL_LANG_COMMAND_H
+
+#include "lang/Contract.h"
+#include "lang/Expr.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace commcsl {
+
+class Command;
+using CommandRef = std::shared_ptr<Command>;
+
+/// Command node discriminator. See the factories below for payloads.
+enum class CmdKind : uint8_t {
+  Skip,
+  VarDecl,   ///< var x: T := e;
+  Assign,    ///< x := e;
+  HeapRead,  ///< x := [e];
+  HeapWrite, ///< [e1] := e2;
+  Alloc,     ///< x := alloc(e);
+  Block,     ///< { c1 ... cn }
+  If,        ///< if (b) {..} else {..}
+  While,     ///< while (b) invariant* {..}
+  Par,       ///< par {..} and {..} and ...
+  CallProc,  ///< r1, .., rk := call p(e1, .., en);
+  Share,     ///< share r: Spec := e;
+  Unshare,   ///< x := unshare r;
+  Atomic,    ///< atomic r {..}
+  Perform,   ///< perform r.A(e);  or  x := perform r.A(e);
+  ResVal,    ///< x := resval(r);   (only inside atomic; value is high)
+  AssertGhost, ///< assert <conjuncts>;  (relational ghost assertion)
+  Output,      ///< output e;  (emit to the public channel; e must be low)
+};
+
+/// A command node, single-struct design like Expr.
+class Command {
+public:
+  CmdKind Kind;
+  SourceLoc Loc;
+
+  // Payloads (validity depends on Kind).
+  std::string Var;           ///< target variable / resource handle name
+  std::string Aux;           ///< spec name (Share), action name (Perform),
+                             ///< callee (CallProc), resource (Atomic/Perform)
+  TypeRef DeclTy;            ///< VarDecl type
+  std::vector<ExprRef> Exprs;         ///< operands
+  std::vector<CommandRef> Children;   ///< sub-commands
+  std::vector<std::string> Rets;      ///< CallProc result targets
+  std::vector<Contract> Invariants;   ///< While invariants
+  Contract Asserted;                  ///< AssertGhost conjuncts
+
+  explicit Command(CmdKind Kind, SourceLoc Loc = SourceLoc())
+      : Kind(Kind), Loc(Loc) {}
+
+  //===--------------------------------------------------------------------===//
+  // Factories
+  //===--------------------------------------------------------------------===//
+
+  static CommandRef skip(SourceLoc Loc = SourceLoc());
+  static CommandRef varDecl(std::string Name, TypeRef Ty, ExprRef Init,
+                            SourceLoc Loc = SourceLoc());
+  static CommandRef assign(std::string Name, ExprRef E,
+                           SourceLoc Loc = SourceLoc());
+  static CommandRef heapRead(std::string Name, ExprRef Addr,
+                             SourceLoc Loc = SourceLoc());
+  static CommandRef heapWrite(ExprRef Addr, ExprRef Val,
+                              SourceLoc Loc = SourceLoc());
+  static CommandRef alloc(std::string Name, ExprRef Init,
+                          SourceLoc Loc = SourceLoc());
+  static CommandRef block(std::vector<CommandRef> Cmds,
+                          SourceLoc Loc = SourceLoc());
+  static CommandRef ifCmd(ExprRef Cond, CommandRef Then, CommandRef Else,
+                          SourceLoc Loc = SourceLoc());
+  static CommandRef whileCmd(ExprRef Cond, std::vector<Contract> Invariants,
+                             CommandRef Body, SourceLoc Loc = SourceLoc());
+  static CommandRef par(std::vector<CommandRef> Branches,
+                        SourceLoc Loc = SourceLoc());
+  static CommandRef callProc(std::string Callee, std::vector<ExprRef> Args,
+                             std::vector<std::string> Rets,
+                             SourceLoc Loc = SourceLoc());
+  static CommandRef share(std::string ResVar, std::string SpecName,
+                          ExprRef Init, SourceLoc Loc = SourceLoc());
+  static CommandRef unshare(std::string TargetVar, std::string ResVar,
+                            SourceLoc Loc = SourceLoc());
+  /// \p WhenAction optionally names an action of the resource's spec whose
+  /// `enabled` condition gates entry to the block (the paper's
+  /// `atomic c when e`); empty means unconditional.
+  static CommandRef atomic(std::string ResVar, CommandRef Body,
+                           std::string WhenAction = "",
+                           SourceLoc Loc = SourceLoc());
+  static CommandRef perform(std::string TargetVar, std::string ResVar,
+                            std::string Action, ExprRef Arg,
+                            SourceLoc Loc = SourceLoc());
+  static CommandRef resVal(std::string TargetVar, std::string ResVar,
+                           SourceLoc Loc = SourceLoc());
+  static CommandRef assertGhost(Contract Conjuncts,
+                                SourceLoc Loc = SourceLoc());
+  static CommandRef output(ExprRef E, SourceLoc Loc = SourceLoc());
+
+  /// Variables modified by this command (the paper's mod(c)): assignment
+  /// targets, declared variables, call result targets.
+  void modifiedVars(std::vector<std::string> &Out) const;
+
+  /// All variables read by this command (in expressions and conditions).
+  void readVars(std::vector<std::string> &Out) const;
+
+  /// Renders the command in surface syntax with \p Indent leading spaces.
+  std::string str(unsigned Indent = 0) const;
+};
+
+} // namespace commcsl
+
+#endif // COMMCSL_LANG_COMMAND_H

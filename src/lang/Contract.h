@@ -1,0 +1,140 @@
+//===-- lang/Contract.h - Relational contract atoms -------------*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Relational contract atoms used in requires/ensures clauses, loop
+/// invariants, and ghost assertions. The fragment mirrors the assertions of
+/// Sec. 3.4: `low(e)` (the Low(e) assertion), boolean expressions (which are
+/// implicitly required in both executions), guard assertions `sguard`/`uguard`
+/// carrying a fraction and an argument-collection binder, and `allpre`
+/// (the paper's PRE predicate, Def. 3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_LANG_CONTRACT_H
+#define COMMCSL_LANG_CONTRACT_H
+
+#include "lang/Expr.h"
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace commcsl {
+
+/// One conjunct of a contract.
+struct ContractAtom {
+  enum class Kind : uint8_t {
+    Low,    ///< low(e)
+    Bool,   ///< e          (boolean expression, holds in both executions)
+    SGuard, ///< sguard(R.A, p/q, S | empty)
+    UGuard, ///< uguard(R.A, S | empty)
+    AllPre, ///< allpre(R.A, S)   — PRE_A(S), Def. 3.2
+  };
+
+  Kind AtomKind = Kind::Bool;
+  SourceLoc Loc;
+
+  /// Low/Bool: the expression. May mention spec variables bound by guard
+  /// atoms earlier in the same contract.
+  ExprRef E;
+
+  /// Low only: optional boolean condition; the atom then denotes the
+  /// value-dependent assertion `Cond ==> Low(E)` (Sec. 3.4).
+  ExprRef Cond;
+
+  /// Guard/AllPre atoms: resource handle and action name.
+  std::string Res;
+  std::string Action;
+
+  /// SGuard fraction p/q.
+  int64_t FracNum = 1;
+  int64_t FracDen = 1;
+
+  /// Guard atoms: name of the spec variable bound to the recorded argument
+  /// multiset (shared) or sequence (unique); empty string together with
+  /// ArgsEmpty==true denotes the literal empty collection.
+  std::string ArgVar;
+  bool ArgsEmpty = false;
+
+  static ContractAtom low(ExprRef E, SourceLoc Loc = SourceLoc()) {
+    ContractAtom A;
+    A.AtomKind = Kind::Low;
+    A.E = std::move(E);
+    A.Loc = Loc;
+    return A;
+  }
+
+  static ContractAtom condLow(ExprRef Cond, ExprRef E,
+                              SourceLoc Loc = SourceLoc()) {
+    ContractAtom A;
+    A.AtomKind = Kind::Low;
+    A.Cond = std::move(Cond);
+    A.E = std::move(E);
+    A.Loc = Loc;
+    return A;
+  }
+
+  static ContractAtom boolean(ExprRef E, SourceLoc Loc = SourceLoc()) {
+    ContractAtom A;
+    A.AtomKind = Kind::Bool;
+    A.E = std::move(E);
+    A.Loc = Loc;
+    return A;
+  }
+
+  static ContractAtom sguard(std::string Res, std::string Action,
+                             int64_t Num, int64_t Den, std::string ArgVar,
+                             bool Empty, SourceLoc Loc = SourceLoc()) {
+    ContractAtom A;
+    A.AtomKind = Kind::SGuard;
+    A.Res = std::move(Res);
+    A.Action = std::move(Action);
+    A.FracNum = Num;
+    A.FracDen = Den;
+    A.ArgVar = std::move(ArgVar);
+    A.ArgsEmpty = Empty;
+    A.Loc = Loc;
+    return A;
+  }
+
+  static ContractAtom uguard(std::string Res, std::string Action,
+                             std::string ArgVar, bool Empty,
+                             SourceLoc Loc = SourceLoc()) {
+    ContractAtom A;
+    A.AtomKind = Kind::UGuard;
+    A.Res = std::move(Res);
+    A.Action = std::move(Action);
+    A.ArgVar = std::move(ArgVar);
+    A.ArgsEmpty = Empty;
+    A.Loc = Loc;
+    return A;
+  }
+
+  static ContractAtom allpre(std::string Res, std::string Action,
+                             std::string ArgVar, SourceLoc Loc = SourceLoc()) {
+    ContractAtom A;
+    A.AtomKind = Kind::AllPre;
+    A.Res = std::move(Res);
+    A.Action = std::move(Action);
+    A.ArgVar = std::move(ArgVar);
+    A.Loc = Loc;
+    return A;
+  }
+
+  /// Renders the atom in surface syntax.
+  std::string str() const;
+};
+
+/// A contract is a conjunction of atoms.
+using Contract = std::vector<ContractAtom>;
+
+/// Renders a contract as `a1 && a2 && ...`.
+std::string contractStr(const Contract &C);
+
+} // namespace commcsl
+
+#endif // COMMCSL_LANG_CONTRACT_H

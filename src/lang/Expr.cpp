@@ -1,0 +1,302 @@
+//===-- lang/Expr.cpp - Expression AST ------------------------------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Expr.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+using namespace commcsl;
+
+//===----------------------------------------------------------------------===//
+// Builtin table
+//===----------------------------------------------------------------------===//
+
+namespace {
+struct BuiltinInfo {
+  BuiltinKind Kind;
+  const char *Name;
+  unsigned Arity;
+};
+
+// Keep in sync with BuiltinKind.
+const BuiltinInfo BuiltinTable[] = {
+    {BuiltinKind::PairMk, "pair", 2},
+    {BuiltinKind::Fst, "fst", 1},
+    {BuiltinKind::Snd, "snd", 1},
+    {BuiltinKind::SeqEmpty, "seq_empty", 0},
+    {BuiltinKind::SeqAppend, "append", 2},
+    {BuiltinKind::SeqConcat, "concat", 2},
+    {BuiltinKind::SeqLen, "len", 1},
+    {BuiltinKind::SeqAt, "at", 2},
+    {BuiltinKind::SeqHead, "head", 1},
+    {BuiltinKind::SeqLast, "last", 1},
+    {BuiltinKind::SeqTail, "tail", 1},
+    {BuiltinKind::SeqInit, "seq_init", 1},
+    {BuiltinKind::SeqContains, "seq_contains", 2},
+    {BuiltinKind::SeqTake, "take", 2},
+    {BuiltinKind::SeqDrop, "drop", 2},
+    {BuiltinKind::SeqSort, "sort", 1},
+    {BuiltinKind::SeqToMs, "seq_to_mset", 1},
+    {BuiltinKind::SeqToSet, "seq_to_set", 1},
+    {BuiltinKind::SeqSum, "sum", 1},
+    {BuiltinKind::SeqMean, "mean", 1},
+    {BuiltinKind::SetEmpty, "set_empty", 0},
+    {BuiltinKind::SetAdd, "set_add", 2},
+    {BuiltinKind::SetUnion, "set_union", 2},
+    {BuiltinKind::SetInter, "set_inter", 2},
+    {BuiltinKind::SetDiff, "set_diff", 2},
+    {BuiltinKind::SetMember, "set_member", 2},
+    {BuiltinKind::SetSize, "set_size", 1},
+    {BuiltinKind::SetToSeq, "set_to_seq", 1},
+    {BuiltinKind::MsEmpty, "mset_empty", 0},
+    {BuiltinKind::MsAdd, "mset_add", 2},
+    {BuiltinKind::MsUnion, "mset_union", 2},
+    {BuiltinKind::MsDiff, "mset_diff", 2},
+    {BuiltinKind::MsCard, "card", 1},
+    {BuiltinKind::MsCount, "mset_count", 2},
+    {BuiltinKind::MsToSeq, "mset_to_seq", 1},
+    {BuiltinKind::MapEmpty, "map_empty", 0},
+    {BuiltinKind::MapPut, "map_put", 3},
+    {BuiltinKind::MapGet, "map_get", 2},
+    {BuiltinKind::MapGetOr, "map_get_or", 3},
+    {BuiltinKind::MapHas, "map_has", 2},
+    {BuiltinKind::MapRemove, "map_remove", 2},
+    {BuiltinKind::MapDom, "dom", 1},
+    {BuiltinKind::MapValues, "map_values", 1},
+    {BuiltinKind::MapSize, "map_size", 1},
+    {BuiltinKind::Ite, "ite", 3},
+    {BuiltinKind::Min, "min", 2},
+    {BuiltinKind::Max, "max", 2},
+    {BuiltinKind::Abs, "abs", 1},
+};
+
+const BuiltinInfo &infoFor(BuiltinKind Kind) {
+  for (const BuiltinInfo &I : BuiltinTable)
+    if (I.Kind == Kind)
+      return I;
+  assert(false && "builtin missing from table");
+  return BuiltinTable[0];
+}
+} // namespace
+
+const char *commcsl::builtinName(BuiltinKind Kind) {
+  return infoFor(Kind).Name;
+}
+
+std::optional<BuiltinKind> commcsl::builtinByName(const std::string &Name) {
+  static const std::unordered_map<std::string, BuiltinKind> ByName = [] {
+    std::unordered_map<std::string, BuiltinKind> M;
+    for (const BuiltinInfo &I : BuiltinTable)
+      M.emplace(I.Name, I.Kind);
+    return M;
+  }();
+  auto It = ByName.find(Name);
+  if (It == ByName.end())
+    return std::nullopt;
+  return It->second;
+}
+
+unsigned commcsl::builtinArity(BuiltinKind Kind) {
+  return infoFor(Kind).Arity;
+}
+
+const char *commcsl::unaryOpName(UnaryOp Op) {
+  switch (Op) {
+  case UnaryOp::Neg:
+    return "-";
+  case UnaryOp::Not:
+    return "!";
+  }
+  return "?";
+}
+
+const char *commcsl::binaryOpName(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Mod:
+    return "%";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "!=";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Ge:
+    return ">=";
+  case BinaryOp::And:
+    return "&&";
+  case BinaryOp::Or:
+    return "||";
+  case BinaryOp::Implies:
+    return "==>";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Factories
+//===----------------------------------------------------------------------===//
+
+ExprRef Expr::intLit(int64_t V, SourceLoc Loc) {
+  auto E = std::make_shared<Expr>(ExprKind::IntLit, Loc);
+  E->IntVal = V;
+  return E;
+}
+
+ExprRef Expr::boolLit(bool V, SourceLoc Loc) {
+  auto E = std::make_shared<Expr>(ExprKind::BoolLit, Loc);
+  E->BoolVal = V;
+  return E;
+}
+
+ExprRef Expr::stringLit(std::string V, SourceLoc Loc) {
+  auto E = std::make_shared<Expr>(ExprKind::StringLit, Loc);
+  E->Name = std::move(V);
+  return E;
+}
+
+ExprRef Expr::unitLit(SourceLoc Loc) {
+  return std::make_shared<Expr>(ExprKind::UnitLit, Loc);
+}
+
+ExprRef Expr::var(std::string Name, SourceLoc Loc) {
+  auto E = std::make_shared<Expr>(ExprKind::Var, Loc);
+  E->Name = std::move(Name);
+  return E;
+}
+
+ExprRef Expr::unary(UnaryOp Op, ExprRef A, SourceLoc Loc) {
+  auto E = std::make_shared<Expr>(ExprKind::Unary, Loc);
+  E->UOp = Op;
+  E->Args = {std::move(A)};
+  return E;
+}
+
+ExprRef Expr::binary(BinaryOp Op, ExprRef A, ExprRef B, SourceLoc Loc) {
+  auto E = std::make_shared<Expr>(ExprKind::Binary, Loc);
+  E->BOp = Op;
+  E->Args = {std::move(A), std::move(B)};
+  return E;
+}
+
+ExprRef Expr::builtin(BuiltinKind Kind, std::vector<ExprRef> Args,
+                      SourceLoc Loc) {
+  assert(Args.size() == builtinArity(Kind) && "builtin arity mismatch");
+  auto E = std::make_shared<Expr>(ExprKind::Builtin, Loc);
+  E->Builtin = Kind;
+  E->Args = std::move(Args);
+  return E;
+}
+
+ExprRef Expr::call(std::string Callee, std::vector<ExprRef> Args,
+                   SourceLoc Loc) {
+  auto E = std::make_shared<Expr>(ExprKind::Call, Loc);
+  E->Name = std::move(Callee);
+  E->Args = std::move(Args);
+  return E;
+}
+
+//===----------------------------------------------------------------------===//
+// Utilities
+//===----------------------------------------------------------------------===//
+
+std::string Expr::str() const {
+  std::ostringstream OS;
+  switch (Kind) {
+  case ExprKind::IntLit:
+    OS << IntVal;
+    break;
+  case ExprKind::BoolLit:
+    OS << (BoolVal ? "true" : "false");
+    break;
+  case ExprKind::StringLit:
+    OS << '"' << Name << '"';
+    break;
+  case ExprKind::UnitLit:
+    OS << "unit";
+    break;
+  case ExprKind::Var:
+    OS << Name;
+    break;
+  case ExprKind::Unary:
+    OS << unaryOpName(UOp) << "(" << Args[0]->str() << ")";
+    break;
+  case ExprKind::Binary:
+    OS << "(" << Args[0]->str() << " " << binaryOpName(BOp) << " "
+       << Args[1]->str() << ")";
+    break;
+  case ExprKind::Builtin:
+  case ExprKind::Call: {
+    OS << (Kind == ExprKind::Builtin ? builtinName(Builtin) : Name.c_str())
+       << "(";
+    for (size_t I = 0; I < Args.size(); ++I)
+      OS << (I ? ", " : "") << Args[I]->str();
+    OS << ")";
+    break;
+  }
+  }
+  return OS.str();
+}
+
+void Expr::freeVars(std::vector<std::string> &Out) const {
+  if (Kind == ExprKind::Var) {
+    if (std::find(Out.begin(), Out.end(), Name) == Out.end())
+      Out.push_back(Name);
+    return;
+  }
+  for (const ExprRef &A : Args)
+    A->freeVars(Out);
+}
+
+ExprRef Expr::clone() const {
+  auto E = std::make_shared<Expr>(Kind, Loc);
+  E->Ty = Ty;
+  E->IntVal = IntVal;
+  E->BoolVal = BoolVal;
+  E->Name = Name;
+  E->UOp = UOp;
+  E->BOp = BOp;
+  E->Builtin = Builtin;
+  E->Args.reserve(Args.size());
+  for (const ExprRef &A : Args)
+    E->Args.push_back(A->clone());
+  return E;
+}
+
+ExprRef Expr::substitute(
+    const std::vector<std::pair<std::string, ExprRef>> &Subst) const {
+  if (Kind == ExprKind::Var) {
+    for (const auto &[Name_, Repl] : Subst)
+      if (Name_ == Name)
+        return Repl->clone();
+    return clone();
+  }
+  auto E = std::make_shared<Expr>(Kind, Loc);
+  E->Ty = Ty;
+  E->IntVal = IntVal;
+  E->BoolVal = BoolVal;
+  E->Name = Name;
+  E->UOp = UOp;
+  E->BOp = BOp;
+  E->Builtin = Builtin;
+  E->Args.reserve(Args.size());
+  for (const ExprRef &A : Args)
+    E->Args.push_back(A->substitute(Subst));
+  return E;
+}

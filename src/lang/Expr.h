@@ -1,0 +1,187 @@
+//===-- lang/Expr.h - Expression AST ----------------------------*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The expression AST of the surface language. Expressions are pure and
+/// total; they are shared between program code, contracts, and resource
+/// specifications (abstraction functions, action bodies, and preconditions
+/// are all expressions, which is what lets us evaluate them both concretely
+/// in the interpreter / validity checker and symbolically in the verifier).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_LANG_EXPR_H
+#define COMMCSL_LANG_EXPR_H
+
+#include "lang/Type.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace commcsl {
+
+class Expr;
+using ExprRef = std::shared_ptr<Expr>;
+
+/// Expression node discriminator.
+enum class ExprKind : uint8_t {
+  IntLit,
+  BoolLit,
+  StringLit,
+  UnitLit,
+  Var,
+  Unary,
+  Binary,
+  Builtin, ///< data-structure / arithmetic builtin, see BuiltinKind
+  Call,    ///< user-defined pure function (non-recursive, inlined)
+};
+
+enum class UnaryOp : uint8_t { Neg, Not };
+
+enum class BinaryOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  And,
+  Or,
+  Implies,
+};
+
+/// Builtin pure operations over the value domain. Each corresponds to a
+/// `vops::` function; `SeqAt`, `MapGet`, `SeqHead`, `SeqLast` are totalized
+/// with the default value of the result type.
+enum class BuiltinKind : uint8_t {
+  PairMk,
+  Fst,
+  Snd,
+  SeqEmpty,
+  SeqAppend,
+  SeqConcat,
+  SeqLen,
+  SeqAt,
+  SeqHead,
+  SeqLast,
+  SeqTail,
+  SeqInit,
+  SeqContains,
+  SeqTake,
+  SeqDrop,
+  SeqSort,
+  SeqToMs,
+  SeqToSet,
+  SeqSum,
+  SeqMean,
+  SetEmpty,
+  SetAdd,
+  SetUnion,
+  SetInter,
+  SetDiff,
+  SetMember,
+  SetSize,
+  SetToSeq,
+  MsEmpty,
+  MsAdd,
+  MsUnion,
+  MsDiff,
+  MsCard,
+  MsCount,
+  MsToSeq,
+  MapEmpty,
+  MapPut,
+  MapGet,
+  MapGetOr,
+  MapHas,
+  MapRemove,
+  MapDom,
+  MapValues,
+  MapSize,
+  Ite,
+  Min,
+  Max,
+  Abs,
+};
+
+/// Returns the surface name of a builtin ("map_put", ...).
+const char *builtinName(BuiltinKind Kind);
+
+/// Resolves a surface name to a builtin, if any.
+std::optional<BuiltinKind> builtinByName(const std::string &Name);
+
+/// Number of arguments the builtin takes.
+unsigned builtinArity(BuiltinKind Kind);
+
+/// An expression node. A single-struct design (kind + payload fields) keeps
+/// the AST compact and allows uniform traversal. The `Ty` annotation is set
+/// by the type checker.
+class Expr {
+public:
+  ExprKind Kind;
+  SourceLoc Loc;
+  TypeRef Ty; ///< Filled in by the type checker.
+
+  // Payloads (validity depends on Kind).
+  int64_t IntVal = 0;
+  bool BoolVal = false;
+  std::string Name;      ///< Var name; Call callee name; StringLit value.
+  UnaryOp UOp = UnaryOp::Neg;
+  BinaryOp BOp = BinaryOp::Add;
+  BuiltinKind Builtin = BuiltinKind::PairMk;
+  std::vector<ExprRef> Args;
+
+  explicit Expr(ExprKind Kind, SourceLoc Loc = SourceLoc())
+      : Kind(Kind), Loc(Loc) {}
+
+  //===--------------------------------------------------------------------===//
+  // Factories
+  //===--------------------------------------------------------------------===//
+
+  static ExprRef intLit(int64_t V, SourceLoc Loc = SourceLoc());
+  static ExprRef boolLit(bool V, SourceLoc Loc = SourceLoc());
+  static ExprRef stringLit(std::string V, SourceLoc Loc = SourceLoc());
+  static ExprRef unitLit(SourceLoc Loc = SourceLoc());
+  static ExprRef var(std::string Name, SourceLoc Loc = SourceLoc());
+  static ExprRef unary(UnaryOp Op, ExprRef A, SourceLoc Loc = SourceLoc());
+  static ExprRef binary(BinaryOp Op, ExprRef A, ExprRef B,
+                        SourceLoc Loc = SourceLoc());
+  static ExprRef builtin(BuiltinKind Kind, std::vector<ExprRef> Args,
+                         SourceLoc Loc = SourceLoc());
+  static ExprRef call(std::string Callee, std::vector<ExprRef> Args,
+                      SourceLoc Loc = SourceLoc());
+
+  /// Renders the expression in surface syntax.
+  std::string str() const;
+
+  /// Collects the free variables of the expression into \p Out.
+  void freeVars(std::vector<std::string> &Out) const;
+
+  /// Structural clone (deep copy). The type annotation is preserved.
+  ExprRef clone() const;
+
+  /// Clone with variables substituted: every Var named by a key of \p Subst
+  /// is replaced by a clone of the mapped expression.
+  ExprRef
+  substitute(const std::vector<std::pair<std::string, ExprRef>> &Subst) const;
+};
+
+/// Surface rendering of operators, used by the printer and diagnostics.
+const char *unaryOpName(UnaryOp Op);
+const char *binaryOpName(BinaryOp Op);
+
+} // namespace commcsl
+
+#endif // COMMCSL_LANG_EXPR_H

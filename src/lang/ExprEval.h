@@ -1,0 +1,60 @@
+//===-- lang/ExprEval.h - Concrete expression evaluation --------*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete evaluation of (type-checked) expressions over the pure value
+/// domain. Evaluation is deterministic and total, matching the expression
+/// semantics assumed by the paper (Sec. 3.1); partial builtins are totalized
+/// with the default value of the annotated result type.
+///
+/// Used by the interpreter, the resource-specification runtime (actions and
+/// abstraction functions are expressions), and the validity checker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_LANG_EXPREVAL_H
+#define COMMCSL_LANG_EXPREVAL_H
+
+#include "lang/Expr.h"
+#include "lang/Program.h"
+#include "value/Value.h"
+
+#include <map>
+#include <string>
+
+namespace commcsl {
+
+/// Variable environment for evaluation.
+using EvalEnv = std::map<std::string, ValueRef>;
+
+/// Evaluates expressions concretely. Holds a (possibly null) program pointer
+/// to resolve user-defined pure function calls, which are evaluated by
+/// binding their parameters (they are non-recursive by construction).
+class ExprEvaluator {
+public:
+  explicit ExprEvaluator(const Program *Prog = nullptr) : Prog(Prog) {}
+
+  /// Evaluates \p E in \p Env. \p E must be type-checked (the `Ty`
+  /// annotations of partial builtins provide totalization defaults).
+  /// Unbound variables evaluate to the default value of their type,
+  /// matching the paper's total expression semantics.
+  ValueRef eval(const Expr &E, const EvalEnv &Env) const;
+
+private:
+  const Program *Prog;
+};
+
+/// Applies a builtin operation to concrete argument values. Partial
+/// builtins (`at`, `head`, `last`, `map_get`) are totalized with the
+/// default value of \p ResultTy (which must be non-null for those).
+/// `Ite` must not be passed here (it short-circuits at a higher level, but
+/// with concrete arguments the caller can simply select).
+ValueRef applyBuiltinOp(BuiltinKind Kind, const std::vector<ValueRef> &Args,
+                        const TypeRef &ResultTy);
+
+} // namespace commcsl
+
+#endif // COMMCSL_LANG_EXPREVAL_H

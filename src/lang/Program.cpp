@@ -1,0 +1,105 @@
+//===-- lang/Program.cpp - Top-level program structure ---------------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Program.h"
+
+#include <sstream>
+
+using namespace commcsl;
+
+std::string ContractAtom::str() const {
+  std::ostringstream OS;
+  switch (AtomKind) {
+  case Kind::Low:
+    if (Cond)
+      OS << Cond->str() << " ==> ";
+    OS << "low(" << E->str() << ")";
+    break;
+  case Kind::Bool:
+    OS << E->str();
+    break;
+  case Kind::SGuard:
+    OS << "sguard(" << Res << "." << Action << ", " << FracNum << "/"
+       << FracDen << ", " << (ArgsEmpty ? "empty" : ArgVar) << ")";
+    break;
+  case Kind::UGuard:
+    OS << "uguard(" << Res << "." << Action << ", "
+       << (ArgsEmpty ? "empty" : ArgVar) << ")";
+    break;
+  case Kind::AllPre:
+    OS << "allpre(" << Res << "." << Action << ", " << ArgVar << ")";
+    break;
+  }
+  return OS.str();
+}
+
+std::string commcsl::contractStr(const Contract &C) {
+  std::ostringstream OS;
+  for (size_t I = 0; I < C.size(); ++I)
+    OS << (I ? " && " : "") << C[I].str();
+  if (C.empty())
+    OS << "true";
+  return OS.str();
+}
+
+namespace {
+void printParams(std::ostringstream &OS, const std::vector<Param> &Params) {
+  for (size_t I = 0; I < Params.size(); ++I)
+    OS << (I ? ", " : "") << Params[I].Name << ": " << Params[I].Ty->str();
+}
+} // namespace
+
+std::string Program::str() const {
+  std::ostringstream OS;
+  for (const FuncDecl &F : Funcs) {
+    OS << "function " << F.Name << "(";
+    printParams(OS, F.Params);
+    OS << "): " << F.RetTy->str() << " = " << F.Body->str() << ";\n\n";
+  }
+  for (const ResourceSpecDecl &S : Specs) {
+    OS << "resource " << S.Name << " {\n";
+    OS << "  state: " << S.StateTy->str() << ";\n";
+    OS << "  alpha(" << S.AlphaParam << ") = " << S.Alpha->str() << ";\n";
+    if (S.Inv)
+      OS << "  inv(" << S.AlphaParam << ") = " << S.Inv->str() << ";\n";
+    for (const ActionDecl &A : S.Actions) {
+      OS << "  " << (A.Unique ? "unique" : "shared") << " action " << A.Name
+         << "(" << A.ArgName << ": " << A.ArgTy->str() << ") {\n";
+      OS << "    apply(" << A.StateName << ", " << A.ArgName
+         << ") = " << A.Apply->str() << ";\n";
+      if (A.Returns)
+        OS << "    returns(" << A.StateName << ", " << A.ArgName
+           << ") = " << A.Returns->str() << ";\n";
+      if (A.Enabled)
+        OS << "    enabled(" << A.StateName << ") = " << A.Enabled->str()
+           << ";\n";
+      if (A.History)
+        OS << "    history(" << A.StateName << ") = " << A.History->str()
+           << ";\n";
+      if (!A.Pre.empty())
+        OS << "    requires " << contractStr(A.Pre) << ";\n";
+      OS << "  }\n";
+    }
+    OS << "}\n\n";
+  }
+  for (const ProcDecl &P : Procs) {
+    OS << "procedure " << P.Name << "(";
+    printParams(OS, P.Params);
+    OS << ")";
+    if (!P.Returns.empty()) {
+      OS << " returns (";
+      printParams(OS, P.Returns);
+      OS << ")";
+    }
+    OS << "\n";
+    if (!P.Requires.empty())
+      OS << "  requires " << contractStr(P.Requires) << ";\n";
+    if (!P.Ensures.empty())
+      OS << "  ensures " << contractStr(P.Ensures) << ";\n";
+    OS << P.Body->str(0) << "\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,164 @@
+//===-- lang/Type.cpp - Surface-language types ----------------------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Type.h"
+
+using namespace commcsl;
+
+TypeRef Type::unit() {
+  static TypeRef T(new Type(TypeKind::Unit));
+  return T;
+}
+
+TypeRef Type::intTy() {
+  static TypeRef T(new Type(TypeKind::Int));
+  return T;
+}
+
+TypeRef Type::boolTy() {
+  static TypeRef T(new Type(TypeKind::Bool));
+  return T;
+}
+
+TypeRef Type::stringTy() {
+  static TypeRef T(new Type(TypeKind::String));
+  return T;
+}
+
+TypeRef Type::pair(TypeRef Fst, TypeRef Snd) {
+  auto *T = new Type(TypeKind::Pair);
+  T->Args = {std::move(Fst), std::move(Snd)};
+  return TypeRef(T);
+}
+
+TypeRef Type::seq(TypeRef Elem) {
+  auto *T = new Type(TypeKind::Seq);
+  T->Args = {std::move(Elem)};
+  return TypeRef(T);
+}
+
+TypeRef Type::set(TypeRef Elem) {
+  auto *T = new Type(TypeKind::Set);
+  T->Args = {std::move(Elem)};
+  return TypeRef(T);
+}
+
+TypeRef Type::multiset(TypeRef Elem) {
+  auto *T = new Type(TypeKind::Multiset);
+  T->Args = {std::move(Elem)};
+  return TypeRef(T);
+}
+
+TypeRef Type::map(TypeRef Key, TypeRef Val) {
+  auto *T = new Type(TypeKind::Map);
+  T->Args = {std::move(Key), std::move(Val)};
+  return TypeRef(T);
+}
+
+TypeRef Type::resource(std::string SpecName) {
+  auto *T = new Type(TypeKind::Resource);
+  T->ResSpec = std::move(SpecName);
+  return TypeRef(T);
+}
+
+bool Type::equal(const TypeRef &A, const TypeRef &B) {
+  if (A.get() == B.get())
+    return true;
+  if (!A || !B || A->Kind != B->Kind)
+    return false;
+  if (A->ResSpec != B->ResSpec)
+    return false;
+  if (A->Args.size() != B->Args.size())
+    return false;
+  for (size_t I = 0; I < A->Args.size(); ++I)
+    if (!equal(A->Args[I], B->Args[I]))
+      return false;
+  return true;
+}
+
+std::string Type::str() const {
+  switch (Kind) {
+  case TypeKind::Unit:
+    return "unit";
+  case TypeKind::Int:
+    return "int";
+  case TypeKind::Bool:
+    return "bool";
+  case TypeKind::String:
+    return "string";
+  case TypeKind::Pair:
+    return "pair<" + Args[0]->str() + ", " + Args[1]->str() + ">";
+  case TypeKind::Seq:
+    return "seq<" + Args[0]->str() + ">";
+  case TypeKind::Set:
+    return "set<" + Args[0]->str() + ">";
+  case TypeKind::Multiset:
+    return "mset<" + Args[0]->str() + ">";
+  case TypeKind::Map:
+    return "map<" + Args[0]->str() + ", " + Args[1]->str() + ">";
+  case TypeKind::Resource:
+    return "resource<" + ResSpec + ">";
+  }
+  return "<invalid>";
+}
+
+ValueRef Type::defaultValue() const {
+  switch (Kind) {
+  case TypeKind::Unit:
+    return ValueFactory::unit();
+  case TypeKind::Int:
+    return ValueFactory::intV(0);
+  case TypeKind::Bool:
+    return ValueFactory::boolV(false);
+  case TypeKind::String:
+    return ValueFactory::stringV("");
+  case TypeKind::Pair:
+    return ValueFactory::pair(Args[0]->defaultValue(), Args[1]->defaultValue());
+  case TypeKind::Seq:
+    return ValueFactory::emptySeq();
+  case TypeKind::Set:
+    return ValueFactory::emptySet();
+  case TypeKind::Multiset:
+    return ValueFactory::emptyMultiset();
+  case TypeKind::Map:
+    return ValueFactory::emptyMap();
+  case TypeKind::Resource:
+    // Resource handles are runtime indices into the resource table; the
+    // default is an invalid handle.
+    return ValueFactory::intV(-1);
+  }
+  return ValueFactory::unit();
+}
+
+DomainRef Type::toDomain(const ScopeParams &Scope) const {
+  switch (Kind) {
+  case TypeKind::Unit:
+    return Domain::unit();
+  case TypeKind::Int:
+    return Domain::intRange(Scope.IntLo, Scope.IntHi);
+  case TypeKind::Bool:
+    return Domain::boolean();
+  case TypeKind::String:
+    // Strings are modeled as a tiny enumerable alphabet via ints; specs in
+    // this codebase use ints for identifiers. Treat as small int domain.
+    return Domain::intRange(0, 2);
+  case TypeKind::Pair:
+    return Domain::pair(Args[0]->toDomain(Scope), Args[1]->toDomain(Scope));
+  case TypeKind::Seq:
+    return Domain::seq(Args[0]->toDomain(Scope), Scope.CollectionBound);
+  case TypeKind::Set:
+    return Domain::set(Args[0]->toDomain(Scope), Scope.CollectionBound);
+  case TypeKind::Multiset:
+    return Domain::multiset(Args[0]->toDomain(Scope), Scope.CollectionBound);
+  case TypeKind::Map:
+    return Domain::map(Args[0]->toDomain(Scope), Args[1]->toDomain(Scope),
+                       Scope.CollectionBound);
+  case TypeKind::Resource:
+    assert(false && "resource handles have no enumeration domain");
+    return Domain::unit();
+  }
+  return Domain::unit();
+}

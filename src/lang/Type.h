@@ -1,0 +1,102 @@
+//===-- lang/Type.h - Surface-language types --------------------*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Types of the surface language. They mirror the pure value domain: `int`,
+/// `bool`, `unit`, `string`, `pair<A,B>`, `seq<T>`, `set<T>`, `mset<T>`, and
+/// `map<K,V>`. Types are immutable and shared.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_LANG_TYPE_H
+#define COMMCSL_LANG_TYPE_H
+
+#include "value/Domain.h"
+#include "value/Value.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace commcsl {
+
+class Type;
+using TypeRef = std::shared_ptr<const Type>;
+
+/// Discriminator for surface-language types.
+enum class TypeKind : uint8_t {
+  Unit,
+  Int,
+  Bool,
+  String,
+  Pair,
+  Seq,
+  Set,
+  Multiset,
+  Map,
+  Resource, ///< handle to a shared resource governed by a named spec
+};
+
+/// An immutable surface-language type.
+class Type {
+public:
+  static TypeRef unit();
+  static TypeRef intTy();
+  static TypeRef boolTy();
+  static TypeRef stringTy();
+  static TypeRef pair(TypeRef Fst, TypeRef Snd);
+  static TypeRef seq(TypeRef Elem);
+  static TypeRef set(TypeRef Elem);
+  static TypeRef multiset(TypeRef Elem);
+  static TypeRef map(TypeRef Key, TypeRef Val);
+  static TypeRef resource(std::string SpecName);
+
+  TypeKind kind() const { return Kind; }
+
+  /// Spec name of a Resource type.
+  const std::string &resourceSpec() const { return ResSpec; }
+
+  bool isInt() const { return Kind == TypeKind::Int; }
+  bool isBool() const { return Kind == TypeKind::Bool; }
+  bool isCollection() const {
+    return Kind == TypeKind::Seq || Kind == TypeKind::Set ||
+           Kind == TypeKind::Multiset || Kind == TypeKind::Map;
+  }
+
+  /// First type argument (pair fst, element of seq/set/mset, key of map).
+  const TypeRef &first() const { return Args[0]; }
+  /// Second type argument (pair snd, value of map).
+  const TypeRef &second() const { return Args[1]; }
+
+  static bool equal(const TypeRef &A, const TypeRef &B);
+
+  /// Renders the type in surface syntax, e.g. `map<int, pair<int, bool>>`.
+  std::string str() const;
+
+  /// The default value of this type, used to totalize partial operations
+  /// (out-of-range indexing, lookup of an absent key).
+  ValueRef defaultValue() const;
+
+  /// Builds a small-scope enumeration domain for this type. Integer ranges
+  /// and collection size bounds come from \p Scope.
+  struct ScopeParams {
+    int64_t IntLo = -2;
+    int64_t IntHi = 2;
+    unsigned CollectionBound = 3;
+  };
+  DomainRef toDomain(const ScopeParams &Scope) const;
+
+private:
+  explicit Type(TypeKind Kind) : Kind(Kind) {}
+
+  TypeKind Kind;
+  std::vector<TypeRef> Args;
+  std::string ResSpec; ///< Resource: governing spec name.
+};
+
+} // namespace commcsl
+
+#endif // COMMCSL_LANG_TYPE_H

@@ -1,0 +1,1036 @@
+//===-- lang/TypeChecker.cpp - Type checking of surface programs -----------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/TypeChecker.h"
+
+#include <set>
+
+using namespace commcsl;
+
+//===----------------------------------------------------------------------===//
+// Scope management
+//===----------------------------------------------------------------------===//
+
+bool TypeChecker::declare(const std::string &Name, TypeRef Ty,
+                          SourceLoc Loc) {
+  assert(!Scopes.empty() && "no active scope");
+  for (const auto &Scope : Scopes) {
+    if (Scope.count(Name)) {
+      error(DiagCode::DuplicateName, Loc,
+            "redeclaration of '" + Name + "' (shadowing is not allowed)");
+      return false;
+    }
+  }
+  Scopes.back().emplace(Name, std::move(Ty));
+  return true;
+}
+
+TypeRef TypeChecker::lookup(const std::string &Name) const {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto Found = It->find(Name);
+    if (Found != It->end())
+      return Found->second;
+  }
+  return nullptr;
+}
+
+bool TypeChecker::expectType(const TypeRef &Actual, const TypeRef &Expected,
+                             SourceLoc Loc, const char *Context) {
+  if (!Actual || !Expected)
+    return false;
+  if (Type::equal(Actual, Expected))
+    return true;
+  error(DiagCode::TypeError, Loc,
+        std::string(Context) + ": expected " + Expected->str() + ", found " +
+            Actual->str());
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Top level
+//===----------------------------------------------------------------------===//
+
+bool TypeChecker::check() {
+  if (!checkTopLevelNames())
+    return false;
+  for (size_t I = 0; I < Prog.Funcs.size(); ++I)
+    checkFunc(Prog.Funcs[I], I);
+  for (ResourceSpecDecl &S : Prog.Specs)
+    checkSpec(S);
+  for (ProcDecl &P : Prog.Procs)
+    checkProc(P);
+  return !Diags.hasErrors();
+}
+
+bool TypeChecker::checkTopLevelNames() {
+  std::set<std::string> Names;
+  auto Check = [&](const std::string &Name, SourceLoc Loc) {
+    if (!Names.insert(Name).second) {
+      error(DiagCode::DuplicateName, Loc,
+            "duplicate top-level name '" + Name + "'");
+      return false;
+    }
+    return true;
+  };
+  bool Ok = true;
+  for (const FuncDecl &F : Prog.Funcs)
+    Ok &= Check(F.Name, F.Loc);
+  for (const ResourceSpecDecl &S : Prog.Specs)
+    Ok &= Check(S.Name, S.Loc);
+  for (const ProcDecl &P : Prog.Procs)
+    Ok &= Check(P.Name, P.Loc);
+  return Ok;
+}
+
+void TypeChecker::checkFunc(FuncDecl &F, size_t Index) {
+  NumCheckedFuncs = Index; // calls may only reference funcs before this one
+  Scopes.clear();
+  pushScope();
+  for (const Param &P : F.Params)
+    declare(P.Name, P.Ty, P.Loc);
+  TypeRef BodyTy = checkExpr(F.Body, F.RetTy);
+  (void)BodyTy;
+  popScope();
+  NumCheckedFuncs = Index + 1;
+}
+
+void TypeChecker::checkSpec(ResourceSpecDecl &S) {
+  NumCheckedFuncs = Prog.Funcs.size();
+  // Alpha.
+  Scopes.clear();
+  pushScope();
+  declare(S.AlphaParam, S.StateTy, S.Loc);
+  checkExpr(S.Alpha, nullptr);
+  if (S.Inv)
+    checkExpr(S.Inv, Type::boolTy());
+  popScope();
+
+  std::set<std::string> ActionNames;
+  for (ActionDecl &A : S.Actions) {
+    if (!ActionNames.insert(A.Name).second)
+      error(DiagCode::DuplicateName, A.Loc,
+            "duplicate action '" + A.Name + "' in resource '" + S.Name + "'");
+    // Apply: f_a(state, arg) must again have the state type (totality on the
+    // resource value, Sec. 3.2 / App. D).
+    pushScope();
+    declare(A.StateName, S.StateTy, A.Loc);
+    declare(A.ArgName, A.ArgTy, A.Loc);
+    checkExpr(A.Apply, S.StateTy);
+    if (A.Returns)
+      checkExpr(A.Returns, nullptr);
+    popScope();
+    // Enabled / History are over the state only.
+    pushScope();
+    declare(A.StateName, S.StateTy, A.Loc);
+    if (A.Enabled)
+      checkExpr(A.Enabled, Type::boolTy());
+    if (A.History) {
+      if (!A.Unique || !A.Returns) {
+        error(DiagCode::SpecIllFormed, A.Loc,
+              "history requires a unique action with a returns clause");
+      } else if (A.Returns->Ty) {
+        checkExpr(A.History, Type::seq(A.Returns->Ty));
+      }
+    }
+    popScope();
+    // Precondition: over the argument only (state-independent, Sec. 3.2).
+    pushScope();
+    declare(A.ArgName, A.ArgTy, A.Loc);
+    checkContract(A.Pre, /*AllowGuards=*/false);
+    popScope();
+  }
+  if (S.Actions.empty())
+    error(DiagCode::SpecIllFormed, S.Loc,
+          "resource '" + S.Name + "' declares no actions");
+}
+
+void TypeChecker::checkProc(ProcDecl &P) {
+  NumCheckedFuncs = Prog.Funcs.size();
+  Scopes.clear();
+  pushScope();
+  for (const Param &Par : P.Params)
+    declare(Par.Name, Par.Ty, Par.Loc);
+
+  // Requires: parameters only.
+  pushScope();
+  checkContract(P.Requires, /*AllowGuards=*/true);
+  popScope();
+
+  for (const Param &Ret : P.Returns)
+    declare(Ret.Name, Ret.Ty, Ret.Loc);
+
+  // Ensures: parameters and returns.
+  pushScope();
+  checkContract(P.Ensures, /*AllowGuards=*/true);
+  popScope();
+
+  checkCommand(P.Body, CmdCtx());
+  popScope();
+}
+
+//===----------------------------------------------------------------------===//
+// Contracts
+//===----------------------------------------------------------------------===//
+
+const ResourceSpecDecl *TypeChecker::resolveResource(const ContractAtom &A) {
+  TypeRef Ty = lookup(A.Res);
+  if (!Ty || Ty->kind() != TypeKind::Resource) {
+    error(DiagCode::UnknownName, A.Loc,
+          "'" + A.Res + "' is not a resource handle in scope");
+    return nullptr;
+  }
+  const ResourceSpecDecl *Spec = Prog.findSpec(Ty->resourceSpec());
+  if (!Spec) {
+    error(DiagCode::UnknownName, A.Loc,
+          "unknown resource specification '" + Ty->resourceSpec() + "'");
+    return nullptr;
+  }
+  return Spec;
+}
+
+void TypeChecker::checkContract(Contract &C, bool AllowGuards) {
+  for (ContractAtom &A : C) {
+    switch (A.AtomKind) {
+    case ContractAtom::Kind::Low:
+      if (A.Cond)
+        checkExpr(A.Cond, Type::boolTy());
+      checkExpr(A.E, nullptr);
+      break;
+    case ContractAtom::Kind::Bool:
+      checkExpr(A.E, Type::boolTy());
+      break;
+    case ContractAtom::Kind::SGuard:
+    case ContractAtom::Kind::UGuard: {
+      if (!AllowGuards) {
+        error(DiagCode::SpecIllFormed, A.Loc,
+              "guard assertions are not allowed in action preconditions");
+        break;
+      }
+      const ResourceSpecDecl *Spec = resolveResource(A);
+      if (!Spec)
+        break;
+      const ActionDecl *Act = Spec->findAction(A.Action);
+      if (!Act) {
+        error(DiagCode::UnknownName, A.Loc,
+              "resource '" + Spec->Name + "' has no action '" + A.Action +
+                  "'");
+        break;
+      }
+      bool WantUnique = A.AtomKind == ContractAtom::Kind::UGuard;
+      if (Act->Unique != WantUnique) {
+        error(DiagCode::TypeError, A.Loc,
+              std::string(WantUnique ? "uguard" : "sguard") + " used with " +
+                  (Act->Unique ? "unique" : "shared") + " action '" +
+                  A.Action + "'");
+        break;
+      }
+      if (A.AtomKind == ContractAtom::Kind::SGuard &&
+          (A.FracNum <= 0 || A.FracDen <= 0 || A.FracNum > A.FracDen)) {
+        error(DiagCode::TypeError, A.Loc,
+              "guard fraction must be in (0, 1]");
+        break;
+      }
+      if (!A.ArgsEmpty && !A.ArgVar.empty()) {
+        TypeRef ArgsTy = WantUnique ? Type::seq(Act->ArgTy)
+                                    : Type::multiset(Act->ArgTy);
+        declare(A.ArgVar, ArgsTy, A.Loc);
+      }
+      break;
+    }
+    case ContractAtom::Kind::AllPre: {
+      if (!AllowGuards) {
+        error(DiagCode::SpecIllFormed, A.Loc,
+              "allpre is not allowed in action preconditions");
+        break;
+      }
+      const ResourceSpecDecl *Spec = resolveResource(A);
+      if (!Spec)
+        break;
+      const ActionDecl *Act = Spec->findAction(A.Action);
+      if (!Act) {
+        error(DiagCode::UnknownName, A.Loc,
+              "resource '" + Spec->Name + "' has no action '" + A.Action +
+                  "'");
+        break;
+      }
+      TypeRef BoundTy = lookup(A.ArgVar);
+      if (!BoundTy) {
+        error(DiagCode::UnknownName, A.Loc,
+              "allpre argument '" + A.ArgVar +
+                  "' is not bound by a guard atom");
+        break;
+      }
+      TypeRef WantTy = Act->Unique ? Type::seq(Act->ArgTy)
+                                   : Type::multiset(Act->ArgTy);
+      expectType(BoundTy, WantTy, A.Loc, "allpre argument");
+      break;
+    }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Commands
+//===----------------------------------------------------------------------===//
+
+void TypeChecker::checkCommand(const CommandRef &C, CmdCtx Ctx) {
+  switch (C->Kind) {
+  case CmdKind::Skip:
+    break;
+  case CmdKind::VarDecl: {
+    if (!C->Exprs.empty())
+      checkExpr(C->Exprs[0], C->DeclTy);
+    declare(C->Var, C->DeclTy, C->Loc);
+    break;
+  }
+  case CmdKind::Assign: {
+    TypeRef Ty = lookup(C->Var);
+    if (!Ty) {
+      error(DiagCode::UnknownName, C->Loc,
+            "assignment to undeclared variable '" + C->Var + "'");
+      break;
+    }
+    if (Ty->kind() == TypeKind::Resource) {
+      // Handles are not first-class: re-binding them would alias resources
+      // behind the verifier's guard accounting.
+      error(DiagCode::TypeError, C->Loc,
+            "resource handles cannot be reassigned");
+      break;
+    }
+    checkExpr(C->Exprs[0], Ty);
+    break;
+  }
+  case CmdKind::HeapRead: {
+    TypeRef Ty = lookup(C->Var);
+    if (!Ty) {
+      error(DiagCode::UnknownName, C->Loc,
+            "undeclared variable '" + C->Var + "'");
+      break;
+    }
+    expectType(Ty, Type::intTy(), C->Loc, "heap read target");
+    checkExpr(C->Exprs[0], Type::intTy());
+    break;
+  }
+  case CmdKind::HeapWrite:
+    checkExpr(C->Exprs[0], Type::intTy());
+    checkExpr(C->Exprs[1], Type::intTy());
+    break;
+  case CmdKind::Alloc: {
+    TypeRef Ty = lookup(C->Var);
+    if (!Ty) {
+      error(DiagCode::UnknownName, C->Loc,
+            "undeclared variable '" + C->Var + "'");
+      break;
+    }
+    expectType(Ty, Type::intTy(), C->Loc, "alloc target");
+    checkExpr(C->Exprs[0], Type::intTy());
+    break;
+  }
+  case CmdKind::Block: {
+    pushScope();
+    for (const CommandRef &Child : C->Children)
+      checkCommand(Child, Ctx);
+    popScope();
+    break;
+  }
+  case CmdKind::If: {
+    checkExpr(C->Exprs[0], Type::boolTy());
+    checkCommand(C->Children[0], Ctx);
+    checkCommand(C->Children[1], Ctx);
+    break;
+  }
+  case CmdKind::While: {
+    checkExpr(C->Exprs[0], Type::boolTy());
+    for (Contract &Inv : C->Invariants) {
+      pushScope();
+      checkContract(Inv, /*AllowGuards=*/true);
+      popScope();
+    }
+    checkCommand(C->Children[0], Ctx);
+    break;
+  }
+  case CmdKind::Par: {
+    if (Ctx.InAtomic)
+      error(DiagCode::TypeError, C->Loc, "par inside atomic block");
+    for (const CommandRef &Child : C->Children)
+      checkCommand(Child, Ctx);
+    break;
+  }
+  case CmdKind::CallProc: {
+    if (Ctx.InAtomic) {
+      error(DiagCode::TypeError, C->Loc,
+            "procedure call inside atomic block");
+      break;
+    }
+    const ProcDecl *Callee = Prog.findProc(C->Aux);
+    if (!Callee) {
+      error(DiagCode::UnknownName, C->Loc,
+            "call to unknown procedure '" + C->Aux + "'");
+      break;
+    }
+    if (Callee->Params.size() != C->Exprs.size()) {
+      error(DiagCode::TypeError, C->Loc,
+            "call to '" + C->Aux + "': expected " +
+                std::to_string(Callee->Params.size()) + " arguments, found " +
+                std::to_string(C->Exprs.size()));
+      break;
+    }
+    for (size_t I = 0; I < C->Exprs.size(); ++I)
+      checkExpr(C->Exprs[I], Callee->Params[I].Ty);
+    if (Callee->Returns.size() != C->Rets.size()) {
+      error(DiagCode::TypeError, C->Loc,
+            "call to '" + C->Aux + "': expected " +
+                std::to_string(Callee->Returns.size()) +
+                " result targets, found " + std::to_string(C->Rets.size()));
+      break;
+    }
+    std::set<std::string> Seen;
+    for (size_t I = 0; I < C->Rets.size(); ++I) {
+      if (!Seen.insert(C->Rets[I]).second)
+        error(DiagCode::TypeError, C->Loc,
+              "duplicate call result target '" + C->Rets[I] + "'");
+      TypeRef Ty = lookup(C->Rets[I]);
+      if (!Ty) {
+        error(DiagCode::UnknownName, C->Loc,
+              "undeclared call result target '" + C->Rets[I] + "'");
+        continue;
+      }
+      expectType(Ty, Callee->Returns[I].Ty, C->Loc, "call result");
+    }
+    break;
+  }
+  case CmdKind::Share: {
+    if (Ctx.InAtomic) {
+      error(DiagCode::TypeError, C->Loc, "share inside atomic block");
+      break;
+    }
+    const ResourceSpecDecl *Spec = Prog.findSpec(C->Aux);
+    if (!Spec) {
+      error(DiagCode::UnknownName, C->Loc,
+            "share of unknown resource specification '" + C->Aux + "'");
+      break;
+    }
+    checkExpr(C->Exprs[0], Spec->StateTy);
+    declare(C->Var, Type::resource(Spec->Name), C->Loc);
+    break;
+  }
+  case CmdKind::Unshare: {
+    if (Ctx.InAtomic) {
+      error(DiagCode::TypeError, C->Loc, "unshare inside atomic block");
+      break;
+    }
+    TypeRef ResTy = lookup(C->Aux);
+    if (!ResTy || ResTy->kind() != TypeKind::Resource) {
+      error(DiagCode::UnknownName, C->Loc,
+            "'" + C->Aux + "' is not a resource handle in scope");
+      break;
+    }
+    const ResourceSpecDecl *Spec = Prog.findSpec(ResTy->resourceSpec());
+    assert(Spec && "resource type with unknown spec");
+    TypeRef TargetTy = lookup(C->Var);
+    if (!TargetTy) {
+      error(DiagCode::UnknownName, C->Loc,
+            "undeclared unshare target '" + C->Var + "'");
+      break;
+    }
+    expectType(TargetTy, Spec->StateTy, C->Loc, "unshare target");
+    break;
+  }
+  case CmdKind::Atomic: {
+    if (Ctx.InAtomic) {
+      error(DiagCode::TypeError, C->Loc, "nested atomic block");
+      break;
+    }
+    TypeRef ResTy = lookup(C->Aux);
+    if (!ResTy || ResTy->kind() != TypeKind::Resource) {
+      error(DiagCode::UnknownName, C->Loc,
+            "'" + C->Aux + "' is not a resource handle in scope");
+      break;
+    }
+    if (!C->Var.empty()) {
+      const ResourceSpecDecl *Spec = Prog.findSpec(ResTy->resourceSpec());
+      assert(Spec && "resource type with unknown spec");
+      const ActionDecl *Act = Spec->findAction(C->Var);
+      if (!Act)
+        error(DiagCode::UnknownName, C->Loc,
+              "atomic-when names unknown action '" + C->Var + "'");
+    }
+    CmdCtx Inner = Ctx;
+    Inner.InAtomic = true;
+    Inner.AtomicRes = C->Aux;
+    checkCommand(C->Children[0], Inner);
+    break;
+  }
+  case CmdKind::Perform: {
+    if (!Ctx.InAtomic || Ctx.AtomicRes != C->Aux) {
+      error(DiagCode::TypeError, C->Loc,
+            "perform outside an atomic block for resource '" + C->Aux + "'");
+      break;
+    }
+    TypeRef ResTy = lookup(C->Aux);
+    if (!ResTy || ResTy->kind() != TypeKind::Resource)
+      break; // already diagnosed at the atomic
+    const ResourceSpecDecl *Spec = Prog.findSpec(ResTy->resourceSpec());
+    assert(Spec && "resource type with unknown spec");
+    const ActionDecl *Act = Spec->findAction(C->Rets[0]);
+    if (!Act) {
+      error(DiagCode::UnknownName, C->Loc,
+            "resource '" + Spec->Name + "' has no action '" + C->Rets[0] +
+                "'");
+      break;
+    }
+    checkExpr(C->Exprs[0], Act->ArgTy);
+    if (!C->Var.empty()) {
+      if (!Act->Returns) {
+        error(DiagCode::TypeError, C->Loc,
+              "action '" + Act->Name + "' has no returns clause");
+        break;
+      }
+      TypeRef TargetTy = lookup(C->Var);
+      if (!TargetTy) {
+        error(DiagCode::UnknownName, C->Loc,
+              "undeclared perform result target '" + C->Var + "'");
+        break;
+      }
+      expectType(TargetTy, Act->Returns->Ty, C->Loc, "perform result");
+    }
+    break;
+  }
+  case CmdKind::ResVal: {
+    if (!Ctx.InAtomic || Ctx.AtomicRes != C->Aux) {
+      error(DiagCode::TypeError, C->Loc,
+            "resval outside an atomic block for resource '" + C->Aux + "'");
+      break;
+    }
+    TypeRef ResTy = lookup(C->Aux);
+    if (!ResTy || ResTy->kind() != TypeKind::Resource)
+      break;
+    const ResourceSpecDecl *Spec = Prog.findSpec(ResTy->resourceSpec());
+    assert(Spec && "resource type with unknown spec");
+    TypeRef TargetTy = lookup(C->Var);
+    if (!TargetTy) {
+      error(DiagCode::UnknownName, C->Loc,
+            "undeclared resval target '" + C->Var + "'");
+      break;
+    }
+    expectType(TargetTy, Spec->StateTy, C->Loc, "resval target");
+    break;
+  }
+  case CmdKind::AssertGhost: {
+    pushScope();
+    checkContract(C->Asserted, /*AllowGuards=*/true);
+    popScope();
+    break;
+  }
+  case CmdKind::Output:
+    checkExpr(C->Exprs[0], nullptr);
+    break;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+TypeRef TypeChecker::checkExpr(const ExprRef &E, const TypeRef &Expected) {
+  TypeRef Result;
+  switch (E->Kind) {
+  case ExprKind::IntLit:
+    Result = Type::intTy();
+    break;
+  case ExprKind::BoolLit:
+    Result = Type::boolTy();
+    break;
+  case ExprKind::StringLit:
+    Result = Type::stringTy();
+    break;
+  case ExprKind::UnitLit:
+    Result = Type::unit();
+    break;
+  case ExprKind::Var: {
+    Result = lookup(E->Name);
+    if (!Result) {
+      error(DiagCode::UnknownName, E->Loc,
+            "use of undeclared variable '" + E->Name + "'");
+      return nullptr;
+    }
+    break;
+  }
+  case ExprKind::Unary: {
+    if (E->UOp == UnaryOp::Neg) {
+      if (!checkExpr(E->Args[0], Type::intTy()))
+        return nullptr;
+      Result = Type::intTy();
+    } else {
+      if (!checkExpr(E->Args[0], Type::boolTy()))
+        return nullptr;
+      Result = Type::boolTy();
+    }
+    break;
+  }
+  case ExprKind::Binary: {
+    switch (E->BOp) {
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+    case BinaryOp::Mul:
+    case BinaryOp::Div:
+    case BinaryOp::Mod:
+      if (!checkExpr(E->Args[0], Type::intTy()) ||
+          !checkExpr(E->Args[1], Type::intTy()))
+        return nullptr;
+      Result = Type::intTy();
+      break;
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge:
+      if (!checkExpr(E->Args[0], Type::intTy()) ||
+          !checkExpr(E->Args[1], Type::intTy()))
+        return nullptr;
+      Result = Type::boolTy();
+      break;
+    case BinaryOp::Eq:
+    case BinaryOp::Ne: {
+      TypeRef L = checkExpr(E->Args[0], nullptr);
+      if (!L)
+        return nullptr;
+      if (!checkExpr(E->Args[1], L))
+        return nullptr;
+      Result = Type::boolTy();
+      break;
+    }
+    case BinaryOp::And:
+    case BinaryOp::Or:
+    case BinaryOp::Implies:
+      if (!checkExpr(E->Args[0], Type::boolTy()) ||
+          !checkExpr(E->Args[1], Type::boolTy()))
+        return nullptr;
+      Result = Type::boolTy();
+      break;
+    }
+    break;
+  }
+  case ExprKind::Builtin:
+    Result = checkBuiltin(E, Expected);
+    if (!Result)
+      return nullptr;
+    break;
+  case ExprKind::Call: {
+    const FuncDecl *F = Prog.findFunc(E->Name);
+    if (!F) {
+      error(DiagCode::UnknownName, E->Loc,
+            "call to unknown function '" + E->Name + "'");
+      return nullptr;
+    }
+    // Enforce non-recursion: only previously checked functions callable.
+    size_t Index = static_cast<size_t>(F - Prog.Funcs.data());
+    if (Index >= NumCheckedFuncs) {
+      error(DiagCode::TypeError, E->Loc,
+            "function '" + E->Name +
+                "' must be declared before use (functions are "
+                "non-recursive)");
+      return nullptr;
+    }
+    if (F->Params.size() != E->Args.size()) {
+      error(DiagCode::TypeError, E->Loc,
+            "call to '" + E->Name + "': expected " +
+                std::to_string(F->Params.size()) + " arguments, found " +
+                std::to_string(E->Args.size()));
+      return nullptr;
+    }
+    for (size_t I = 0; I < E->Args.size(); ++I)
+      if (!checkExpr(E->Args[I], F->Params[I].Ty))
+        return nullptr;
+    Result = F->RetTy;
+    break;
+  }
+  }
+
+  if (!Result)
+    return nullptr;
+  if (Expected && !expectType(Result, Expected, E->Loc, "expression"))
+    return nullptr;
+  E->Ty = Result;
+  return Result;
+}
+
+TypeRef TypeChecker::checkBuiltin(const ExprRef &E, const TypeRef &Expected) {
+  auto Fail = [&](const std::string &Msg) -> TypeRef {
+    error(DiagCode::TypeError, E->Loc, Msg);
+    return nullptr;
+  };
+  auto ArgTy = [&](size_t I, const TypeRef &Exp) -> TypeRef {
+    return checkExpr(E->Args[I], Exp);
+  };
+
+  switch (E->Builtin) {
+  case BuiltinKind::PairMk: {
+    TypeRef FstExp, SndExp;
+    if (Expected && Expected->kind() == TypeKind::Pair) {
+      FstExp = Expected->first();
+      SndExp = Expected->second();
+    }
+    TypeRef F = ArgTy(0, FstExp);
+    TypeRef S = ArgTy(1, SndExp);
+    if (!F || !S)
+      return nullptr;
+    return Type::pair(F, S);
+  }
+  case BuiltinKind::Fst: {
+    TypeRef P = ArgTy(0, nullptr);
+    if (!P)
+      return nullptr;
+    if (P->kind() != TypeKind::Pair)
+      return Fail("fst: argument must be a pair, found " + P->str());
+    return P->first();
+  }
+  case BuiltinKind::Snd: {
+    TypeRef P = ArgTy(0, nullptr);
+    if (!P)
+      return nullptr;
+    if (P->kind() != TypeKind::Pair)
+      return Fail("snd: argument must be a pair, found " + P->str());
+    return P->second();
+  }
+  case BuiltinKind::SeqEmpty:
+    if (!Expected || Expected->kind() != TypeKind::Seq)
+      return Fail("seq_empty() needs an expected seq<...> type from context");
+    return Expected;
+  case BuiltinKind::SetEmpty:
+    if (!Expected || Expected->kind() != TypeKind::Set)
+      return Fail("set_empty() needs an expected set<...> type from context");
+    return Expected;
+  case BuiltinKind::MsEmpty:
+    if (!Expected || Expected->kind() != TypeKind::Multiset)
+      return Fail(
+          "mset_empty() needs an expected mset<...> type from context");
+    return Expected;
+  case BuiltinKind::MapEmpty:
+    if (!Expected || Expected->kind() != TypeKind::Map)
+      return Fail("map_empty() needs an expected map<...> type from context");
+    return Expected;
+  case BuiltinKind::SeqAppend: {
+    TypeRef S = ArgTy(0, Expected && Expected->kind() == TypeKind::Seq
+                             ? Expected
+                             : nullptr);
+    if (!S)
+      return nullptr;
+    if (S->kind() != TypeKind::Seq)
+      return Fail("append: first argument must be a seq, found " + S->str());
+    if (!ArgTy(1, S->first()))
+      return nullptr;
+    return S;
+  }
+  case BuiltinKind::SeqConcat: {
+    TypeRef A = ArgTy(0, Expected && Expected->kind() == TypeKind::Seq
+                             ? Expected
+                             : nullptr);
+    if (!A)
+      return nullptr;
+    if (A->kind() != TypeKind::Seq)
+      return Fail("concat: arguments must be seqs, found " + A->str());
+    if (!ArgTy(1, A))
+      return nullptr;
+    return A;
+  }
+  case BuiltinKind::SeqLen: {
+    TypeRef S = ArgTy(0, nullptr);
+    if (!S)
+      return nullptr;
+    if (S->kind() != TypeKind::Seq)
+      return Fail("len: argument must be a seq, found " + S->str());
+    return Type::intTy();
+  }
+  case BuiltinKind::SeqAt: {
+    TypeRef S = ArgTy(0, nullptr);
+    if (!S)
+      return nullptr;
+    if (S->kind() != TypeKind::Seq)
+      return Fail("at: first argument must be a seq, found " + S->str());
+    if (!ArgTy(1, Type::intTy()))
+      return nullptr;
+    return S->first();
+  }
+  case BuiltinKind::SeqHead:
+  case BuiltinKind::SeqLast: {
+    TypeRef S = ArgTy(0, nullptr);
+    if (!S)
+      return nullptr;
+    if (S->kind() != TypeKind::Seq)
+      return Fail("head/last: argument must be a seq, found " + S->str());
+    return S->first();
+  }
+  case BuiltinKind::SeqTake:
+  case BuiltinKind::SeqDrop: {
+    TypeRef S = ArgTy(0, Expected && Expected->kind() == TypeKind::Seq
+                             ? Expected
+                             : nullptr);
+    if (!S)
+      return nullptr;
+    if (S->kind() != TypeKind::Seq)
+      return Fail("take/drop: first argument must be a seq, found " +
+                  S->str());
+    if (!ArgTy(1, Type::intTy()))
+      return nullptr;
+    return S;
+  }
+  case BuiltinKind::SeqTail:
+  case BuiltinKind::SeqInit:
+  case BuiltinKind::SeqSort: {
+    TypeRef S = ArgTy(0, Expected && Expected->kind() == TypeKind::Seq
+                             ? Expected
+                             : nullptr);
+    if (!S)
+      return nullptr;
+    if (S->kind() != TypeKind::Seq)
+      return Fail("tail/init/sort: argument must be a seq, found " +
+                  S->str());
+    return S;
+  }
+  case BuiltinKind::SeqContains: {
+    TypeRef S = ArgTy(0, nullptr);
+    if (!S)
+      return nullptr;
+    if (S->kind() != TypeKind::Seq)
+      return Fail("seq_contains: first argument must be a seq, found " +
+                  S->str());
+    if (!ArgTy(1, S->first()))
+      return nullptr;
+    return Type::boolTy();
+  }
+  case BuiltinKind::SeqToMs: {
+    TypeRef S = ArgTy(0, nullptr);
+    if (!S)
+      return nullptr;
+    if (S->kind() != TypeKind::Seq)
+      return Fail("seq_to_mset: argument must be a seq, found " + S->str());
+    return Type::multiset(S->first());
+  }
+  case BuiltinKind::SeqToSet: {
+    TypeRef S = ArgTy(0, nullptr);
+    if (!S)
+      return nullptr;
+    if (S->kind() != TypeKind::Seq)
+      return Fail("seq_to_set: argument must be a seq, found " + S->str());
+    return Type::set(S->first());
+  }
+  case BuiltinKind::SeqSum:
+  case BuiltinKind::SeqMean: {
+    if (!ArgTy(0, Type::seq(Type::intTy())))
+      return nullptr;
+    return Type::intTy();
+  }
+  case BuiltinKind::SetAdd: {
+    TypeRef S = ArgTy(0, Expected && Expected->kind() == TypeKind::Set
+                             ? Expected
+                             : nullptr);
+    if (!S)
+      return nullptr;
+    if (S->kind() != TypeKind::Set)
+      return Fail("set_add: first argument must be a set, found " + S->str());
+    if (!ArgTy(1, S->first()))
+      return nullptr;
+    return S;
+  }
+  case BuiltinKind::SetUnion:
+  case BuiltinKind::SetInter:
+  case BuiltinKind::SetDiff: {
+    TypeRef A = ArgTy(0, Expected && Expected->kind() == TypeKind::Set
+                             ? Expected
+                             : nullptr);
+    if (!A)
+      return nullptr;
+    if (A->kind() != TypeKind::Set)
+      return Fail("set operation: arguments must be sets, found " + A->str());
+    if (!ArgTy(1, A))
+      return nullptr;
+    return A;
+  }
+  case BuiltinKind::SetMember: {
+    TypeRef S = ArgTy(0, nullptr);
+    if (!S)
+      return nullptr;
+    if (S->kind() != TypeKind::Set)
+      return Fail("set_member: first argument must be a set, found " +
+                  S->str());
+    if (!ArgTy(1, S->first()))
+      return nullptr;
+    return Type::boolTy();
+  }
+  case BuiltinKind::SetSize: {
+    TypeRef S = ArgTy(0, nullptr);
+    if (!S)
+      return nullptr;
+    if (S->kind() != TypeKind::Set)
+      return Fail("set_size: argument must be a set, found " + S->str());
+    return Type::intTy();
+  }
+  case BuiltinKind::SetToSeq: {
+    TypeRef S = ArgTy(0, nullptr);
+    if (!S)
+      return nullptr;
+    if (S->kind() != TypeKind::Set)
+      return Fail("set_to_seq: argument must be a set, found " + S->str());
+    return Type::seq(S->first());
+  }
+  case BuiltinKind::MsAdd: {
+    TypeRef M = ArgTy(0, Expected && Expected->kind() == TypeKind::Multiset
+                             ? Expected
+                             : nullptr);
+    if (!M)
+      return nullptr;
+    if (M->kind() != TypeKind::Multiset)
+      return Fail("mset_add: first argument must be a mset, found " +
+                  M->str());
+    if (!ArgTy(1, M->first()))
+      return nullptr;
+    return M;
+  }
+  case BuiltinKind::MsUnion:
+  case BuiltinKind::MsDiff: {
+    TypeRef A = ArgTy(0, Expected && Expected->kind() == TypeKind::Multiset
+                             ? Expected
+                             : nullptr);
+    if (!A)
+      return nullptr;
+    if (A->kind() != TypeKind::Multiset)
+      return Fail("mset operation: arguments must be msets, found " +
+                  A->str());
+    if (!ArgTy(1, A))
+      return nullptr;
+    return A;
+  }
+  case BuiltinKind::MsCard: {
+    TypeRef M = ArgTy(0, nullptr);
+    if (!M)
+      return nullptr;
+    if (M->kind() != TypeKind::Multiset)
+      return Fail("card: argument must be a mset, found " + M->str());
+    return Type::intTy();
+  }
+  case BuiltinKind::MsCount: {
+    TypeRef M = ArgTy(0, nullptr);
+    if (!M)
+      return nullptr;
+    if (M->kind() != TypeKind::Multiset)
+      return Fail("mset_count: first argument must be a mset, found " +
+                  M->str());
+    if (!ArgTy(1, M->first()))
+      return nullptr;
+    return Type::intTy();
+  }
+  case BuiltinKind::MsToSeq: {
+    TypeRef M = ArgTy(0, nullptr);
+    if (!M)
+      return nullptr;
+    if (M->kind() != TypeKind::Multiset)
+      return Fail("mset_to_seq: argument must be a mset, found " + M->str());
+    return Type::seq(M->first());
+  }
+  case BuiltinKind::MapPut: {
+    TypeRef M = ArgTy(0, Expected && Expected->kind() == TypeKind::Map
+                             ? Expected
+                             : nullptr);
+    if (!M)
+      return nullptr;
+    if (M->kind() != TypeKind::Map)
+      return Fail("map_put: first argument must be a map, found " + M->str());
+    if (!ArgTy(1, M->first()) || !ArgTy(2, M->second()))
+      return nullptr;
+    return M;
+  }
+  case BuiltinKind::MapGet: {
+    TypeRef M = ArgTy(0, nullptr);
+    if (!M)
+      return nullptr;
+    if (M->kind() != TypeKind::Map)
+      return Fail("map_get: first argument must be a map, found " + M->str());
+    if (!ArgTy(1, M->first()))
+      return nullptr;
+    return M->second();
+  }
+  case BuiltinKind::MapGetOr: {
+    TypeRef M = ArgTy(0, nullptr);
+    if (!M)
+      return nullptr;
+    if (M->kind() != TypeKind::Map)
+      return Fail("map_get_or: first argument must be a map, found " +
+                  M->str());
+    if (!ArgTy(1, M->first()) || !ArgTy(2, M->second()))
+      return nullptr;
+    return M->second();
+  }
+  case BuiltinKind::MapHas: {
+    TypeRef M = ArgTy(0, nullptr);
+    if (!M)
+      return nullptr;
+    if (M->kind() != TypeKind::Map)
+      return Fail("map_has: first argument must be a map, found " + M->str());
+    if (!ArgTy(1, M->first()))
+      return nullptr;
+    return Type::boolTy();
+  }
+  case BuiltinKind::MapRemove: {
+    TypeRef M = ArgTy(0, Expected && Expected->kind() == TypeKind::Map
+                             ? Expected
+                             : nullptr);
+    if (!M)
+      return nullptr;
+    if (M->kind() != TypeKind::Map)
+      return Fail("map_remove: first argument must be a map, found " +
+                  M->str());
+    if (!ArgTy(1, M->first()))
+      return nullptr;
+    return M;
+  }
+  case BuiltinKind::MapDom: {
+    TypeRef M = ArgTy(0, nullptr);
+    if (!M)
+      return nullptr;
+    if (M->kind() != TypeKind::Map)
+      return Fail("dom: argument must be a map, found " + M->str());
+    return Type::set(M->first());
+  }
+  case BuiltinKind::MapValues: {
+    TypeRef M = ArgTy(0, nullptr);
+    if (!M)
+      return nullptr;
+    if (M->kind() != TypeKind::Map)
+      return Fail("map_values: argument must be a map, found " + M->str());
+    return Type::multiset(M->second());
+  }
+  case BuiltinKind::MapSize: {
+    TypeRef M = ArgTy(0, nullptr);
+    if (!M)
+      return nullptr;
+    if (M->kind() != TypeKind::Map)
+      return Fail("map_size: argument must be a map, found " + M->str());
+    return Type::intTy();
+  }
+  case BuiltinKind::Ite: {
+    if (!ArgTy(0, Type::boolTy()))
+      return nullptr;
+    TypeRef T = ArgTy(1, Expected);
+    if (!T)
+      return nullptr;
+    if (!ArgTy(2, T))
+      return nullptr;
+    return T;
+  }
+  case BuiltinKind::Min:
+  case BuiltinKind::Max: {
+    if (!ArgTy(0, Type::intTy()) || !ArgTy(1, Type::intTy()))
+      return nullptr;
+    return Type::intTy();
+  }
+  case BuiltinKind::Abs: {
+    if (!ArgTy(0, Type::intTy()))
+      return nullptr;
+    return Type::intTy();
+  }
+  }
+  return nullptr;
+}

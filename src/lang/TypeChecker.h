@@ -1,0 +1,90 @@
+//===-- lang/TypeChecker.h - Type checking of surface programs --*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Type checker for surface programs. Annotates every expression with its
+/// type (`Expr::Ty`), resolves names, enforces the structural rules the
+/// verifier relies on (parameters are immutable, `perform`/`resval` appear
+/// only inside `atomic` blocks of the matching resource, contracts bind
+/// spec variables before use), and totalizes partial builtins by recording
+/// result types.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_LANG_TYPECHECKER_H
+#define COMMCSL_LANG_TYPECHECKER_H
+
+#include "lang/Program.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace commcsl {
+
+/// Checks a parsed program. On success, every expression in the program is
+/// annotated with its type. Errors are reported to the diagnostic engine.
+class TypeChecker {
+public:
+  TypeChecker(Program &Prog, DiagnosticEngine &Diags)
+      : Prog(Prog), Diags(Diags) {}
+
+  /// Runs all checks; returns true when no errors were reported.
+  bool check();
+
+private:
+  // Scope management ------------------------------------------------------
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+  bool declare(const std::string &Name, TypeRef Ty, SourceLoc Loc);
+  TypeRef lookup(const std::string &Name) const;
+
+  // Declaration checking --------------------------------------------------
+  bool checkTopLevelNames();
+  void checkFunc(FuncDecl &F, size_t Index);
+  void checkSpec(ResourceSpecDecl &S);
+  void checkProc(ProcDecl &P);
+
+  // Expression checking ---------------------------------------------------
+  /// Infers/checks the type of \p E. \p Expected may be null (pure
+  /// inference). Returns the resulting type or null on error.
+  TypeRef checkExpr(const ExprRef &E, const TypeRef &Expected);
+  TypeRef checkBuiltin(const ExprRef &E, const TypeRef &Expected);
+
+  // Contract checking -----------------------------------------------------
+  /// Checks a contract's atoms. Guard atoms bind their spec variables for
+  /// the remainder of the contract. \p AllowGuards gates guard/allpre atoms
+  /// (action preconditions only allow Low/Bool).
+  void checkContract(Contract &C, bool AllowGuards);
+
+  /// Resolves a contract atom's resource variable to its spec; null + error
+  /// if it is not a resource-typed variable in scope.
+  const ResourceSpecDecl *resolveResource(const ContractAtom &A);
+
+  // Command checking ------------------------------------------------------
+  struct CmdCtx {
+    bool InAtomic = false;
+    std::string AtomicRes;
+  };
+  void checkCommand(const CommandRef &C, CmdCtx Ctx);
+
+  // Helpers ----------------------------------------------------------------
+  void error(DiagCode Code, SourceLoc Loc, const std::string &Msg) {
+    Diags.error(Code, Loc, Msg);
+  }
+  bool expectType(const TypeRef &Actual, const TypeRef &Expected,
+                  SourceLoc Loc, const char *Context);
+
+  Program &Prog;
+  DiagnosticEngine &Diags;
+  std::vector<std::map<std::string, TypeRef>> Scopes;
+  size_t NumCheckedFuncs = 0; ///< for enforcing non-recursive functions
+};
+
+} // namespace commcsl
+
+#endif // COMMCSL_LANG_TYPECHECKER_H

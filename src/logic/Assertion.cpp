@@ -1,0 +1,329 @@
+//===-- logic/Assertion.cpp - Relational assertions (Fig. 7) ---------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/Assertion.h"
+
+#include "value/ValueOps.h"
+
+#include <set>
+
+using namespace commcsl;
+
+//===----------------------------------------------------------------------===//
+// Factories
+//===----------------------------------------------------------------------===//
+
+AsrtRef Asrt::emp() { return AsrtRef(new Asrt(Kind::Emp)); }
+
+AsrtRef Asrt::boolE(ExprRef B) {
+  auto *A = new Asrt(Kind::BoolE);
+  A->E1 = std::move(B);
+  return AsrtRef(A);
+}
+
+AsrtRef Asrt::pointsTo(ExprRef Loc, Frac Perm, ExprRef Val) {
+  auto *A = new Asrt(Kind::PointsTo);
+  A->E1 = std::move(Loc);
+  A->E2 = std::move(Val);
+  A->Perm = Perm;
+  return AsrtRef(A);
+}
+
+AsrtRef Asrt::star(AsrtRef P, AsrtRef Q) {
+  auto *A = new Asrt(Kind::Star);
+  A->Sub = {std::move(P), std::move(Q)};
+  return AsrtRef(A);
+}
+
+AsrtRef Asrt::exists(std::string Var, TypeRef Ty, AsrtRef P) {
+  auto *A = new Asrt(Kind::Exists);
+  A->Name = std::move(Var);
+  A->BinderTy = std::move(Ty);
+  A->Sub = {std::move(P)};
+  return AsrtRef(A);
+}
+
+AsrtRef Asrt::sguard(Frac Perm, ExprRef ArgsMultiset) {
+  auto *A = new Asrt(Kind::SGuard);
+  A->Perm = Perm;
+  A->E1 = std::move(ArgsMultiset);
+  return AsrtRef(A);
+}
+
+AsrtRef Asrt::uguard(std::string Action, ExprRef ArgsSeq) {
+  auto *A = new Asrt(Kind::UGuard);
+  A->Name = std::move(Action);
+  A->E1 = std::move(ArgsSeq);
+  return AsrtRef(A);
+}
+
+AsrtRef Asrt::imp(ExprRef Cond, AsrtRef P) {
+  auto *A = new Asrt(Kind::Imp);
+  A->E1 = std::move(Cond);
+  A->Sub = {std::move(P)};
+  return AsrtRef(A);
+}
+
+AsrtRef Asrt::low(ExprRef E) {
+  auto *A = new Asrt(Kind::Low);
+  A->E1 = std::move(E);
+  return AsrtRef(A);
+}
+
+bool Asrt::isUnary() const {
+  if (K == Kind::Low)
+    return false;
+  for (const AsrtRef &S : Sub)
+    if (!S->isUnary())
+      return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Satisfaction (consuming style)
+//===----------------------------------------------------------------------===//
+
+bool AssertionChecker::satisfies(const LogicState &S1, const LogicState &S2,
+                                 const Asrt &P) const {
+  EvalEnv St1 = S1.Store, St2 = S2.Store;
+  ExtendedHeap H1 = S1.Heap, H2 = S2.Heap;
+  if (!consume(St1, H1, St2, H2, P))
+    return false;
+  // Fig. 7 describes states exactly: nothing may remain.
+  return H1.PH.Cells.empty() && H2.PH.Cells.empty() && H1.noGuards() &&
+         H2.noGuards();
+}
+
+bool AssertionChecker::consume(EvalEnv &St1, ExtendedHeap &H1, EvalEnv &St2,
+                               ExtendedHeap &H2, const Asrt &P) const {
+  switch (P.K) {
+  case Asrt::Kind::Emp:
+    return true;
+  case Asrt::Kind::BoolE:
+    return Eval.eval(*P.E1, St1)->getBool() &&
+           Eval.eval(*P.E1, St2)->getBool();
+  case Asrt::Kind::Low:
+    return Value::equal(Eval.eval(*P.E1, St1), Eval.eval(*P.E1, St2));
+  case Asrt::Kind::PointsTo: {
+    auto Sides = {std::pair<EvalEnv *, ExtendedHeap *>{&St1, &H1},
+                  std::pair<EvalEnv *, ExtendedHeap *>{&St2, &H2}};
+    for (auto [StP, HP] : Sides) {
+      EvalEnv &St = *StP;
+      ExtendedHeap &H = *HP;
+      int64_t Loc = Eval.eval(*P.E1, St)->getInt();
+      int64_t Val = Eval.eval(*P.E2, St)->getInt();
+      auto It = H.PH.Cells.find(Loc);
+      if (It == H.PH.Cells.end() || It->second.second != Val ||
+          It->second.first < P.Perm)
+        return false;
+      Frac Left = It->second.first - P.Perm;
+      if (Left.isZero())
+        H.PH.Cells.erase(It);
+      else
+        It->second.first = Left;
+    }
+    return true;
+  }
+  case Asrt::Kind::Star:
+    return consume(St1, H1, St2, H2, *P.Sub[0]) &&
+           consume(St1, H1, St2, H2, *P.Sub[1]);
+  case Asrt::Kind::Exists: {
+    // Independent witnesses per state (Fig. 7).
+    DomainRef Dom = P.BinderTy->toDomain(Scope);
+    std::vector<ValueRef> Witnesses = Dom->enumerate(64);
+    for (const ValueRef &V1 : Witnesses) {
+      for (const ValueRef &V2 : Witnesses) {
+        EvalEnv T1 = St1, T2 = St2;
+        ExtendedHeap G1 = H1, G2 = H2;
+        T1[P.Name] = V1;
+        T2[P.Name] = V2;
+        if (consume(T1, G1, T2, G2, *P.Sub[0])) {
+          St1 = std::move(T1);
+          St2 = std::move(T2);
+          H1 = std::move(G1);
+          H2 = std::move(G2);
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+  case Asrt::Kind::SGuard: {
+    auto Sides = {std::pair<EvalEnv *, ExtendedHeap *>{&St1, &H1},
+                  std::pair<EvalEnv *, ExtendedHeap *>{&St2, &H2}};
+    for (auto [StP, HP] : Sides) {
+      EvalEnv &St = *StP;
+      ExtendedHeap &H = *HP;
+      if (H.GS.Bottom || H.GS.Amount < P.Perm)
+        return false;
+      ValueRef Want = Eval.eval(*P.E1, St);
+      // The claimed multiset must be contained in the recorded one.
+      ValueRef Missing = vops::msDiff(Want, H.GS.Args);
+      if (!Missing->elems().empty())
+        return false;
+      Frac Left = H.GS.Amount - P.Perm;
+      ValueRef Rest = vops::msDiff(H.GS.Args, Want);
+      if (Left.isZero() && Rest->elems().empty())
+        H.GS = SharedGuardState::bottom();
+      else if (Left.isZero())
+        return false; // leftover arguments without a fraction to carry them
+      else
+        H.GS = SharedGuardState::make(Left, Rest);
+    }
+    return true;
+  }
+  case Asrt::Kind::UGuard: {
+    auto Sides = {std::pair<EvalEnv *, ExtendedHeap *>{&St1, &H1},
+                  std::pair<EvalEnv *, ExtendedHeap *>{&St2, &H2}};
+    for (auto [StP, HP] : Sides) {
+      EvalEnv &St = *StP;
+      ExtendedHeap &H = *HP;
+      auto It = H.GU.find(P.Name);
+      if (It == H.GU.end() || It->second.Bottom)
+        return false;
+      if (!Value::equal(It->second.Args, Eval.eval(*P.E1, St)))
+        return false;
+      It->second = UniqueGuardState::bottom();
+    }
+    return true;
+  }
+  case Asrt::Kind::Imp: {
+    ValueRef C1 = Eval.eval(*P.E1, St1);
+    ValueRef C2 = Eval.eval(*P.E1, St2);
+    if (!Value::equal(C1, C2))
+      return false; // the condition must be low (Fig. 7)
+    if (!C1->getBool())
+      return true;
+    return consume(St1, H1, St2, H2, *P.Sub[0]);
+  }
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// PRE (Def. 3.2)
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Backtracking search for a perfect pre-respecting matching.
+bool matchBijection(const RSpecRuntime &Runtime, const ActionDecl &Action,
+                    const std::vector<ValueRef> &A,
+                    std::vector<ValueRef> &B, size_t Index) {
+  if (Index == A.size())
+    return true;
+  for (size_t J = Index; J < B.size(); ++J) {
+    if (!Runtime.preHolds(Action, A[Index], B[J]))
+      continue;
+    std::swap(B[Index], B[J]);
+    if (matchBijection(Runtime, Action, A, B, Index + 1))
+      return true;
+    std::swap(B[Index], B[J]);
+  }
+  return false;
+}
+} // namespace
+
+bool commcsl::preBijectionShared(const RSpecRuntime &Runtime,
+                                 const ActionDecl &Action,
+                                 const ValueRef &Args1,
+                                 const ValueRef &Args2) {
+  assert(Args1->kind() == ValueKind::Multiset &&
+         Args2->kind() == ValueKind::Multiset && "PRE_s over multisets");
+  if (Args1->elems().size() != Args2->elems().size())
+    return false;
+  std::vector<ValueRef> A = Args1->elems();
+  std::vector<ValueRef> B = Args2->elems();
+  return matchBijection(Runtime, Action, A, B, 0);
+}
+
+bool commcsl::preUnique(const RSpecRuntime &Runtime, const ActionDecl &Action,
+                        const ValueRef &Args1, const ValueRef &Args2) {
+  assert(Args1->kind() == ValueKind::Seq &&
+         Args2->kind() == ValueKind::Seq && "PRE_i over sequences");
+  if (Args1->elems().size() != Args2->elems().size())
+    return false; // Low(|e|)
+  for (size_t I = 0; I < Args1->elems().size(); ++I)
+    if (!Runtime.preHolds(Action, Args1->elems()[I], Args2->elems()[I]))
+      return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Consistency (Sec. 3.5)
+//===----------------------------------------------------------------------===//
+
+namespace {
+struct ConsistencySearch {
+  const RSpecRuntime &Runtime;
+  const ValueRef &Final;
+  // Remaining arguments: for unique actions a queue (front first); for the
+  // shared action(s) an unordered pool.
+  std::vector<std::pair<const ActionDecl *, std::vector<ValueRef>>> Remaining;
+  std::set<std::string> Visited;
+
+  bool search(const ValueRef &V) {
+    bool AllEmpty = true;
+    for (const auto &[Action, Args] : Remaining)
+      AllEmpty &= Args.empty();
+    if (AllEmpty)
+      return Value::equal(V, Final);
+
+    // Memoize on (value, remaining footprint).
+    std::string Key = V->str();
+    for (const auto &[Action, Args] : Remaining) {
+      Key += "|" + Action->Name + ":";
+      for (const ValueRef &A : Args)
+        Key += A->str() + ",";
+    }
+    if (!Visited.insert(Key).second)
+      return false;
+
+    for (auto &[Action, Args] : Remaining) {
+      if (Args.empty())
+        continue;
+      if (Action->Unique) {
+        // Order fixed: only the front may fire.
+        ValueRef Arg = Args.front();
+        Args.erase(Args.begin());
+        bool Found = search(Runtime.applyAction(*Action, V, Arg));
+        Args.insert(Args.begin(), Arg);
+        if (Found)
+          return true;
+        continue;
+      }
+      // Shared: any remaining argument may fire; skip duplicates.
+      std::set<std::string> Tried;
+      for (size_t I = 0; I < Args.size(); ++I) {
+        ValueRef Arg = Args[I];
+        if (!Tried.insert(Arg->str()).second)
+          continue;
+        Args.erase(Args.begin() + I);
+        bool Found = search(Runtime.applyAction(*Action, V, Arg));
+        Args.insert(Args.begin() + I, Arg);
+        if (Found)
+          return true;
+      }
+    }
+    return false;
+  }
+};
+} // namespace
+
+bool commcsl::consistentWith(
+    const RSpecRuntime &Runtime, const ValueRef &Initial,
+    const std::map<std::string, ValueRef> &ArgsByAction,
+    const ValueRef &Final) {
+  ConsistencySearch Search{Runtime, Final, {}, {}};
+  for (const auto &[Name, Args] : ArgsByAction) {
+    const ActionDecl *Action = Runtime.decl().findAction(Name);
+    assert(Action && "unknown action in consistency query");
+    assert(((Action->Unique && Args->kind() == ValueKind::Seq) ||
+            (!Action->Unique && Args->kind() == ValueKind::Multiset)) &&
+           "argument collection kind mismatch");
+    Search.Remaining.emplace_back(Action, Args->elems());
+  }
+  return Search.search(Initial);
+}

@@ -1,0 +1,129 @@
+//===-- logic/Assertion.h - Relational assertions (Fig. 7) ------*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executable model of the CommCSL assertion language (Sec. 3.4): emp,
+/// boolean expressions, fractional points-to, separating conjunction,
+/// conjunction, existentials, guard assertions, implication, and Low(e).
+/// Satisfaction is defined over *pairs* of (store, extended heap) states,
+/// exactly as in Fig. 7; existentials may pick different witnesses in the
+/// two states (which is how `exists x. e |-> x` expresses that e may point
+/// to a high value).
+///
+/// Satisfaction is implemented in a consuming style, which is complete for
+/// the precise fragment the logic restricts assertions to (App. B.3).
+///
+/// The module also provides Def. 3.2's `PRE` predicates — the bijection
+/// matching for shared actions and the pointwise check for unique actions
+/// — and the consistency relation of Sec. 3.5 (the resource value is a
+/// possible result of applying the recorded actions in some interleaving).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_LOGIC_ASSERTION_H
+#define COMMCSL_LOGIC_ASSERTION_H
+
+#include "lang/ExprEval.h"
+#include "logic/ExtendedHeap.h"
+#include "rspec/RSpec.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace commcsl {
+
+class Asrt;
+using AsrtRef = std::shared_ptr<const Asrt>;
+
+/// A relational assertion.
+class Asrt {
+public:
+  enum class Kind : uint8_t {
+    Emp,      ///< empty permission heap
+    BoolE,    ///< b (holds in both states)
+    PointsTo, ///< e1 |->r e2
+    Star,     ///< P * Q
+    Exists,   ///< exists x. P (independent witnesses per state)
+    SGuard,   ///< sguard(r, e)
+    UGuard,   ///< uguard_i(e)
+    Imp,      ///< b ==> P (b must be low)
+    Low,      ///< Low(e)
+  };
+
+  Kind K;
+  ExprRef E1, E2; ///< payload expressions
+  Frac Perm;      ///< PointsTo / SGuard fraction
+  std::string Name; ///< Exists binder; UGuard action index
+  TypeRef BinderTy; ///< Exists binder type (bounded enumeration)
+  std::vector<AsrtRef> Sub;
+
+  static AsrtRef emp();
+  static AsrtRef boolE(ExprRef B);
+  static AsrtRef pointsTo(ExprRef Loc, Frac Perm, ExprRef Val);
+  static AsrtRef star(AsrtRef P, AsrtRef Q);
+  static AsrtRef exists(std::string Var, TypeRef Ty, AsrtRef P);
+  static AsrtRef sguard(Frac Perm, ExprRef ArgsMultiset);
+  static AsrtRef uguard(std::string Action, ExprRef ArgsSeq);
+  static AsrtRef imp(ExprRef Cond, AsrtRef P);
+  static AsrtRef low(ExprRef E);
+
+  /// Syntactic unarity (Sec. 3.4): an assertion with no Low sub-assertions
+  /// is unary.
+  bool isUnary() const;
+
+private:
+  explicit Asrt(Kind K) : K(K) {}
+};
+
+/// One side of the relational pair.
+struct LogicState {
+  EvalEnv Store;
+  ExtendedHeap Heap;
+};
+
+/// Checks Fig. 7 satisfaction for the precise fragment.
+class AssertionChecker {
+public:
+  AssertionChecker(const Program *Prog,
+                   Type::ScopeParams Scope = Type::ScopeParams())
+      : Eval(Prog), Scope(Scope) {}
+
+  /// (s1, gh1), (s2, gh2) |= P. The heaps must be exactly described (no
+  /// leftover permissions or guards).
+  bool satisfies(const LogicState &S1, const LogicState &S2,
+                 const Asrt &P) const;
+
+private:
+  bool consume(EvalEnv &St1, ExtendedHeap &H1, EvalEnv &St2,
+               ExtendedHeap &H2, const Asrt &P) const;
+
+  ExprEvaluator Eval;
+  Type::ScopeParams Scope;
+};
+
+/// Def. 3.2 (shared): a bijection between the two argument multisets such
+/// that every matched pair satisfies the action's relational precondition.
+bool preBijectionShared(const RSpecRuntime &Runtime, const ActionDecl &Action,
+                        const ValueRef &Args1, const ValueRef &Args2);
+
+/// Def. 3.2 (unique): equal length and pointwise relational precondition.
+bool preUnique(const RSpecRuntime &Runtime, const ActionDecl &Action,
+               const ValueRef &Args1, const ValueRef &Args2);
+
+/// Sec. 3.5 consistency: \p Final is reachable from \p Initial by applying
+/// every recorded argument exactly once, in *some* interleaving that keeps
+/// each unique action's arguments in order (shared arguments may be
+/// permuted). Bounded exhaustive search with memoization.
+bool consistentWith(
+    const RSpecRuntime &Runtime, const ValueRef &Initial,
+    const std::map<std::string, ValueRef> &ArgsByAction, // ms or seq
+    const ValueRef &Final);
+
+} // namespace commcsl
+
+#endif // COMMCSL_LOGIC_ASSERTION_H

@@ -1,0 +1,112 @@
+//===-- logic/ExtendedHeap.cpp - Extended heaps (Sec. 3.3) -----------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/ExtendedHeap.h"
+
+#include "value/ValueOps.h"
+
+using namespace commcsl;
+
+std::optional<PermHeap> PermHeap::add(const PermHeap &A, const PermHeap &B) {
+  PermHeap Out = A;
+  for (const auto &[Loc, Entry] : B.Cells) {
+    auto It = Out.Cells.find(Loc);
+    if (It == Out.Cells.end()) {
+      Out.Cells.emplace(Loc, Entry);
+      continue;
+    }
+    // Eq. (6): amounts add to at most 1 and the values must agree.
+    if (It->second.second != Entry.second)
+      return std::nullopt;
+    Frac Sum = It->second.first + Entry.first;
+    if (Frac::one() < Sum)
+      return std::nullopt;
+    It->second.first = Sum;
+  }
+  return Out;
+}
+
+std::map<int64_t, int64_t> PermHeap::normalize() const {
+  std::map<int64_t, int64_t> H;
+  for (const auto &[Loc, Entry] : Cells)
+    H.emplace(Loc, Entry.second);
+  return H;
+}
+
+std::optional<SharedGuardState>
+SharedGuardState::add(const SharedGuardState &A, const SharedGuardState &B) {
+  if (A.Bottom)
+    return B;
+  if (B.Bottom)
+    return A;
+  Frac Sum = A.Amount + B.Amount;
+  if (Frac::one() < Sum)
+    return std::nullopt;
+  return SharedGuardState::make(Sum, vops::msUnion(A.Args, B.Args));
+}
+
+bool SharedGuardState::operator==(const SharedGuardState &O) const {
+  if (Bottom != O.Bottom)
+    return false;
+  if (Bottom)
+    return true;
+  return Amount == O.Amount && Value::equal(Args, O.Args);
+}
+
+std::optional<UniqueGuardState>
+UniqueGuardState::add(const UniqueGuardState &A, const UniqueGuardState &B) {
+  if (A.Bottom)
+    return B;
+  if (B.Bottom)
+    return A;
+  return std::nullopt; // Eq. (3): unique guards cannot be split.
+}
+
+bool UniqueGuardState::operator==(const UniqueGuardState &O) const {
+  if (Bottom != O.Bottom)
+    return false;
+  if (Bottom)
+    return true;
+  return Value::equal(Args, O.Args);
+}
+
+std::optional<ExtendedHeap> ExtendedHeap::add(const ExtendedHeap &A,
+                                              const ExtendedHeap &B) {
+  ExtendedHeap Out;
+  std::optional<PermHeap> PH = PermHeap::add(A.PH, B.PH);
+  if (!PH)
+    return std::nullopt;
+  Out.PH = std::move(*PH);
+  std::optional<SharedGuardState> GS = SharedGuardState::add(A.GS, B.GS);
+  if (!GS)
+    return std::nullopt;
+  Out.GS = std::move(*GS);
+  // Pointwise family addition.
+  Out.GU = A.GU;
+  for (const auto &[Name, G] : B.GU) {
+    auto It = Out.GU.find(Name);
+    if (It == Out.GU.end()) {
+      Out.GU.emplace(Name, G);
+      continue;
+    }
+    std::optional<UniqueGuardState> Sum = UniqueGuardState::add(It->second, G);
+    if (!Sum)
+      return std::nullopt;
+    It->second = std::move(*Sum);
+  }
+  return Out;
+}
+
+bool ExtendedHeap::noGuards() const {
+  if (!GS.Bottom)
+    return false;
+  for (const auto &[Name, G] : GU) {
+    (void)Name;
+    if (!G.Bottom)
+      return false;
+  }
+  return true;
+}

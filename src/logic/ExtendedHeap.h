@@ -1,0 +1,112 @@
+//===-- logic/ExtendedHeap.h - Extended heaps (Sec. 3.3) --------*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executable model of the paper's extended heaps (Sec. 3.3, App. B.1): a
+/// permission heap with fractional ownership, a shared-action guard state
+/// (fraction + multiset of recorded arguments), and a family of unique-
+/// action guard states (bottom or a sequence of recorded arguments). The
+/// partial addition operator implements equations (3)-(6); `normalize`
+/// erases permissions to recover an ordinary heap.
+///
+/// This model is what the logic-level unit tests exercise: guard-state
+/// addition is a partial commutative monoid, unique guards cannot be
+/// split, and fractional sums cannot exceed 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_LOGIC_EXTENDEDHEAP_H
+#define COMMCSL_LOGIC_EXTENDEDHEAP_H
+
+#include "support/Frac.h"
+#include "value/Value.h"
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace commcsl {
+
+/// A permission heap: location -> (amount, value). Amounts lie in (0, 1].
+struct PermHeap {
+  std::map<int64_t, std::pair<Frac, int64_t>> Cells;
+
+  /// Partial addition (App. B.1, Eq. (5)/(6)): amounts add up to at most 1
+  /// and values must agree on overlaps.
+  static std::optional<PermHeap> add(const PermHeap &A, const PermHeap &B);
+
+  bool hasFullPermission(int64_t Loc) const {
+    auto It = Cells.find(Loc);
+    return It != Cells.end() && It->second.first.isOne();
+  }
+
+  /// The ordinary heap underneath (drops amounts).
+  std::map<int64_t, int64_t> normalize() const;
+};
+
+/// Shared-action guard state: bottom, or a fraction with the multiset of
+/// arguments recorded so far.
+struct SharedGuardState {
+  bool Bottom = true;
+  Frac Amount;
+  ValueRef Args; ///< multiset value
+
+  static SharedGuardState bottom() { return {}; }
+  static SharedGuardState make(Frac F, ValueRef Multiset) {
+    SharedGuardState G;
+    G.Bottom = false;
+    G.Amount = F;
+    G.Args = std::move(Multiset);
+    return G;
+  }
+
+  /// Partial addition (Eq. (4)): fractions add (at most 1), argument
+  /// multisets take their union.
+  static std::optional<SharedGuardState> add(const SharedGuardState &A,
+                                             const SharedGuardState &B);
+
+  bool operator==(const SharedGuardState &O) const;
+};
+
+/// Unique-action guard state: bottom or the full argument sequence.
+struct UniqueGuardState {
+  bool Bottom = true;
+  ValueRef Args; ///< sequence value
+
+  static UniqueGuardState bottom() { return {}; }
+  static UniqueGuardState make(ValueRef Seq) {
+    UniqueGuardState G;
+    G.Bottom = false;
+    G.Args = std::move(Seq);
+    return G;
+  }
+
+  /// Partial addition (Eq. (3)): at most one summand may be non-bottom —
+  /// unique guards cannot be split.
+  static std::optional<UniqueGuardState> add(const UniqueGuardState &A,
+                                             const UniqueGuardState &B);
+
+  bool operator==(const UniqueGuardState &O) const;
+};
+
+/// An extended heap: permission heap + shared guard + unique guard family
+/// (indexed by action name).
+struct ExtendedHeap {
+  PermHeap PH;
+  SharedGuardState GS;
+  std::map<std::string, UniqueGuardState> GU;
+
+  /// Pointwise partial addition of all components.
+  static std::optional<ExtendedHeap> add(const ExtendedHeap &A,
+                                         const ExtendedHeap &B);
+
+  /// All guard states bottom (the `noguard` side condition, App. B.4).
+  bool noGuards() const;
+};
+
+} // namespace commcsl
+
+#endif // COMMCSL_LOGIC_EXTENDEDHEAP_H

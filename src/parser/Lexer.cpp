@@ -1,0 +1,413 @@
+//===-- parser/Lexer.cpp - Lexer for the surface language ------------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace commcsl;
+
+const char *commcsl::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of file";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::StringLiteral:
+    return "string literal";
+  case TokenKind::KwFunction:
+    return "'function'";
+  case TokenKind::KwResource:
+    return "'resource'";
+  case TokenKind::KwProcedure:
+    return "'procedure'";
+  case TokenKind::KwReturns:
+    return "'returns'";
+  case TokenKind::KwRequires:
+    return "'requires'";
+  case TokenKind::KwEnsures:
+    return "'ensures'";
+  case TokenKind::KwInvariant:
+    return "'invariant'";
+  case TokenKind::KwState:
+    return "'state'";
+  case TokenKind::KwAlpha:
+    return "'alpha'";
+  case TokenKind::KwAction:
+    return "'action'";
+  case TokenKind::KwShared:
+    return "'shared'";
+  case TokenKind::KwUnique:
+    return "'unique'";
+  case TokenKind::KwApply:
+    return "'apply'";
+  case TokenKind::KwScope:
+    return "'scope'";
+  case TokenKind::KwVar:
+    return "'var'";
+  case TokenKind::KwSkip:
+    return "'skip'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwPar:
+    return "'par'";
+  case TokenKind::KwAnd:
+    return "'and'";
+  case TokenKind::KwShare:
+    return "'share'";
+  case TokenKind::KwUnshare:
+    return "'unshare'";
+  case TokenKind::KwAtomic:
+    return "'atomic'";
+  case TokenKind::KwPerform:
+    return "'perform'";
+  case TokenKind::KwResVal:
+    return "'resval'";
+  case TokenKind::KwAssert:
+    return "'assert'";
+  case TokenKind::KwCall:
+    return "'call'";
+  case TokenKind::KwOutput:
+    return "'output'";
+  case TokenKind::KwLow:
+    return "'low'";
+  case TokenKind::KwSGuard:
+    return "'sguard'";
+  case TokenKind::KwUGuard:
+    return "'uguard'";
+  case TokenKind::KwAllPre:
+    return "'allpre'";
+  case TokenKind::KwEmpty:
+    return "'empty'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::KwUnit:
+    return "'unit'";
+  case TokenKind::KwAlloc:
+    return "'alloc'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwBool:
+    return "'bool'";
+  case TokenKind::KwString:
+    return "'string'";
+  case TokenKind::KwPair:
+    return "'pair'";
+  case TokenKind::KwSeq:
+    return "'seq'";
+  case TokenKind::KwSet:
+    return "'set'";
+  case TokenKind::KwMset:
+    return "'mset'";
+  case TokenKind::KwMap:
+    return "'map'";
+  case TokenKind::KwResourceTy:
+    return "'resource'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::DotDot:
+    return "'..'";
+  case TokenKind::Assign:
+    return "':='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::Arrow:
+    return "'==>'";
+  }
+  return "<token>";
+}
+
+namespace {
+const std::unordered_map<std::string, TokenKind> &keywordTable() {
+  static const std::unordered_map<std::string, TokenKind> Table = {
+      {"function", TokenKind::KwFunction},
+      {"resource", TokenKind::KwResourceTy},
+      {"procedure", TokenKind::KwProcedure},
+      {"returns", TokenKind::KwReturns},
+      {"requires", TokenKind::KwRequires},
+      {"ensures", TokenKind::KwEnsures},
+      {"invariant", TokenKind::KwInvariant},
+      {"state", TokenKind::KwState},
+      {"alpha", TokenKind::KwAlpha},
+      {"action", TokenKind::KwAction},
+      {"shared", TokenKind::KwShared},
+      {"unique", TokenKind::KwUnique},
+      {"apply", TokenKind::KwApply},
+      {"scope", TokenKind::KwScope},
+      {"var", TokenKind::KwVar},
+      {"skip", TokenKind::KwSkip},
+      {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile},
+      {"par", TokenKind::KwPar},
+      {"and", TokenKind::KwAnd},
+      {"share", TokenKind::KwShare},
+      {"unshare", TokenKind::KwUnshare},
+      {"atomic", TokenKind::KwAtomic},
+      {"perform", TokenKind::KwPerform},
+      {"resval", TokenKind::KwResVal},
+      {"assert", TokenKind::KwAssert},
+      {"call", TokenKind::KwCall},
+      {"output", TokenKind::KwOutput},
+      {"low", TokenKind::KwLow},
+      {"sguard", TokenKind::KwSGuard},
+      {"uguard", TokenKind::KwUGuard},
+      {"allpre", TokenKind::KwAllPre},
+      {"empty", TokenKind::KwEmpty},
+      {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},
+      {"unit", TokenKind::KwUnit},
+      {"alloc", TokenKind::KwAlloc},
+      {"int", TokenKind::KwInt},
+      {"bool", TokenKind::KwBool},
+      {"string", TokenKind::KwString},
+      {"pair", TokenKind::KwPair},
+      {"seq", TokenKind::KwSeq},
+      {"set", TokenKind::KwSet},
+      {"mset", TokenKind::KwMset},
+      {"map", TokenKind::KwMap},
+  };
+  return Table;
+}
+} // namespace
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+bool Lexer::match(char C) {
+  if (peek() != C)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (Pos < Source.size()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Source.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = loc();
+      advance();
+      advance();
+      bool Closed = false;
+      while (Pos < Source.size()) {
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          Closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!Closed)
+        Diags.error(DiagCode::LexError, Start, "unterminated block comment");
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, SourceLoc Loc) const {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = Loc;
+  return T;
+}
+
+Token Lexer::lexToken() {
+  skipWhitespaceAndComments();
+  SourceLoc Start = loc();
+  if (Pos >= Source.size())
+    return makeToken(TokenKind::Eof, Start);
+
+  char C = advance();
+
+  // Identifiers / keywords.
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    std::string Text(1, C);
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      Text += advance();
+    auto It = keywordTable().find(Text);
+    if (It != keywordTable().end())
+      return makeToken(It->second, Start);
+    Token T = makeToken(TokenKind::Identifier, Start);
+    T.Text = std::move(Text);
+    return T;
+  }
+
+  // Integer literals.
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    int64_t V = C - '0';
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      V = V * 10 + (advance() - '0');
+    Token T = makeToken(TokenKind::IntLiteral, Start);
+    T.IntVal = V;
+    return T;
+  }
+
+  // String literals.
+  if (C == '"') {
+    std::string Text;
+    while (Pos < Source.size() && peek() != '"') {
+      char D = advance();
+      if (D == '\\' && Pos < Source.size())
+        D = advance();
+      Text += D;
+    }
+    if (Pos >= Source.size()) {
+      Diags.error(DiagCode::LexError, Start, "unterminated string literal");
+      return makeToken(TokenKind::Eof, Start);
+    }
+    advance(); // closing quote
+    Token T = makeToken(TokenKind::StringLiteral, Start);
+    T.Text = std::move(Text);
+    return T;
+  }
+
+  switch (C) {
+  case '(':
+    return makeToken(TokenKind::LParen, Start);
+  case ')':
+    return makeToken(TokenKind::RParen, Start);
+  case '{':
+    return makeToken(TokenKind::LBrace, Start);
+  case '}':
+    return makeToken(TokenKind::RBrace, Start);
+  case '[':
+    return makeToken(TokenKind::LBracket, Start);
+  case ']':
+    return makeToken(TokenKind::RBracket, Start);
+  case ',':
+    return makeToken(TokenKind::Comma, Start);
+  case ';':
+    return makeToken(TokenKind::Semi, Start);
+  case ':':
+    return makeToken(match('=') ? TokenKind::Assign : TokenKind::Colon,
+                     Start);
+  case '.':
+    return makeToken(match('.') ? TokenKind::DotDot : TokenKind::Dot, Start);
+  case '+':
+    return makeToken(TokenKind::Plus, Start);
+  case '-':
+    return makeToken(TokenKind::Minus, Start);
+  case '*':
+    return makeToken(TokenKind::Star, Start);
+  case '/':
+    return makeToken(TokenKind::Slash, Start);
+  case '%':
+    return makeToken(TokenKind::Percent, Start);
+  case '=':
+    if (match('=')) {
+      if (match('>'))
+        return makeToken(TokenKind::Arrow, Start);
+      return makeToken(TokenKind::EqEq, Start);
+    }
+    // A single '=' is used in definitional positions (alpha(v) = e).
+    return makeToken(TokenKind::EqEq, Start);
+  case '!':
+    return makeToken(match('=') ? TokenKind::NotEq : TokenKind::Bang, Start);
+  case '<':
+    return makeToken(match('=') ? TokenKind::LessEq : TokenKind::Less, Start);
+  case '>':
+    return makeToken(match('=') ? TokenKind::GreaterEq : TokenKind::Greater,
+                     Start);
+  case '&':
+    if (match('&'))
+      return makeToken(TokenKind::AmpAmp, Start);
+    break;
+  case '|':
+    if (match('|'))
+      return makeToken(TokenKind::PipePipe, Start);
+    break;
+  default:
+    break;
+  }
+
+  Diags.error(DiagCode::LexError, Start,
+              std::string("unexpected character '") + C + "'");
+  return lexToken();
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Token T = lexToken();
+    bool IsEof = T.is(TokenKind::Eof);
+    Tokens.push_back(std::move(T));
+    if (IsEof)
+      break;
+  }
+  return Tokens;
+}

@@ -1,0 +1,54 @@
+//===-- parser/Lexer.h - Lexer for the surface language ---------*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for the `.hv` surface language. Supports `//` line
+/// comments and `/* */` block comments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_PARSER_LEXER_H
+#define COMMCSL_PARSER_LEXER_H
+
+#include "parser/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace commcsl {
+
+/// Lexes a whole buffer into a token vector (terminated by an Eof token).
+class Lexer {
+public:
+  Lexer(std::string Source, DiagnosticEngine &Diags)
+      : Source(std::move(Source)), Diags(Diags) {}
+
+  /// Lexes the entire buffer. Errors are reported to the diagnostic engine;
+  /// lexing continues after an error by skipping the offending character.
+  std::vector<Token> lexAll();
+
+private:
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  char advance();
+  bool match(char C);
+  SourceLoc loc() const { return SourceLoc(Line, Column); }
+  void skipWhitespaceAndComments();
+  Token lexToken();
+  Token makeToken(TokenKind Kind, SourceLoc Loc) const;
+
+  std::string Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+};
+
+} // namespace commcsl
+
+#endif // COMMCSL_PARSER_LEXER_H

@@ -1,0 +1,123 @@
+//===-- parser/Token.h - Tokens of the surface language ---------*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds produced by the lexer for the `.hv` surface language.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_PARSER_TOKEN_H
+#define COMMCSL_PARSER_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace commcsl {
+
+enum class TokenKind : uint8_t {
+  Eof,
+  Identifier,
+  IntLiteral,
+  StringLiteral,
+
+  // Keywords.
+  KwFunction,
+  KwResource,
+  KwProcedure,
+  KwReturns,
+  KwRequires,
+  KwEnsures,
+  KwInvariant,
+  KwState,
+  KwAlpha,
+  KwAction,
+  KwShared,
+  KwUnique,
+  KwApply,
+  KwScope,
+  KwVar,
+  KwSkip,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwPar,
+  KwAnd,
+  KwShare,
+  KwUnshare,
+  KwAtomic,
+  KwPerform,
+  KwResVal,
+  KwAssert,
+  KwCall,
+  KwOutput,
+  KwLow,
+  KwSGuard,
+  KwUGuard,
+  KwAllPre,
+  KwEmpty,
+  KwTrue,
+  KwFalse,
+  KwUnit, ///< `unit`: both the literal and the type, disambiguated by context
+  KwAlloc,
+  // Type keywords.
+  KwInt,
+  KwBool,
+  KwString,
+  KwPair,
+  KwSeq,
+  KwSet,
+  KwMset,
+  KwMap,
+  KwResourceTy, ///< `resource<Spec>` in parameter types
+
+  // Punctuation & operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  Colon,
+  Dot,
+  DotDot,
+  Assign, ///< :=
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  EqEq,
+  NotEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  AmpAmp,
+  PipePipe,
+  Bang,
+  Arrow, ///< ==>
+};
+
+/// Printable name of a token kind for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+/// A lexed token.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  std::string Text;  ///< identifier / string literal payload
+  int64_t IntVal = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace commcsl
+
+#endif // COMMCSL_PARSER_TOKEN_H

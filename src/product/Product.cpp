@@ -1,0 +1,204 @@
+//===-- product/Product.cpp - Product program construction -----------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "product/Product.h"
+
+using namespace commcsl;
+
+ExprRef commcsl::renameExpr(const Expr &E, int Copy) {
+  if (E.Kind == ExprKind::Var) {
+    ExprRef R = Expr::var(E.Name + "$" + std::to_string(Copy), E.Loc);
+    R->Ty = E.Ty;
+    return R;
+  }
+  ExprRef R = E.clone();
+  R->Args.clear();
+  for (const ExprRef &A : E.Args)
+    R->Args.push_back(renameExpr(*A, Copy));
+  return R;
+}
+
+namespace {
+
+std::string renamed(const std::string &Name, int Copy) {
+  return Name + "$" + std::to_string(Copy);
+}
+
+/// Renames a command for one copy. Returns null (with a diagnostic) on
+/// constructs outside the sequential fragment.
+CommandRef renameCmd(const Command &C, int Copy, DiagnosticEngine &Diags) {
+  switch (C.Kind) {
+  case CmdKind::Skip:
+    return Command::skip(C.Loc);
+  case CmdKind::VarDecl:
+    return Command::varDecl(renamed(C.Var, Copy), C.DeclTy,
+                            C.Exprs.empty() ? nullptr
+                                            : renameExpr(*C.Exprs[0], Copy),
+                            C.Loc);
+  case CmdKind::Assign:
+    return Command::assign(renamed(C.Var, Copy),
+                           renameExpr(*C.Exprs[0], Copy), C.Loc);
+  case CmdKind::Block: {
+    std::vector<CommandRef> Children;
+    for (const CommandRef &Child : C.Children) {
+      CommandRef R = renameCmd(*Child, Copy, Diags);
+      if (!R)
+        return nullptr;
+      Children.push_back(std::move(R));
+    }
+    return Command::block(std::move(Children), C.Loc);
+  }
+  case CmdKind::If: {
+    CommandRef Then = renameCmd(*C.Children[0], Copy, Diags);
+    CommandRef Else = renameCmd(*C.Children[1], Copy, Diags);
+    if (!Then || !Else)
+      return nullptr;
+    return Command::ifCmd(renameExpr(*C.Exprs[0], Copy), Then, Else, C.Loc);
+  }
+  case CmdKind::While: {
+    CommandRef Body = renameCmd(*C.Children[0], Copy, Diags);
+    if (!Body)
+      return nullptr;
+    // Invariants are proof artifacts; the dynamic product drops them.
+    return Command::whileCmd(renameExpr(*C.Exprs[0], Copy), {}, Body, C.Loc);
+  }
+  case CmdKind::CallProc: {
+    // Calls are kept per copy: the callee is itself sequential (checked on
+    // demand when it runs) and both copies call it independently.
+    std::vector<ExprRef> Args;
+    for (const ExprRef &A : C.Exprs)
+      Args.push_back(renameExpr(*A, Copy));
+    std::vector<std::string> Rets;
+    for (const std::string &R : C.Rets)
+      Rets.push_back(renamed(R, Copy));
+    return Command::callProc(C.Aux, std::move(Args), std::move(Rets), C.Loc);
+  }
+  case CmdKind::AssertGhost:
+    // Ghost assertions of the original are dropped in the product; the
+    // product's own asserts come from the contract translation.
+    return Command::skip(C.Loc);
+  case CmdKind::HeapRead:
+  case CmdKind::HeapWrite:
+  case CmdKind::Alloc:
+    // The two copies would share one heap; keeping copies disjoint would
+    // require an allocator split. Out of scope for the dynamic product.
+    Diags.error(DiagCode::ParseError, C.Loc,
+                "self-composition does not support heap commands");
+    return nullptr;
+  case CmdKind::Output:
+  case CmdKind::Par:
+  case CmdKind::Share:
+  case CmdKind::Unshare:
+  case CmdKind::Atomic:
+  case CmdKind::Perform:
+  case CmdKind::ResVal:
+    Diags.error(DiagCode::ParseError, C.Loc,
+                "self-composition supports only the sequential fragment "
+                "(use the scheduler-based harness for concurrency)");
+    return nullptr;
+  }
+  return nullptr;
+}
+
+/// Translates a relational contract into product-side boolean expressions:
+/// low(e) -> e$1 == e$2; cond-low -> (c$1 == c$2) && (c$1 ==> e$1 == e$2);
+/// bool b -> b$1 && b$2. Guard atoms are rejected (sequential fragment).
+bool translateContract(const Contract &C, DiagnosticEngine &Diags,
+                       std::vector<ExprRef> &Out) {
+  for (const ContractAtom &A : C) {
+    switch (A.AtomKind) {
+    case ContractAtom::Kind::Low: {
+      ExprRef Eq = Expr::binary(BinaryOp::Eq, renameExpr(*A.E, 1),
+                                renameExpr(*A.E, 2), A.Loc);
+      Eq->Args[0]->Ty = A.E->Ty;
+      Eq->Args[1]->Ty = A.E->Ty;
+      if (A.Cond) {
+        ExprRef CondEq =
+            Expr::binary(BinaryOp::Eq, renameExpr(*A.Cond, 1),
+                         renameExpr(*A.Cond, 2), A.Loc);
+        ExprRef Guarded = Expr::binary(
+            BinaryOp::Implies, renameExpr(*A.Cond, 1), std::move(Eq), A.Loc);
+        Out.push_back(Expr::binary(BinaryOp::And, std::move(CondEq),
+                                   std::move(Guarded), A.Loc));
+        break;
+      }
+      Out.push_back(std::move(Eq));
+      break;
+    }
+    case ContractAtom::Kind::Bool:
+      Out.push_back(Expr::binary(BinaryOp::And, renameExpr(*A.E, 1),
+                                 renameExpr(*A.E, 2), A.Loc));
+      break;
+    default:
+      Diags.error(DiagCode::ParseError, A.Loc,
+                  "self-composition does not support guard assertions");
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+std::optional<Program>
+commcsl::buildSelfComposition(const Program &Prog, const std::string &ProcName,
+                              DiagnosticEngine &Diags) {
+  const ProcDecl *Proc = Prog.findProc(ProcName);
+  if (!Proc) {
+    Diags.error(DiagCode::UnknownName, SourceLoc(),
+                "unknown procedure '" + ProcName + "'");
+    return std::nullopt;
+  }
+
+  Program Product;
+  Product.Funcs = Prog.Funcs;
+  // Callees remain available (both copies call them).
+  Product.Procs = Prog.Procs;
+
+  ProcDecl P;
+  P.Name = ProcName + "$prod";
+  P.Loc = Proc->Loc;
+  for (int Copy = 1; Copy <= 2; ++Copy)
+    for (const Param &Par : Proc->Params)
+      P.Params.push_back({renamed(Par.Name, Copy), Par.Ty, Par.Loc});
+  for (int Copy = 1; Copy <= 2; ++Copy)
+    for (const Param &Ret : Proc->Returns)
+      P.Returns.push_back({renamed(Ret.Name, Copy), Ret.Ty, Ret.Loc});
+
+  std::vector<CommandRef> Body;
+
+  // Precondition: the harness must call the product with inputs satisfying
+  // the translated relational precondition; it is re-checked dynamically.
+  std::vector<ExprRef> PreExprs;
+  if (!translateContract(Proc->Requires, Diags, PreExprs))
+    return std::nullopt;
+  for (ExprRef &E : PreExprs) {
+    Contract C;
+    C.push_back(ContractAtom::boolean(std::move(E), Proc->Loc));
+    Body.push_back(Command::assertGhost(std::move(C), Proc->Loc));
+  }
+
+  CommandRef Copy1 = renameCmd(*Proc->Body, 1, Diags);
+  CommandRef Copy2 = renameCmd(*Proc->Body, 2, Diags);
+  if (!Copy1 || !Copy2)
+    return std::nullopt;
+  Body.push_back(std::move(Copy1));
+  Body.push_back(std::move(Copy2));
+
+  // Postcondition: asserted; an abort here is a concrete leak witness.
+  std::vector<ExprRef> PostExprs;
+  if (!translateContract(Proc->Ensures, Diags, PostExprs))
+    return std::nullopt;
+  for (ExprRef &E : PostExprs) {
+    Contract C;
+    C.push_back(ContractAtom::boolean(std::move(E), Proc->Loc));
+    Body.push_back(Command::assertGhost(std::move(C), Proc->Loc));
+  }
+
+  P.Body = Command::block(std::move(Body), Proc->Loc);
+  Product.Procs.push_back(std::move(P));
+  return Product;
+}

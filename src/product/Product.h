@@ -1,0 +1,62 @@
+//===-- product/Product.h - Product program construction --------*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Product-program construction in the style the paper's implementation
+/// uses for relational proof obligations (Eilers et al. 2018). This module
+/// implements the *self-composition* core for the sequential fragment: a
+/// procedure `p` is transformed into `p$prod` in which every variable is
+/// duplicated (`x$1`, `x$2`), the body runs both copies, relational
+/// `low(e)` atoms become equalities `e$1 == e$2` (assumed from the
+/// precondition, asserted for the postcondition), and boolean atoms are
+/// required of both copies.
+///
+/// The resulting product is an ordinary sequential program: running it with
+/// inputs whose low projections agree dynamically checks the relational
+/// contract — the execution aborts at a ghost assert exactly when the
+/// original procedure leaks. The tests and the bench harness use this as an
+/// independent dynamic cross-check of the verifier on sequential examples.
+///
+/// Concurrent constructs (par, share, atomic) are out of scope here — the
+/// interpreter-based non-interference harness (hyper/) covers those — and
+/// are reported via the diagnostics engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_PRODUCT_PRODUCT_H
+#define COMMCSL_PRODUCT_PRODUCT_H
+
+#include "lang/Program.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+#include <string>
+
+namespace commcsl {
+
+/// Builds the self-composition of procedure \p ProcName of \p Prog.
+/// Returns a new program containing the product procedure (named
+/// `<proc>$prod`) together with the original program's pure functions.
+/// The product procedure:
+///  - takes every parameter twice (`x$1: T, x$2: T`);
+///  - returns every return variable twice;
+///  - starts with ghost assumes for the precondition (relational atoms
+///    become cross-copy equalities) encoded as `assert` statements guarded
+///    by the harness (the caller must supply satisfying inputs);
+///  - ends with ghost asserts for the postcondition.
+/// Returns std::nullopt (with diagnostics) if the body uses concurrency.
+std::optional<Program> buildSelfComposition(const Program &Prog,
+                                            const std::string &ProcName,
+                                            DiagnosticEngine &Diags);
+
+/// Renames every variable occurrence in \p E with the copy suffix
+/// (`x -> x$<Copy>`); pure function calls are kept (their parameters are
+/// bound at call time and need no renaming).
+ExprRef renameExpr(const Expr &E, int Copy);
+
+} // namespace commcsl
+
+#endif // COMMCSL_PRODUCT_PRODUCT_H

@@ -1,0 +1,99 @@
+//===-- rspec/RSpec.cpp - Runtime resource specifications ------------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rspec/RSpec.h"
+
+using namespace commcsl;
+
+ValueRef RSpecRuntime::alphaOf(const ValueRef &State) const {
+  EvalEnv Env;
+  Env[Decl.AlphaParam] = State;
+  return Eval.eval(*Decl.Alpha, Env);
+}
+
+ValueRef RSpecRuntime::applyAction(const ActionDecl &Action,
+                                   const ValueRef &State,
+                                   const ValueRef &Arg) const {
+  EvalEnv Env;
+  Env[Action.StateName] = State;
+  Env[Action.ArgName] = Arg;
+  return Eval.eval(*Action.Apply, Env);
+}
+
+ValueRef RSpecRuntime::actionResult(const ActionDecl &Action,
+                                    const ValueRef &State,
+                                    const ValueRef &Arg) const {
+  if (!Action.Returns)
+    return ValueFactory::unit();
+  EvalEnv Env;
+  Env[Action.StateName] = State;
+  Env[Action.ArgName] = Arg;
+  return Eval.eval(*Action.Returns, Env);
+}
+
+bool RSpecRuntime::isEnabled(const ActionDecl &Action,
+                             const ValueRef &State) const {
+  if (!Action.Enabled)
+    return true;
+  EvalEnv Env;
+  Env[Action.StateName] = State;
+  return Eval.eval(*Action.Enabled, Env)->getBool();
+}
+
+bool RSpecRuntime::invHolds(const ValueRef &State) const {
+  if (!Decl.Inv)
+    return true;
+  EvalEnv Env;
+  Env[Decl.AlphaParam] = State;
+  return Eval.eval(*Decl.Inv, Env)->getBool();
+}
+
+ValueRef RSpecRuntime::historyOf(const ActionDecl &Action,
+                                 const ValueRef &State) const {
+  assert(Action.History && "action has no history clause");
+  EvalEnv Env;
+  Env[Action.StateName] = State;
+  return Eval.eval(*Action.History, Env);
+}
+
+bool RSpecRuntime::preHolds(const ActionDecl &Action, const ValueRef &Arg1,
+                            const ValueRef &Arg2) const {
+  EvalEnv Env1, Env2;
+  Env1[Action.ArgName] = Arg1;
+  Env2[Action.ArgName] = Arg2;
+  for (const ContractAtom &A : Action.Pre) {
+    switch (A.AtomKind) {
+    case ContractAtom::Kind::Low: {
+      if (A.Cond) {
+        ValueRef C1 = Eval.eval(*A.Cond, Env1);
+        ValueRef C2 = Eval.eval(*A.Cond, Env2);
+        if (!Value::equal(C1, C2))
+          return false;
+        if (!C1->getBool())
+          break; // condition false in both: nothing required
+      }
+      ValueRef V1 = Eval.eval(*A.E, Env1);
+      ValueRef V2 = Eval.eval(*A.E, Env2);
+      if (!Value::equal(V1, V2))
+        return false;
+      break;
+    }
+    case ContractAtom::Kind::Bool: {
+      if (!Eval.eval(*A.E, Env1)->getBool())
+        return false;
+      if (!Eval.eval(*A.E, Env2)->getBool())
+        return false;
+      break;
+    }
+    case ContractAtom::Kind::SGuard:
+    case ContractAtom::Kind::UGuard:
+    case ContractAtom::Kind::AllPre:
+      // Rejected by the type checker in action preconditions.
+      break;
+    }
+  }
+  return true;
+}

@@ -1,0 +1,210 @@
+//===-- rspec/SpecLibrary.cpp - Reusable resource specifications -----------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rspec/SpecLibrary.h"
+
+#include "lang/TypeChecker.h"
+#include "parser/Parser.h"
+
+#include <cassert>
+
+using namespace commcsl;
+
+SpecTemplate::SpecTemplate(const char *Source) {
+  DiagnosticEngine Diags;
+  Prog = Parser::parse(Source, Diags);
+  assert(!Diags.hasErrors() && "library specification failed to parse");
+  TypeChecker Checker(Prog, Diags);
+  [[maybe_unused]] bool Ok = Checker.check();
+  assert(Ok && "library specification failed to type-check");
+  assert(!Prog.Specs.empty() && "library template without a spec");
+}
+
+#define COMMCSL_SPEC_TEMPLATE(Fn, Source)                                    \
+  const SpecTemplate &SpecTemplate::Fn() {                                   \
+    static const SpecTemplate T(Source);                                     \
+    return T;                                                                \
+  }
+
+COMMCSL_SPEC_TEMPLATE(counterAdd, R"(
+  resource CounterAdd {
+    state: int;
+    alpha(v) = v;
+    shared action Add(a: int) {
+      apply(v, a) = v + a;
+      requires low(a);
+    }
+  }
+)")
+
+COMMCSL_SPEC_TEMPLATE(counterIncrement, R"(
+  resource CounterInc {
+    state: int;
+    alpha(v) = v;
+    shared action Inc(a: unit) {
+      apply(v, a) = v + 1;
+    }
+  }
+)")
+
+COMMCSL_SPEC_TEMPLATE(blindCell, R"(
+  resource BlindCell {
+    state: int;
+    alpha(v) = 0;
+    shared action Set(a: int) {
+      apply(v, a) = a;
+    }
+  }
+)")
+
+COMMCSL_SPEC_TEMPLATE(intSet, R"(
+  resource IntSet {
+    state: set<int>;
+    alpha(v) = v;
+    shared action Add(a: int) {
+      apply(v, a) = set_add(v, a);
+      requires low(a);
+    }
+  }
+)")
+
+COMMCSL_SPEC_TEMPLATE(mapKeySet, R"(
+  resource MapKeySet {
+    state: map<int, int>;
+    alpha(v) = dom(v);
+    scope int -1 .. 1;
+    scope size 2;
+    shared action Put(a: pair<int, int>) {
+      apply(v, a) = map_put(v, fst(a), snd(a));
+      requires low(fst(a));
+    }
+  }
+)")
+
+COMMCSL_SPEC_TEMPLATE(mapIncrement, R"(
+  resource MapIncrement {
+    state: map<int, int>;
+    alpha(v) = v;
+    scope int -1 .. 1;
+    scope size 2;
+    shared action Inc(a: int) {
+      apply(v, a) = map_put(v, a, map_get_or(v, a, 0) + 1);
+      requires low(a);
+    }
+  }
+)")
+
+COMMCSL_SPEC_TEMPLATE(mapAddValue, R"(
+  resource MapAddValue {
+    state: map<int, int>;
+    alpha(v) = v;
+    scope int -1 .. 1;
+    scope size 2;
+    shared action AddVal(a: pair<int, int>) {
+      apply(v, a) = map_put(v, fst(a), map_get_or(v, fst(a), 0) + snd(a));
+      requires low(fst(a)) && low(snd(a));
+    }
+  }
+)")
+
+COMMCSL_SPEC_TEMPLATE(mapPutMax, R"(
+  resource MapPutMax {
+    state: map<int, int>;
+    alpha(v) = v;
+    scope int -1 .. 1;
+    scope size 2;
+    shared action PutMax(a: pair<int, int>) {
+      apply(v, a) = map_put(v, fst(a), max(snd(a), map_get_or(v, fst(a), snd(a))));
+      requires low(fst(a)) && low(snd(a));
+    }
+  }
+)")
+
+COMMCSL_SPEC_TEMPLATE(listAppendMultiset, R"(
+  resource ListMultiset {
+    state: seq<int>;
+    alpha(v) = seq_to_mset(v);
+    shared action Append(a: int) {
+      apply(v, a) = append(v, a);
+      requires low(a);
+    }
+  }
+)")
+
+COMMCSL_SPEC_TEMPLATE(listAppendLength, R"(
+  resource ListLength {
+    state: seq<int>;
+    alpha(v) = len(v);
+    scope int -1 .. 1;
+    scope size 2;
+    shared action Append(a: int) {
+      apply(v, a) = append(v, a);
+    }
+  }
+)")
+
+COMMCSL_SPEC_TEMPLATE(listAppendSumCount, R"(
+  resource ListSumCount {
+    state: pair<seq<pair<int, int>>, pair<int, int>>;
+    alpha(v) = snd(v);
+    scope int -1 .. 1;
+    scope size 2;
+    shared action Append(a: pair<int, int>) {
+      apply(v, a) = pair(append(fst(v), a),
+                         pair(fst(snd(v)) + snd(a), snd(snd(v)) + 1));
+      requires low(snd(a));
+    }
+  }
+)")
+
+COMMCSL_SPEC_TEMPLATE(pcQueue, R"(
+  resource PCQueue {
+    state: pair<seq<int>, int>;
+    alpha(v) = v;
+    inv(v) = snd(v) >= 0 && snd(v) <= len(fst(v));
+    scope size 2;
+    unique action Prod(a: int) {
+      apply(v, a) = pair(append(fst(v), a), snd(v));
+      requires low(a);
+    }
+    unique action Cons(a: unit) {
+      apply(v, a) = pair(fst(v), snd(v) + 1);
+      returns(v, a) = at(fst(v), snd(v));
+      enabled(v) = snd(v) < len(fst(v));
+      history(v) = take(fst(v), snd(v));
+    }
+  }
+)")
+
+COMMCSL_SPEC_TEMPLATE(mpmcQueue, R"(
+  resource MPMCQueue {
+    state: pair<seq<int>, int>;
+    alpha(v) = pair(seq_to_mset(fst(v)), snd(v));
+    inv(v) = snd(v) >= 0 && snd(v) <= len(fst(v));
+    scope size 2;
+    shared action Prod(a: int) {
+      apply(v, a) = pair(append(fst(v), a), snd(v));
+      requires low(a);
+    }
+    shared action Cons(a: unit) {
+      apply(v, a) = pair(fst(v), snd(v) + 1);
+      returns(v, a) = at(fst(v), snd(v));
+      enabled(v) = snd(v) < len(fst(v));
+    }
+  }
+)")
+
+#undef COMMCSL_SPEC_TEMPLATE
+
+std::vector<const SpecTemplate *> SpecTemplate::all() {
+  return {&counterAdd(),         &counterIncrement(),
+          &blindCell(),          &intSet(),
+          &mapKeySet(),          &mapIncrement(),
+          &mapAddValue(),        &mapPutMax(),
+          &listAppendMultiset(), &listAppendLength(),
+          &listAppendSumCount(), &pcQueue(),
+          &mpmcQueue()};
+}

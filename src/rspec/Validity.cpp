@@ -1,0 +1,368 @@
+//===-- rspec/Validity.cpp - Resource-spec validity (Def. 3.1) -------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rspec/Validity.h"
+
+#include "value/ValueOps.h"
+
+#include <sstream>
+#include <unordered_map>
+
+using namespace commcsl;
+
+std::string ValidityCounterexample::describe() const {
+  std::ostringstream OS;
+  if (Prop == Property::Precondition) {
+    OS << "action '" << ActionA
+       << "' violates property (A) (precondition does not preserve low "
+          "abstraction): ";
+  } else if (Prop == Property::Invariant) {
+    OS << "action '" << ActionA
+       << "' does not preserve the spec invariant: from state " << V1->str()
+       << " with argument " << Arg1->str() << " it reaches " << V2->str();
+    return OS.str();
+  } else if (Prop == Property::History) {
+    OS << "action '" << ActionA
+       << "' has an incoherent history clause: after state " << V1->str()
+       << ", history claims " << AlphaLeft->str()
+       << " but the actual returns were " << AlphaRight->str();
+    return OS.str();
+  } else {
+    OS << "actions '" << ActionA << "' and '" << ActionB
+       << "' do not commute modulo alpha (property (B)): ";
+  }
+  OS << "states v=" << V1->str() << ", v'=" << V2->str();
+  OS << "; args " << Arg1->str() << ", " << Arg2->str();
+  OS << "; abstractions " << AlphaLeft->str() << " != " << AlphaRight->str();
+  return OS.str();
+}
+
+std::vector<std::pair<size_t, size_t>>
+commcsl::relevantActionPairs(const ResourceSpecDecl &Spec) {
+  std::vector<std::pair<size_t, size_t>> Pairs;
+  for (size_t I = 0; I < Spec.Actions.size(); ++I) {
+    for (size_t J = I; J < Spec.Actions.size(); ++J) {
+      if (I == J && Spec.Actions[I].Unique)
+        continue; // unique actions need not commute with themselves
+      Pairs.emplace_back(I, J);
+    }
+  }
+  return Pairs;
+}
+
+ValidityChecker::ValidityChecker(const RSpecRuntime &Runtime,
+                                 ValidityConfig Config)
+    : Runtime(Runtime), Config(Config) {
+  const ResourceSpecDecl &Decl = Runtime.decl();
+  Scope.IntLo = Decl.ScopeIntLo;
+  Scope.IntHi = Decl.ScopeIntHi;
+  Scope.CollectionBound = Decl.ScopeCollectionBound;
+}
+
+void ValidityChecker::buildStateUniverse() {
+  if (!States.empty())
+    return;
+  DomainRef StateDom = Runtime.decl().StateTy->toDomain(Scope);
+  States = StateDom->enumerate(Config.MaxStates);
+
+  // Bucket states by their abstraction; same-alpha pairs come from within
+  // buckets (including the diagonal).
+  std::unordered_map<ValueRef, std::vector<size_t>, ValueRefHash, ValueRefEq>
+      Buckets;
+  for (size_t I = 0; I < States.size(); ++I)
+    Buckets[Runtime.alphaOf(States[I])].push_back(I);
+  for (const auto &[Alpha, Members] : Buckets) {
+    (void)Alpha;
+    for (size_t X = 0; X < Members.size(); ++X)
+      for (size_t Y = X; Y < Members.size(); ++Y)
+        SameAlphaPairs.emplace_back(Members[X], Members[Y]);
+  }
+}
+
+std::vector<ValueRef> ValidityChecker::argsFor(const ActionDecl &A) const {
+  DomainRef ArgDom = A.ArgTy->toDomain(Scope);
+  return ArgDom->enumerate(Config.MaxArgs);
+}
+
+bool ValidityChecker::checkPreInstance(const ActionDecl &A, const ValueRef &V1,
+                                       const ValueRef &V2,
+                                       const ValueRef &Arg1,
+                                       const ValueRef &Arg2,
+                                       ValidityResult &R) {
+  ValueRef L = Runtime.alphaOf(Runtime.applyAction(A, V1, Arg1));
+  ValueRef Rt = Runtime.alphaOf(Runtime.applyAction(A, V2, Arg2));
+  if (Value::equal(L, Rt))
+    return true;
+  ValidityCounterexample CE;
+  CE.Prop = ValidityCounterexample::Property::Precondition;
+  CE.ActionA = A.Name;
+  CE.V1 = V1;
+  CE.V2 = V2;
+  CE.Arg1 = Arg1;
+  CE.Arg2 = Arg2;
+  CE.AlphaLeft = L;
+  CE.AlphaRight = Rt;
+  R.Valid = false;
+  R.CE = CE;
+  return false;
+}
+
+bool ValidityChecker::checkCommInstance(const ActionDecl &A,
+                                        const ActionDecl &B,
+                                        const ValueRef &V1, const ValueRef &V2,
+                                        const ValueRef &ArgA,
+                                        const ValueRef &ArgB,
+                                        ValidityResult &R) {
+  // alpha(f_b(f_a(v, argA), argB)) == alpha(f_a(f_b(v', argB), argA))
+  ValueRef L =
+      Runtime.alphaOf(Runtime.applyAction(B, Runtime.applyAction(A, V1, ArgA),
+                                          ArgB));
+  ValueRef Rt =
+      Runtime.alphaOf(Runtime.applyAction(A, Runtime.applyAction(B, V2, ArgB),
+                                          ArgA));
+  if (Value::equal(L, Rt))
+    return true;
+  ValidityCounterexample CE;
+  CE.Prop = ValidityCounterexample::Property::Commutativity;
+  CE.ActionA = A.Name;
+  CE.ActionB = B.Name;
+  CE.V1 = V1;
+  CE.V2 = V2;
+  CE.Arg1 = ArgA;
+  CE.Arg2 = ArgB;
+  CE.AlphaLeft = L;
+  CE.AlphaRight = Rt;
+  R.Valid = false;
+  R.CE = CE;
+  return false;
+}
+
+ValidityResult ValidityChecker::checkPreconditions() {
+  ValidityResult R;
+  buildStateUniverse();
+  const ResourceSpecDecl &Decl = Runtime.decl();
+
+  for (const ActionDecl &A : Decl.Actions) {
+    std::vector<ValueRef> Args = argsFor(A);
+    // Precompute argument pairs that satisfy the relational precondition.
+    std::vector<std::pair<size_t, size_t>> PrePairs;
+    for (size_t I = 0; I < Args.size(); ++I)
+      for (size_t J = 0; J < Args.size(); ++J)
+        if (Runtime.preHolds(A, Args[I], Args[J]))
+          PrePairs.emplace_back(I, J);
+
+    if (Config.RunBoundedTier) {
+      uint64_t Budget = Config.MaxChecksPerProperty;
+      for (const auto &[SI, SJ] : SameAlphaPairs) {
+        for (const auto &[AI, AJ] : PrePairs) {
+          if (Budget-- == 0)
+            goto bounded_done;
+          ++R.BoundedChecks;
+          if (!checkPreInstance(A, States[SI], States[SJ], Args[AI],
+                                Args[AJ], R))
+            return R;
+          // Also check the symmetric state pair (v', v).
+          if (SI != SJ) {
+            ++R.BoundedChecks;
+            if (!checkPreInstance(A, States[SJ], States[SI], Args[AI],
+                                  Args[AJ], R))
+              return R;
+          }
+        }
+      }
+    bounded_done:;
+    }
+
+    if (Config.RunRandomTier) {
+      std::mt19937_64 Rng(Config.Seed ^ std::hash<std::string>()(A.Name));
+      DomainRef StateDom = Decl.StateTy->toDomain(Scope);
+      DomainRef ArgDom = A.ArgTy->toDomain(Scope);
+      for (unsigned Round = 0; Round < Config.RandomRounds; ++Round) {
+        ValueRef V1 = StateDom->sample(Rng);
+        // Prefer pairs with equal abstraction: first try an independent
+        // sample, fall back to the diagonal.
+        ValueRef V2 = StateDom->sample(Rng);
+        if (!Value::equal(Runtime.alphaOf(V1), Runtime.alphaOf(V2)))
+          V2 = V1;
+        ValueRef Arg1 = ArgDom->sample(Rng);
+        ValueRef Arg2 = ArgDom->sample(Rng);
+        if (!Runtime.preHolds(A, Arg1, Arg2))
+          Arg2 = Arg1;
+        if (!Runtime.preHolds(A, Arg1, Arg2))
+          continue; // even the diagonal violates a unary constraint
+        ++R.RandomChecks;
+        if (!checkPreInstance(A, V1, V2, Arg1, Arg2, R))
+          return R;
+      }
+    }
+  }
+  return R;
+}
+
+ValidityResult ValidityChecker::checkCommutativity() {
+  ValidityResult R;
+  buildStateUniverse();
+  const ResourceSpecDecl &Decl = Runtime.decl();
+
+  // Commutativity is only required for arguments satisfying the unary
+  // projection of each action's precondition: at unshare time, Lemma 4.2
+  // applies to argument multisets for which PRE holds, so every recorded
+  // argument individually satisfies its action's (unary) constraints. This
+  // is what makes disjoint-range unique puts (Fig. 4 right) valid.
+  auto FilterArgs = [&](const ActionDecl &Act) {
+    std::vector<ValueRef> Out;
+    for (ValueRef &V : argsFor(Act))
+      if (Runtime.preHoldsUnary(Act, V))
+        Out.push_back(std::move(V));
+    return Out;
+  };
+
+  for (const auto &[IA, IB] : relevantActionPairs(Decl)) {
+    const ActionDecl &A = Decl.Actions[IA];
+    const ActionDecl &B = Decl.Actions[IB];
+    std::vector<ValueRef> ArgsA = FilterArgs(A);
+    std::vector<ValueRef> ArgsB = FilterArgs(B);
+
+    if (Config.RunBoundedTier) {
+      uint64_t Budget = Config.MaxChecksPerProperty;
+      for (const auto &[SI, SJ] : SameAlphaPairs) {
+        for (const ValueRef &ArgA : ArgsA) {
+          for (const ValueRef &ArgB : ArgsB) {
+            if (Budget-- == 0)
+              goto bounded_done;
+            ++R.BoundedChecks;
+            if (!checkCommInstance(A, B, States[SI], States[SJ], ArgA, ArgB,
+                                   R))
+              return R;
+            if (SI != SJ) {
+              ++R.BoundedChecks;
+              if (!checkCommInstance(A, B, States[SJ], States[SI], ArgA,
+                                     ArgB, R))
+                return R;
+            }
+          }
+        }
+      }
+    bounded_done:;
+    }
+
+    if (Config.RunRandomTier) {
+      std::mt19937_64 Rng(Config.Seed ^
+                          (std::hash<std::string>()(A.Name + "#" + B.Name)));
+      DomainRef StateDom = Decl.StateTy->toDomain(Scope);
+      DomainRef DomA = A.ArgTy->toDomain(Scope);
+      DomainRef DomB = B.ArgTy->toDomain(Scope);
+      for (unsigned Round = 0; Round < Config.RandomRounds; ++Round) {
+        ValueRef V1 = StateDom->sample(Rng);
+        ValueRef V2 = StateDom->sample(Rng);
+        if (!Value::equal(Runtime.alphaOf(V1), Runtime.alphaOf(V2)))
+          V2 = V1;
+        ValueRef ArgA = DomA->sample(Rng);
+        ValueRef ArgB = DomB->sample(Rng);
+        if (!Runtime.preHoldsUnary(A, ArgA) ||
+            !Runtime.preHoldsUnary(B, ArgB))
+          continue;
+        ++R.RandomChecks;
+        if (!checkCommInstance(A, B, V1, V2, ArgA, ArgB, R))
+          return R;
+      }
+    }
+  }
+  return R;
+}
+
+ValidityResult ValidityChecker::checkHistoryCoherence() {
+  ValidityResult R;
+  const ResourceSpecDecl &Decl = Runtime.decl();
+  bool AnyHistory = Decl.Inv != nullptr;
+  for (const ActionDecl &A : Decl.Actions)
+    AnyHistory |= (A.History != nullptr);
+  if (!AnyHistory)
+    return R;
+
+  std::mt19937_64 Rng(Config.Seed ^ 0x9157ULL);
+  DomainRef StateDom = Decl.StateTy->toDomain(Scope);
+  const unsigned Rounds = std::max(200u, Config.RandomRounds / 4);
+  const unsigned StepsPerRound = 12;
+
+  for (unsigned Round = 0; Round < Rounds; ++Round) {
+    ValueRef V = StateDom->sample(Rng);
+    // History is a statement about *reachable* executions, so start states
+    // are filtered by the spec's well-formedness invariant (unlike the
+    // commutativity check, which must range over all states, App. D).
+    if (!Runtime.invHolds(V))
+      continue;
+    // Per-action collected return sequences, seeded with the history of the
+    // (arbitrary) start state.
+    std::vector<ValueRef> Collected(Decl.Actions.size());
+    for (size_t I = 0; I < Decl.Actions.size(); ++I)
+      if (Decl.Actions[I].History)
+        Collected[I] = Runtime.historyOf(Decl.Actions[I], V);
+
+    for (unsigned Step = 0; Step < StepsPerRound; ++Step) {
+      size_t Pick = Rng() % Decl.Actions.size();
+      const ActionDecl &A = Decl.Actions[Pick];
+      DomainRef ArgDom = A.ArgTy->toDomain(Scope);
+      ValueRef Arg = ArgDom->sample(Rng);
+      if (!Runtime.preHoldsUnary(A, Arg) || !Runtime.isEnabled(A, V))
+        continue;
+      ValueRef Ret = Runtime.actionResult(A, V, Arg);
+      ValueRef Prev = V;
+      V = Runtime.applyAction(A, V, Arg);
+      if (!Runtime.invHolds(V)) {
+        ValidityCounterexample CE;
+        CE.Prop = ValidityCounterexample::Property::Invariant;
+        CE.ActionA = A.Name;
+        CE.V1 = Prev;
+        CE.V2 = V;
+        CE.Arg1 = Arg;
+        CE.Arg2 = Arg;
+        CE.AlphaLeft = CE.AlphaRight = Runtime.alphaOf(V);
+        R.Valid = false;
+        R.CE = CE;
+        return R;
+      }
+      if (A.History)
+        Collected[Pick] = vops::seqAppend(Collected[Pick], Ret);
+      ++R.RandomChecks;
+      for (size_t I = 0; I < Decl.Actions.size(); ++I) {
+        if (!Decl.Actions[I].History)
+          continue;
+        ValueRef Claimed = Runtime.historyOf(Decl.Actions[I], V);
+        if (!Value::equal(Claimed, Collected[I])) {
+          ValidityCounterexample CE;
+          CE.Prop = ValidityCounterexample::Property::History;
+          CE.ActionA = Decl.Actions[I].Name;
+          CE.V1 = V;
+          CE.V2 = V;
+          CE.Arg1 = Arg;
+          CE.Arg2 = Arg;
+          CE.AlphaLeft = Claimed;
+          CE.AlphaRight = Collected[I];
+          R.Valid = false;
+          R.CE = CE;
+          return R;
+        }
+      }
+    }
+  }
+  return R;
+}
+
+ValidityResult ValidityChecker::check() {
+  ValidityResult R = checkPreconditions();
+  if (!R.Valid)
+    return R;
+  ValidityResult C = checkCommutativity();
+  C.BoundedChecks += R.BoundedChecks;
+  C.RandomChecks += R.RandomChecks;
+  if (!C.Valid)
+    return C;
+  ValidityResult H = checkHistoryCoherence();
+  H.BoundedChecks += C.BoundedChecks;
+  H.RandomChecks += C.RandomChecks;
+  return H;
+}

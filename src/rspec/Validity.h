@@ -1,0 +1,130 @@
+//===-- rspec/Validity.h - Resource-spec validity (Def. 3.1) ----*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks validity of a resource specification per Def. 3.1 of the paper:
+///
+///   (A) every action's relational precondition preserves low-ness of the
+///       abstract view:  alpha(v) = alpha(v') and pre_a(arg, arg')  imply
+///       alpha(f_a(v, arg)) = alpha(f_a(v', arg'));
+///   (B) all relevant action pairs commute modulo alpha: for the shared
+///       actions paired with everything (including themselves) and unique
+///       actions paired with everything except themselves,
+///       alpha(v) = alpha(v') implies
+///       alpha(f_b(f_a(v, arg), arg')) = alpha(f_a(f_b(v', arg'), arg)).
+///
+/// The paper discharges these quantified properties with Z3 via Viper; this
+/// implementation replaces that with two checking tiers over the pure value
+/// domain: bounded-exhaustive enumeration within the spec's declared scope
+/// (complete for refutation in scope) and randomized sampling beyond it.
+/// Invalid specifications are refuted with a concrete counterexample.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_RSPEC_VALIDITY_H
+#define COMMCSL_RSPEC_VALIDITY_H
+
+#include "rspec/RSpec.h"
+#include "value/Domain.h"
+
+#include <optional>
+#include <string>
+
+namespace commcsl {
+
+/// Budgets for the validity checker's tiers.
+struct ValidityConfig {
+  /// Cap on enumerated resource states.
+  size_t MaxStates = 300;
+  /// Cap on enumerated action arguments.
+  size_t MaxArgs = 50;
+  /// Budget of (state-pair, arg-pair) checks per property instance.
+  uint64_t MaxChecksPerProperty = 150000;
+  /// Number of random samples in the randomized tier.
+  unsigned RandomRounds = 1500;
+  uint64_t Seed = 0xC0FFEEULL;
+  bool RunBoundedTier = true;
+  bool RunRandomTier = true;
+};
+
+/// A concrete refutation of validity.
+struct ValidityCounterexample {
+  enum class Property { Precondition, Commutativity, History, Invariant };
+  Property Prop = Property::Commutativity;
+  std::string ActionA;
+  std::string ActionB; ///< empty for Precondition
+  ValueRef V1, V2;     ///< states with equal abstraction
+  ValueRef Arg1, Arg2;
+  ValueRef AlphaLeft, AlphaRight; ///< the differing abstract results
+
+  /// Human-readable description, used in diagnostics.
+  std::string describe() const;
+};
+
+/// Outcome of a validity check.
+struct ValidityResult {
+  bool Valid = true;
+  std::optional<ValidityCounterexample> CE;
+  uint64_t BoundedChecks = 0;
+  uint64_t RandomChecks = 0;
+};
+
+/// Runs the Def. 3.1 checks for one resource specification.
+class ValidityChecker {
+public:
+  ValidityChecker(const RSpecRuntime &Runtime, ValidityConfig Config = {});
+
+  /// Checks both properties; stops at the first counterexample.
+  ValidityResult check();
+
+  /// Property (A) only.
+  ValidityResult checkPreconditions();
+
+  /// Property (B) only.
+  ValidityResult checkCommutativity();
+
+  /// Coherence of declared `history` clauses: simulates random sequences of
+  /// enabled actions and checks that, for every unique action with a
+  /// history clause, history(v) always equals history(v0) extended by the
+  /// returns the action actually produced.
+  ValidityResult checkHistoryCoherence();
+
+private:
+  struct Universe {
+    std::vector<ValueRef> States;
+    /// Indices of state pairs (I, J) with equal abstraction, I <= J.
+    std::vector<std::pair<size_t, size_t>> AlphaPairs;
+    std::vector<ValueRef> Args; ///< per-action argument enumerations
+  };
+
+  /// Enumerates states and same-alpha state pairs.
+  void buildStateUniverse();
+  std::vector<ValueRef> argsFor(const ActionDecl &A) const;
+
+  bool checkPreInstance(const ActionDecl &A, const ValueRef &V1,
+                        const ValueRef &V2, const ValueRef &Arg1,
+                        const ValueRef &Arg2, ValidityResult &R);
+  bool checkCommInstance(const ActionDecl &A, const ActionDecl &B,
+                         const ValueRef &V1, const ValueRef &V2,
+                         const ValueRef &ArgA, const ValueRef &ArgB,
+                         ValidityResult &R);
+
+  const RSpecRuntime &Runtime;
+  ValidityConfig Config;
+  Type::ScopeParams Scope;
+
+  std::vector<ValueRef> States;
+  std::vector<std::pair<size_t, size_t>> SameAlphaPairs;
+};
+
+/// Returns the relevant commuting pairs per Def. 3.1 (B): indices (I, J)
+/// into the spec's action list with I <= J, excluding (U, U) for unique U.
+std::vector<std::pair<size_t, size_t>>
+relevantActionPairs(const ResourceSpecDecl &Spec);
+
+} // namespace commcsl
+
+#endif // COMMCSL_RSPEC_VALIDITY_H

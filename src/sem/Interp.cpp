@@ -1,0 +1,490 @@
+//===-- sem/Interp.cpp - Concurrent small-step interpreter -----------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sem/Interp.h"
+
+#include <cassert>
+
+using namespace commcsl;
+
+namespace {
+
+/// A procedure activation record; par branches of the same procedure share
+/// one activation (the paper's semantics has a single store per program,
+/// rules PAR1/PAR2).
+struct Activation {
+  EvalEnv Locals;
+};
+using ActPtr = std::shared_ptr<Activation>;
+
+/// One continuation-stack entry.
+struct StackEntry {
+  const Command *Cmd = nullptr;
+  size_t Idx = 0; ///< Block: next child; CallProc: 0 = enter, 1 = return
+  ActPtr Act;
+  ActPtr ChildAct; ///< CallProc: callee activation for return-value copy
+};
+
+struct Thread {
+  std::vector<StackEntry> Stack;
+  size_t Parent = static_cast<size_t>(-1);
+  unsigned WaitingChildren = 0;
+  bool Done = false;
+};
+
+/// Whole-run mutable state.
+struct RunState {
+  const Program &Prog;
+  ExprEvaluator Eval;
+  RunConfig Config;
+
+  std::vector<Thread> Threads;
+  std::vector<ResourceState> Resources;
+  std::vector<ValueRef> Outputs;
+  std::map<int64_t, int64_t> Heap;
+  int64_t NextLoc = 1;
+
+  bool Aborted = false;
+  std::string AbortReason;
+
+  explicit RunState(const Program &Prog, RunConfig Config)
+      : Prog(Prog), Eval(&Prog), Config(Config) {}
+
+  void abort(const std::string &Reason) {
+    if (!Aborted) {
+      Aborted = true;
+      AbortReason = Reason;
+    }
+  }
+
+  ValueRef eval(const Expr &E, const ActPtr &Act) {
+    return Eval.eval(E, Act->Locals);
+  }
+
+  ResourceState *resourceFor(const std::string &HandleVar, const ActPtr &Act) {
+    auto It = Act->Locals.find(HandleVar);
+    if (It == Act->Locals.end()) {
+      abort("use of unbound resource handle '" + HandleVar + "'");
+      return nullptr;
+    }
+    int64_t Id = It->second->getInt();
+    if (Id < 0 || static_cast<size_t>(Id) >= Resources.size()) {
+      abort("invalid resource handle '" + HandleVar + "'");
+      return nullptr;
+    }
+    return &Resources[static_cast<size_t>(Id)];
+  }
+
+  /// Runtime check of ghost boolean assertions whose variables are bound.
+  void checkGhost(const Contract &C, const ActPtr &Act) {
+    if (!Config.CheckGhostAsserts)
+      return;
+    for (const ContractAtom &A : C) {
+      if (A.AtomKind != ContractAtom::Kind::Bool)
+        continue;
+      std::vector<std::string> Vars;
+      A.E->freeVars(Vars);
+      bool AllBound = true;
+      for (const std::string &V : Vars)
+        AllBound &= Act->Locals.count(V) != 0;
+      if (!AllBound)
+        continue;
+      if (!eval(*A.E, Act)->getBool())
+        abort("ghost assertion failed: " + A.E->str());
+    }
+  }
+
+  /// Executes an atomic block body to completion (rule ATOMIC). Returns
+  /// false on abort. \p Fuel bounds inner loops.
+  bool execAtomic(const Command &Cmd, const ActPtr &Act, ResourceState &Res,
+                  uint64_t &Fuel);
+};
+
+bool RunState::execAtomic(const Command &Cmd, const ActPtr &Act,
+                          ResourceState &Res, uint64_t &Fuel) {
+  if (Aborted)
+    return false;
+  if (Fuel-- == 0) {
+    abort("step limit exhausted inside atomic block");
+    return false;
+  }
+  switch (Cmd.Kind) {
+  case CmdKind::Skip:
+    return true;
+  case CmdKind::Block:
+    for (const CommandRef &Child : Cmd.Children)
+      if (!execAtomic(*Child, Act, Res, Fuel))
+        return false;
+    return true;
+  case CmdKind::VarDecl:
+    Act->Locals[Cmd.Var] = Cmd.Exprs.empty() ? Cmd.DeclTy->defaultValue()
+                                             : eval(*Cmd.Exprs[0], Act);
+    return true;
+  case CmdKind::Assign:
+    Act->Locals[Cmd.Var] = eval(*Cmd.Exprs[0], Act);
+    return true;
+  case CmdKind::If: {
+    bool Cond = eval(*Cmd.Exprs[0], Act)->getBool();
+    return execAtomic(Cond ? *Cmd.Children[0] : *Cmd.Children[1], Act, Res,
+                      Fuel);
+  }
+  case CmdKind::While: {
+    while (eval(*Cmd.Exprs[0], Act)->getBool()) {
+      if (!execAtomic(*Cmd.Children[0], Act, Res, Fuel))
+        return false;
+      if (Fuel-- == 0) {
+        abort("step limit exhausted inside atomic loop");
+        return false;
+      }
+    }
+    return true;
+  }
+  case CmdKind::HeapRead: {
+    int64_t Addr = eval(*Cmd.Exprs[0], Act)->getInt();
+    auto It = Heap.find(Addr);
+    if (It == Heap.end()) {
+      abort("heap read from unallocated location");
+      return false;
+    }
+    Act->Locals[Cmd.Var] = ValueFactory::intV(It->second);
+    return true;
+  }
+  case CmdKind::HeapWrite: {
+    int64_t Addr = eval(*Cmd.Exprs[0], Act)->getInt();
+    auto It = Heap.find(Addr);
+    if (It == Heap.end()) {
+      abort("heap write to unallocated location");
+      return false;
+    }
+    It->second = eval(*Cmd.Exprs[1], Act)->getInt();
+    return true;
+  }
+  case CmdKind::Alloc: {
+    int64_t Loc = NextLoc++;
+    Heap[Loc] = eval(*Cmd.Exprs[0], Act)->getInt();
+    Act->Locals[Cmd.Var] = ValueFactory::intV(Loc);
+    return true;
+  }
+  case CmdKind::Perform: {
+    const ActionDecl *Action = Res.Spec->findAction(Cmd.Rets[0]);
+    assert(Action && "perform of unknown action after type checking");
+    RSpecRuntime Runtime(*Res.Spec, &Prog);
+    ValueRef Arg = eval(*Cmd.Exprs[0], Act);
+    ValueRef Ret = Runtime.actionResult(*Action, Res.Value, Arg);
+    Res.Value = Runtime.applyAction(*Action, Res.Value, Arg);
+    Res.Log.push_back({Action->Name, Action->Unique, Arg, Ret});
+    if (!Cmd.Var.empty())
+      Act->Locals[Cmd.Var] = Ret;
+    return true;
+  }
+  case CmdKind::ResVal:
+    Act->Locals[Cmd.Var] = Res.Value;
+    return true;
+  case CmdKind::AssertGhost:
+    checkGhost(Cmd.Asserted, Act);
+    return !Aborted;
+  case CmdKind::Output:
+    Outputs.push_back(eval(*Cmd.Exprs[0], Act));
+    return true;
+  default:
+    abort("unsupported command inside atomic block");
+    return false;
+  }
+}
+
+} // namespace
+
+RunResult Interpreter::run(const std::string &ProcName,
+                           const std::vector<ValueRef> &Args,
+                           Scheduler &Sched) const {
+  RunResult Result;
+  const ProcDecl *Proc = Prog.findProc(ProcName);
+  if (!Proc) {
+    Result.St = RunResult::Status::Abort;
+    Result.AbortReason = "unknown procedure '" + ProcName + "'";
+    return Result;
+  }
+  assert(Args.size() == Proc->Params.size() && "argument count mismatch");
+
+  RunState S(Prog, Config);
+  auto MainAct = std::make_shared<Activation>();
+  for (size_t I = 0; I < Proc->Params.size(); ++I)
+    MainAct->Locals[Proc->Params[I].Name] = Args[I];
+  for (const Param &R : Proc->Returns)
+    MainAct->Locals[R.Name] = R.Ty->defaultValue();
+
+  Thread Main;
+  Main.Stack.push_back({Proc->Body.get(), 0, MainAct, nullptr});
+  S.Threads.push_back(std::move(Main));
+
+  uint64_t Steps = 0;
+  while (true) {
+    if (S.Aborted) {
+      Result.St = RunResult::Status::Abort;
+      Result.AbortReason = S.AbortReason;
+      break;
+    }
+    // Collect runnable threads.
+    std::vector<size_t> Runnable;
+    bool AllDone = true;
+    for (size_t I = 0; I < S.Threads.size(); ++I) {
+      Thread &T = S.Threads[I];
+      if (T.Done)
+        continue;
+      AllDone = false;
+      if (T.WaitingChildren > 0)
+        continue;
+      if (T.Stack.empty())
+        continue; // completion handled below, should not linger
+      // atomic-when gating.
+      const StackEntry &Top = T.Stack.back();
+      if (Top.Cmd->Kind == CmdKind::Atomic && !Top.Cmd->Var.empty()) {
+        ResourceState *Res = S.resourceFor(Top.Cmd->Aux, Top.Act);
+        if (!Res)
+          break;
+        const ActionDecl *Action = Res->Spec->findAction(Top.Cmd->Var);
+        assert(Action && "when-action resolved during type checking");
+        RSpecRuntime Runtime(*Res->Spec, &Prog);
+        if (!Runtime.isEnabled(*Action, Res->Value))
+          continue; // blocked
+      }
+      Runnable.push_back(I);
+    }
+    if (S.Aborted)
+      continue;
+    if (AllDone) {
+      Result.St = RunResult::Status::Ok;
+      break;
+    }
+    if (Runnable.empty()) {
+      Result.St = RunResult::Status::Deadlock;
+      Result.AbortReason = "all threads blocked on atomic-when";
+      break;
+    }
+    if (Steps >= Config.MaxSteps) {
+      Result.St = RunResult::Status::StepLimit;
+      Result.AbortReason = "step limit exhausted";
+      break;
+    }
+    ++Steps;
+
+    size_t Tid = Sched.pick(Runnable);
+    Thread &T = S.Threads[Tid];
+    StackEntry &Top = T.Stack.back();
+    const Command &Cmd = *Top.Cmd;
+
+    switch (Cmd.Kind) {
+    case CmdKind::Skip:
+      T.Stack.pop_back();
+      break;
+    case CmdKind::Block: {
+      if (Top.Idx < Cmd.Children.size()) {
+        size_t I = Top.Idx++;
+        T.Stack.push_back({Cmd.Children[I].get(), 0, Top.Act, nullptr});
+      } else {
+        T.Stack.pop_back();
+      }
+      break;
+    }
+    case CmdKind::VarDecl:
+      Top.Act->Locals[Cmd.Var] = Cmd.Exprs.empty()
+                                     ? Cmd.DeclTy->defaultValue()
+                                     : S.eval(*Cmd.Exprs[0], Top.Act);
+      T.Stack.pop_back();
+      break;
+    case CmdKind::Assign:
+      Top.Act->Locals[Cmd.Var] = S.eval(*Cmd.Exprs[0], Top.Act);
+      T.Stack.pop_back();
+      break;
+    case CmdKind::HeapRead: {
+      int64_t Addr = S.eval(*Cmd.Exprs[0], Top.Act)->getInt();
+      auto It = S.Heap.find(Addr);
+      if (It == S.Heap.end()) {
+        S.abort("heap read from unallocated location");
+        break;
+      }
+      Top.Act->Locals[Cmd.Var] = ValueFactory::intV(It->second);
+      T.Stack.pop_back();
+      break;
+    }
+    case CmdKind::HeapWrite: {
+      int64_t Addr = S.eval(*Cmd.Exprs[0], Top.Act)->getInt();
+      auto It = S.Heap.find(Addr);
+      if (It == S.Heap.end()) {
+        S.abort("heap write to unallocated location");
+        break;
+      }
+      It->second = S.eval(*Cmd.Exprs[1], Top.Act)->getInt();
+      T.Stack.pop_back();
+      break;
+    }
+    case CmdKind::Alloc: {
+      int64_t Loc = S.NextLoc++;
+      S.Heap[Loc] = S.eval(*Cmd.Exprs[0], Top.Act)->getInt();
+      Top.Act->Locals[Cmd.Var] = ValueFactory::intV(Loc);
+      T.Stack.pop_back();
+      break;
+    }
+    case CmdKind::If: {
+      bool Cond = S.eval(*Cmd.Exprs[0], Top.Act)->getBool();
+      const Command *Branch =
+          (Cond ? Cmd.Children[0] : Cmd.Children[1]).get();
+      ActPtr Act = Top.Act;
+      T.Stack.pop_back();
+      T.Stack.push_back({Branch, 0, Act, nullptr});
+      break;
+    }
+    case CmdKind::While: {
+      if (S.eval(*Cmd.Exprs[0], Top.Act)->getBool())
+        T.Stack.push_back({Cmd.Children[0].get(), 0, Top.Act, nullptr});
+      else
+        T.Stack.pop_back();
+      break;
+    }
+    case CmdKind::Par: {
+      if (Top.Idx == 0) {
+        Top.Idx = 1;
+        T.WaitingChildren = static_cast<unsigned>(Cmd.Children.size());
+        ActPtr Act = Top.Act;
+        // NOTE: pushing to S.Threads invalidates T/Top; nothing below uses
+        // them before re-acquisition at the end of the loop body.
+        for (const CommandRef &Branch : Cmd.Children) {
+          Thread Child;
+          Child.Parent = Tid;
+          Child.Stack.push_back({Branch.get(), 0, Act, nullptr});
+          S.Threads.push_back(std::move(Child));
+        }
+      } else {
+        T.Stack.pop_back();
+      }
+      break;
+    }
+    case CmdKind::CallProc: {
+      if (Top.Idx == 0) {
+        const ProcDecl *Callee = Prog.findProc(Cmd.Aux);
+        assert(Callee && "unknown callee after type checking");
+        auto CalleeAct = std::make_shared<Activation>();
+        for (size_t I = 0; I < Callee->Params.size(); ++I)
+          CalleeAct->Locals[Callee->Params[I].Name] =
+              S.eval(*Cmd.Exprs[I], Top.Act);
+        for (const Param &R : Callee->Returns)
+          CalleeAct->Locals[R.Name] = R.Ty->defaultValue();
+        Top.Idx = 1;
+        Top.ChildAct = CalleeAct;
+        T.Stack.push_back({Callee->Body.get(), 0, CalleeAct, nullptr});
+      } else {
+        const ProcDecl *Callee = Prog.findProc(Cmd.Aux);
+        for (size_t I = 0; I < Cmd.Rets.size(); ++I)
+          Top.Act->Locals[Cmd.Rets[I]] =
+              Top.ChildAct->Locals[Callee->Returns[I].Name];
+        T.Stack.pop_back();
+      }
+      break;
+    }
+    case CmdKind::Share: {
+      const ResourceSpecDecl *Spec = Prog.findSpec(Cmd.Aux);
+      assert(Spec && "unknown spec after type checking");
+      ValueRef Init = S.eval(*Cmd.Exprs[0], Top.Act);
+      RSpecRuntime Runtime(*Spec, &Prog);
+      if (!Runtime.invHolds(Init)) {
+        S.abort("shared initial value violates the spec invariant of '" +
+                Spec->Name + "'");
+        break;
+      }
+      ResourceState Res;
+      Res.Spec = Spec;
+      Res.InitialValue = Init;
+      Res.Value = Init;
+      Res.Shared = true;
+      Top.Act->Locals[Cmd.Var] =
+          ValueFactory::intV(static_cast<int64_t>(S.Resources.size()));
+      S.Resources.push_back(std::move(Res));
+      T.Stack.pop_back();
+      break;
+    }
+    case CmdKind::Unshare: {
+      ResourceState *Res = S.resourceFor(Cmd.Aux, Top.Act);
+      if (!Res)
+        break;
+      if (!Res->Shared) {
+        S.abort("unshare of an already-unshared resource");
+        break;
+      }
+      if (Config.CheckConsistencyOnUnshare) {
+        RSpecRuntime Runtime(*Res->Spec, &Prog);
+        ValueRef Replayed = replayLog(Runtime, Res->InitialValue, Res->Log);
+        if (!Value::equal(Replayed, Res->Value)) {
+          S.abort("consistency check failed at unshare: the recorded "
+                  "action log does not reproduce the resource value");
+          break;
+        }
+      }
+      Res->Shared = false;
+      Top.Act->Locals[Cmd.Var] = Res->Value;
+      T.Stack.pop_back();
+      break;
+    }
+    case CmdKind::Atomic: {
+      ResourceState *Res = S.resourceFor(Cmd.Aux, Top.Act);
+      if (!Res)
+        break;
+      if (!Res->Shared) {
+        S.abort("atomic block on an unshared resource");
+        break;
+      }
+      uint64_t Fuel = Config.MaxSteps - Steps + 1;
+      S.execAtomic(*Cmd.Children[0], Top.Act, *Res, Fuel);
+      if (!S.Aborted)
+        T.Stack.pop_back();
+      break;
+    }
+    case CmdKind::Perform:
+    case CmdKind::ResVal:
+      S.abort("perform/resval outside atomic block");
+      break;
+    case CmdKind::AssertGhost:
+      S.checkGhost(Cmd.Asserted, Top.Act);
+      if (!S.Aborted)
+        T.Stack.pop_back();
+      break;
+    case CmdKind::Output:
+      S.Outputs.push_back(S.eval(*Cmd.Exprs[0], Top.Act));
+      T.Stack.pop_back();
+      break;
+    }
+
+    // Thread completion propagates to the parent. Re-acquire the thread:
+    // the Par case above may have reallocated S.Threads.
+    Thread &Stepped = S.Threads[Tid];
+    if (!S.Aborted && Stepped.Stack.empty() && !Stepped.Done) {
+      Stepped.Done = true;
+      if (Stepped.Parent != static_cast<size_t>(-1)) {
+        assert(S.Threads[Stepped.Parent].WaitingChildren > 0);
+        --S.Threads[Stepped.Parent].WaitingChildren;
+      }
+    }
+  }
+
+  Result.Steps = Steps;
+  if (Result.St == RunResult::Status::Ok)
+    for (const Param &R : Proc->Returns)
+      Result.Returns.push_back(MainAct->Locals[R.Name]);
+  Result.Resources = std::move(S.Resources);
+  Result.Outputs = std::move(S.Outputs);
+  return Result;
+}
+
+ValueRef commcsl::replayLog(const RSpecRuntime &Runtime,
+                            const ValueRef &Initial,
+                            const std::vector<ActionLogEntry> &Log) {
+  ValueRef V = Initial;
+  for (const ActionLogEntry &E : Log) {
+    const ActionDecl *Action = Runtime.decl().findAction(E.Action);
+    assert(Action && "log entry with unknown action");
+    V = Runtime.applyAction(*Action, V, E.Arg);
+  }
+  return V;
+}

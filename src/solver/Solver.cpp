@@ -1,0 +1,572 @@
+//===-- solver/Solver.cpp - Congruence closure + bounds ---------------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Solver.h"
+
+#include <cassert>
+#include <functional>
+
+using namespace commcsl;
+
+//===----------------------------------------------------------------------===//
+// Union-find + congruence
+//===----------------------------------------------------------------------===//
+
+uint32_t Solver::find(uint32_t Id) {
+  auto It = Parent.find(Id);
+  if (It == Parent.end()) {
+    Parent[Id] = Id;
+    return Id;
+  }
+  if (It->second == Id)
+    return Id;
+  uint32_t Root = find(It->second);
+  Parent[Id] = Root; // path compression
+  return Root;
+}
+
+namespace {
+/// Operators whose two operands are interchangeable. Their signatures sort
+/// the argument representatives, so congruence is insensitive to the
+/// operand order the normalizer happened to pick on each execution side.
+bool isCommutativeNode(TermRef T) {
+  if (T->K == Term::Kind::Binary)
+    return T->BOp == BinaryOp::Add || T->BOp == BinaryOp::Mul ||
+           T->BOp == BinaryOp::And || T->BOp == BinaryOp::Or ||
+           T->BOp == BinaryOp::Eq;
+  if (T->K == Term::Kind::Builtin)
+    return T->BK == BuiltinKind::MsUnion || T->BK == BuiltinKind::SetUnion ||
+           T->BK == BuiltinKind::SetInter || T->BK == BuiltinKind::Min ||
+           T->BK == BuiltinKind::Max;
+  return false;
+}
+} // namespace
+
+std::vector<uint64_t> Solver::signatureOf(TermRef T) {
+  std::vector<uint64_t> Sig;
+  Sig.reserve(T->Args.size() + 2);
+  uint64_t Tag = static_cast<uint64_t>(T->K) << 32;
+  switch (T->K) {
+  case Term::Kind::Unary:
+    Tag |= static_cast<uint64_t>(T->UOp);
+    break;
+  case Term::Kind::Binary:
+    Tag |= static_cast<uint64_t>(T->BOp) << 8;
+    break;
+  case Term::Kind::Builtin:
+    Tag |= static_cast<uint64_t>(T->BK) << 16;
+    break;
+  default:
+    break;
+  }
+  Sig.push_back(Tag);
+  for (TermRef A : T->Args)
+    Sig.push_back(find(A->Id));
+  if (isCommutativeNode(T) && Sig.size() == 3 && Sig[1] > Sig[2])
+    std::swap(Sig[1], Sig[2]);
+  return Sig;
+}
+
+namespace {
+bool isInjectiveCtor(TermRef T) {
+  return T->K == Term::Kind::Builtin &&
+         (T->BK == BuiltinKind::SeqAppend || T->BK == BuiltinKind::PairMk);
+}
+} // namespace
+
+void Solver::registerTerm(TermRef T) {
+  if (ById.count(T->Id))
+    return;
+  ById[T->Id] = T;
+  Parent[T->Id] = T->Id;
+  if (T->isConst())
+    ClassConst[T->Id] = T;
+  if (isInjectiveCtor(T))
+    CtorMembers[T->Id].push_back(T);
+  // Built-in non-negativity axioms: 0 <= |.|, lengths, sizes, counts.
+  if (T->K == Term::Kind::Builtin &&
+      (T->BK == BuiltinKind::Abs || T->BK == BuiltinKind::SeqLen ||
+       T->BK == BuiltinKind::SetSize || T->BK == BuiltinKind::MsCard ||
+       T->BK == BuiltinKind::MapSize || T->BK == BuiltinKind::MsCount))
+    LeFacts.emplace_back(Arena->intConst(0), T);
+  for (TermRef A : T->Args) {
+    registerTerm(A);
+    Uses[find(A->Id)].push_back(T);
+  }
+  if (!T->Args.empty()) {
+    std::vector<uint64_t> Sig = signatureOf(T);
+    auto It = Sigs.find(Sig);
+    if (It == Sigs.end())
+      Sigs.emplace(std::move(Sig), T);
+    else if (find(It->second->Id) != find(T->Id))
+      merge(T, It->second); // congruent siblings
+  }
+  // Ite whose condition is already decided collapses to a branch.
+  if (T->K == Term::Kind::Builtin && T->BK == BuiltinKind::Ite) {
+    auto CIt = ClassConst.find(find(T->Args[0]->Id));
+    if (CIt != ClassConst.end() && CIt->second->ConstVal->isBool())
+      merge(T, CIt->second->ConstVal->getBool() ? T->Args[1] : T->Args[2]);
+  }
+}
+
+void Solver::propagateClass(
+    uint32_t Rep, std::vector<std::pair<TermRef, TermRef>> &Pending) {
+  // Ite collapse: users of a class that acquired a boolean constant.
+  auto CIt = ClassConst.find(Rep);
+  if (CIt != ClassConst.end() && CIt->second->ConstVal->isBool()) {
+    bool Cond = CIt->second->ConstVal->getBool();
+    auto UIt = Uses.find(Rep);
+    if (UIt != Uses.end()) {
+      for (TermRef U : UIt->second) {
+        if (U->K == Term::Kind::Builtin && U->BK == BuiltinKind::Ite &&
+            find(U->Args[0]->Id) == Rep)
+          Pending.emplace_back(U, Cond ? U->Args[1] : U->Args[2]);
+      }
+    }
+  }
+  // Injectivity: all constructor members of one class have equal arguments.
+  auto MIt = CtorMembers.find(Rep);
+  if (MIt != CtorMembers.end() && MIt->second.size() > 1) {
+    const std::vector<TermRef> &Members = MIt->second;
+    TermRef First = Members.front();
+    for (size_t I = 1; I < Members.size(); ++I) {
+      TermRef M = Members[I];
+      if (M->BK != First->BK)
+        continue;
+      for (size_t J = 0; J < First->Args.size(); ++J)
+        if (find(First->Args[J]->Id) != find(M->Args[J]->Id))
+          Pending.emplace_back(First->Args[J], M->Args[J]);
+    }
+  }
+}
+
+void Solver::merge(TermRef A, TermRef B) {
+  registerTerm(A);
+  registerTerm(B);
+  std::vector<std::pair<TermRef, TermRef>> Pending = {{A, B}};
+  while (!Pending.empty()) {
+    auto [X, Y] = Pending.back();
+    Pending.pop_back();
+    uint32_t Rx = find(X->Id);
+    uint32_t Ry = find(Y->Id);
+    if (Rx == Ry)
+      continue;
+    // Merge the class with fewer users into the other.
+    if (Uses[Rx].size() > Uses[Ry].size())
+      std::swap(Rx, Ry);
+    Parent[Rx] = Ry;
+    // Constants: conflicting constants mean contradiction.
+    auto CxIt = ClassConst.find(Rx);
+    auto CyIt = ClassConst.find(Ry);
+    if (CxIt != ClassConst.end()) {
+      if (CyIt != ClassConst.end()) {
+        if (!Value::equal(CxIt->second->ConstVal, CyIt->second->ConstVal))
+          Contradiction = true;
+      } else {
+        ClassConst[Ry] = CxIt->second;
+      }
+    }
+    // Merge constructor member lists.
+    auto MxIt = CtorMembers.find(Rx);
+    if (MxIt != CtorMembers.end()) {
+      auto &Dst = CtorMembers[Ry];
+      Dst.insert(Dst.end(), MxIt->second.begin(), MxIt->second.end());
+      CtorMembers.erase(Rx);
+    }
+    // Re-signature all users of the absorbed class.
+    std::vector<TermRef> Moved = std::move(Uses[Rx]);
+    Uses.erase(Rx);
+    for (TermRef U : Moved) {
+      Uses[Ry].push_back(U);
+      std::vector<uint64_t> Sig = signatureOf(U);
+      auto It = Sigs.find(Sig);
+      if (It == Sigs.end())
+        Sigs.emplace(std::move(Sig), U);
+      else if (find(It->second->Id) != find(U->Id))
+        Pending.emplace_back(U, It->second);
+    }
+    // Theory propagation on the merged class.
+    propagateClass(Ry, Pending);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Assumptions
+//===----------------------------------------------------------------------===//
+
+void Solver::assumeEq(TermRef A, TermRef B) {
+  registerTerm(A);
+  registerTerm(B);
+  merge(A, B);
+}
+
+void Solver::assumeTrue(TermRef B) {
+  if (B->isTrue())
+    return;
+  if (B->isFalse()) {
+    Contradiction = true;
+    return;
+  }
+  // Always decide the proposition itself first: Ite conditions over this
+  // exact term must collapse, and the case-split engine must see it as
+  // decided (otherwise it would split on the same condition forever).
+  registerTerm(B);
+  merge(B, Arena->boolConst(true));
+
+  // Then mine structure for stronger theory facts.
+  if (B->K == Term::Kind::Binary) {
+    if (B->BOp == BinaryOp::And) {
+      assumeTrue(B->Args[0]);
+      assumeTrue(B->Args[1]);
+      return;
+    }
+    if (B->BOp == BinaryOp::Eq) {
+      assumeEq(B->Args[0], B->Args[1]);
+      return;
+    }
+    if (B->BOp == BinaryOp::Le) {
+      LeFacts.emplace_back(B->Args[0], B->Args[1]);
+      return;
+    }
+  }
+  if (B->K == Term::Kind::Unary && B->UOp == UnaryOp::Not) {
+    TermRef Inner = B->Args[0];
+    registerTerm(Inner);
+    if (Inner->K == Term::Kind::Binary && Inner->BOp == BinaryOp::Eq)
+      Disequals.emplace_back(Inner->Args[0], Inner->Args[1]);
+    if (Inner->K == Term::Kind::Binary && Inner->BOp == BinaryOp::Le) {
+      // !(a <= b)  ==>  b + 1 <= a  (integers).
+      LeFacts.emplace_back(
+          Arena->add(Inner->Args[1], Arena->intConst(1)), Inner->Args[0]);
+    }
+    merge(Inner, Arena->boolConst(false));
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Linear bounds
+//===----------------------------------------------------------------------===//
+
+void Solver::LinForm::addScaled(const LinForm &O, int64_t K) {
+  Const += K * O.Const;
+  for (const auto &[Id, C] : O.Coeffs) {
+    int64_t &Slot = Coeffs[Id];
+    Slot += K * C;
+    if (Slot == 0)
+      Coeffs.erase(Id);
+  }
+}
+
+Solver::LinForm Solver::linearize(TermRef T) {
+  LinForm F;
+  if (T->isConst() && T->ConstVal->isInt()) {
+    F.Const = T->ConstVal->getInt();
+    return F;
+  }
+  if (T->K == Term::Kind::Binary && T->BOp == BinaryOp::Add) {
+    F = linearize(T->Args[0]);
+    F.addScaled(linearize(T->Args[1]), 1);
+    return F;
+  }
+  if (T->K == Term::Kind::Binary && T->BOp == BinaryOp::Mul) {
+    // Normalized multiplication chains place at most one constant operand.
+    TermRef L = T->Args[0];
+    TermRef R = T->Args[1];
+    if (L->isConst() && L->ConstVal->isInt()) {
+      F = linearize(R);
+      LinForm Out;
+      Out.addScaled(F, L->ConstVal->getInt());
+      return Out;
+    }
+    if (R->isConst() && R->ConstVal->isInt()) {
+      F = linearize(L);
+      LinForm Out;
+      Out.addScaled(F, R->ConstVal->getInt());
+      return Out;
+    }
+  }
+  // Opaque atom, keyed by its congruence representative so that equalities
+  // unify atoms.
+  registerTerm(T);
+  uint32_t Rep = find(T->Id);
+  // If the class has a known integer constant, use it.
+  auto It = ClassConst.find(Rep);
+  if (It != ClassConst.end() && It->second->ConstVal->isInt()) {
+    F.Const = It->second->ConstVal->getInt();
+    return F;
+  }
+  F.Coeffs[Rep] = 1;
+  return F;
+}
+
+bool Solver::leImplied(TermRef A, TermRef B) {
+  // Goal: 0 <= B - A.
+  LinForm Goal = linearize(B);
+  Goal.addScaled(linearize(A), -1);
+  if (Goal.isConst())
+    return Goal.Const >= 0;
+
+  // One assumed fact: goal - fact must be a non-negative constant.
+  std::vector<LinForm> Facts;
+  Facts.reserve(LeFacts.size());
+  for (const auto &[X, Y] : LeFacts) {
+    LinForm F = linearize(Y);
+    F.addScaled(linearize(X), -1); // F >= 0
+    Facts.push_back(std::move(F));
+  }
+  for (const LinForm &F : Facts) {
+    LinForm D = Goal;
+    D.addScaled(F, -1);
+    if (D.isConst() && D.Const >= 0)
+      return true;
+  }
+  // Two assumed facts (covers transitivity chains).
+  for (size_t I = 0; I < Facts.size(); ++I) {
+    for (size_t J = I; J < Facts.size(); ++J) {
+      LinForm D = Goal;
+      D.addScaled(Facts[I], -1);
+      D.addScaled(Facts[J], -1);
+      if (D.isConst() && D.Const >= 0)
+        return true;
+    }
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Queries
+//===----------------------------------------------------------------------===//
+
+TermRef Solver::findUndecidedIteCond(TermRef T, unsigned FuelDepth) {
+  if (FuelDepth == 0)
+    return nullptr;
+  if (T->K == Term::Kind::Builtin && T->BK == BuiltinKind::Ite) {
+    registerTerm(T);
+    auto CIt = ClassConst.find(find(T->Args[0]->Id));
+    if (CIt == ClassConst.end() || !CIt->second->ConstVal->isBool())
+      return T->Args[0];
+  }
+  for (TermRef A : T->Args)
+    if (TermRef C = findUndecidedIteCond(A, FuelDepth - 1))
+      return C;
+  return nullptr;
+}
+
+bool Solver::caseSplitEq(TermRef A, TermRef B, unsigned Depth) {
+  if (Depth == 0)
+    return false;
+  TermRef Cond = findUndecidedIteCond(A, 8);
+  if (!Cond)
+    Cond = findUndecidedIteCond(B, 8);
+  if (!Cond)
+    return false;
+  Solver Pos = *this;
+  Pos.assumeTrue(Cond);
+  if (!Pos.provesEqCore(A, B) && !Pos.caseSplitEq(A, B, Depth - 1))
+    return false;
+  Solver Neg = *this;
+  Neg.assumeTrue(Neg.Arena->logNot(Cond));
+  return Neg.provesEqCore(A, B) || Neg.caseSplitEq(A, B, Depth - 1);
+}
+
+bool Solver::caseSplitTrue(TermRef B, unsigned Depth) {
+  if (Depth == 0)
+    return false;
+  TermRef Cond = findUndecidedIteCond(B, 8);
+  if (!Cond)
+    return false;
+  Solver Pos = *this;
+  Pos.assumeTrue(Cond);
+  if (!Pos.provesTrueCore(B) && !Pos.caseSplitTrue(B, Depth - 1))
+    return false;
+  Solver Neg = *this;
+  Neg.assumeTrue(Neg.Arena->logNot(Cond));
+  return Neg.provesTrueCore(B) || Neg.caseSplitTrue(B, Depth - 1);
+}
+
+namespace {
+/// Encodes the AC operator of a chain head, or -1.
+int acOpKey(TermRef T) {
+  if (T->K == Term::Kind::Binary) {
+    switch (T->BOp) {
+    case BinaryOp::Add:
+      return 1;
+    case BinaryOp::Mul:
+      return 2;
+    case BinaryOp::And:
+      return 3;
+    case BinaryOp::Or:
+      return 4;
+    default:
+      return -1;
+    }
+  }
+  if (T->K == Term::Kind::Builtin) {
+    switch (T->BK) {
+    case BuiltinKind::MsUnion:
+      return 5;
+    case BuiltinKind::SetUnion:
+      return 6;
+    case BuiltinKind::MsAdd: // chain over a base; element slots commute
+      return 7;
+    case BuiltinKind::SetAdd:
+      return 8;
+    case BuiltinKind::SeqConcat: // NOT commutative; excluded
+    default:
+      return -1;
+    }
+  }
+  return -1;
+}
+
+void flattenAC(TermRef T, int Key, std::vector<TermRef> &Out) {
+  if (acOpKey(T) == Key) {
+    flattenAC(T->Args[0], Key, Out);
+    flattenAC(T->Args[1], Key, Out);
+    return;
+  }
+  Out.push_back(T);
+}
+} // namespace
+
+bool Solver::acChainsEq(TermRef A, TermRef B, unsigned Depth) {
+  if (Depth == 0)
+    return false;
+  int Key = acOpKey(A);
+  if (Key < 0 || acOpKey(B) != Key)
+    return false;
+  std::vector<TermRef> Xs, Ys;
+  flattenAC(A, Key, Xs);
+  flattenAC(B, Key, Ys);
+  if (Xs.size() != Ys.size() || Xs.size() > 6)
+    return false;
+  // For add-chains (ms_add/set_add), the base (first operand) is
+  // positional; elements commute. For fully commutative ops everything
+  // commutes. Backtracking match.
+  std::vector<bool> Used(Ys.size(), false);
+  std::function<bool(size_t)> Match = [&](size_t I) -> bool {
+    if (I == Xs.size())
+      return true;
+    for (size_t J = 0; J < Ys.size(); ++J) {
+      if (Used[J])
+        continue;
+      if ((Key == 7 || Key == 8) && ((I == 0) != (J == 0)))
+        continue; // bases must align
+      bool Eq = false;
+      registerTerm(Xs[I]);
+      registerTerm(Ys[J]);
+      if (Xs[I] == Ys[J] || find(Xs[I]->Id) == find(Ys[J]->Id))
+        Eq = true;
+      else
+        Eq = acChainsEq(Xs[I], Ys[J], Depth - 1);
+      if (!Eq)
+        continue;
+      Used[J] = true;
+      if (Match(I + 1))
+        return true;
+      Used[J] = false;
+    }
+    return false;
+  };
+  return Match(0);
+}
+
+bool Solver::provesEqCore(TermRef A, TermRef B) {
+  if (Contradiction)
+    return true;
+  if (A == B)
+    return true;
+  registerTerm(A);
+  registerTerm(B);
+  if (find(A->Id) == find(B->Id))
+    return true;
+  // Integer antisymmetry: a <= b and b <= a.
+  if (leImplied(A, B) && leImplied(B, A))
+    return true;
+  // AC-chain matching.
+  if (acChainsEq(A, B, 4))
+    return true;
+  return false;
+}
+
+bool Solver::provesEq(TermRef A, TermRef B) {
+  if (provesEqCore(A, B))
+    return true;
+  // Ite case split (value-dependent sensitivity, high-branch joins).
+  return caseSplitEq(A, B, 4);
+}
+
+bool Solver::provesTrue(TermRef B) {
+  if (provesTrueCore(B))
+    return true;
+  // Ite case split (unary postconditions of high conditionals).
+  return caseSplitTrue(B, 4);
+}
+
+bool Solver::provesTrueCore(TermRef B) {
+  if (Contradiction)
+    return true;
+  if (B->isTrue())
+    return true;
+  if (B->isFalse())
+    return false;
+  if (B->K == Term::Kind::Binary) {
+    if (B->BOp == BinaryOp::And)
+      return provesTrueCore(B->Args[0]) && provesTrueCore(B->Args[1]);
+    if (B->BOp == BinaryOp::Or) {
+      if (provesTrueCore(B->Args[0]) || provesTrueCore(B->Args[1]))
+        return true;
+      // fall through to propositional lookup
+    }
+    if (B->BOp == BinaryOp::Eq && provesEqCore(B->Args[0], B->Args[1]))
+      return true;
+    if (B->BOp == BinaryOp::Le && leImplied(B->Args[0], B->Args[1]))
+      return true;
+  }
+  if (B->K == Term::Kind::Unary && B->UOp == UnaryOp::Not) {
+    TermRef Inner = B->Args[0];
+    registerTerm(Inner);
+    // Known-false proposition.
+    registerTerm(Arena->boolConst(false));
+    if (find(Inner->Id) == find(Arena->boolConst(false)->Id))
+      return true;
+    if (Inner->K == Term::Kind::Binary && Inner->BOp == BinaryOp::Eq) {
+      TermRef X = Inner->Args[0];
+      TermRef Y = Inner->Args[1];
+      registerTerm(X);
+      registerTerm(Y);
+      uint32_t Rx = find(X->Id), Ry = find(Y->Id);
+      // Distinct constants in the two classes.
+      auto Cx = ClassConst.find(Rx);
+      auto Cy = ClassConst.find(Ry);
+      if (Cx != ClassConst.end() && Cy != ClassConst.end() &&
+          !Value::equal(Cx->second->ConstVal, Cy->second->ConstVal))
+        return true;
+      // Recorded disequality.
+      for (const auto &[P, Q] : Disequals) {
+        uint32_t Rp = find(P->Id), Rq = find(Q->Id);
+        if ((Rp == Rx && Rq == Ry) || (Rp == Ry && Rq == Rx))
+          return true;
+      }
+      // Strict bound separation: x + 1 <= y or y + 1 <= x.
+      if (leImplied(Arena->add(X, Arena->intConst(1)), Y) ||
+          leImplied(Arena->add(Y, Arena->intConst(1)), X))
+        return true;
+    }
+    if (Inner->K == Term::Kind::Binary && Inner->BOp == BinaryOp::Le) {
+      // !(a <= b)  <=>  b + 1 <= a.
+      if (leImplied(Arena->add(Inner->Args[1], Arena->intConst(1)),
+                    Inner->Args[0]))
+        return true;
+    }
+    return false;
+  }
+  // Propositional lookup: same class as `true`.
+  registerTerm(B);
+  registerTerm(Arena->boolConst(true));
+  return find(B->Id) == find(Arena->boolConst(true)->Id);
+}

@@ -1,0 +1,129 @@
+//===-- solver/Solver.h - Congruence closure + bounds -----------*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The entailment engine the verifier discharges proof obligations with,
+/// replacing the Viper/Z3 backend of the paper's HyperViper tool. It
+/// combines:
+///
+///  - congruence closure over hash-consed, normalized terms (equalities
+///    propagate through all operations, which carries `Low(alpha(v))`
+///    facts to derived outputs);
+///  - difference-bound reasoning for `<=` goals: a goal `a <= b` holds if
+///    `b - a` normalizes to a non-negative constant modulo at most two
+///    assumed `<=` facts (enough for loop-counter arithmetic);
+///  - contradiction tracking (a contradictory context proves anything —
+///    standard for unreachable branches).
+///
+/// Solvers are value types: branch verification clones the solver and the
+/// two copies diverge.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_SOLVER_SOLVER_H
+#define COMMCSL_SOLVER_SOLVER_H
+
+#include "solver/Term.h"
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace commcsl {
+
+/// Entailment context over a TermArena.
+class Solver {
+public:
+  explicit Solver(TermArena &Arena) : Arena(&Arena) {}
+
+  /// Assumes a boolean term. Conjunctions are decomposed; equalities feed
+  /// the congruence closure; `<=` facts feed the bounds engine; everything
+  /// is also equated with `true` for propositional lookups.
+  void assumeTrue(TermRef B);
+
+  /// Assumes a == b.
+  void assumeEq(TermRef A, TermRef B);
+
+  /// Whether the context entails the boolean term \p B.
+  bool provesTrue(TermRef B);
+
+  /// Whether the context entails a == b.
+  bool provesEq(TermRef A, TermRef B);
+
+  /// Whether the assumed facts are contradictory (distinct constants were
+  /// merged). A contradictory context proves everything.
+  bool inContradiction() const { return Contradiction; }
+
+  TermArena &arena() { return *Arena; }
+
+private:
+  // Union-find over term ids (lazily registered).
+  uint32_t find(uint32_t Id);
+  void registerTerm(TermRef T);
+  void merge(TermRef A, TermRef B);
+
+  /// Signature of a term under current representatives, for congruence.
+  std::vector<uint64_t> signatureOf(TermRef T);
+
+  // Linear forms for the bounds engine.
+  struct LinForm {
+    std::map<uint32_t, int64_t> Coeffs; ///< representative id -> coefficient
+    int64_t Const = 0;
+
+    void addScaled(const LinForm &O, int64_t K);
+    bool isConst() const { return Coeffs.empty(); }
+  };
+  LinForm linearize(TermRef T);
+  bool leImplied(TermRef A, TermRef B);
+
+  /// Case-split fallback: find an undecided Ite condition in the goal and
+  /// prove the goal under both polarities. Bounded depth; this is what
+  /// discharges value-dependent sensitivity goals (`b ==> low(e)`) and
+  /// unary postconditions of high conditionals.
+  bool caseSplitTrue(TermRef B, unsigned Depth);
+  bool caseSplitEq(TermRef A, TermRef B, unsigned Depth);
+  TermRef findUndecidedIteCond(TermRef T, unsigned FuelDepth);
+
+  /// Split-free cores of the entailment queries; the case-split wrappers
+  /// call these so that the total number of splits stays bounded by the
+  /// initial depth budget.
+  bool provesEqCore(TermRef A, TermRef B);
+  bool provesTrueCore(TermRef B);
+
+  /// AC-chain matching: two flattened chains of the same associative-
+  /// commutative operator are equal if their operands match up to
+  /// congruence under some permutation (bounded backtracking). Handles the
+  /// incompleteness of pairwise congruence on chains whose normal forms
+  /// ordered congruent-but-distinct operands differently on the two
+  /// execution sides.
+  bool acChainsEq(TermRef A, TermRef B, unsigned Depth);
+
+  TermArena *Arena;
+  bool Contradiction = false;
+
+  /// Theory propagation hooks, run when a class changes:
+  ///  - an Ite whose condition class holds a boolean constant collapses to
+  ///    the corresponding branch (value-dependent sensitivity, Sec. 3.4);
+  ///  - injective constructors (seq append, pair) that land in one class
+  ///    propagate equalities to their arguments (needed to match recorded
+  ///    action returns against a history function at unshare).
+  void propagateClass(uint32_t Rep,
+                      std::vector<std::pair<TermRef, TermRef>> &Pending);
+
+  std::unordered_map<uint32_t, uint32_t> Parent;  ///< id -> parent id
+  std::unordered_map<uint32_t, TermRef> ById;     ///< registered terms
+  std::unordered_map<uint32_t, std::vector<TermRef>> Uses; ///< rep -> users
+  std::unordered_map<uint32_t, TermRef> ClassConst; ///< rep -> const member
+  /// rep -> injective-constructor members (SeqAppend, PairMk) of the class.
+  std::unordered_map<uint32_t, std::vector<TermRef>> CtorMembers;
+  std::map<std::vector<uint64_t>, TermRef> Sigs;
+  std::vector<std::pair<TermRef, TermRef>> LeFacts;   ///< assumed a <= b
+  std::vector<std::pair<TermRef, TermRef>> Disequals; ///< assumed a != b
+};
+
+} // namespace commcsl
+
+#endif // COMMCSL_SOLVER_SOLVER_H

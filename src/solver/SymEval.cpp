@@ -1,0 +1,53 @@
+//===-- solver/SymEval.cpp - Symbolic expression evaluation -----------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/SymEval.h"
+
+#include <cassert>
+
+using namespace commcsl;
+
+TermRef SymEvaluator::eval(const Expr &E, const SymEnv &Env) const {
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+    return Arena.intConst(E.IntVal);
+  case ExprKind::BoolLit:
+    return Arena.boolConst(E.BoolVal);
+  case ExprKind::StringLit:
+    return Arena.constant(ValueFactory::stringV(E.Name));
+  case ExprKind::UnitLit:
+    return Arena.constant(ValueFactory::unit());
+  case ExprKind::Var: {
+    auto It = Env.find(E.Name);
+    if (It != Env.end())
+      return It->second;
+    assert(E.Ty && "unbound, untyped variable in symbolic evaluation");
+    return Arena.constant(E.Ty->defaultValue());
+  }
+  case ExprKind::Unary:
+    return Arena.unary(E.UOp, eval(*E.Args[0], Env));
+  case ExprKind::Binary:
+    return Arena.binary(E.BOp, eval(*E.Args[0], Env), eval(*E.Args[1], Env));
+  case ExprKind::Builtin: {
+    std::vector<TermRef> Args;
+    Args.reserve(E.Args.size());
+    for (const ExprRef &A : E.Args)
+      Args.push_back(eval(*A, Env));
+    return Arena.builtin(E.Builtin, std::move(Args), E.Ty);
+  }
+  case ExprKind::Call: {
+    assert(Prog && "function call without program context");
+    const FuncDecl *F = Prog->findFunc(E.Name);
+    assert(F && "call to unknown function after type checking");
+    SymEnv Inner;
+    for (size_t I = 0; I < E.Args.size(); ++I)
+      Inner[F->Params[I].Name] = eval(*E.Args[I], Env);
+    return eval(*F->Body, Inner);
+  }
+  }
+  assert(false && "unhandled expression kind");
+  return Arena.constant(ValueFactory::unit());
+}

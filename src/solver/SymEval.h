@@ -1,0 +1,50 @@
+//===-- solver/SymEval.h - Symbolic expression evaluation -------*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Evaluates (type-checked) expressions to symbolic terms. The verifier
+/// runs one symbolic environment per execution of the relational pair; an
+/// expression is "low" exactly when its two evaluations are provably equal.
+/// User-defined pure functions are inlined, and resource-specification
+/// functions (alpha, f_a, pre_a, history) are applied symbolically the
+/// same way they are applied concretely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_SOLVER_SYMEVAL_H
+#define COMMCSL_SOLVER_SYMEVAL_H
+
+#include "lang/Program.h"
+#include "solver/Term.h"
+
+#include <map>
+#include <string>
+
+namespace commcsl {
+
+/// Symbolic variable environment (one per execution side).
+using SymEnv = std::map<std::string, TermRef>;
+
+/// Evaluates expressions to terms in a TermArena.
+class SymEvaluator {
+public:
+  SymEvaluator(TermArena &Arena, const Program *Prog)
+      : Arena(Arena), Prog(Prog) {}
+
+  /// Evaluates \p E under \p Env. Unbound variables evaluate to the default
+  /// constant of their annotated type (total semantics).
+  TermRef eval(const Expr &E, const SymEnv &Env) const;
+
+  TermArena &arena() const { return Arena; }
+
+private:
+  TermArena &Arena;
+  const Program *Prog;
+};
+
+} // namespace commcsl
+
+#endif // COMMCSL_SOLVER_SYMEVAL_H

@@ -1,0 +1,574 @@
+//===-- solver/Term.cpp - Hash-consed symbolic terms ------------------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Term.h"
+
+#include "lang/ExprEval.h"
+#include "support/StringUtils.h"
+#include "value/ValueOps.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace commcsl;
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+std::string Term::str() const {
+  std::ostringstream OS;
+  switch (K) {
+  case Kind::Const:
+    OS << ConstVal->str();
+    break;
+  case Kind::Sym:
+    OS << SymName << "#" << SymId;
+    break;
+  case Kind::Unary:
+    OS << unaryOpName(UOp) << "(" << Args[0]->str() << ")";
+    break;
+  case Kind::Binary:
+    OS << "(" << Args[0]->str() << " " << binaryOpName(BOp) << " "
+       << Args[1]->str() << ")";
+    break;
+  case Kind::Builtin: {
+    OS << builtinName(BK) << "(";
+    for (size_t I = 0; I < Args.size(); ++I)
+      OS << (I ? ", " : "") << Args[I]->str();
+    OS << ")";
+    break;
+  }
+  }
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Hash-consing
+//===----------------------------------------------------------------------===//
+
+size_t TermArena::Hasher::operator()(const Term *T) const {
+  size_t Seed = static_cast<size_t>(T->K) * 0x9e3779b9u;
+  switch (T->K) {
+  case Term::Kind::Const:
+    hashCombine(Seed, T->ConstVal->hash());
+    break;
+  case Term::Kind::Sym:
+    hashCombine(Seed, T->SymId);
+    break;
+  case Term::Kind::Unary:
+    hashCombine(Seed, static_cast<size_t>(T->UOp));
+    break;
+  case Term::Kind::Binary:
+    hashCombine(Seed, static_cast<size_t>(T->BOp));
+    break;
+  case Term::Kind::Builtin:
+    hashCombine(Seed, static_cast<size_t>(T->BK));
+    break;
+  }
+  for (TermRef A : T->Args)
+    hashCombine(Seed, reinterpret_cast<size_t>(A));
+  return Seed;
+}
+
+bool TermArena::Equal::operator()(const Term *A, const Term *B) const {
+  if (A->K != B->K || A->Args != B->Args)
+    return false;
+  switch (A->K) {
+  case Term::Kind::Const:
+    return Value::equal(A->ConstVal, B->ConstVal);
+  case Term::Kind::Sym:
+    return A->SymId == B->SymId;
+  case Term::Kind::Unary:
+    return A->UOp == B->UOp;
+  case Term::Kind::Binary:
+    return A->BOp == B->BOp;
+  case Term::Kind::Builtin:
+    return A->BK == B->BK;
+  }
+  return false;
+}
+
+TermArena::TermArena() = default;
+TermArena::~TermArena() = default;
+
+TermRef TermArena::intern(std::unique_ptr<Term> T) {
+  auto It = Interned.find(T.get());
+  if (It != Interned.end())
+    return *It;
+  T->Id = static_cast<uint32_t>(Terms.size());
+  Term *Raw = T.get();
+  Terms.push_back(std::move(T));
+  Interned.insert(Raw);
+  return Raw;
+}
+
+TermRef TermArena::constant(ValueRef V) {
+  auto T = std::unique_ptr<Term>(new Term(Term::Kind::Const));
+  T->ConstVal = std::move(V);
+  return intern(std::move(T));
+}
+
+TermRef TermArena::freshSym(const std::string &Name, TypeRef Ty) {
+  auto T = std::unique_ptr<Term>(new Term(Term::Kind::Sym));
+  T->SymId = NextSymId++;
+  T->SymName = Name;
+  T->Ty = std::move(Ty);
+  return intern(std::move(T));
+}
+
+TermRef TermArena::rawApp(Term::Kind K, UnaryOp UOp, BinaryOp BOp,
+                          BuiltinKind BK, std::vector<TermRef> Args,
+                          TypeRef Ty) {
+  auto T = std::unique_ptr<Term>(new Term(K));
+  T->UOp = UOp;
+  T->BOp = BOp;
+  T->BK = BK;
+  T->Args = std::move(Args);
+  T->Ty = std::move(Ty);
+  return intern(std::move(T));
+}
+
+//===----------------------------------------------------------------------===//
+// Normalizing constructors
+//===----------------------------------------------------------------------===//
+
+namespace {
+bool allConst(const std::vector<TermRef> &Args) {
+  for (TermRef A : Args)
+    if (!A->isConst())
+      return false;
+  return true;
+}
+
+std::vector<ValueRef> constArgs(const std::vector<TermRef> &Args) {
+  std::vector<ValueRef> Vals;
+  Vals.reserve(Args.size());
+  for (TermRef A : Args)
+    Vals.push_back(A->ConstVal);
+  return Vals;
+}
+} // namespace
+
+TermRef TermArena::unary(UnaryOp Op, TermRef A) {
+  if (Op == UnaryOp::Neg) {
+    // Canonical: -x == (-1) * x, so all linear arithmetic lives in Add/Mul.
+    return binary(BinaryOp::Mul, intConst(-1), A);
+  }
+  // Not.
+  if (A->isConst())
+    return boolConst(!A->ConstVal->getBool());
+  if (A->K == Term::Kind::Unary && A->UOp == UnaryOp::Not)
+    return A->Args[0];
+  return rawApp(Term::Kind::Unary, UnaryOp::Not, BinaryOp::Add,
+                BuiltinKind::PairMk, {A}, nullptr);
+}
+
+TermRef TermArena::buildAC(BinaryOp Op, std::vector<TermRef> Operands) {
+  // Flatten nested applications of the same operator.
+  std::vector<TermRef> Flat;
+  while (!Operands.empty()) {
+    TermRef T = Operands.back();
+    Operands.pop_back();
+    if (T->K == Term::Kind::Binary && T->BOp == Op) {
+      Operands.push_back(T->Args[0]);
+      Operands.push_back(T->Args[1]);
+    } else {
+      Flat.push_back(T);
+    }
+  }
+
+  // Fold constants.
+  std::vector<TermRef> Rest;
+  bool SawConst = false;
+  int64_t IntAcc = (Op == BinaryOp::Mul) ? 1 : 0;
+  bool BoolAcc = (Op == BinaryOp::And);
+  for (TermRef T : Flat) {
+    if (!T->isConst()) {
+      Rest.push_back(T);
+      continue;
+    }
+    SawConst = true;
+    switch (Op) {
+    case BinaryOp::Add:
+      IntAcc += T->ConstVal->getInt();
+      break;
+    case BinaryOp::Mul:
+      IntAcc *= T->ConstVal->getInt();
+      break;
+    case BinaryOp::And:
+      BoolAcc = BoolAcc && T->ConstVal->getBool();
+      break;
+    case BinaryOp::Or:
+      BoolAcc = BoolAcc || T->ConstVal->getBool();
+      break;
+    default:
+      assert(false && "not an AC operator");
+    }
+  }
+
+  // Annihilators and identities.
+  if (Op == BinaryOp::Mul && SawConst && IntAcc == 0)
+    return intConst(0);
+  if (Op == BinaryOp::And && SawConst && !BoolAcc)
+    return boolConst(false);
+  if (Op == BinaryOp::Or && SawConst && BoolAcc)
+    return boolConst(true);
+
+  // Idempotent operators: drop duplicate operands.
+  if (Op == BinaryOp::And || Op == BinaryOp::Or) {
+    std::sort(Rest.begin(), Rest.end(),
+              [](TermRef A, TermRef B) { return A->Id < B->Id; });
+    Rest.erase(std::unique(Rest.begin(), Rest.end()), Rest.end());
+  } else {
+    std::sort(Rest.begin(), Rest.end(),
+              [](TermRef A, TermRef B) { return A->Id < B->Id; });
+  }
+
+  // Re-attach a non-identity constant.
+  if (Op == BinaryOp::Add && SawConst && IntAcc != 0)
+    Rest.push_back(intConst(IntAcc));
+  if (Op == BinaryOp::Mul && SawConst && IntAcc != 1)
+    Rest.push_back(intConst(IntAcc));
+
+  if (Rest.empty()) {
+    switch (Op) {
+    case BinaryOp::Add:
+      return intConst(0);
+    case BinaryOp::Mul:
+      return intConst(1);
+    case BinaryOp::And:
+      return boolConst(true);
+    case BinaryOp::Or:
+      return boolConst(false);
+    default:
+      break;
+    }
+  }
+  if (Rest.size() == 1)
+    return Rest[0];
+
+  // Rebuild left-nested in canonical order.
+  TermRef Acc = Rest[0];
+  for (size_t I = 1; I < Rest.size(); ++I)
+    Acc = rawApp(Term::Kind::Binary, UnaryOp::Neg, Op, BuiltinKind::PairMk,
+                 {Acc, Rest[I]}, nullptr);
+  return Acc;
+}
+
+TermRef TermArena::binary(BinaryOp Op, TermRef A, TermRef B) {
+  switch (Op) {
+  case BinaryOp::Add:
+  case BinaryOp::Mul:
+  case BinaryOp::And:
+  case BinaryOp::Or:
+    return buildAC(Op, {A, B});
+  case BinaryOp::Sub:
+    return buildAC(BinaryOp::Add,
+                   {A, buildAC(BinaryOp::Mul, {intConst(-1), B})});
+  case BinaryOp::Div:
+  case BinaryOp::Mod: {
+    if (A->isConst() && B->isConst())
+      return constant(Op == BinaryOp::Div
+                          ? vops::divT(A->ConstVal, B->ConstVal)
+                          : vops::modT(A->ConstVal, B->ConstVal));
+    if (Op == BinaryOp::Div && B->isConstInt(1))
+      return A;
+    return rawApp(Term::Kind::Binary, UnaryOp::Neg, Op, BuiltinKind::PairMk,
+                  {A, B}, nullptr);
+  }
+  case BinaryOp::Eq: {
+    if (A == B)
+      return boolConst(true);
+    if (A->isConst() && B->isConst())
+      return boolConst(Value::equal(A->ConstVal, B->ConstVal));
+    if (B->Id < A->Id)
+      std::swap(A, B);
+    return rawApp(Term::Kind::Binary, UnaryOp::Neg, BinaryOp::Eq,
+                  BuiltinKind::PairMk, {A, B}, nullptr);
+  }
+  case BinaryOp::Ne:
+    return unary(UnaryOp::Not, binary(BinaryOp::Eq, A, B));
+  case BinaryOp::Lt:
+    return binary(BinaryOp::Le, buildAC(BinaryOp::Add, {A, intConst(1)}), B);
+  case BinaryOp::Gt:
+    return binary(BinaryOp::Le, buildAC(BinaryOp::Add, {B, intConst(1)}), A);
+  case BinaryOp::Ge:
+    return binary(BinaryOp::Le, B, A);
+  case BinaryOp::Le: {
+    if (A == B)
+      return boolConst(true);
+    if (A->isConst() && B->isConst())
+      return boolConst(A->ConstVal->getInt() <= B->ConstVal->getInt());
+    return rawApp(Term::Kind::Binary, UnaryOp::Neg, BinaryOp::Le,
+                  BuiltinKind::PairMk, {A, B}, nullptr);
+  }
+  case BinaryOp::Implies:
+    return binary(BinaryOp::Or, unary(UnaryOp::Not, A), B);
+  }
+  assert(false && "unhandled binary operator");
+  return A;
+}
+
+TermRef TermArena::buildACBuiltin(BuiltinKind Kind,
+                                  std::vector<TermRef> Operands, TypeRef Ty) {
+  // Flatten, split off constants, fold them, sort the rest.
+  std::vector<TermRef> Flat;
+  while (!Operands.empty()) {
+    TermRef T = Operands.back();
+    Operands.pop_back();
+    if (T->K == Term::Kind::Builtin && T->BK == Kind) {
+      Operands.push_back(T->Args[0]);
+      Operands.push_back(T->Args[1]);
+    } else {
+      Flat.push_back(T);
+    }
+  }
+  std::vector<TermRef> Rest;
+  ValueRef ConstAcc;
+  for (TermRef T : Flat) {
+    if (!T->isConst()) {
+      Rest.push_back(T);
+      continue;
+    }
+    if (!ConstAcc) {
+      ConstAcc = T->ConstVal;
+      continue;
+    }
+    switch (Kind) {
+    case BuiltinKind::MsUnion:
+      ConstAcc = vops::msUnion(ConstAcc, T->ConstVal);
+      break;
+    case BuiltinKind::SetUnion:
+      ConstAcc = vops::setUnion(ConstAcc, T->ConstVal);
+      break;
+    default:
+      assert(false && "not an AC builtin");
+    }
+  }
+  // Identity elimination: empty multiset / empty set.
+  if (ConstAcc && ConstAcc->elems().empty())
+    ConstAcc = nullptr;
+  std::sort(Rest.begin(), Rest.end(),
+            [](TermRef A, TermRef B) { return A->Id < B->Id; });
+  if (ConstAcc)
+    Rest.push_back(constant(ConstAcc));
+  if (Rest.empty())
+    return constant(Kind == BuiltinKind::MsUnion
+                        ? ValueFactory::emptyMultiset()
+                        : ValueFactory::emptySet());
+  if (Rest.size() == 1)
+    return Rest[0];
+  TermRef Acc = Rest[0];
+  for (size_t I = 1; I < Rest.size(); ++I)
+    Acc = rawApp(Term::Kind::Builtin, UnaryOp::Neg, BinaryOp::Add, Kind,
+                 {Acc, Rest[I]}, Ty);
+  return Acc;
+}
+
+TermRef TermArena::builtin(BuiltinKind Kind, std::vector<TermRef> Args,
+                           TypeRef Ty) {
+  assert(Args.size() == builtinArity(Kind) && "builtin arity mismatch");
+
+  // Constant folding. For partial builtins without a type annotation, fold
+  // only when the operation is defined on the arguments.
+  if (allConst(Args)) {
+    bool CanFold = true;
+    switch (Kind) {
+    case BuiltinKind::SeqAt:
+      CanFold = Ty || vops::seqAt(Args[0]->ConstVal,
+                                  Args[1]->ConstVal->getInt())
+                          .has_value();
+      break;
+    case BuiltinKind::SeqHead:
+      CanFold = Ty || vops::seqHead(Args[0]->ConstVal).has_value();
+      break;
+    case BuiltinKind::SeqLast:
+      CanFold = Ty || vops::seqLast(Args[0]->ConstVal).has_value();
+      break;
+    case BuiltinKind::MapGet:
+      CanFold =
+          Ty || vops::mapGet(Args[0]->ConstVal, Args[1]->ConstVal).has_value();
+      break;
+    default:
+      break;
+    }
+    if (CanFold)
+      return constant(applyBuiltinOp(Kind, constArgs(Args), Ty));
+  }
+
+  switch (Kind) {
+  case BuiltinKind::SeqConcat:
+    // Identity elimination: the empty sequence.
+    if (Args[0]->isConst() && Args[0]->ConstVal->elems().empty())
+      return Args[1];
+    if (Args[1]->isConst() && Args[1]->ConstVal->elems().empty())
+      return Args[0];
+    break;
+  case BuiltinKind::MsAdd:
+  case BuiltinKind::SetAdd: {
+    // Canonicalize add-chains: collect the spine, sort added elements by
+    // term id (multiset/set insertion commutes), dedupe for sets, rebuild.
+    TermRef Base = Args[0];
+    std::vector<TermRef> Elems = {Args[1]};
+    while (Base->K == Term::Kind::Builtin && Base->BK == Kind) {
+      Elems.push_back(Base->Args[1]);
+      Base = Base->Args[0];
+    }
+    std::sort(Elems.begin(), Elems.end(),
+              [](TermRef A, TermRef B) { return A->Id < B->Id; });
+    if (Kind == BuiltinKind::SetAdd)
+      Elems.erase(std::unique(Elems.begin(), Elems.end()), Elems.end());
+    // Fold constant elements into a constant base.
+    if (Base->isConst()) {
+      ValueRef Acc = Base->ConstVal;
+      std::vector<TermRef> Rest;
+      for (TermRef E : Elems) {
+        if (E->isConst())
+          Acc = Kind == BuiltinKind::MsAdd ? vops::msAdd(Acc, E->ConstVal)
+                                           : vops::setAdd(Acc, E->ConstVal);
+        else
+          Rest.push_back(E);
+      }
+      Base = constant(Acc);
+      Elems = std::move(Rest);
+    }
+    TermRef AccT = Base;
+    for (TermRef E : Elems)
+      AccT = rawApp(Term::Kind::Builtin, UnaryOp::Neg, BinaryOp::Add, Kind,
+                    {AccT, E}, Ty);
+    return AccT;
+  }
+  case BuiltinKind::Fst:
+    if (Args[0]->K == Term::Kind::Builtin &&
+        Args[0]->BK == BuiltinKind::PairMk)
+      return Args[0]->Args[0];
+    break;
+  case BuiltinKind::Snd:
+    if (Args[0]->K == Term::Kind::Builtin &&
+        Args[0]->BK == BuiltinKind::PairMk)
+      return Args[0]->Args[1];
+    break;
+  case BuiltinKind::SeqSort:
+    // sort(s) == mset_to_seq(seq_to_mset(s)): canonical multiset view.
+    return builtin(BuiltinKind::MsToSeq,
+                   {builtin(BuiltinKind::SeqToMs, {Args[0]})}, Ty);
+  case BuiltinKind::SeqToMs: {
+    TermRef S = Args[0];
+    if (S->K == Term::Kind::Builtin) {
+      if (S->BK == BuiltinKind::SeqAppend)
+        return builtin(BuiltinKind::MsAdd,
+                       {builtin(BuiltinKind::SeqToMs, {S->Args[0]}),
+                        S->Args[1]});
+      if (S->BK == BuiltinKind::SeqConcat)
+        return builtin(BuiltinKind::MsUnion,
+                       {builtin(BuiltinKind::SeqToMs, {S->Args[0]}),
+                        builtin(BuiltinKind::SeqToMs, {S->Args[1]})});
+      if (S->BK == BuiltinKind::MsToSeq)
+        return S->Args[0]; // mset -> seq -> mset round-trip
+    }
+    break;
+  }
+  case BuiltinKind::SeqToSet: {
+    TermRef S = Args[0];
+    if (S->K == Term::Kind::Builtin) {
+      if (S->BK == BuiltinKind::SeqAppend)
+        return builtin(BuiltinKind::SetAdd,
+                       {builtin(BuiltinKind::SeqToSet, {S->Args[0]}),
+                        S->Args[1]});
+      if (S->BK == BuiltinKind::SeqConcat)
+        return builtin(BuiltinKind::SetUnion,
+                       {builtin(BuiltinKind::SeqToSet, {S->Args[0]}),
+                        builtin(BuiltinKind::SeqToSet, {S->Args[1]})});
+      if (S->BK == BuiltinKind::SetToSeq)
+        return S->Args[0]; // set -> seq -> set round-trip
+    }
+    break;
+  }
+  case BuiltinKind::SeqLen: {
+    TermRef S = Args[0];
+    if (S->K == Term::Kind::Builtin) {
+      if (S->BK == BuiltinKind::SeqAppend)
+        return add(builtin(BuiltinKind::SeqLen, {S->Args[0]}), intConst(1));
+      if (S->BK == BuiltinKind::SeqConcat)
+        return add(builtin(BuiltinKind::SeqLen, {S->Args[0]}),
+                   builtin(BuiltinKind::SeqLen, {S->Args[1]}));
+      if (S->BK == BuiltinKind::MsToSeq)
+        return builtin(BuiltinKind::MsCard, {S->Args[0]});
+      if (S->BK == BuiltinKind::SetToSeq)
+        return builtin(BuiltinKind::SetSize, {S->Args[0]});
+    }
+    break;
+  }
+  case BuiltinKind::SeqSum: {
+    TermRef S = Args[0];
+    if (S->K == Term::Kind::Builtin) {
+      if (S->BK == BuiltinKind::SeqAppend)
+        return add(builtin(BuiltinKind::SeqSum, {S->Args[0]}), S->Args[1]);
+      if (S->BK == BuiltinKind::SeqConcat)
+        return add(builtin(BuiltinKind::SeqSum, {S->Args[0]}),
+                   builtin(BuiltinKind::SeqSum, {S->Args[1]}));
+    }
+    break;
+  }
+  case BuiltinKind::SeqMean:
+    // Total semantics: mean(s) == sum(s) / len(s) (both 0 when empty).
+    return binary(BinaryOp::Div, builtin(BuiltinKind::SeqSum, {Args[0]}),
+                  builtin(BuiltinKind::SeqLen, {Args[0]}));
+  case BuiltinKind::MsCard: {
+    TermRef M = Args[0];
+    if (M->K == Term::Kind::Builtin) {
+      if (M->BK == BuiltinKind::MsAdd)
+        return add(builtin(BuiltinKind::MsCard, {M->Args[0]}), intConst(1));
+      if (M->BK == BuiltinKind::MsUnion)
+        return add(builtin(BuiltinKind::MsCard, {M->Args[0]}),
+                   builtin(BuiltinKind::MsCard, {M->Args[1]}));
+      if (M->BK == BuiltinKind::SeqToMs)
+        return builtin(BuiltinKind::SeqLen, {M->Args[0]});
+      if (M->BK == BuiltinKind::MapValues)
+        return builtin(BuiltinKind::MapSize, {M->Args[0]});
+    }
+    break;
+  }
+  case BuiltinKind::MapDom: {
+    TermRef M = Args[0];
+    if (M->K == Term::Kind::Builtin && M->BK == BuiltinKind::MapPut)
+      return builtin(BuiltinKind::SetAdd,
+                     {builtin(BuiltinKind::MapDom, {M->Args[0]}),
+                      M->Args[1]});
+    break;
+  }
+  case BuiltinKind::MapGet:
+  case BuiltinKind::MapGetOr: {
+    TermRef M = Args[0];
+    if (M->K == Term::Kind::Builtin && M->BK == BuiltinKind::MapPut &&
+        M->Args[1] == Args[1])
+      return M->Args[2]; // get(put(m, k, v), k) == v
+    break;
+  }
+  case BuiltinKind::MsUnion:
+  case BuiltinKind::SetUnion:
+    return buildACBuiltin(Kind, std::move(Args), Ty);
+  case BuiltinKind::Ite:
+    if (Args[0]->isConst())
+      return Args[0]->ConstVal->getBool() ? Args[1] : Args[2];
+    if (Args[1] == Args[2])
+      return Args[1];
+    break;
+  case BuiltinKind::Min:
+  case BuiltinKind::Max:
+    if (Args[0] == Args[1])
+      return Args[0];
+    if (Args[1]->Id < Args[0]->Id)
+      std::swap(Args[0], Args[1]); // commutative
+    break;
+  default:
+    break;
+  }
+
+  return rawApp(Term::Kind::Builtin, UnaryOp::Neg, BinaryOp::Add, Kind,
+                std::move(Args), std::move(Ty));
+}

@@ -1,0 +1,152 @@
+//===-- solver/Term.h - Hash-consed symbolic terms --------------*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hash-consed symbolic terms over the pure value domain, with normalizing
+/// smart constructors. This is the verifier's replacement for the SMT term
+/// language: relational facts (Low(e), equalities, PRE) are discharged by
+/// normalization + congruence closure (solver/Solver.h) instead of Z3.
+///
+/// Normalization performed at construction:
+///  - constant folding through the concrete operation library;
+///  - projection/constructor cancellation (fst(pair(a,b)) -> a);
+///  - collection homomorphisms (len/sum/seq_to_mset/dom pushed through
+///    append/concat/map_put), which is what lets `Low(alpha(v))` facts
+///    flow to derived expressions like `sort(set_to_seq(dom(v)))`;
+///  - `sort(s) -> mset_to_seq(seq_to_mset(s))`, making sort canonical in
+///    the multiset view (the Email-Metadata reasoning step);
+///  - flattening/sorting of associative-commutative operators (+, *,
+///    multiset/set union) with constant folding;
+///  - comparison canonicalization: everything becomes `<=`.
+///
+/// Terms are immutable and arena-owned; pointer equality is structural
+/// equality modulo these rewrites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_SOLVER_TERM_H
+#define COMMCSL_SOLVER_TERM_H
+
+#include "lang/Expr.h"
+#include "value/Value.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace commcsl {
+
+class Term;
+using TermRef = const Term *;
+
+/// A symbolic term node. Created only through TermArena.
+class Term {
+public:
+  enum class Kind : uint8_t {
+    Const,   ///< a concrete value
+    Sym,     ///< an uninterpreted symbol (program input, havoced var, ...)
+    Unary,   ///< lang UnaryOp
+    Binary,  ///< lang BinaryOp (normalized: no Sub/Lt/Gt/Ge/Implies)
+    Builtin, ///< lang BuiltinKind application
+  };
+
+  Kind K;
+  UnaryOp UOp = UnaryOp::Neg;
+  BinaryOp BOp = BinaryOp::Add;
+  BuiltinKind BK = BuiltinKind::PairMk;
+  ValueRef ConstVal;   ///< Const payload
+  uint32_t SymId = 0;  ///< Sym payload
+  std::string SymName; ///< Sym payload (display only; identity is SymId)
+  std::vector<TermRef> Args;
+  TypeRef Ty; ///< optional; needed to totalize partial builtins when folding
+  uint32_t Id = 0; ///< dense arena id (used by the congruence closure)
+
+  bool isConst() const { return K == Kind::Const; }
+  bool isConstInt(int64_t V) const {
+    return isConst() && ConstVal->isInt() && ConstVal->getInt() == V;
+  }
+  bool isTrue() const {
+    return isConst() && ConstVal->isBool() && ConstVal->getBool();
+  }
+  bool isFalse() const {
+    return isConst() && ConstVal->isBool() && !ConstVal->getBool();
+  }
+
+  /// Renders the term for diagnostics.
+  std::string str() const;
+
+private:
+  friend class TermArena;
+  explicit Term(Kind K) : K(K) {}
+};
+
+/// Owning arena with hash-consing and normalizing constructors. Not
+/// thread-safe; one arena per verification run.
+class TermArena {
+public:
+  TermArena();
+  ~TermArena();
+  TermArena(const TermArena &) = delete;
+  TermArena &operator=(const TermArena &) = delete;
+
+  //===--------------------------------------------------------------------===//
+  // Leaf constructors
+  //===--------------------------------------------------------------------===//
+
+  TermRef constant(ValueRef V);
+  TermRef intConst(int64_t V) { return constant(ValueFactory::intV(V)); }
+  TermRef boolConst(bool V) { return constant(ValueFactory::boolV(V)); }
+  /// A fresh symbol; \p Name is a display hint. \p Ty may be null.
+  TermRef freshSym(const std::string &Name, TypeRef Ty = nullptr);
+
+  //===--------------------------------------------------------------------===//
+  // Applications (normalizing)
+  //===--------------------------------------------------------------------===//
+
+  TermRef unary(UnaryOp Op, TermRef A);
+  TermRef binary(BinaryOp Op, TermRef A, TermRef B);
+  TermRef builtin(BuiltinKind Kind, std::vector<TermRef> Args,
+                  TypeRef Ty = nullptr);
+
+  // Common shorthands.
+  TermRef add(TermRef A, TermRef B) { return binary(BinaryOp::Add, A, B); }
+  TermRef sub(TermRef A, TermRef B) { return binary(BinaryOp::Sub, A, B); }
+  TermRef eq(TermRef A, TermRef B) { return binary(BinaryOp::Eq, A, B); }
+  TermRef le(TermRef A, TermRef B) { return binary(BinaryOp::Le, A, B); }
+  TermRef logAnd(TermRef A, TermRef B) {
+    return binary(BinaryOp::And, A, B);
+  }
+  TermRef logNot(TermRef A) { return unary(UnaryOp::Not, A); }
+
+  size_t size() const { return Terms.size(); }
+
+private:
+  TermRef intern(std::unique_ptr<Term> T);
+  TermRef rawApp(Term::Kind K, UnaryOp UOp, BinaryOp BOp, BuiltinKind BK,
+                 std::vector<TermRef> Args, TypeRef Ty);
+
+  /// Flattens an AC operator chain, folds constants, sorts, and rebuilds.
+  TermRef buildAC(BinaryOp Op, std::vector<TermRef> Operands);
+  TermRef buildACBuiltin(BuiltinKind Kind, std::vector<TermRef> Operands,
+                         TypeRef Ty);
+
+  struct Hasher {
+    size_t operator()(const Term *T) const;
+  };
+  struct Equal {
+    bool operator()(const Term *A, const Term *B) const;
+  };
+
+  std::vector<std::unique_ptr<Term>> Terms;
+  std::unordered_set<Term *, Hasher, Equal> Interned;
+  uint32_t NextSymId = 0;
+};
+
+} // namespace commcsl
+
+#endif // COMMCSL_SOLVER_TERM_H

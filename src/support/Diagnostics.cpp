@@ -1,0 +1,96 @@
+//===-- support/Diagnostics.cpp - Diagnostic engine -----------------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <sstream>
+
+using namespace commcsl;
+
+const char *commcsl::diagCodeName(DiagCode Code) {
+  switch (Code) {
+  case DiagCode::None:
+    return "none";
+  case DiagCode::LexError:
+    return "lex";
+  case DiagCode::ParseError:
+    return "parse";
+  case DiagCode::TypeError:
+    return "type";
+  case DiagCode::UnknownName:
+    return "unknown-name";
+  case DiagCode::DuplicateName:
+    return "duplicate-name";
+  case DiagCode::SpecInvalidPrecondition:
+    return "spec-precondition";
+  case DiagCode::SpecInvalidCommutes:
+    return "spec-commutes";
+  case DiagCode::SpecIllFormed:
+    return "spec-ill-formed";
+  case DiagCode::VerifyLowInitialValue:
+    return "verify-low-initial";
+  case DiagCode::VerifyGuardMissing:
+    return "verify-guard-missing";
+  case DiagCode::VerifyUniqueGuardSplit:
+    return "verify-unique-guard-split";
+  case DiagCode::VerifyPreUnprovable:
+    return "verify-pre";
+  case DiagCode::VerifyCountNotLow:
+    return "verify-count";
+  case DiagCode::VerifyHighBranchEffect:
+    return "verify-high-branch";
+  case DiagCode::VerifyEntailment:
+    return "verify-entailment";
+  case DiagCode::VerifyContract:
+    return "verify-contract";
+  case DiagCode::VerifyDataRace:
+    return "verify-data-race";
+  case DiagCode::VerifyResourceState:
+    return "verify-resource-state";
+  case DiagCode::VerifyHeap:
+    return "verify-heap";
+  case DiagCode::RuntimeAbort:
+    return "runtime-abort";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::str() const {
+  std::ostringstream OS;
+  OS << Loc.str() << ": ";
+  switch (Kind) {
+  case DiagKind::Error:
+    OS << "error";
+    break;
+  case DiagKind::Warning:
+    OS << "warning";
+    break;
+  case DiagKind::Note:
+    OS << "note";
+    break;
+  }
+  if (Code != DiagCode::None)
+    OS << " [" << diagCodeName(Code) << "]";
+  OS << ": " << Message;
+  return OS.str();
+}
+
+bool DiagnosticEngine::hasErrorWithCode(DiagCode Code) const {
+  for (const Diagnostic &D : Diags)
+    if (D.Kind == DiagKind::Error && D.Code == Code)
+      return true;
+  return false;
+}
+
+std::string DiagnosticEngine::str(const std::string &FileName) const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags) {
+    if (!FileName.empty())
+      OS << FileName << ":";
+    OS << D.str() << "\n";
+  }
+  return OS.str();
+}

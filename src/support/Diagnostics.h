@@ -1,0 +1,120 @@
+//===-- support/Diagnostics.h - Diagnostic engine ---------------*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostics engine used by the lexer, parser, type checker,
+/// validity checker, and verifier. Diagnostics are collected rather than
+/// printed eagerly so that library clients (tests, the CLI driver, the bench
+/// harness) decide how to render them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_SUPPORT_DIAGNOSTICS_H
+#define COMMCSL_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace commcsl {
+
+/// Severity of a diagnostic.
+enum class DiagKind {
+  Error,
+  Warning,
+  Note,
+};
+
+/// Stable machine-readable categories for diagnostics. Tests assert on these
+/// codes so that negative tests pin down *why* a program was rejected, not
+/// just that it was rejected.
+enum class DiagCode {
+  None,
+  // Lexing / parsing.
+  LexError,
+  ParseError,
+  // Type checking.
+  TypeError,
+  UnknownName,
+  DuplicateName,
+  // Resource-specification validity (Def. 3.1).
+  SpecInvalidPrecondition, ///< Property (A): pre does not preserve low alpha.
+  SpecInvalidCommutes,     ///< Property (B): an action pair fails to commute.
+  SpecIllFormed,
+  // Program verification (CommCSL rules).
+  VerifyLowInitialValue,  ///< alpha of initial shared value not provably low.
+  VerifyGuardMissing,     ///< action performed without holding its guard.
+  VerifyUniqueGuardSplit, ///< unique action guard used by several threads.
+  VerifyPreUnprovable,    ///< retroactive PRE check failed at unshare.
+  VerifyCountNotLow,      ///< number of modifications not provably low.
+  VerifyHighBranchEffect, ///< relational fact required under high control flow.
+  VerifyEntailment,       ///< generic entailment failure (assert/ensures).
+  VerifyContract,         ///< call-site contract failure.
+  VerifyDataRace,         ///< par branches share written state.
+  VerifyResourceState,    ///< share/unshare/atomic used inconsistently.
+  VerifyHeap,             ///< heap access without permission.
+  // Runtime (interpreter).
+  RuntimeAbort,
+};
+
+/// Returns a short stable mnemonic for \p Code (e.g. "spec-commutes").
+const char *diagCodeName(DiagCode Code);
+
+/// A single diagnostic message.
+struct Diagnostic {
+  DiagKind Kind = DiagKind::Error;
+  DiagCode Code = DiagCode::None;
+  SourceLoc Loc;
+  std::string Message;
+
+  std::string str() const;
+};
+
+/// Accumulates diagnostics for one compilation / verification run.
+class DiagnosticEngine {
+public:
+  void report(DiagKind Kind, DiagCode Code, SourceLoc Loc, std::string Msg) {
+    Diags.push_back({Kind, Code, Loc, std::move(Msg)});
+    if (Kind == DiagKind::Error)
+      ++NumErrors;
+  }
+
+  void error(DiagCode Code, SourceLoc Loc, std::string Msg) {
+    report(DiagKind::Error, Code, Loc, std::move(Msg));
+  }
+
+  void warning(DiagCode Code, SourceLoc Loc, std::string Msg) {
+    report(DiagKind::Warning, Code, Loc, std::move(Msg));
+  }
+
+  void note(SourceLoc Loc, std::string Msg) {
+    report(DiagKind::Note, DiagCode::None, Loc, std::move(Msg));
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// True if some collected error carries \p Code.
+  bool hasErrorWithCode(DiagCode Code) const;
+
+  /// Renders all diagnostics, one per line, prefixed with \p FileName.
+  std::string str(const std::string &FileName = "") const;
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace commcsl
+
+#endif // COMMCSL_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,69 @@
+//===-- support/Frac.h - Exact rational fractions ---------------*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rational numbers in (0, 1] used for fractional permissions
+/// (Boyland-style) and guard fractions. Normalized on construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_SUPPORT_FRAC_H
+#define COMMCSL_SUPPORT_FRAC_H
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+
+namespace commcsl {
+
+/// A non-negative rational; guard/permission amounts live in [0, 1].
+struct Frac {
+  int64_t Num = 0;
+  int64_t Den = 1;
+
+  static Frac make(int64_t N, int64_t D) {
+    Frac F{N, D};
+    F.normalize();
+    return F;
+  }
+  static Frac zero() { return Frac{0, 1}; }
+  static Frac one() { return Frac{1, 1}; }
+
+  void normalize() {
+    if (Num == 0) {
+      Den = 1;
+      return;
+    }
+    int64_t G = std::gcd(Num < 0 ? -Num : Num, Den);
+    Num /= G;
+    Den /= G;
+  }
+
+  Frac operator+(const Frac &O) const {
+    return make(Num * O.Den + O.Num * Den, Den * O.Den);
+  }
+  Frac operator-(const Frac &O) const {
+    return make(Num * O.Den - O.Num * Den, Den * O.Den);
+  }
+  bool operator==(const Frac &O) const {
+    return Num == O.Num && Den == O.Den;
+  }
+  bool operator<(const Frac &O) const { return Num * O.Den < O.Num * Den; }
+  bool operator<=(const Frac &O) const { return *this < O || *this == O; }
+
+  bool isZero() const { return Num == 0; }
+  bool isOne() const { return Num == Den; }
+  /// Valid permission amount: 0 < f <= 1.
+  bool isValidAmount() const { return Num > 0 && Num <= Den; }
+
+  std::string str() const {
+    return std::to_string(Num) + "/" + std::to_string(Den);
+  }
+};
+
+} // namespace commcsl
+
+#endif // COMMCSL_SUPPORT_FRAC_H

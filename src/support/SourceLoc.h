@@ -1,0 +1,60 @@
+//===-- support/SourceLoc.h - Source locations ------------------*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project: a reproduction of "CommCSL: Proving
+// Information Flow Security for Concurrent Programs using Abstract
+// Commutativity" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight source-location tracking for diagnostics. Every AST node and
+/// token carries a SourceLoc; SourceRange pairs two of them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_SUPPORT_SOURCELOC_H
+#define COMMCSL_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace commcsl {
+
+/// A position in a source buffer, 1-based line and column. A default
+/// constructed SourceLoc is "unknown" and prints as "<unknown>".
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  SourceLoc() = default;
+  SourceLoc(uint32_t Line, uint32_t Column) : Line(Line), Column(Column) {}
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLoc &Other) const {
+    return Line == Other.Line && Column == Other.Column;
+  }
+
+  /// Renders "line:col", or "<unknown>" for invalid locations.
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Column);
+  }
+};
+
+/// A half-open range of source positions.
+struct SourceRange {
+  SourceLoc Begin;
+  SourceLoc End;
+
+  SourceRange() = default;
+  explicit SourceRange(SourceLoc Loc) : Begin(Loc), End(Loc) {}
+  SourceRange(SourceLoc Begin, SourceLoc End) : Begin(Begin), End(End) {}
+
+  bool isValid() const { return Begin.isValid(); }
+};
+
+} // namespace commcsl
+
+#endif // COMMCSL_SUPPORT_SOURCELOC_H

@@ -1,0 +1,52 @@
+//===-- support/StringUtils.cpp - Small string helpers --------------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+
+using namespace commcsl;
+
+std::string commcsl::join(const std::vector<std::string> &Parts,
+                          const std::string &Sep) {
+  std::string Result;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Result += Sep;
+    Result += Parts[I];
+  }
+  return Result;
+}
+
+std::vector<std::string> commcsl::split(const std::string &S, char Sep) {
+  std::vector<std::string> Parts;
+  std::string Cur;
+  for (char C : S) {
+    if (C == Sep) {
+      Parts.push_back(Cur);
+      Cur.clear();
+      continue;
+    }
+    Cur += C;
+  }
+  Parts.push_back(Cur);
+  return Parts;
+}
+
+std::string commcsl::trim(const std::string &S) {
+  size_t Begin = 0;
+  size_t End = S.size();
+  while (Begin < End && std::isspace(static_cast<unsigned char>(S[Begin])))
+    ++Begin;
+  while (End > Begin && std::isspace(static_cast<unsigned char>(S[End - 1])))
+    --End;
+  return S.substr(Begin, End - Begin);
+}
+
+bool commcsl::startsWith(const std::string &S, const std::string &Prefix) {
+  return S.size() >= Prefix.size() &&
+         S.compare(0, Prefix.size(), Prefix) == 0;
+}

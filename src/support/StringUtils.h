@@ -1,0 +1,42 @@
+//===-- support/StringUtils.h - Small string helpers ------------*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String helpers shared across modules: joining, splitting, trimming and a
+/// tiny hash combiner used by the hash-consed term arena and value hashing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_SUPPORT_STRINGUTILS_H
+#define COMMCSL_SUPPORT_STRINGUTILS_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace commcsl {
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+/// Splits \p S at every occurrence of \p Sep; the separator is not included.
+std::vector<std::string> split(const std::string &S, char Sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string trim(const std::string &S);
+
+/// True if \p S starts with \p Prefix.
+bool startsWith(const std::string &S, const std::string &Prefix);
+
+/// Boost-style hash combiner.
+inline void hashCombine(size_t &Seed, size_t Hash) {
+  Seed ^= Hash + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2);
+}
+
+} // namespace commcsl
+
+#endif // COMMCSL_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,284 @@
+//===-- testgen/ProgramGen.cpp - Random program generation -----------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testgen/ProgramGen.h"
+
+#include <random>
+#include <sstream>
+#include <vector>
+
+using namespace commcsl;
+
+namespace {
+
+class Generator {
+public:
+  explicit Generator(const GenConfig &Config)
+      : Config(Config), Rng(Config.Seed) {}
+
+  GeneratedProgram run();
+
+private:
+  struct Var {
+    std::string Name;
+    bool Tainted;
+  };
+
+  size_t pick(size_t N) {
+    return std::uniform_int_distribution<size_t>(0, N - 1)(Rng);
+  }
+  bool coin(double P = 0.5) {
+    return std::uniform_real_distribution<double>(0, 1)(Rng) < P;
+  }
+  int64_t smallConst() { return static_cast<int64_t>(pick(7)); }
+
+  /// Index of a random variable; when \p LowOnly, only untainted ones
+  /// (index 0, the parameter `l`, is always available and low).
+  size_t pickVar(bool LowOnly) {
+    std::vector<size_t> Eligible;
+    for (size_t I = 0; I < Vars.size(); ++I)
+      if (!LowOnly || !Vars[I].Tainted)
+        Eligible.push_back(I);
+    return Eligible[pick(Eligible.size())];
+  }
+
+  /// A random arithmetic expression. Returns its taint in \p Tainted.
+  std::string expr(bool LowOnly, bool &Tainted, unsigned Depth = 2) {
+    Tainted = false;
+    switch (Depth == 0 ? pick(2) : pick(4)) {
+    case 0:
+      return std::to_string(smallConst());
+    case 1: {
+      size_t V = pickVar(LowOnly);
+      Tainted = Vars[V].Tainted;
+      return Vars[V].Name;
+    }
+    case 2: {
+      bool T1 = false, T2 = false;
+      const char *Ops[] = {"+", "-", "*"};
+      std::string E = "(" + expr(LowOnly, T1, Depth - 1) + " " +
+                      Ops[pick(3)] + " " + expr(LowOnly, T2, Depth - 1) +
+                      ")";
+      Tainted = T1 || T2;
+      return E;
+    }
+    default: {
+      bool T1 = false;
+      std::string E = "(" + expr(LowOnly, T1, Depth - 1) + " % " +
+                      std::to_string(smallConst() + 2) + ")";
+      Tainted = T1;
+      return E;
+    }
+    }
+  }
+
+  void line(const std::string &S) {
+    for (unsigned I = 0; I < Indent; ++I)
+      Body << "  ";
+    Body << S << "\n";
+  }
+
+  /// x := e for a random local.
+  void genAssign(bool ForceTaint) {
+    size_t V = 2 + pick(Vars.size() - 2); // never assign the parameters
+    bool T = false;
+    std::string E = expr(/*LowOnly=*/false, T);
+    if (ForceTaint && !T) {
+      E = "(" + E + " + h)";
+      T = true;
+    }
+    line(Vars[V].Name + " := " + E + ";");
+    Vars[V].Tainted = T;
+  }
+
+  void genLowIf() {
+    bool T = false;
+    std::string Cond = expr(/*LowOnly=*/true, T) + " > 1";
+    size_t V = 2 + pick(Vars.size() - 2);
+    bool T1 = false, T2 = false;
+    std::string E1 = expr(false, T1);
+    std::string E2 = expr(false, T2);
+    line("if (" + Cond + ") {");
+    ++Indent;
+    line(Vars[V].Name + " := " + E1 + ";");
+    --Indent;
+    line("} else {");
+    ++Indent;
+    line(Vars[V].Name + " := " + E2 + ";");
+    --Indent;
+    line("}");
+    Vars[V].Tainted = T1 || T2;
+  }
+
+  void genHighIf() {
+    size_t V = 2 + pick(Vars.size() - 2);
+    bool T = false;
+    std::string E = expr(false, T);
+    line("if (h % " + std::to_string(smallConst() + 2) + " == 0) {");
+    ++Indent;
+    line(Vars[V].Name + " := " + E + ";");
+    --Indent;
+    line("}");
+    Vars[V].Tainted = true; // joined with the untaken branch's old value
+  }
+
+  void genLoop() {
+    // Accumulation loop over a fresh counter; the accumulator must start
+    // low, and the invariant re-establishes the lowness of both.
+    size_t Acc = 2 + pick(Vars.size() - 2);
+    if (Vars[Acc].Tainted) {
+      line(Vars[Acc].Name + " := 0;");
+      Vars[Acc].Tainted = false;
+    }
+    std::string I = fresh("i");
+    bool T = false;
+    std::string Step = expr(/*LowOnly=*/true, T);
+    line("var " + I + ": int := 0;");
+    line("while (" + I + " < " + std::to_string(smallConst() + 1) + ")");
+    line("  invariant low(" + I + ") && low(" + Vars[Acc].Name + ")");
+    line("{");
+    ++Indent;
+    line(Vars[Acc].Name + " := " + Vars[Acc].Name + " + " + Step + ";");
+    line(I + " := " + I + " + 1;");
+    --Indent;
+    line("}");
+  }
+
+  void genCounterBlock(bool TaintArg) {
+    std::string R = fresh("r");
+    std::string C = fresh("c");
+    bool T1 = false, T2 = false;
+    std::string A1 = expr(/*LowOnly=*/!TaintArg, T1);
+    std::string A2 = expr(/*LowOnly=*/true, T2);
+    if (TaintArg)
+      A1 = "(" + A1 + " + h)";
+    line("share " + R + ": Counter := 0;");
+    line("par {");
+    ++Indent;
+    // Secret-dependent pacing in one branch.
+    std::string W = fresh("w");
+    line("var " + W + ": int := 0;");
+    line("while (" + W + " < h % 3) invariant " + W + " >= 0 { " + W +
+         " := " + W + " + 1; }");
+    line("atomic " + R + " { perform " + R + ".Add(" + A1 + "); }");
+    --Indent;
+    line("} and {");
+    ++Indent;
+    line("atomic " + R + " { perform " + R + ".Add(" + A2 + "); }");
+    --Indent;
+    line("}");
+    line("var " + C + ": int := 0;");
+    line(C + " := unshare " + R + ";");
+    Vars.push_back({C, TaintArg || T1 || T2});
+    // A high action argument is rejected at unshare regardless of whether
+    // the counter's value reaches the output.
+    ForcedReject |= TaintArg;
+  }
+
+  std::string fresh(const char *Base) {
+    return std::string(Base) + std::to_string(FreshId++);
+  }
+
+  const GenConfig &Config;
+  bool ForcedReject = false; ///< a leaky perform was emitted
+  std::mt19937_64 Rng;
+  std::vector<Var> Vars;
+  std::ostringstream Body;
+  unsigned Indent = 1;
+  unsigned FreshId = 0;
+};
+
+GeneratedProgram Generator::run() {
+  GeneratedProgram Out;
+
+  Vars.push_back({"l", false});
+  Vars.push_back({"h", true});
+
+  // Pre-declared locals (assignment targets).
+  for (unsigned I = 0; I < Config.NumLocals; ++I) {
+    std::string Name = fresh("x");
+    bool T = false;
+    std::string Init = expr(/*LowOnly=*/coin(0.7), T);
+    line("var " + Name + ": int := " + Init + ";");
+    Vars.push_back({Name, T});
+  }
+
+  bool UsedCounter = false;
+  for (unsigned S = 0; S < Config.TargetStatements; ++S) {
+    ++Out.Statements;
+    switch (pick(8)) {
+    case 0:
+    case 1:
+    case 2:
+      genAssign(/*ForceTaint=*/false);
+      break;
+    case 3:
+      genLowIf();
+      break;
+    case 4:
+      if (Config.EnableHighBranches)
+        genHighIf();
+      else
+        genAssign(false);
+      break;
+    case 5:
+      if (Config.EnableLoops)
+        genLoop();
+      else
+        genAssign(false);
+      break;
+    case 6:
+      if (Config.EnableConcurrency) {
+        bool Leaky = Config.AllowLeakyOutput && coin(0.3);
+        genCounterBlock(Leaky);
+        UsedCounter = true;
+      } else {
+        genAssign(false);
+      }
+      break;
+    default:
+      genAssign(Config.AllowLeakyOutput && coin(0.2));
+      break;
+    }
+  }
+
+  // The output.
+  bool WantLeak = Config.AllowLeakyOutput && coin();
+  bool T = false;
+  std::string OutExpr = expr(/*LowOnly=*/!WantLeak, T);
+  if (WantLeak && !T) {
+    OutExpr = "(" + OutExpr + " + h)";
+    T = true;
+  }
+  line("out := " + OutExpr + ";");
+  Out.OutputTainted = T || ForcedReject;
+
+  std::ostringstream Prog;
+  if (UsedCounter || Config.EnableConcurrency) {
+    Prog << "resource Counter {\n"
+            "  state: int;\n"
+            "  alpha(v) = v;\n"
+            "  shared action Add(a: int) {\n"
+            "    apply(v, a) = v + a;\n"
+            "    requires low(a);\n"
+            "  }\n"
+            "}\n\n";
+  }
+  Prog << "procedure main(l: int, h: int) returns (out: int)\n"
+          "  requires low(l)\n"
+          "  ensures low(out)\n"
+          "{\n"
+       << Body.str() << "}\n";
+  Out.Source = Prog.str();
+  return Out;
+}
+
+} // namespace
+
+GeneratedProgram commcsl::generateProgram(const GenConfig &Config) {
+  Generator G(Config);
+  return G.run();
+}

@@ -1,0 +1,62 @@
+//===-- testgen/ProgramGen.h - Random program generation --------*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates random well-typed `.hv` programs with taint-tracked outputs,
+/// for differential and soundness fuzzing:
+///
+///  - programs whose generator-tracked taint says the output is low should
+///    verify (completeness fuzzing);
+///  - whatever the verifier *accepts* must pass the empirical
+///    non-interference sweep (soundness fuzzing — the key property);
+///  - generated programs drive the verifier-scaling benchmark.
+///
+/// The generator emits main(l: int, h: int) with `l` low and `h` secret,
+/// straight-line assignments, low and high conditionals, invariant-
+/// annotated loops, and (optionally) shared-counter par blocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_TESTGEN_PROGRAMGEN_H
+#define COMMCSL_TESTGEN_PROGRAMGEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace commcsl {
+
+/// Knobs for the generator.
+struct GenConfig {
+  uint64_t Seed = 1;
+  /// Approximate number of statements in main's body.
+  unsigned TargetStatements = 12;
+  /// Number of pre-declared integer locals.
+  unsigned NumLocals = 6;
+  bool EnableConcurrency = true;
+  bool EnableLoops = true;
+  bool EnableHighBranches = true;
+  /// When true, the output expression may (with probability ~1/2) be
+  /// tainted — such programs must be rejected by the verifier.
+  bool AllowLeakyOutput = false;
+};
+
+/// A generated program plus the generator's own taint verdict.
+struct GeneratedProgram {
+  std::string Source;
+  /// Generator-side verdict: when false, the program is information-flow
+  /// secure by construction (low output, no illegal action arguments) and
+  /// the verifier is expected to accept it; when true, the verifier is
+  /// expected to reject it.
+  bool OutputTainted = false;
+  unsigned Statements = 0;
+};
+
+/// Generates one program. Deterministic per config.
+GeneratedProgram generateProgram(const GenConfig &Config);
+
+} // namespace commcsl
+
+#endif // COMMCSL_TESTGEN_PROGRAMGEN_H

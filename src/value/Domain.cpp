@@ -1,0 +1,328 @@
+//===-- value/Domain.cpp - Value-domain enumeration & sampling ------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "value/Domain.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace commcsl;
+
+DomainRef Domain::unit() {
+  return DomainRef(new Domain(DomainKind::Unit));
+}
+
+DomainRef Domain::intRange(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "empty integer domain");
+  auto *D = new Domain(DomainKind::Int);
+  D->Lo = Lo;
+  D->Hi = Hi;
+  return DomainRef(D);
+}
+
+DomainRef Domain::boolean() {
+  return DomainRef(new Domain(DomainKind::Bool));
+}
+
+DomainRef Domain::pair(DomainRef Fst, DomainRef Snd) {
+  auto *D = new Domain(DomainKind::Pair);
+  D->Children = {std::move(Fst), std::move(Snd)};
+  return DomainRef(D);
+}
+
+DomainRef Domain::seq(DomainRef Elem, unsigned MaxLen) {
+  auto *D = new Domain(DomainKind::Seq);
+  D->Children = {std::move(Elem)};
+  D->MaxSize = MaxLen;
+  return DomainRef(D);
+}
+
+DomainRef Domain::set(DomainRef Elem, unsigned MaxSize) {
+  auto *D = new Domain(DomainKind::Set);
+  D->Children = {std::move(Elem)};
+  D->MaxSize = MaxSize;
+  return DomainRef(D);
+}
+
+DomainRef Domain::multiset(DomainRef Elem, unsigned MaxSize) {
+  auto *D = new Domain(DomainKind::Multiset);
+  D->Children = {std::move(Elem)};
+  D->MaxSize = MaxSize;
+  return DomainRef(D);
+}
+
+DomainRef Domain::map(DomainRef Key, DomainRef Val, unsigned MaxSize) {
+  auto *D = new Domain(DomainKind::Map);
+  D->Children = {std::move(Key), std::move(Val)};
+  D->MaxSize = MaxSize;
+  return DomainRef(D);
+}
+
+uint64_t Domain::count(uint64_t Cap) const {
+  auto SatMul = [Cap](uint64_t A, uint64_t B) -> uint64_t {
+    if (A == 0 || B == 0)
+      return 0;
+    if (A > Cap / B)
+      return Cap;
+    return std::min(Cap, A * B);
+  };
+  auto SatAdd = [Cap](uint64_t A, uint64_t B) -> uint64_t {
+    uint64_t S = A + B;
+    return (S < A || S > Cap) ? Cap : S;
+  };
+  switch (Kind) {
+  case DomainKind::Unit:
+    return 1;
+  case DomainKind::Bool:
+    return 2;
+  case DomainKind::Int:
+    return std::min<uint64_t>(Cap, static_cast<uint64_t>(Hi - Lo + 1));
+  case DomainKind::Pair:
+    return SatMul(Children[0]->count(Cap), Children[1]->count(Cap));
+  case DomainKind::Seq: {
+    uint64_t E = Children[0]->count(Cap);
+    uint64_t Total = 0, Pow = 1;
+    for (unsigned L = 0; L <= MaxSize; ++L) {
+      Total = SatAdd(Total, Pow);
+      Pow = SatMul(Pow, E);
+    }
+    return Total;
+  }
+  case DomainKind::Set:
+  case DomainKind::Multiset: {
+    // Upper bound: sequences count dominates; a precise count is not needed
+    // by clients, only a saturating estimate for budgeting.
+    uint64_t E = Children[0]->count(Cap);
+    uint64_t Total = 0, Pow = 1;
+    for (unsigned L = 0; L <= MaxSize; ++L) {
+      Total = SatAdd(Total, Pow);
+      Pow = SatMul(Pow, E);
+    }
+    return Total;
+  }
+  case DomainKind::Map: {
+    uint64_t K = Children[0]->count(Cap);
+    uint64_t V = Children[1]->count(Cap);
+    uint64_t Total = 0, Pow = 1;
+    for (unsigned L = 0; L <= MaxSize && L <= K; ++L) {
+      Total = SatAdd(Total, Pow);
+      Pow = SatMul(Pow, SatMul(K, V));
+    }
+    return Total;
+  }
+  }
+  return Cap;
+}
+
+namespace {
+
+/// Appends to \p Out all tuples of length \p Len over \p Elems (with
+/// repetition, order significant), bounded by \p MaxCount total results.
+void enumTuples(const std::vector<ValueRef> &Elems, unsigned Len,
+                size_t MaxCount, std::vector<std::vector<ValueRef>> &Out) {
+  std::vector<size_t> Idx(Len, 0);
+  if (Len == 0) {
+    Out.push_back({});
+    return;
+  }
+  if (Elems.empty())
+    return;
+  while (Out.size() < MaxCount) {
+    std::vector<ValueRef> Tuple;
+    Tuple.reserve(Len);
+    for (size_t I : Idx)
+      Tuple.push_back(Elems[I]);
+    Out.push_back(std::move(Tuple));
+    // Odometer increment.
+    unsigned Pos = Len;
+    while (Pos > 0) {
+      --Pos;
+      if (++Idx[Pos] < Elems.size())
+        break;
+      Idx[Pos] = 0;
+      if (Pos == 0)
+        return;
+    }
+  }
+}
+
+/// Appends all non-decreasing tuples (multicombinations) of length \p Len.
+void enumMulticombos(const std::vector<ValueRef> &Elems, unsigned Len,
+                     size_t MaxCount, std::vector<std::vector<ValueRef>> &Out,
+                     bool Strict) {
+  if (Len == 0) {
+    Out.push_back({});
+    return;
+  }
+  if (Elems.empty())
+    return;
+  std::vector<size_t> Idx;
+  // Initialize to the lexicographically-first valid tuple.
+  for (unsigned I = 0; I < Len; ++I)
+    Idx.push_back(Strict ? I : 0);
+  if (Strict && Len > Elems.size())
+    return;
+  while (Out.size() < MaxCount) {
+    std::vector<ValueRef> Tuple;
+    Tuple.reserve(Len);
+    for (size_t I : Idx)
+      Tuple.push_back(Elems[I]);
+    Out.push_back(std::move(Tuple));
+    // Find rightmost position that can be incremented.
+    int Pos = static_cast<int>(Len) - 1;
+    while (Pos >= 0) {
+      size_t Limit = Elems.size() - (Strict ? (Len - 1 - Pos) : 0);
+      if (Idx[Pos] + 1 < Limit) {
+        ++Idx[Pos];
+        for (unsigned J = Pos + 1; J < Len; ++J)
+          Idx[J] = Strict ? Idx[J - 1] + 1 : Idx[Pos];
+        break;
+      }
+      --Pos;
+    }
+    if (Pos < 0)
+      return;
+  }
+}
+
+} // namespace
+
+std::vector<ValueRef> Domain::enumerate(size_t MaxCount) const {
+  std::vector<ValueRef> Out;
+  switch (Kind) {
+  case DomainKind::Unit:
+    Out.push_back(ValueFactory::unit());
+    break;
+  case DomainKind::Bool:
+    Out.push_back(ValueFactory::boolV(false));
+    if (MaxCount > 1)
+      Out.push_back(ValueFactory::boolV(true));
+    break;
+  case DomainKind::Int:
+    for (int64_t I = Lo; I <= Hi && Out.size() < MaxCount; ++I)
+      Out.push_back(ValueFactory::intV(I));
+    break;
+  case DomainKind::Pair: {
+    std::vector<ValueRef> Fsts = Children[0]->enumerate(MaxCount);
+    std::vector<ValueRef> Snds = Children[1]->enumerate(MaxCount);
+    for (const ValueRef &F : Fsts) {
+      for (const ValueRef &S : Snds) {
+        if (Out.size() >= MaxCount)
+          return Out;
+        Out.push_back(ValueFactory::pair(F, S));
+      }
+    }
+    break;
+  }
+  case DomainKind::Seq: {
+    std::vector<ValueRef> Elems = Children[0]->enumerate(MaxCount);
+    for (unsigned L = 0; L <= MaxSize && Out.size() < MaxCount; ++L) {
+      std::vector<std::vector<ValueRef>> Tuples;
+      enumTuples(Elems, L, MaxCount - Out.size(), Tuples);
+      for (auto &T : Tuples)
+        Out.push_back(ValueFactory::seq(std::move(T)));
+    }
+    break;
+  }
+  case DomainKind::Set: {
+    std::vector<ValueRef> Elems = Children[0]->enumerate(MaxCount);
+    for (unsigned L = 0; L <= MaxSize && Out.size() < MaxCount; ++L) {
+      std::vector<std::vector<ValueRef>> Combos;
+      enumMulticombos(Elems, L, MaxCount - Out.size(), Combos,
+                      /*Strict=*/true);
+      for (auto &T : Combos)
+        Out.push_back(ValueFactory::set(std::move(T)));
+    }
+    break;
+  }
+  case DomainKind::Multiset: {
+    std::vector<ValueRef> Elems = Children[0]->enumerate(MaxCount);
+    for (unsigned L = 0; L <= MaxSize && Out.size() < MaxCount; ++L) {
+      std::vector<std::vector<ValueRef>> Combos;
+      enumMulticombos(Elems, L, MaxCount - Out.size(), Combos,
+                      /*Strict=*/false);
+      for (auto &T : Combos)
+        Out.push_back(ValueFactory::multiset(std::move(T)));
+    }
+    break;
+  }
+  case DomainKind::Map: {
+    std::vector<ValueRef> Keys = Children[0]->enumerate(MaxCount);
+    std::vector<ValueRef> Vals = Children[1]->enumerate(MaxCount);
+    for (unsigned L = 0; L <= MaxSize && Out.size() < MaxCount; ++L) {
+      // Choose L distinct keys (strict combos), then all value assignments.
+      std::vector<std::vector<ValueRef>> KeyCombos;
+      enumMulticombos(Keys, L, MaxCount, KeyCombos, /*Strict=*/true);
+      for (const auto &KC : KeyCombos) {
+        std::vector<std::vector<ValueRef>> ValTuples;
+        enumTuples(Vals, L, MaxCount - Out.size(), ValTuples);
+        for (const auto &VT : ValTuples) {
+          if (Out.size() >= MaxCount)
+            return Out;
+          std::vector<std::pair<ValueRef, ValueRef>> Entries;
+          for (unsigned I = 0; I < L; ++I)
+            Entries.emplace_back(KC[I], VT[I]);
+          Out.push_back(ValueFactory::map(std::move(Entries)));
+        }
+        if (Out.size() >= MaxCount)
+          return Out;
+      }
+    }
+    break;
+  }
+  }
+  return Out;
+}
+
+ValueRef Domain::sample(std::mt19937_64 &Rng) const {
+  switch (Kind) {
+  case DomainKind::Unit:
+    return ValueFactory::unit();
+  case DomainKind::Bool:
+    return ValueFactory::boolV(Rng() & 1);
+  case DomainKind::Int: {
+    std::uniform_int_distribution<int64_t> Dist(Lo, Hi);
+    return ValueFactory::intV(Dist(Rng));
+  }
+  case DomainKind::Pair:
+    return ValueFactory::pair(Children[0]->sample(Rng),
+                              Children[1]->sample(Rng));
+  case DomainKind::Seq: {
+    std::uniform_int_distribution<unsigned> LenDist(0, MaxSize);
+    unsigned Len = LenDist(Rng);
+    std::vector<ValueRef> Elems;
+    for (unsigned I = 0; I < Len; ++I)
+      Elems.push_back(Children[0]->sample(Rng));
+    return ValueFactory::seq(std::move(Elems));
+  }
+  case DomainKind::Set: {
+    std::uniform_int_distribution<unsigned> LenDist(0, MaxSize);
+    unsigned Len = LenDist(Rng);
+    std::vector<ValueRef> Elems;
+    for (unsigned I = 0; I < Len; ++I)
+      Elems.push_back(Children[0]->sample(Rng));
+    return ValueFactory::set(std::move(Elems));
+  }
+  case DomainKind::Multiset: {
+    std::uniform_int_distribution<unsigned> LenDist(0, MaxSize);
+    unsigned Len = LenDist(Rng);
+    std::vector<ValueRef> Elems;
+    for (unsigned I = 0; I < Len; ++I)
+      Elems.push_back(Children[0]->sample(Rng));
+    return ValueFactory::multiset(std::move(Elems));
+  }
+  case DomainKind::Map: {
+    std::uniform_int_distribution<unsigned> LenDist(0, MaxSize);
+    unsigned Len = LenDist(Rng);
+    std::vector<std::pair<ValueRef, ValueRef>> Entries;
+    for (unsigned I = 0; I < Len; ++I)
+      Entries.emplace_back(Children[0]->sample(Rng),
+                           Children[1]->sample(Rng));
+    return ValueFactory::map(std::move(Entries));
+  }
+  }
+  return ValueFactory::unit();
+}

@@ -1,0 +1,248 @@
+//===-- value/Value.cpp - Pure mathematical value domain ------------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "value/Value.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+using namespace commcsl;
+
+const char *commcsl::valueKindName(ValueKind Kind) {
+  switch (Kind) {
+  case ValueKind::Unit:
+    return "unit";
+  case ValueKind::Int:
+    return "int";
+  case ValueKind::Bool:
+    return "bool";
+  case ValueKind::String:
+    return "string";
+  case ValueKind::Pair:
+    return "pair";
+  case ValueKind::Seq:
+    return "seq";
+  case ValueKind::Set:
+    return "set";
+  case ValueKind::Multiset:
+    return "mset";
+  case ValueKind::Map:
+    return "map";
+  }
+  return "invalid";
+}
+
+int Value::compare(const Value &A, const Value &B) {
+  if (A.Kind != B.Kind)
+    return A.Kind < B.Kind ? -1 : 1;
+  switch (A.Kind) {
+  case ValueKind::Unit:
+    return 0;
+  case ValueKind::Int:
+  case ValueKind::Bool:
+    if (A.IntVal != B.IntVal)
+      return A.IntVal < B.IntVal ? -1 : 1;
+    return 0;
+  case ValueKind::String:
+    return A.StrVal.compare(B.StrVal) < 0   ? -1
+           : A.StrVal.compare(B.StrVal) > 0 ? 1
+                                            : 0;
+  case ValueKind::Pair:
+  case ValueKind::Seq:
+  case ValueKind::Set:
+  case ValueKind::Multiset: {
+    size_t N = std::min(A.Elems.size(), B.Elems.size());
+    for (size_t I = 0; I < N; ++I) {
+      int C = compare(*A.Elems[I], *B.Elems[I]);
+      if (C != 0)
+        return C;
+    }
+    if (A.Elems.size() != B.Elems.size())
+      return A.Elems.size() < B.Elems.size() ? -1 : 1;
+    return 0;
+  }
+  case ValueKind::Map: {
+    size_t N = std::min(A.MapElems.size(), B.MapElems.size());
+    for (size_t I = 0; I < N; ++I) {
+      int C = compare(*A.MapElems[I].first, *B.MapElems[I].first);
+      if (C != 0)
+        return C;
+      C = compare(*A.MapElems[I].second, *B.MapElems[I].second);
+      if (C != 0)
+        return C;
+    }
+    if (A.MapElems.size() != B.MapElems.size())
+      return A.MapElems.size() < B.MapElems.size() ? -1 : 1;
+    return 0;
+  }
+  }
+  return 0;
+}
+
+size_t Value::hash() const {
+  size_t Seed = static_cast<size_t>(Kind) * 0x9e3779b9u;
+  switch (Kind) {
+  case ValueKind::Unit:
+    break;
+  case ValueKind::Int:
+  case ValueKind::Bool:
+    hashCombine(Seed, std::hash<int64_t>()(IntVal));
+    break;
+  case ValueKind::String:
+    hashCombine(Seed, std::hash<std::string>()(StrVal));
+    break;
+  case ValueKind::Pair:
+  case ValueKind::Seq:
+  case ValueKind::Set:
+  case ValueKind::Multiset:
+    for (const ValueRef &E : Elems)
+      hashCombine(Seed, E->hash());
+    break;
+  case ValueKind::Map:
+    for (const auto &[K, V] : MapElems) {
+      hashCombine(Seed, K->hash());
+      hashCombine(Seed, V->hash());
+    }
+    break;
+  }
+  return Seed;
+}
+
+std::string Value::str() const {
+  std::ostringstream OS;
+  switch (Kind) {
+  case ValueKind::Unit:
+    OS << "unit";
+    break;
+  case ValueKind::Int:
+    OS << IntVal;
+    break;
+  case ValueKind::Bool:
+    OS << (IntVal ? "true" : "false");
+    break;
+  case ValueKind::String:
+    OS << '"' << StrVal << '"';
+    break;
+  case ValueKind::Pair:
+    OS << "(" << Elems[0]->str() << ", " << Elems[1]->str() << ")";
+    break;
+  case ValueKind::Seq: {
+    OS << "[";
+    for (size_t I = 0; I < Elems.size(); ++I)
+      OS << (I ? ", " : "") << Elems[I]->str();
+    OS << "]";
+    break;
+  }
+  case ValueKind::Set: {
+    OS << "{";
+    for (size_t I = 0; I < Elems.size(); ++I)
+      OS << (I ? ", " : "") << Elems[I]->str();
+    OS << "}";
+    break;
+  }
+  case ValueKind::Multiset: {
+    OS << "ms{";
+    for (size_t I = 0; I < Elems.size(); ++I)
+      OS << (I ? ", " : "") << Elems[I]->str();
+    OS << "}";
+    break;
+  }
+  case ValueKind::Map: {
+    OS << "map{";
+    for (size_t I = 0; I < MapElems.size(); ++I)
+      OS << (I ? ", " : "") << MapElems[I].first->str() << " -> "
+         << MapElems[I].second->str();
+    OS << "}";
+    break;
+  }
+  }
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// ValueFactory
+//===----------------------------------------------------------------------===//
+
+ValueRef ValueFactory::unit() {
+  static ValueRef Cached = [] {
+    auto *V = new Value(ValueKind::Unit);
+    return ValueRef(V);
+  }();
+  return Cached;
+}
+
+ValueRef ValueFactory::intV(int64_t I) {
+  auto *V = new Value(ValueKind::Int);
+  V->IntVal = I;
+  return ValueRef(V);
+}
+
+ValueRef ValueFactory::boolV(bool B) {
+  auto *V = new Value(ValueKind::Bool);
+  V->IntVal = B ? 1 : 0;
+  return ValueRef(V);
+}
+
+ValueRef ValueFactory::stringV(std::string S) {
+  auto *V = new Value(ValueKind::String);
+  V->StrVal = std::move(S);
+  return ValueRef(V);
+}
+
+ValueRef ValueFactory::pair(ValueRef Fst, ValueRef Snd) {
+  assert(Fst && Snd && "null pair component");
+  auto *V = new Value(ValueKind::Pair);
+  V->Elems = {std::move(Fst), std::move(Snd)};
+  return ValueRef(V);
+}
+
+ValueRef ValueFactory::seq(std::vector<ValueRef> Elems) {
+  auto *V = new Value(ValueKind::Seq);
+  V->Elems = std::move(Elems);
+  return ValueRef(V);
+}
+
+ValueRef ValueFactory::set(std::vector<ValueRef> Elems) {
+  std::sort(Elems.begin(), Elems.end(), ValueRefLess());
+  Elems.erase(std::unique(Elems.begin(), Elems.end(),
+                          [](const ValueRef &A, const ValueRef &B) {
+                            return Value::equal(A, B);
+                          }),
+              Elems.end());
+  auto *V = new Value(ValueKind::Set);
+  V->Elems = std::move(Elems);
+  return ValueRef(V);
+}
+
+ValueRef ValueFactory::multiset(std::vector<ValueRef> Elems) {
+  std::sort(Elems.begin(), Elems.end(), ValueRefLess());
+  auto *V = new Value(ValueKind::Multiset);
+  V->Elems = std::move(Elems);
+  return ValueRef(V);
+}
+
+ValueRef
+ValueFactory::map(std::vector<std::pair<ValueRef, ValueRef>> Entries) {
+  // Later entries win, matching repeated map_put semantics: stable-sort by
+  // key and keep the last entry of each equal-key run.
+  std::stable_sort(Entries.begin(), Entries.end(),
+                   [](const auto &A, const auto &B) {
+                     return Value::compare(A.first, B.first) < 0;
+                   });
+  std::vector<std::pair<ValueRef, ValueRef>> Canon;
+  for (size_t I = 0; I < Entries.size(); ++I) {
+    if (!Canon.empty() && Value::equal(Canon.back().first, Entries[I].first))
+      Canon.back().second = Entries[I].second;
+    else
+      Canon.push_back(Entries[I]);
+  }
+  auto *V = new Value(ValueKind::Map);
+  V->MapElems = std::move(Canon);
+  return ValueRef(V);
+}

@@ -1,0 +1,165 @@
+//===-- value/Value.h - Pure mathematical value domain ----------*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pure mathematical value domain over which resource specifications are
+/// defined (Sec. 2.4 / 3.2 of the paper). Resource specifications map heap
+/// data structures to values of this domain via separation-logic predicates;
+/// abstraction functions and action functions are total functions on it.
+///
+/// Values are immutable and shared via `ValueRef`. Sets are kept as sorted
+/// unique vectors, multisets as sorted vectors, and maps as key-sorted entry
+/// vectors, so structural equality coincides with mathematical equality and
+/// hashing/printing are canonical.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_VALUE_VALUE_H
+#define COMMCSL_VALUE_VALUE_H
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace commcsl {
+
+class Value;
+
+/// Shared immutable reference to a Value.
+using ValueRef = std::shared_ptr<const Value>;
+
+/// Discriminator for the value domain.
+enum class ValueKind : uint8_t {
+  Unit,
+  Int,
+  Bool,
+  String,
+  Pair,     ///< ordered pair <fst, snd>
+  Seq,      ///< finite sequence
+  Set,      ///< finite set (canonical: sorted, unique)
+  Multiset, ///< finite multiset (canonical: sorted)
+  Map,      ///< finite partial map (canonical: key-sorted entries)
+};
+
+/// Returns a printable name for \p Kind ("int", "seq", ...).
+const char *valueKindName(ValueKind Kind);
+
+/// An immutable mathematical value. Construct through the factory functions
+/// below; they maintain the canonical-form invariants for collections.
+class Value {
+public:
+  ValueKind kind() const { return Kind; }
+
+  bool isInt() const { return Kind == ValueKind::Int; }
+  bool isBool() const { return Kind == ValueKind::Bool; }
+
+  /// Integer payload; only valid for Int values.
+  int64_t getInt() const {
+    assert(Kind == ValueKind::Int && "not an int");
+    return IntVal;
+  }
+
+  /// Boolean payload; only valid for Bool values.
+  bool getBool() const {
+    assert(Kind == ValueKind::Bool && "not a bool");
+    return IntVal != 0;
+  }
+
+  /// String payload; only valid for String values.
+  const std::string &getString() const {
+    assert(Kind == ValueKind::String && "not a string");
+    return StrVal;
+  }
+
+  /// Elements of a Pair (size 2), Seq, Set or Multiset.
+  const std::vector<ValueRef> &elems() const {
+    assert((Kind == ValueKind::Pair || Kind == ValueKind::Seq ||
+            Kind == ValueKind::Set || Kind == ValueKind::Multiset) &&
+           "no element payload");
+    return Elems;
+  }
+
+  /// Entries of a Map, sorted by key.
+  const std::vector<std::pair<ValueRef, ValueRef>> &mapEntries() const {
+    assert(Kind == ValueKind::Map && "not a map");
+    return MapElems;
+  }
+
+  /// Total order over all values: first by kind, then by payload. This is the
+  /// order used to canonicalize sets/multisets/maps.
+  static int compare(const Value &A, const Value &B);
+  static int compare(const ValueRef &A, const ValueRef &B) {
+    return compare(*A, *B);
+  }
+
+  static bool equal(const ValueRef &A, const ValueRef &B) {
+    return compare(*A, *B) == 0;
+  }
+
+  /// Structural hash consistent with `equal`.
+  size_t hash() const;
+
+  /// Canonical textual rendering, e.g. `ms{1, 1, 2}` or `map{1 -> 2}`.
+  std::string str() const;
+
+private:
+  friend class ValueFactory;
+
+  explicit Value(ValueKind Kind) : Kind(Kind) {}
+
+  ValueKind Kind;
+  int64_t IntVal = 0; ///< Int payload; Bool payload (0/1).
+  std::string StrVal;
+  std::vector<ValueRef> Elems;
+  std::vector<std::pair<ValueRef, ValueRef>> MapElems;
+};
+
+/// Factory namespace-like helper building canonical values. All collection
+/// constructors canonicalize their input (sorting sets/multisets, sorting
+/// and de-duplicating map entries by key with later entries winning).
+class ValueFactory {
+public:
+  static ValueRef unit();
+  static ValueRef intV(int64_t V);
+  static ValueRef boolV(bool V);
+  static ValueRef stringV(std::string V);
+  static ValueRef pair(ValueRef Fst, ValueRef Snd);
+  static ValueRef seq(std::vector<ValueRef> Elems);
+  static ValueRef set(std::vector<ValueRef> Elems);
+  static ValueRef multiset(std::vector<ValueRef> Elems);
+  static ValueRef map(std::vector<std::pair<ValueRef, ValueRef>> Entries);
+
+  static ValueRef emptySeq() { return seq({}); }
+  static ValueRef emptySet() { return set({}); }
+  static ValueRef emptyMultiset() { return multiset({}); }
+  static ValueRef emptyMap() { return map({}); }
+};
+
+/// Ordering functor for ValueRef, for use in std::map / sort.
+struct ValueRefLess {
+  bool operator()(const ValueRef &A, const ValueRef &B) const {
+    return Value::compare(A, B) < 0;
+  }
+};
+
+/// Hash functor for ValueRef, for use in unordered containers.
+struct ValueRefHash {
+  size_t operator()(const ValueRef &V) const { return V->hash(); }
+};
+
+/// Equality functor for ValueRef.
+struct ValueRefEq {
+  bool operator()(const ValueRef &A, const ValueRef &B) const {
+    return Value::equal(A, B);
+  }
+};
+
+} // namespace commcsl
+
+#endif // COMMCSL_VALUE_VALUE_H

@@ -1,0 +1,421 @@
+//===-- value/ValueOps.cpp - Operations on pure values --------------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "value/ValueOps.h"
+
+#include <algorithm>
+
+using namespace commcsl;
+
+namespace {
+using VF = ValueFactory;
+
+int64_t asInt(const ValueRef &V) { return V->getInt(); }
+bool asBool(const ValueRef &V) { return V->getBool(); }
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Integer arithmetic
+//===----------------------------------------------------------------------===//
+
+ValueRef vops::add(const ValueRef &A, const ValueRef &B) {
+  return VF::intV(asInt(A) + asInt(B));
+}
+
+ValueRef vops::sub(const ValueRef &A, const ValueRef &B) {
+  return VF::intV(asInt(A) - asInt(B));
+}
+
+ValueRef vops::mul(const ValueRef &A, const ValueRef &B) {
+  return VF::intV(asInt(A) * asInt(B));
+}
+
+ValueRef vops::divT(const ValueRef &A, const ValueRef &B) {
+  int64_t D = asInt(B);
+  return VF::intV(D == 0 ? 0 : asInt(A) / D);
+}
+
+ValueRef vops::modT(const ValueRef &A, const ValueRef &B) {
+  int64_t D = asInt(B);
+  return VF::intV(D == 0 ? 0 : asInt(A) % D);
+}
+
+ValueRef vops::neg(const ValueRef &A) { return VF::intV(-asInt(A)); }
+
+ValueRef vops::minV(const ValueRef &A, const ValueRef &B) {
+  return VF::intV(std::min(asInt(A), asInt(B)));
+}
+
+ValueRef vops::maxV(const ValueRef &A, const ValueRef &B) {
+  return VF::intV(std::max(asInt(A), asInt(B)));
+}
+
+ValueRef vops::absV(const ValueRef &A) {
+  int64_t I = asInt(A);
+  return VF::intV(I < 0 ? -I : I);
+}
+
+//===----------------------------------------------------------------------===//
+// Comparisons and logic
+//===----------------------------------------------------------------------===//
+
+ValueRef vops::eq(const ValueRef &A, const ValueRef &B) {
+  return VF::boolV(Value::equal(A, B));
+}
+
+ValueRef vops::ne(const ValueRef &A, const ValueRef &B) {
+  return VF::boolV(!Value::equal(A, B));
+}
+
+ValueRef vops::lt(const ValueRef &A, const ValueRef &B) {
+  return VF::boolV(Value::compare(A, B) < 0);
+}
+
+ValueRef vops::le(const ValueRef &A, const ValueRef &B) {
+  return VF::boolV(Value::compare(A, B) <= 0);
+}
+
+ValueRef vops::gt(const ValueRef &A, const ValueRef &B) {
+  return VF::boolV(Value::compare(A, B) > 0);
+}
+
+ValueRef vops::ge(const ValueRef &A, const ValueRef &B) {
+  return VF::boolV(Value::compare(A, B) >= 0);
+}
+
+ValueRef vops::logAnd(const ValueRef &A, const ValueRef &B) {
+  return VF::boolV(asBool(A) && asBool(B));
+}
+
+ValueRef vops::logOr(const ValueRef &A, const ValueRef &B) {
+  return VF::boolV(asBool(A) || asBool(B));
+}
+
+ValueRef vops::logNot(const ValueRef &A) { return VF::boolV(!asBool(A)); }
+
+//===----------------------------------------------------------------------===//
+// Pairs
+//===----------------------------------------------------------------------===//
+
+ValueRef vops::fst(const ValueRef &P) {
+  assert(P->kind() == ValueKind::Pair && "fst on non-pair");
+  return P->elems()[0];
+}
+
+ValueRef vops::snd(const ValueRef &P) {
+  assert(P->kind() == ValueKind::Pair && "snd on non-pair");
+  return P->elems()[1];
+}
+
+//===----------------------------------------------------------------------===//
+// Sequences
+//===----------------------------------------------------------------------===//
+
+ValueRef vops::seqLen(const ValueRef &S) {
+  assert(S->kind() == ValueKind::Seq && "len on non-seq");
+  return VF::intV(static_cast<int64_t>(S->elems().size()));
+}
+
+ValueRef vops::seqAppend(const ValueRef &S, const ValueRef &V) {
+  assert(S->kind() == ValueKind::Seq && "append on non-seq");
+  std::vector<ValueRef> Elems = S->elems();
+  Elems.push_back(V);
+  return VF::seq(std::move(Elems));
+}
+
+ValueRef vops::seqConcat(const ValueRef &A, const ValueRef &B) {
+  assert(A->kind() == ValueKind::Seq && B->kind() == ValueKind::Seq &&
+         "concat on non-seq");
+  std::vector<ValueRef> Elems = A->elems();
+  Elems.insert(Elems.end(), B->elems().begin(), B->elems().end());
+  return VF::seq(std::move(Elems));
+}
+
+std::optional<ValueRef> vops::seqAt(const ValueRef &S, int64_t I) {
+  assert(S->kind() == ValueKind::Seq && "at on non-seq");
+  if (I < 0 || static_cast<size_t>(I) >= S->elems().size())
+    return std::nullopt;
+  return S->elems()[static_cast<size_t>(I)];
+}
+
+ValueRef vops::seqAtOr(const ValueRef &S, const ValueRef &I,
+                       const ValueRef &Default) {
+  std::optional<ValueRef> E = seqAt(S, I->getInt());
+  return E ? *E : Default;
+}
+
+std::optional<ValueRef> vops::seqHead(const ValueRef &S) {
+  assert(S->kind() == ValueKind::Seq && "head on non-seq");
+  if (S->elems().empty())
+    return std::nullopt;
+  return S->elems().front();
+}
+
+std::optional<ValueRef> vops::seqLast(const ValueRef &S) {
+  assert(S->kind() == ValueKind::Seq && "last on non-seq");
+  if (S->elems().empty())
+    return std::nullopt;
+  return S->elems().back();
+}
+
+ValueRef vops::seqTail(const ValueRef &S) {
+  assert(S->kind() == ValueKind::Seq && "tail on non-seq");
+  if (S->elems().empty())
+    return S;
+  return VF::seq({S->elems().begin() + 1, S->elems().end()});
+}
+
+ValueRef vops::seqInit(const ValueRef &S) {
+  assert(S->kind() == ValueKind::Seq && "init on non-seq");
+  if (S->elems().empty())
+    return S;
+  return VF::seq({S->elems().begin(), S->elems().end() - 1});
+}
+
+ValueRef vops::seqContains(const ValueRef &S, const ValueRef &V) {
+  assert(S->kind() == ValueKind::Seq && "contains on non-seq");
+  for (const ValueRef &E : S->elems())
+    if (Value::equal(E, V))
+      return VF::boolV(true);
+  return VF::boolV(false);
+}
+
+ValueRef vops::seqTake(const ValueRef &S, const ValueRef &N) {
+  assert(S->kind() == ValueKind::Seq && "take on non-seq");
+  int64_t K = std::clamp<int64_t>(N->getInt(), 0,
+                                  static_cast<int64_t>(S->elems().size()));
+  return VF::seq({S->elems().begin(), S->elems().begin() + K});
+}
+
+ValueRef vops::seqDrop(const ValueRef &S, const ValueRef &N) {
+  assert(S->kind() == ValueKind::Seq && "drop on non-seq");
+  int64_t K = std::clamp<int64_t>(N->getInt(), 0,
+                                  static_cast<int64_t>(S->elems().size()));
+  return VF::seq({S->elems().begin() + K, S->elems().end()});
+}
+
+ValueRef vops::seqSort(const ValueRef &S) {
+  assert(S->kind() == ValueKind::Seq && "sort on non-seq");
+  std::vector<ValueRef> Elems = S->elems();
+  std::sort(Elems.begin(), Elems.end(), ValueRefLess());
+  return VF::seq(std::move(Elems));
+}
+
+ValueRef vops::seqToMultiset(const ValueRef &S) {
+  assert(S->kind() == ValueKind::Seq && "to_mset on non-seq");
+  return VF::multiset(S->elems());
+}
+
+ValueRef vops::seqToSet(const ValueRef &S) {
+  assert(S->kind() == ValueKind::Seq && "to_set on non-seq");
+  return VF::set(S->elems());
+}
+
+ValueRef vops::seqSum(const ValueRef &S) {
+  assert(S->kind() == ValueKind::Seq && "sum on non-seq");
+  int64_t Sum = 0;
+  for (const ValueRef &E : S->elems())
+    Sum += E->getInt();
+  return VF::intV(Sum);
+}
+
+ValueRef vops::seqMean(const ValueRef &S) {
+  assert(S->kind() == ValueKind::Seq && "mean on non-seq");
+  if (S->elems().empty())
+    return VF::intV(0);
+  int64_t Sum = 0;
+  for (const ValueRef &E : S->elems())
+    Sum += E->getInt();
+  return VF::intV(Sum / static_cast<int64_t>(S->elems().size()));
+}
+
+//===----------------------------------------------------------------------===//
+// Sets
+//===----------------------------------------------------------------------===//
+
+ValueRef vops::setAdd(const ValueRef &S, const ValueRef &V) {
+  assert(S->kind() == ValueKind::Set && "set_add on non-set");
+  std::vector<ValueRef> Elems = S->elems();
+  Elems.push_back(V);
+  return VF::set(std::move(Elems));
+}
+
+ValueRef vops::setUnion(const ValueRef &A, const ValueRef &B) {
+  assert(A->kind() == ValueKind::Set && B->kind() == ValueKind::Set &&
+         "set_union on non-set");
+  std::vector<ValueRef> Elems = A->elems();
+  Elems.insert(Elems.end(), B->elems().begin(), B->elems().end());
+  return VF::set(std::move(Elems));
+}
+
+ValueRef vops::setInter(const ValueRef &A, const ValueRef &B) {
+  assert(A->kind() == ValueKind::Set && B->kind() == ValueKind::Set &&
+         "set_inter on non-set");
+  std::vector<ValueRef> Elems;
+  for (const ValueRef &E : A->elems())
+    if (asBool(setMember(B, E)))
+      Elems.push_back(E);
+  return VF::set(std::move(Elems));
+}
+
+ValueRef vops::setDiff(const ValueRef &A, const ValueRef &B) {
+  assert(A->kind() == ValueKind::Set && B->kind() == ValueKind::Set &&
+         "set_diff on non-set");
+  std::vector<ValueRef> Elems;
+  for (const ValueRef &E : A->elems())
+    if (!asBool(setMember(B, E)))
+      Elems.push_back(E);
+  return VF::set(std::move(Elems));
+}
+
+ValueRef vops::setMember(const ValueRef &S, const ValueRef &V) {
+  assert(S->kind() == ValueKind::Set && "set_member on non-set");
+  // Elements are sorted; binary search.
+  const auto &Elems = S->elems();
+  auto It = std::lower_bound(Elems.begin(), Elems.end(), V,
+                             [](const ValueRef &A, const ValueRef &B) {
+                               return Value::compare(A, B) < 0;
+                             });
+  return VF::boolV(It != Elems.end() && Value::equal(*It, V));
+}
+
+ValueRef vops::setSize(const ValueRef &S) {
+  assert(S->kind() == ValueKind::Set && "set_size on non-set");
+  return VF::intV(static_cast<int64_t>(S->elems().size()));
+}
+
+ValueRef vops::setToSeq(const ValueRef &S) {
+  assert(S->kind() == ValueKind::Set && "set_to_seq on non-set");
+  return VF::seq(S->elems());
+}
+
+//===----------------------------------------------------------------------===//
+// Multisets
+//===----------------------------------------------------------------------===//
+
+ValueRef vops::msAdd(const ValueRef &M, const ValueRef &V) {
+  assert(M->kind() == ValueKind::Multiset && "mset_add on non-mset");
+  std::vector<ValueRef> Elems = M->elems();
+  Elems.push_back(V);
+  return VF::multiset(std::move(Elems));
+}
+
+ValueRef vops::msUnion(const ValueRef &A, const ValueRef &B) {
+  assert(A->kind() == ValueKind::Multiset &&
+         B->kind() == ValueKind::Multiset && "mset_union on non-mset");
+  std::vector<ValueRef> Elems = A->elems();
+  Elems.insert(Elems.end(), B->elems().begin(), B->elems().end());
+  return VF::multiset(std::move(Elems));
+}
+
+ValueRef vops::msDiff(const ValueRef &A, const ValueRef &B) {
+  assert(A->kind() == ValueKind::Multiset &&
+         B->kind() == ValueKind::Multiset && "mset_diff on non-mset");
+  // Both are sorted; subtract multiplicities with a merge walk.
+  std::vector<ValueRef> Elems;
+  size_t I = 0, J = 0;
+  const auto &AE = A->elems();
+  const auto &BE = B->elems();
+  while (I < AE.size() && J < BE.size()) {
+    int C = Value::compare(AE[I], BE[J]);
+    if (C < 0) {
+      Elems.push_back(AE[I++]);
+    } else if (C > 0) {
+      ++J;
+    } else {
+      ++I;
+      ++J;
+    }
+  }
+  for (; I < AE.size(); ++I)
+    Elems.push_back(AE[I]);
+  return VF::multiset(std::move(Elems));
+}
+
+ValueRef vops::msCard(const ValueRef &M) {
+  assert(M->kind() == ValueKind::Multiset && "mset_card on non-mset");
+  return VF::intV(static_cast<int64_t>(M->elems().size()));
+}
+
+ValueRef vops::msCount(const ValueRef &M, const ValueRef &V) {
+  assert(M->kind() == ValueKind::Multiset && "mset_count on non-mset");
+  int64_t N = 0;
+  for (const ValueRef &E : M->elems())
+    if (Value::equal(E, V))
+      ++N;
+  return VF::intV(N);
+}
+
+ValueRef vops::msToSeq(const ValueRef &M) {
+  assert(M->kind() == ValueKind::Multiset && "mset_to_seq on non-mset");
+  return VF::seq(M->elems());
+}
+
+//===----------------------------------------------------------------------===//
+// Maps
+//===----------------------------------------------------------------------===//
+
+ValueRef vops::mapPut(const ValueRef &M, const ValueRef &K,
+                      const ValueRef &V) {
+  assert(M->kind() == ValueKind::Map && "map_put on non-map");
+  std::vector<std::pair<ValueRef, ValueRef>> Entries = M->mapEntries();
+  Entries.emplace_back(K, V);
+  return VF::map(std::move(Entries));
+}
+
+std::optional<ValueRef> vops::mapGet(const ValueRef &M, const ValueRef &K) {
+  assert(M->kind() == ValueKind::Map && "map_get on non-map");
+  const auto &Entries = M->mapEntries();
+  auto It = std::lower_bound(Entries.begin(), Entries.end(), K,
+                             [](const auto &E, const ValueRef &Key) {
+                               return Value::compare(E.first, Key) < 0;
+                             });
+  if (It != Entries.end() && Value::equal(It->first, K))
+    return It->second;
+  return std::nullopt;
+}
+
+ValueRef vops::mapGetOr(const ValueRef &M, const ValueRef &K,
+                        const ValueRef &Default) {
+  std::optional<ValueRef> V = mapGet(M, K);
+  return V ? *V : Default;
+}
+
+ValueRef vops::mapHas(const ValueRef &M, const ValueRef &K) {
+  return ValueFactory::boolV(mapGet(M, K).has_value());
+}
+
+ValueRef vops::mapRemove(const ValueRef &M, const ValueRef &K) {
+  assert(M->kind() == ValueKind::Map && "map_remove on non-map");
+  std::vector<std::pair<ValueRef, ValueRef>> Entries;
+  for (const auto &E : M->mapEntries())
+    if (!Value::equal(E.first, K))
+      Entries.push_back(E);
+  return VF::map(std::move(Entries));
+}
+
+ValueRef vops::mapDom(const ValueRef &M) {
+  assert(M->kind() == ValueKind::Map && "dom on non-map");
+  std::vector<ValueRef> Keys;
+  Keys.reserve(M->mapEntries().size());
+  for (const auto &E : M->mapEntries())
+    Keys.push_back(E.first);
+  return VF::set(std::move(Keys));
+}
+
+ValueRef vops::mapValuesMs(const ValueRef &M) {
+  assert(M->kind() == ValueKind::Map && "values on non-map");
+  std::vector<ValueRef> Vals;
+  Vals.reserve(M->mapEntries().size());
+  for (const auto &E : M->mapEntries())
+    Vals.push_back(E.second);
+  return VF::multiset(std::move(Vals));
+}
+
+ValueRef vops::mapSize(const ValueRef &M) {
+  assert(M->kind() == ValueKind::Map && "map_size on non-map");
+  return VF::intV(static_cast<int64_t>(M->mapEntries().size()));
+}

@@ -1,0 +1,147 @@
+//===-- value/ValueOps.h - Operations on pure values ------------*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The operation library over the pure value domain. These operations back
+/// the expression language's builtins, the interpreter, the resource-spec
+/// action functions, and the validity checker.
+///
+/// Every operation is *total* on well-typed inputs: partial operations
+/// (indexing, head, map lookup, division) either take an explicit default or
+/// return a conventional default (0 for integer division by zero). Totality
+/// matters: the paper requires action functions to be total on the resource
+/// value (App. D), and expression evaluation in the semantics is total.
+///
+/// Operations that are type-incorrect (e.g. `add` on a Seq) assert; the
+/// surface language is type-checked before evaluation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_VALUE_VALUEOPS_H
+#define COMMCSL_VALUE_VALUEOPS_H
+
+#include "value/Value.h"
+
+#include <optional>
+
+namespace commcsl {
+namespace vops {
+
+//===----------------------------------------------------------------------===//
+// Integer arithmetic (total; division/modulo by zero yield 0).
+//===----------------------------------------------------------------------===//
+
+ValueRef add(const ValueRef &A, const ValueRef &B);
+ValueRef sub(const ValueRef &A, const ValueRef &B);
+ValueRef mul(const ValueRef &A, const ValueRef &B);
+ValueRef divT(const ValueRef &A, const ValueRef &B);
+ValueRef modT(const ValueRef &A, const ValueRef &B);
+ValueRef neg(const ValueRef &A);
+ValueRef minV(const ValueRef &A, const ValueRef &B);
+ValueRef maxV(const ValueRef &A, const ValueRef &B);
+ValueRef absV(const ValueRef &A);
+
+//===----------------------------------------------------------------------===//
+// Comparisons and logical operations.
+//===----------------------------------------------------------------------===//
+
+ValueRef eq(const ValueRef &A, const ValueRef &B);
+ValueRef ne(const ValueRef &A, const ValueRef &B);
+ValueRef lt(const ValueRef &A, const ValueRef &B);
+ValueRef le(const ValueRef &A, const ValueRef &B);
+ValueRef gt(const ValueRef &A, const ValueRef &B);
+ValueRef ge(const ValueRef &A, const ValueRef &B);
+ValueRef logAnd(const ValueRef &A, const ValueRef &B);
+ValueRef logOr(const ValueRef &A, const ValueRef &B);
+ValueRef logNot(const ValueRef &A);
+
+//===----------------------------------------------------------------------===//
+// Pairs.
+//===----------------------------------------------------------------------===//
+
+ValueRef fst(const ValueRef &P);
+ValueRef snd(const ValueRef &P);
+
+//===----------------------------------------------------------------------===//
+// Sequences.
+//===----------------------------------------------------------------------===//
+
+ValueRef seqLen(const ValueRef &S);
+ValueRef seqAppend(const ValueRef &S, const ValueRef &V);
+ValueRef seqConcat(const ValueRef &A, const ValueRef &B);
+/// Element at \p I, or std::nullopt when out of range.
+std::optional<ValueRef> seqAt(const ValueRef &S, int64_t I);
+/// Element at \p I, or \p Default when out of range (total version).
+ValueRef seqAtOr(const ValueRef &S, const ValueRef &I, const ValueRef &Default);
+std::optional<ValueRef> seqHead(const ValueRef &S);
+std::optional<ValueRef> seqLast(const ValueRef &S);
+/// All but the first element; empty sequence stays empty.
+ValueRef seqTail(const ValueRef &S);
+/// All but the last element; empty sequence stays empty.
+ValueRef seqInit(const ValueRef &S);
+ValueRef seqContains(const ValueRef &S, const ValueRef &V);
+/// First min(max(N,0), len) elements.
+ValueRef seqTake(const ValueRef &S, const ValueRef &N);
+/// All but the first min(max(N,0), len) elements.
+ValueRef seqDrop(const ValueRef &S, const ValueRef &N);
+/// Ascending sort by the canonical value order. `sort(s)` equals the sorted
+/// sequence of `seqToMultiset(s)`, the identity the paper's Email-Metadata
+/// example relies on.
+ValueRef seqSort(const ValueRef &S);
+ValueRef seqToMultiset(const ValueRef &S);
+ValueRef seqToSet(const ValueRef &S);
+/// Sum of an integer sequence (0 if empty).
+ValueRef seqSum(const ValueRef &S);
+/// Integer mean of an integer sequence (0 if empty).
+ValueRef seqMean(const ValueRef &S);
+
+//===----------------------------------------------------------------------===//
+// Sets.
+//===----------------------------------------------------------------------===//
+
+ValueRef setAdd(const ValueRef &S, const ValueRef &V);
+ValueRef setUnion(const ValueRef &A, const ValueRef &B);
+ValueRef setInter(const ValueRef &A, const ValueRef &B);
+ValueRef setDiff(const ValueRef &A, const ValueRef &B);
+ValueRef setMember(const ValueRef &S, const ValueRef &V);
+ValueRef setSize(const ValueRef &S);
+/// Ascending enumeration of the set as a sequence.
+ValueRef setToSeq(const ValueRef &S);
+
+//===----------------------------------------------------------------------===//
+// Multisets.
+//===----------------------------------------------------------------------===//
+
+ValueRef msAdd(const ValueRef &M, const ValueRef &V);
+ValueRef msUnion(const ValueRef &A, const ValueRef &B);
+/// Multiset difference A \# B.
+ValueRef msDiff(const ValueRef &A, const ValueRef &B);
+ValueRef msCard(const ValueRef &M);
+/// Multiplicity of \p V in \p M.
+ValueRef msCount(const ValueRef &M, const ValueRef &V);
+/// Ascending enumeration of the multiset as a sequence.
+ValueRef msToSeq(const ValueRef &M);
+
+//===----------------------------------------------------------------------===//
+// Maps.
+//===----------------------------------------------------------------------===//
+
+ValueRef mapPut(const ValueRef &M, const ValueRef &K, const ValueRef &V);
+std::optional<ValueRef> mapGet(const ValueRef &M, const ValueRef &K);
+ValueRef mapGetOr(const ValueRef &M, const ValueRef &K,
+                  const ValueRef &Default);
+ValueRef mapHas(const ValueRef &M, const ValueRef &K);
+ValueRef mapRemove(const ValueRef &M, const ValueRef &K);
+/// Domain of the map as a set.
+ValueRef mapDom(const ValueRef &M);
+/// Multiset of the map's values.
+ValueRef mapValuesMs(const ValueRef &M);
+ValueRef mapSize(const ValueRef &M);
+
+} // namespace vops
+} // namespace commcsl
+
+#endif // COMMCSL_VALUE_VALUEOPS_H

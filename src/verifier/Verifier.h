@@ -1,0 +1,98 @@
+//===-- verifier/Verifier.h - CommCSL relational verifier -------*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CommCSL program verifier: a relational symbolic-execution engine
+/// implementing the proof rules of Sec. 3.6 (Share, AtomicShr, AtomicUnq,
+/// If1/If2, While1/While2, Par, procedure-modular calls) over the term
+/// solver. It enforces the paper's four central properties:
+///
+///  (1) low initial abstract value at `share`;
+///  (2)+(3a) retroactively at `unshare`: the recorded argument collections
+///      admit a pre-respecting bijection (`PRE`, Def. 3.2) — recorded
+///      applications are discharged eagerly when possible and re-tried at
+///      unshare with the facts available then (the paper's retroactive
+///      checking, Sec. 2.5);
+///  (3b)+(4) via the resource-specification validity checker (Def. 3.1),
+///      run once per specification.
+///
+/// The engine runs both executions of the relational pair in lock-step:
+/// each variable carries one term per side, `Low(e)` is provable equality
+/// of the two evaluations, high conditionals force unary postconditions by
+/// havocing modified state to unrelated symbols, and everything read from
+/// a shared resource inside an atomic block is a fresh (high) symbol.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_VERIFIER_VERIFIER_H
+#define COMMCSL_VERIFIER_VERIFIER_H
+
+#include "lang/Program.h"
+#include "rspec/Validity.h"
+#include "solver/Solver.h"
+#include "solver/SymEval.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace commcsl {
+
+/// Configuration of the verifier.
+struct VerifierConfig {
+  /// Budgets for Def. 3.1 validity checking of resource specifications.
+  ValidityConfig Validity;
+  /// Skip spec validity (used by unit tests that target program rules).
+  bool SkipValidityCheck = false;
+};
+
+/// Per-procedure verdict.
+struct ProcVerdict {
+  std::string Proc;
+  bool Ok = false;
+  unsigned NumObligations = 0; ///< discharged proof obligations
+};
+
+/// Whole-program verification result.
+struct VerifyResult {
+  bool Ok = false;
+  std::vector<ProcVerdict> Procs;
+  unsigned NumSpecsChecked = 0;
+};
+
+/// The CommCSL verifier. Construct once per program; `verifyAll` checks
+/// every resource specification (Def. 3.1) and every procedure against its
+/// contract. Diagnostics carry machine-readable codes (DiagCode) that the
+/// negative tests assert on.
+class Verifier {
+public:
+  Verifier(const Program &Prog, DiagnosticEngine &Diags,
+           VerifierConfig Config = {});
+  ~Verifier();
+
+  /// Verifies all specs and procedures.
+  VerifyResult verifyAll();
+
+  /// Verifies one resource specification (validity, Def. 3.1).
+  bool verifySpec(const ResourceSpecDecl &Spec);
+
+  /// Verifies one procedure against its contract.
+  ProcVerdict verifyProc(const ProcDecl &Proc);
+
+private:
+  struct Impl;
+  const Program &Prog;
+  DiagnosticEngine &Diags;
+  VerifierConfig Config;
+  std::set<std::string> ValidatedSpecs; ///< cache of validity results
+};
+
+} // namespace commcsl
+
+#endif // COMMCSL_VERIFIER_VERIFIER_H

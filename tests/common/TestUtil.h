@@ -1,0 +1,74 @@
+//===-- tests/common/TestUtil.h - Shared test helpers -----------*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_TESTS_TESTUTIL_H
+#define COMMCSL_TESTS_TESTUTIL_H
+
+#include "lang/Program.h"
+#include "lang/TypeChecker.h"
+#include "parser/Parser.h"
+#include "support/Diagnostics.h"
+#include "value/Value.h"
+
+#include <gtest/gtest.h>
+
+namespace commcsl {
+namespace test {
+
+/// Parses and type-checks a source program; fails the current test on any
+/// diagnostic error.
+inline Program parseChecked(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Program Prog = Parser::parse(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  TypeChecker Checker(Prog, Diags);
+  Checker.check();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Prog;
+}
+
+/// Parses and type-checks, expecting at least one error; returns the
+/// diagnostics for inspection.
+inline DiagnosticEngine parseExpectError(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Program Prog = Parser::parse(Source, Diags);
+  if (!Diags.hasErrors()) {
+    TypeChecker Checker(Prog, Diags);
+    Checker.check();
+  }
+  EXPECT_TRUE(Diags.hasErrors()) << "expected a diagnostic for:\n" << Source;
+  return Diags;
+}
+
+/// Shorthand value constructors for tests.
+inline ValueRef iv(int64_t V) { return ValueFactory::intV(V); }
+inline ValueRef bv(bool V) { return ValueFactory::boolV(V); }
+inline ValueRef pv(ValueRef A, ValueRef B) {
+  return ValueFactory::pair(std::move(A), std::move(B));
+}
+inline ValueRef sv(std::vector<int64_t> Xs) {
+  std::vector<ValueRef> Elems;
+  for (int64_t X : Xs)
+    Elems.push_back(iv(X));
+  return ValueFactory::seq(std::move(Elems));
+}
+inline ValueRef msv(std::vector<int64_t> Xs) {
+  std::vector<ValueRef> Elems;
+  for (int64_t X : Xs)
+    Elems.push_back(iv(X));
+  return ValueFactory::multiset(std::move(Elems));
+}
+inline ValueRef setv(std::vector<int64_t> Xs) {
+  std::vector<ValueRef> Elems;
+  for (int64_t X : Xs)
+    Elems.push_back(iv(X));
+  return ValueFactory::set(std::move(Elems));
+}
+
+} // namespace test
+} // namespace commcsl
+
+#endif // COMMCSL_TESTS_TESTUTIL_H

@@ -1,0 +1,111 @@
+//===-- tests/lang/EvalTest.cpp - Expression evaluation tests --------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/ExprEval.h"
+
+#include "tests/common/TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace commcsl;
+using namespace commcsl::test;
+
+namespace {
+/// Parses a function `f` with the given parameters/body and evaluates it.
+ValueRef evalFunc(const std::string &Decl, const EvalEnv &Env) {
+  Program P = parseChecked(Decl);
+  EXPECT_EQ(P.Funcs.size(), 1u);
+  ExprEvaluator Eval(&P);
+  return Eval.eval(*P.Funcs[0].Body, Env);
+}
+} // namespace
+
+TEST(EvalTest, Arithmetic) {
+  ValueRef R = evalFunc("function f(x: int): int = 2 * x + 1;",
+                        {{"x", iv(20)}});
+  EXPECT_EQ(R->getInt(), 41);
+}
+
+TEST(EvalTest, ShortCircuitAnd) {
+  // Division is total, but short-circuiting is still observable through
+  // side-effect-free totality: (false && ...) is false.
+  ValueRef R = evalFunc("function f(x: int): bool = x > 0 && 10 / x > 1;",
+                        {{"x", iv(0)}});
+  EXPECT_FALSE(R->getBool());
+}
+
+TEST(EvalTest, Implication) {
+  ValueRef R = evalFunc("function f(x: int): bool = x > 5 ==> x > 3;",
+                        {{"x", iv(1)}});
+  EXPECT_TRUE(R->getBool());
+}
+
+TEST(EvalTest, IteShortCircuits) {
+  ValueRef R = evalFunc(
+      "function f(s: seq<int>): int = ite(len(s) > 0, head(s), -1);",
+      {{"s", sv({})}});
+  EXPECT_EQ(R->getInt(), -1);
+}
+
+TEST(EvalTest, PartialBuiltinsTotalizedWithDefaults) {
+  // Out-of-range `at` on seq<int> yields int default 0.
+  ValueRef R = evalFunc("function f(s: seq<int>): int = at(s, 5);",
+                        {{"s", sv({1, 2})}});
+  EXPECT_EQ(R->getInt(), 0);
+  // map_get on absent key yields the value type's default.
+  ValueRef R2 = evalFunc(
+      "function f(m: map<int, bool>): bool = map_get(m, 3);",
+      {{"m", ValueFactory::emptyMap()}});
+  EXPECT_FALSE(R2->getBool());
+}
+
+TEST(EvalTest, UserFunctionInlining) {
+  Program P = parseChecked(R"(
+    function double(x: int): int = 2 * x;
+    function quad(x: int): int = double(double(x));
+  )");
+  ExprEvaluator Eval(&P);
+  EvalEnv Env{{"x", iv(3)}};
+  EXPECT_EQ(Eval.eval(*P.Funcs[1].Body, Env)->getInt(), 12);
+}
+
+TEST(EvalTest, DataStructurePipeline) {
+  // sort(set_to_seq(dom(map))) — the Fig. 3 output expression.
+  ValueRef M = ValueFactory::map({{iv(3), iv(30)}, {iv(1), iv(10)}});
+  ValueRef R = evalFunc(
+      "function f(m: map<int, int>): seq<int> = sort(set_to_seq(dom(m)));",
+      {{"m", M}});
+  EXPECT_EQ(R->str(), "[1, 3]");
+}
+
+TEST(EvalTest, TakeDrop) {
+  ValueRef R = evalFunc("function f(s: seq<int>): seq<int> = take(s, 2);",
+                        {{"s", sv({5, 6, 7})}});
+  EXPECT_EQ(R->str(), "[5, 6]");
+  ValueRef R2 = evalFunc("function f(s: seq<int>): seq<int> = drop(s, 2);",
+                         {{"s", sv({5, 6, 7})}});
+  EXPECT_EQ(R2->str(), "[7]");
+  // Clamping.
+  ValueRef R3 = evalFunc("function f(s: seq<int>): seq<int> = take(s, 9);",
+                         {{"s", sv({5})}});
+  EXPECT_EQ(R3->str(), "[5]");
+}
+
+TEST(EvalTest, UnboundVariableDefaults) {
+  // Total expression semantics: unbound variables read their default.
+  ValueRef R = evalFunc("function f(x: int): int = x + 1;", {});
+  EXPECT_EQ(R->getInt(), 1);
+}
+
+TEST(EvalTest, EvaluationIsDeterministic) {
+  Program P = parseChecked(
+      "function f(s: seq<int>): int = sum(s) * mean(s) + len(s);");
+  ExprEvaluator Eval(&P);
+  EvalEnv Env{{"s", sv({4, 5, 6})}};
+  ValueRef A = Eval.eval(*P.Funcs[0].Body, Env);
+  ValueRef B = Eval.eval(*P.Funcs[0].Body, Env);
+  EXPECT_TRUE(Value::equal(A, B));
+}

@@ -1,0 +1,137 @@
+//===-- tests/lang/PrinterTest.cpp - Printer round-trip tests --------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pretty-printer round-trip property: parse(print(parse(s))) is defined
+/// and prints identically (print is a fixed point after one round). Checked
+/// over hand-written programs and over the random program generator.
+///
+//===----------------------------------------------------------------------===//
+
+#include "testgen/ProgramGen.h"
+
+#include "tests/common/TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace commcsl;
+using namespace commcsl::test;
+
+namespace {
+/// print -> parse -> print must be stable.
+void expectRoundTrip(const std::string &Source) {
+  DiagnosticEngine D1;
+  Program P1 = Parser::parse(Source, D1);
+  ASSERT_FALSE(D1.hasErrors()) << D1.str() << "\n" << Source;
+  std::string Printed1 = P1.str();
+  DiagnosticEngine D2;
+  Program P2 = Parser::parse(Printed1, D2);
+  ASSERT_FALSE(D2.hasErrors()) << D2.str() << "\n" << Printed1;
+  EXPECT_EQ(Printed1, P2.str());
+}
+} // namespace
+
+TEST(PrinterTest, ExprPrinting) {
+  ExprRef E = Expr::binary(
+      BinaryOp::Add, Expr::var("x"),
+      Expr::builtin(BuiltinKind::SeqLen, {Expr::var("s")}));
+  EXPECT_EQ(E->str(), "(x + len(s))");
+}
+
+TEST(PrinterTest, CommandPrinting) {
+  CommandRef C = Command::whileCmd(
+      Expr::binary(BinaryOp::Lt, Expr::var("i"), Expr::intLit(5)), {},
+      Command::block({Command::assign(
+          "i", Expr::binary(BinaryOp::Add, Expr::var("i"),
+                            Expr::intLit(1)))}));
+  std::string S = C->str();
+  EXPECT_NE(S.find("while ((i < 5))"), std::string::npos);
+  EXPECT_NE(S.find("i := (i + 1);"), std::string::npos);
+}
+
+TEST(PrinterTest, HandWrittenRoundTrips) {
+  expectRoundTrip(R"(
+    function f(x: int): int = 2 * x;
+    resource Counter {
+      state: int;
+      alpha(v) = v;
+      inv(v) = v >= 0;
+      shared action Add(a: int) {
+        apply(v, a) = v + abs(a);
+        requires low(a);
+      }
+      unique action Drain(a: unit) {
+        apply(v, a) = 0;
+        returns(v, a) = v;
+        enabled(v) = v > 0;
+      }
+    }
+    procedure main(l: int, h: int) returns (out: int)
+      requires low(l)
+      ensures low(out)
+    {
+      var x: int := f(l);
+      share r: Counter := 0;
+      par {
+        atomic r { perform r.Add(x); }
+      } and {
+        atomic r { perform r.Add(1); }
+      }
+      if (x > 1) { x := x - 1; } else { skip; }
+      while (x > 0)
+        invariant low(x)
+      {
+        x := x - 1;
+      }
+      out := unshare r;
+    }
+  )");
+}
+
+TEST(PrinterTest, ContractAtomsRoundTrip) {
+  expectRoundTrip(R"(
+    resource Counter {
+      state: int;
+      alpha(v) = v;
+      shared action Add(a: int) { apply(v, a) = v + a; requires low(a); }
+    }
+    procedure worker(r: resource<Counter>, b: bool, x: int)
+      requires low(b) && b ==> low(x)
+      requires sguard(r.Add, 1/2, empty)
+      ensures sguard(r.Add, 1/2, S) && allpre(r.Add, S)
+    {
+      atomic r { perform r.Add(0); }
+    }
+  )");
+}
+
+TEST(PrinterTest, HeapCommandsRoundTrip) {
+  expectRoundTrip(R"(
+    procedure main() returns (out: int) {
+      var p: int := 0;
+      var x: int := 0;
+      p := alloc(1);
+      [p] := 2;
+      x := [p];
+      assert x == 2;
+      out := x;
+    }
+  )");
+}
+
+namespace {
+class PrinterGenTest : public ::testing::TestWithParam<uint64_t> {};
+} // namespace
+
+TEST_P(PrinterGenTest, GeneratedProgramsRoundTrip) {
+  GenConfig Cfg;
+  Cfg.Seed = GetParam() * 101 + 3;
+  Cfg.AllowLeakyOutput = true;
+  expectRoundTrip(generateProgram(Cfg).Source);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrinterGenTest,
+                         ::testing::Range<uint64_t>(0, 15));

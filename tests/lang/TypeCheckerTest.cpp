@@ -1,0 +1,304 @@
+//===-- tests/lang/TypeCheckerTest.cpp - Type checker matrix ---------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/TypeChecker.h"
+
+#include "tests/common/TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace commcsl;
+using namespace commcsl::test;
+
+namespace {
+/// Wraps an expression into a function returning \p RetTy and checks it.
+bool exprChecks(const std::string &Params, const std::string &RetTy,
+                const std::string &Body) {
+  DiagnosticEngine Diags;
+  Program P = Parser::parse(
+      "function f(" + Params + "): " + RetTy + " = " + Body + ";", Diags);
+  if (Diags.hasErrors())
+    return false;
+  TypeChecker Checker(P, Diags);
+  return Checker.check();
+}
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Expression typing matrix
+//===----------------------------------------------------------------------===//
+
+TEST(TypeCheckerTest, BuiltinTypingPositive) {
+  EXPECT_TRUE(exprChecks("s: seq<int>", "int", "len(s)"));
+  EXPECT_TRUE(exprChecks("s: seq<int>", "seq<int>", "append(s, 1)"));
+  EXPECT_TRUE(exprChecks("s: seq<int>", "mset<int>", "seq_to_mset(s)"));
+  EXPECT_TRUE(exprChecks("m: map<int, bool>", "set<int>", "dom(m)"));
+  EXPECT_TRUE(exprChecks("m: map<int, bool>", "bool", "map_get(m, 1)"));
+  EXPECT_TRUE(
+      exprChecks("p: pair<int, seq<bool>>", "seq<bool>", "snd(p)"));
+  EXPECT_TRUE(exprChecks("x: int", "pair<int, int>", "pair(x, x + 1)"));
+  EXPECT_TRUE(exprChecks("b: bool, x: int", "int", "ite(b, x, 0)"));
+  EXPECT_TRUE(exprChecks("s: set<int>", "seq<int>", "set_to_seq(s)"));
+  EXPECT_TRUE(exprChecks("s: seq<int>", "seq<int>", "take(drop(s, 1), 2)"));
+  EXPECT_TRUE(exprChecks("m: mset<int>", "int", "mset_count(m, 3)"));
+}
+
+TEST(TypeCheckerTest, BuiltinTypingNegative) {
+  EXPECT_FALSE(exprChecks("s: seq<int>", "int", "len(1)"));
+  EXPECT_FALSE(exprChecks("s: seq<int>", "seq<int>", "append(s, true)"));
+  EXPECT_FALSE(exprChecks("s: set<int>", "int", "len(s)")); // len is seq-only
+  EXPECT_FALSE(exprChecks("m: map<int, bool>", "bool", "map_get(m, true)"));
+  EXPECT_FALSE(exprChecks("x: int", "int", "fst(x)"));
+  EXPECT_FALSE(exprChecks("b: bool", "int", "ite(b, 1, true)"));
+  EXPECT_FALSE(exprChecks("x: int", "int", "x + true"));
+  EXPECT_FALSE(exprChecks("x: int", "bool", "x && true"));
+  EXPECT_FALSE(exprChecks("s: seq<bool>", "int", "sum(s)"));
+}
+
+TEST(TypeCheckerTest, EqualityRequiresMatchingTypes) {
+  EXPECT_TRUE(exprChecks("a: seq<int>, b: seq<int>", "bool", "a == b"));
+  EXPECT_FALSE(exprChecks("a: seq<int>, b: set<int>", "bool", "a == b"));
+}
+
+TEST(TypeCheckerTest, EmptyConstructorsNeedContext) {
+  EXPECT_TRUE(exprChecks("x: int", "seq<int>", "append(seq_empty(), x)"));
+  // A bare empty constructor with no expected type cannot be inferred.
+  EXPECT_FALSE(exprChecks("x: int", "int", "len(seq_empty())"));
+}
+
+TEST(TypeCheckerTest, FunctionCallArity) {
+  DiagnosticEngine Diags;
+  Program P = Parser::parse(R"(
+    function f(x: int, y: int): int = x + y;
+    function g(z: int): int = f(z);
+  )",
+                            Diags);
+  TypeChecker Checker(P, Diags);
+  EXPECT_FALSE(Checker.check());
+  EXPECT_TRUE(Diags.hasErrorWithCode(DiagCode::TypeError));
+}
+
+TEST(TypeCheckerTest, ForwardFunctionReferenceRejected) {
+  DiagnosticEngine D = parseExpectError(R"(
+    function g(z: int): int = f(z);
+    function f(x: int): int = x;
+  )");
+  EXPECT_TRUE(D.hasErrorWithCode(DiagCode::TypeError));
+}
+
+//===----------------------------------------------------------------------===//
+// Command / contract rules
+//===----------------------------------------------------------------------===//
+
+TEST(TypeCheckerTest, CallResultArityChecked) {
+  DiagnosticEngine D = parseExpectError(R"(
+    procedure two() returns (a: int, b: int) { a := 1; b := 2; }
+    procedure main() {
+      var x: int := 0;
+      x := call two();
+    }
+  )");
+  EXPECT_TRUE(D.hasErrorWithCode(DiagCode::TypeError));
+}
+
+TEST(TypeCheckerTest, CallResultTypesChecked) {
+  DiagnosticEngine D = parseExpectError(R"(
+    procedure one() returns (a: bool) { a := true; }
+    procedure main() {
+      var x: int := 0;
+      x := call one();
+    }
+  )");
+  EXPECT_TRUE(D.hasErrorWithCode(DiagCode::TypeError));
+}
+
+TEST(TypeCheckerTest, ShareInitMustMatchStateType) {
+  DiagnosticEngine D = parseExpectError(R"(
+    resource Counter {
+      state: int;
+      alpha(v) = v;
+      shared action Add(a: int) { apply(v, a) = v + a; }
+    }
+    procedure main() {
+      share r: Counter := true;
+    }
+  )");
+  EXPECT_TRUE(D.hasErrorWithCode(DiagCode::TypeError));
+}
+
+TEST(TypeCheckerTest, UnshareTargetMustMatchStateType) {
+  DiagnosticEngine D = parseExpectError(R"(
+    resource Counter {
+      state: int;
+      alpha(v) = v;
+      shared action Add(a: int) { apply(v, a) = v + a; }
+    }
+    procedure main() {
+      var b: bool := false;
+      share r: Counter := 0;
+      b := unshare r;
+    }
+  )");
+  EXPECT_TRUE(D.hasErrorWithCode(DiagCode::TypeError));
+}
+
+TEST(TypeCheckerTest, PerformArgumentTypeChecked) {
+  DiagnosticEngine D = parseExpectError(R"(
+    resource Counter {
+      state: int;
+      alpha(v) = v;
+      shared action Add(a: int) { apply(v, a) = v + a; }
+    }
+    procedure main() {
+      share r: Counter := 0;
+      atomic r { perform r.Add(true); }
+    }
+  )");
+  EXPECT_TRUE(D.hasErrorWithCode(DiagCode::TypeError));
+}
+
+TEST(TypeCheckerTest, PerformResultNeedsReturnsClause) {
+  DiagnosticEngine D = parseExpectError(R"(
+    resource Counter {
+      state: int;
+      alpha(v) = v;
+      shared action Add(a: int) { apply(v, a) = v + a; }
+    }
+    procedure main() {
+      var x: int := 0;
+      share r: Counter := 0;
+      atomic r { x := perform r.Add(1); }
+    }
+  )");
+  EXPECT_TRUE(D.hasErrorWithCode(DiagCode::TypeError));
+}
+
+TEST(TypeCheckerTest, ApplyMustReturnStateType) {
+  DiagnosticEngine D = parseExpectError(R"(
+    resource Bad {
+      state: int;
+      alpha(v) = v;
+      shared action Flip(a: unit) { apply(v, a) = true; }
+    }
+  )");
+  EXPECT_TRUE(D.hasErrorWithCode(DiagCode::TypeError));
+}
+
+TEST(TypeCheckerTest, HistoryRequiresUniqueWithReturns) {
+  DiagnosticEngine D = parseExpectError(R"(
+    resource Bad {
+      state: seq<int>;
+      alpha(v) = v;
+      shared action App(a: int) {
+        apply(v, a) = append(v, a);
+        history(v) = v;
+      }
+    }
+  )");
+  EXPECT_TRUE(D.hasErrorWithCode(DiagCode::SpecIllFormed));
+}
+
+TEST(TypeCheckerTest, GuardsNotAllowedInActionPreconditions) {
+  DiagnosticEngine D = parseExpectError(R"(
+    resource Bad {
+      state: int;
+      alpha(v) = v;
+      shared action Add(a: int) {
+        apply(v, a) = v + a;
+        requires sguard(r.Add, 1/2, empty);
+      }
+    }
+  )");
+  EXPECT_TRUE(D.hasErrorWithCode(DiagCode::SpecIllFormed));
+}
+
+TEST(TypeCheckerTest, NestedAtomicRejected) {
+  DiagnosticEngine D = parseExpectError(R"(
+    resource Counter {
+      state: int;
+      alpha(v) = v;
+      shared action Add(a: int) { apply(v, a) = v + a; }
+    }
+    procedure main() {
+      share r: Counter := 0;
+      atomic r { atomic r { perform r.Add(1); } }
+    }
+  )");
+  EXPECT_TRUE(D.hasErrorWithCode(DiagCode::TypeError));
+}
+
+TEST(TypeCheckerTest, AtomicWhenNamesKnownAction) {
+  DiagnosticEngine D = parseExpectError(R"(
+    resource Counter {
+      state: int;
+      alpha(v) = v;
+      shared action Add(a: int) { apply(v, a) = v + a; }
+    }
+    procedure main() {
+      share r: Counter := 0;
+      atomic r when Sub { perform r.Add(1); }
+    }
+  )");
+  EXPECT_TRUE(D.hasErrorWithCode(DiagCode::UnknownName));
+}
+
+TEST(TypeCheckerTest, DuplicateTopLevelNamesRejected) {
+  DiagnosticEngine D = parseExpectError(R"(
+    procedure main() { skip; }
+    procedure main() { skip; }
+  )");
+  EXPECT_TRUE(D.hasErrorWithCode(DiagCode::DuplicateName));
+}
+
+TEST(TypeCheckerTest, DuplicateActionNamesRejected) {
+  DiagnosticEngine D = parseExpectError(R"(
+    resource R1 {
+      state: int;
+      alpha(v) = v;
+      shared action A(a: int) { apply(v, a) = v + a; }
+      unique action A(a: int) { apply(v, a) = v - a; }
+    }
+  )");
+  EXPECT_TRUE(D.hasErrorWithCode(DiagCode::DuplicateName));
+}
+
+TEST(TypeCheckerTest, ResourceHandlesAreTyped) {
+  // Passing the wrong resource type to a procedure is a type error.
+  DiagnosticEngine D = parseExpectError(R"(
+    resource A {
+      state: int;
+      alpha(v) = v;
+      shared action X(a: int) { apply(v, a) = v + a; }
+    }
+    resource B {
+      state: int;
+      alpha(v) = v;
+      shared action Y(a: int) { apply(v, a) = v + a; }
+    }
+    procedure useA(r: resource<A>) { skip; }
+    procedure main() {
+      share rb: B := 0;
+      call useA(rb);
+    }
+  )");
+  EXPECT_TRUE(D.hasErrorWithCode(DiagCode::TypeError));
+}
+
+TEST(TypeCheckerTest, TypePrinting) {
+  EXPECT_EQ(Type::map(Type::intTy(), Type::pair(Type::boolTy(),
+                                                Type::seq(Type::intTy())))
+                ->str(),
+            "map<int, pair<bool, seq<int>>>");
+  EXPECT_EQ(Type::resource("Counter")->str(), "resource<Counter>");
+}
+
+TEST(TypeCheckerTest, DefaultValuesMatchTypes) {
+  EXPECT_EQ(Type::intTy()->defaultValue()->getInt(), 0);
+  EXPECT_FALSE(Type::boolTy()->defaultValue()->getBool());
+  EXPECT_TRUE(Type::seq(Type::intTy())->defaultValue()->elems().empty());
+  ValueRef P = Type::pair(Type::intTy(), Type::boolTy())->defaultValue();
+  EXPECT_EQ(P->elems()[0]->getInt(), 0);
+}

@@ -1,0 +1,319 @@
+//===-- tests/logic/LogicTest.cpp - Logic model unit tests -----------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the executable model of Sec. 3.3-3.5: extended-heap addition
+/// (App. B.1 equations (3)-(6)), Fig. 7 assertion satisfaction, the PRE
+/// predicates of Def. 3.2, and the consistency relation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "logic/Assertion.h"
+
+#include "logic/ExtendedHeap.h"
+#include "tests/common/TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace commcsl;
+using namespace commcsl::test;
+
+//===----------------------------------------------------------------------===//
+// Guard-state algebra (App. B.1)
+//===----------------------------------------------------------------------===//
+
+TEST(ExtendedHeapTest, SharedGuardAdditionUnionsArgs) {
+  SharedGuardState A = SharedGuardState::make(Frac::make(1, 2), msv({1}));
+  SharedGuardState B = SharedGuardState::make(Frac::make(1, 2), msv({2, 2}));
+  auto Sum = SharedGuardState::add(A, B);
+  ASSERT_TRUE(Sum.has_value());
+  EXPECT_TRUE(Sum->Amount.isOne());
+  EXPECT_EQ(Sum->Args->str(), "ms{1, 2, 2}");
+}
+
+TEST(ExtendedHeapTest, SharedGuardAdditionCapsAtOne) {
+  SharedGuardState A = SharedGuardState::make(Frac::make(2, 3), msv({}));
+  SharedGuardState B = SharedGuardState::make(Frac::make(1, 2), msv({}));
+  EXPECT_FALSE(SharedGuardState::add(A, B).has_value());
+}
+
+TEST(ExtendedHeapTest, BottomIsIdentity) {
+  SharedGuardState A = SharedGuardState::make(Frac::make(1, 3), msv({7}));
+  auto Sum = SharedGuardState::add(A, SharedGuardState::bottom());
+  ASSERT_TRUE(Sum.has_value());
+  EXPECT_TRUE(*Sum == A);
+}
+
+TEST(ExtendedHeapTest, SharedGuardAdditionIsCommutative) {
+  SharedGuardState A = SharedGuardState::make(Frac::make(1, 4), msv({1}));
+  SharedGuardState B = SharedGuardState::make(Frac::make(1, 2), msv({3}));
+  auto AB = SharedGuardState::add(A, B);
+  auto BA = SharedGuardState::add(B, A);
+  ASSERT_TRUE(AB && BA);
+  EXPECT_TRUE(*AB == *BA);
+}
+
+TEST(ExtendedHeapTest, UniqueGuardsCannotBeSplit) {
+  UniqueGuardState A = UniqueGuardState::make(sv({1}));
+  UniqueGuardState B = UniqueGuardState::make(sv({2}));
+  EXPECT_FALSE(UniqueGuardState::add(A, B).has_value());
+  auto WithBottom = UniqueGuardState::add(A, UniqueGuardState::bottom());
+  ASSERT_TRUE(WithBottom.has_value());
+  EXPECT_TRUE(*WithBottom == A);
+}
+
+TEST(ExtendedHeapTest, PermissionHeapAddition) {
+  PermHeap A, B;
+  A.Cells[1] = {Frac::make(1, 2), 10};
+  B.Cells[1] = {Frac::make(1, 2), 10};
+  B.Cells[2] = {Frac::make(1, 1), 20};
+  auto Sum = PermHeap::add(A, B);
+  ASSERT_TRUE(Sum.has_value());
+  EXPECT_TRUE(Sum->hasFullPermission(1));
+  EXPECT_TRUE(Sum->hasFullPermission(2));
+  // Conflicting values cannot be summed.
+  PermHeap C;
+  C.Cells[1] = {Frac::make(1, 4), 11};
+  EXPECT_FALSE(PermHeap::add(A, C).has_value());
+  // Amounts above 1 cannot be summed.
+  PermHeap D;
+  D.Cells[1] = {Frac::make(3, 4), 10};
+  EXPECT_FALSE(PermHeap::add(*Sum, D).has_value());
+}
+
+TEST(ExtendedHeapTest, NormalizeDropsPermissions) {
+  PermHeap A;
+  A.Cells[5] = {Frac::make(1, 3), 42};
+  auto H = A.normalize();
+  EXPECT_EQ(H.at(5), 42);
+}
+
+//===----------------------------------------------------------------------===//
+// Fig. 7 satisfaction
+//===----------------------------------------------------------------------===//
+
+namespace {
+LogicState stateWith(EvalEnv Store, ExtendedHeap Heap = {}) {
+  return {std::move(Store), std::move(Heap)};
+}
+
+ExprRef typedVar(const std::string &Name, TypeRef Ty) {
+  ExprRef E = Expr::var(Name);
+  E->Ty = std::move(Ty);
+  return E;
+}
+} // namespace
+
+TEST(AssertionTest, LowHoldsIffEqualInBothStates) {
+  AssertionChecker Checker(nullptr);
+  AsrtRef P = Asrt::low(typedVar("x", Type::intTy()));
+  EXPECT_TRUE(Checker.satisfies(stateWith({{"x", iv(1)}}),
+                                stateWith({{"x", iv(1)}}), *P));
+  EXPECT_FALSE(Checker.satisfies(stateWith({{"x", iv(1)}}),
+                                 stateWith({{"x", iv(2)}}), *P));
+}
+
+TEST(AssertionTest, PointsToConsumesExactly) {
+  AssertionChecker Checker(nullptr);
+  ExtendedHeap H;
+  H.PH.Cells[10] = {Frac::one(), 5};
+  AsrtRef P = Asrt::pointsTo(Expr::intLit(10), Frac::one(), Expr::intLit(5));
+  EXPECT_TRUE(Checker.satisfies(stateWith({}, H), stateWith({}, H), *P));
+  // Wrong value.
+  AsrtRef Q = Asrt::pointsTo(Expr::intLit(10), Frac::one(), Expr::intLit(6));
+  EXPECT_FALSE(Checker.satisfies(stateWith({}, H), stateWith({}, H), *Q));
+  // Leftover heap: satisfaction is exact.
+  EXPECT_FALSE(Checker.satisfies(stateWith({}, H), stateWith({}, H),
+                                 *Asrt::emp()));
+}
+
+TEST(AssertionTest, StarSplitsFractions) {
+  AssertionChecker Checker(nullptr);
+  ExtendedHeap H;
+  H.PH.Cells[10] = {Frac::one(), 5};
+  AsrtRef Half =
+      Asrt::pointsTo(Expr::intLit(10), Frac::make(1, 2), Expr::intLit(5));
+  AsrtRef P = Asrt::star(Half, Half);
+  EXPECT_TRUE(Checker.satisfies(stateWith({}, H), stateWith({}, H), *P));
+}
+
+TEST(AssertionTest, ExistsPicksIndependentWitnesses) {
+  // exists x. e |-> x is satisfied by different stored values in the two
+  // states — the canonical "e points to a high value" (Sec. 3.4).
+  AssertionChecker Checker(nullptr);
+  ExtendedHeap H1, H2;
+  H1.PH.Cells[10] = {Frac::one(), 1};
+  H2.PH.Cells[10] = {Frac::one(), 2};
+  AsrtRef P = Asrt::exists(
+      "x", Type::intTy(),
+      Asrt::pointsTo(Expr::intLit(10), Frac::one(),
+                     typedVar("x", Type::intTy())));
+  EXPECT_TRUE(Checker.satisfies(stateWith({}, H1), stateWith({}, H2), *P));
+  // But Low(x) under the same existential forces equal witnesses.
+  AsrtRef Q = Asrt::exists(
+      "x", Type::intTy(),
+      Asrt::star(Asrt::pointsTo(Expr::intLit(10), Frac::one(),
+                                typedVar("x", Type::intTy())),
+                 Asrt::low(typedVar("x", Type::intTy()))));
+  EXPECT_FALSE(Checker.satisfies(stateWith({}, H1), stateWith({}, H2), *Q));
+  EXPECT_TRUE(Checker.satisfies(stateWith({}, H1), stateWith({}, H1), *Q));
+}
+
+TEST(AssertionTest, GuardAssertions) {
+  AssertionChecker Checker(nullptr);
+  ExtendedHeap H;
+  H.GS = SharedGuardState::make(Frac::one(), ValueFactory::emptyMultiset());
+  ExprRef EmptyMs = Expr::builtin(BuiltinKind::MsEmpty, {});
+  EmptyMs->Ty = Type::multiset(Type::intTy());
+  AsrtRef P = Asrt::sguard(Frac::one(), EmptyMs);
+  EXPECT_TRUE(Checker.satisfies(stateWith({}, H), stateWith({}, H), *P));
+  // A half guard cannot account for the full fraction.
+  AsrtRef Q = Asrt::sguard(Frac::make(1, 2), EmptyMs);
+  EXPECT_FALSE(Checker.satisfies(stateWith({}, H), stateWith({}, H), *Q));
+  // But two halves can.
+  EXPECT_TRUE(Checker.satisfies(stateWith({}, H), stateWith({}, H),
+                                *Asrt::star(Q, Q)));
+}
+
+TEST(AssertionTest, ImplicationConditionMustBeLow) {
+  AssertionChecker Checker(nullptr);
+  AsrtRef P = Asrt::imp(typedVar("b", Type::boolTy()),
+                        Asrt::low(typedVar("x", Type::intTy())));
+  // Condition false in both: vacuous.
+  EXPECT_TRUE(Checker.satisfies(stateWith({{"b", bv(false)}, {"x", iv(1)}}),
+                                stateWith({{"b", bv(false)}, {"x", iv(2)}}),
+                                *P));
+  // Condition true in both: body must hold.
+  EXPECT_FALSE(Checker.satisfies(stateWith({{"b", bv(true)}, {"x", iv(1)}}),
+                                 stateWith({{"b", bv(true)}, {"x", iv(2)}}),
+                                 *P));
+  // Condition differing between the states: not low, unsatisfied.
+  EXPECT_FALSE(Checker.satisfies(stateWith({{"b", bv(true)}, {"x", iv(1)}}),
+                                 stateWith({{"b", bv(false)}, {"x", iv(1)}}),
+                                 *P));
+}
+
+TEST(AssertionTest, UnarityIsSyntactic) {
+  AsrtRef Unary = Asrt::star(Asrt::boolE(Expr::boolLit(true)), Asrt::emp());
+  EXPECT_TRUE(Unary->isUnary());
+  AsrtRef Relational =
+      Asrt::star(Asrt::emp(), Asrt::low(typedVar("x", Type::intTy())));
+  EXPECT_FALSE(Relational->isUnary());
+}
+
+//===----------------------------------------------------------------------===//
+// PRE (Def. 3.2)
+//===----------------------------------------------------------------------===//
+
+namespace {
+Program mapSpecProgram() {
+  return parseChecked(R"(
+    resource MapKS {
+      state: map<int, int>;
+      alpha(v) = dom(v);
+      shared action Put(a: pair<int, int>) {
+        apply(v, a) = map_put(v, fst(a), snd(a));
+        requires low(fst(a));
+      }
+      unique action UPut(a: pair<int, int>) {
+        apply(v, a) = map_put(v, fst(a), snd(a));
+        requires low(fst(a));
+      }
+    }
+  )");
+}
+} // namespace
+
+TEST(PreTest, SharedBijectionMatchesByLowKey) {
+  Program P = mapSpecProgram();
+  RSpecRuntime RT(P.Specs[0], &P);
+  const ActionDecl &Put = P.Specs[0].Actions[0];
+  // Same keys, different (high) values, different multiset order: related.
+  ValueRef A = ValueFactory::multiset({pv(iv(1), iv(10)), pv(iv(2), iv(20))});
+  ValueRef B = ValueFactory::multiset({pv(iv(2), iv(99)), pv(iv(1), iv(77))});
+  EXPECT_TRUE(preBijectionShared(RT, Put, A, B));
+  // Different key multiset: unrelated.
+  ValueRef C = ValueFactory::multiset({pv(iv(1), iv(10)), pv(iv(3), iv(20))});
+  EXPECT_FALSE(preBijectionShared(RT, Put, A, C));
+  // Different cardinality (Low(|s|) fails): unrelated.
+  ValueRef D = ValueFactory::multiset({pv(iv(1), iv(10))});
+  EXPECT_FALSE(preBijectionShared(RT, Put, A, D));
+}
+
+TEST(PreTest, SharedBijectionNeedsBacktracking) {
+  Program P = mapSpecProgram();
+  RSpecRuntime RT(P.Specs[0], &P);
+  const ActionDecl &Put = P.Specs[0].Actions[0];
+  // Duplicate keys on one side: the greedy first match can dead-end; the
+  // matcher must backtrack.
+  ValueRef A = ValueFactory::multiset(
+      {pv(iv(1), iv(0)), pv(iv(1), iv(1)), pv(iv(2), iv(0))});
+  ValueRef B = ValueFactory::multiset(
+      {pv(iv(2), iv(5)), pv(iv(1), iv(6)), pv(iv(1), iv(7))});
+  EXPECT_TRUE(preBijectionShared(RT, Put, A, B));
+}
+
+TEST(PreTest, UniqueIsPointwise) {
+  Program P = mapSpecProgram();
+  RSpecRuntime RT(P.Specs[0], &P);
+  const ActionDecl &UPut = P.Specs[0].Actions[1];
+  ValueRef A = ValueFactory::seq({pv(iv(1), iv(10)), pv(iv(2), iv(20))});
+  ValueRef B = ValueFactory::seq({pv(iv(1), iv(99)), pv(iv(2), iv(98))});
+  EXPECT_TRUE(preUnique(RT, UPut, A, B));
+  // Pointwise: the same pairs in swapped order are NOT related for a
+  // unique action (order is observable).
+  ValueRef C = ValueFactory::seq({pv(iv(2), iv(98)), pv(iv(1), iv(99))});
+  EXPECT_FALSE(preUnique(RT, UPut, A, C));
+}
+
+//===----------------------------------------------------------------------===//
+// Consistency (Sec. 3.5)
+//===----------------------------------------------------------------------===//
+
+TEST(ConsistencyTest, FindsAnInterleaving) {
+  Program P = parseChecked(R"(
+    resource Counter {
+      state: int;
+      alpha(v) = v;
+      shared action Add(a: int) { apply(v, a) = v + a; requires low(a); }
+    }
+  )");
+  RSpecRuntime RT(P.Specs[0], &P);
+  std::map<std::string, ValueRef> Args{{"Add", msv({3, 4})}};
+  EXPECT_TRUE(consistentWith(RT, iv(0), Args, iv(7)));
+  EXPECT_FALSE(consistentWith(RT, iv(0), Args, iv(8)));
+}
+
+TEST(ConsistencyTest, RespectsUniqueActionOrder) {
+  Program P = parseChecked(R"(
+    resource Seqs {
+      state: seq<int>;
+      alpha(v) = v;
+      unique action App(a: int) { apply(v, a) = append(v, a); requires low(a); }
+    }
+  )");
+  RSpecRuntime RT(P.Specs[0], &P);
+  std::map<std::string, ValueRef> Args{{"App", sv({1, 2})}};
+  EXPECT_TRUE(consistentWith(RT, sv({}), Args, sv({1, 2})));
+  // The unique action's order is fixed: [2, 1] is not reachable.
+  EXPECT_FALSE(consistentWith(RT, sv({}), Args, sv({2, 1})));
+}
+
+TEST(ConsistencyTest, SharedArgsMayInterleave) {
+  Program P = parseChecked(R"(
+    resource Seqs {
+      state: seq<int>;
+      alpha(v) = seq_to_mset(v);
+      shared action App(a: int) { apply(v, a) = append(v, a); requires low(a); }
+    }
+  )");
+  RSpecRuntime RT(P.Specs[0], &P);
+  std::map<std::string, ValueRef> Args{{"App", msv({1, 2})}};
+  // Both orders are reachable for a shared action.
+  EXPECT_TRUE(consistentWith(RT, sv({}), Args, sv({1, 2})));
+  EXPECT_TRUE(consistentWith(RT, sv({}), Args, sv({2, 1})));
+  EXPECT_FALSE(consistentWith(RT, sv({}), Args, sv({1, 1})));
+}

@@ -1,0 +1,83 @@
+//===-- tests/rspec/SpecLibraryTest.cpp - Spec library tests ---------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rspec/SpecLibrary.h"
+
+#include "rspec/Validity.h"
+#include "tests/common/TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace commcsl;
+using namespace commcsl::test;
+
+namespace {
+class SpecLibraryTest
+    : public ::testing::TestWithParam<const SpecTemplate *> {};
+} // namespace
+
+TEST_P(SpecLibraryTest, EveryLibrarySpecIsValid) {
+  const SpecTemplate *T = GetParam();
+  RSpecRuntime Runtime = T->runtime();
+  ValidityConfig Cfg;
+  Cfg.MaxStates = 150;
+  Cfg.MaxArgs = 30;
+  Cfg.MaxChecksPerProperty = 40000;
+  Cfg.RandomRounds = 400;
+  ValidityChecker Checker(Runtime, Cfg);
+  ValidityResult R = Checker.check();
+  EXPECT_TRUE(R.Valid) << T->name() << ": " << R.CE->describe();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTemplates, SpecLibraryTest, ::testing::ValuesIn(SpecTemplate::all()),
+    [](const ::testing::TestParamInfo<const SpecTemplate *> &I) {
+      return I.param->name();
+    });
+
+TEST(SpecLibraryUsageTest, TemplatesAreSingletons) {
+  EXPECT_EQ(&SpecTemplate::counterAdd(), &SpecTemplate::counterAdd());
+  EXPECT_EQ(SpecTemplate::all().size(), 13u);
+}
+
+TEST(SpecLibraryUsageTest, RuntimeAppliesActions) {
+  const SpecTemplate &T = SpecTemplate::counterAdd();
+  RSpecRuntime RT = T.runtime();
+  const ActionDecl &Add = T.spec().Actions[0];
+  ValueRef V = RT.applyAction(Add, iv(10), iv(5));
+  EXPECT_EQ(V->getInt(), 15);
+  EXPECT_TRUE(RT.preHolds(Add, iv(3), iv(3)));
+  EXPECT_FALSE(RT.preHolds(Add, iv(3), iv(4)));
+}
+
+TEST(SpecLibraryUsageTest, QueueTemplateHasAppendixDFeatures) {
+  const SpecTemplate &T = SpecTemplate::pcQueue();
+  const ResourceSpecDecl &S = T.spec();
+  EXPECT_TRUE(S.Inv != nullptr);
+  const ActionDecl *Cons = S.findAction("Cons");
+  ASSERT_NE(Cons, nullptr);
+  EXPECT_TRUE(Cons->Unique);
+  EXPECT_TRUE(Cons->Enabled != nullptr);
+  EXPECT_TRUE(Cons->History != nullptr);
+  EXPECT_TRUE(Cons->Returns != nullptr);
+
+  RSpecRuntime RT = T.runtime();
+  ValueRef Empty = pv(sv({}), iv(0));
+  EXPECT_FALSE(RT.isEnabled(*Cons, Empty)); // nothing to consume
+  ValueRef One = pv(sv({7}), iv(0));
+  EXPECT_TRUE(RT.isEnabled(*Cons, One));
+  EXPECT_EQ(RT.actionResult(*Cons, One, ValueFactory::unit())->getInt(), 7);
+}
+
+TEST(SpecLibraryUsageTest, MapKeySetRejectsHighKeyPairs) {
+  const SpecTemplate &T = SpecTemplate::mapKeySet();
+  RSpecRuntime RT = T.runtime();
+  const ActionDecl &Put = T.spec().Actions[0];
+  // Equal keys, differing values: related (values may be high).
+  EXPECT_TRUE(RT.preHolds(Put, pv(iv(1), iv(5)), pv(iv(1), iv(9))));
+  // Differing keys: unrelated.
+  EXPECT_FALSE(RT.preHolds(Put, pv(iv(1), iv(5)), pv(iv(2), iv(5))));
+}

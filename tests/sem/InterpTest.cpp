@@ -1,0 +1,463 @@
+//===-- tests/sem/InterpTest.cpp - Interpreter unit tests ------------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sem/Interp.h"
+
+#include "sem/Scheduler.h"
+#include "tests/common/TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace commcsl;
+using namespace commcsl::test;
+
+namespace {
+RunResult runMain(const std::string &Source, std::vector<ValueRef> Args = {},
+                  uint64_t Seed = 1) {
+  Program P = parseChecked(Source);
+  Interpreter Interp(P);
+  RandomScheduler Sched(Seed);
+  return Interp.run("main", Args, Sched);
+}
+} // namespace
+
+TEST(InterpTest, StraightLine) {
+  RunResult R = runMain(R"(
+    procedure main() returns (out: int) {
+      var x: int := 3;
+      x := x + 4;
+      out := x * 2;
+    }
+  )");
+  ASSERT_TRUE(R.ok()) << R.AbortReason;
+  EXPECT_EQ(R.Returns[0]->getInt(), 14);
+}
+
+TEST(InterpTest, WhileLoop) {
+  RunResult R = runMain(R"(
+    procedure main(n: int) returns (out: int) {
+      var i: int := 0;
+      var acc: int := 0;
+      while (i < n) {
+        acc := acc + i;
+        i := i + 1;
+      }
+      out := acc;
+    }
+  )",
+                        {iv(5)});
+  ASSERT_TRUE(R.ok()) << R.AbortReason;
+  EXPECT_EQ(R.Returns[0]->getInt(), 10);
+}
+
+TEST(InterpTest, IfBranches) {
+  std::string Src = R"(
+    procedure main(x: int) returns (out: int) {
+      if (x > 0) { out := 1; } else { out := -1; }
+    }
+  )";
+  EXPECT_EQ(runMain(Src, {iv(7)}).Returns[0]->getInt(), 1);
+  EXPECT_EQ(runMain(Src, {iv(-7)}).Returns[0]->getInt(), -1);
+}
+
+TEST(InterpTest, ProcedureCall) {
+  RunResult R = runMain(R"(
+    procedure add(x: int, y: int) returns (r: int) {
+      r := x + y;
+    }
+    procedure main() returns (out: int) {
+      out := call add(20, 22);
+    }
+  )");
+  ASSERT_TRUE(R.ok()) << R.AbortReason;
+  EXPECT_EQ(R.Returns[0]->getInt(), 42);
+}
+
+TEST(InterpTest, HeapOps) {
+  RunResult R = runMain(R"(
+    procedure main() returns (out: int) {
+      var p: int := 0;
+      var x: int := 0;
+      p := alloc(5);
+      x := [p];
+      [p] := x + 1;
+      out := [p];
+    }
+  )");
+  ASSERT_TRUE(R.ok()) << R.AbortReason;
+  EXPECT_EQ(R.Returns[0]->getInt(), 6);
+}
+
+TEST(InterpTest, HeapFaultAborts) {
+  RunResult R = runMain(R"(
+    procedure main() returns (out: int) {
+      out := [123];
+    }
+  )");
+  EXPECT_EQ(R.St, RunResult::Status::Abort);
+}
+
+TEST(InterpTest, ParSharesEnclosingLocals) {
+  // The paper's semantics has a single store; par branches write disjoint
+  // variables of the enclosing frame.
+  RunResult R = runMain(R"(
+    procedure main() returns (out: int) {
+      var a: int := 0;
+      var b: int := 0;
+      par { a := 1; } and { b := 2; }
+      out := a + b;
+    }
+  )");
+  ASSERT_TRUE(R.ok()) << R.AbortReason;
+  EXPECT_EQ(R.Returns[0]->getInt(), 3);
+}
+
+TEST(InterpTest, NestedPar) {
+  RunResult R = runMain(R"(
+    procedure main() returns (out: int) {
+      var a: int := 0;
+      var b: int := 0;
+      var c: int := 0;
+      par {
+        par { a := 1; } and { b := 2; }
+      } and {
+        c := 4;
+      }
+      out := a + b + c;
+    }
+  )");
+  ASSERT_TRUE(R.ok()) << R.AbortReason;
+  EXPECT_EQ(R.Returns[0]->getInt(), 7);
+}
+
+TEST(InterpTest, SharedCounterAllSchedules) {
+  // Fig. 2 shape: the final counter value is schedule-independent.
+  std::string Src = R"(
+    resource Counter {
+      state: int;
+      alpha(v) = v;
+      shared action Add(a: int) {
+        apply(v, a) = v + a;
+        requires low(a);
+      }
+    }
+    procedure main() returns (out: int) {
+      var c: int := 0;
+      share r: Counter := 0;
+      par {
+        atomic r { perform r.Add(3); }
+      } and {
+        atomic r { perform r.Add(4); }
+      }
+      c := unshare r;
+      out := c;
+    }
+  )";
+  for (uint64_t Seed = 0; Seed < 20; ++Seed) {
+    RunResult R = runMain(Src, {}, Seed);
+    ASSERT_TRUE(R.ok()) << R.AbortReason;
+    EXPECT_EQ(R.Returns[0]->getInt(), 7);
+  }
+}
+
+TEST(InterpTest, ActionLogRecordsAllPerforms) {
+  RunResult R = runMain(R"(
+    resource Counter {
+      state: int;
+      alpha(v) = v;
+      shared action Add(a: int) {
+        apply(v, a) = v + a;
+        requires low(a);
+      }
+    }
+    procedure main() returns (out: int) {
+      share r: Counter := 10;
+      par {
+        atomic r { perform r.Add(1); }
+      } and {
+        atomic r { perform r.Add(2); }
+      }
+      out := unshare r;
+    }
+  )");
+  ASSERT_TRUE(R.ok()) << R.AbortReason;
+  ASSERT_EQ(R.Resources.size(), 1u);
+  EXPECT_EQ(R.Resources[0].Log.size(), 2u);
+  EXPECT_EQ(R.Resources[0].InitialValue->getInt(), 10);
+  EXPECT_EQ(R.Resources[0].Value->getInt(), 13);
+}
+
+TEST(InterpTest, ReplayLogMatchesFinalValue) {
+  Program P = parseChecked(R"(
+    resource Counter {
+      state: int;
+      alpha(v) = v;
+      shared action Add(a: int) {
+        apply(v, a) = v + a;
+        requires low(a);
+      }
+    }
+    procedure main() returns (out: int) {
+      share r: Counter := 0;
+      par {
+        atomic r { perform r.Add(5); }
+      } and {
+        atomic r { perform r.Add(6); }
+      }
+      out := unshare r;
+    }
+  )");
+  Interpreter Interp(P);
+  RandomScheduler Sched(3);
+  RunResult R = Interp.run("main", {}, Sched);
+  ASSERT_TRUE(R.ok());
+  RSpecRuntime Runtime(P.Specs[0], &P);
+  ValueRef Replayed =
+      replayLog(Runtime, R.Resources[0].InitialValue, R.Resources[0].Log);
+  EXPECT_TRUE(Value::equal(Replayed, R.Resources[0].Value));
+}
+
+TEST(InterpTest, ProducerConsumerWithWhenBlocks) {
+  // Consumer blocks until the producer has produced; no deadlock, and the
+  // consumed values are exactly the produced ones in order.
+  std::string Src = R"(
+    resource PCQueue {
+      state: pair<seq<int>, int>;
+      alpha(v) = v;
+      inv(v) = snd(v) >= 0 && snd(v) <= len(fst(v));
+      unique action Prod(a: int) {
+        apply(v, a) = pair(append(fst(v), a), snd(v));
+        requires low(a);
+      }
+      unique action Cons(a: unit) {
+        apply(v, a) = pair(fst(v), snd(v) + 1);
+        returns(v, a) = at(fst(v), snd(v));
+        enabled(v) = snd(v) < len(fst(v));
+        history(v) = take(fst(v), snd(v));
+      }
+    }
+    procedure main(n: int) returns (out: seq<int>)
+      requires low(n)
+    {
+      var acc: seq<int> := seq_empty();
+      share q: PCQueue := pair(seq_empty(), 0);
+      par {
+        var i: int := 0;
+        while (i < n) {
+          atomic q { perform q.Prod(i * 10); }
+          i := i + 1;
+        }
+      } and {
+        var j: int := 0;
+        var x: int := 0;
+        while (j < n) {
+          atomic q when Cons {
+            x := perform q.Cons(unit);
+          }
+          acc := append(acc, x);
+          j := j + 1;
+        }
+      }
+      var fin: pair<seq<int>, int> := pair(seq_empty(), 0);
+      fin := unshare q;
+      out := acc;
+    }
+  )";
+  for (uint64_t Seed = 0; Seed < 10; ++Seed) {
+    RunResult R = runMain(Src, {iv(4)}, Seed);
+    ASSERT_TRUE(R.ok()) << R.AbortReason;
+    EXPECT_EQ(R.Returns[0]->str(), "[0, 10, 20, 30]");
+  }
+}
+
+TEST(InterpTest, DeadlockDetected) {
+  RunResult R = runMain(R"(
+    resource PCQueue {
+      state: pair<seq<int>, int>;
+      alpha(v) = v;
+      unique action Cons(a: unit) {
+        apply(v, a) = pair(fst(v), snd(v) + 1);
+        returns(v, a) = at(fst(v), snd(v));
+        enabled(v) = snd(v) < len(fst(v));
+      }
+    }
+    procedure main() returns (out: int) {
+      var x: int := 0;
+      share q: PCQueue := pair(seq_empty(), 0);
+      atomic q when Cons {
+        x := perform q.Cons(unit);
+      }
+      out := x;
+    }
+  )");
+  EXPECT_EQ(R.St, RunResult::Status::Deadlock);
+}
+
+TEST(InterpTest, StepLimitOnInfiniteLoop) {
+  Program P = parseChecked(R"(
+    procedure main() {
+      var i: int := 0;
+      while (i >= 0) { i := 0; }
+    }
+  )");
+  RunConfig Cfg;
+  Cfg.MaxSteps = 1000;
+  Interpreter Interp(P, Cfg);
+  RandomScheduler Sched(1);
+  RunResult R = Interp.run("main", {}, Sched);
+  EXPECT_EQ(R.St, RunResult::Status::StepLimit);
+}
+
+TEST(InterpTest, GhostAssertChecked) {
+  RunResult R = runMain(R"(
+    procedure main() {
+      var x: int := 1;
+      assert x == 2;
+    }
+  )");
+  EXPECT_EQ(R.St, RunResult::Status::Abort);
+}
+
+TEST(InterpTest, ShareViolatingInvAborts) {
+  RunResult R = runMain(R"(
+    resource Pos {
+      state: int;
+      alpha(v) = v;
+      inv(v) = v >= 0;
+      shared action Add(a: int) {
+        apply(v, a) = v + abs(a);
+        requires low(a);
+      }
+    }
+    procedure main() returns (out: int) {
+      share r: Pos := -5;
+      out := unshare r;
+    }
+  )");
+  EXPECT_EQ(R.St, RunResult::Status::Abort);
+}
+
+TEST(InterpTest, Fig1InternalTimingChannelObservable) {
+  // The Fig. 1 program: with a round-robin scheduler, the final value of s
+  // depends on whether h exceeds the left thread's loop bound. This is the
+  // leak CommCSL rejects; the interpreter must exhibit it.
+  std::string Src = R"(
+    resource Racy {
+      state: int;
+      alpha(v) = 0;
+      unique action SetL(a: unit) { apply(v, a) = 3; }
+      unique action SetR(a: unit) { apply(v, a) = 4; }
+    }
+    procedure main(h: int) returns (s: int) {
+      var t1: int := 0;
+      var t2: int := 0;
+      share r: Racy := 0;
+      par {
+        while (t1 < 10) { t1 := t1 + 1; }
+        atomic r { perform r.SetL(unit); }
+      } and {
+        while (t2 < h) { t2 := t2 + 1; }
+        atomic r { perform r.SetR(unit); }
+      }
+      s := unshare r;
+    }
+  )";
+  Program P = parseChecked(Src);
+  Interpreter Interp(P);
+  RoundRobinScheduler S1, S2;
+  RunResult RSmall = Interp.run("main", {iv(1)}, S1);
+  RunResult RBig = Interp.run("main", {iv(100)}, S2);
+  ASSERT_TRUE(RSmall.ok()) << RSmall.AbortReason;
+  ASSERT_TRUE(RBig.ok()) << RBig.AbortReason;
+  // Low-equivalent inputs (h is high), different low outputs: a value
+  // channel created by an internal timing channel.
+  EXPECT_NE(RSmall.Returns[0]->getInt(), RBig.Returns[0]->getInt());
+}
+
+TEST(InterpTest, SchedulersAreDeterministicPerSeed) {
+  std::string Src = R"(
+    procedure main() returns (out: int) {
+      var a: int := 0;
+      var b: int := 0;
+      par { a := 1; a := a + 1; } and { b := 3; b := b + 1; }
+      out := a * 10 + b;
+    }
+  )";
+  Program P = parseChecked(Src);
+  Interpreter Interp(P);
+  RandomScheduler S1(99), S2(99);
+  RunResult R1 = Interp.run("main", {}, S1);
+  RunResult R2 = Interp.run("main", {}, S2);
+  ASSERT_TRUE(R1.ok());
+  EXPECT_EQ(R1.Steps, R2.Steps);
+  EXPECT_TRUE(Value::equal(R1.Returns[0], R2.Returns[0]));
+}
+
+TEST(InterpTest, OutputStatementsRecordTrace) {
+  RunResult R = runMain(R"(
+    procedure main(l: int) returns (out: int)
+      requires low(l)
+    {
+      output l;
+      output l * 2;
+      out := 0;
+    }
+  )",
+                        {iv(3)});
+  ASSERT_TRUE(R.ok()) << R.AbortReason;
+  ASSERT_EQ(R.Outputs.size(), 2u);
+  EXPECT_EQ(R.Outputs[0]->getInt(), 3);
+  EXPECT_EQ(R.Outputs[1]->getInt(), 6);
+}
+
+TEST(InterpTest, OutputInsideAtomicRecorded) {
+  RunResult R = runMain(R"(
+    resource Counter {
+      state: int;
+      alpha(v) = v;
+      shared action Add(a: int) { apply(v, a) = v + a; requires low(a); }
+    }
+    procedure main() returns (out: int) {
+      share r: Counter := 5;
+      atomic r {
+        output 42;
+        perform r.Add(1);
+      }
+      out := unshare r;
+    }
+  )");
+  ASSERT_TRUE(R.ok()) << R.AbortReason;
+  ASSERT_EQ(R.Outputs.size(), 1u);
+  EXPECT_EQ(R.Outputs[0]->getInt(), 42);
+}
+
+TEST(InterpTest, ConsistencyCheckOnUnshare) {
+  Program P = parseChecked(R"(
+    resource Counter {
+      state: int;
+      alpha(v) = v;
+      shared action Add(a: int) { apply(v, a) = v + a; requires low(a); }
+    }
+    procedure main() returns (out: int) {
+      share r: Counter := 3;
+      par {
+        atomic r { perform r.Add(4); }
+      } and {
+        atomic r { perform r.Add(5); }
+      }
+      out := unshare r;
+    }
+  )");
+  RunConfig Cfg;
+  Cfg.CheckConsistencyOnUnshare = true;
+  Interpreter Interp(P, Cfg);
+  for (uint64_t Seed = 0; Seed < 8; ++Seed) {
+    RandomScheduler Sched(Seed);
+    RunResult R = Interp.run("main", {}, Sched);
+    ASSERT_TRUE(R.ok()) << R.AbortReason;
+    EXPECT_EQ(R.Returns[0]->getInt(), 12);
+  }
+}

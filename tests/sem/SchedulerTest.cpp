@@ -1,0 +1,76 @@
+//===-- tests/sem/SchedulerTest.cpp - Scheduler unit tests -----------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sem/Scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace commcsl;
+
+TEST(SchedulerTest, RoundRobinCyclesThroughThreads) {
+  RoundRobinScheduler S;
+  std::vector<size_t> Runnable = {0, 1, 2};
+  EXPECT_EQ(S.pick(Runnable), 0u);
+  EXPECT_EQ(S.pick(Runnable), 1u);
+  EXPECT_EQ(S.pick(Runnable), 2u);
+  EXPECT_EQ(S.pick(Runnable), 0u); // wraps
+}
+
+TEST(SchedulerTest, RoundRobinSkipsBlockedThreads) {
+  RoundRobinScheduler S;
+  EXPECT_EQ(S.pick({0, 1, 2}), 0u);
+  // Thread 1 became blocked: next pick jumps to 2.
+  EXPECT_EQ(S.pick({0, 2}), 2u);
+  EXPECT_EQ(S.pick({0, 2}), 0u);
+}
+
+TEST(SchedulerTest, RandomIsDeterministicPerSeed) {
+  RandomScheduler S1(7), S2(7), S3(8);
+  std::vector<size_t> Runnable = {0, 1, 2, 3};
+  bool Diverged = false;
+  for (int I = 0; I < 50; ++I) {
+    size_t A = S1.pick(Runnable);
+    size_t B = S2.pick(Runnable);
+    size_t C = S3.pick(Runnable);
+    EXPECT_EQ(A, B);
+    Diverged |= (A != C);
+  }
+  EXPECT_TRUE(Diverged) << "different seeds should differ somewhere";
+}
+
+TEST(SchedulerTest, RandomCoversAllThreads) {
+  RandomScheduler S(3);
+  std::set<size_t> Seen;
+  std::vector<size_t> Runnable = {0, 1, 2};
+  for (int I = 0; I < 100; ++I)
+    Seen.insert(S.pick(Runnable));
+  EXPECT_EQ(Seen.size(), 3u);
+}
+
+TEST(SchedulerTest, BurstPrefersOneThreadForItsSlice) {
+  BurstScheduler S(5, /*BurstLen=*/4);
+  std::vector<size_t> Runnable = {0, 1};
+  size_t First = S.pick(Runnable);
+  // The next BurstLen-1 picks stay on the same thread.
+  for (int I = 0; I < 3; ++I)
+    EXPECT_EQ(S.pick(Runnable), First);
+}
+
+TEST(SchedulerTest, BurstYieldsWhenPreferredBlocked) {
+  BurstScheduler S(5, /*BurstLen=*/8);
+  size_t First = S.pick({0, 1});
+  size_t Other = First == 0 ? 1 : 0;
+  // The preferred thread disappears from the runnable set.
+  EXPECT_EQ(S.pick({Other}), Other);
+}
+
+TEST(SchedulerTest, NamesAreDescriptive) {
+  EXPECT_EQ(RoundRobinScheduler().name(), "round-robin");
+  EXPECT_EQ(RandomScheduler(42).name(), "random(42)");
+  EXPECT_EQ(BurstScheduler(1, 16).name(), "burst(16,1)");
+}

@@ -1,0 +1,114 @@
+//===-- tests/value/DomainTest.cpp - Domain enumeration tests --------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "value/Domain.h"
+
+#include "tests/common/TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace commcsl;
+using namespace commcsl::test;
+
+namespace {
+/// All enumerated values must be pairwise distinct.
+void expectAllDistinct(const std::vector<ValueRef> &Vals) {
+  std::set<std::string> Seen;
+  for (const ValueRef &V : Vals)
+    EXPECT_TRUE(Seen.insert(V->str()).second)
+        << "duplicate enumerated value " << V->str();
+}
+} // namespace
+
+TEST(DomainTest, IntEnumeration) {
+  DomainRef D = Domain::intRange(-2, 2);
+  std::vector<ValueRef> Vals = D->enumerate(100);
+  ASSERT_EQ(Vals.size(), 5u);
+  EXPECT_EQ(Vals.front()->getInt(), -2);
+  EXPECT_EQ(Vals.back()->getInt(), 2);
+  EXPECT_EQ(D->count(), 5u);
+}
+
+TEST(DomainTest, BoolEnumeration) {
+  std::vector<ValueRef> Vals = Domain::boolean()->enumerate(100);
+  ASSERT_EQ(Vals.size(), 2u);
+}
+
+TEST(DomainTest, PairEnumerationIsCrossProduct) {
+  DomainRef D = Domain::pair(Domain::intRange(0, 1), Domain::boolean());
+  std::vector<ValueRef> Vals = D->enumerate(100);
+  EXPECT_EQ(Vals.size(), 4u);
+  expectAllDistinct(Vals);
+}
+
+TEST(DomainTest, SeqEnumerationCountsAllLengths) {
+  // Sequences over {0,1} up to length 2: 1 + 2 + 4 = 7.
+  DomainRef D = Domain::seq(Domain::intRange(0, 1), 2);
+  std::vector<ValueRef> Vals = D->enumerate(1000);
+  EXPECT_EQ(Vals.size(), 7u);
+  expectAllDistinct(Vals);
+  // Smallest first.
+  EXPECT_EQ(Vals.front()->elems().size(), 0u);
+}
+
+TEST(DomainTest, SetEnumerationHasNoDuplicateElements) {
+  // Subsets of {0,1,2} of size <= 2: 1 + 3 + 3 = 7.
+  DomainRef D = Domain::set(Domain::intRange(0, 2), 2);
+  std::vector<ValueRef> Vals = D->enumerate(1000);
+  EXPECT_EQ(Vals.size(), 7u);
+  expectAllDistinct(Vals);
+}
+
+TEST(DomainTest, MultisetEnumeration) {
+  // Multisets over {0,1} of size <= 2: 1 + 2 + 3 = 6.
+  DomainRef D = Domain::multiset(Domain::intRange(0, 1), 2);
+  std::vector<ValueRef> Vals = D->enumerate(1000);
+  EXPECT_EQ(Vals.size(), 6u);
+  expectAllDistinct(Vals);
+}
+
+TEST(DomainTest, MapEnumeration) {
+  // Maps {0,1} -> {0,1} with <= 1 entry: 1 + 2*2 = 5.
+  DomainRef D =
+      Domain::map(Domain::intRange(0, 1), Domain::intRange(0, 1), 1);
+  std::vector<ValueRef> Vals = D->enumerate(1000);
+  EXPECT_EQ(Vals.size(), 5u);
+  expectAllDistinct(Vals);
+}
+
+TEST(DomainTest, EnumerationRespectsCap) {
+  DomainRef D = Domain::seq(Domain::intRange(0, 9), 5);
+  std::vector<ValueRef> Vals = D->enumerate(50);
+  EXPECT_EQ(Vals.size(), 50u);
+}
+
+TEST(DomainTest, SamplingStaysInDomain) {
+  DomainRef D = Domain::pair(Domain::intRange(-3, 3),
+                             Domain::seq(Domain::intRange(0, 1), 3));
+  std::mt19937_64 Rng(42);
+  for (int I = 0; I < 200; ++I) {
+    ValueRef V = D->sample(Rng);
+    ASSERT_EQ(V->kind(), ValueKind::Pair);
+    int64_t X = V->elems()[0]->getInt();
+    EXPECT_GE(X, -3);
+    EXPECT_LE(X, 3);
+    EXPECT_LE(V->elems()[1]->elems().size(), 3u);
+  }
+}
+
+TEST(DomainTest, SamplingIsDeterministicPerSeed) {
+  DomainRef D = Domain::seq(Domain::intRange(0, 5), 4);
+  std::mt19937_64 R1(7), R2(7);
+  for (int I = 0; I < 50; ++I)
+    EXPECT_TRUE(Value::equal(D->sample(R1), D->sample(R2)));
+}
+
+TEST(DomainTest, CountSaturates) {
+  DomainRef D = Domain::seq(Domain::intRange(0, 100), 8);
+  EXPECT_EQ(D->count(1000), 1000u);
+}

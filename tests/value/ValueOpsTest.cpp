@@ -1,0 +1,144 @@
+//===-- tests/value/ValueOpsTest.cpp - Value operation unit tests ----------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "value/ValueOps.h"
+
+#include "tests/common/TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace commcsl;
+using namespace commcsl::test;
+using namespace commcsl::vops;
+
+TEST(ValueOpsTest, Arithmetic) {
+  EXPECT_EQ(add(iv(2), iv(3))->getInt(), 5);
+  EXPECT_EQ(sub(iv(2), iv(3))->getInt(), -1);
+  EXPECT_EQ(mul(iv(4), iv(3))->getInt(), 12);
+  EXPECT_EQ(divT(iv(7), iv(2))->getInt(), 3);
+  EXPECT_EQ(modT(iv(7), iv(2))->getInt(), 1);
+  EXPECT_EQ(neg(iv(5))->getInt(), -5);
+  EXPECT_EQ(minV(iv(2), iv(3))->getInt(), 2);
+  EXPECT_EQ(maxV(iv(2), iv(3))->getInt(), 3);
+  EXPECT_EQ(absV(iv(-4))->getInt(), 4);
+}
+
+TEST(ValueOpsTest, DivisionByZeroIsTotal) {
+  EXPECT_EQ(divT(iv(7), iv(0))->getInt(), 0);
+  EXPECT_EQ(modT(iv(7), iv(0))->getInt(), 0);
+}
+
+TEST(ValueOpsTest, Comparisons) {
+  EXPECT_TRUE(lt(iv(1), iv(2))->getBool());
+  EXPECT_FALSE(lt(iv(2), iv(2))->getBool());
+  EXPECT_TRUE(le(iv(2), iv(2))->getBool());
+  EXPECT_TRUE(gt(iv(3), iv(2))->getBool());
+  EXPECT_TRUE(ge(iv(2), iv(2))->getBool());
+  EXPECT_TRUE(eq(sv({1, 2}), sv({1, 2}))->getBool());
+  EXPECT_TRUE(ne(sv({1, 2}), sv({2, 1}))->getBool());
+}
+
+TEST(ValueOpsTest, SeqBasics) {
+  ValueRef S = sv({1, 2, 3});
+  EXPECT_EQ(seqLen(S)->getInt(), 3);
+  EXPECT_EQ(seqAppend(S, iv(4))->str(), "[1, 2, 3, 4]");
+  EXPECT_EQ(seqConcat(S, sv({9}))->str(), "[1, 2, 3, 9]");
+  EXPECT_EQ((*seqAt(S, 1))->getInt(), 2);
+  EXPECT_FALSE(seqAt(S, 3).has_value());
+  EXPECT_FALSE(seqAt(S, -1).has_value());
+  EXPECT_EQ(seqAtOr(S, iv(9), iv(-7))->getInt(), -7);
+  EXPECT_EQ((*seqHead(S))->getInt(), 1);
+  EXPECT_EQ((*seqLast(S))->getInt(), 3);
+  EXPECT_EQ(seqTail(S)->str(), "[2, 3]");
+  EXPECT_EQ(seqInit(S)->str(), "[1, 2]");
+  EXPECT_TRUE(seqContains(S, iv(2))->getBool());
+  EXPECT_FALSE(seqContains(S, iv(5))->getBool());
+}
+
+TEST(ValueOpsTest, SeqEmptyEdgeCases) {
+  ValueRef E = ValueFactory::emptySeq();
+  EXPECT_FALSE(seqHead(E).has_value());
+  EXPECT_FALSE(seqLast(E).has_value());
+  EXPECT_TRUE(Value::equal(seqTail(E), E));
+  EXPECT_TRUE(Value::equal(seqInit(E), E));
+  EXPECT_EQ(seqSum(E)->getInt(), 0);
+  EXPECT_EQ(seqMean(E)->getInt(), 0);
+}
+
+TEST(ValueOpsTest, SeqSortMatchesMultisetEnumeration) {
+  // sort(s) == mset_to_seq(seq_to_mset(s)) — the identity the
+  // Email-Metadata example relies on.
+  ValueRef S = sv({3, 1, 2, 1});
+  EXPECT_TRUE(Value::equal(seqSort(S), msToSeq(seqToMultiset(S))));
+  EXPECT_EQ(seqSort(S)->str(), "[1, 1, 2, 3]");
+}
+
+TEST(ValueOpsTest, SeqAggregates) {
+  EXPECT_EQ(seqSum(sv({1, 2, 3}))->getInt(), 6);
+  EXPECT_EQ(seqMean(sv({1, 2, 3}))->getInt(), 2);
+  EXPECT_EQ(seqMean(sv({1, 2}))->getInt(), 1); // integer division
+}
+
+TEST(ValueOpsTest, SetOps) {
+  ValueRef S = setv({1, 3});
+  EXPECT_EQ(setAdd(S, iv(2))->str(), "{1, 2, 3}");
+  EXPECT_TRUE(Value::equal(setAdd(S, iv(1)), S)); // idempotent
+  EXPECT_EQ(setUnion(setv({1, 2}), setv({2, 3}))->str(), "{1, 2, 3}");
+  EXPECT_EQ(setInter(setv({1, 2}), setv({2, 3}))->str(), "{2}");
+  EXPECT_EQ(setDiff(setv({1, 2}), setv({2, 3}))->str(), "{1}");
+  EXPECT_TRUE(setMember(S, iv(3))->getBool());
+  EXPECT_FALSE(setMember(S, iv(2))->getBool());
+  EXPECT_EQ(setSize(S)->getInt(), 2);
+  EXPECT_EQ(setToSeq(setv({3, 1, 2}))->str(), "[1, 2, 3]");
+}
+
+TEST(ValueOpsTest, MultisetOps) {
+  ValueRef M = msv({1, 1, 2});
+  EXPECT_EQ(msCard(M)->getInt(), 3);
+  EXPECT_EQ(msCount(M, iv(1))->getInt(), 2);
+  EXPECT_EQ(msCount(M, iv(5))->getInt(), 0);
+  EXPECT_EQ(msAdd(M, iv(1))->str(), "ms{1, 1, 1, 2}");
+  EXPECT_EQ(msUnion(msv({1}), msv({1, 2}))->str(), "ms{1, 1, 2}");
+  EXPECT_EQ(msDiff(msv({1, 1, 2}), msv({1}))->str(), "ms{1, 2}");
+  EXPECT_EQ(msDiff(msv({1}), msv({1, 1}))->str(), "ms{}");
+}
+
+TEST(ValueOpsTest, MultisetUnionIsCommutative) {
+  ValueRef A = msv({1, 3});
+  ValueRef B = msv({2, 3});
+  EXPECT_TRUE(Value::equal(msUnion(A, B), msUnion(B, A)));
+}
+
+TEST(ValueOpsTest, MapOps) {
+  ValueRef M = ValueFactory::emptyMap();
+  M = mapPut(M, iv(1), iv(10));
+  M = mapPut(M, iv(2), iv(20));
+  EXPECT_EQ(mapSize(M)->getInt(), 2);
+  EXPECT_EQ((*mapGet(M, iv(1)))->getInt(), 10);
+  EXPECT_FALSE(mapGet(M, iv(3)).has_value());
+  EXPECT_EQ(mapGetOr(M, iv(3), iv(-1))->getInt(), -1);
+  EXPECT_TRUE(mapHas(M, iv(2))->getBool());
+  EXPECT_EQ(mapDom(M)->str(), "{1, 2}");
+  EXPECT_EQ(mapValuesMs(M)->str(), "ms{10, 20}");
+  // Overwrite.
+  M = mapPut(M, iv(1), iv(11));
+  EXPECT_EQ((*mapGet(M, iv(1)))->getInt(), 11);
+  EXPECT_EQ(mapSize(M)->getInt(), 2);
+  // Remove.
+  M = mapRemove(M, iv(1));
+  EXPECT_FALSE(mapHas(M, iv(1))->getBool());
+  EXPECT_EQ(mapSize(M)->getInt(), 1);
+}
+
+TEST(ValueOpsTest, MapPutLastWriteWins) {
+  // The non-commutativity at the heart of the Fig. 3 example.
+  ValueRef M = ValueFactory::emptyMap();
+  ValueRef AB = mapPut(mapPut(M, iv(1), iv(10)), iv(1), iv(20));
+  ValueRef BA = mapPut(mapPut(M, iv(1), iv(20)), iv(1), iv(10));
+  EXPECT_FALSE(Value::equal(AB, BA));
+  // ... but the domains agree: the key-set abstraction commutes.
+  EXPECT_TRUE(Value::equal(mapDom(AB), mapDom(BA)));
+}

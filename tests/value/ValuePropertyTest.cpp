@@ -1,0 +1,139 @@
+//===-- tests/value/ValuePropertyTest.cpp - Value-domain properties --------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property-based tests of the value domain over randomly sampled values:
+/// the canonical order is a total order, hashing respects equality, and
+/// collection canonicalization is idempotent and order-insensitive.
+///
+//===----------------------------------------------------------------------===//
+
+#include "value/Domain.h"
+#include "value/ValueOps.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace commcsl;
+
+namespace {
+
+DomainRef richDomain() {
+  // pair<int, map<int, seq<bool>>> — deep enough to stress every kind.
+  return Domain::pair(
+      Domain::intRange(-3, 3),
+      Domain::map(Domain::intRange(0, 2),
+                  Domain::seq(Domain::boolean(), 2), 2));
+}
+
+class ValueProperty : public ::testing::TestWithParam<uint64_t> {
+protected:
+  std::vector<ValueRef> sampleMany(size_t N) {
+    std::mt19937_64 Rng(GetParam());
+    DomainRef D = richDomain();
+    std::vector<ValueRef> Out;
+    for (size_t I = 0; I < N; ++I)
+      Out.push_back(D->sample(Rng));
+    return Out;
+  }
+};
+
+} // namespace
+
+TEST_P(ValueProperty, CompareIsATotalOrder) {
+  std::vector<ValueRef> Vals = sampleMany(24);
+  for (const ValueRef &A : Vals) {
+    EXPECT_EQ(Value::compare(A, A), 0);
+    for (const ValueRef &B : Vals) {
+      int AB = Value::compare(A, B);
+      int BA = Value::compare(B, A);
+      EXPECT_EQ(AB, -BA);
+      for (const ValueRef &C : Vals) {
+        // Transitivity of <=.
+        if (AB <= 0 && Value::compare(B, C) <= 0) {
+          EXPECT_LE(Value::compare(A, C), 0);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ValueProperty, HashRespectsEquality) {
+  std::vector<ValueRef> Vals = sampleMany(40);
+  for (const ValueRef &A : Vals)
+    for (const ValueRef &B : Vals)
+      if (Value::equal(A, B)) {
+        EXPECT_EQ(A->hash(), B->hash());
+      }
+}
+
+TEST_P(ValueProperty, SortingViaValuesIsStableUnderReconstruction) {
+  std::mt19937_64 Rng(GetParam() * 7 + 1);
+  DomainRef Elem = Domain::intRange(-5, 5);
+  std::vector<ValueRef> Elems;
+  for (int I = 0; I < 12; ++I)
+    Elems.push_back(Elem->sample(Rng));
+  // Multisets are insensitive to construction order.
+  std::vector<ValueRef> Shuffled = Elems;
+  std::shuffle(Shuffled.begin(), Shuffled.end(), Rng);
+  EXPECT_TRUE(Value::equal(ValueFactory::multiset(Elems),
+                           ValueFactory::multiset(Shuffled)));
+  EXPECT_TRUE(Value::equal(ValueFactory::set(Elems),
+                           ValueFactory::set(Shuffled)));
+  // But sequences are not (unless the shuffle was the identity).
+  EXPECT_TRUE(Value::equal(
+      vops::seqToMultiset(ValueFactory::seq(Elems)),
+      vops::seqToMultiset(ValueFactory::seq(Shuffled))));
+}
+
+TEST_P(ValueProperty, MultisetUnionDiffRoundTrip) {
+  std::mt19937_64 Rng(GetParam() * 13 + 5);
+  DomainRef D = Domain::multiset(Domain::intRange(0, 3), 4);
+  ValueRef A = D->sample(Rng);
+  ValueRef B = D->sample(Rng);
+  // (A u B) \ B == A.
+  EXPECT_TRUE(
+      Value::equal(vops::msDiff(vops::msUnion(A, B), B), A));
+  // card is a homomorphism.
+  EXPECT_EQ(vops::msCard(vops::msUnion(A, B))->getInt(),
+            vops::msCard(A)->getInt() + vops::msCard(B)->getInt());
+}
+
+TEST_P(ValueProperty, MapPutGetRoundTrip) {
+  std::mt19937_64 Rng(GetParam() * 29 + 11);
+  DomainRef MapD =
+      Domain::map(Domain::intRange(0, 3), Domain::intRange(-2, 2), 3);
+  DomainRef IntD = Domain::intRange(-2, 2);
+  ValueRef M = MapD->sample(Rng);
+  ValueRef K = IntD->sample(Rng);
+  ValueRef V = IntD->sample(Rng);
+  ValueRef M2 = vops::mapPut(M, K, V);
+  EXPECT_TRUE(Value::equal(*vops::mapGet(M2, K), V));
+  EXPECT_TRUE(vops::setMember(vops::mapDom(M2), K)->getBool());
+  // Removing restores the domain without K.
+  ValueRef M3 = vops::mapRemove(M2, K);
+  EXPECT_FALSE(vops::mapHas(M3, K)->getBool());
+}
+
+TEST_P(ValueProperty, EnumerationPrefixesAreSampleSupersets) {
+  // Every sampled value from a small domain also appears in its full
+  // enumeration.
+  DomainRef D =
+      Domain::pair(Domain::intRange(0, 1), Domain::seq(Domain::boolean(), 1));
+  std::vector<ValueRef> All = D->enumerate(1000);
+  std::mt19937_64 Rng(GetParam());
+  for (int I = 0; I < 30; ++I) {
+    ValueRef V = D->sample(Rng);
+    bool Found = false;
+    for (const ValueRef &E : All)
+      Found |= Value::equal(E, V);
+    EXPECT_TRUE(Found) << V->str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValueProperty,
+                         ::testing::Values(1, 2, 3, 7, 11));

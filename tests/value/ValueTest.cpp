@@ -1,0 +1,107 @@
+//===-- tests/value/ValueTest.cpp - Value domain unit tests ----------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "value/Value.h"
+
+#include "tests/common/TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace commcsl;
+using namespace commcsl::test;
+
+TEST(ValueTest, IntBasics) {
+  ValueRef A = iv(42);
+  EXPECT_TRUE(A->isInt());
+  EXPECT_EQ(A->getInt(), 42);
+  EXPECT_EQ(A->str(), "42");
+  EXPECT_TRUE(Value::equal(A, iv(42)));
+  EXPECT_FALSE(Value::equal(A, iv(43)));
+}
+
+TEST(ValueTest, BoolBasics) {
+  EXPECT_TRUE(bv(true)->getBool());
+  EXPECT_FALSE(bv(false)->getBool());
+  EXPECT_EQ(bv(true)->str(), "true");
+  EXPECT_FALSE(Value::equal(bv(true), bv(false)));
+}
+
+TEST(ValueTest, KindOrderingIsTotal) {
+  // Values of different kinds compare consistently and asymmetrically.
+  std::vector<ValueRef> Vals = {ValueFactory::unit(), iv(0), bv(false),
+                                ValueFactory::stringV("a"),
+                                pv(iv(1), iv(2)), sv({1}), setv({1}),
+                                msv({1}), ValueFactory::emptyMap()};
+  for (size_t I = 0; I < Vals.size(); ++I) {
+    for (size_t J = 0; J < Vals.size(); ++J) {
+      int C1 = Value::compare(Vals[I], Vals[J]);
+      int C2 = Value::compare(Vals[J], Vals[I]);
+      EXPECT_EQ(C1, -C2) << I << " vs " << J;
+      if (I == J)
+        EXPECT_EQ(C1, 0);
+    }
+  }
+}
+
+TEST(ValueTest, SetCanonicalization) {
+  ValueRef A = ValueFactory::set({iv(3), iv(1), iv(3), iv(2)});
+  ValueRef B = ValueFactory::set({iv(1), iv(2), iv(3)});
+  EXPECT_TRUE(Value::equal(A, B));
+  EXPECT_EQ(A->elems().size(), 3u);
+  EXPECT_EQ(A->str(), "{1, 2, 3}");
+}
+
+TEST(ValueTest, MultisetCanonicalizationKeepsDuplicates) {
+  ValueRef A = ValueFactory::multiset({iv(3), iv(1), iv(3)});
+  ValueRef B = ValueFactory::multiset({iv(3), iv(3), iv(1)});
+  EXPECT_TRUE(Value::equal(A, B));
+  EXPECT_EQ(A->elems().size(), 3u);
+  EXPECT_EQ(A->str(), "ms{1, 3, 3}");
+}
+
+TEST(ValueTest, SeqOrderMatters) {
+  EXPECT_FALSE(Value::equal(sv({1, 2}), sv({2, 1})));
+  EXPECT_TRUE(Value::equal(sv({1, 2}), sv({1, 2})));
+}
+
+TEST(ValueTest, MapCanonicalizationLaterEntriesWin) {
+  ValueRef M = ValueFactory::map(
+      {{iv(1), iv(10)}, {iv(2), iv(20)}, {iv(1), iv(11)}});
+  ASSERT_EQ(M->mapEntries().size(), 2u);
+  EXPECT_EQ(M->str(), "map{1 -> 11, 2 -> 20}");
+}
+
+TEST(ValueTest, MapEqualityIsExtensional) {
+  ValueRef A = ValueFactory::map({{iv(2), iv(20)}, {iv(1), iv(10)}});
+  ValueRef B = ValueFactory::map({{iv(1), iv(10)}, {iv(2), iv(20)}});
+  EXPECT_TRUE(Value::equal(A, B));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  ValueRef A = ValueFactory::set({iv(3), iv(1)});
+  ValueRef B = ValueFactory::set({iv(1), iv(3)});
+  EXPECT_EQ(A->hash(), B->hash());
+  ValueRef M1 = ValueFactory::map({{iv(1), iv(2)}});
+  ValueRef M2 = ValueFactory::map({{iv(1), iv(2)}});
+  EXPECT_EQ(M1->hash(), M2->hash());
+}
+
+TEST(ValueTest, NestedValues) {
+  ValueRef Inner = pv(iv(1), sv({2, 3}));
+  ValueRef Outer = ValueFactory::map({{iv(0), Inner}});
+  EXPECT_EQ(Outer->str(), "map{0 -> (1, [2, 3])}");
+}
+
+TEST(ValueTest, PairAccessors) {
+  ValueRef P = pv(iv(7), bv(true));
+  EXPECT_EQ(P->elems()[0]->getInt(), 7);
+  EXPECT_TRUE(P->elems()[1]->getBool());
+}
+
+TEST(ValueTest, UnitSingleton) {
+  EXPECT_TRUE(Value::equal(ValueFactory::unit(), ValueFactory::unit()));
+  EXPECT_EQ(ValueFactory::unit()->str(), "unit");
+}

@@ -1,0 +1,93 @@
+//===-- tools/hyperviper/main.cpp - HyperViper CLI --------------*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line verifier: `hyperviper [options] file.hv ...`
+///
+/// Options:
+///   --no-validity   skip resource-spec validity checking (Def. 3.1)
+///   --ni <proc>     additionally run the empirical non-interference
+///                   harness on the named procedure
+///   --metrics       print Table-1-style metrics (LOC / Ann. / time)
+///   --quiet         only print the verdict line
+///
+//===----------------------------------------------------------------------===//
+
+#include "hyperviper/Driver.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace commcsl;
+
+int main(int Argc, char **Argv) {
+  DriverOptions Options;
+  bool PrintMetrics = false;
+  bool Quiet = false;
+  std::string NIProc;
+  std::vector<std::string> Files;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--no-validity") {
+      Options.Verifier.SkipValidityCheck = true;
+    } else if (Arg == "--metrics") {
+      PrintMetrics = true;
+    } else if (Arg == "--quiet") {
+      Quiet = true;
+    } else if (Arg == "--ni" && I + 1 < Argc) {
+      NIProc = Argv[++I];
+    } else if (Arg == "--help" || Arg == "-h") {
+      std::printf("usage: hyperviper [--no-validity] [--metrics] [--quiet] "
+                  "[--ni <proc>] file.hv ...\n");
+      return 0;
+    } else {
+      Files.push_back(Arg);
+    }
+  }
+
+  if (Files.empty()) {
+    std::fprintf(stderr, "hyperviper: error: no input files\n");
+    return 2;
+  }
+
+  Driver D(Options);
+  int Exit = 0;
+  for (const std::string &File : Files) {
+    DriverResult R = D.verifyFile(File);
+    if (!R.Verified) {
+      Exit = 1;
+      if (!Quiet)
+        std::fputs(R.Diags.str(File).c_str(), stderr);
+    }
+    std::printf("%s: %s\n", File.c_str(),
+                R.Verified ? "verified" : "REJECTED");
+    if (PrintMetrics && R.ParseOk) {
+      std::printf("  LOC %u  Ann. %u  parse %.3fs  validity %.3fs  "
+                  "verify %.3fs  total %.3fs\n",
+                  R.Metrics.LinesOfCode, R.Metrics.AnnotationLines,
+                  R.ParseSeconds, R.ValiditySeconds, R.VerifySeconds,
+                  R.totalSeconds());
+    }
+    if (!NIProc.empty() && R.ParseOk) {
+      NIReport Report = D.runEmpirical(R, NIProc);
+      if (Report.secure()) {
+        std::printf("  empirical non-interference: no violation in %llu "
+                    "runs (%llu pairs)\n",
+                    static_cast<unsigned long long>(Report.Runs),
+                    static_cast<unsigned long long>(Report.PairsCompared));
+      } else {
+        std::printf("  empirical non-interference: VIOLATION after %llu "
+                    "runs\n%s",
+                    static_cast<unsigned long long>(Report.Runs),
+                    Report.Violation->describe().c_str());
+        Exit = 1;
+      }
+    }
+  }
+  return Exit;
+}
