@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_noninterference.dir/bench_noninterference.cpp.o"
+  "CMakeFiles/bench_noninterference.dir/bench_noninterference.cpp.o.d"
+  "bench_noninterference"
+  "bench_noninterference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_noninterference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1.cpp" "bench/CMakeFiles/bench_table1.dir/bench_table1.cpp.o" "gcc" "bench/CMakeFiles/bench_table1.dir/bench_table1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hyperviper/CMakeFiles/commcsl_hyperviper.dir/DependInfo.cmake"
+  "/root/repo/build/src/product/CMakeFiles/commcsl_product.dir/DependInfo.cmake"
+  "/root/repo/build/src/verifier/CMakeFiles/commcsl_verifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/hyper/CMakeFiles/commcsl_hyper.dir/DependInfo.cmake"
+  "/root/repo/build/src/testgen/CMakeFiles/commcsl_testgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sem/CMakeFiles/commcsl_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/commcsl_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/commcsl_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/rspec/CMakeFiles/commcsl_rspec.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/commcsl_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/commcsl_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/commcsl_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/commcsl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_verifier.dir/bench_verifier.cpp.o"
+  "CMakeFiles/bench_verifier.dir/bench_verifier.cpp.o.d"
+  "bench_verifier"
+  "bench_verifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_verifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commutativity_explorer.dir/commutativity_explorer.cpp.o"
+  "CMakeFiles/commutativity_explorer.dir/commutativity_explorer.cpp.o.d"
+  "commutativity_explorer"
+  "commutativity_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commutativity_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

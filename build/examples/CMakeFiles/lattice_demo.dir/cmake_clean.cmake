@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lattice_demo.dir/lattice_demo.cpp.o"
+  "CMakeFiles/lattice_demo.dir/lattice_demo.cpp.o.d"
+  "lattice_demo"
+  "lattice_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lattice_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

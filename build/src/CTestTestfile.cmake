@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("value")
+subdirs("lang")
+subdirs("parser")
+subdirs("rspec")
+subdirs("sem")
+subdirs("solver")
+subdirs("logic")
+subdirs("verifier")
+subdirs("product")
+subdirs("hyper")
+subdirs("hyperviper")
+subdirs("testgen")

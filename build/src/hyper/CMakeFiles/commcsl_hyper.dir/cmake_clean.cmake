@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commcsl_hyper.dir/NonInterference.cpp.o"
+  "CMakeFiles/commcsl_hyper.dir/NonInterference.cpp.o.d"
+  "libcommcsl_hyper.a"
+  "libcommcsl_hyper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commcsl_hyper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commcsl_hyperviper.dir/Driver.cpp.o"
+  "CMakeFiles/commcsl_hyperviper.dir/Driver.cpp.o.d"
+  "CMakeFiles/commcsl_hyperviper.dir/Lattice.cpp.o"
+  "CMakeFiles/commcsl_hyperviper.dir/Lattice.cpp.o.d"
+  "libcommcsl_hyperviper.a"
+  "libcommcsl_hyperviper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commcsl_hyperviper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

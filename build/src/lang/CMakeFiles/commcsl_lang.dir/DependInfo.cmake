@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/Command.cpp" "src/lang/CMakeFiles/commcsl_lang.dir/Command.cpp.o" "gcc" "src/lang/CMakeFiles/commcsl_lang.dir/Command.cpp.o.d"
+  "/root/repo/src/lang/Expr.cpp" "src/lang/CMakeFiles/commcsl_lang.dir/Expr.cpp.o" "gcc" "src/lang/CMakeFiles/commcsl_lang.dir/Expr.cpp.o.d"
+  "/root/repo/src/lang/ExprEval.cpp" "src/lang/CMakeFiles/commcsl_lang.dir/ExprEval.cpp.o" "gcc" "src/lang/CMakeFiles/commcsl_lang.dir/ExprEval.cpp.o.d"
+  "/root/repo/src/lang/Program.cpp" "src/lang/CMakeFiles/commcsl_lang.dir/Program.cpp.o" "gcc" "src/lang/CMakeFiles/commcsl_lang.dir/Program.cpp.o.d"
+  "/root/repo/src/lang/Type.cpp" "src/lang/CMakeFiles/commcsl_lang.dir/Type.cpp.o" "gcc" "src/lang/CMakeFiles/commcsl_lang.dir/Type.cpp.o.d"
+  "/root/repo/src/lang/TypeChecker.cpp" "src/lang/CMakeFiles/commcsl_lang.dir/TypeChecker.cpp.o" "gcc" "src/lang/CMakeFiles/commcsl_lang.dir/TypeChecker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/value/CMakeFiles/commcsl_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/commcsl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

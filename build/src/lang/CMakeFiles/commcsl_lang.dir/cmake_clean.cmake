@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commcsl_lang.dir/Command.cpp.o"
+  "CMakeFiles/commcsl_lang.dir/Command.cpp.o.d"
+  "CMakeFiles/commcsl_lang.dir/Expr.cpp.o"
+  "CMakeFiles/commcsl_lang.dir/Expr.cpp.o.d"
+  "CMakeFiles/commcsl_lang.dir/ExprEval.cpp.o"
+  "CMakeFiles/commcsl_lang.dir/ExprEval.cpp.o.d"
+  "CMakeFiles/commcsl_lang.dir/Program.cpp.o"
+  "CMakeFiles/commcsl_lang.dir/Program.cpp.o.d"
+  "CMakeFiles/commcsl_lang.dir/Type.cpp.o"
+  "CMakeFiles/commcsl_lang.dir/Type.cpp.o.d"
+  "CMakeFiles/commcsl_lang.dir/TypeChecker.cpp.o"
+  "CMakeFiles/commcsl_lang.dir/TypeChecker.cpp.o.d"
+  "libcommcsl_lang.a"
+  "libcommcsl_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commcsl_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commcsl_logic.dir/Assertion.cpp.o"
+  "CMakeFiles/commcsl_logic.dir/Assertion.cpp.o.d"
+  "CMakeFiles/commcsl_logic.dir/ExtendedHeap.cpp.o"
+  "CMakeFiles/commcsl_logic.dir/ExtendedHeap.cpp.o.d"
+  "libcommcsl_logic.a"
+  "libcommcsl_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commcsl_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parser/Lexer.cpp" "src/parser/CMakeFiles/commcsl_parser.dir/Lexer.cpp.o" "gcc" "src/parser/CMakeFiles/commcsl_parser.dir/Lexer.cpp.o.d"
+  "/root/repo/src/parser/Parser.cpp" "src/parser/CMakeFiles/commcsl_parser.dir/Parser.cpp.o" "gcc" "src/parser/CMakeFiles/commcsl_parser.dir/Parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/commcsl_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/commcsl_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/commcsl_value.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commcsl_parser.dir/Lexer.cpp.o"
+  "CMakeFiles/commcsl_parser.dir/Lexer.cpp.o.d"
+  "CMakeFiles/commcsl_parser.dir/Parser.cpp.o"
+  "CMakeFiles/commcsl_parser.dir/Parser.cpp.o.d"
+  "libcommcsl_parser.a"
+  "libcommcsl_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commcsl_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

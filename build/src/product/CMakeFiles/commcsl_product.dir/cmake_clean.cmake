@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commcsl_product.dir/Product.cpp.o"
+  "CMakeFiles/commcsl_product.dir/Product.cpp.o.d"
+  "libcommcsl_product.a"
+  "libcommcsl_product.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commcsl_product.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

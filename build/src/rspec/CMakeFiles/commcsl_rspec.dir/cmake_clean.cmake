@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commcsl_rspec.dir/RSpec.cpp.o"
+  "CMakeFiles/commcsl_rspec.dir/RSpec.cpp.o.d"
+  "CMakeFiles/commcsl_rspec.dir/SpecLibrary.cpp.o"
+  "CMakeFiles/commcsl_rspec.dir/SpecLibrary.cpp.o.d"
+  "CMakeFiles/commcsl_rspec.dir/Validity.cpp.o"
+  "CMakeFiles/commcsl_rspec.dir/Validity.cpp.o.d"
+  "libcommcsl_rspec.a"
+  "libcommcsl_rspec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commcsl_rspec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

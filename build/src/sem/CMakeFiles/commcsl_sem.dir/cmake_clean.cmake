@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commcsl_sem.dir/Interp.cpp.o"
+  "CMakeFiles/commcsl_sem.dir/Interp.cpp.o.d"
+  "libcommcsl_sem.a"
+  "libcommcsl_sem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commcsl_sem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commcsl_solver.dir/Solver.cpp.o"
+  "CMakeFiles/commcsl_solver.dir/Solver.cpp.o.d"
+  "CMakeFiles/commcsl_solver.dir/SymEval.cpp.o"
+  "CMakeFiles/commcsl_solver.dir/SymEval.cpp.o.d"
+  "CMakeFiles/commcsl_solver.dir/Term.cpp.o"
+  "CMakeFiles/commcsl_solver.dir/Term.cpp.o.d"
+  "libcommcsl_solver.a"
+  "libcommcsl_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commcsl_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

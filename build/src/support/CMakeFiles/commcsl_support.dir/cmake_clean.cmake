@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commcsl_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/commcsl_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/commcsl_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/commcsl_support.dir/StringUtils.cpp.o.d"
+  "libcommcsl_support.a"
+  "libcommcsl_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commcsl_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commcsl_testgen.dir/ProgramGen.cpp.o"
+  "CMakeFiles/commcsl_testgen.dir/ProgramGen.cpp.o.d"
+  "libcommcsl_testgen.a"
+  "libcommcsl_testgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commcsl_testgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcommcsl_testgen.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commcsl_value.dir/Domain.cpp.o"
+  "CMakeFiles/commcsl_value.dir/Domain.cpp.o.d"
+  "CMakeFiles/commcsl_value.dir/Value.cpp.o"
+  "CMakeFiles/commcsl_value.dir/Value.cpp.o.d"
+  "CMakeFiles/commcsl_value.dir/ValueOps.cpp.o"
+  "CMakeFiles/commcsl_value.dir/ValueOps.cpp.o.d"
+  "libcommcsl_value.a"
+  "libcommcsl_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commcsl_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

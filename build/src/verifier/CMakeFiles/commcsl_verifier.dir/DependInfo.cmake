@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verifier/Verifier.cpp" "src/verifier/CMakeFiles/commcsl_verifier.dir/Verifier.cpp.o" "gcc" "src/verifier/CMakeFiles/commcsl_verifier.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solver/CMakeFiles/commcsl_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/rspec/CMakeFiles/commcsl_rspec.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/commcsl_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/commcsl_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/commcsl_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/commcsl_value.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

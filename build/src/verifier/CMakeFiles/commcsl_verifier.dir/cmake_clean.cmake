@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commcsl_verifier.dir/Verifier.cpp.o"
+  "CMakeFiles/commcsl_verifier.dir/Verifier.cpp.o.d"
+  "libcommcsl_verifier.a"
+  "libcommcsl_verifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commcsl_verifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

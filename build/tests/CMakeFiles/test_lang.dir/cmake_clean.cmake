@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lang.dir/lang/EvalTest.cpp.o"
+  "CMakeFiles/test_lang.dir/lang/EvalTest.cpp.o.d"
+  "CMakeFiles/test_lang.dir/lang/PrinterTest.cpp.o"
+  "CMakeFiles/test_lang.dir/lang/PrinterTest.cpp.o.d"
+  "CMakeFiles/test_lang.dir/lang/TypeCheckerTest.cpp.o"
+  "CMakeFiles/test_lang.dir/lang/TypeCheckerTest.cpp.o.d"
+  "test_lang"
+  "test_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rspec.dir/rspec/SpecLibraryTest.cpp.o"
+  "CMakeFiles/test_rspec.dir/rspec/SpecLibraryTest.cpp.o.d"
+  "CMakeFiles/test_rspec.dir/rspec/ValidityTest.cpp.o"
+  "CMakeFiles/test_rspec.dir/rspec/ValidityTest.cpp.o.d"
+  "test_rspec"
+  "test_rspec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rspec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sem.dir/sem/InterpTest.cpp.o"
+  "CMakeFiles/test_sem.dir/sem/InterpTest.cpp.o.d"
+  "CMakeFiles/test_sem.dir/sem/SchedulerTest.cpp.o"
+  "CMakeFiles/test_sem.dir/sem/SchedulerTest.cpp.o.d"
+  "test_sem"
+  "test_sem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver.dir/solver/SolverMoreTest.cpp.o"
+  "CMakeFiles/test_solver.dir/solver/SolverMoreTest.cpp.o.d"
+  "CMakeFiles/test_solver.dir/solver/SolverTest.cpp.o"
+  "CMakeFiles/test_solver.dir/solver/SolverTest.cpp.o.d"
+  "test_solver"
+  "test_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_value.dir/value/DomainTest.cpp.o"
+  "CMakeFiles/test_value.dir/value/DomainTest.cpp.o.d"
+  "CMakeFiles/test_value.dir/value/ValueOpsTest.cpp.o"
+  "CMakeFiles/test_value.dir/value/ValueOpsTest.cpp.o.d"
+  "CMakeFiles/test_value.dir/value/ValuePropertyTest.cpp.o"
+  "CMakeFiles/test_value.dir/value/ValuePropertyTest.cpp.o.d"
+  "CMakeFiles/test_value.dir/value/ValueTest.cpp.o"
+  "CMakeFiles/test_value.dir/value/ValueTest.cpp.o.d"
+  "test_value"
+  "test_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

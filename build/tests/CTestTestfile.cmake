@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_support "/root/repo/build/tests/test_support")
+set_tests_properties(test_support PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;14;add_test;/root/repo/tests/CMakeLists.txt;17;commcsl_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_value "/root/repo/build/tests/test_value")
+set_tests_properties(test_value PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;14;add_test;/root/repo/tests/CMakeLists.txt;21;commcsl_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_lang "/root/repo/build/tests/test_lang")
+set_tests_properties(test_lang PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;14;add_test;/root/repo/tests/CMakeLists.txt;28;commcsl_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_parser "/root/repo/build/tests/test_parser")
+set_tests_properties(test_parser PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;14;add_test;/root/repo/tests/CMakeLists.txt;34;commcsl_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sem "/root/repo/build/tests/test_sem")
+set_tests_properties(test_sem PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;14;add_test;/root/repo/tests/CMakeLists.txt;38;commcsl_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_solver "/root/repo/build/tests/test_solver")
+set_tests_properties(test_solver PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;14;add_test;/root/repo/tests/CMakeLists.txt;43;commcsl_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_logic "/root/repo/build/tests/test_logic")
+set_tests_properties(test_logic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;14;add_test;/root/repo/tests/CMakeLists.txt;48;commcsl_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_hyper "/root/repo/build/tests/test_hyper")
+set_tests_properties(test_hyper PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;14;add_test;/root/repo/tests/CMakeLists.txt;52;commcsl_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_verifier "/root/repo/build/tests/test_verifier")
+set_tests_properties(test_verifier PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;14;add_test;/root/repo/tests/CMakeLists.txt;56;commcsl_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_rspec "/root/repo/build/tests/test_rspec")
+set_tests_properties(test_rspec PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;14;add_test;/root/repo/tests/CMakeLists.txt;61;commcsl_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_driver "/root/repo/build/tests/test_driver")
+set_tests_properties(test_driver PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;14;add_test;/root/repo/tests/CMakeLists.txt;66;commcsl_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;14;add_test;/root/repo/tests/CMakeLists.txt;70;commcsl_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_fuzz "/root/repo/build/tests/test_fuzz")
+set_tests_properties(test_fuzz PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;14;add_test;/root/repo/tests/CMakeLists.txt;74;commcsl_test;/root/repo/tests/CMakeLists.txt;0;")

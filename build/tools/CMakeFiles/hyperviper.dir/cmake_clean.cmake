@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperviper.dir/hyperviper/main.cpp.o"
+  "CMakeFiles/hyperviper.dir/hyperviper/main.cpp.o.d"
+  "hyperviper"
+  "hyperviper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperviper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
