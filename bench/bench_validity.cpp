@@ -172,6 +172,50 @@ BENCHMARK(BM_ScopeScaling_MapKeySet)
     ->Arg(3)
     ->Unit(benchmark::kMillisecond);
 
+/// Parallel scaling of the bounded tier: the same (scope size 3) workload
+/// sharded over 1/2/4 worker threads. The verdict and check counts are
+/// identical at every arity (see ValidityConfig::Jobs); `cpu_over_wall`
+/// reports the realized speedup (aggregate worker seconds / wall seconds),
+/// which approaches the job count on a machine with that many free cores.
+void BM_JobsScaling_MapKeySet(benchmark::State &State) {
+  std::string Source = std::string(R"(
+    resource MapKS {
+      state: map<int, int>;
+      alpha(v) = dom(v);
+      scope int -1 .. 1;
+      scope size 3;
+      shared action Put(a: pair<int, int>) {
+        apply(v, a) = map_put(v, fst(a), snd(a));
+        requires low(fst(a));
+      }
+    }
+  )");
+  Program P = parseSpec(Source);
+  RSpecRuntime Runtime(P.Specs[0], &P);
+  ValidityConfig Cfg;
+  Cfg.RunRandomTier = false;
+  Cfg.Jobs = static_cast<unsigned>(State.range(0));
+  uint64_t Checks = 0;
+  double Ratio = 1;
+  for (auto _ : State) {
+    ValidityChecker Checker(Runtime, Cfg);
+    ValidityResult R = Checker.check();
+    if (!R.Valid)
+      State.SkipWithError("unexpected validity verdict");
+    Checks = R.BoundedChecks;
+    if (R.WallSeconds > 0)
+      Ratio = R.CpuSeconds / R.WallSeconds;
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["checks"] = static_cast<double>(Checks);
+  State.counters["cpu_over_wall"] = Ratio;
+}
+BENCHMARK(BM_JobsScaling_MapKeySet)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 
 BENCHMARK_MAIN();

@@ -7,8 +7,13 @@
 #include "hyper/NonInterference.h"
 
 #include "sem/Scheduler.h"
+#include "support/ThreadPool.h"
 
+#include <atomic>
 #include <cassert>
+#include <chrono>
+#include <climits>
+#include <numeric>
 #include <sstream>
 
 using namespace commcsl;
@@ -61,7 +66,7 @@ NIReport NonInterferenceHarness::run() {
     Report.Violation = std::move(V);
     return Report;
   }
-  std::mt19937_64 Rng(Config.Seed);
+  auto T0 = std::chrono::steady_clock::now();
 
   std::vector<DomainRef> ParamDoms;
   for (const Param &P : Proc->Params)
@@ -74,25 +79,80 @@ NIReport NonInterferenceHarness::run() {
     return false;
   };
 
+  // Trials are independent work units: each derives its RNG stream from
+  // (Seed, TrialIndex), so its outcome does not depend on which worker runs
+  // it or in what order. The merge below reproduces the sequential
+  // stop-at-first-violation report exactly.
+  struct TrialOutcome {
+    uint64_t Runs = 0;
+    uint64_t Pairs = 0;
+    std::optional<NIViolation> Violation;
+  };
+  std::vector<TrialOutcome> Trials(Config.Trials);
+  std::atomic<unsigned> FirstViolating{UINT_MAX};
+  unsigned Jobs = ThreadPool::effectiveJobs(Config.Jobs);
+  uint64_t NumChunks = std::min<uint64_t>(std::max(1u, Jobs),
+                                          std::max(1u, Config.Trials));
+  std::vector<double> ChunkSeconds(NumChunks, 0.0);
+
+  ThreadPool::shared().parallelForChunks(
+      Config.Trials, Jobs, [&](uint64_t Begin, uint64_t End, unsigned Chunk) {
+        auto C0 = std::chrono::steady_clock::now();
+        for (uint64_t Trial = Begin; Trial < End; ++Trial) {
+          // A trial after an already-known violating one contributes
+          // nothing to the merged report; skip it.
+          if (Trial > FirstViolating.load(std::memory_order_relaxed))
+            continue;
+          std::mt19937_64 Rng(deriveSeed(Config.Seed, Trial));
+          std::vector<std::vector<ValueRef>> Assignments;
+          if (Config.TrialGen) {
+            Assignments = Config.TrialGen(Rng);
+          } else {
+            // Fix the low inputs; vary the highs.
+            std::vector<ValueRef> LowVals(Proc->Params.size());
+            for (size_t I = 0; I < Proc->Params.size(); ++I)
+              if (IsLowParam(I))
+                LowVals[I] = ParamDoms[I]->sample(Rng);
+            for (unsigned H = 0; H < Config.HighSamples; ++H) {
+              std::vector<ValueRef> Inputs(Proc->Params.size());
+              for (size_t I = 0; I < Proc->Params.size(); ++I)
+                Inputs[I] =
+                    IsLowParam(I) ? LowVals[I] : ParamDoms[I]->sample(Rng);
+              Assignments.push_back(std::move(Inputs));
+            }
+          }
+          NIReport Local;
+          runTrial(Assignments, Rng, Local);
+          TrialOutcome &Out = Trials[Trial];
+          Out.Runs = Local.Runs;
+          Out.Pairs = Local.PairsCompared;
+          Out.Violation = std::move(Local.Violation);
+          if (Out.Violation) {
+            unsigned Cur = FirstViolating.load(std::memory_order_relaxed);
+            while (Trial < Cur &&
+                   !FirstViolating.compare_exchange_weak(
+                       Cur, static_cast<unsigned>(Trial))) {
+            }
+          }
+        }
+        ChunkSeconds[Chunk] = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - C0)
+                                  .count();
+      });
+
+  Report.WallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+  Report.CpuSeconds =
+      std::accumulate(ChunkSeconds.begin(), ChunkSeconds.end(), 0.0);
+  // Deterministic merge in trial order.
   for (unsigned Trial = 0; Trial < Config.Trials; ++Trial) {
-    std::vector<std::vector<ValueRef>> Assignments;
-    if (Config.TrialGen) {
-      Assignments = Config.TrialGen(Rng);
-    } else {
-      // Fix the low inputs; vary the highs.
-      std::vector<ValueRef> LowVals(Proc->Params.size());
-      for (size_t I = 0; I < Proc->Params.size(); ++I)
-        if (IsLowParam(I))
-          LowVals[I] = ParamDoms[I]->sample(Rng);
-      for (unsigned H = 0; H < Config.HighSamples; ++H) {
-        std::vector<ValueRef> Inputs(Proc->Params.size());
-        for (size_t I = 0; I < Proc->Params.size(); ++I)
-          Inputs[I] = IsLowParam(I) ? LowVals[I] : ParamDoms[I]->sample(Rng);
-        Assignments.push_back(std::move(Inputs));
-      }
+    Report.Runs += Trials[Trial].Runs;
+    Report.PairsCompared += Trials[Trial].Pairs;
+    if (Trials[Trial].Violation) {
+      Report.Violation = std::move(Trials[Trial].Violation);
+      break;
     }
-    if (!runTrial(Assignments, Rng, Report))
-      return Report;
   }
   return Report;
 }

@@ -40,11 +40,18 @@ struct NIConfig {
   uint64_t Seed = 0xD1CE;
   uint64_t MaxSteps = 500'000;
   Type::ScopeParams InputScope{0, 6, 4}; ///< input generation domain
+  /// Worker threads for distributing trials. 0 = hardware concurrency;
+  /// 1 = sequential. Every trial derives its own RNG stream as
+  /// splitmix64(Seed, TrialIndex), so the report (counts, violation) is
+  /// identical at every job count.
+  unsigned Jobs = 0;
 
   /// Optional custom trial generator: returns a batch of low-equivalent
   /// input assignments (the harness compares low outputs across the whole
   /// batch). Use when the procedure's precondition relates inputs in ways
   /// the default per-type sampler cannot guarantee (e.g. equal lengths).
+  /// May be invoked concurrently from pool workers (with per-trial RNGs),
+  /// so it must not mutate shared state.
   using TrialGenerator =
       std::function<std::vector<std::vector<ValueRef>>(std::mt19937_64 &)>;
   TrialGenerator TrialGen;
@@ -61,11 +68,18 @@ struct NIViolation {
   std::string describe() const;
 };
 
-/// Outcome of a harness run.
+/// Outcome of a harness run. Counts reproduce the sequential
+/// stop-at-first-violation semantics: trials after the first violating one
+/// contribute nothing, regardless of how many ran concurrently.
 struct NIReport {
   uint64_t Runs = 0;
   uint64_t PairsCompared = 0;
   std::optional<NIViolation> Violation;
+  /// Wall-clock duration of the sweep.
+  double WallSeconds = 0;
+  /// Aggregate worker time (>= WallSeconds when parallel); the ratio
+  /// CpuSeconds / WallSeconds approximates the realized speedup.
+  double CpuSeconds = 0;
 
   bool secure() const { return !Violation.has_value(); }
 };

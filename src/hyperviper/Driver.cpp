@@ -9,10 +9,12 @@
 #include "lang/TypeChecker.h"
 #include "parser/Parser.h"
 #include "support/StringUtils.h"
+#include "support/ThreadPool.h"
 
 #include <chrono>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 using namespace commcsl;
 
@@ -30,19 +32,29 @@ SourceMetrics commcsl::measureSource(const std::string &Source) {
   bool InResource = false;
   int ResourceDepth = 0;
   for (const std::string &RawLine : split(Source, '\n')) {
-    std::string Line = trim(RawLine);
-    if (InBlockComment) {
-      if (Line.find("*/") != std::string::npos)
+    // Strip comments but keep code around them: a block comment may close
+    // mid-line (`/* c */ x := 1` is a code line), open mid-line, or both,
+    // and a `//` comment cuts the rest of the line.
+    std::string Code;
+    for (size_t I = 0; I < RawLine.size();) {
+      if (InBlockComment) {
+        size_t Close = RawLine.find("*/", I);
+        if (Close == std::string::npos)
+          break;
         InBlockComment = false;
-      continue;
-    }
-    if (Line.empty() || startsWith(Line, "//"))
-      continue;
-    if (startsWith(Line, "/*")) {
-      if (Line.find("*/") == std::string::npos)
+        I = Close + 2;
+      } else if (RawLine.compare(I, 2, "/*") == 0) {
         InBlockComment = true;
-      continue;
+        I += 2;
+      } else if (RawLine.compare(I, 2, "//") == 0) {
+        break;
+      } else {
+        Code += RawLine[I++];
+      }
     }
+    std::string Line = trim(Code);
+    if (Line.empty())
+      continue;
     // Resource specifications count as annotations in their entirety.
     if (startsWith(Line, "resource ")) {
       InResource = true;
@@ -87,26 +99,70 @@ DriverResult Driver::verifySource(const std::string &Source,
   if (!R.ParseOk)
     return R;
 
-  Verifier V(*R.Prog, R.Diags, Options.Verifier);
+  VerifierConfig VC = Options.Verifier;
+  if (VC.Validity.Jobs == 0)
+    VC.Validity.Jobs = Options.Jobs;
+  unsigned Jobs = ThreadPool::effectiveJobs(Options.Jobs);
 
-  // Phase: spec validity.
+  // Phase: spec validity. Resource specifications are independent of each
+  // other, so they are checked concurrently; each task collects its
+  // diagnostics privately and they are merged back in declaration order, so
+  // output is identical at any job count.
   auto T1 = std::chrono::steady_clock::now();
   bool SpecsOk = true;
-  if (!Options.Verifier.SkipValidityCheck) {
-    for (const ResourceSpecDecl &Spec : R.Prog->Specs) {
+  if (!VC.SkipValidityCheck && !R.Prog->Specs.empty()) {
+    struct SpecOutcome {
+      bool Ok = true;
+      DiagnosticEngine Diags;
+      double Seconds = 0;
+    };
+    std::vector<SpecOutcome> Outcomes(R.Prog->Specs.size());
+    ThreadPool::shared().parallelForChunks(
+        R.Prog->Specs.size(), Jobs,
+        [&](uint64_t Begin, uint64_t End, unsigned) {
+          for (uint64_t I = Begin; I < End; ++I) {
+            auto S0 = std::chrono::steady_clock::now();
+            Verifier SpecV(*R.Prog, Outcomes[I].Diags, VC);
+            Outcomes[I].Ok = SpecV.verifySpec(R.Prog->Specs[I]);
+            Outcomes[I].Seconds = secondsSince(S0);
+          }
+        });
+    for (SpecOutcome &Out : Outcomes) {
       ++R.Verification.NumSpecsChecked;
-      SpecsOk &= V.verifySpec(Spec);
+      SpecsOk &= Out.Ok;
+      R.Diags.append(Out.Diags);
+      R.ValidityCpuSeconds += Out.Seconds;
     }
   }
   R.ValiditySeconds = secondsSince(T1);
 
-  // Phase: procedure verification.
+  // Phase: procedure verification, likewise one independent task per
+  // procedure with ordered diagnostic merge.
   auto T2 = std::chrono::steady_clock::now();
   bool ProcsOk = true;
-  for (const ProcDecl &Proc : R.Prog->Procs) {
-    ProcVerdict PV = V.verifyProc(Proc);
-    ProcsOk &= PV.Ok;
-    R.Verification.Procs.push_back(std::move(PV));
+  if (!R.Prog->Procs.empty()) {
+    struct ProcOutcome {
+      ProcVerdict Verdict;
+      DiagnosticEngine Diags;
+      double Seconds = 0;
+    };
+    std::vector<ProcOutcome> Outcomes(R.Prog->Procs.size());
+    ThreadPool::shared().parallelForChunks(
+        R.Prog->Procs.size(), Jobs,
+        [&](uint64_t Begin, uint64_t End, unsigned) {
+          for (uint64_t I = Begin; I < End; ++I) {
+            auto P0 = std::chrono::steady_clock::now();
+            Verifier ProcV(*R.Prog, Outcomes[I].Diags, VC);
+            Outcomes[I].Verdict = ProcV.verifyProc(R.Prog->Procs[I]);
+            Outcomes[I].Seconds = secondsSince(P0);
+          }
+        });
+    for (ProcOutcome &Out : Outcomes) {
+      ProcsOk &= Out.Verdict.Ok;
+      R.Diags.append(Out.Diags);
+      R.VerifyCpuSeconds += Out.Seconds;
+      R.Verification.Procs.push_back(std::move(Out.Verdict));
+    }
   }
   R.VerifySeconds = secondsSince(T2);
 
@@ -132,6 +188,8 @@ DriverResult Driver::verifyFile(const std::string &Path) {
 NIReport Driver::runEmpirical(const DriverResult &Result,
                               const std::string &ProcName, NIConfig Config) {
   assert(Result.Prog && Result.ParseOk && "empirical run needs a program");
+  if (Config.Jobs == 0)
+    Config.Jobs = Options.Jobs;
   NonInterferenceHarness Harness(*Result.Prog, ProcName, Config);
   return Harness.run();
 }

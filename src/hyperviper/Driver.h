@@ -50,6 +50,10 @@ struct DriverResult {
   double ParseSeconds = 0;
   double ValiditySeconds = 0;
   double VerifySeconds = 0;
+  // Aggregate worker seconds for the parallelized phases (>= the wall
+  // number when several specs/procedures verify concurrently).
+  double ValidityCpuSeconds = 0;
+  double VerifyCpuSeconds = 0;
 
   double totalSeconds() const {
     return ParseSeconds + ValiditySeconds + VerifySeconds;
@@ -59,6 +63,11 @@ struct DriverResult {
 /// Driver options.
 struct DriverOptions {
   VerifierConfig Verifier;
+  /// Worker threads for spec validity, procedure verification, and the
+  /// empirical harness. 0 = hardware concurrency; 1 recovers the fully
+  /// sequential behaviour. Verdicts, diagnostics order, counterexamples,
+  /// and NI reports are identical at every setting.
+  unsigned Jobs = 0;
 };
 
 /// The verification driver.

@@ -6,12 +6,26 @@
 
 #include "rspec/Validity.h"
 
+#include "support/ThreadPool.h"
 #include "value/ValueOps.h"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <numeric>
 #include <sstream>
 #include <unordered_map>
 
 using namespace commcsl;
+
+namespace {
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+} // namespace
 
 std::string ValidityCounterexample::describe() const {
   std::ostringstream OS;
@@ -140,8 +154,96 @@ bool ValidityChecker::checkCommInstance(const ActionDecl &A,
   return false;
 }
 
+bool ValidityChecker::runBoundedTier(size_t NumArgPairs,
+                                     const BoundedInstanceCheck &Check,
+                                     ValidityResult &R, double &ParWall,
+                                     double &ParCpu) {
+  if (NumArgPairs == 0 || SameAlphaPairs.empty())
+    return false;
+
+  // Flatten the (state pair x argument pair x orientation) instance space:
+  // a diagonal state pair (v, v) contributes one instance per argument
+  // pair, an off-diagonal pair two — the primary orientation and, directly
+  // after it, the symmetric (v', v) one — reproducing the sequential
+  // checker's visit order exactly. The budget caps the flat index range, so
+  // every checked instance (symmetric ones included) consumes one unit.
+  std::vector<uint64_t> Offsets(SameAlphaPairs.size() + 1, 0);
+  for (size_t K = 0; K < SameAlphaPairs.size(); ++K) {
+    uint64_t Weight = SameAlphaPairs[K].first == SameAlphaPairs[K].second
+                          ? 1
+                          : 2;
+    Offsets[K + 1] = Offsets[K] + Weight * NumArgPairs;
+  }
+  uint64_t Total =
+      std::min<uint64_t>(Offsets.back(), Config.MaxChecksPerProperty);
+  if (Total == 0)
+    return false;
+
+  unsigned Jobs = ThreadPool::effectiveJobs(Config.Jobs);
+  uint64_t NumChunks = std::min<uint64_t>(std::max(1u, Jobs), Total);
+
+  // The winning counterexample is the failing instance with the lowest
+  // global index; workers abandon their chunk as soon as a lower index has
+  // already failed, because a chunk visits ascending indices only.
+  std::atomic<uint64_t> BestIdx{UINT64_MAX};
+  std::mutex BestMu;
+  ValidityCounterexample BestCE;
+  std::vector<double> ChunkSeconds(NumChunks, 0.0);
+
+  auto T0 = std::chrono::steady_clock::now();
+  ThreadPool::shared().parallelForChunks(
+      Total, Jobs, [&](uint64_t Begin, uint64_t End, unsigned Chunk) {
+        auto C0 = std::chrono::steady_clock::now();
+        size_t K = static_cast<size_t>(
+            std::upper_bound(Offsets.begin(), Offsets.end(), Begin) -
+            Offsets.begin() - 1);
+        for (uint64_t Idx = Begin; Idx < End; ++Idx) {
+          if (Idx >= BestIdx.load(std::memory_order_relaxed))
+            break;
+          while (Offsets[K + 1] <= Idx)
+            ++K;
+          uint64_t Weight =
+              SameAlphaPairs[K].first == SameAlphaPairs[K].second ? 1 : 2;
+          uint64_t InBlock = Idx - Offsets[K];
+          size_t ArgPair = static_cast<size_t>(InBlock / Weight);
+          bool Swapped = (InBlock % Weight) != 0;
+          ValidityResult Local;
+          if (!Check(K, ArgPair, Swapped, Local)) {
+            std::lock_guard<std::mutex> Lock(BestMu);
+            if (Idx < BestIdx.load(std::memory_order_relaxed)) {
+              BestIdx.store(Idx, std::memory_order_relaxed);
+              BestCE = *Local.CE;
+            }
+            break;
+          }
+        }
+        ChunkSeconds[Chunk] = secondsSince(C0);
+      });
+  ParWall += secondsSince(T0);
+  ParCpu += std::accumulate(ChunkSeconds.begin(), ChunkSeconds.end(), 0.0);
+
+  uint64_t Found = BestIdx.load(std::memory_order_relaxed);
+  if (Found != UINT64_MAX) {
+    // Deterministic accounting: exactly the instances a sequential run
+    // would have visited before stopping, regardless of how many extra
+    // instances other workers raced through.
+    R.BoundedChecks += Found + 1;
+    R.Valid = false;
+    R.CE = BestCE;
+    return true;
+  }
+  R.BoundedChecks += Total;
+  return false;
+}
+
 ValidityResult ValidityChecker::checkPreconditions() {
   ValidityResult R;
+  auto T0 = std::chrono::steady_clock::now();
+  double ParWall = 0, ParCpu = 0;
+  auto Finish = [&] {
+    R.WallSeconds = secondsSince(T0);
+    R.CpuSeconds = std::max(0.0, R.WallSeconds - ParWall) + ParCpu;
+  };
   buildStateUniverse();
   const ResourceSpecDecl &Decl = Runtime.decl();
 
@@ -155,25 +257,19 @@ ValidityResult ValidityChecker::checkPreconditions() {
           PrePairs.emplace_back(I, J);
 
     if (Config.RunBoundedTier) {
-      uint64_t Budget = Config.MaxChecksPerProperty;
-      for (const auto &[SI, SJ] : SameAlphaPairs) {
-        for (const auto &[AI, AJ] : PrePairs) {
-          if (Budget-- == 0)
-            goto bounded_done;
-          ++R.BoundedChecks;
-          if (!checkPreInstance(A, States[SI], States[SJ], Args[AI],
-                                Args[AJ], R))
-            return R;
-          // Also check the symmetric state pair (v', v).
-          if (SI != SJ) {
-            ++R.BoundedChecks;
-            if (!checkPreInstance(A, States[SJ], States[SI], Args[AI],
-                                  Args[AJ], R))
-              return R;
-          }
-        }
+      if (runBoundedTier(
+              PrePairs.size(),
+              [&](size_t K, size_t P, bool Swapped, ValidityResult &Out) {
+                auto [SI, SJ] = SameAlphaPairs[K];
+                const ValueRef &V1 = States[Swapped ? SJ : SI];
+                const ValueRef &V2 = States[Swapped ? SI : SJ];
+                return checkPreInstance(A, V1, V2, Args[PrePairs[P].first],
+                                        Args[PrePairs[P].second], Out);
+              },
+              R, ParWall, ParCpu)) {
+        Finish();
+        return R;
       }
-    bounded_done:;
     }
 
     if (Config.RunRandomTier) {
@@ -194,16 +290,25 @@ ValidityResult ValidityChecker::checkPreconditions() {
         if (!Runtime.preHolds(A, Arg1, Arg2))
           continue; // even the diagonal violates a unary constraint
         ++R.RandomChecks;
-        if (!checkPreInstance(A, V1, V2, Arg1, Arg2, R))
+        if (!checkPreInstance(A, V1, V2, Arg1, Arg2, R)) {
+          Finish();
           return R;
+        }
       }
     }
   }
+  Finish();
   return R;
 }
 
 ValidityResult ValidityChecker::checkCommutativity() {
   ValidityResult R;
+  auto T0 = std::chrono::steady_clock::now();
+  double ParWall = 0, ParCpu = 0;
+  auto Finish = [&] {
+    R.WallSeconds = secondsSince(T0);
+    R.CpuSeconds = std::max(0.0, R.WallSeconds - ParWall) + ParCpu;
+  };
   buildStateUniverse();
   const ResourceSpecDecl &Decl = Runtime.decl();
 
@@ -227,26 +332,22 @@ ValidityResult ValidityChecker::checkCommutativity() {
     std::vector<ValueRef> ArgsB = FilterArgs(B);
 
     if (Config.RunBoundedTier) {
-      uint64_t Budget = Config.MaxChecksPerProperty;
-      for (const auto &[SI, SJ] : SameAlphaPairs) {
-        for (const ValueRef &ArgA : ArgsA) {
-          for (const ValueRef &ArgB : ArgsB) {
-            if (Budget-- == 0)
-              goto bounded_done;
-            ++R.BoundedChecks;
-            if (!checkCommInstance(A, B, States[SI], States[SJ], ArgA, ArgB,
-                                   R))
-              return R;
-            if (SI != SJ) {
-              ++R.BoundedChecks;
-              if (!checkCommInstance(A, B, States[SJ], States[SI], ArgA,
-                                     ArgB, R))
-                return R;
-            }
-          }
-        }
+      // Argument pairs are the cross product ArgsA x ArgsB, flattened in
+      // the sequential (ArgA-major) order.
+      if (runBoundedTier(
+              ArgsA.size() * ArgsB.size(),
+              [&](size_t K, size_t P, bool Swapped, ValidityResult &Out) {
+                auto [SI, SJ] = SameAlphaPairs[K];
+                const ValueRef &V1 = States[Swapped ? SJ : SI];
+                const ValueRef &V2 = States[Swapped ? SI : SJ];
+                return checkCommInstance(A, B, V1, V2,
+                                         ArgsA[P / ArgsB.size()],
+                                         ArgsB[P % ArgsB.size()], Out);
+              },
+              R, ParWall, ParCpu)) {
+        Finish();
+        return R;
       }
-    bounded_done:;
     }
 
     if (Config.RunRandomTier) {
@@ -266,22 +367,30 @@ ValidityResult ValidityChecker::checkCommutativity() {
             !Runtime.preHoldsUnary(B, ArgB))
           continue;
         ++R.RandomChecks;
-        if (!checkCommInstance(A, B, V1, V2, ArgA, ArgB, R))
+        if (!checkCommInstance(A, B, V1, V2, ArgA, ArgB, R)) {
+          Finish();
           return R;
+        }
       }
     }
   }
+  Finish();
   return R;
 }
 
 ValidityResult ValidityChecker::checkHistoryCoherence() {
   ValidityResult R;
+  auto T0 = std::chrono::steady_clock::now();
+  // Sequential tier: aggregate worker time equals wall time.
+  auto Finish = [&] { R.CpuSeconds = R.WallSeconds = secondsSince(T0); };
   const ResourceSpecDecl &Decl = Runtime.decl();
   bool AnyHistory = Decl.Inv != nullptr;
   for (const ActionDecl &A : Decl.Actions)
     AnyHistory |= (A.History != nullptr);
-  if (!AnyHistory)
+  if (!AnyHistory) {
+    Finish();
     return R;
+  }
 
   std::mt19937_64 Rng(Config.Seed ^ 0x9157ULL);
   DomainRef StateDom = Decl.StateTy->toDomain(Scope);
@@ -323,6 +432,7 @@ ValidityResult ValidityChecker::checkHistoryCoherence() {
         CE.AlphaLeft = CE.AlphaRight = Runtime.alphaOf(V);
         R.Valid = false;
         R.CE = CE;
+        Finish();
         return R;
       }
       if (A.History)
@@ -344,11 +454,13 @@ ValidityResult ValidityChecker::checkHistoryCoherence() {
           CE.AlphaRight = Collected[I];
           R.Valid = false;
           R.CE = CE;
+          Finish();
           return R;
         }
       }
     }
   }
+  Finish();
   return R;
 }
 
@@ -359,10 +471,14 @@ ValidityResult ValidityChecker::check() {
   ValidityResult C = checkCommutativity();
   C.BoundedChecks += R.BoundedChecks;
   C.RandomChecks += R.RandomChecks;
+  C.WallSeconds += R.WallSeconds;
+  C.CpuSeconds += R.CpuSeconds;
   if (!C.Valid)
     return C;
   ValidityResult H = checkHistoryCoherence();
   H.BoundedChecks += C.BoundedChecks;
   H.RandomChecks += C.RandomChecks;
+  H.WallSeconds += C.WallSeconds;
+  H.CpuSeconds += C.CpuSeconds;
   return H;
 }

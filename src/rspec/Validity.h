@@ -30,6 +30,7 @@
 #include "rspec/RSpec.h"
 #include "value/Domain.h"
 
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -48,6 +49,12 @@ struct ValidityConfig {
   uint64_t Seed = 0xC0FFEEULL;
   bool RunBoundedTier = true;
   bool RunRandomTier = true;
+  /// Worker threads for the bounded tier's instance space. 0 = hardware
+  /// concurrency; 1 = fully sequential (no pool involvement). The verdict,
+  /// counterexample, and check counts are identical at every setting: the
+  /// surviving counterexample is always the one with the lowest global
+  /// instance index.
+  unsigned Jobs = 0;
 };
 
 /// A concrete refutation of validity.
@@ -70,6 +77,11 @@ struct ValidityResult {
   std::optional<ValidityCounterexample> CE;
   uint64_t BoundedChecks = 0;
   uint64_t RandomChecks = 0;
+  /// Wall-clock duration of the check.
+  double WallSeconds = 0;
+  /// Aggregate time spent by all workers (>= WallSeconds when parallel);
+  /// CpuSeconds / WallSeconds approximates the realized speedup.
+  double CpuSeconds = 0;
 };
 
 /// Runs the Def. 3.1 checks for one resource specification.
@@ -111,6 +123,24 @@ private:
                          const ValueRef &V1, const ValueRef &V2,
                          const ValueRef &ArgA, const ValueRef &ArgB,
                          ValidityResult &R);
+
+  /// Checks one flattened bounded-tier instance: state pair \p StatePair
+  /// (swapped orientation when \p Swapped), argument pair \p ArgPair.
+  /// Returns false and fills \p Out with a counterexample on failure.
+  using BoundedInstanceCheck = std::function<bool(
+      size_t StatePair, size_t ArgPair, bool Swapped, ValidityResult &Out)>;
+
+  /// Runs one property's bounded tier over the (same-alpha state pair x
+  /// argument pair x orientation) instance space, sharded across the shared
+  /// thread pool. Every instance consumes one unit of MaxChecksPerProperty.
+  /// Deterministic at any job count: the reported counterexample is the one
+  /// with the lowest global instance index, and BoundedChecks advances by
+  /// exactly the number of instances the sequential checker would have
+  /// visited. Returns true when a counterexample was recorded in \p R.
+  /// \p ParWall / \p ParCpu accumulate the region's wall and aggregate
+  /// worker time.
+  bool runBoundedTier(size_t NumArgPairs, const BoundedInstanceCheck &Check,
+                      ValidityResult &R, double &ParWall, double &ParCpu);
 
   const RSpecRuntime &Runtime;
   ValidityConfig Config;

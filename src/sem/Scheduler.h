@@ -78,8 +78,10 @@ private:
 /// coarse time slicing, which amplifies timing differences between threads.
 class BurstScheduler : public Scheduler {
 public:
+  /// \p BurstLen is clamped to at least 1: `Remaining = BurstLen - 1` on a
+  /// zero length would wrap to UINT_MAX and pin one thread forever.
   BurstScheduler(uint64_t Seed, unsigned BurstLen)
-      : Rng(Seed), BurstLen(BurstLen), Seed(Seed) {}
+      : Rng(Seed), BurstLen(BurstLen == 0 ? 1 : BurstLen), Seed(Seed) {}
 
   size_t pick(const std::vector<size_t> &Runnable) override {
     for (size_t Id : Runnable) {

@@ -95,6 +95,14 @@ public:
     report(DiagKind::Note, DiagCode::None, Loc, std::move(Msg));
   }
 
+  /// Appends all diagnostics of \p Other, preserving their order. Used to
+  /// merge per-task engines back into a parent in a deterministic order
+  /// after parallel verification.
+  void append(const DiagnosticEngine &Other) {
+    for (const Diagnostic &D : Other.diagnostics())
+      report(D.Kind, D.Code, D.Loc, D.Message);
+  }
+
   bool hasErrors() const { return NumErrors != 0; }
   unsigned errorCount() const { return NumErrors; }
   const std::vector<Diagnostic> &diagnostics() const { return Diags; }

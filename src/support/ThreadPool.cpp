@@ -1,0 +1,119 @@
+//===-- support/ThreadPool.cpp - Work-sharded parallel execution -----------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+using namespace commcsl;
+
+unsigned ThreadPool::defaultJobs() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+ThreadPool &ThreadPool::shared() {
+  static ThreadPool Pool(defaultJobs());
+  return Pool;
+}
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  NumWorkers = Threads == 0 ? defaultJobs() : Threads;
+  Workers.reserve(NumWorkers);
+  for (unsigned I = 0; I < NumWorkers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Stopping = true;
+  }
+  Cv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      Cv.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and drained
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Task();
+  }
+}
+
+void ThreadPool::helpWhilePending(const std::function<bool()> &Done) {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      // Wake on new tasks (to help) and on chunk completion (to return).
+      Cv.wait(Lock, [&] { return Done() || !Queue.empty(); });
+      if (Done())
+        return;
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Task();
+  }
+}
+
+void ThreadPool::parallelForChunks(
+    uint64_t NumItems, unsigned Jobs,
+    const std::function<void(uint64_t, uint64_t, unsigned)> &Body) {
+  if (NumItems == 0)
+    return;
+  uint64_t NumChunks = std::min<uint64_t>(std::max(1u, Jobs), NumItems);
+  if (NumChunks <= 1) {
+    Body(0, NumItems, 0);
+    return;
+  }
+
+  std::atomic<uint64_t> Pending{NumChunks};
+  std::exception_ptr FirstError;
+  std::mutex ErrorMu;
+
+  auto RunChunk = [&](unsigned Chunk) {
+    uint64_t Begin = NumItems * Chunk / NumChunks;
+    uint64_t End = NumItems * (Chunk + 1) / NumChunks;
+    try {
+      Body(Begin, End, Chunk);
+    } catch (...) {
+      std::lock_guard<std::mutex> Lock(ErrorMu);
+      if (!FirstError)
+        FirstError = std::current_exception();
+    }
+    if (Pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Take the lock (empty critical section) so the notify cannot land in
+      // the caller's check-then-sleep window and be lost.
+      { std::lock_guard<std::mutex> Lock(Mu); }
+      Cv.notify_all(); // wake the waiting caller
+    }
+  };
+
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (unsigned Chunk = 1; Chunk < NumChunks; ++Chunk)
+      Queue.emplace_back([RunChunk, Chunk] { RunChunk(Chunk); });
+  }
+  Cv.notify_all();
+
+  RunChunk(0);
+  helpWhilePending(
+      [&] { return Pending.load(std::memory_order_acquire) == 0; });
+
+  if (FirstError)
+    std::rethrow_exception(FirstError);
+}

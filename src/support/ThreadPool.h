@@ -1,0 +1,99 @@
+//===-- support/ThreadPool.h - Work-sharded parallel execution --*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool with a chunked parallel-for helper. The
+/// validity checker, the empirical non-interference harness, and the driver
+/// all share one process-wide pool; work is sharded into contiguous index
+/// ranges so that callers can implement deterministic selection (e.g. the
+/// lowest-global-index counterexample) independently of the thread count.
+///
+/// Waiting callers help drain the queue, so nested parallelForChunks calls
+/// (a pool worker fanning out again) cannot deadlock even on a single
+/// worker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_SUPPORT_THREADPOOL_H
+#define COMMCSL_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace commcsl {
+
+/// SplitMix64 mixing step (Steele et al.). Used to derive statistically
+/// independent RNG seeds from a base seed and a work-item index, so that
+/// randomized results are reproducible and independent of which worker
+/// executes which item.
+constexpr uint64_t splitmix64(uint64_t X) {
+  X += 0x9E3779B97F4A7C15ULL;
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBULL;
+  return X ^ (X >> 31);
+}
+
+/// Seed for work item \p Index under base seed \p Seed.
+constexpr uint64_t deriveSeed(uint64_t Seed, uint64_t Index) {
+  return splitmix64(Seed ^ splitmix64(Index));
+}
+
+/// Fixed-size worker pool.
+class ThreadPool {
+public:
+  /// \p Threads worker threads; 0 means hardware concurrency.
+  explicit ThreadPool(unsigned Threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned workerCount() const { return NumWorkers; }
+
+  /// The process-wide shared pool (hardware-concurrency sized, lazily
+  /// created, never destroyed before exit).
+  static ThreadPool &shared();
+
+  /// Default degree of parallelism: hardware concurrency, at least 1.
+  static unsigned defaultJobs();
+
+  /// Resolves a user-facing jobs option: 0 means defaultJobs().
+  static unsigned effectiveJobs(unsigned Jobs) {
+    return Jobs == 0 ? defaultJobs() : Jobs;
+  }
+
+  /// Splits [0, NumItems) into at most \p Jobs contiguous chunks and runs
+  /// \p Body(Begin, End, Chunk) for each. At most Jobs chunks execute
+  /// concurrently (one on the calling thread). Jobs <= 1 runs a single
+  /// chunk inline on the caller, bypassing the pool entirely — this is the
+  /// `--jobs 1` sequential-recovery path. Rethrows the first exception a
+  /// chunk produced. Blocks until all chunks finished.
+  void parallelForChunks(
+      uint64_t NumItems, unsigned Jobs,
+      const std::function<void(uint64_t Begin, uint64_t End, unsigned Chunk)>
+          &Body);
+
+private:
+  void workerLoop();
+  /// Pops and runs queued tasks until \p Pending reaches zero.
+  void helpWhilePending(const std::function<bool()> &Done);
+
+  unsigned NumWorkers = 0;
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex Mu;
+  std::condition_variable Cv;
+  bool Stopping = false;
+};
+
+} // namespace commcsl
+
+#endif // COMMCSL_SUPPORT_THREADPOOL_H

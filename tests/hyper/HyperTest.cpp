@@ -156,6 +156,52 @@ TEST(HyperTest, CustomTrialGenerator) {
   EXPECT_TRUE(R.secure()) << R.Violation->describe();
 }
 
+TEST(HyperTest, ReportIsIdenticalAcrossJobCounts) {
+  // Per-trial seed derivation (splitmix64(Seed, Trial)) makes the sweep's
+  // outcome a pure function of the config: running the trials on 1, 2, or 8
+  // workers must produce the same counts and the same verdict.
+  auto RunWith = [](const char *Source, unsigned Jobs) {
+    Program P = parseChecked(Source);
+    NIConfig Cfg;
+    Cfg.InputScope.IntHi = 8;
+    Cfg.Trials = 6;
+    Cfg.Jobs = Jobs;
+    NonInterferenceHarness H(P, "main", Cfg);
+    return H.run();
+  };
+
+  const char *Secure = R"(
+    procedure main(l: int, h: int) returns (out: int)
+      requires low(l)
+      ensures low(out)
+    {
+      out := l * l + 1;
+    }
+  )";
+  const char *Leaky = R"(
+    procedure main(l: int, h: int) returns (out: int)
+      requires low(l)
+      ensures low(out)
+    {
+      out := h;
+    }
+  )";
+
+  for (const char *Source : {Secure, Leaky}) {
+    NIReport Seq = RunWith(Source, 1);
+    for (unsigned Jobs : {2u, 8u}) {
+      NIReport Par = RunWith(Source, Jobs);
+      EXPECT_EQ(Par.secure(), Seq.secure()) << "Jobs=" << Jobs;
+      EXPECT_EQ(Par.Runs, Seq.Runs) << "Jobs=" << Jobs;
+      EXPECT_EQ(Par.PairsCompared, Seq.PairsCompared) << "Jobs=" << Jobs;
+      if (!Seq.secure() && !Par.secure()) {
+        EXPECT_EQ(Par.Violation->describe(), Seq.Violation->describe())
+            << "Jobs=" << Jobs;
+      }
+    }
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Self-composition product (product/)
 //===----------------------------------------------------------------------===//

@@ -48,6 +48,32 @@ TEST(DriverTest, MetricsSkipBlockComments) {
   EXPECT_EQ(M.AnnotationLines, 0u);
 }
 
+TEST(DriverTest, MetricsCountCodeAfterClosingBlockComment) {
+  // Regression: code following `*/` on the same line used to be dropped
+  // entirely, skewing the Table 1 LOC column.
+  SourceMetrics M = measureSource("/* c */ x := 1;");
+  EXPECT_EQ(M.LinesOfCode, 1u);
+  EXPECT_EQ(M.AnnotationLines, 0u);
+
+  // The multi-line variant: the closing line carries code.
+  SourceMetrics M2 = measureSource("/* a\nb */ x := 1;\ny := 2;");
+  EXPECT_EQ(M2.LinesOfCode, 2u);
+
+  // Annotations after a comment are classified as annotations.
+  SourceMetrics M3 = measureSource("/* why */ requires low(x)");
+  EXPECT_EQ(M3.AnnotationLines, 1u);
+  EXPECT_EQ(M3.LinesOfCode, 0u);
+
+  // A line that is swallowed whole by comments still counts as nothing,
+  // and a comment opening mid-line keeps the preceding code.
+  SourceMetrics M4 = measureSource("x := 1; /* open\nstill comment\n*/");
+  EXPECT_EQ(M4.LinesOfCode, 1u);
+
+  // Several comments on one code line.
+  SourceMetrics M5 = measureSource("/* a */ x /* b */ := 1; // done");
+  EXPECT_EQ(M5.LinesOfCode, 1u);
+}
+
 TEST(DriverTest, MissingFileReported) {
   Driver D;
   DriverResult R = D.verifyFile("/nonexistent/path.hv");

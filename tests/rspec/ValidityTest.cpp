@@ -449,6 +449,87 @@ TEST(ValidityTest, RandomTierAloneFindsMapCounterexample) {
   EXPECT_EQ(R.BoundedChecks, 0u);
 }
 
+TEST(ValidityTest, BudgetIsConsumedBySymmetricInstances) {
+  // Regression: the swapped-orientation check of an off-diagonal state pair
+  // incremented BoundedChecks without consuming budget, so a property could
+  // perform up to 2x MaxChecksPerProperty checks. Every checked instance
+  // must now consume one unit. The constant abstraction makes *every* state
+  // pair same-alpha (maximally off-diagonal), which is exactly the shape
+  // that used to overshoot.
+  ValidityConfig Cfg;
+  Cfg.RunRandomTier = false;
+  Cfg.MaxChecksPerProperty = 10;
+  ValidityResult R = checkSpec(R"(
+    resource BlindBudget {
+      state: int;
+      alpha(v) = 0;
+      shared action Set(a: int) { apply(v, a) = a; }
+    }
+  )",
+                               Cfg);
+  EXPECT_TRUE(R.Valid);
+  // One bounded property instance for (A) on Set and one for (B) on
+  // (Set, Set): at most MaxChecksPerProperty each.
+  EXPECT_LE(R.BoundedChecks, 2 * Cfg.MaxChecksPerProperty);
+  EXPECT_GT(R.BoundedChecks, 0u);
+}
+
+TEST(ValidityTest, ParallelCounterexampleIsDeterministic) {
+  // The map-with-identity-abstraction family is known invalid; the parallel
+  // bounded tier must report the *same* counterexample (the lowest global
+  // instance index) and the same check counts at every job count.
+  const char *Source = R"(
+    resource MapFullJobs {
+      state: map<int, int>;
+      alpha(v) = v;
+      scope size 2;
+      shared action Put(a: pair<int, int>) {
+        apply(v, a) = map_put(v, fst(a), snd(a));
+        requires low(fst(a)) && low(snd(a));
+      }
+    }
+  )";
+  ValidityConfig Cfg;
+  Cfg.RunRandomTier = false;
+  Cfg.Jobs = 1;
+  ValidityResult Seq = checkSpec(Source, Cfg);
+  ASSERT_FALSE(Seq.Valid);
+  for (unsigned Jobs : {2u, 8u}) {
+    Cfg.Jobs = Jobs;
+    ValidityResult Par = checkSpec(Source, Cfg);
+    ASSERT_FALSE(Par.Valid) << "Jobs=" << Jobs;
+    EXPECT_EQ(Par.CE->describe(), Seq.CE->describe()) << "Jobs=" << Jobs;
+    EXPECT_EQ(Par.BoundedChecks, Seq.BoundedChecks) << "Jobs=" << Jobs;
+    EXPECT_EQ(Par.RandomChecks, Seq.RandomChecks) << "Jobs=" << Jobs;
+  }
+}
+
+TEST(ValidityTest, ParallelValidSpecCountsAreDeterministic) {
+  // On a valid spec the bounded tier runs to (budgeted) completion; the
+  // totals must not depend on the sharding.
+  const char *Source = R"(
+    resource CounterJobs {
+      state: int;
+      alpha(v) = v;
+      shared action Add(a: int) {
+        apply(v, a) = v + a;
+        requires low(a);
+      }
+    }
+  )";
+  ValidityConfig Cfg;
+  Cfg.Jobs = 1;
+  ValidityResult Seq = checkSpec(Source, Cfg);
+  ASSERT_TRUE(Seq.Valid) << Seq.CE->describe();
+  for (unsigned Jobs : {2u, 8u}) {
+    Cfg.Jobs = Jobs;
+    ValidityResult Par = checkSpec(Source, Cfg);
+    EXPECT_TRUE(Par.Valid) << "Jobs=" << Jobs;
+    EXPECT_EQ(Par.BoundedChecks, Seq.BoundedChecks) << "Jobs=" << Jobs;
+    EXPECT_EQ(Par.RandomChecks, Seq.RandomChecks) << "Jobs=" << Jobs;
+  }
+}
+
 TEST(ValidityTest, PreconditionRelationIsEvaluatedRelationally) {
   Program P = parseChecked(R"(
     resource R1 {

@@ -69,6 +69,30 @@ TEST(SchedulerTest, BurstYieldsWhenPreferredBlocked) {
   EXPECT_EQ(S.pick({Other}), Other);
 }
 
+TEST(SchedulerTest, BurstLenOneYieldsEveryStep) {
+  // BurstLen == 1 means "no extra steps after the pick": Remaining must be
+  // 0 after every pick, so the scheduler re-rolls each time and, with a
+  // fair RNG, touches every thread.
+  BurstScheduler S(9, /*BurstLen=*/1);
+  std::vector<size_t> Runnable = {0, 1, 2};
+  std::set<size_t> Seen;
+  for (int I = 0; I < 200; ++I)
+    Seen.insert(S.pick(Runnable));
+  EXPECT_EQ(Seen.size(), 3u);
+}
+
+TEST(SchedulerTest, BurstLenZeroIsClampedNotInfinite) {
+  // Regression: BurstLen == 0 used to set Remaining = 0 - 1 == UINT_MAX,
+  // pinning one thread forever. It must behave like BurstLen == 1.
+  BurstScheduler S(9, /*BurstLen=*/0);
+  std::vector<size_t> Runnable = {0, 1, 2};
+  std::set<size_t> Seen;
+  for (int I = 0; I < 200; ++I)
+    Seen.insert(S.pick(Runnable));
+  EXPECT_EQ(Seen.size(), 3u) << "scheduler stayed pinned to one thread";
+  EXPECT_EQ(S.name(), "burst(1,9)");
+}
+
 TEST(SchedulerTest, NamesAreDescriptive) {
   EXPECT_EQ(RoundRobinScheduler().name(), "round-robin");
   EXPECT_EQ(RandomScheduler(42).name(), "random(42)");

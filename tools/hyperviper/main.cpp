@@ -9,6 +9,10 @@
 ///
 /// Options:
 ///   --no-validity   skip resource-spec validity checking (Def. 3.1)
+///   --jobs <N>      worker threads for validity checking, procedure
+///                   verification, and the NI harness (default: hardware
+///                   concurrency; 1 = fully sequential). Output is
+///                   identical at every N.
 ///   --ni <proc>     additionally run the empirical non-interference
 ///                   harness on the named procedure
 ///   --metrics       print Table-1-style metrics (LOC / Ann. / time)
@@ -19,6 +23,7 @@
 #include "hyperviper/Driver.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -35,6 +40,14 @@ int main(int Argc, char **Argv) {
     std::string Arg = Argv[I];
     if (Arg == "--no-validity") {
       Options.Verifier.SkipValidityCheck = true;
+    } else if (Arg == "--jobs" && I + 1 < Argc) {
+      long N = std::strtol(Argv[++I], nullptr, 10);
+      if (N < 1) {
+        std::fprintf(stderr, "hyperviper: error: --jobs expects a positive "
+                             "integer\n");
+        return 2;
+      }
+      Options.Jobs = static_cast<unsigned>(N);
     } else if (Arg == "--metrics") {
       PrintMetrics = true;
     } else if (Arg == "--quiet") {
@@ -42,8 +55,8 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--ni" && I + 1 < Argc) {
       NIProc = Argv[++I];
     } else if (Arg == "--help" || Arg == "-h") {
-      std::printf("usage: hyperviper [--no-validity] [--metrics] [--quiet] "
-                  "[--ni <proc>] file.hv ...\n");
+      std::printf("usage: hyperviper [--no-validity] [--jobs N] [--metrics] "
+                  "[--quiet] [--ni <proc>] file.hv ...\n");
       return 0;
     } else {
       Files.push_back(Arg);
