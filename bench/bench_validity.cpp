@@ -16,6 +16,7 @@
 #include "lang/TypeChecker.h"
 #include "parser/Parser.h"
 #include "rspec/Validity.h"
+#include "value/Intern.h"
 
 #include <benchmark/benchmark.h>
 
@@ -214,6 +215,59 @@ BENCHMARK(BM_JobsScaling_MapKeySet)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+/// Interning / memoization ablation: the scope-3 bounded workload with
+/// value interning and alpha/f_a memoization independently toggled.
+/// Verdicts and check counts are identical across all four variants; only
+/// the evaluation cost changes. Arg encoding: bit 0 = interning on,
+/// bit 1 = memoization on.
+void BM_InternMemoAblation_MapKeySet(benchmark::State &State) {
+  bool Intern = State.range(0) & 1;
+  bool Memo = State.range(0) & 2;
+  bool WasEnabled = ValueInterner::enabled();
+  ValueInterner::setEnabled(Intern);
+  {
+    std::string Source = std::string(R"(
+      resource MapKS {
+        state: map<int, int>;
+        alpha(v) = dom(v);
+        scope int -1 .. 1;
+        scope size 3;
+        shared action Put(a: pair<int, int>) {
+          apply(v, a) = map_put(v, fst(a), snd(a));
+          requires low(fst(a));
+        }
+      }
+    )");
+    Program P = parseSpec(Source);
+    RSpecRuntime Runtime(P.Specs[0], &P);
+    ValidityConfig Cfg;
+    Cfg.RunRandomTier = false;
+    Cfg.Jobs = 1;
+    Cfg.Memoize = Memo;
+    uint64_t Checks = 0;
+    double HitRate = 0;
+    for (auto _ : State) {
+      ValidityChecker Checker(Runtime, Cfg);
+      ValidityResult R = Checker.check();
+      if (!R.Valid)
+        State.SkipWithError("unexpected validity verdict");
+      Checks = R.BoundedChecks;
+      uint64_t Lookups = R.Cache.hits() + R.Cache.misses();
+      HitRate = Lookups ? static_cast<double>(R.Cache.hits()) / Lookups : 0;
+      benchmark::DoNotOptimize(R);
+    }
+    State.counters["checks"] = static_cast<double>(Checks);
+    State.counters["hit_rate"] = HitRate;
+  }
+  ValueInterner::setEnabled(WasEnabled);
+}
+BENCHMARK(BM_InternMemoAblation_MapKeySet)
+    ->Arg(0) // baseline: no interning, no memo
+    ->Arg(1) // interning only
+    ->Arg(2) // memo only (structural-compare keys)
+    ->Arg(3) // interning + memo
     ->Unit(benchmark::kMillisecond);
 
 } // namespace

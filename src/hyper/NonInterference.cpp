@@ -67,6 +67,9 @@ NIReport NonInterferenceHarness::run() {
     return Report;
   }
   auto T0 = std::chrono::steady_clock::now();
+  SpecCaches = Config.MemoizeSpecEval
+                   ? std::make_shared<SpecCacheRegistry>(Config.MemoMaxEntries)
+                   : nullptr;
 
   std::vector<DomainRef> ParamDoms;
   for (const Param &P : Proc->Params)
@@ -154,6 +157,8 @@ NIReport NonInterferenceHarness::run() {
       break;
     }
   }
+  if (SpecCaches)
+    Report.Cache = SpecCaches->totals();
   return Report;
 }
 
@@ -162,6 +167,7 @@ bool NonInterferenceHarness::runTrial(
     std::mt19937_64 &Rng, NIReport &Report) {
   RunConfig RC;
   RC.MaxSteps = Config.MaxSteps;
+  RC.SpecCaches = SpecCaches;
   Interpreter Interp(Prog, RC);
 
   bool HaveRef = false;

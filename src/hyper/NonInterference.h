@@ -45,6 +45,13 @@ struct NIConfig {
   /// splitmix64(Seed, TrialIndex), so the report (counts, violation) is
   /// identical at every job count.
   unsigned Jobs = 0;
+  /// Memoize resource-spec evaluation (`alpha`, `f_a`) across all runs of
+  /// the sweep in one shared per-spec cache registry. Evaluation is pure,
+  /// so the report (counts, violation) is bit-identical with memoization on
+  /// or off; only speed and the diagnostic cache counters change.
+  bool MemoizeSpecEval = true;
+  /// Capacity bound per spec cache (entries across both memo tables).
+  size_t MemoMaxEntries = SpecEvalCache::DefaultMaxEntries;
 
   /// Optional custom trial generator: returns a batch of low-equivalent
   /// input assignments (the harness compares low outputs across the whole
@@ -80,6 +87,10 @@ struct NIReport {
   /// Aggregate worker time (>= WallSeconds when parallel); the ratio
   /// CpuSeconds / WallSeconds approximates the realized speedup.
   double CpuSeconds = 0;
+  /// Spec-evaluation memo counters summed over every spec the sweep
+  /// touched (zeros when MemoizeSpecEval is off). Diagnostic only: the
+  /// hit/miss split may vary with thread interleaving.
+  CacheStats Cache;
 
   bool secure() const { return !Violation.has_value(); }
 };
@@ -115,6 +126,8 @@ private:
   NIConfig Config;
   std::vector<size_t> LowParams;
   std::vector<size_t> LowReturns;
+  /// Shared across every trial of a sweep (set up per `run()` call).
+  std::shared_ptr<SpecCacheRegistry> SpecCaches;
 };
 
 } // namespace commcsl

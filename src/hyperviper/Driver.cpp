@@ -115,6 +115,7 @@ DriverResult Driver::verifySource(const std::string &Source,
       bool Ok = true;
       DiagnosticEngine Diags;
       double Seconds = 0;
+      CacheStats Cache;
     };
     std::vector<SpecOutcome> Outcomes(R.Prog->Specs.size());
     ThreadPool::shared().parallelForChunks(
@@ -125,6 +126,7 @@ DriverResult Driver::verifySource(const std::string &Source,
             Verifier SpecV(*R.Prog, Outcomes[I].Diags, VC);
             Outcomes[I].Ok = SpecV.verifySpec(R.Prog->Specs[I]);
             Outcomes[I].Seconds = secondsSince(S0);
+            Outcomes[I].Cache = SpecV.specCacheStats();
           }
         });
     for (SpecOutcome &Out : Outcomes) {
@@ -132,6 +134,7 @@ DriverResult Driver::verifySource(const std::string &Source,
       SpecsOk &= Out.Ok;
       R.Diags.append(Out.Diags);
       R.ValidityCpuSeconds += Out.Seconds;
+      R.Verification.SpecCache += Out.Cache;
     }
   }
   R.ValiditySeconds = secondsSince(T1);

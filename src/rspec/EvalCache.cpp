@@ -1,0 +1,110 @@
+//===-- rspec/EvalCache.cpp - Memoized spec evaluation ---------------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rspec/EvalCache.h"
+
+#include <algorithm>
+
+using namespace commcsl;
+
+SpecEvalCache::SpecEvalCache(size_t MaxEntries)
+    : ShardCap(std::max<size_t>(64, MaxEntries / (2 * NumShards))) {}
+// MaxEntries is split between the alpha and action tables (hence /2), then
+// across shards. The floor keeps tiny configurations usable.
+
+ValueRef SpecEvalCache::lookupAlpha(const ValueRef &State) {
+  AlphaShard &S = AlphaShards[State->hash() % NumShards];
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  auto It = S.Map.find(State);
+  if (It != S.Map.end()) {
+    ++S.Hits;
+    return It->second;
+  }
+  ++S.Misses;
+  return nullptr;
+}
+
+void SpecEvalCache::insertAlpha(const ValueRef &State,
+                                const ValueRef &Result) {
+  AlphaShard &S = AlphaShards[State->hash() % NumShards];
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  if (S.Map.size() >= ShardCap) {
+    S.Evictions += S.Map.size();
+    S.Map.clear();
+  }
+  S.Map.emplace(State, Result); // a racing insert of the same key is a no-op
+}
+
+ValueRef SpecEvalCache::lookupAction(const ActionDecl &Action,
+                                     const ValueRef &State,
+                                     const ValueRef &Arg) {
+  ActionKey K{&Action, State, Arg};
+  ActionShard &S = ActionShards[ActionKeyHash()(K) % NumShards];
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  auto It = S.Map.find(K);
+  if (It != S.Map.end()) {
+    ++S.Hits;
+    return It->second;
+  }
+  ++S.Misses;
+  return nullptr;
+}
+
+void SpecEvalCache::insertAction(const ActionDecl &Action,
+                                 const ValueRef &State, const ValueRef &Arg,
+                                 const ValueRef &Result) {
+  ActionKey K{&Action, State, Arg};
+  ActionShard &S = ActionShards[ActionKeyHash()(K) % NumShards];
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  if (S.Map.size() >= ShardCap) {
+    S.Evictions += S.Map.size();
+    S.Map.clear();
+  }
+  S.Map.emplace(std::move(K), Result);
+}
+
+CacheStats SpecEvalCache::stats() const {
+  CacheStats Total;
+  for (const AlphaShard &S : AlphaShards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    Total.AlphaHits += S.Hits;
+    Total.AlphaMisses += S.Misses;
+    Total.Entries += S.Map.size();
+    Total.Evictions += S.Evictions;
+  }
+  for (const ActionShard &S : ActionShards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    Total.ActionHits += S.Hits;
+    Total.ActionMisses += S.Misses;
+    Total.Entries += S.Map.size();
+    Total.Evictions += S.Evictions;
+  }
+  return Total;
+}
+
+std::shared_ptr<SpecEvalCache>
+SpecCacheRegistry::cacheFor(const ResourceSpecDecl *Spec) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::shared_ptr<SpecEvalCache> &C = Caches[Spec];
+  if (!C)
+    C = std::make_shared<SpecEvalCache>(MaxEntries);
+  return C;
+}
+
+CacheStats SpecCacheRegistry::totals() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  CacheStats Total;
+  for (const auto &[Spec, Cache] : Caches) {
+    (void)Spec;
+    CacheStats S = Cache->stats();
+    // Entries is a gauge per cache; summing across distinct caches is the
+    // correct aggregate, so bypass the max-merge of operator+=.
+    uint64_t E = Total.Entries + S.Entries;
+    Total += S;
+    Total.Entries = E;
+  }
+  return Total;
+}

@@ -1,0 +1,191 @@
+//===-- rspec/EvalCache.h - Memoized spec evaluation ------------*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concurrent memoization of the two hot resource-specification
+/// evaluations: `alpha(v)` and `f_a(v, arg)`. The Def. 3.1 validity checker
+/// and the empirical NI harness evaluate these millions of times over a
+/// small universe of values, so both calls are cached per specification in
+/// sharded hash tables keyed by the (interned, hence pointer-comparable)
+/// argument values.
+///
+/// Evaluation is pure and deterministic, so memoization cannot change any
+/// verdict, counterexample, or report — only the hit/miss counters (which
+/// are diagnostic and may vary with thread interleaving when two workers
+/// race to compute the same key).
+///
+/// Each shard is capacity-bounded: on overflow the shard is flushed whole
+/// (epoch eviction), so long-running processes cannot grow the cache
+/// without bound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_RSPEC_EVALCACHE_H
+#define COMMCSL_RSPEC_EVALCACHE_H
+
+#include "lang/Program.h"
+#include "value/Value.h"
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace commcsl {
+
+/// Counters surfaced in `ValidityResult`, `NIReport`, and the driver's
+/// metrics output. Hits/Misses/Evictions are monotone counters; Entries is
+/// a gauge (current number of cached results).
+struct CacheStats {
+  uint64_t AlphaHits = 0;
+  uint64_t AlphaMisses = 0;
+  uint64_t ActionHits = 0;
+  uint64_t ActionMisses = 0;
+  uint64_t Entries = 0;
+  uint64_t Evictions = 0;
+
+  uint64_t hits() const { return AlphaHits + ActionHits; }
+  uint64_t misses() const { return AlphaMisses + ActionMisses; }
+
+  /// Counter-wise sum; Entries takes the maximum (a gauge cannot be
+  /// meaningfully added across snapshots of the same cache).
+  CacheStats &operator+=(const CacheStats &O) {
+    AlphaHits += O.AlphaHits;
+    AlphaMisses += O.AlphaMisses;
+    ActionHits += O.ActionHits;
+    ActionMisses += O.ActionMisses;
+    Entries = Entries > O.Entries ? Entries : O.Entries;
+    Evictions += O.Evictions;
+    return *this;
+  }
+
+  /// Counter-wise delta against an earlier snapshot; Entries keeps the
+  /// later (this) gauge value.
+  CacheStats operator-(const CacheStats &O) const {
+    CacheStats R = *this;
+    R.AlphaHits -= O.AlphaHits;
+    R.AlphaMisses -= O.AlphaMisses;
+    R.ActionHits -= O.ActionHits;
+    R.ActionMisses -= O.ActionMisses;
+    R.Evictions -= O.Evictions;
+    return R;
+  }
+};
+
+/// Per-specification concurrent memo for `alpha` and action applications.
+/// Thread-safe; shards keep lock contention negligible at `--jobs N`.
+class SpecEvalCache {
+public:
+  static constexpr size_t DefaultMaxEntries = size_t(1) << 20;
+
+  explicit SpecEvalCache(size_t MaxEntries = DefaultMaxEntries);
+
+  /// Returns the cached `alpha(State)`, or computes, caches, and returns
+  /// it. \p Compute must be a pure function of \p State.
+  template <typename ComputeFn>
+  ValueRef alpha(const ValueRef &State, ComputeFn &&Compute) {
+    if (ValueRef Hit = lookupAlpha(State))
+      return Hit;
+    ValueRef R = Compute();
+    insertAlpha(State, R);
+    return R;
+  }
+
+  /// Returns the cached `f_Action(State, Arg)`, or computes, caches, and
+  /// returns it. \p Compute must be a pure function of the key.
+  template <typename ComputeFn>
+  ValueRef action(const ActionDecl &Action, const ValueRef &State,
+                  const ValueRef &Arg, ComputeFn &&Compute) {
+    if (ValueRef Hit = lookupAction(Action, State, Arg))
+      return Hit;
+    ValueRef R = Compute();
+    insertAction(Action, State, Arg, R);
+    return R;
+  }
+
+  CacheStats stats() const;
+
+private:
+  static constexpr unsigned NumShards = 16;
+
+  /// Keys hold strong references: a live key can never be a stale pointer,
+  /// so pointer-equality fast paths in Value::equal stay sound even though
+  /// the interner only tracks live values.
+  struct AlphaShard {
+    mutable std::mutex Mu;
+    std::unordered_map<ValueRef, ValueRef, ValueRefHash, ValueRefEq> Map;
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Evictions = 0;
+  };
+
+  struct ActionKey {
+    const ActionDecl *Action = nullptr;
+    ValueRef State;
+    ValueRef Arg;
+  };
+  struct ActionKeyHash {
+    size_t operator()(const ActionKey &K) const {
+      size_t H = std::hash<const void *>()(K.Action);
+      H ^= K.State->hash() + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+      H ^= K.Arg->hash() + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+      return H;
+    }
+  };
+  struct ActionKeyEq {
+    bool operator()(const ActionKey &A, const ActionKey &B) const {
+      return A.Action == B.Action && Value::equal(A.State, B.State) &&
+             Value::equal(A.Arg, B.Arg);
+    }
+  };
+  struct ActionShard {
+    mutable std::mutex Mu;
+    std::unordered_map<ActionKey, ValueRef, ActionKeyHash, ActionKeyEq> Map;
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Evictions = 0;
+  };
+
+  ValueRef lookupAlpha(const ValueRef &State);
+  void insertAlpha(const ValueRef &State, const ValueRef &Result);
+  ValueRef lookupAction(const ActionDecl &Action, const ValueRef &State,
+                        const ValueRef &Arg);
+  void insertAction(const ActionDecl &Action, const ValueRef &State,
+                    const ValueRef &Arg, const ValueRef &Result);
+
+  size_t ShardCap; ///< per-shard entry bound; flush-whole on overflow
+  std::array<AlphaShard, NumShards> AlphaShards;
+  std::array<ActionShard, NumShards> ActionShards;
+};
+
+/// Maps resource-spec declarations to their shared evaluation caches, so
+/// transient `RSpecRuntime` instances (e.g. one per interpreted `perform`)
+/// reuse one cache per spec. The registry must not outlive the program
+/// owning the spec declarations it has seen.
+class SpecCacheRegistry {
+public:
+  explicit SpecCacheRegistry(
+      size_t MaxEntriesPerSpec = SpecEvalCache::DefaultMaxEntries)
+      : MaxEntries(MaxEntriesPerSpec) {}
+
+  /// The cache for \p Spec, created on first use. Thread-safe.
+  std::shared_ptr<SpecEvalCache> cacheFor(const ResourceSpecDecl *Spec);
+
+  /// Summed stats over every cache created so far.
+  CacheStats totals() const;
+
+private:
+  size_t MaxEntries;
+  mutable std::mutex Mu;
+  std::map<const ResourceSpecDecl *, std::shared_ptr<SpecEvalCache>> Caches;
+};
+
+} // namespace commcsl
+
+#endif // COMMCSL_RSPEC_EVALCACHE_H

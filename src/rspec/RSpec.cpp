@@ -8,19 +8,34 @@
 
 using namespace commcsl;
 
-ValueRef RSpecRuntime::alphaOf(const ValueRef &State) const {
+ValueRef RSpecRuntime::evalAlpha(const ValueRef &State) const {
   EvalEnv Env;
   Env[Decl.AlphaParam] = State;
   return Eval.eval(*Decl.Alpha, Env);
 }
 
-ValueRef RSpecRuntime::applyAction(const ActionDecl &Action,
-                                   const ValueRef &State,
-                                   const ValueRef &Arg) const {
+ValueRef RSpecRuntime::alphaOf(const ValueRef &State) const {
+  if (Cache)
+    return Cache->alpha(State, [&] { return evalAlpha(State); });
+  return evalAlpha(State);
+}
+
+ValueRef RSpecRuntime::evalAction(const ActionDecl &Action,
+                                  const ValueRef &State,
+                                  const ValueRef &Arg) const {
   EvalEnv Env;
   Env[Action.StateName] = State;
   Env[Action.ArgName] = Arg;
   return Eval.eval(*Action.Apply, Env);
+}
+
+ValueRef RSpecRuntime::applyAction(const ActionDecl &Action,
+                                   const ValueRef &State,
+                                   const ValueRef &Arg) const {
+  if (Cache)
+    return Cache->action(Action, State, Arg,
+                         [&] { return evalAction(Action, State, Arg); });
+  return evalAction(Action, State, Arg);
 }
 
 ValueRef RSpecRuntime::actionResult(const ActionDecl &Action,

@@ -17,18 +17,35 @@
 
 #include "lang/ExprEval.h"
 #include "lang/Program.h"
+#include "rspec/EvalCache.h"
 #include "value/Value.h"
+
+#include <memory>
 
 namespace commcsl {
 
 /// Evaluates a resource specification's functions on concrete values.
 /// The declaration must be type-checked.
+///
+/// An optional `SpecEvalCache` memoizes the two hot calls, `alphaOf` and
+/// `applyAction` (both pure). Copies of a runtime share the attached cache;
+/// without one, every call evaluates through the expression interpreter.
 class RSpecRuntime {
 public:
-  RSpecRuntime(const ResourceSpecDecl &Decl, const Program *Prog)
-      : Decl(Decl), Eval(Prog) {}
+  RSpecRuntime(const ResourceSpecDecl &Decl, const Program *Prog,
+               std::shared_ptr<SpecEvalCache> Cache = nullptr)
+      : Decl(Decl), Eval(Prog), Cache(std::move(Cache)) {}
 
   const ResourceSpecDecl &decl() const { return Decl; }
+
+  /// Attaches (or detaches, with null) a memoization cache.
+  void attachCache(std::shared_ptr<SpecEvalCache> C) { Cache = std::move(C); }
+  const std::shared_ptr<SpecEvalCache> &cache() const { return Cache; }
+
+  /// Stats of the attached cache (zeros when none is attached).
+  CacheStats cacheStats() const {
+    return Cache ? Cache->stats() : CacheStats{};
+  }
 
   /// alpha(v).
   ValueRef alphaOf(const ValueRef &State) const;
@@ -68,8 +85,13 @@ public:
   ValueRef historyOf(const ActionDecl &Action, const ValueRef &State) const;
 
 private:
+  ValueRef evalAlpha(const ValueRef &State) const;
+  ValueRef evalAction(const ActionDecl &Action, const ValueRef &State,
+                      const ValueRef &Arg) const;
+
   const ResourceSpecDecl &Decl;
   ExprEvaluator Eval;
+  std::shared_ptr<SpecEvalCache> Cache;
 };
 
 } // namespace commcsl

@@ -70,6 +70,9 @@ commcsl::relevantActionPairs(const ResourceSpecDecl &Spec) {
 ValidityChecker::ValidityChecker(const RSpecRuntime &Runtime,
                                  ValidityConfig Config)
     : Runtime(Runtime), Config(Config) {
+  if (Config.Memoize && !this->Runtime.cache())
+    this->Runtime.attachCache(
+        std::make_shared<SpecEvalCache>(Config.MemoMaxEntries));
   const ResourceSpecDecl &Decl = Runtime.decl();
   Scope.IntLo = Decl.ScopeIntLo;
   Scope.IntHi = Decl.ScopeIntHi;
@@ -239,10 +242,12 @@ bool ValidityChecker::runBoundedTier(size_t NumArgPairs,
 ValidityResult ValidityChecker::checkPreconditions() {
   ValidityResult R;
   auto T0 = std::chrono::steady_clock::now();
+  CacheStats Cache0 = Runtime.cacheStats();
   double ParWall = 0, ParCpu = 0;
   auto Finish = [&] {
     R.WallSeconds = secondsSince(T0);
     R.CpuSeconds = std::max(0.0, R.WallSeconds - ParWall) + ParCpu;
+    R.Cache = Runtime.cacheStats() - Cache0;
   };
   buildStateUniverse();
   const ResourceSpecDecl &Decl = Runtime.decl();
@@ -304,10 +309,12 @@ ValidityResult ValidityChecker::checkPreconditions() {
 ValidityResult ValidityChecker::checkCommutativity() {
   ValidityResult R;
   auto T0 = std::chrono::steady_clock::now();
+  CacheStats Cache0 = Runtime.cacheStats();
   double ParWall = 0, ParCpu = 0;
   auto Finish = [&] {
     R.WallSeconds = secondsSince(T0);
     R.CpuSeconds = std::max(0.0, R.WallSeconds - ParWall) + ParCpu;
+    R.Cache = Runtime.cacheStats() - Cache0;
   };
   buildStateUniverse();
   const ResourceSpecDecl &Decl = Runtime.decl();
@@ -381,8 +388,12 @@ ValidityResult ValidityChecker::checkCommutativity() {
 ValidityResult ValidityChecker::checkHistoryCoherence() {
   ValidityResult R;
   auto T0 = std::chrono::steady_clock::now();
+  CacheStats Cache0 = Runtime.cacheStats();
   // Sequential tier: aggregate worker time equals wall time.
-  auto Finish = [&] { R.CpuSeconds = R.WallSeconds = secondsSince(T0); };
+  auto Finish = [&] {
+    R.CpuSeconds = R.WallSeconds = secondsSince(T0);
+    R.Cache = Runtime.cacheStats() - Cache0;
+  };
   const ResourceSpecDecl &Decl = Runtime.decl();
   bool AnyHistory = Decl.Inv != nullptr;
   for (const ActionDecl &A : Decl.Actions)
@@ -473,6 +484,7 @@ ValidityResult ValidityChecker::check() {
   C.RandomChecks += R.RandomChecks;
   C.WallSeconds += R.WallSeconds;
   C.CpuSeconds += R.CpuSeconds;
+  C.Cache += R.Cache;
   if (!C.Valid)
     return C;
   ValidityResult H = checkHistoryCoherence();
@@ -480,5 +492,6 @@ ValidityResult ValidityChecker::check() {
   H.RandomChecks += C.RandomChecks;
   H.WallSeconds += C.WallSeconds;
   H.CpuSeconds += C.CpuSeconds;
+  H.Cache += C.Cache;
   return H;
 }

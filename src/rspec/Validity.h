@@ -55,6 +55,13 @@ struct ValidityConfig {
   /// surviving counterexample is always the one with the lowest global
   /// instance index.
   unsigned Jobs = 0;
+  /// Memoize alpha/action evaluations in a per-checker concurrent cache.
+  /// Evaluation is pure, so the verdict, counterexample, and check counts
+  /// are bit-identical with memoization on or off; only speed (and the
+  /// diagnostic cache counters in ValidityResult) changes.
+  bool Memoize = true;
+  /// Capacity bound of the memo cache (entries across both tables).
+  size_t MemoMaxEntries = SpecEvalCache::DefaultMaxEntries;
 };
 
 /// A concrete refutation of validity.
@@ -82,6 +89,9 @@ struct ValidityResult {
   /// Aggregate time spent by all workers (>= WallSeconds when parallel);
   /// CpuSeconds / WallSeconds approximates the realized speedup.
   double CpuSeconds = 0;
+  /// Memo-cache counters for this check (zeros when Memoize is off).
+  /// Diagnostic only: hit/miss splits may vary with thread interleaving.
+  CacheStats Cache;
 };
 
 /// Runs the Def. 3.1 checks for one resource specification.
@@ -142,7 +152,10 @@ private:
   bool runBoundedTier(size_t NumArgPairs, const BoundedInstanceCheck &Check,
                       ValidityResult &R, double &ParWall, double &ParCpu);
 
-  const RSpecRuntime &Runtime;
+  /// Private copy of the caller's runtime; the constructor attaches a memo
+  /// cache to it when Config.Memoize is set (and the caller didn't already
+  /// attach one), leaving the caller's runtime untouched.
+  RSpecRuntime Runtime;
   ValidityConfig Config;
   Type::ScopeParams Scope;
 

@@ -51,7 +51,15 @@ struct RunState {
   std::string AbortReason;
 
   explicit RunState(const Program &Prog, RunConfig Config)
-      : Prog(Prog), Eval(&Prog), Config(Config) {}
+      : Prog(Prog), Eval(&Prog), Config(std::move(Config)) {}
+
+  /// A spec runtime wired to the shared per-spec memo cache, when one is
+  /// configured.
+  RSpecRuntime runtimeFor(const ResourceSpecDecl *Spec) {
+    return RSpecRuntime(*Spec, &Prog,
+                        Config.SpecCaches ? Config.SpecCaches->cacheFor(Spec)
+                                          : nullptr);
+  }
 
   void abort(const std::string &Reason) {
     if (!Aborted) {
@@ -171,7 +179,7 @@ bool RunState::execAtomic(const Command &Cmd, const ActPtr &Act,
   case CmdKind::Perform: {
     const ActionDecl *Action = Res.Spec->findAction(Cmd.Rets[0]);
     assert(Action && "perform of unknown action after type checking");
-    RSpecRuntime Runtime(*Res.Spec, &Prog);
+    RSpecRuntime Runtime = runtimeFor(Res.Spec);
     ValueRef Arg = eval(*Cmd.Exprs[0], Act);
     ValueRef Ret = Runtime.actionResult(*Action, Res.Value, Arg);
     Res.Value = Runtime.applyAction(*Action, Res.Value, Arg);
@@ -247,7 +255,7 @@ RunResult Interpreter::run(const std::string &ProcName,
           break;
         const ActionDecl *Action = Res->Spec->findAction(Top.Cmd->Var);
         assert(Action && "when-action resolved during type checking");
-        RSpecRuntime Runtime(*Res->Spec, &Prog);
+        RSpecRuntime Runtime = S.runtimeFor(Res->Spec);
         if (!Runtime.isEnabled(*Action, Res->Value))
           continue; // blocked
       }
@@ -388,7 +396,7 @@ RunResult Interpreter::run(const std::string &ProcName,
       const ResourceSpecDecl *Spec = Prog.findSpec(Cmd.Aux);
       assert(Spec && "unknown spec after type checking");
       ValueRef Init = S.eval(*Cmd.Exprs[0], Top.Act);
-      RSpecRuntime Runtime(*Spec, &Prog);
+      RSpecRuntime Runtime = S.runtimeFor(Spec);
       if (!Runtime.invHolds(Init)) {
         S.abort("shared initial value violates the spec invariant of '" +
                 Spec->Name + "'");
@@ -414,7 +422,7 @@ RunResult Interpreter::run(const std::string &ProcName,
         break;
       }
       if (Config.CheckConsistencyOnUnshare) {
-        RSpecRuntime Runtime(*Res->Spec, &Prog);
+        RSpecRuntime Runtime = S.runtimeFor(Res->Spec);
         ValueRef Replayed = replayLog(Runtime, Res->InitialValue, Res->Log);
         if (!Value::equal(Replayed, Res->Value)) {
           S.abort("consistency check failed at unshare: the recorded "

@@ -33,6 +33,13 @@ struct Frac {
   static Frac one() { return Frac{1, 1}; }
 
   void normalize() {
+    // Canonical form keeps the sign on the numerator and the denominator
+    // strictly positive, so the cross-multiplying comparisons below never
+    // flip direction.
+    if (Den < 0) {
+      Num = -Num;
+      Den = -Den;
+    }
     if (Num == 0) {
       Den = 1;
       return;
@@ -51,7 +58,12 @@ struct Frac {
   bool operator==(const Frac &O) const {
     return Num == O.Num && Den == O.Den;
   }
-  bool operator<(const Frac &O) const { return Num * O.Den < O.Num * Den; }
+  bool operator<(const Frac &O) const {
+    // Cross products can exceed int64 for reduced fractions with large
+    // denominators; compare in 128-bit to stay exact.
+    return static_cast<__int128>(Num) * O.Den <
+           static_cast<__int128>(O.Num) * Den;
+  }
   bool operator<=(const Frac &O) const { return *this < O || *this == O; }
 
   bool isZero() const { return Num == 0; }

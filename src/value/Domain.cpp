@@ -254,8 +254,11 @@ std::vector<ValueRef> Domain::enumerate(size_t MaxCount) const {
     std::vector<ValueRef> Vals = Children[1]->enumerate(MaxCount);
     for (unsigned L = 0; L <= MaxSize && Out.size() < MaxCount; ++L) {
       // Choose L distinct keys (strict combos), then all value assignments.
+      // Each key combo yields at least one map, so the remaining budget
+      // (not the full MaxCount) bounds the combos worth generating.
       std::vector<std::vector<ValueRef>> KeyCombos;
-      enumMulticombos(Keys, L, MaxCount, KeyCombos, /*Strict=*/true);
+      enumMulticombos(Keys, L, MaxCount - Out.size(), KeyCombos,
+                      /*Strict=*/true);
       for (const auto &KC : KeyCombos) {
         std::vector<std::vector<ValueRef>> ValTuples;
         enumTuples(Vals, L, MaxCount - Out.size(), ValTuples);
@@ -301,12 +304,28 @@ ValueRef Domain::sample(std::mt19937_64 &Rng) const {
   case DomainKind::Set: {
     std::uniform_int_distribution<unsigned> LenDist(0, MaxSize);
     unsigned Len = LenDist(Rng);
+    // Deduplicate on insertion: independent draws would silently realize a
+    // smaller set than drawn whenever they collide. Resample a bounded
+    // number of times per element; if the element domain is too small to
+    // yield a fresh value, shrink deterministically (drop the slot).
     std::vector<ValueRef> Elems;
-    for (unsigned I = 0; I < Len; ++I)
-      Elems.push_back(Children[0]->sample(Rng));
+    for (unsigned I = 0; I < Len; ++I) {
+      for (unsigned Try = 0; Try < 2 * MaxSize + 4; ++Try) {
+        ValueRef E = Children[0]->sample(Rng);
+        bool Fresh = true;
+        for (const ValueRef &Seen : Elems)
+          Fresh &= !Value::equal(Seen, E);
+        if (Fresh) {
+          Elems.push_back(std::move(E));
+          break;
+        }
+      }
+    }
     return ValueFactory::set(std::move(Elems));
   }
   case DomainKind::Multiset: {
+    // Duplicates are semantically meaningful in a multiset (realized size
+    // always equals the drawn length), so no deduplication here.
     std::uniform_int_distribution<unsigned> LenDist(0, MaxSize);
     unsigned Len = LenDist(Rng);
     std::vector<ValueRef> Elems;
@@ -317,10 +336,22 @@ ValueRef Domain::sample(std::mt19937_64 &Rng) const {
   case DomainKind::Map: {
     std::uniform_int_distribution<unsigned> LenDist(0, MaxSize);
     unsigned Len = LenDist(Rng);
+    // Keys are deduplicated on insertion like Set elements: independent key
+    // draws would collide and silently shrink the map (the factory's
+    // later-entry-wins canonicalization would drop entries).
     std::vector<std::pair<ValueRef, ValueRef>> Entries;
-    for (unsigned I = 0; I < Len; ++I)
-      Entries.emplace_back(Children[0]->sample(Rng),
-                           Children[1]->sample(Rng));
+    for (unsigned I = 0; I < Len; ++I) {
+      for (unsigned Try = 0; Try < 2 * MaxSize + 4; ++Try) {
+        ValueRef K = Children[0]->sample(Rng);
+        bool Fresh = true;
+        for (const auto &Entry : Entries)
+          Fresh &= !Value::equal(Entry.first, K);
+        if (Fresh) {
+          Entries.emplace_back(std::move(K), Children[1]->sample(Rng));
+          break;
+        }
+      }
+    }
     return ValueFactory::map(std::move(Entries));
   }
   }

@@ -7,6 +7,7 @@
 #include "value/Value.h"
 
 #include "support/StringUtils.h"
+#include "value/Intern.h"
 
 #include <algorithm>
 #include <functional>
@@ -39,6 +40,8 @@ const char *commcsl::valueKindName(ValueKind Kind) {
 }
 
 int Value::compare(const Value &A, const Value &B) {
+  if (&A == &B)
+    return 0; // shared canonical objects compare equal in O(1)
   if (A.Kind != B.Kind)
     return A.Kind < B.Kind ? -1 : 1;
   switch (A.Kind) {
@@ -85,7 +88,7 @@ int Value::compare(const Value &A, const Value &B) {
   return 0;
 }
 
-size_t Value::hash() const {
+void Value::computeHash() {
   size_t Seed = static_cast<size_t>(Kind) * 0x9e3779b9u;
   switch (Kind) {
   case ValueKind::Unit:
@@ -102,16 +105,16 @@ size_t Value::hash() const {
   case ValueKind::Set:
   case ValueKind::Multiset:
     for (const ValueRef &E : Elems)
-      hashCombine(Seed, E->hash());
+      hashCombine(Seed, E->HashVal);
     break;
   case ValueKind::Map:
     for (const auto &[K, V] : MapElems) {
-      hashCombine(Seed, K->hash());
-      hashCombine(Seed, V->hash());
+      hashCombine(Seed, K->HashVal);
+      hashCombine(Seed, V->HashVal);
     }
     break;
   }
-  return Seed;
+  HashVal = Seed;
 }
 
 std::string Value::str() const {
@@ -169,10 +172,18 @@ std::string Value::str() const {
 // ValueFactory
 //===----------------------------------------------------------------------===//
 
+// Seals a freshly-built value: fixes its structural hash and hands it to
+// the interner, which either adopts it as the canonical object or returns
+// the existing canonical representative.
+ValueRef ValueFactory::finish(Value *V) {
+  V->computeHash();
+  return ValueInterner::global().intern(V);
+}
+
 ValueRef ValueFactory::unit() {
   static ValueRef Cached = [] {
     auto *V = new Value(ValueKind::Unit);
-    return ValueRef(V);
+    return finish(V);
   }();
   return Cached;
 }
@@ -180,32 +191,32 @@ ValueRef ValueFactory::unit() {
 ValueRef ValueFactory::intV(int64_t I) {
   auto *V = new Value(ValueKind::Int);
   V->IntVal = I;
-  return ValueRef(V);
+  return finish(V);
 }
 
 ValueRef ValueFactory::boolV(bool B) {
   auto *V = new Value(ValueKind::Bool);
   V->IntVal = B ? 1 : 0;
-  return ValueRef(V);
+  return finish(V);
 }
 
 ValueRef ValueFactory::stringV(std::string S) {
   auto *V = new Value(ValueKind::String);
   V->StrVal = std::move(S);
-  return ValueRef(V);
+  return finish(V);
 }
 
 ValueRef ValueFactory::pair(ValueRef Fst, ValueRef Snd) {
   assert(Fst && Snd && "null pair component");
   auto *V = new Value(ValueKind::Pair);
   V->Elems = {std::move(Fst), std::move(Snd)};
-  return ValueRef(V);
+  return finish(V);
 }
 
 ValueRef ValueFactory::seq(std::vector<ValueRef> Elems) {
   auto *V = new Value(ValueKind::Seq);
   V->Elems = std::move(Elems);
-  return ValueRef(V);
+  return finish(V);
 }
 
 ValueRef ValueFactory::set(std::vector<ValueRef> Elems) {
@@ -217,14 +228,14 @@ ValueRef ValueFactory::set(std::vector<ValueRef> Elems) {
               Elems.end());
   auto *V = new Value(ValueKind::Set);
   V->Elems = std::move(Elems);
-  return ValueRef(V);
+  return finish(V);
 }
 
 ValueRef ValueFactory::multiset(std::vector<ValueRef> Elems) {
   std::sort(Elems.begin(), Elems.end(), ValueRefLess());
   auto *V = new Value(ValueKind::Multiset);
   V->Elems = std::move(Elems);
-  return ValueRef(V);
+  return finish(V);
 }
 
 ValueRef
@@ -244,5 +255,5 @@ ValueFactory::map(std::vector<std::pair<ValueRef, ValueRef>> Entries) {
   }
   auto *V = new Value(ValueKind::Map);
   V->MapElems = std::move(Canon);
-  return ValueRef(V);
+  return finish(V);
 }

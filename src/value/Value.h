@@ -15,6 +15,12 @@
 /// vectors, so structural equality coincides with mathematical equality and
 /// hashing/printing are canonical.
 ///
+/// Construction is hash-consed through the global `ValueInterner` (see
+/// value/Intern.h): while interning is enabled (the default), structurally
+/// equal values share one canonical `Value` object, so `Value::equal` and
+/// `ValueRefHash` are O(1) pointer/word operations. The structural hash is
+/// computed once at construction and stored.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef COMMCSL_VALUE_VALUE_H
@@ -98,23 +104,45 @@ public:
     return compare(*A, *B);
   }
 
+  /// Structural equality. Fast paths: identical pointers are equal; values
+  /// with different stored hashes are unequal; two *interned* values with
+  /// different pointers are unequal (the interner guarantees that live
+  /// structurally-equal interned values share one object).
   static bool equal(const ValueRef &A, const ValueRef &B) {
-    return compare(*A, *B) == 0;
+    const Value *PA = A.get(), *PB = B.get();
+    if (PA == PB)
+      return true;
+    if (PA->HashVal != PB->HashVal)
+      return false;
+    if (PA->Interned && PB->Interned)
+      return false;
+    return compare(*PA, *PB) == 0;
   }
 
-  /// Structural hash consistent with `equal`.
-  size_t hash() const;
+  /// Structural hash consistent with `equal`; computed once at construction.
+  size_t hash() const { return HashVal; }
+
+  /// Whether this value is the canonical interned representative.
+  bool isInterned() const { return Interned; }
 
   /// Canonical textual rendering, e.g. `ms{1, 1, 2}` or `map{1 -> 2}`.
   std::string str() const;
 
 private:
   friend class ValueFactory;
+  friend class ValueInterner;
 
   explicit Value(ValueKind Kind) : Kind(Kind) {}
 
+  /// Computes and stores the structural hash from the payload (using the
+  /// children's already-stored hashes). Called once, after the payload is
+  /// final and before the value is published.
+  void computeHash();
+
   ValueKind Kind;
-  int64_t IntVal = 0; ///< Int payload; Bool payload (0/1).
+  bool Interned = false; ///< set by the interner on the canonical object
+  int64_t IntVal = 0;    ///< Int payload; Bool payload (0/1).
+  size_t HashVal = 0;    ///< structural hash, fixed at construction
   std::string StrVal;
   std::vector<ValueRef> Elems;
   std::vector<std::pair<ValueRef, ValueRef>> MapElems;
@@ -139,6 +167,11 @@ public:
   static ValueRef emptySet() { return set({}); }
   static ValueRef emptyMultiset() { return multiset({}); }
   static ValueRef emptyMap() { return map({}); }
+
+private:
+  /// Fixes the structural hash of \p V and hash-conses it through the
+  /// global interner.
+  static ValueRef finish(Value *V);
 };
 
 /// Ordering functor for ValueRef, for use in std::map / sort.

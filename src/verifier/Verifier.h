@@ -64,6 +64,9 @@ struct VerifyResult {
   bool Ok = false;
   std::vector<ProcVerdict> Procs;
   unsigned NumSpecsChecked = 0;
+  /// Memo-cache counters summed over every spec validity check (zeros when
+  /// ValidityConfig::Memoize is off). Diagnostic only.
+  CacheStats SpecCache;
 };
 
 /// The CommCSL verifier. Construct once per program; `verifyAll` checks
@@ -85,12 +88,17 @@ public:
   /// Verifies one procedure against its contract.
   ProcVerdict verifyProc(const ProcDecl &Proc);
 
+  /// Memo-cache counters accumulated across every `verifySpec` call made
+  /// through this verifier so far.
+  const CacheStats &specCacheStats() const { return SpecCache; }
+
 private:
   struct Impl;
   const Program &Prog;
   DiagnosticEngine &Diags;
   VerifierConfig Config;
   std::set<std::string> ValidatedSpecs; ///< cache of validity results
+  CacheStats SpecCache;                 ///< summed ValidityResult::Cache
 };
 
 } // namespace commcsl

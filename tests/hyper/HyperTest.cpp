@@ -202,6 +202,63 @@ TEST(HyperTest, ReportIsIdenticalAcrossJobCounts) {
   }
 }
 
+TEST(HyperTest, ReportIsIdenticalWithAndWithoutMemoization) {
+  // Spec-evaluation memoization caches pure functions, so the report must
+  // be bit-identical with the cache on or off, sequential or parallel —
+  // only the diagnostic cache counters may differ.
+  const char *Source = R"(
+    resource Cell {
+      state: int;
+      alpha(v) = v;
+      unique action AddL(a: unit) { apply(v, a) = v + 3; }
+      unique action AddR(a: unit) { apply(v, a) = v + 4; }
+    }
+    procedure main(h: int) returns (s: int)
+      ensures low(s)
+    {
+      var t: int := 0;
+      share r: Cell := 0;
+      par {
+        atomic r { perform r.AddL(unit); }
+      } and {
+        while (t < h) { t := t + 1; }
+        atomic r { perform r.AddR(unit); }
+      }
+      s := unshare r;
+    }
+  )";
+  auto RunWith = [&](bool Memo, unsigned Jobs) {
+    Program P = parseChecked(Source);
+    NIConfig Cfg;
+    Cfg.InputScope.IntHi = 6;
+    Cfg.Trials = 4;
+    Cfg.Jobs = Jobs;
+    Cfg.MemoizeSpecEval = Memo;
+    NonInterferenceHarness H(P, "main", Cfg);
+    return H.run();
+  };
+  NIReport Ref = RunWith(false, 1);
+  EXPECT_EQ(Ref.Cache.hits() + Ref.Cache.misses(), 0u);
+  for (bool Memo : {false, true}) {
+    for (unsigned Jobs : {1u, 8u}) {
+      NIReport R = RunWith(Memo, Jobs);
+      EXPECT_EQ(R.secure(), Ref.secure())
+          << "Memo=" << Memo << " Jobs=" << Jobs;
+      EXPECT_EQ(R.Runs, Ref.Runs) << "Memo=" << Memo << " Jobs=" << Jobs;
+      EXPECT_EQ(R.PairsCompared, Ref.PairsCompared)
+          << "Memo=" << Memo << " Jobs=" << Jobs;
+      if (!Ref.secure() && !R.secure()) {
+        EXPECT_EQ(R.Violation->describe(), Ref.Violation->describe())
+            << "Memo=" << Memo << " Jobs=" << Jobs;
+      }
+      if (Memo) {
+        EXPECT_GT(R.Cache.hits() + R.Cache.misses(), 0u)
+            << "memoized sweep never consulted the cache";
+      }
+    }
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Self-composition product (product/)
 //===----------------------------------------------------------------------===//

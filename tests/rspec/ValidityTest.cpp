@@ -550,3 +550,72 @@ TEST(ValidityTest, PreconditionRelationIsEvaluatedRelationally) {
   // Unary constraint violated in one side: unrelated.
   EXPECT_FALSE(RT.preHolds(Add, pv(iv(1), iv(-1)), pv(iv(1), iv(5))));
 }
+
+//===----------------------------------------------------------------------===//
+// Memoization determinism
+//===----------------------------------------------------------------------===//
+
+TEST(ValidityTest, MemoizedVerdictIsBitIdenticalToUncached) {
+  // Memoized alpha/f_a evaluation must not change the verdict, the chosen
+  // counterexample, or the check counts — at any job count. (Invalid spec:
+  // the identity abstraction leaks the put values, Fig. 3 without dom().)
+  std::string Source = R"(
+    resource MapIdMemo {
+      state: map<int, int>;
+      alpha(v) = v;
+      scope int -1 .. 1;
+      scope size 2;
+      shared action Put(a: pair<int, int>) {
+        apply(v, a) = map_put(v, fst(a), snd(a));
+        requires low(fst(a));
+      }
+    }
+  )";
+  ValidityConfig Cfg;
+  Cfg.Jobs = 1;
+  Cfg.Memoize = false;
+  ValidityResult Ref = checkSpec(Source, Cfg);
+  ASSERT_FALSE(Ref.Valid);
+  EXPECT_EQ(Ref.Cache.hits() + Ref.Cache.misses(), 0u);
+  for (unsigned Jobs : {1u, 8u}) {
+    Cfg.Jobs = Jobs;
+    Cfg.Memoize = true;
+    ValidityResult Memo = checkSpec(Source, Cfg);
+    ASSERT_FALSE(Memo.Valid) << "Jobs=" << Jobs;
+    EXPECT_EQ(Memo.CE->describe(), Ref.CE->describe()) << "Jobs=" << Jobs;
+    EXPECT_EQ(Memo.BoundedChecks, Ref.BoundedChecks) << "Jobs=" << Jobs;
+    EXPECT_EQ(Memo.RandomChecks, Ref.RandomChecks) << "Jobs=" << Jobs;
+    EXPECT_GT(Memo.Cache.hits(), 0u) << "Jobs=" << Jobs;
+  }
+}
+
+TEST(ValidityTest, MemoizedValidSpecCountsMatchUncached) {
+  std::string Source = R"(
+    resource MapKSMemo {
+      state: map<int, int>;
+      alpha(v) = dom(v);
+      scope int -1 .. 1;
+      scope size 2;
+      shared action Put(a: pair<int, int>) {
+        apply(v, a) = map_put(v, fst(a), snd(a));
+        requires low(fst(a));
+      }
+    }
+  )";
+  ValidityConfig Cfg;
+  Cfg.Jobs = 1;
+  Cfg.Memoize = false;
+  ValidityResult Ref = checkSpec(Source, Cfg);
+  ASSERT_TRUE(Ref.Valid) << Ref.CE->describe();
+  for (unsigned Jobs : {1u, 8u}) {
+    Cfg.Jobs = Jobs;
+    Cfg.Memoize = true;
+    ValidityResult Memo = checkSpec(Source, Cfg);
+    EXPECT_TRUE(Memo.Valid) << "Jobs=" << Jobs;
+    EXPECT_EQ(Memo.BoundedChecks, Ref.BoundedChecks) << "Jobs=" << Jobs;
+    EXPECT_EQ(Memo.RandomChecks, Ref.RandomChecks) << "Jobs=" << Jobs;
+    // The bounded tier revisits a small state universe many times; the
+    // cache must actually be hitting for the speedup claim to hold.
+    EXPECT_GT(Memo.Cache.hits(), Memo.Cache.misses()) << "Jobs=" << Jobs;
+  }
+}

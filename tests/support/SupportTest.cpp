@@ -46,6 +46,41 @@ TEST(FracTest, ValidAmountRange) {
   EXPECT_FALSE(Frac::make(3, 2).isValidAmount());
 }
 
+TEST(FracTest, NegativeDenominatorNormalization) {
+  // The sign moves onto the numerator; the denominator stays positive, so
+  // every cross-multiplying comparison keeps its direction.
+  Frac F = Frac::make(1, -2);
+  EXPECT_EQ(F.Num, -1);
+  EXPECT_EQ(F.Den, 2);
+  EXPECT_EQ(F.str(), "-1/2");
+  EXPECT_FALSE(F.isValidAmount());
+  EXPECT_TRUE(F < Frac::zero());
+  EXPECT_TRUE(F < Frac::make(1, 2));
+
+  Frac G = Frac::make(-3, -6);
+  EXPECT_EQ(G.Num, 1);
+  EXPECT_EQ(G.Den, 2);
+  EXPECT_EQ(G, Frac::make(1, 2));
+
+  Frac Z = Frac::make(0, -5);
+  EXPECT_EQ(Z.Num, 0);
+  EXPECT_EQ(Z.Den, 1);
+  EXPECT_TRUE(Z.isZero());
+}
+
+TEST(FracTest, OrderingNoOverflow) {
+  // a ~ sqrt(2^63): naive int64 cross products overflow and flip the
+  // comparison; the 128-bit compare stays exact. (a-1)/a < a/(a+1) since
+  // (a-1)(a+1) = a^2 - 1 < a^2.
+  const int64_t A = 3037000500;
+  Frac Lo = Frac::make(A - 1, A);
+  Frac Hi = Frac::make(A, A + 1);
+  EXPECT_TRUE(Lo < Hi);
+  EXPECT_FALSE(Hi < Lo);
+  EXPECT_TRUE(Lo <= Hi);
+  EXPECT_FALSE(Hi <= Lo);
+}
+
 TEST(FracTest, SplitIntoNths) {
   // 1 split into 4 quarters reassembles exactly — the par guard algebra.
   Frac Quarter = Frac::make(1, 4);

@@ -108,6 +108,73 @@ TEST(DomainTest, SamplingIsDeterministicPerSeed) {
     EXPECT_TRUE(Value::equal(D->sample(R1), D->sample(R2)));
 }
 
+TEST(DomainTest, SetSamplingHasNoSilentShrink) {
+  // Elements are deduplicated on insertion, so the realized size matches
+  // the drawn length whenever the element domain is large enough. Over
+  // {0,1,2} with MaxSize 3 the only size-3 set is {0,1,2}; independent
+  // draws realize it with probability 6/27 per size-3 draw, while the
+  // dedup sampler realizes every size-3 draw (~250 of 1000).
+  DomainRef D = Domain::set(Domain::intRange(0, 2), 3);
+  std::mt19937_64 Rng(0x5EED);
+  int FullSets = 0;
+  for (int I = 0; I < 1000; ++I) {
+    ValueRef V = D->sample(Rng);
+    std::set<std::string> Keys;
+    for (const ValueRef &E : V->elems())
+      EXPECT_TRUE(Keys.insert(E->str()).second)
+          << "duplicate element in sampled set " << V->str();
+    if (V->elems().size() == 3)
+      ++FullSets;
+  }
+  EXPECT_GE(FullSets, 150);
+}
+
+TEST(DomainTest, MapSamplingRealizesDrawnSize) {
+  // Key draws are deduplicated before the value is drawn, so sampled maps
+  // realize their drawn entry count instead of silently shrinking through
+  // the factory's later-key-wins canonicalization.
+  DomainRef D =
+      Domain::map(Domain::intRange(0, 2), Domain::intRange(0, 1), 3);
+  std::mt19937_64 Rng(77);
+  int FullMaps = 0;
+  for (int I = 0; I < 1000; ++I) {
+    ValueRef V = D->sample(Rng);
+    std::set<std::string> Keys;
+    for (const auto &Entry : V->mapEntries())
+      EXPECT_TRUE(Keys.insert(Entry.first->str()).second)
+          << "duplicate key in sampled map " << V->str();
+    if (V->mapEntries().size() == 3)
+      ++FullMaps;
+  }
+  EXPECT_GE(FullMaps, 150);
+}
+
+TEST(DomainTest, SetSamplingShrinksWhenDomainExhausted) {
+  // A set of up to 4 elements over a 2-element domain can realize at most
+  // 2; the bounded resampler must shrink instead of spinning or duplicating.
+  DomainRef D = Domain::set(Domain::intRange(0, 1), 4);
+  std::mt19937_64 Rng(5);
+  for (int I = 0; I < 200; ++I) {
+    ValueRef V = D->sample(Rng);
+    EXPECT_LE(V->elems().size(), 2u);
+    std::set<std::string> Keys;
+    for (const ValueRef &E : V->elems())
+      EXPECT_TRUE(Keys.insert(E->str()).second);
+  }
+}
+
+TEST(DomainTest, MapEnumerationRespectsRemainingBudget) {
+  // Regression: the key-combination enumeration used to receive the full
+  // cap instead of the remaining budget, overshooting MaxCount.
+  DomainRef D =
+      Domain::map(Domain::intRange(0, 3), Domain::intRange(0, 3), 3);
+  for (size_t Cap : {1u, 3u, 7u, 20u, 50u}) {
+    std::vector<ValueRef> Vals = D->enumerate(Cap);
+    EXPECT_LE(Vals.size(), Cap) << "cap " << Cap;
+    expectAllDistinct(Vals);
+  }
+}
+
 TEST(DomainTest, CountSaturates) {
   DomainRef D = Domain::seq(Domain::intRange(0, 100), 8);
   EXPECT_EQ(D->count(1000), 1000u);

@@ -1,0 +1,115 @@
+//===-- tests/value/InternTest.cpp - Hash-consing interner tests -----------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "value/Intern.h"
+
+#include "value/Value.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace commcsl;
+
+namespace {
+
+/// A moderately nested value: {1 -> [true, "x"], k -> [false, "y"]}.
+ValueRef buildNested(int64_t K) {
+  std::vector<std::pair<ValueRef, ValueRef>> Entries;
+  Entries.emplace_back(
+      ValueFactory::intV(1),
+      ValueFactory::seq({ValueFactory::boolV(true),
+                         ValueFactory::stringV("x")}));
+  Entries.emplace_back(
+      ValueFactory::intV(K),
+      ValueFactory::seq({ValueFactory::boolV(false),
+                         ValueFactory::stringV("y")}));
+  return ValueFactory::map(std::move(Entries));
+}
+
+} // namespace
+
+TEST(InternTest, EqualValuesShareOnePointer) {
+  ASSERT_TRUE(ValueInterner::enabled());
+  ValueRef A = buildNested(7);
+  ValueRef B = buildNested(7);
+  EXPECT_EQ(A.get(), B.get());
+  EXPECT_TRUE(A->isInterned());
+  EXPECT_TRUE(Value::equal(A, B));
+
+  ValueRef C = buildNested(8);
+  EXPECT_NE(A.get(), C.get());
+  EXPECT_FALSE(Value::equal(A, C));
+}
+
+TEST(InternTest, SharedSubstructure) {
+  // Structurally equal children of different parents are the same object.
+  ValueRef P1 = ValueFactory::pair(ValueFactory::intV(3),
+                                   ValueFactory::seq({ValueFactory::intV(4)}));
+  ValueRef P2 = ValueFactory::pair(ValueFactory::intV(5),
+                                   ValueFactory::seq({ValueFactory::intV(4)}));
+  EXPECT_NE(P1.get(), P2.get());
+  EXPECT_EQ(P1->elems()[1].get(), P2->elems()[1].get());
+}
+
+TEST(InternTest, StoredHashAgreesWithEquality) {
+  ValueRef A = buildNested(7);
+  ValueRef B = buildNested(7);
+  ValueRef C = buildNested(8);
+  EXPECT_EQ(A->hash(), B->hash());
+  // Not guaranteed in principle, but a collision here would make the
+  // fast-path tests above vacuous.
+  EXPECT_NE(A->hash(), C->hash());
+}
+
+TEST(InternTest, CrossThreadCanonicalization) {
+  // Racing constructions of the same value from many threads must converge
+  // on one canonical object per distinct value.
+  constexpr int NumThreads = 8;
+  constexpr int PerThread = 64;
+  std::vector<std::vector<ValueRef>> Built(NumThreads);
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([T, &Built] {
+      for (int I = 0; I < PerThread; ++I)
+        Built[T].push_back(buildNested(I % 4));
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+  for (int T = 1; T < NumThreads; ++T)
+    for (int I = 0; I < PerThread; ++I)
+      EXPECT_EQ(Built[0][I % 4].get(), Built[T][I].get());
+}
+
+TEST(InternTest, DisabledInterningStillCompares) {
+  // With interning off, fresh values are distinct objects but structural
+  // equality (and the stored hash) still work.
+  ASSERT_TRUE(ValueInterner::enabled());
+  ValueInterner::setEnabled(false);
+  ValueRef A = buildNested(7);
+  ValueRef B = buildNested(7);
+  EXPECT_NE(A.get(), B.get());
+  EXPECT_FALSE(A->isInterned());
+  EXPECT_TRUE(Value::equal(A, B));
+  EXPECT_EQ(A->hash(), B->hash());
+  ValueInterner::setEnabled(true);
+  // Mixed comparisons across the toggle stay structural and correct.
+  ValueRef C = buildNested(7);
+  EXPECT_TRUE(C->isInterned());
+  EXPECT_TRUE(Value::equal(A, C));
+}
+
+TEST(InternTest, StatsCountHitsAndMisses) {
+  ValueInterner::Stats Before = ValueInterner::global().stats();
+  ValueRef A = buildNested(42);
+  ValueRef B = buildNested(42);
+  (void)A;
+  (void)B;
+  ValueInterner::Stats After = ValueInterner::global().stats();
+  EXPECT_GT(After.Hits, Before.Hits);   // B's nodes all hit
+  EXPECT_GT(After.Misses, Before.Misses); // intV(42) was new
+}

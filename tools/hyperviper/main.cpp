@@ -85,6 +85,13 @@ int main(int Argc, char **Argv) {
                   R.Metrics.LinesOfCode, R.Metrics.AnnotationLines,
                   R.ParseSeconds, R.ValiditySeconds, R.VerifySeconds,
                   R.totalSeconds());
+      const CacheStats &C = R.Verification.SpecCache;
+      std::printf("  spec memo: %llu hits  %llu misses  %llu entries  "
+                  "%llu evictions\n",
+                  static_cast<unsigned long long>(C.hits()),
+                  static_cast<unsigned long long>(C.misses()),
+                  static_cast<unsigned long long>(C.Entries),
+                  static_cast<unsigned long long>(C.Evictions));
     }
     if (!NIProc.empty() && R.ParseOk) {
       NIReport Report = D.runEmpirical(R, NIProc);
@@ -93,6 +100,11 @@ int main(int Argc, char **Argv) {
                     "runs (%llu pairs)\n",
                     static_cast<unsigned long long>(Report.Runs),
                     static_cast<unsigned long long>(Report.PairsCompared));
+        if (PrintMetrics)
+          std::printf("  ni memo: %llu hits  %llu misses  %llu entries\n",
+                      static_cast<unsigned long long>(Report.Cache.hits()),
+                      static_cast<unsigned long long>(Report.Cache.misses()),
+                      static_cast<unsigned long long>(Report.Cache.Entries));
       } else {
         std::printf("  empirical non-interference: VIOLATION after %llu "
                     "runs\n%s",
