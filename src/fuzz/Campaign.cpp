@@ -1,0 +1,224 @@
+//===-- fuzz/Campaign.cpp - Fuzzing campaign runner ------------------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Campaign.h"
+
+#include "support/ThreadPool.h"
+
+#include <chrono>
+#include <sstream>
+
+using namespace commcsl;
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+std::string jsonEscape(const std::string &S) {
+  std::ostringstream OS;
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    case '\r':
+      OS << "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        OS << Buf;
+      } else {
+        OS << C;
+      }
+    }
+  }
+  return OS.str();
+}
+
+/// Per-seed outcome kept until the deterministic merge.
+struct SeedOutcome {
+  bool Ran = false;
+  OracleResult Result;
+  bool GenTainted = false;
+  uint64_t Seed = 0;
+  unsigned Statements = 0;
+  std::string Source;
+};
+
+} // namespace
+
+CampaignReport commcsl::runCampaign(const CampaignConfig &Config) {
+  CampaignReport Report;
+  Report.Config = Config;
+
+  auto T0 = std::chrono::steady_clock::now();
+  auto OverBudget = [&]() {
+    if (Config.TimeBudgetSeconds <= 0)
+      return false;
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         T0)
+               .count() > Config.TimeBudgetSeconds;
+  };
+
+  DifferentialOracle Oracle(Config.Oracle);
+  std::vector<SeedOutcome> Outcomes(Config.NumSeeds);
+  unsigned Jobs = ThreadPool::effectiveJobs(Config.Jobs);
+
+  // Phase 1: generate + evaluate. Each seed's randomness derives from
+  // (BaseSeed, index) only, so outcomes are independent of scheduling.
+  ThreadPool::shared().parallelForChunks(
+      Config.NumSeeds, Jobs, [&](uint64_t Begin, uint64_t End, unsigned) {
+        for (uint64_t I = Begin; I < End; ++I) {
+          if (OverBudget())
+            continue;
+          SeedOutcome &Out = Outcomes[I];
+          GenConfig GC = Config.Gen;
+          GC.Seed = deriveSeed(Config.BaseSeed, I);
+          GeneratedProgram GP = generateProgram(GC);
+          Out.Ran = true;
+          Out.Seed = GC.Seed;
+          Out.GenTainted = GP.OutputTainted;
+          Out.Statements = GP.Statements;
+          Out.Source = GP.Source;
+          Out.Result = Oracle.evaluate(GP.Source, GP.OutputTainted, GC.Seed);
+        }
+      });
+
+  // Deterministic merge in seed order.
+  for (unsigned I = 0; I < Config.NumSeeds; ++I) {
+    const SeedOutcome &Out = Outcomes[I];
+    if (!Out.Ran) {
+      ++Report.SeedsSkipped;
+      continue;
+    }
+    ++Report.SeedsRun;
+    if (Out.GenTainted)
+      ++Report.TaintedSeeds;
+    if (Out.Result.Verdicts.Verified)
+      ++Report.VerifiedSeeds;
+    switch (Out.Result.Class) {
+    case OracleClass::Agree:
+      ++Report.Agree;
+      continue;
+    case OracleClass::SoundnessViolation:
+      ++Report.SoundnessViolations;
+      break;
+    case OracleClass::CompletenessGap:
+      ++Report.CompletenessGaps;
+      break;
+    case OracleClass::Flake:
+      ++Report.Flakes;
+      break;
+    case OracleClass::GeneratorInvalid:
+      ++Report.GeneratorInvalids;
+      break;
+    }
+    CampaignFinding F;
+    F.SeedIndex = I;
+    F.Seed = Out.Seed;
+    F.Class = Out.Result.Class;
+    F.GenTainted = Out.GenTainted;
+    F.Detail = Out.Result.Detail;
+    F.StatementsBefore = Out.Statements;
+    F.StatementsAfter = Out.Statements;
+    F.Source = Out.Source;
+    Report.Findings.push_back(std::move(F));
+  }
+
+  // Phase 2: minimize the disagreements. Each shrink is deterministic per
+  // finding, so parallelizing across findings preserves the report.
+  if (Config.ShrinkFindings && !Report.Findings.empty()) {
+    ShrinkConfig SC = Config.Shrink;
+    SC.Oracle = Config.Oracle;
+    ThreadPool::shared().parallelForChunks(
+        Report.Findings.size(), Jobs,
+        [&](uint64_t Begin, uint64_t End, unsigned) {
+          for (uint64_t I = Begin; I < End; ++I) {
+            CampaignFinding &F = Report.Findings[I];
+            if (F.Class == OracleClass::GeneratorInvalid || OverBudget())
+              continue;
+            ShrinkResult SR =
+                shrinkProgram(F.Source, F.GenTainted, F.Class, F.Seed, SC);
+            if (SR.Class != F.Class)
+              continue; // did not reproduce; keep the original
+            F.Source = SR.Source;
+            F.StatementsBefore = SR.Stats.StatementsBefore;
+            F.StatementsAfter = SR.Stats.StatementsAfter;
+            F.ShrinkOracleRuns = SR.Stats.OracleRuns;
+          }
+        });
+  }
+
+  return Report;
+}
+
+std::string CampaignReport::json() const {
+  std::ostringstream OS;
+  OS << "{\n";
+  OS << "  \"fuzz_campaign\": {\n";
+  OS << "    \"base_seed\": " << Config.BaseSeed << ",\n";
+  OS << "    \"seeds_requested\": " << Config.NumSeeds << ",\n";
+  OS << "    \"seeds_run\": " << SeedsRun << ",\n";
+  OS << "    \"seeds_skipped\": " << SeedsSkipped << ",\n";
+  OS << "    \"inject\": \"" << oracleFaultName(Config.Oracle.Inject)
+     << "\",\n";
+  OS << "    \"generator\": {\n";
+  OS << "      \"target_statements\": " << Config.Gen.TargetStatements
+     << ",\n";
+  OS << "      \"concurrency\": "
+     << (Config.Gen.EnableConcurrency ? "true" : "false") << ",\n";
+  OS << "      \"collections\": "
+     << (Config.Gen.EnableCollections ? "true" : "false") << ",\n";
+  OS << "      \"unique_par\": "
+     << (Config.Gen.EnableUniquePar ? "true" : "false") << ",\n";
+  OS << "      \"value_dependent\": "
+     << (Config.Gen.EnableValueDependent ? "true" : "false") << ",\n";
+  OS << "      \"leaky_outputs\": "
+     << (Config.Gen.AllowLeakyOutput ? "true" : "false") << "\n";
+  OS << "    },\n";
+  OS << "    \"counts\": {\n";
+  OS << "      \"agree\": " << Agree << ",\n";
+  OS << "      \"soundness_violation\": " << SoundnessViolations << ",\n";
+  OS << "      \"completeness_gap\": " << CompletenessGaps << ",\n";
+  OS << "      \"flake\": " << Flakes << ",\n";
+  OS << "      \"generator_invalid\": " << GeneratorInvalids << "\n";
+  OS << "    },\n";
+  OS << "    \"verdicts\": {\n";
+  OS << "      \"tainted_seeds\": " << TaintedSeeds << ",\n";
+  OS << "      \"verified_seeds\": " << VerifiedSeeds << "\n";
+  OS << "    },\n";
+  OS << "    \"findings\": [";
+  for (size_t I = 0; I < Findings.size(); ++I) {
+    const CampaignFinding &F = Findings[I];
+    OS << (I ? ",\n" : "\n");
+    OS << "      {\n";
+    OS << "        \"seed_index\": " << F.SeedIndex << ",\n";
+    OS << "        \"seed\": " << F.Seed << ",\n";
+    OS << "        \"class\": \"" << oracleClassName(F.Class) << "\",\n";
+    OS << "        \"gen_tainted\": " << (F.GenTainted ? "true" : "false")
+       << ",\n";
+    OS << "        \"detail\": \"" << jsonEscape(F.Detail) << "\",\n";
+    OS << "        \"statements_before\": " << F.StatementsBefore << ",\n";
+    OS << "        \"statements_after\": " << F.StatementsAfter << ",\n";
+    OS << "        \"shrink_oracle_runs\": " << F.ShrinkOracleRuns << ",\n";
+    OS << "        \"source\": \"" << jsonEscape(F.Source) << "\"\n";
+    OS << "      }";
+  }
+  OS << (Findings.empty() ? "]\n" : "\n    ]\n");
+  OS << "  }\n";
+  OS << "}\n";
+  return OS.str();
+}

@@ -1,0 +1,104 @@
+//===-- fuzz/Campaign.h - Fuzzing campaign runner ---------------*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives a whole fuzzing campaign: N generator seeds, each pushed through
+/// the differential oracle, disagreements optionally minimized by the
+/// shrinker, everything folded into a machine-readable JSON report.
+///
+/// Determinism contract: seeds are independent work items whose randomness
+/// derives from (BaseSeed, SeedIndex), results merge in seed order, and the
+/// report carries no timing data — so the JSON is byte-identical at every
+/// job count. The only exception is an explicit wall-clock budget
+/// (TimeBudgetSeconds), which may skip a job-count-dependent set of
+/// trailing seeds; skipped seeds are counted in the report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_FUZZ_CAMPAIGN_H
+#define COMMCSL_FUZZ_CAMPAIGN_H
+
+#include "fuzz/Oracle.h"
+#include "fuzz/Shrinker.h"
+#include "testgen/ProgramGen.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace commcsl {
+
+/// Campaign parameters.
+struct CampaignConfig {
+  uint64_t BaseSeed = 1;
+  unsigned NumSeeds = 100;
+  /// Worker threads across seeds. 0 = hardware concurrency. The report is
+  /// identical at every setting (absent a time budget).
+  unsigned Jobs = 0;
+  /// Wall-clock budget; 0 = unlimited. When exceeded, not-yet-started
+  /// seeds are skipped (this is the one determinism escape hatch).
+  double TimeBudgetSeconds = 0;
+  /// Generator shape; the Seed field is overridden per index.
+  GenConfig Gen;
+  OracleConfig Oracle;
+  /// Minimize every disagreement with the shrinker (its oracle config is
+  /// forced to match the campaign's).
+  bool ShrinkFindings = true;
+  ShrinkConfig Shrink;
+
+  CampaignConfig() {
+    // Soundness fuzzing wants deliberately leaky programs in the mix: they
+    // must all be rejected.
+    Gen.AllowLeakyOutput = true;
+  }
+};
+
+/// One disagreement (any class except Agree).
+struct CampaignFinding {
+  unsigned SeedIndex = 0;
+  uint64_t Seed = 0;
+  OracleClass Class = OracleClass::Agree;
+  bool GenTainted = false;
+  std::string Detail;
+  /// Statement counts around shrinking (equal when shrinking is off).
+  unsigned StatementsBefore = 0;
+  unsigned StatementsAfter = 0;
+  unsigned ShrinkOracleRuns = 0;
+  /// Minimized source (original when shrinking is off or failed).
+  std::string Source;
+};
+
+/// Campaign outcome.
+struct CampaignReport {
+  CampaignConfig Config;
+  unsigned SeedsRun = 0;
+  unsigned SeedsSkipped = 0;
+  // Per-class counts over the seeds that ran.
+  unsigned Agree = 0;
+  unsigned SoundnessViolations = 0;
+  unsigned CompletenessGaps = 0;
+  unsigned Flakes = 0;
+  unsigned GeneratorInvalids = 0;
+  // Raw-verdict tallies.
+  unsigned TaintedSeeds = 0;
+  unsigned VerifiedSeeds = 0;
+  std::vector<CampaignFinding> Findings; ///< in seed order
+
+  /// Deterministic JSON rendering (no timing, stable key order).
+  std::string json() const;
+
+  bool clean() const {
+    return SoundnessViolations == 0 && GeneratorInvalids == 0;
+  }
+};
+
+/// Runs a campaign. Deterministic per config (see the determinism contract
+/// above).
+CampaignReport runCampaign(const CampaignConfig &Config);
+
+} // namespace commcsl
+
+#endif // COMMCSL_FUZZ_CAMPAIGN_H

@@ -1,0 +1,117 @@
+//===-- fuzz/Corpus.cpp - Regression corpus I/O ----------------------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Corpus.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace commcsl;
+
+namespace {
+
+/// Comment headers must stay one physical line each.
+std::string oneLine(const std::string &S) {
+  std::string Out;
+  for (char C : S)
+    Out += (C == '\n' || C == '\r') ? ' ' : C;
+  return Out;
+}
+
+} // namespace
+
+std::string commcsl::renderCorpusEntry(const CampaignFinding &Finding,
+                                       OracleFault Inject) {
+  std::ostringstream OS;
+  OS << "// fuzz-corpus v1\n";
+  OS << "// class: " << oracleClassName(Finding.Class) << "\n";
+  OS << "// seed-index: " << Finding.SeedIndex << "\n";
+  OS << "// seed: " << Finding.Seed << "\n";
+  OS << "// gen-tainted: " << (Finding.GenTainted ? 1 : 0) << "\n";
+  OS << "// inject: " << oracleFaultName(Inject) << "\n";
+  OS << "// statements: " << Finding.StatementsBefore << " -> "
+     << Finding.StatementsAfter << "\n";
+  OS << "// detail: " << oneLine(Finding.Detail) << "\n";
+  OS << "\n";
+  OS << Finding.Source;
+  return OS.str();
+}
+
+std::optional<CorpusEntry> commcsl::parseCorpusEntry(
+    const std::string &Content) {
+  std::istringstream In(Content);
+  std::string Line;
+  if (!std::getline(In, Line) || Line != "// fuzz-corpus v1")
+    return std::nullopt;
+
+  CorpusEntry Entry;
+  bool HaveClass = false;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      break; // header/body separator
+    if (Line.rfind("// ", 0) != 0)
+      return std::nullopt;
+    std::string Field = Line.substr(3);
+    size_t Colon = Field.find(':');
+    if (Colon == std::string::npos)
+      return std::nullopt;
+    std::string Key = Field.substr(0, Colon);
+    std::string Value = Field.substr(Colon + 1);
+    while (!Value.empty() && Value.front() == ' ')
+      Value.erase(Value.begin());
+    if (Key == "class") {
+      std::optional<OracleClass> C = oracleClassByName(Value);
+      if (!C)
+        return std::nullopt;
+      Entry.Class = *C;
+      HaveClass = true;
+    } else if (Key == "seed") {
+      Entry.Seed = std::stoull(Value);
+    } else if (Key == "seed-index") {
+      Entry.SeedIndex = static_cast<unsigned>(std::stoul(Value));
+    } else if (Key == "gen-tainted") {
+      Entry.GenTainted = Value == "1" || Value == "true";
+    } else if (Key == "inject") {
+      std::optional<OracleFault> F = oracleFaultByName(Value);
+      if (!F)
+        return std::nullopt;
+      Entry.Inject = *F;
+    } else if (Key == "detail") {
+      Entry.Detail = Value;
+    }
+    // Unknown keys (e.g. "statements") are informational; skip.
+  }
+  if (!HaveClass)
+    return std::nullopt;
+  std::ostringstream Body;
+  Body << In.rdbuf();
+  Entry.Source = Body.str();
+  if (Entry.Source.empty())
+    return std::nullopt;
+  return Entry;
+}
+
+std::string commcsl::corpusFileName(const CampaignFinding &Finding) {
+  std::ostringstream OS;
+  OS << oracleClassName(Finding.Class) << "-seed" << Finding.SeedIndex
+     << ".hv";
+  return OS.str();
+}
+
+std::vector<std::string> commcsl::writeCorpusFiles(
+    const CampaignReport &Report, const std::string &Dir) {
+  std::filesystem::create_directories(Dir);
+  std::vector<std::string> Paths;
+  for (const CampaignFinding &F : Report.Findings) {
+    std::filesystem::path P =
+        std::filesystem::path(Dir) / corpusFileName(F);
+    std::ofstream Out(P);
+    Out << renderCorpusEntry(F, Report.Config.Oracle.Inject);
+    Paths.push_back(P.string());
+  }
+  return Paths;
+}

@@ -188,7 +188,13 @@ bool NonInterferenceHarness::runTrial(
       ++Report.Runs;
       if (R.St != RunResult::Status::Ok) {
         NIViolation V;
-        V.Kind = R.St == RunResult::Status::Deadlock ? "deadlock" : "abort";
+        // Step-limit exhaustion is reported apart from genuine faults: a
+        // fuel-bounded run says nothing about the program, and downstream
+        // consumers (the fuzzing oracle) classify it as a flake rather
+        // than a soundness signal.
+        V.Kind = R.St == RunResult::Status::Deadlock    ? "deadlock"
+                 : R.St == RunResult::Status::StepLimit ? "step-limit"
+                                                        : "abort";
         V.Detail = R.AbortReason;
         V.InputsA = Inputs;
         V.SchedulerA = Sched->name();

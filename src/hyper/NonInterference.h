@@ -66,7 +66,8 @@ struct NIConfig {
 
 /// A concrete witness of an information leak (or a runtime fault).
 struct NIViolation {
-  std::string Kind; ///< "low-output mismatch", "abort", "deadlock"
+  std::string Kind; ///< "low-output mismatch", "abort", "deadlock",
+                    ///< "step-limit"
   std::string Detail;
   std::vector<ValueRef> InputsA, InputsB;
   std::string SchedulerA, SchedulerB;

@@ -322,3 +322,83 @@ std::string Command::str(unsigned Indent) const {
   }
   return OS.str();
 }
+
+//===----------------------------------------------------------------------===//
+// Clone and structural equality
+//===----------------------------------------------------------------------===//
+
+ContractAtom commcsl::cloneAtom(const ContractAtom &A) {
+  ContractAtom C = A;
+  C.E = A.E ? A.E->clone() : nullptr;
+  C.Cond = A.Cond ? A.Cond->clone() : nullptr;
+  return C;
+}
+
+Contract commcsl::cloneContract(const Contract &C) {
+  Contract Out;
+  Out.reserve(C.size());
+  for (const ContractAtom &A : C)
+    Out.push_back(cloneAtom(A));
+  return Out;
+}
+
+bool commcsl::structurallyEqual(const ContractAtom &A, const ContractAtom &B) {
+  return A.AtomKind == B.AtomKind && structurallyEqual(A.E, B.E) &&
+         structurallyEqual(A.Cond, B.Cond) && A.Res == B.Res &&
+         A.Action == B.Action && A.FracNum == B.FracNum &&
+         A.FracDen == B.FracDen && A.ArgVar == B.ArgVar &&
+         A.ArgsEmpty == B.ArgsEmpty;
+}
+
+bool commcsl::structurallyEqual(const Contract &A, const Contract &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I)
+    if (!structurallyEqual(A[I], B[I]))
+      return false;
+  return true;
+}
+
+CommandRef Command::clone() const {
+  auto C = std::make_shared<Command>(Kind, Loc);
+  C->Var = Var;
+  C->Aux = Aux;
+  C->DeclTy = DeclTy;
+  C->Rets = Rets;
+  C->Exprs.reserve(Exprs.size());
+  for (const ExprRef &E : Exprs)
+    C->Exprs.push_back(E ? E->clone() : nullptr);
+  C->Children.reserve(Children.size());
+  for (const CommandRef &Child : Children)
+    C->Children.push_back(Child ? Child->clone() : nullptr);
+  C->Invariants.reserve(Invariants.size());
+  for (const Contract &Inv : Invariants)
+    C->Invariants.push_back(cloneContract(Inv));
+  C->Asserted = cloneContract(Asserted);
+  return C;
+}
+
+bool commcsl::structurallyEqual(const CommandRef &A, const CommandRef &B) {
+  if (!A || !B)
+    return !A && !B;
+  if (A->Kind != B->Kind || A->Var != B->Var || A->Aux != B->Aux ||
+      A->Rets != B->Rets)
+    return false;
+  if ((A->DeclTy != nullptr) != (B->DeclTy != nullptr) ||
+      (A->DeclTy && !Type::equal(A->DeclTy, B->DeclTy)))
+    return false;
+  if (A->Exprs.size() != B->Exprs.size() ||
+      A->Children.size() != B->Children.size() ||
+      A->Invariants.size() != B->Invariants.size())
+    return false;
+  for (size_t I = 0; I < A->Exprs.size(); ++I)
+    if (!structurallyEqual(A->Exprs[I], B->Exprs[I]))
+      return false;
+  for (size_t I = 0; I < A->Children.size(); ++I)
+    if (!structurallyEqual(A->Children[I], B->Children[I]))
+      return false;
+  for (size_t I = 0; I < A->Invariants.size(); ++I)
+    if (!structurallyEqual(A->Invariants[I], B->Invariants[I]))
+      return false;
+  return structurallyEqual(A->Asserted, B->Asserted);
+}

@@ -122,7 +122,15 @@ public:
 
   /// Renders the command in surface syntax with \p Indent leading spaces.
   std::string str(unsigned Indent = 0) const;
+
+  /// Structural clone (deep copy of expressions, children, and contracts).
+  /// Type annotations inside expressions are preserved.
+  CommandRef clone() const;
 };
+
+/// Structural equality of command trees, ignoring source locations and type
+/// annotations. Null pointers are equal only to null pointers.
+bool structurallyEqual(const CommandRef &A, const CommandRef &B);
 
 } // namespace commcsl
 

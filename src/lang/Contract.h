@@ -135,6 +135,14 @@ using Contract = std::vector<ContractAtom>;
 /// Renders a contract as `a1 && a2 && ...`.
 std::string contractStr(const Contract &C);
 
+/// Structural equality of contract atoms / contracts (locations ignored).
+bool structurallyEqual(const ContractAtom &A, const ContractAtom &B);
+bool structurallyEqual(const Contract &A, const Contract &B);
+
+/// Deep copy of a contract (expressions cloned).
+ContractAtom cloneAtom(const ContractAtom &A);
+Contract cloneContract(const Contract &C);
+
 } // namespace commcsl
 
 #endif // COMMCSL_LANG_CONTRACT_H

@@ -300,3 +300,44 @@ ExprRef Expr::substitute(
     E->Args.push_back(A->substitute(Subst));
   return E;
 }
+
+bool commcsl::structurallyEqual(const ExprRef &A, const ExprRef &B) {
+  if (!A || !B)
+    return !A && !B;
+  if (A->Kind != B->Kind || A->Args.size() != B->Args.size())
+    return false;
+  switch (A->Kind) {
+  case ExprKind::IntLit:
+    if (A->IntVal != B->IntVal)
+      return false;
+    break;
+  case ExprKind::BoolLit:
+    if (A->BoolVal != B->BoolVal)
+      return false;
+    break;
+  case ExprKind::StringLit:
+  case ExprKind::Var:
+  case ExprKind::Call:
+    if (A->Name != B->Name)
+      return false;
+    break;
+  case ExprKind::UnitLit:
+    break;
+  case ExprKind::Unary:
+    if (A->UOp != B->UOp)
+      return false;
+    break;
+  case ExprKind::Binary:
+    if (A->BOp != B->BOp)
+      return false;
+    break;
+  case ExprKind::Builtin:
+    if (A->Builtin != B->Builtin)
+      return false;
+    break;
+  }
+  for (size_t I = 0; I < A->Args.size(); ++I)
+    if (!structurallyEqual(A->Args[I], B->Args[I]))
+      return false;
+  return true;
+}

@@ -182,6 +182,12 @@ public:
 const char *unaryOpName(UnaryOp Op);
 const char *binaryOpName(BinaryOp Op);
 
+/// Structural equality of expression trees, ignoring source locations and
+/// type annotations. Null pointers are equal only to null pointers. Used by
+/// the printer round-trip property (parse(print(parse(s))) must equal
+/// parse(s)) and by the fuzz shrinker to detect no-op reductions.
+bool structurallyEqual(const ExprRef &A, const ExprRef &B);
+
 } // namespace commcsl
 
 #endif // COMMCSL_LANG_EXPR_H

@@ -65,6 +65,15 @@ std::string Program::str() const {
     OS << "  alpha(" << S.AlphaParam << ") = " << S.Alpha->str() << ";\n";
     if (S.Inv)
       OS << "  inv(" << S.AlphaParam << ") = " << S.Inv->str() << ";\n";
+    // Scope hints bound the validity checker's enumeration; dropping them
+    // on reprint would silently change the Def. 3.1 verdict of a
+    // print/parse round trip. Only non-default hints are materialized.
+    ResourceSpecDecl Defaults;
+    if (S.ScopeIntLo != Defaults.ScopeIntLo ||
+        S.ScopeIntHi != Defaults.ScopeIntHi)
+      OS << "  scope int " << S.ScopeIntLo << " .. " << S.ScopeIntHi << ";\n";
+    if (S.ScopeCollectionBound != Defaults.ScopeCollectionBound)
+      OS << "  scope size " << S.ScopeCollectionBound << ";\n";
     for (const ActionDecl &A : S.Actions) {
       OS << "  " << (A.Unique ? "unique" : "shared") << " action " << A.Name
          << "(" << A.ArgName << ": " << A.ArgTy->str() << ") {\n";
@@ -102,4 +111,83 @@ std::string Program::str() const {
     OS << P.Body->str(0) << "\n";
   }
   return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Structural equality and statement counting
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool paramsEqual(const std::vector<Param> &A, const std::vector<Param> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I)
+    if (A[I].Name != B[I].Name || !Type::equal(A[I].Ty, B[I].Ty))
+      return false;
+  return true;
+}
+
+bool actionsEqual(const ActionDecl &A, const ActionDecl &B) {
+  return A.Name == B.Name && A.Unique == B.Unique && A.ArgName == B.ArgName &&
+         Type::equal(A.ArgTy, B.ArgTy) && A.StateName == B.StateName &&
+         structurallyEqual(A.Apply, B.Apply) &&
+         structurallyEqual(A.Returns, B.Returns) &&
+         structurallyEqual(A.Enabled, B.Enabled) &&
+         structurallyEqual(A.History, B.History) &&
+         structurallyEqual(A.Pre, B.Pre);
+}
+
+} // namespace
+
+bool commcsl::structurallyEqual(const Program &A, const Program &B) {
+  if (A.Funcs.size() != B.Funcs.size() || A.Specs.size() != B.Specs.size() ||
+      A.Procs.size() != B.Procs.size())
+    return false;
+  for (size_t I = 0; I < A.Funcs.size(); ++I) {
+    const FuncDecl &F = A.Funcs[I], &G = B.Funcs[I];
+    if (F.Name != G.Name || !paramsEqual(F.Params, G.Params) ||
+        !Type::equal(F.RetTy, G.RetTy) || !structurallyEqual(F.Body, G.Body))
+      return false;
+  }
+  for (size_t I = 0; I < A.Specs.size(); ++I) {
+    const ResourceSpecDecl &S = A.Specs[I], &T = B.Specs[I];
+    if (S.Name != T.Name || !Type::equal(S.StateTy, T.StateTy) ||
+        S.AlphaParam != T.AlphaParam ||
+        !structurallyEqual(S.Alpha, T.Alpha) ||
+        !structurallyEqual(S.Inv, T.Inv) ||
+        S.ScopeIntLo != T.ScopeIntLo || S.ScopeIntHi != T.ScopeIntHi ||
+        S.ScopeCollectionBound != T.ScopeCollectionBound ||
+        S.Actions.size() != T.Actions.size())
+      return false;
+    for (size_t J = 0; J < S.Actions.size(); ++J)
+      if (!actionsEqual(S.Actions[J], T.Actions[J]))
+        return false;
+  }
+  for (size_t I = 0; I < A.Procs.size(); ++I) {
+    const ProcDecl &P = A.Procs[I], &Q = B.Procs[I];
+    if (P.Name != Q.Name || !paramsEqual(P.Params, Q.Params) ||
+        !paramsEqual(P.Returns, Q.Returns) ||
+        !structurallyEqual(P.Requires, Q.Requires) ||
+        !structurallyEqual(P.Ensures, Q.Ensures) ||
+        !structurallyEqual(P.Body, Q.Body))
+      return false;
+  }
+  return true;
+}
+
+unsigned commcsl::countStatements(const CommandRef &C) {
+  if (!C)
+    return 0;
+  unsigned N = C->Kind == CmdKind::Block ? 0 : 1;
+  for (const CommandRef &Child : C->Children)
+    N += countStatements(Child);
+  return N;
+}
+
+unsigned commcsl::countStatements(const Program &P) {
+  unsigned N = 0;
+  for (const ProcDecl &Proc : P.Procs)
+    N += countStatements(Proc.Body);
+  return N;
 }

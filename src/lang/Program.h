@@ -161,6 +161,19 @@ struct Program {
   std::string str() const;
 };
 
+/// Structural equality of whole programs: same declarations in the same
+/// order, with structurally equal types, expressions, contracts, and
+/// bodies. Source locations and type-checker annotations are ignored, so
+/// `structurallyEqual(parse(print(P)), P)` is the printer's correctness
+/// property.
+bool structurallyEqual(const Program &A, const Program &B);
+
+/// Number of executable statements in the program: every command node
+/// except pure `Block` containers. The shrinker reports its progress in
+/// this measure.
+unsigned countStatements(const Program &P);
+unsigned countStatements(const CommandRef &C);
+
 } // namespace commcsl
 
 #endif // COMMCSL_LANG_PROGRAM_H

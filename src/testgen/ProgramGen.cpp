@@ -147,22 +147,38 @@ private:
     line("}");
   }
 
+  /// Secret-dependent pacing loop: amplifies internal-timing channels
+  /// inside a par branch without touching any shared data.
+  void genPacing(unsigned Mod) {
+    std::string W = fresh("w");
+    line("var " + W + ": int := 0;");
+    line("while (" + W + " < h % " + std::to_string(Mod) + ") invariant " +
+         W + " >= 0 { " + W + " := " + W + " + 1; }");
+  }
+
+  /// Seals \p LowE (which must be h-free, i.e. generated LowOnly) into a
+  /// guaranteed-high expression. The base must be low-only: wrapping an
+  /// expression that already mentions h risks arithmetic cancellation
+  /// (e.g. `(e - h) + h`), which the verifier's solver normalizes away —
+  /// the program would be semantically secure while the generator claims
+  /// taint, breaking the exactness of the reject verdict.
+  std::string sealHigh(const std::string &LowE) {
+    return "(" + LowE + " + h)";
+  }
+
   void genCounterBlock(bool TaintArg) {
     std::string R = fresh("r");
     std::string C = fresh("c");
     bool T1 = false, T2 = false;
-    std::string A1 = expr(/*LowOnly=*/!TaintArg, T1);
+    std::string A1 = expr(/*LowOnly=*/true, T1);
     std::string A2 = expr(/*LowOnly=*/true, T2);
     if (TaintArg)
-      A1 = "(" + A1 + " + h)";
+      A1 = sealHigh(A1);
     line("share " + R + ": Counter := 0;");
     line("par {");
     ++Indent;
     // Secret-dependent pacing in one branch.
-    std::string W = fresh("w");
-    line("var " + W + ": int := 0;");
-    line("while (" + W + " < h % 3) invariant " + W + " >= 0 { " + W +
-         " := " + W + " + 1; }");
+    genPacing(3);
     line("atomic " + R + " { perform " + R + ".Add(" + A1 + "); }");
     --Indent;
     line("} and {");
@@ -173,9 +189,146 @@ private:
     line("var " + C + ": int := 0;");
     line(C + " := unshare " + R + ";");
     Vars.push_back({C, TaintArg || T1 || T2});
+    UsedCounter = true;
     // A high action argument is rejected at unshare regardless of whether
     // the counter's value reaches the output.
     ForcedReject |= TaintArg;
+  }
+
+  /// Shared collection block: two par branches each perform one
+  /// commutative collection action (set add / map increment / multiset
+  /// insert), one with secret-dependent pacing; the unshared collection's
+  /// identity abstraction is low, so a scalar projection of it feeds the
+  /// local pool. \p Which selects set (0), map (1), or multiset (2).
+  void genCollectionBlock(unsigned Which, bool TaintArg) {
+    const char *Spec = Which == 0 ? "IntSet" : Which == 1 ? "Histogram"
+                                                          : "IntBag";
+    const char *Action = Which == 0 ? "Add" : Which == 1 ? "Inc" : "Put";
+    const char *EmptyInit = Which == 0   ? "set_empty()"
+                            : Which == 1 ? "map_empty()"
+                                         : "mset_empty()";
+    const char *FinTy = Which == 0   ? "set<int>"
+                        : Which == 1 ? "map<int, int>"
+                                     : "mset<int>";
+    std::string R = fresh("g");
+    std::string Fin = fresh("f");
+    std::string C = fresh("c");
+    bool T1 = false, T2 = false;
+    std::string A1 = expr(/*LowOnly=*/true, T1);
+    std::string A2 = expr(/*LowOnly=*/true, T2);
+    if (TaintArg)
+      A1 = sealHigh(A1);
+    line("share " + R + ": " + std::string(Spec) + " := " + EmptyInit + ";");
+    line("par {");
+    ++Indent;
+    genPacing(4);
+    line("atomic " + R + " { perform " + R + "." + Action + "(" + A1 +
+         "); }");
+    --Indent;
+    line("} and {");
+    ++Indent;
+    line("atomic " + R + " { perform " + R + "." + Action + "(" + A2 +
+         "); }");
+    --Indent;
+    line("}");
+    line("var " + Fin + ": " + FinTy + " := " + EmptyInit + ";");
+    line(Fin + " := unshare " + R + ";");
+    std::string Proj = Which == 0   ? "set_size(" + Fin + ")"
+                       : Which == 1 ? "map_get_or(" + Fin + ", " +
+                                          std::to_string(smallConst()) +
+                                          ", 0)"
+                                    : "card(" + Fin + ")";
+    line("var " + C + ": int := " + Proj + ";");
+    // The identity abstraction makes the whole final collection low when
+    // every recorded argument was low; any scalar projection is then low.
+    Vars.push_back({C, TaintArg});
+    (Which == 0 ? UsedSet : Which == 1 ? UsedMap : UsedBag) = true;
+    ForcedReject |= TaintArg;
+  }
+
+  /// Unique-guard par block: the resource declares two unique actions that
+  /// commute with each other; each par branch holds exactly one uguard, the
+  /// Par rule's unique-guard distribution path.
+  void genUniqueParBlock(bool TaintArg) {
+    std::string R = fresh("u");
+    std::string C = fresh("c");
+    bool T1 = false, T2 = false;
+    std::string A1 = expr(/*LowOnly=*/true, T1);
+    std::string A2 = expr(/*LowOnly=*/true, T2);
+    if (TaintArg)
+      A1 = sealHigh(A1);
+    line("share " + R + ": UniquePair := 0;");
+    line("par {");
+    ++Indent;
+    genPacing(3);
+    line("atomic " + R + " { perform " + R + ".AddL(" + A1 + "); }");
+    --Indent;
+    line("} and {");
+    ++Indent;
+    line("atomic " + R + " { perform " + R + ".AddR(" + A2 + "); }");
+    --Indent;
+    line("}");
+    line("var " + C + ": int := 0;");
+    line(C + " := unshare " + R + ";");
+    Vars.push_back({C, TaintArg || T1 || T2});
+    UsedUniquePair = true;
+    ForcedReject |= TaintArg;
+  }
+
+  /// Value-dependent record log (Sec. 3.4): appended pairs carry their own
+  /// classification flag; a false flag permits a secret payload. The
+  /// published projection is the record count (`alpha = len`), which is
+  /// low regardless of the payloads. The tainted variant smuggles a secret
+  /// payload under a `true` flag, violating `fst(a) ==> low(snd(a))`.
+  void genValueDepBlock(bool TaintPayload) {
+    std::string R = fresh("g");
+    std::string Fin = fresh("f");
+    std::string C = fresh("c");
+    bool T1 = false, T2 = false, TC = false;
+    std::string Pub = expr(/*LowOnly=*/true, T1);
+    // Untainted payloads may be anything (a false flag permits secrets);
+    // the tainted variant seals a low-only base so the high dependence
+    // cannot cancel.
+    std::string Sec = TaintPayload ? sealHigh(expr(/*LowOnly=*/true, T2))
+                                   : expr(/*LowOnly=*/false, T2);
+    std::string Cond = expr(/*LowOnly=*/true, TC) + " > 1";
+    // Under a true flag the payload must be low; under false it may be
+    // anything. The tainted variant must smuggle the secret under a true
+    // flag on *both* sides of the branch: a generated low condition may be
+    // statically false, and the verifier correctly discharges the joined
+    // Ite argument in that case — a then-branch-only violation would make
+    // the taint claim inexact.
+    std::string Flag = TaintPayload ? "true" : "false";
+    line("share " + R + ": RecordLog := seq_empty();");
+    line("par {");
+    ++Indent;
+    genPacing(4);
+    line("atomic " + R + " { perform " + R + ".Append(pair(true, " + Pub +
+         ")); }");
+    --Indent;
+    line("} and {");
+    ++Indent;
+    line("if (" + Cond + ") {");
+    ++Indent;
+    line("atomic " + R + " { perform " + R + ".Append(pair(" + Flag + ", " +
+         Sec + ")); }");
+    --Indent;
+    line("} else {");
+    ++Indent;
+    line("atomic " + R + " { perform " + R + ".Append(pair(" + Flag + ", " +
+         Sec + ")); }");
+    --Indent;
+    line("}");
+    --Indent;
+    line("}");
+    line("var " + Fin + ": seq<pair<bool, int>> := seq_empty();");
+    line(Fin + " := unshare " + R + ";");
+    line("var " + C + ": int := len(" + Fin + ");");
+    // The abstraction is the record count, so the count is low even though
+    // the record sequence itself stays secret.
+    Vars.push_back({C, false});
+    UsedRecordLog = true;
+    ForcedReject |= TaintPayload;
   }
 
   std::string fresh(const char *Base) {
@@ -184,6 +337,12 @@ private:
 
   const GenConfig &Config;
   bool ForcedReject = false; ///< a leaky perform was emitted
+  bool UsedCounter = false;
+  bool UsedSet = false;
+  bool UsedMap = false;
+  bool UsedBag = false;
+  bool UsedUniquePair = false;
+  bool UsedRecordLog = false;
   std::mt19937_64 Rng;
   std::vector<Var> Vars;
   std::ostringstream Body;
@@ -206,10 +365,11 @@ GeneratedProgram Generator::run() {
     Vars.push_back({Name, T});
   }
 
-  bool UsedCounter = false;
+  bool Conc = Config.EnableConcurrency;
   for (unsigned S = 0; S < Config.TargetStatements; ++S) {
     ++Out.Statements;
-    switch (pick(8)) {
+    bool Leaky = Config.AllowLeakyOutput && coin(0.3);
+    switch (pick(11)) {
     case 0:
     case 1:
     case 2:
@@ -231,13 +391,28 @@ GeneratedProgram Generator::run() {
         genAssign(false);
       break;
     case 6:
-      if (Config.EnableConcurrency) {
-        bool Leaky = Config.AllowLeakyOutput && coin(0.3);
+      if (Conc)
         genCounterBlock(Leaky);
-        UsedCounter = true;
-      } else {
+      else
         genAssign(false);
-      }
+      break;
+    case 7:
+      if (Conc && Config.EnableCollections)
+        genCollectionBlock(static_cast<unsigned>(pick(3)), Leaky);
+      else
+        genAssign(false);
+      break;
+    case 8:
+      if (Conc && Config.EnableUniquePar)
+        genUniqueParBlock(Leaky);
+      else
+        genAssign(false);
+      break;
+    case 9:
+      if (Conc && Config.EnableValueDependent)
+        genValueDepBlock(Leaky);
+      else
+        genAssign(false);
       break;
     default:
       genAssign(Config.AllowLeakyOutput && coin(0.2));
@@ -245,25 +420,88 @@ GeneratedProgram Generator::run() {
     }
   }
 
-  // The output.
+  // The output. A leaky output seals a low-only base (see sealHigh): the
+  // taint verdict must be exact in both directions.
   bool WantLeak = Config.AllowLeakyOutput && coin();
   bool T = false;
-  std::string OutExpr = expr(/*LowOnly=*/!WantLeak, T);
-  if (WantLeak && !T) {
-    OutExpr = "(" + OutExpr + " + h)";
+  std::string OutExpr = expr(/*LowOnly=*/true, T);
+  if (WantLeak) {
+    OutExpr = sealHigh(OutExpr);
     T = true;
   }
   line("out := " + OutExpr + ";");
   Out.OutputTainted = T || ForcedReject;
 
   std::ostringstream Prog;
-  if (UsedCounter || Config.EnableConcurrency) {
+  if (UsedCounter) {
     Prog << "resource Counter {\n"
             "  state: int;\n"
             "  alpha(v) = v;\n"
             "  shared action Add(a: int) {\n"
             "    apply(v, a) = v + a;\n"
             "    requires low(a);\n"
+            "  }\n"
+            "}\n\n";
+  }
+  if (UsedSet) {
+    Prog << "resource IntSet {\n"
+            "  state: set<int>;\n"
+            "  alpha(v) = v;\n"
+            "  scope int -1 .. 1;\n"
+            "  scope size 2;\n"
+            "  shared action Add(a: int) {\n"
+            "    apply(v, a) = set_add(v, a);\n"
+            "    requires low(a);\n"
+            "  }\n"
+            "}\n\n";
+  }
+  if (UsedMap) {
+    Prog << "resource Histogram {\n"
+            "  state: map<int, int>;\n"
+            "  alpha(v) = v;\n"
+            "  scope int -1 .. 1;\n"
+            "  scope size 2;\n"
+            "  shared action Inc(a: int) {\n"
+            "    apply(v, a) = map_put(v, a, map_get_or(v, a, 0) + 1);\n"
+            "    requires low(a);\n"
+            "  }\n"
+            "}\n\n";
+  }
+  if (UsedBag) {
+    Prog << "resource IntBag {\n"
+            "  state: mset<int>;\n"
+            "  alpha(v) = v;\n"
+            "  scope int -1 .. 1;\n"
+            "  scope size 2;\n"
+            "  shared action Put(a: int) {\n"
+            "    apply(v, a) = mset_add(v, a);\n"
+            "    requires low(a);\n"
+            "  }\n"
+            "}\n\n";
+  }
+  if (UsedUniquePair) {
+    Prog << "resource UniquePair {\n"
+            "  state: int;\n"
+            "  alpha(v) = v;\n"
+            "  unique action AddL(a: int) {\n"
+            "    apply(v, a) = v + a;\n"
+            "    requires low(a);\n"
+            "  }\n"
+            "  unique action AddR(a: int) {\n"
+            "    apply(v, a) = v + a;\n"
+            "    requires low(a);\n"
+            "  }\n"
+            "}\n\n";
+  }
+  if (UsedRecordLog) {
+    Prog << "resource RecordLog {\n"
+            "  state: seq<pair<bool, int>>;\n"
+            "  alpha(v) = len(v);\n"
+            "  scope int -1 .. 1;\n"
+            "  scope size 2;\n"
+            "  shared action Append(a: pair<bool, int>) {\n"
+            "    apply(v, a) = append(v, a);\n"
+            "    requires low(fst(a)) && fst(a) ==> low(snd(a));\n"
             "  }\n"
             "}\n\n";
   }

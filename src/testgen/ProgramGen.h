@@ -38,6 +38,19 @@ struct GenConfig {
   bool EnableConcurrency = true;
   bool EnableLoops = true;
   bool EnableHighBranches = true;
+  /// Shared collection resources (set add / map increment / multiset
+  /// insert) with identity abstractions, performed from par branches with
+  /// secret-dependent pacing. Requires EnableConcurrency.
+  bool EnableCollections = true;
+  /// Par blocks over a resource with two *unique* actions, one per branch
+  /// (the uguard distribution path of the Par rule). Requires
+  /// EnableConcurrency.
+  bool EnableUniquePar = true;
+  /// Value-dependent record logs: appended pairs carry their own
+  /// classification flag, `requires low(fst(a)) && fst(a) ==> low(snd(a))`
+  /// (Sec. 3.4), and the published abstraction is the record count.
+  /// Requires EnableConcurrency.
+  bool EnableValueDependent = true;
   /// When true, the output expression may (with probability ~1/2) be
   /// tainted — such programs must be rejected by the verifier.
   bool AllowLeakyOutput = false;

@@ -1,0 +1,199 @@
+//===-- tests/fuzz/OracleTest.cpp - Differential oracle tests --------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classification matrix of the differential oracle: every reachable
+/// (taint, verifier outcome, empirical outcome) combination maps to the
+/// documented OracleClass, fault injection flips the verifier verdict
+/// without touching the empirical phases, and evaluation is deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Oracle.h"
+
+#include "testgen/ProgramGen.h"
+#include "tests/common/TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace commcsl;
+
+namespace {
+
+/// Verifies and runs clean: low output computed from the low input only.
+const char *SecureProgram = R"(
+procedure main(l: int, h: int) returns (out: int)
+  requires low(l)
+  ensures low(out)
+{
+  var x: int := l + 1;
+  out := x * 2;
+}
+)";
+
+/// Direct leak: the verifier must reject it, and when fault injection
+/// forces acceptance the NI sweep observes the leak.
+const char *LeakyProgram = R"(
+procedure main(l: int, h: int) returns (out: int)
+  requires low(l)
+  ensures low(out)
+{
+  out := h;
+}
+)";
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Name round-trips (used by reports and corpus headers).
+//===----------------------------------------------------------------------===//
+
+TEST(OracleNamesTest, ClassNamesRoundTrip) {
+  for (OracleClass C :
+       {OracleClass::Agree, OracleClass::SoundnessViolation,
+        OracleClass::CompletenessGap, OracleClass::Flake,
+        OracleClass::GeneratorInvalid}) {
+    auto Back = oracleClassByName(oracleClassName(C));
+    ASSERT_TRUE(Back.has_value()) << oracleClassName(C);
+    EXPECT_EQ(*Back, C);
+  }
+  EXPECT_FALSE(oracleClassByName("bogus").has_value());
+}
+
+TEST(OracleNamesTest, FaultNamesRoundTrip) {
+  for (OracleFault F :
+       {OracleFault::None, OracleFault::AcceptAll, OracleFault::RejectAll}) {
+    auto Back = oracleFaultByName(oracleFaultName(F));
+    ASSERT_TRUE(Back.has_value()) << oracleFaultName(F);
+    EXPECT_EQ(*Back, F);
+  }
+  EXPECT_FALSE(oracleFaultByName("bogus").has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// The classification matrix.
+//===----------------------------------------------------------------------===//
+
+TEST(OracleTest, SecureUntaintedAgrees) {
+  DifferentialOracle Oracle;
+  OracleResult R = Oracle.evaluate(SecureProgram, /*GenTainted=*/false, 7);
+  EXPECT_EQ(R.Class, OracleClass::Agree) << R.Detail;
+  EXPECT_TRUE(R.Verdicts.ParseOk);
+  EXPECT_TRUE(R.Verdicts.Verified);
+  EXPECT_FALSE(R.Verdicts.Injected);
+  EXPECT_TRUE(R.Verdicts.NIRan);
+  EXPECT_TRUE(R.Verdicts.NISecure);
+  EXPECT_TRUE(R.Verdicts.SchedRan);
+  EXPECT_TRUE(R.Verdicts.SchedStable);
+  EXPECT_FALSE(R.Verdicts.EmpiricalLeak);
+}
+
+TEST(OracleTest, LeakyTaintedRejectedAgrees) {
+  // Tainted + rejected is the other agreement cell: the verifier did its
+  // job. No empirical phase runs on a rejected program.
+  DifferentialOracle Oracle;
+  OracleResult R = Oracle.evaluate(LeakyProgram, /*GenTainted=*/true, 7);
+  EXPECT_EQ(R.Class, OracleClass::Agree) << R.Detail;
+  EXPECT_FALSE(R.Verdicts.Verified);
+  EXPECT_FALSE(R.Verdicts.NIRan);
+  EXPECT_FALSE(R.Verdicts.SchedRan);
+}
+
+TEST(OracleTest, RejectedUntaintedIsCompletenessGap) {
+  // A secure-by-claim program the verifier rejects: here the "claim" is
+  // wrong on purpose (the program leaks), but the oracle only knows the
+  // taint bit it is handed, so this exercises the completeness-gap cell.
+  DifferentialOracle Oracle;
+  OracleResult R = Oracle.evaluate(LeakyProgram, /*GenTainted=*/false, 7);
+  EXPECT_EQ(R.Class, OracleClass::CompletenessGap) << R.Detail;
+  EXPECT_NE(R.Detail.find("rejected"), std::string::npos) << R.Detail;
+}
+
+TEST(OracleTest, InjectedAcceptanceOfLeakIsSoundnessViolation) {
+  OracleConfig Config;
+  Config.Inject = OracleFault::AcceptAll;
+  DifferentialOracle Oracle(Config);
+  OracleResult R = Oracle.evaluate(LeakyProgram, /*GenTainted=*/true, 7);
+  EXPECT_EQ(R.Class, OracleClass::SoundnessViolation) << R.Detail;
+  EXPECT_TRUE(R.Verdicts.Injected);
+  EXPECT_TRUE(R.Verdicts.Verified); // post-injection verdict
+  // The empirical phases run even though the taint bit alone settles the
+  // class: the concrete-leak evidence is what the shrinker preserves.
+  EXPECT_TRUE(R.Verdicts.NIRan);
+  EXPECT_TRUE(R.Verdicts.EmpiricalLeak);
+  EXPECT_NE(R.Detail.find("injected"), std::string::npos) << R.Detail;
+}
+
+TEST(OracleTest, InjectedAcceptanceOfSecureProgramStillAgrees) {
+  // AcceptAll on an already-verified secure program changes nothing: the
+  // injection bit stays false-positive-free.
+  OracleConfig Config;
+  Config.Inject = OracleFault::AcceptAll;
+  DifferentialOracle Oracle(Config);
+  OracleResult R = Oracle.evaluate(SecureProgram, /*GenTainted=*/false, 7);
+  EXPECT_EQ(R.Class, OracleClass::Agree) << R.Detail;
+  EXPECT_FALSE(R.Verdicts.Injected);
+}
+
+TEST(OracleTest, InjectedRejectionOfSecureProgramIsCompletenessGap) {
+  OracleConfig Config;
+  Config.Inject = OracleFault::RejectAll;
+  DifferentialOracle Oracle(Config);
+  OracleResult R = Oracle.evaluate(SecureProgram, /*GenTainted=*/false, 7);
+  EXPECT_EQ(R.Class, OracleClass::CompletenessGap) << R.Detail;
+  EXPECT_TRUE(R.Verdicts.Injected);
+  EXPECT_FALSE(R.Verdicts.Verified);
+}
+
+TEST(OracleTest, UnparseableSourceIsGeneratorInvalid) {
+  DifferentialOracle Oracle;
+  OracleResult R = Oracle.evaluate("procedure main( {", false, 7);
+  EXPECT_EQ(R.Class, OracleClass::GeneratorInvalid);
+  EXPECT_FALSE(R.Verdicts.ParseOk);
+  EXPECT_NE(R.Detail.find("parse"), std::string::npos) << R.Detail;
+}
+
+TEST(OracleTest, MissingEntryProcIsGeneratorInvalid) {
+  DifferentialOracle Oracle;
+  OracleResult R = Oracle.evaluate(R"(
+    procedure helper() returns (out: int) { out := 0; }
+  )",
+                                   false, 7);
+  EXPECT_EQ(R.Class, OracleClass::GeneratorInvalid);
+  EXPECT_NE(R.Detail.find("main"), std::string::npos) << R.Detail;
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism and generated-program agreement.
+//===----------------------------------------------------------------------===//
+
+TEST(OracleTest, EvaluationIsDeterministic) {
+  DifferentialOracle Oracle;
+  for (uint64_t Seed : {1ull, 42ull, 999ull}) {
+    OracleResult A = Oracle.evaluate(SecureProgram, false, Seed);
+    OracleResult B = Oracle.evaluate(SecureProgram, false, Seed);
+    EXPECT_EQ(A.Class, B.Class);
+    EXPECT_EQ(A.Detail, B.Detail);
+    EXPECT_EQ(A.Verdicts.EmpiricalLeak, B.Verdicts.EmpiricalLeak);
+  }
+}
+
+TEST(OracleTest, GeneratedSeedsAgree) {
+  // A miniature campaign inline: generator taint and verifier verdict must
+  // agree on every seed, leaky and secure alike.
+  DifferentialOracle Oracle;
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    GenConfig GC;
+    GC.Seed = Seed * 7919 + 1;
+    GC.AllowLeakyOutput = true;
+    GeneratedProgram GP = generateProgram(GC);
+    OracleResult R = Oracle.evaluate(GP.Source, GP.OutputTainted, GC.Seed);
+    EXPECT_EQ(R.Class, OracleClass::Agree)
+        << "seed " << GC.Seed << " (" << oracleClassName(R.Class)
+        << "): " << R.Detail << "\n"
+        << GP.Source;
+  }
+}

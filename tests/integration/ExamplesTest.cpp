@@ -23,6 +23,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <set>
 
 using namespace commcsl;
 using namespace commcsl::test;
@@ -141,6 +143,37 @@ INSTANTIATE_TEST_SUITE_P(
       std::replace(Name.begin(), Name.end(), '.', '_');
       return Name;
     });
+
+//===----------------------------------------------------------------------===//
+// Exhaustiveness: the expected-verdict tables above must cover every `.hv`
+// file shipped under examples/programs/ (broken/ included). A program added
+// to the tree without a row here would otherwise silently escape CI.
+//===----------------------------------------------------------------------===//
+
+TEST(CorpusExhaustivenessTest, EveryShippedProgramHasAnExpectedVerdict) {
+  std::set<std::string> Expected;
+  for (const CorpusCase &C : Corpus)
+    Expected.insert(C.File);
+  for (const BrokenCase &C : BrokenCorpus)
+    Expected.insert(C.File);
+
+  std::set<std::string> Shipped;
+  std::filesystem::path Root(COMMCSL_EXAMPLES_DIR);
+  ASSERT_TRUE(std::filesystem::exists(Root)) << Root;
+  for (const auto &DE : std::filesystem::recursive_directory_iterator(Root)) {
+    if (!DE.is_regular_file() || DE.path().extension() != ".hv")
+      continue;
+    Shipped.insert(
+        std::filesystem::relative(DE.path(), Root).generic_string());
+  }
+
+  for (const std::string &File : Shipped)
+    EXPECT_TRUE(Expected.count(File))
+        << File << " is shipped but has no expected-verdict table entry";
+  for (const std::string &File : Expected)
+    EXPECT_TRUE(Shipped.count(File))
+        << File << " has a table entry but no file on disk";
+}
 
 namespace {
 

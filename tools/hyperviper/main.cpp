@@ -18,18 +18,182 @@
 ///   --metrics       print Table-1-style metrics (LOC / Ann. / time)
 ///   --quiet         only print the verdict line
 ///
+/// Fuzzing subcommand: `hyperviper fuzz [options]` runs a differential
+/// soundness-fuzzing campaign (see src/fuzz/): generated programs are
+/// cross-checked between the generator's taint verdict, the verifier, an
+/// empirical NI sweep, and a scheduler differential; disagreements are
+/// minimized by the delta-debugging shrinker. Exits 1 when any
+/// soundness-violation or generator-invalid classification occurs.
+///
+/// fuzz options:
+///   --seeds <N>          campaign size (default 100)
+///   --base-seed <N>      base of the per-seed derived streams (default 1)
+///   --jobs <N>           worker threads across seeds (report is identical
+///                        at every N)
+///   --time-budget <SEC>  wall-clock cap; seeds not started in time are
+///                        skipped (trades determinism for a bound)
+///   --target-statements <N>  generator program size (default 12)
+///   --no-concurrency / --no-collections / --no-unique-par /
+///   --no-value-dependent / --no-loops  generator feature toggles
+///   --secure-only        generate only secure-by-construction programs
+///   --no-shrink          keep findings unminimized
+///   --shrink-budget <N>  oracle evaluations per shrink (default 600)
+///   --corpus-dir <DIR>   write each finding as a replayable corpus file
+///   --report <FILE>      write the JSON report to FILE ('-' = stdout,
+///                        the default)
+///   --inject <FAULT>     none | accept-all | reject-all: synthetic
+///                        verifier fault for exercising the disagreement
+///                        machinery (testing/tooling only)
+///
 //===----------------------------------------------------------------------===//
 
+#include "fuzz/Campaign.h"
+#include "fuzz/Corpus.h"
 #include "hyperviper/Driver.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 using namespace commcsl;
 
+namespace {
+
+int runFuzz(int Argc, char **Argv) {
+  CampaignConfig Config;
+  std::string CorpusDir;
+  std::string ReportPath = "-";
+
+  auto NumArg = [&](int &I, const char *Flag) -> long {
+    if (I + 1 >= Argc) {
+      std::fprintf(stderr, "hyperviper fuzz: error: %s expects a value\n",
+                   Flag);
+      std::exit(2);
+    }
+    return std::strtol(Argv[++I], nullptr, 10);
+  };
+
+  for (int I = 0; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--seeds") {
+      Config.NumSeeds = static_cast<unsigned>(NumArg(I, "--seeds"));
+    } else if (Arg == "--base-seed") {
+      Config.BaseSeed = static_cast<uint64_t>(NumArg(I, "--base-seed"));
+    } else if (Arg == "--jobs") {
+      Config.Jobs = static_cast<unsigned>(NumArg(I, "--jobs"));
+    } else if (Arg == "--time-budget") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr,
+                     "hyperviper fuzz: error: --time-budget expects a "
+                     "value\n");
+        return 2;
+      }
+      Config.TimeBudgetSeconds = std::strtod(Argv[++I], nullptr);
+    } else if (Arg == "--target-statements") {
+      Config.Gen.TargetStatements =
+          static_cast<unsigned>(NumArg(I, "--target-statements"));
+    } else if (Arg == "--no-concurrency") {
+      Config.Gen.EnableConcurrency = false;
+    } else if (Arg == "--no-collections") {
+      Config.Gen.EnableCollections = false;
+    } else if (Arg == "--no-unique-par") {
+      Config.Gen.EnableUniquePar = false;
+    } else if (Arg == "--no-value-dependent") {
+      Config.Gen.EnableValueDependent = false;
+    } else if (Arg == "--no-loops") {
+      Config.Gen.EnableLoops = false;
+    } else if (Arg == "--secure-only") {
+      Config.Gen.AllowLeakyOutput = false;
+    } else if (Arg == "--no-shrink") {
+      Config.ShrinkFindings = false;
+    } else if (Arg == "--shrink-budget") {
+      Config.Shrink.MaxOracleRuns =
+          static_cast<unsigned>(NumArg(I, "--shrink-budget"));
+    } else if (Arg == "--corpus-dir") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "hyperviper fuzz: error: --corpus-dir expects "
+                             "a value\n");
+        return 2;
+      }
+      CorpusDir = Argv[++I];
+    } else if (Arg == "--report") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr,
+                     "hyperviper fuzz: error: --report expects a value\n");
+        return 2;
+      }
+      ReportPath = Argv[++I];
+    } else if (Arg == "--inject") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr,
+                     "hyperviper fuzz: error: --inject expects a value\n");
+        return 2;
+      }
+      std::optional<OracleFault> F = oracleFaultByName(Argv[++I]);
+      if (!F) {
+        std::fprintf(stderr,
+                     "hyperviper fuzz: error: unknown fault '%s' (want "
+                     "none|accept-all|reject-all)\n",
+                     Argv[I]);
+        return 2;
+      }
+      Config.Oracle.Inject = *F;
+    } else if (Arg == "--help" || Arg == "-h") {
+      std::printf(
+          "usage: hyperviper fuzz [--seeds N] [--base-seed N] [--jobs N]\n"
+          "  [--time-budget SEC] [--target-statements N] [--no-concurrency]\n"
+          "  [--no-collections] [--no-unique-par] [--no-value-dependent]\n"
+          "  [--no-loops] [--secure-only] [--no-shrink] [--shrink-budget N]\n"
+          "  [--corpus-dir DIR] [--report FILE|-] "
+          "[--inject none|accept-all|reject-all]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "hyperviper fuzz: error: unknown option '%s'\n",
+                   Arg.c_str());
+      return 2;
+    }
+  }
+
+  CampaignReport Report = runCampaign(Config);
+
+  std::string Json = Report.json();
+  if (ReportPath == "-") {
+    std::fputs(Json.c_str(), stdout);
+  } else {
+    std::ofstream Out(ReportPath);
+    if (!Out) {
+      std::fprintf(stderr, "hyperviper fuzz: error: cannot write %s\n",
+                   ReportPath.c_str());
+      return 2;
+    }
+    Out << Json;
+  }
+
+  if (!CorpusDir.empty()) {
+    std::vector<std::string> Paths = writeCorpusFiles(Report, CorpusDir);
+    std::fprintf(stderr, "hyperviper fuzz: wrote %zu corpus file(s) to %s\n",
+                 Paths.size(), CorpusDir.c_str());
+  }
+
+  std::fprintf(stderr,
+               "hyperviper fuzz: %u seeds run (%u skipped): %u agree, "
+               "%u soundness-violation, %u completeness-gap, %u flake, "
+               "%u generator-invalid\n",
+               Report.SeedsRun, Report.SeedsSkipped, Report.Agree,
+               Report.SoundnessViolations, Report.CompletenessGaps,
+               Report.Flakes, Report.GeneratorInvalids);
+  return Report.clean() ? 0 : 1;
+}
+
+} // namespace
+
 int main(int Argc, char **Argv) {
+  if (Argc > 1 && std::strcmp(Argv[1], "fuzz") == 0)
+    return runFuzz(Argc - 2, Argv + 2);
+
   DriverOptions Options;
   bool PrintMetrics = false;
   bool Quiet = false;
@@ -56,7 +220,8 @@ int main(int Argc, char **Argv) {
       NIProc = Argv[++I];
     } else if (Arg == "--help" || Arg == "-h") {
       std::printf("usage: hyperviper [--no-validity] [--jobs N] [--metrics] "
-                  "[--quiet] [--ni <proc>] file.hv ...\n");
+                  "[--quiet] [--ni <proc>] file.hv ...\n"
+                  "       hyperviper fuzz --help\n");
       return 0;
     } else {
       Files.push_back(Arg);
