@@ -1,0 +1,121 @@
+//===-- bench/bench_analyze.cpp - Static analysis & triage benchmark -------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the static pre-analysis over the shipped example corpus:
+///
+///  * raw analysis throughput (files/second for `analyze`),
+///  * the `--triage` fast path: per-file verdict identity against the full
+///    pipeline, the triage hit rate (relational proofs skipped), and the
+///    wall-clock saved with --triage on vs. off.
+///
+/// Exits nonzero if any triage verdict diverges from the full pipeline —
+/// the benchmark doubles as an acceptance check.
+///
+//===----------------------------------------------------------------------===//
+
+#include "hyperviper/Analyze.h"
+#include "hyperviper/Driver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+using namespace commcsl;
+
+namespace {
+
+double now(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+std::vector<std::string> exampleFiles() {
+  std::vector<std::string> Files;
+  for (const auto &DE : std::filesystem::recursive_directory_iterator(
+           COMMCSL_EXAMPLES_DIR))
+    if (DE.is_regular_file() && DE.path().extension() == ".hv")
+      Files.push_back(DE.path().string());
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Repeat = 5;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--repeat" && I + 1 < Argc)
+      Repeat = static_cast<unsigned>(std::atoi(Argv[++I]));
+  }
+  if (Repeat == 0)
+    Repeat = 1;
+
+  std::vector<std::string> Files = exampleFiles();
+  std::printf("Static pre-analysis benchmark, %zu example programs\n\n",
+              Files.size());
+
+  // Phase 1: analyze throughput.
+  {
+    auto T0 = std::chrono::steady_clock::now();
+    unsigned Low = 0;
+    for (unsigned R = 0; R < Repeat; ++R) {
+      AnalyzeOptions Options;
+      AnalyzeResult AR = runAnalyze({std::string(COMMCSL_EXAMPLES_DIR)},
+                                    Options);
+      Low = 0;
+      for (const AnalyzeFileResult &F : AR.Files)
+        Low += F.Verdict == "provably-low" ? 1 : 0;
+    }
+    double Wall = now(T0);
+    std::printf("analyze: %u x %zu files in %.3fs  (%.0f files/s), "
+                "%u provably-low\n\n",
+                Repeat, Files.size(), Wall,
+                Repeat * Files.size() / (Wall > 0 ? Wall : 1e-9), Low);
+  }
+
+  // Phase 2: triage on vs. off over the full verification pipeline.
+  int Exit = 0;
+  unsigned Procs = 0, Skipped = 0, Diverged = 0;
+  double FullWall = 0, TriageWall = 0;
+  for (const std::string &Path : Files) {
+    Driver Full{DriverOptions{}};
+    auto T0 = std::chrono::steady_clock::now();
+    DriverResult FR = Full.verifyFile(Path);
+    FullWall += now(T0);
+
+    DriverOptions TO;
+    TO.Triage = true;
+    Driver Triaged(TO);
+    auto T1 = std::chrono::steady_clock::now();
+    DriverResult TR = Triaged.verifyFile(Path);
+    TriageWall += now(T1);
+
+    Procs += static_cast<unsigned>(TR.Verification.Procs.size());
+    Skipped += TR.TriageSkipped;
+    if (FR.Verified != TR.Verified) {
+      ++Diverged;
+      Exit = 1;
+      std::printf("DIVERGED: %s (full %s, triage %s)\n", Path.c_str(),
+                  FR.Verified ? "verified" : "rejected",
+                  TR.Verified ? "verified" : "rejected");
+    }
+  }
+
+  std::printf("triage: %u/%u relational proofs skipped (%.1f%% hit rate)\n",
+              Skipped, Procs, Procs ? 100.0 * Skipped / Procs : 0.0);
+  std::printf("wall:   full %.3fs  triage %.3fs  saved %.3fs (%.1f%%)\n",
+              FullWall, TriageWall, FullWall - TriageWall,
+              FullWall > 0 ? 100.0 * (FullWall - TriageWall) / FullWall : 0.0);
+  std::printf("verdict identity: %s\n",
+              Diverged ? "FAILED" : "ok (all files agree)");
+  return Exit;
+}

@@ -1,0 +1,323 @@
+//===-- analysis/CFG.cpp - Control-flow graphs over commands --------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace commcsl;
+
+const char *CFG::HeapVar = "!heap";
+
+const char *commcsl::cfgNodeKindName(CFGNodeKind Kind) {
+  switch (Kind) {
+  case CFGNodeKind::Entry:
+    return "entry";
+  case CFGNodeKind::Exit:
+    return "exit";
+  case CFGNodeKind::Stmt:
+    return "stmt";
+  case CFGNodeKind::Branch:
+    return "branch";
+  case CFGNodeKind::Join:
+    return "join";
+  case CFGNodeKind::LoopHead:
+    return "loophead";
+  case CFGNodeKind::ParFork:
+    return "parfork";
+  case CFGNodeKind::ParJoin:
+    return "parjoin";
+  case CFGNodeKind::AtomicEnter:
+    return "atomicenter";
+  case CFGNodeKind::AtomicExit:
+    return "atomicexit";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Key naming the abstract state of resource handle \p Res in analysis
+/// domains and cross-par write sets.
+std::string resKey(const std::string &Res) { return "!res:" + Res; }
+
+/// Collects the write footprint of \p C as analysis keys: plain variables,
+/// CFG::HeapVar for heap effects, and `!res:<r>` for resource-state effects.
+/// CallProc is conservative — the callee may write the heap and may perform
+/// actions on any resource reachable through its arguments ("!res:*").
+void collectWrites(const Command &C, std::set<std::string> &Out) {
+  switch (C.Kind) {
+  case CmdKind::VarDecl:
+  case CmdKind::Assign:
+    Out.insert(C.Var);
+    break;
+  case CmdKind::HeapRead:
+    Out.insert(C.Var);
+    break;
+  case CmdKind::Alloc:
+    Out.insert(C.Var);
+    Out.insert(CFG::HeapVar);
+    break;
+  case CmdKind::HeapWrite:
+    Out.insert(CFG::HeapVar);
+    break;
+  case CmdKind::CallProc:
+    for (const std::string &R : C.Rets)
+      Out.insert(R);
+    Out.insert(CFG::HeapVar);
+    Out.insert(resKey("*"));
+    break;
+  case CmdKind::Share:
+    Out.insert(resKey(C.Var));
+    break;
+  case CmdKind::Unshare:
+    Out.insert(C.Var);
+    Out.insert(resKey(C.Aux));
+    break;
+  case CmdKind::Perform:
+    if (!C.Var.empty())
+      Out.insert(C.Var);
+    Out.insert(resKey(C.Aux));
+    break;
+  case CmdKind::ResVal:
+    Out.insert(C.Var);
+    break;
+  case CmdKind::Skip:
+  case CmdKind::AssertGhost:
+  case CmdKind::Output:
+    break;
+  case CmdKind::Block:
+  case CmdKind::If:
+  case CmdKind::While:
+  case CmdKind::Par:
+  case CmdKind::Atomic:
+    for (const CommandRef &Child : C.Children)
+      if (Child)
+        collectWrites(*Child, Out);
+    break;
+  }
+}
+
+} // namespace
+
+struct CFG::Builder {
+  CFG &G;
+  std::vector<unsigned> PCStack;
+  std::set<std::string> CrossPar;
+  unsigned ParDepth = 0;
+
+  explicit Builder(CFG &G) : G(G) {}
+
+  unsigned newNode(CFGNodeKind Kind, const Command *Cmd, SourceLoc Loc) {
+    CFGNode N;
+    N.Kind = Kind;
+    N.Cmd = Cmd;
+    N.Loc = Loc;
+    N.PCDeps = PCStack;
+    N.InPar = ParDepth > 0;
+    N.CrossParTop = CrossPar;
+    G.Nodes.push_back(std::move(N));
+    return static_cast<unsigned>(G.Nodes.size() - 1);
+  }
+
+  void connect(unsigned From, unsigned To) {
+    std::vector<unsigned> &S = G.Nodes[From].Succs;
+    if (std::find(S.begin(), S.end(), To) != S.end())
+      return;
+    S.push_back(To);
+    G.Nodes[To].Preds.push_back(From);
+  }
+
+  void connectAll(const std::vector<unsigned> &Frontier, unsigned To) {
+    for (unsigned From : Frontier)
+      connect(From, To);
+  }
+
+  /// Lowers \p C with incoming edges from \p Frontier; returns the new
+  /// frontier (the nodes falling through to whatever follows \p C).
+  std::vector<unsigned> lower(const Command &C,
+                              std::vector<unsigned> Frontier) {
+    switch (C.Kind) {
+    case CmdKind::Block: {
+      // An empty block still gets a node, so every command's lowering
+      // produces at least one — the invariant behind TrueEdge/FalseEdge.
+      if (C.Children.empty()) {
+        unsigned Id = newNode(CFGNodeKind::Stmt, &C, C.Loc);
+        connectAll(Frontier, Id);
+        return {Id};
+      }
+      for (const CommandRef &Child : C.Children)
+        if (Child)
+          Frontier = lower(*Child, std::move(Frontier));
+      return Frontier;
+    }
+
+    case CmdKind::If: {
+      unsigned Br = newNode(CFGNodeKind::Branch, &C, C.Loc);
+      connectAll(Frontier, Br);
+      PCStack.push_back(Br);
+      unsigned ThenFirst = static_cast<unsigned>(G.Nodes.size());
+      std::vector<unsigned> ThenExit = lower(*C.Children[0], {Br});
+      unsigned ElseFirst = static_cast<unsigned>(G.Nodes.size());
+      std::vector<unsigned> ElseExit = lower(*C.Children[1], {Br});
+      PCStack.pop_back();
+      G.Nodes[Br].TrueEdge = ThenFirst;
+      G.Nodes[Br].FalseEdge = ElseFirst;
+      unsigned Jn = newNode(CFGNodeKind::Join, &C, C.Loc);
+      connectAll(ThenExit, Jn);
+      connectAll(ElseExit, Jn);
+      return {Jn};
+    }
+
+    case CmdKind::While: {
+      unsigned Head = newNode(CFGNodeKind::LoopHead, &C, C.Loc);
+      connectAll(Frontier, Head);
+      PCStack.push_back(Head);
+      unsigned BodyFirst = static_cast<unsigned>(G.Nodes.size());
+      std::vector<unsigned> BodyExit = lower(*C.Children[0], {Head});
+      PCStack.pop_back();
+      G.Nodes[Head].TrueEdge = BodyFirst;
+      connectAll(BodyExit, Head); // back edge
+      return {Head};
+    }
+
+    case CmdKind::Par: {
+      unsigned Fork = newNode(CFGNodeKind::ParFork, &C, C.Loc);
+      connectAll(Frontier, Fork);
+
+      // Write footprint of every branch, for sibling schedule-taint.
+      std::vector<std::set<std::string>> Mods(C.Children.size());
+      for (size_t I = 0; I < C.Children.size(); ++I)
+        collectWrites(*C.Children[I], Mods[I]);
+      std::vector<std::vector<std::string>> ModsList;
+      for (const std::set<std::string> &M : Mods)
+        ModsList.emplace_back(M.begin(), M.end());
+      G.BranchModsByFork.emplace(Fork, std::move(ModsList));
+
+      std::vector<std::vector<unsigned>> BranchExits;
+      for (size_t I = 0; I < C.Children.size(); ++I) {
+        std::set<std::string> SavedCross = CrossPar;
+        for (size_t J = 0; J < C.Children.size(); ++J)
+          if (J != I)
+            CrossPar.insert(Mods[J].begin(), Mods[J].end());
+        ++ParDepth;
+        BranchExits.push_back(lower(*C.Children[I], {Fork}));
+        --ParDepth;
+        CrossPar = std::move(SavedCross);
+      }
+
+      // Vars written by two or more branches are schedule-dependent at the
+      // join even though each branch's own view joins cleanly.
+      std::set<std::string> SavedCross = CrossPar;
+      std::map<std::string, unsigned> WriteCount;
+      for (const std::set<std::string> &M : Mods)
+        for (const std::string &V : M)
+          ++WriteCount[V];
+      for (const auto &[V, N] : WriteCount)
+        if (N >= 2)
+          CrossPar.insert(V);
+      unsigned Jn = newNode(CFGNodeKind::ParJoin, &C, C.Loc);
+      CrossPar = std::move(SavedCross);
+
+      for (const std::vector<unsigned> &Exits : BranchExits) {
+        connectAll(Exits, Jn);
+        // Back edge: a branch's effects can precede any other branch's
+        // reads, so the fork re-enters until the branch states stabilise.
+        connectAll(Exits, Fork);
+      }
+      return {Jn};
+    }
+
+    case CmdKind::Atomic: {
+      unsigned Enter = newNode(CFGNodeKind::AtomicEnter, &C, C.Loc);
+      G.Nodes[Enter].Res = C.Aux;
+      G.Nodes[Enter].WhenAction = C.Var;
+      connectAll(Frontier, Enter);
+      // `atomic r when A` is control-dependent on the resource state.
+      bool HasWhen = !C.Var.empty();
+      if (HasWhen)
+        PCStack.push_back(Enter);
+      std::vector<unsigned> BodyExit = lower(*C.Children[0], {Enter});
+      if (HasWhen)
+        PCStack.pop_back();
+      unsigned Exit = newNode(CFGNodeKind::AtomicExit, &C, C.Loc);
+      G.Nodes[Exit].Res = C.Aux;
+      connectAll(BodyExit, Exit);
+      return {Exit};
+    }
+
+    default: {
+      unsigned Id = newNode(CFGNodeKind::Stmt, &C, C.Loc);
+      switch (C.Kind) {
+      case CmdKind::Share:
+        G.Nodes[Id].Res = C.Var;
+        break;
+      case CmdKind::Unshare:
+      case CmdKind::Perform:
+      case CmdKind::ResVal:
+        G.Nodes[Id].Res = C.Aux;
+        break;
+      default:
+        break;
+      }
+      connectAll(Frontier, Id);
+      return {Id};
+    }
+    }
+  }
+};
+
+CFG CFG::build(const ProcDecl &Proc) {
+  CFG G;
+  G.Proc = &Proc;
+  Builder B(G);
+  G.Entry = B.newNode(CFGNodeKind::Entry, nullptr, Proc.Loc);
+  std::vector<unsigned> Frontier = {G.Entry};
+  if (Proc.Body)
+    Frontier = B.lower(*Proc.Body, std::move(Frontier));
+  G.Exit = B.newNode(CFGNodeKind::Exit, nullptr, Proc.Loc);
+  B.connectAll(Frontier, G.Exit);
+  return G;
+}
+
+std::string CFG::str() const {
+  std::ostringstream OS;
+  OS << "cfg " << (Proc ? Proc->Name : "?") << " (" << Nodes.size()
+     << " nodes)\n";
+  for (unsigned I = 0; I < Nodes.size(); ++I) {
+    const CFGNode &N = Nodes[I];
+    OS << "  n" << I << " " << cfgNodeKindName(N.Kind);
+    if (!N.Res.empty())
+      OS << " res=" << N.Res;
+    if (!N.WhenAction.empty())
+      OS << " when=" << N.WhenAction;
+    if (N.Loc.isValid())
+      OS << " @" << N.Loc.str();
+    if (N.InPar)
+      OS << " inpar";
+    if (!N.PCDeps.empty()) {
+      OS << " pc=[";
+      for (size_t J = 0; J < N.PCDeps.size(); ++J)
+        OS << (J ? "," : "") << "n" << N.PCDeps[J];
+      OS << "]";
+    }
+    if (!N.CrossParTop.empty()) {
+      OS << " xpar={";
+      bool First = true;
+      for (const std::string &V : N.CrossParTop) {
+        OS << (First ? "" : ",") << V;
+        First = false;
+      }
+      OS << "}";
+    }
+    OS << " ->";
+    for (unsigned S : N.Succs)
+      OS << " n" << S;
+    OS << "\n";
+  }
+  return OS.str();
+}

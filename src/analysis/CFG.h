@@ -1,0 +1,138 @@
+//===-- analysis/CFG.h - Control-flow graphs over commands ------*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A control-flow graph over `lang::Command` for one procedure body, the
+/// substrate of the static pre-analysis passes (taint, uninitialized-use,
+/// unreachable-code). The graph is structured-program shaped: every `if`
+/// contributes an explicit Branch and Join node, every loop a LoopHead,
+/// every `par` a ParFork/ParJoin pair, and every atomic block an
+/// AtomicEnter/AtomicExit pair, all with source locations preserved from
+/// the underlying AST.
+///
+/// Concurrency is modelled conservatively for monotone analyses: nodes
+/// inside `par` branches carry `InPar` (writes there must be treated as
+/// weak updates), each branch exit has a back edge to the fork (so a
+/// fixpoint covers every interleaving of branch effects), and each node
+/// records `CrossParTop` — the variables written by *sibling* branches,
+/// whose reads are schedule-dependent.
+///
+/// Implicit flows are represented by `PCDeps`: for every node, the ids of
+/// the Branch / LoopHead / AtomicEnter(when) nodes it is control-dependent
+/// on. For a structured language this is exactly the enclosing-condition
+/// chain, so it is computed during construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_ANALYSIS_CFG_H
+#define COMMCSL_ANALYSIS_CFG_H
+
+#include "lang/Program.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace commcsl {
+
+/// Discriminator for CFG nodes.
+enum class CFGNodeKind : uint8_t {
+  Entry,       ///< unique procedure entry
+  Exit,        ///< unique procedure exit
+  Stmt,        ///< any non-control command (assign, share, perform, ...)
+  Branch,      ///< `if` condition; successor 0 = then, 1 = else/join
+  Join,        ///< merge point after an `if`
+  LoopHead,    ///< `while` condition; successor 0 = body, 1 = after
+  ParFork,     ///< start of a `par`; one successor per branch
+  ParJoin,     ///< barrier after a `par`
+  AtomicEnter, ///< entry of an atomic block (records the resource / when)
+  AtomicExit,  ///< exit of an atomic block
+};
+
+/// Returns a short stable mnemonic ("entry", "stmt", "branch", ...).
+const char *cfgNodeKindName(CFGNodeKind Kind);
+
+/// One node of the graph. Nodes are stored by value in the CFG and refer to
+/// each other by index; indices are stable and assigned in a deterministic
+/// (syntactic) order.
+struct CFGNode {
+  CFGNodeKind Kind = CFGNodeKind::Stmt;
+  /// The underlying command: the statement itself for Stmt, the `if` for
+  /// Branch/Join, the `while` for LoopHead, the `par` for ParFork/ParJoin,
+  /// the `atomic` for AtomicEnter/AtomicExit. Null for Entry/Exit.
+  const Command *Cmd = nullptr;
+  SourceLoc Loc;
+
+  std::vector<unsigned> Succs;
+  std::vector<unsigned> Preds;
+
+  /// Ids of the Branch/LoopHead/AtomicEnter(when) nodes whose condition
+  /// governs whether this node executes (innermost last).
+  std::vector<unsigned> PCDeps;
+
+  /// True when the node lies inside at least one `par` branch: analyses
+  /// must apply weak updates here.
+  bool InPar = false;
+
+  /// Variables written by sibling branches of every enclosing `par`: their
+  /// values at this node are schedule-dependent. Includes the pseudo
+  /// variable CFG::HeapVar when a sibling writes the heap.
+  std::set<std::string> CrossParTop;
+
+  /// For AtomicEnter/AtomicExit, Stmt(Perform/ResVal): the resource handle.
+  std::string Res;
+  /// For AtomicEnter: the `when` action gating entry ("" = unconditional).
+  std::string WhenAction;
+
+  /// Branch: first node of the then / else arm. LoopHead: TrueEdge is the
+  /// first body node (the exit edge is every other successor). Lowering
+  /// guarantees each arm produces at least one node, so these are always
+  /// set for Branch/LoopHead; kNoEdge otherwise.
+  static constexpr unsigned kNoEdge = ~0u;
+  unsigned TrueEdge = kNoEdge;
+  unsigned FalseEdge = kNoEdge;
+};
+
+/// The control-flow graph of one procedure body.
+class CFG {
+public:
+  /// Pseudo variable naming the (single abstract cell) heap.
+  static const char *HeapVar;
+
+  /// Builds the graph for \p Proc. Never fails: every well-formed command
+  /// tree (type-checked or not) has a graph.
+  static CFG build(const ProcDecl &Proc);
+
+  const ProcDecl &proc() const { return *Proc; }
+  unsigned entry() const { return Entry; }
+  unsigned exit() const { return Exit; }
+  unsigned size() const { return static_cast<unsigned>(Nodes.size()); }
+  const CFGNode &node(unsigned Id) const { return Nodes[Id]; }
+  const std::vector<CFGNode> &nodes() const { return Nodes; }
+
+  /// Per-`par`-node (ParFork id) sets of variables modified by each branch,
+  /// in branch order. Used by analyses that need write footprints.
+  const std::vector<std::vector<std::string>> &
+  branchMods(unsigned ForkId) const {
+    return BranchModsByFork.at(ForkId);
+  }
+
+  /// Renders the graph as an edge list for tests and debugging.
+  std::string str() const;
+
+private:
+  struct Builder;
+
+  const ProcDecl *Proc = nullptr;
+  unsigned Entry = 0;
+  unsigned Exit = 0;
+  std::vector<CFGNode> Nodes;
+  std::map<unsigned, std::vector<std::vector<std::string>>> BranchModsByFork;
+};
+
+} // namespace commcsl
+
+#endif // COMMCSL_ANALYSIS_CFG_H

@@ -1,0 +1,250 @@
+//===-- analysis/Lint.cpp - CFG-based lint passes -------------------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lint.h"
+
+#include "analysis/Dataflow.h"
+
+#include <algorithm>
+#include <functional>
+
+using namespace commcsl;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Uninitialized-variable use
+//===----------------------------------------------------------------------===//
+
+/// May-uninitialized set: a variable is in the state when some path to the
+/// node declares it without an initialiser and no write reaches it since.
+/// Union join; the par back-edges keep the "sibling has not run yet" path
+/// alive, so a read racing with a sibling's initialising write is caught.
+struct UninitProblem {
+  using State = std::set<std::string>;
+
+  State bottom(const CFG &) const { return {}; }
+  State boundary(const CFG &) const { return {}; }
+
+  bool join(State &Dst, const State &Src) const {
+    bool Changed = false;
+    for (const std::string &V : Src)
+      Changed |= Dst.insert(V).second;
+    return Changed;
+  }
+
+  State transfer(const CFG &G, unsigned Id, const State &In) const {
+    const CFGNode &N = G.node(Id);
+    State Out = In;
+    if (N.Kind != CFGNodeKind::Stmt || !N.Cmd)
+      return Out;
+    const Command &C = *N.Cmd;
+    switch (C.Kind) {
+    case CmdKind::VarDecl:
+      if (C.Exprs.empty())
+        Out.insert(C.Var);
+      else
+        Out.erase(C.Var);
+      break;
+    case CmdKind::Assign:
+    case CmdKind::HeapRead:
+    case CmdKind::Alloc:
+    case CmdKind::Unshare:
+    case CmdKind::ResVal:
+      Out.erase(C.Var);
+      break;
+    case CmdKind::Perform:
+      if (!C.Var.empty())
+        Out.erase(C.Var);
+      break;
+    case CmdKind::CallProc:
+      for (const std::string &R : C.Rets)
+        Out.erase(R);
+      break;
+    default:
+      break;
+    }
+    return Out;
+  }
+};
+
+void collectExprVars(const ExprRef &E, std::set<std::string> &Out) {
+  if (!E)
+    return;
+  std::vector<std::string> Vars;
+  E->freeVars(Vars);
+  Out.insert(Vars.begin(), Vars.end());
+}
+
+void lintUninitialized(const CFG &G, std::vector<Diagnostic> &Out) {
+  UninitProblem P;
+  DataflowResult<UninitProblem> DF = solveDataflow(G, P);
+
+  // One diagnostic per (command, variable), at the reading node.
+  std::set<std::pair<const Command *, std::string>> Seen;
+  for (unsigned Id = 0; Id < G.size(); ++Id) {
+    const CFGNode &N = G.node(Id);
+    if (!N.Cmd)
+      continue;
+    // Ghost contexts (assert, invariants) are skipped: they bind spec
+    // variables the dataflow does not model.
+    if (N.Kind == CFGNodeKind::Stmt && N.Cmd->Kind == CmdKind::AssertGhost)
+      continue;
+    std::set<std::string> Read;
+    switch (N.Kind) {
+    case CFGNodeKind::Stmt:
+      for (const ExprRef &E : N.Cmd->Exprs)
+        collectExprVars(E, Read);
+      break;
+    case CFGNodeKind::Branch:
+    case CFGNodeKind::LoopHead:
+      collectExprVars(N.Cmd->Exprs[0], Read);
+      break;
+    default:
+      continue;
+    }
+    for (const std::string &V : Read)
+      if (DF.In[Id].count(V) && Seen.insert({N.Cmd, V}).second)
+        Out.push_back({DiagKind::Warning, DiagCode::LintUninitialized, N.Loc,
+                       "variable '" + V +
+                           "' may be read before initialization"});
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Unreachable code
+//===----------------------------------------------------------------------===//
+
+bool constBoolCond(const CFGNode &N, bool &Val) {
+  if (!N.Cmd || N.Cmd->Exprs.empty() || !N.Cmd->Exprs[0])
+    return false;
+  const Expr &E = *N.Cmd->Exprs[0];
+  if (E.Kind != ExprKind::BoolLit)
+    return false;
+  Val = E.BoolVal;
+  return true;
+}
+
+void lintUnreachable(const CFG &G, std::vector<Diagnostic> &Out) {
+  // Dead edges from constant conditions.
+  std::set<std::pair<unsigned, unsigned>> Dead;
+  for (unsigned Id = 0; Id < G.size(); ++Id) {
+    const CFGNode &N = G.node(Id);
+    bool Val = false;
+    if (N.Kind == CFGNodeKind::Branch && constBoolCond(N, Val)) {
+      if (N.TrueEdge != N.FalseEdge)
+        Dead.insert({Id, Val ? N.FalseEdge : N.TrueEdge});
+    } else if (N.Kind == CFGNodeKind::LoopHead && constBoolCond(N, Val)) {
+      if (Val) {
+        for (unsigned S : N.Succs)
+          if (S != N.TrueEdge)
+            Dead.insert({Id, S}); // `while (true)`: the exit edge is dead
+      } else {
+        Dead.insert({Id, N.TrueEdge}); // `while (false)`: the body is dead
+      }
+    }
+  }
+
+  std::vector<bool> Reach(G.size(), false);
+  std::vector<unsigned> Stack = {G.entry()};
+  Reach[G.entry()] = true;
+  while (!Stack.empty()) {
+    unsigned Id = Stack.back();
+    Stack.pop_back();
+    for (unsigned S : G.node(Id).Succs)
+      if (!Reach[S] && !Dead.count({Id, S})) {
+        Reach[S] = true;
+        Stack.push_back(S);
+      }
+  }
+
+  // Report only region heads: unreachable nodes every one of whose
+  // predecessors is reachable (the statements that follow are implied).
+  for (unsigned Id = 0; Id < G.size(); ++Id) {
+    const CFGNode &N = G.node(Id);
+    if (Reach[Id] || !N.Cmd)
+      continue;
+    switch (N.Kind) {
+    case CFGNodeKind::Stmt:
+    case CFGNodeKind::Branch:
+    case CFGNodeKind::LoopHead:
+    case CFGNodeKind::ParFork:
+    case CFGNodeKind::AtomicEnter:
+      break;
+    default:
+      continue;
+    }
+    bool RegionHead = N.Preds.empty();
+    for (unsigned Pr : N.Preds)
+      if (Reach[Pr])
+        RegionHead = true;
+    if (RegionHead)
+      Out.push_back({DiagKind::Warning, DiagCode::LintUnreachable, N.Loc,
+                     "unreachable code"});
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Shared-action use outside atomic blocks
+//===----------------------------------------------------------------------===//
+
+void lintOutsideAtomic(const Command &C, bool InAtomic,
+                       std::vector<Diagnostic> &Out) {
+  switch (C.Kind) {
+  case CmdKind::Perform:
+    if (!InAtomic)
+      Out.push_back({DiagKind::Warning, DiagCode::LintOutsideAtomic, C.Loc,
+                     "perform of action '" +
+                         (C.Rets.empty() ? std::string("?") : C.Rets[0]) +
+                         "' outside an atomic block"});
+    break;
+  case CmdKind::ResVal:
+    if (!InAtomic)
+      Out.push_back({DiagKind::Warning, DiagCode::LintOutsideAtomic, C.Loc,
+                     "resval outside an atomic block"});
+    break;
+  case CmdKind::Atomic:
+    for (const CommandRef &Child : C.Children)
+      if (Child)
+        lintOutsideAtomic(*Child, /*InAtomic=*/true, Out);
+    return;
+  default:
+    break;
+  }
+  for (const CommandRef &Child : C.Children)
+    if (Child)
+      lintOutsideAtomic(*Child, InAtomic, Out);
+}
+
+} // namespace
+
+void commcsl::lintProc(const ProcDecl &Proc, DiagnosticEngine &Diags) {
+  std::vector<Diagnostic> Out;
+  CFG G = CFG::build(Proc);
+  lintUninitialized(G, Out);
+  lintUnreachable(G, Out);
+  if (Proc.Body)
+    lintOutsideAtomic(*Proc.Body, /*InAtomic=*/false, Out);
+
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const Diagnostic &A, const Diagnostic &B) {
+                     if (A.Loc.Line != B.Loc.Line)
+                       return A.Loc.Line < B.Loc.Line;
+                     if (A.Loc.Column != B.Loc.Column)
+                       return A.Loc.Column < B.Loc.Column;
+                     if (A.Code != B.Code)
+                       return static_cast<int>(A.Code) <
+                              static_cast<int>(B.Code);
+                     return A.Message < B.Message;
+                   });
+  for (const Diagnostic &D : Out)
+    Diags.report(D.Kind, D.Code, D.Loc, D.Message);
+}
+
+void commcsl::lintProgram(const Program &Prog, DiagnosticEngine &Diags) {
+  for (const ProcDecl &P : Prog.Procs)
+    lintProc(P, Diags);
+}

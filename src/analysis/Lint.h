@@ -1,0 +1,43 @@
+//===-- analysis/Lint.h - CFG-based lint passes -----------------*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lint passes over the analysis CFG, reporting deterministic,
+/// location-ordered warnings:
+///
+///  - `lint-uninitialized`: a variable declared without initialiser may be
+///    read before any assignment reaches it (including reads in a `par`
+///    branch racing ahead of a sibling's initialising write);
+///  - `lint-unreachable`: code that can never execute, derived from
+///    constant branch/loop conditions and graph reachability;
+///  - `lint-outside-atomic`: `perform` / `resval` outside any enclosing
+///    atomic block (an AST-level check that works on programs the type
+///    checker rejects, so `analyze` can report it alongside type errors).
+///
+/// The fourth lint of the suite — high data reaching a low sink — is the
+/// taint analysis itself; `analysis/Analysis.h` merges its findings into
+/// the same diagnostic stream under `lint-high-sink`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_ANALYSIS_LINT_H
+#define COMMCSL_ANALYSIS_LINT_H
+
+#include "analysis/CFG.h"
+#include "support/Diagnostics.h"
+
+namespace commcsl {
+
+/// Runs the CFG lints for \p Proc, appending warnings to \p Diags in
+/// source-location order.
+void lintProc(const ProcDecl &Proc, DiagnosticEngine &Diags);
+
+/// Runs lintProc over every procedure of \p Prog (declaration order).
+void lintProgram(const Program &Prog, DiagnosticEngine &Diags);
+
+} // namespace commcsl
+
+#endif // COMMCSL_ANALYSIS_LINT_H

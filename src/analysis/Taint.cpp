@@ -1,0 +1,612 @@
+//===-- analysis/Taint.cpp - Flow-sensitive security-type analysis --------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Taint.h"
+
+#include "analysis/Dataflow.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+using namespace commcsl;
+
+namespace {
+
+std::string resKey(const std::string &Res) { return "!res:" + Res; }
+
+/// If \p A is a bare `low(x)` atom over a plain variable, returns the
+/// variable name; null otherwise.
+const std::string *bareLowVar(const ContractAtom &A) {
+  if (A.AtomKind != ContractAtom::Kind::Low || A.Cond || !A.E ||
+      A.E->Kind != ExprKind::Var)
+    return nullptr;
+  return &A.E->Name;
+}
+
+using State = std::map<std::string, unsigned>;
+
+unsigned levelOf(const State &S, const std::string &V) {
+  auto It = S.find(V);
+  return It == S.end() ? 0 : It->second;
+}
+
+/// Sets \p V to \p L; a weak update joins with the existing level instead
+/// (required inside `par` branches, where the write races with siblings'
+/// reads of the old value across the fork fixpoint).
+void setLevel(State &S, const std::string &V, unsigned L, bool Weak) {
+  if (Weak)
+    L = std::max(L, levelOf(S, V));
+  if (L == 0)
+    S.erase(V);
+  else
+    S[V] = L;
+}
+
+bool crossTop(const CFGNode &N, const std::string &V) {
+  if (N.CrossParTop.count(V))
+    return true;
+  // A callee in a sibling branch may touch any resource.
+  return V.rfind("!res:", 0) == 0 && N.CrossParTop.count("!res:*");
+}
+
+bool exprHasDivMod(const ExprRef &E) {
+  if (!E)
+    return false;
+  if (E->Kind == ExprKind::Binary &&
+      (E->BOp == BinaryOp::Div || E->BOp == BinaryOp::Mod))
+    return true;
+  for (const ExprRef &A : E->Args)
+    if (exprHasDivMod(A))
+      return true;
+  return false;
+}
+
+/// The dataflow problem: levels for every variable plus the pseudo keys
+/// `!heap` and `!res:<r>`. The per-node pc level lives outside the state
+/// (recomputed by an outer fixpoint), so the transfer reads it from `PC`.
+struct TaintProblem {
+  using State = ::State;
+
+  const Program &Prog;
+  const TaintConfig &Cfg;
+  const TaintLevels &Levels;
+  const std::map<std::string, ProcTaintSummary> *Summaries;
+  const std::map<std::string, std::string> &HandleSpecs;
+  std::vector<unsigned> PC; // per node id
+
+  unsigned top() const { return Cfg.NumLevels - 1; }
+
+  State bottom(const CFG &) const { return {}; }
+
+  State boundary(const CFG &G) const {
+    State S;
+    for (const Param &P : G.proc().Params) {
+      auto It = Levels.ParamLevel.find(P.Name);
+      unsigned L = It == Levels.ParamLevel.end() ? top() : It->second;
+      setLevel(S, P.Name, L, /*Weak=*/false);
+      // A resource handed in carries an unknown accumulated state.
+      if (P.Ty && P.Ty->kind() == TypeKind::Resource)
+        setLevel(S, resKey(P.Name), top(), /*Weak=*/false);
+    }
+    return S;
+  }
+
+  bool join(State &Dst, const State &Src) const {
+    bool Changed = false;
+    for (const auto &[V, L] : Src) {
+      unsigned &Slot = Dst[V];
+      if (L > Slot) {
+        Slot = L;
+        Changed = true;
+      }
+    }
+    return Changed;
+  }
+
+  unsigned exprLevel(const ExprRef &E, const State &S,
+                     const CFGNode &N) const {
+    if (!E)
+      return 0;
+    std::vector<std::string> Vars;
+    E->freeVars(Vars);
+    unsigned L = 0;
+    for (const std::string &V : Vars) {
+      L = std::max(L, levelOf(S, V));
+      if (crossTop(N, V))
+        L = top();
+    }
+    return L;
+  }
+
+  /// Level of the condition governing pc-successors of node \p Id.
+  unsigned condLevel(const CFG &G, unsigned Id, const State &In) const {
+    const CFGNode &N = G.node(Id);
+    switch (N.Kind) {
+    case CFGNodeKind::Branch:
+    case CFGNodeKind::LoopHead:
+      return exprLevel(N.Cmd->Exprs[0], In, N);
+    case CFGNodeKind::AtomicEnter: {
+      // `atomic r when A`: proceeding at all reveals the enabledness of A
+      // on the shared state.
+      std::string Key = resKey(N.Res);
+      unsigned L = levelOf(In, Key);
+      if (crossTop(N, Key))
+        L = top();
+      return L;
+    }
+    default:
+      return 0;
+    }
+  }
+
+  State transfer(const CFG &G, unsigned Id, const State &In) const {
+    const CFGNode &N = G.node(Id);
+    State Out = In;
+    unsigned Pc = PC[Id];
+    bool Weak = N.InPar;
+
+    switch (N.Kind) {
+    case CFGNodeKind::Entry:
+    case CFGNodeKind::Exit:
+    case CFGNodeKind::Branch:
+    case CFGNodeKind::Join:
+    case CFGNodeKind::ParFork:
+    case CFGNodeKind::AtomicEnter:
+    case CFGNodeKind::AtomicExit:
+      return Out;
+
+    case CFGNodeKind::LoopHead:
+      if (Cfg.VerifierApprox && N.Cmd) {
+        // The relational verifier enters the body knowing only the loop
+        // invariant: havoc every modified variable except those pinned by
+        // a bare `low(x)` invariant atom (their preservation is checked
+        // against the fixpoint state at the head).
+        std::vector<std::string> Mods;
+        N.Cmd->Children[0]->modifiedVars(Mods);
+        std::set<std::string> Pinned;
+        for (const Contract &Inv : N.Cmd->Invariants)
+          for (const ContractAtom &A : Inv)
+            if (const std::string *V = bareLowVar(A))
+              Pinned.insert(*V);
+        for (const std::string &V : Mods)
+          if (!Pinned.count(V))
+            setLevel(Out, V, top(), /*Weak=*/false);
+      }
+      return Out;
+
+    case CFGNodeKind::ParJoin:
+      // Values written by two or more branches are schedule-dependent.
+      for (const std::string &V : N.CrossParTop)
+        setLevel(Out, V, top(), /*Weak=*/true);
+      return Out;
+
+    case CFGNodeKind::Stmt:
+      break;
+    }
+
+    const Command &C = *N.Cmd;
+    switch (C.Kind) {
+    case CmdKind::Skip:
+    case CmdKind::AssertGhost:
+    case CmdKind::Output: // sink; checked in the reporting pass
+    case CmdKind::Block:  // empty block placeholder
+      break;
+
+    case CmdKind::VarDecl: {
+      unsigned L = C.Exprs.empty() ? 0 : exprLevel(C.Exprs[0], In, N);
+      setLevel(Out, C.Var, std::max(L, Pc), Weak);
+      break;
+    }
+    case CmdKind::Assign:
+      setLevel(Out, C.Var, std::max(exprLevel(C.Exprs[0], In, N), Pc), Weak);
+      break;
+
+    case CmdKind::HeapRead: {
+      unsigned L = levelOf(In, CFG::HeapVar);
+      if (crossTop(N, CFG::HeapVar))
+        L = top();
+      L = std::max({L, exprLevel(C.Exprs[0], In, N), Pc});
+      setLevel(Out, C.Var, L, Weak);
+      break;
+    }
+    case CmdKind::HeapWrite:
+      setLevel(Out, CFG::HeapVar,
+               std::max({exprLevel(C.Exprs[0], In, N),
+                         exprLevel(C.Exprs[1], In, N), Pc}),
+               /*Weak=*/true);
+      break;
+    case CmdKind::Alloc:
+      // Addresses are allocation-order dependent: the count of prior
+      // allocations is a function of every branch taken so far (and of the
+      // schedule under par), which the pc rule does not capture. Top.
+      setLevel(Out, C.Var, top(), Weak);
+      setLevel(Out, CFG::HeapVar,
+               std::max(exprLevel(C.Exprs[0], In, N), Pc), /*Weak=*/true);
+      break;
+
+    case CmdKind::Share:
+      setLevel(Out, resKey(C.Var), std::max(exprLevel(C.Exprs[0], In, N), Pc),
+               Weak);
+      break;
+    case CmdKind::Perform: {
+      std::string Key = resKey(C.Aux);
+      setLevel(Out, Key, std::max(exprLevel(C.Exprs[0], In, N), Pc),
+               /*Weak=*/true);
+      // Interleaving order of concurrent actions is a channel of its own:
+      // the paper recovers low(alpha(state)) only for *valid* specs, and
+      // the concrete state underneath is schedule-dependent regardless.
+      if (N.InPar)
+        setLevel(Out, Key, top(), /*Weak=*/true);
+      // The action's return value is computed from the hidden pre-state;
+      // only alpha(state) is governed by the contract, so it is top (this
+      // matches the verifier's fresh-high-symbol rule).
+      if (!C.Var.empty())
+        setLevel(Out, C.Var, top(), Weak);
+      break;
+    }
+    case CmdKind::ResVal:
+      setLevel(Out, C.Var, top(), Weak);
+      break;
+    case CmdKind::Unshare: {
+      std::string Key = resKey(C.Aux);
+      unsigned L = levelOf(In, Key);
+      if (crossTop(N, Key))
+        L = top();
+      setLevel(Out, C.Var, std::max(L, Pc), Weak);
+      break;
+    }
+
+    case CmdKind::CallProc: {
+      const ProcDecl *Callee = Prog.findProc(C.Aux);
+      const ProcTaintSummary *S = nullptr;
+      if (Summaries) {
+        auto It = Summaries->find(C.Aux);
+        if (It != Summaries->end())
+          S = &It->second;
+      }
+      bool AssumeOk = S && Callee;
+      if (AssumeOk)
+        for (size_t I = 0; I < Callee->Params.size() && I < C.Exprs.size();
+             ++I)
+          if (S->LowParams.count(Callee->Params[I].Name) &&
+              exprLevel(C.Exprs[I], In, N) > 0) {
+            AssumeOk = false;
+            break;
+          }
+      // Ret target I receives callee return variable I's summarised exit
+      // level (top when the summary's low-param assumptions are not met).
+      for (size_t I = 0; I < C.Rets.size(); ++I) {
+        unsigned L = top();
+        if (AssumeOk && I < Callee->Returns.size()) {
+          auto It = S->ReturnLevels.find(Callee->Returns[I].Name);
+          L = It == S->ReturnLevels.end() ? top() : It->second;
+        }
+        setLevel(Out, C.Rets[I], std::max(L, Pc), Weak);
+      }
+      if (!S || S->WritesHeap)
+        setLevel(Out, CFG::HeapVar, top(), /*Weak=*/true);
+      if (!S || S->TouchesResources)
+        for (const auto &[Handle, Spec] : HandleSpecs) {
+          (void)Spec;
+          setLevel(Out, resKey(Handle), top(), /*Weak=*/true);
+        }
+      break;
+    }
+
+    case CmdKind::If:
+    case CmdKind::While:
+    case CmdKind::Par:
+    case CmdKind::Atomic:
+      break; // represented by dedicated node kinds
+    }
+    return Out;
+  }
+};
+
+/// Maps every resource handle that appears in the procedure to its spec
+/// name: `share` sites bind handle -> spec, resource-typed parameters carry
+/// it in their type.
+std::map<std::string, std::string> handleSpecs(const ProcDecl &Proc) {
+  std::map<std::string, std::string> M;
+  for (const Param &P : Proc.Params)
+    if (P.Ty && P.Ty->kind() == TypeKind::Resource)
+      M[P.Name] = P.Ty->resourceSpec();
+  std::function<void(const Command &)> Walk = [&](const Command &C) {
+    if (C.Kind == CmdKind::Share)
+      M[C.Var] = C.Aux;
+    for (const CommandRef &Child : C.Children)
+      if (Child)
+        Walk(*Child);
+  };
+  if (Proc.Body)
+    Walk(*Proc.Body);
+  return M;
+}
+
+std::string levelStr(unsigned L, unsigned NumLevels) {
+  if (NumLevels == 2)
+    return L == 0 ? "low" : "high";
+  return "level " + std::to_string(L);
+}
+
+} // namespace
+
+TaintLevels commcsl::taintLevelsFromContracts(const ProcDecl &Proc) {
+  TaintLevels L;
+  L.NumLevels = 2;
+  std::set<std::string> LowReq, LowEns;
+  for (const ContractAtom &A : Proc.Requires)
+    if (const std::string *V = bareLowVar(A))
+      LowReq.insert(*V);
+  for (const ContractAtom &A : Proc.Ensures)
+    if (const std::string *V = bareLowVar(A))
+      LowEns.insert(*V);
+  for (const Param &P : Proc.Params)
+    L.ParamLevel[P.Name] = LowReq.count(P.Name) ? 0 : L.top();
+  for (const Param &R : Proc.Returns)
+    if (LowEns.count(R.Name))
+      L.ReturnLevel[R.Name] = 0;
+  return L;
+}
+
+bool commcsl::triageEligible(const ProcDecl &Proc) {
+  for (const ContractAtom &A : Proc.Ensures)
+    if (!bareLowVar(A))
+      return false;
+  std::function<bool(const Command &, bool)> Ok = [&](const Command &C,
+                                                      bool InLoop) -> bool {
+    for (const ExprRef &E : C.Exprs)
+      if (exprHasDivMod(E)) // possible abort: outside the skip fragment
+        return false;
+    switch (C.Kind) {
+    case CmdKind::Skip:
+    case CmdKind::Assign:
+      return true;
+    case CmdKind::VarDecl:
+      return !C.Exprs.empty(); // uninitialised decls are not modelled
+    case CmdKind::Output:
+      return !InLoop; // per-iteration output counts need loop reasoning
+    case CmdKind::Block:
+      for (const CommandRef &Child : C.Children)
+        if (!Child || !Ok(*Child, InLoop))
+          return false;
+      return true;
+    case CmdKind::If:
+      return Ok(*C.Children[0], InLoop) && Ok(*C.Children[1], InLoop);
+    case CmdKind::While:
+      for (const Contract &Inv : C.Invariants)
+        for (const ContractAtom &A : Inv)
+          if (!bareLowVar(A))
+            return false;
+      return Ok(*C.Children[0], /*InLoop=*/true);
+    default:
+      return false;
+    }
+  };
+  return !Proc.Body || Ok(*Proc.Body, /*InLoop=*/false);
+}
+
+ProcTaintResult commcsl::analyzeProcTaint(
+    const Program &Prog, const ProcDecl &Proc, const TaintConfig &Config,
+    const std::map<std::string, ProcTaintSummary> *Summaries,
+    const TaintLevels &Levels) {
+  ProcTaintResult R;
+  R.Proc = Proc.Name;
+  R.Eligible = !Config.VerifierApprox || triageEligible(Proc);
+
+  CFG G = CFG::build(Proc);
+  std::map<std::string, std::string> Handles = handleSpecs(Proc);
+
+  TaintProblem P{Prog,    Config, Levels, Summaries,
+                 Handles, std::vector<unsigned>(G.size(), 0)};
+  const unsigned Top = P.top();
+
+  // Outer pc fixpoint: solve with the current pc assignment, recompute
+  // every node's pc from the governing conditions' levels, repeat until
+  // stable. Levels only grow, so this terminates within
+  // NumLevels * |nodes| rounds.
+  DataflowResult<TaintProblem> DF;
+  for (unsigned Round = 0; Round <= Config.NumLevels * G.size() + 1;
+       ++Round) {
+    DF = solveDataflow(G, P);
+    std::vector<unsigned> Cond(G.size(), 0);
+    for (unsigned I = 0; I < G.size(); ++I)
+      Cond[I] = P.condLevel(G, I, DF.In[I]);
+    bool Changed = false;
+    for (unsigned I = 0; I < G.size(); ++I) {
+      unsigned Pc = 0;
+      for (unsigned D : G.node(I).PCDeps)
+        Pc = std::max(Pc, Cond[D]);
+      if (Pc != P.PC[I]) {
+        P.PC[I] = std::max(P.PC[I], Pc);
+        Changed = true;
+      }
+    }
+    if (!Changed)
+      break;
+  }
+
+  // Reporting pass over the fixpoint states.
+  std::vector<TaintFinding> Findings;
+  auto Report = [&](SourceLoc Loc, std::string Msg) {
+    Findings.push_back({Loc, std::move(Msg)});
+  };
+
+  for (unsigned Id = 0; Id < G.size(); ++Id) {
+    const CFGNode &N = G.node(Id);
+    const State &In = DF.In[Id];
+    unsigned Pc = P.PC[Id];
+
+    if (Config.VerifierApprox && N.Kind == CFGNodeKind::LoopHead) {
+      if (P.condLevel(G, Id, In) > 0)
+        Report(N.Loc, "loop condition is not provably low");
+      std::set<std::string> Pinned;
+      for (const Contract &Inv : N.Cmd->Invariants)
+        for (const ContractAtom &A : Inv)
+          if (const std::string *V = bareLowVar(A))
+            Pinned.insert(*V);
+      for (const std::string &V : Pinned)
+        if (levelOf(In, V) > 0 || crossTop(N, V))
+          Report(N.Loc, "loop invariant low(" + V +
+                            ") does not hold at the loop head");
+    }
+
+    if (N.Kind != CFGNodeKind::Stmt)
+      continue;
+    const Command &C = *N.Cmd;
+
+    switch (C.Kind) {
+    case CmdKind::Output: {
+      unsigned L = P.exprLevel(C.Exprs[0], In, N);
+      if (N.InPar)
+        Report(C.Loc, "output inside par: emission order is "
+                      "schedule-dependent");
+      if (L > 0)
+        Report(C.Loc, "public output depends on " +
+                          levelStr(L, Config.NumLevels) + " data");
+      else if (Pc > 0)
+        Report(C.Loc, "public output under " +
+                          levelStr(Pc, Config.NumLevels) +
+                          " control flow");
+      break;
+    }
+    case CmdKind::Perform: {
+      // Performing an action whose declared relational precondition
+      // demands a low argument is a sink: check against the spec.
+      auto HIt = Handles.find(C.Aux);
+      const ResourceSpecDecl *Spec =
+          HIt == Handles.end() ? nullptr : Prog.findSpec(HIt->second);
+      const ActionDecl *Act =
+          Spec && !C.Rets.empty() ? Spec->findAction(C.Rets[0]) : nullptr;
+      if (Act) {
+        bool NeedsLow = false;
+        for (const ContractAtom &A : Act->Pre)
+          if (A.AtomKind == ContractAtom::Kind::Low && !A.Cond)
+            NeedsLow = true;
+        if (NeedsLow) {
+          unsigned L = std::max(P.exprLevel(C.Exprs[0], In, N), Pc);
+          if (L > 0)
+            Report(C.Loc, "action '" + Act->Name +
+                              "' requires a low argument but receives " +
+                              levelStr(L, Config.NumLevels) + " data");
+        }
+      }
+      break;
+    }
+    case CmdKind::CallProc: {
+      const ProcDecl *Callee = Prog.findProc(C.Aux);
+      const ProcTaintSummary *S = nullptr;
+      if (Summaries) {
+        auto It = Summaries->find(C.Aux);
+        if (It != Summaries->end())
+          S = &It->second;
+      }
+      if (!S || !Callee) {
+        Report(C.Loc, "call to procedure '" + C.Aux +
+                          "' with no prior static summary");
+        break;
+      }
+      if (!S->Secure)
+        Report(C.Loc, "call to procedure '" + C.Aux +
+                          "' that is not statically secure");
+      if (Pc > 0)
+        Report(C.Loc, "procedure call under " +
+                          levelStr(Pc, Config.NumLevels) + " control flow");
+      for (size_t I = 0; I < Callee->Params.size() && I < C.Exprs.size();
+           ++I)
+        if (S->LowParams.count(Callee->Params[I].Name)) {
+          unsigned L = P.exprLevel(C.Exprs[I], In, N);
+          if (L > 0)
+            Report(C.Loc, "argument for low parameter '" +
+                              Callee->Params[I].Name + "' of '" + C.Aux +
+                              "' has " + levelStr(L, Config.NumLevels) +
+                              " data");
+        }
+      break;
+    }
+    default:
+      break;
+    }
+  }
+
+  // Exit obligations: bare-low ensures atoms must hold; anything beyond
+  // the bare fragment is out of static reach.
+  const State &ExitIn = DF.In[G.exit()];
+  for (const Param &Ret : Proc.Returns)
+    R.ReturnLevels[Ret.Name] = levelOf(ExitIn, Ret.Name);
+  for (const auto &[V, Want] : Levels.ReturnLevel)
+    if (Want == 0 && levelOf(ExitIn, V) > 0)
+      Report(Proc.Loc, "return '" + V + "' must be low but has " +
+                           levelStr(levelOf(ExitIn, V), Config.NumLevels) +
+                           " data at exit");
+  for (const ContractAtom &A : Proc.Ensures)
+    if (!bareLowVar(A))
+      Report(A.Loc.isValid() ? A.Loc : Proc.Loc,
+             "ensures atom beyond the static fragment: " + A.str());
+
+  std::stable_sort(Findings.begin(), Findings.end(),
+                   [](const TaintFinding &A, const TaintFinding &B) {
+                     if (A.Loc.Line != B.Loc.Line)
+                       return A.Loc.Line < B.Loc.Line;
+                     if (A.Loc.Column != B.Loc.Column)
+                       return A.Loc.Column < B.Loc.Column;
+                     return A.Message < B.Message;
+                   });
+  Findings.erase(std::unique(Findings.begin(), Findings.end(),
+                             [](const TaintFinding &A,
+                                const TaintFinding &B) {
+                               return A.Loc.Line == B.Loc.Line &&
+                                      A.Loc.Column == B.Loc.Column &&
+                                      A.Message == B.Message;
+                             }),
+                 Findings.end());
+  R.Findings = std::move(Findings);
+  R.ProvablyLow = R.Eligible && R.Findings.empty();
+
+  // Summary for later call sites.
+  for (const auto &[V, L] : Levels.ParamLevel)
+    if (L == 0)
+      R.Summary.LowParams.insert(V);
+  R.Summary.ReturnLevels = R.ReturnLevels;
+  R.Summary.Secure = R.ProvablyLow;
+  for (const CFGNode &N : G.nodes()) {
+    if (N.Kind == CFGNodeKind::Stmt && N.Cmd) {
+      switch (N.Cmd->Kind) {
+      case CmdKind::HeapWrite:
+      case CmdKind::Alloc:
+        R.Summary.WritesHeap = true;
+        break;
+      case CmdKind::CallProc:
+        R.Summary.WritesHeap = true;
+        R.Summary.TouchesResources = true;
+        break;
+      case CmdKind::Share:
+      case CmdKind::Unshare:
+      case CmdKind::Perform:
+      case CmdKind::ResVal:
+        R.Summary.TouchesResources = true;
+        break;
+      default:
+        break;
+      }
+    }
+    if (N.Kind == CFGNodeKind::AtomicEnter)
+      R.Summary.TouchesResources = true;
+  }
+  (void)Top;
+  return R;
+}
+
+ProcTaintResult
+commcsl::analyzeProcTaint(const Program &Prog, const ProcDecl &Proc,
+                          const TaintConfig &Config,
+                          const std::map<std::string, ProcTaintSummary>
+                              *Summaries) {
+  TaintLevels Levels = taintLevelsFromContracts(Proc);
+  Levels.NumLevels = Config.NumLevels;
+  return analyzeProcTaint(Prog, Proc, Config, Summaries, Levels);
+}

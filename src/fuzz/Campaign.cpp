@@ -109,12 +109,17 @@ CampaignReport commcsl::runCampaign(const CampaignConfig &Config) {
       ++Report.TaintedSeeds;
     if (Out.Result.Verdicts.Verified)
       ++Report.VerifiedSeeds;
+    if (Out.Result.Verdicts.StaticSecure)
+      ++Report.StaticSecureSeeds;
     switch (Out.Result.Class) {
     case OracleClass::Agree:
       ++Report.Agree;
       continue;
     case OracleClass::SoundnessViolation:
       ++Report.SoundnessViolations;
+      break;
+    case OracleClass::AnalysisUnsound:
+      ++Report.AnalysisUnsound;
       break;
     case OracleClass::CompletenessGap:
       ++Report.CompletenessGaps;
@@ -192,13 +197,15 @@ std::string CampaignReport::json() const {
   OS << "    \"counts\": {\n";
   OS << "      \"agree\": " << Agree << ",\n";
   OS << "      \"soundness_violation\": " << SoundnessViolations << ",\n";
+  OS << "      \"analysis_unsound\": " << AnalysisUnsound << ",\n";
   OS << "      \"completeness_gap\": " << CompletenessGaps << ",\n";
   OS << "      \"flake\": " << Flakes << ",\n";
   OS << "      \"generator_invalid\": " << GeneratorInvalids << "\n";
   OS << "    },\n";
   OS << "    \"verdicts\": {\n";
   OS << "      \"tainted_seeds\": " << TaintedSeeds << ",\n";
-  OS << "      \"verified_seeds\": " << VerifiedSeeds << "\n";
+  OS << "      \"verified_seeds\": " << VerifiedSeeds << ",\n";
+  OS << "      \"static_secure_seeds\": " << StaticSecureSeeds << "\n";
   OS << "    },\n";
   OS << "    \"findings\": [";
   for (size_t I = 0; I < Findings.size(); ++I) {

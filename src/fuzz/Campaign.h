@@ -79,19 +79,22 @@ struct CampaignReport {
   // Per-class counts over the seeds that ran.
   unsigned Agree = 0;
   unsigned SoundnessViolations = 0;
+  unsigned AnalysisUnsound = 0;
   unsigned CompletenessGaps = 0;
   unsigned Flakes = 0;
   unsigned GeneratorInvalids = 0;
   // Raw-verdict tallies.
   unsigned TaintedSeeds = 0;
   unsigned VerifiedSeeds = 0;
+  unsigned StaticSecureSeeds = 0;
   std::vector<CampaignFinding> Findings; ///< in seed order
 
   /// Deterministic JSON rendering (no timing, stable key order).
   std::string json() const;
 
   bool clean() const {
-    return SoundnessViolations == 0 && GeneratorInvalids == 0;
+    return SoundnessViolations == 0 && AnalysisUnsound == 0 &&
+           GeneratorInvalids == 0;
   }
 };
 

@@ -6,6 +6,7 @@
 
 #include "fuzz/Oracle.h"
 
+#include "analysis/Analysis.h"
 #include "hyperviper/Driver.h"
 #include "sem/Interp.h"
 #include "sem/Scheduler.h"
@@ -21,6 +22,8 @@ const char *commcsl::oracleClassName(OracleClass C) {
     return "agree";
   case OracleClass::SoundnessViolation:
     return "soundness-violation";
+  case OracleClass::AnalysisUnsound:
+    return "analysis-unsound";
   case OracleClass::CompletenessGap:
     return "completeness-gap";
   case OracleClass::Flake:
@@ -34,8 +37,8 @@ const char *commcsl::oracleClassName(OracleClass C) {
 std::optional<OracleClass> commcsl::oracleClassByName(const std::string &Name) {
   for (OracleClass C :
        {OracleClass::Agree, OracleClass::SoundnessViolation,
-        OracleClass::CompletenessGap, OracleClass::Flake,
-        OracleClass::GeneratorInvalid})
+        OracleClass::AnalysisUnsound, OracleClass::CompletenessGap,
+        OracleClass::Flake, OracleClass::GeneratorInvalid})
     if (Name == oracleClassName(C))
       return C;
   return std::nullopt;
@@ -178,6 +181,17 @@ OracleResult DifferentialOracle::evaluate(const std::string &Source,
     break;
   }
 
+  // Verdict 5: the static pre-analysis. Runs on every well-typed program
+  // (accepted or not) so the record is complete; only combines with the
+  // empirical phases below. Deterministic, no seed involved.
+  {
+    ProgramStaticResult A = analyzeProgram(*DR.Prog);
+    V.StaticRan = true;
+    V.StaticSecure = A.ProvablyLow;
+    if (!A.ProvablyLow && !A.Diags.diagnostics().empty())
+      V.StaticDetail = A.Diags.diagnostics().front().Message;
+  }
+
   NonInterferenceHarness Probe(*DR.Prog, Config.ProcName, Config.NI);
   if (!Probe.valid()) {
     Res.Class = OracleClass::GeneratorInvalid;
@@ -232,6 +246,27 @@ OracleResult DifferentialOracle::evaluate(const std::string &Source,
   bool StepLimited = (!V.NISecure && V.NIKind == "step-limit") ||
                      (!V.SchedStable && V.SchedKind == "step-limit");
   V.EmpiricalLeak = NILeak || SchedLeak;
+
+  // Verdict 5 cross-check, ahead of the verifier classes: a concrete
+  // low-output mismatch on a statically provably-low program falsifies the
+  // analysis no matter what the verifier said. Only the mismatch kinds are
+  // flow evidence — aborts, deadlocks, and step-limit exhaustion reveal
+  // nothing about information flow.
+  bool LowMismatch = (!V.NISecure && V.NIKind == "low-output mismatch") ||
+                     (!V.SchedStable && V.SchedKind == "low-output mismatch");
+  if (V.StaticSecure && LowMismatch) {
+    Res.Class = OracleClass::AnalysisUnsound;
+    std::ostringstream OS;
+    OS << "statically provably-low but ";
+    if (!V.NISecure && V.NIKind == "low-output mismatch")
+      OS << "NI sweep found " << V.NIKind << ": " << NI.Violation->Detail;
+    else
+      OS << "scheduler differential found " << V.SchedKind << ": "
+         << SD.Detail;
+    OS << " (the verifier accepted it too)";
+    Res.Detail = OS.str();
+    return Res;
+  }
 
   if (GenTainted) {
     Res.Class = OracleClass::SoundnessViolation;

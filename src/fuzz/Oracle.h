@@ -16,13 +16,18 @@
 ///      many schedulers must agree on low outputs),
 ///   4. a scheduler-differential run (one fixed input vector executed under
 ///      every scheduler family; declared-low returns and the public output
-///      channel must not depend on the schedule).
+///      channel must not depend on the schedule),
+///   5. the static information-flow pre-analysis (analysis/Analysis.h):
+///      its `provably-low` verdict claims every declared-low return and
+///      output is independent of high inputs and the schedule.
 ///
 /// Disagreements are classified (see OracleClass): a verified program that
 /// empirically leaks is a soundness violation — the one class that must
-/// never occur; a secure-by-construction program the verifier rejects is a
-/// completeness gap; nondeterministic infrastructure failures (step-limit
-/// exhaustion on a verified program) are flakes.
+/// never occur; a statically provably-low program for which an empirical
+/// phase observes a concrete low-output mismatch is an analysis-unsound
+/// finding, equally forbidden; a secure-by-construction program the
+/// verifier rejects is a completeness gap; nondeterministic infrastructure
+/// failures (step-limit exhaustion on a verified program) are flakes.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -46,6 +51,15 @@ enum class OracleClass : uint8_t {
   /// that empirically leaks (NI violation or scheduler-differential
   /// mismatch). Falsifies Theorem 4.3; must never happen.
   SoundnessViolation,
+  /// The static pre-analysis classified the program provably-low, yet an
+  /// empirical phase observed a concrete low-output mismatch (across
+  /// low-equivalent inputs or across schedules). Falsifies the analysis's
+  /// soundness claim; must never happen. Aborts, deadlocks, and step-limit
+  /// exhaustion are *not* flow evidence and never trigger this class.
+  /// Checked before SoundnessViolation: when both the verifier and the
+  /// analysis accepted a leaky program, the analysis label wins and the
+  /// detail records the verifier's verdict.
+  AnalysisUnsound,
   /// The verifier rejected a program that is secure by construction.
   CompletenessGap,
   /// Infrastructure noise rather than a verdict: a verified program's
@@ -113,6 +127,9 @@ struct OracleVerdicts {
   bool SchedRan = false;
   bool SchedStable = false; ///< verdict 4
   std::string SchedKind;    ///< mismatch kind when !SchedStable
+  bool StaticRan = false;
+  bool StaticSecure = false;  ///< verdict 5: analysis says provably-low
+  std::string StaticDetail;   ///< first analysis diagnostic when !StaticSecure
   /// A concrete run-time leak was observed (an NI or scheduler-differential
   /// mismatch that is not step-limit noise). The shrinker holds this bit
   /// fixed: a soundness finding with a concrete leak must keep leaking as

@@ -1,0 +1,164 @@
+//===-- hyperviper/Analyze.cpp - `hyperviper analyze` verb ----------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hyperviper/Analyze.h"
+
+#include "analysis/Analysis.h"
+#include "analysis/Lint.h"
+#include "lang/TypeChecker.h"
+#include "parser/Parser.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace commcsl;
+
+namespace {
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+/// Expands one input into (display, path) pairs. Directories recurse,
+/// sorted by relative path so the report order is stable.
+void expandInput(const std::string &Input,
+                 std::vector<std::pair<std::string, std::string>> &Out) {
+  namespace fs = std::filesystem;
+  std::error_code EC;
+  if (fs::is_directory(Input, EC)) {
+    std::vector<std::pair<std::string, std::string>> Found;
+    for (const auto &DE : fs::recursive_directory_iterator(Input, EC)) {
+      if (!DE.is_regular_file() || DE.path().extension() != ".hv")
+        continue;
+      std::string Rel = fs::relative(DE.path(), Input).generic_string();
+      Found.emplace_back(Rel, DE.path().string());
+    }
+    std::sort(Found.begin(), Found.end());
+    Out.insert(Out.end(), Found.begin(), Found.end());
+  } else {
+    Out.emplace_back(Input, Input);
+  }
+}
+
+} // namespace
+
+AnalyzeFileResult commcsl::analyzeSourceBlock(const std::string &Source,
+                                              const std::string &Display) {
+  AnalyzeFileResult R;
+  R.Display = Display;
+
+  DiagnosticEngine Diags;
+  Program Prog = Parser::parse(Source, Diags);
+  if (Diags.hasErrors()) {
+    R.Verdict = "parse-error";
+    R.Block = "verdict: parse-error\n" + Diags.strWithSnippets(Source);
+    return R;
+  }
+
+  TypeChecker Checker(Prog, Diags);
+  Checker.check();
+  if (Diags.hasErrors()) {
+    // Ill-typed programs still get the AST/CFG lints (they need no types);
+    // the taint analysis is skipped — its levels assume resolved names.
+    lintProgram(Prog, Diags);
+    R.Verdict = "type-error";
+    R.Block = "verdict: type-error\n" + Diags.strWithSnippets(Source);
+    return R;
+  }
+
+  ProgramStaticResult A = analyzeProgram(Prog);
+  R.Verdict = A.ProvablyLow ? "provably-low" : "candidate-leak";
+  R.Block =
+      "verdict: " + R.Verdict + "\n" + A.Diags.strWithSnippets(Source);
+  return R;
+}
+
+std::string AnalyzeResult::str() const {
+  std::ostringstream OS;
+  for (const AnalyzeFileResult &F : Files) {
+    OS << F.Display << ": " << F.Verdict
+       << (F.SidecarOk ? "" : "  [SIDECAR MISMATCH]") << "\n";
+    // Indent the diagnostics under the file header; the block's first line
+    // repeats the verdict, skip it.
+    std::istringstream In(F.Block);
+    std::string Line;
+    bool First = true;
+    while (std::getline(In, Line)) {
+      if (First) {
+        First = false;
+        continue;
+      }
+      OS << "  " << Line << "\n";
+    }
+  }
+  return OS.str();
+}
+
+AnalyzeResult commcsl::runAnalyze(const std::vector<std::string> &Inputs,
+                                  const AnalyzeOptions &Options) {
+  std::vector<std::pair<std::string, std::string>> Paths;
+  for (const std::string &Input : Inputs)
+    expandInput(Input, Paths);
+
+  AnalyzeResult R;
+  R.Files.resize(Paths.size());
+  unsigned Jobs = ThreadPool::effectiveJobs(Options.Jobs);
+  ThreadPool::shared().parallelForChunks(
+      Paths.size(), Jobs, [&](uint64_t Begin, uint64_t End, unsigned) {
+        for (uint64_t I = Begin; I < End; ++I) {
+          std::string Source;
+          if (!readFile(Paths[I].second, Source)) {
+            AnalyzeFileResult F;
+            F.Display = Paths[I].first;
+            F.Path = Paths[I].second;
+            F.Verdict = "read-error";
+            F.Block = "verdict: read-error\n";
+            R.Files[I] = std::move(F);
+            continue;
+          }
+          AnalyzeFileResult F = analyzeSourceBlock(Source, Paths[I].first);
+          F.Path = Paths[I].second;
+          R.Files[I] = std::move(F);
+        }
+      });
+
+  if (Options.Write) {
+    for (const AnalyzeFileResult &F : R.Files) {
+      std::string Sidecar = F.Path + ".analysis";
+      if (F.Verdict == "provably-low" &&
+          F.Block == "verdict: provably-low\n") {
+        std::error_code EC;
+        std::filesystem::remove(Sidecar, EC);
+        continue;
+      }
+      std::ofstream Out(Sidecar);
+      Out << F.Block;
+    }
+  }
+  if (Options.Check) {
+    for (AnalyzeFileResult &F : R.Files) {
+      std::string Expected;
+      if (readFile(F.Path + ".analysis", Expected)) {
+        F.SidecarOk = F.Block == Expected;
+      } else {
+        // No sidecar: the file must be clean.
+        F.SidecarOk = F.Verdict == "provably-low" &&
+                      F.Block == "verdict: provably-low\n";
+      }
+      R.Ok &= F.SidecarOk;
+    }
+  }
+  return R;
+}

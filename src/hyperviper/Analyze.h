@@ -1,0 +1,76 @@
+//===-- hyperviper/Analyze.h - `hyperviper analyze` verb --------*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of the `hyperviper analyze` CLI verb: run the static
+/// information-flow pre-analysis (analysis/Analysis.h) over files and
+/// directories of `.hv` programs, without any verification or validity
+/// checking. Directories expand recursively in sorted order; files are
+/// processed in parallel under `--jobs` with an input-order merge, so the
+/// report is byte-identical at every job count.
+///
+/// Every file produces a *report block*:
+///
+///   verdict: provably-low | candidate-leak | parse-error | type-error
+///   <location-ordered diagnostics, caret snippets under each>
+///
+/// `--check` compares each block against a committed sidecar
+/// `<file>.analysis`; a missing sidecar asserts the file is provably-low
+/// with no diagnostics. This is the CI contract: any unexpected diagnostic
+/// (or an expected one that disappears) fails the run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_HYPERVIPER_ANALYZE_H
+#define COMMCSL_HYPERVIPER_ANALYZE_H
+
+#include <string>
+#include <vector>
+
+namespace commcsl {
+
+struct AnalyzeOptions {
+  /// Worker threads over input files; 0 = hardware concurrency. Output is
+  /// identical at every setting.
+  unsigned Jobs = 0;
+  /// Compare each block against its `<file>.analysis` sidecar.
+  bool Check = false;
+  /// Regenerate sidecars: write `<file>.analysis` for every file whose
+  /// block is not the bare `verdict: provably-low` line, and remove stale
+  /// sidecars of files that became clean. Mutually exclusive with Check.
+  bool Write = false;
+};
+
+/// Per-file outcome.
+struct AnalyzeFileResult {
+  std::string Display; ///< path as shown in the report
+  std::string Path;    ///< path on disk
+  std::string Verdict; ///< "provably-low", "candidate-leak", ...
+  std::string Block;   ///< the report block (verdict line + diagnostics)
+  bool SidecarOk = true; ///< Check mode: block matches the sidecar
+};
+
+struct AnalyzeResult {
+  std::vector<AnalyzeFileResult> Files;
+  bool Ok = true; ///< Check mode: every sidecar matched
+
+  /// Deterministic human-readable report (one block per file, prefixed
+  /// with its display path).
+  std::string str() const;
+};
+
+/// Expands \p Inputs (files or directories) and analyzes every `.hv` file.
+AnalyzeResult runAnalyze(const std::vector<std::string> &Inputs,
+                         const AnalyzeOptions &Options = AnalyzeOptions());
+
+/// Analyzes one source buffer into a report block (the `--check` unit).
+/// Exposed for tests.
+AnalyzeFileResult analyzeSourceBlock(const std::string &Source,
+                                     const std::string &Display);
+
+} // namespace commcsl
+
+#endif // COMMCSL_HYPERVIPER_ANALYZE_H

@@ -54,6 +54,14 @@ const char *commcsl::diagCodeName(DiagCode Code) {
     return "verify-heap";
   case DiagCode::RuntimeAbort:
     return "runtime-abort";
+  case DiagCode::LintUninitialized:
+    return "lint-uninitialized";
+  case DiagCode::LintUnreachable:
+    return "lint-unreachable";
+  case DiagCode::LintOutsideAtomic:
+    return "lint-outside-atomic";
+  case DiagCode::LintHighSink:
+    return "lint-high-sink";
   }
   return "unknown";
 }
@@ -91,6 +99,42 @@ std::string DiagnosticEngine::str(const std::string &FileName) const {
     if (!FileName.empty())
       OS << FileName << ":";
     OS << D.str() << "\n";
+  }
+  return OS.str();
+}
+
+std::string
+DiagnosticEngine::strWithSnippets(const std::string &Source,
+                                  const std::string &FileName) const {
+  // Split once; locations are 1-based.
+  std::vector<std::string> Lines;
+  {
+    std::string Cur;
+    for (char Ch : Source) {
+      if (Ch == '\n') {
+        Lines.push_back(std::move(Cur));
+        Cur.clear();
+      } else {
+        Cur.push_back(Ch);
+      }
+    }
+    Lines.push_back(std::move(Cur));
+  }
+
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags) {
+    if (!FileName.empty())
+      OS << FileName << ":";
+    OS << D.str() << "\n";
+    if (!D.Loc.isValid() || D.Loc.Line > Lines.size())
+      continue;
+    const std::string &Line = Lines[D.Loc.Line - 1];
+    OS << "  " << Line << "\n  ";
+    // Keep tabs aligned in the caret line; everything else becomes a space.
+    unsigned Col = D.Loc.Column > 0 ? D.Loc.Column : 1;
+    for (unsigned I = 0; I + 1 < Col && I < Line.size(); ++I)
+      OS << (Line[I] == '\t' ? '\t' : ' ');
+    OS << "^\n";
   }
   return OS.str();
 }

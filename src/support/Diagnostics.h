@@ -59,6 +59,11 @@ enum class DiagCode {
   VerifyHeap,             ///< heap access without permission.
   // Runtime (interpreter).
   RuntimeAbort,
+  // Static pre-analysis lints (analysis/Lint, analysis/Taint).
+  LintUninitialized, ///< variable may be read before initialization.
+  LintUnreachable,   ///< statement can never execute.
+  LintOutsideAtomic, ///< perform/resval outside an atomic block.
+  LintHighSink,      ///< high data or pc reaches a low-contracted sink.
 };
 
 /// Returns a short stable mnemonic for \p Code (e.g. "spec-commutes").
@@ -112,6 +117,15 @@ public:
 
   /// Renders all diagnostics, one per line, prefixed with \p FileName.
   std::string str(const std::string &FileName = "") const;
+
+  /// Like str(), but follows each located diagnostic with the offending
+  /// source line from \p Source and a caret marking the column:
+  ///
+  ///   file.hv:3:9: warning [lint-high-sink]: public output depends on ...
+  ///     output h;
+  ///           ^
+  std::string strWithSnippets(const std::string &Source,
+                              const std::string &FileName = "") const;
 
   void clear() {
     Diags.clear();

@@ -57,6 +57,9 @@ struct ProcVerdict {
   std::string Proc;
   bool Ok = false;
   unsigned NumObligations = 0; ///< discharged proof obligations
+  /// True when the driver's `--triage` fast path proved the procedure
+  /// statically (no relational proof was run).
+  bool SkippedByTriage = false;
 };
 
 /// Whole-program verification result.

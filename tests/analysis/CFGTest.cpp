@@ -1,0 +1,205 @@
+//===-- tests/analysis/CFGTest.cpp - CFG builder tests ---------------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural tests for the control-flow graph builder: node kinds, edge
+/// shape for each structured construct (if / while / par / atomic), pc
+/// dependencies, and the cross-par sound-approximation metadata.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+
+#include "tests/common/TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace commcsl;
+using namespace commcsl::test;
+
+namespace {
+
+/// Builds a CFG over \p Prog (kept alive by the caller: CFG holds
+/// pointers into the program's AST).
+CFG buildCFG(Program &Prog, const std::string &Source,
+             const std::string &ProcName = "main") {
+  Prog = parseChecked(Source);
+  const ProcDecl *Proc = Prog.findProc(ProcName);
+  EXPECT_NE(Proc, nullptr);
+  return CFG::build(*Proc);
+}
+
+unsigned countKind(const CFG &G, CFGNodeKind K) {
+  unsigned N = 0;
+  for (const CFGNode &Node : G.nodes())
+    N += Node.Kind == K ? 1 : 0;
+  return N;
+}
+
+const CFGNode *firstOfKind(const CFG &G, CFGNodeKind K) {
+  for (const CFGNode &Node : G.nodes())
+    if (Node.Kind == K)
+      return &Node;
+  return nullptr;
+}
+
+} // namespace
+
+TEST(CFGTest, StraightLineShape) {
+  Program Prog;
+  CFG G = buildCFG(Prog, "procedure main() returns (out: int)\n"
+                   "  ensures low(out)\n"
+                   "{\n"
+                   "  var x: int := 1;\n"
+                   "  out := x + 1;\n"
+                   "}\n");
+  EXPECT_EQ(countKind(G, CFGNodeKind::Entry), 1u);
+  EXPECT_EQ(countKind(G, CFGNodeKind::Exit), 1u);
+  EXPECT_EQ(countKind(G, CFGNodeKind::Branch), 0u);
+  // Entry has no predecessors, Exit no successors.
+  EXPECT_TRUE(G.node(G.entry()).Preds.empty());
+  EXPECT_TRUE(G.node(G.exit()).Succs.empty());
+  // Every non-entry node is reachable through predecessor links.
+  for (unsigned I = 0; I < G.size(); ++I) {
+    if (I != G.entry()) {
+      EXPECT_FALSE(G.node(I).Preds.empty()) << "node " << I;
+    }
+  }
+}
+
+TEST(CFGTest, IfProducesBranchAndJoin) {
+  Program Prog;
+  CFG G = buildCFG(Prog, "procedure main(l: int) returns (out: int)\n"
+                   "  requires low(l)\n"
+                   "  ensures low(out)\n"
+                   "{\n"
+                   "  if (l > 0) { out := 1; } else { out := 2; }\n"
+                   "}\n");
+  const CFGNode *Br = firstOfKind(G, CFGNodeKind::Branch);
+  ASSERT_NE(Br, nullptr);
+  EXPECT_EQ(countKind(G, CFGNodeKind::Join), 1u);
+  // Both arm entries are recorded and distinct.
+  ASSERT_NE(Br->TrueEdge, CFGNode::kNoEdge);
+  ASSERT_NE(Br->FalseEdge, CFGNode::kNoEdge);
+  EXPECT_NE(Br->TrueEdge, Br->FalseEdge);
+  // Arms carry the branch condition as a pc dependency.
+  EXPECT_FALSE(G.node(Br->TrueEdge).PCDeps.empty());
+  EXPECT_FALSE(G.node(Br->FalseEdge).PCDeps.empty());
+  // The branch's source location survives lowering.
+  EXPECT_TRUE(Br->Loc.isValid());
+}
+
+TEST(CFGTest, WhileProducesLoopHeadWithBackEdge) {
+  Program Prog;
+  CFG G = buildCFG(Prog, "procedure main() returns (out: int)\n"
+                   "  ensures low(out)\n"
+                   "{\n"
+                   "  var i: int := 0;\n"
+                   "  while (i < 3) invariant low(i) { i := i + 1; }\n"
+                   "  out := i;\n"
+                   "}\n");
+  const CFGNode *Head = firstOfKind(G, CFGNodeKind::LoopHead);
+  ASSERT_NE(Head, nullptr);
+  ASSERT_NE(Head->TrueEdge, CFGNode::kNoEdge);
+  // The loop head must be its own transitive successor (back edge).
+  unsigned HeadId = static_cast<unsigned>(Head - &G.node(0));
+  bool HasBackEdge = false;
+  for (const CFGNode &N : G.nodes())
+    HasBackEdge |= std::find(N.Succs.begin(), N.Succs.end(), HeadId) !=
+                       N.Succs.end() &&
+                   &N != &G.node(G.entry()) && N.Kind != CFGNodeKind::Entry &&
+                   !N.PCDeps.empty();
+  EXPECT_TRUE(HasBackEdge);
+  // Body nodes are pc-dependent on the loop condition.
+  EXPECT_FALSE(G.node(Head->TrueEdge).PCDeps.empty());
+}
+
+TEST(CFGTest, ParForkJoinAndCrossParMetadata) {
+  Program Prog;
+  CFG G = buildCFG(Prog, "procedure main(l: int) returns (out: int)\n"
+                   "  requires low(l)\n"
+                   "  ensures low(out)\n"
+                   "{\n"
+                   "  var a: int := 0;\n"
+                   "  var b: int := 0;\n"
+                   "  par { a := l; } and { b := l + 1; }\n"
+                   "  out := a + b;\n"
+                   "}\n");
+  const CFGNode *Fork = firstOfKind(G, CFGNodeKind::ParFork);
+  const CFGNode *Join = firstOfKind(G, CFGNodeKind::ParJoin);
+  ASSERT_NE(Fork, nullptr);
+  ASSERT_NE(Join, nullptr);
+  // Branch bodies are flagged InPar and see the sibling's writes as
+  // schedule-dependent (CrossParTop).
+  bool SawA = false, SawB = false;
+  for (const CFGNode &N : G.nodes()) {
+    if (!N.InPar)
+      continue;
+    SawA |= N.CrossParTop.count("b") > 0; // left branch sees right's writes
+    SawB |= N.CrossParTop.count("a") > 0;
+  }
+  EXPECT_TRUE(SawA);
+  EXPECT_TRUE(SawB);
+  // Single-writer variables are not invalidated at the join.
+  EXPECT_EQ(Join->CrossParTop.count("a"), 0u);
+  EXPECT_EQ(Join->CrossParTop.count("b"), 0u);
+}
+
+TEST(CFGTest, ParJoinInvalidatesMultiWriterVars) {
+  Program Prog;
+  CFG G = buildCFG(Prog, "procedure main(l: int) returns (out: int)\n"
+                   "  requires low(l)\n"
+                   "  ensures low(out)\n"
+                   "{\n"
+                   "  var a: int := 0;\n"
+                   "  par { a := l; } and { a := l + 1; }\n"
+                   "  out := 0;\n"
+                   "}\n");
+  const CFGNode *Join = firstOfKind(G, CFGNodeKind::ParJoin);
+  ASSERT_NE(Join, nullptr);
+  // `a` is written by both branches: its post-par value is a race outcome.
+  EXPECT_EQ(Join->CrossParTop.count("a"), 1u);
+}
+
+TEST(CFGTest, AtomicProducesEnterExitWithResource) {
+  Program Prog;
+  CFG G = buildCFG(
+      Prog, "resource Counter {\n"
+      "  state: int;\n"
+      "  alpha(v) = v;\n"
+      "  shared action Add(a: int) { apply(v, a) = v + a; requires low(a); }\n"
+      "}\n"
+      "procedure main(l: int) returns (out: int)\n"
+      "  requires low(l)\n"
+      "  ensures low(out)\n"
+      "{\n"
+      "  share c: Counter := 0;\n"
+      "  atomic c { perform c.Add(l); }\n"
+      "  var fin: int := 0;\n"
+      "  fin := unshare c;\n"
+      "  out := fin;\n"
+      "}\n");
+  const CFGNode *Enter = firstOfKind(G, CFGNodeKind::AtomicEnter);
+  ASSERT_NE(Enter, nullptr);
+  EXPECT_EQ(countKind(G, CFGNodeKind::AtomicExit), 1u);
+  EXPECT_EQ(Enter->Res, "c");
+}
+
+TEST(CFGTest, StrIsDeterministic) {
+  const char *Src = "procedure main(l: int) returns (out: int)\n"
+                    "  requires low(l)\n"
+                    "  ensures low(out)\n"
+                    "{\n"
+                    "  if (l > 0) { out := 1; } else { out := 2; }\n"
+                    "}\n";
+  Program PA, PB;
+  CFG A = buildCFG(PA, Src);
+  CFG B = buildCFG(PB, Src);
+  EXPECT_EQ(A.str(), B.str());
+  EXPECT_FALSE(A.str().empty());
+}

@@ -1,0 +1,71 @@
+//===-- tests/analysis/LintGoldenTest.cpp - Golden lint diagnostics --------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Golden-file tests for the lint suite: every `.hv` under
+/// tests/analysis/golden/ is analyzed and its report block compared
+/// byte-for-byte against the committed `<file>.analysis` sidecar (a missing
+/// sidecar asserts a clean provably-low block — same contract as
+/// `hyperviper analyze --check`). The goldens cover one file per lint rule,
+/// so a rule regressing to silence — or growing a spurious diagnostic —
+/// shows up as a diff, caret snippets included.
+///
+//===----------------------------------------------------------------------===//
+
+#include "hyperviper/Analyze.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace commcsl;
+
+namespace {
+
+std::string goldenDir() {
+  return std::filesystem::path(COMMCSL_ANALYSIS_GOLDEN_DIR).string();
+}
+
+} // namespace
+
+TEST(LintGoldenTest, EveryGoldenBlockMatchesItsSidecar) {
+  AnalyzeOptions Options;
+  Options.Check = true;
+  Options.Jobs = 1;
+  AnalyzeResult R = runAnalyze({goldenDir()}, Options);
+  ASSERT_FALSE(R.Files.empty()) << "golden directory is empty or missing";
+  for (const AnalyzeFileResult &F : R.Files)
+    EXPECT_TRUE(F.SidecarOk) << F.Display << " block drifted:\n" << F.Block;
+  EXPECT_TRUE(R.Ok);
+}
+
+TEST(LintGoldenTest, EveryLintRuleIsCovered) {
+  // The golden corpus must keep one witness per rule: if a golden file is
+  // deleted or a rule stops firing, this test names the missing mnemonic.
+  AnalyzeOptions Options;
+  Options.Jobs = 1;
+  AnalyzeResult R = runAnalyze({goldenDir()}, Options);
+  std::string All;
+  for (const AnalyzeFileResult &F : R.Files)
+    All += F.Block;
+  for (const char *Rule :
+       {"lint-uninitialized", "lint-unreachable", "lint-outside-atomic",
+        "lint-high-sink"})
+    EXPECT_NE(All.find(Rule), std::string::npos) << "no golden covers " << Rule;
+}
+
+TEST(LintGoldenTest, CleanGoldenStaysClean) {
+  std::string Path = goldenDir() + "/clean.hv";
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good()) << Path;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  AnalyzeFileResult F = analyzeSourceBlock(SS.str(), "clean.hv");
+  EXPECT_EQ(F.Verdict, "provably-low");
+  EXPECT_EQ(F.Block, "verdict: provably-low\n");
+}

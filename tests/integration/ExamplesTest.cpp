@@ -60,6 +60,7 @@ const CorpusCase Corpus[] = {
     {"output_stream.hv", true},
     {"value_dependent.hv", true},
     {"bounded_buffer.hv", true},
+    {"public_stats.hv", true},
 };
 
 std::string pathOf(const char *File) {

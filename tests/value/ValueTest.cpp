@@ -40,8 +40,9 @@ TEST(ValueTest, KindOrderingIsTotal) {
       int C1 = Value::compare(Vals[I], Vals[J]);
       int C2 = Value::compare(Vals[J], Vals[I]);
       EXPECT_EQ(C1, -C2) << I << " vs " << J;
-      if (I == J)
+      if (I == J) {
         EXPECT_EQ(C1, 0);
+      }
     }
   }
 }

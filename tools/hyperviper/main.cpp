@@ -15,8 +15,24 @@
 ///                   identical at every N.
 ///   --ni <proc>     additionally run the empirical non-interference
 ///                   harness on the named procedure
+///   --triage        static fast path: skip the relational proof for
+///                   procedures the taint analysis proves low in
+///                   verifier-approximation mode (skips reported by
+///                   --metrics)
 ///   --metrics       print Table-1-style metrics (LOC / Ann. / time)
 ///   --quiet         only print the verdict line
+///
+/// Analysis subcommand: `hyperviper analyze [options] file-or-dir ...`
+/// runs the static information-flow pre-analysis (CFG + taint + lints,
+/// src/analysis/) without verification. Directories expand recursively in
+/// sorted order. Output is byte-identical at any --jobs.
+///
+/// analyze options:
+///   --jobs <N>   worker threads over input files
+///   --check      compare each file's report block against its committed
+///                `<file>.analysis` sidecar (missing sidecar = the file
+///                must be provably-low with no diagnostics); exit 1 on any
+///                mismatch
 ///
 /// Fuzzing subcommand: `hyperviper fuzz [options]` runs a differential
 /// soundness-fuzzing campaign (see src/fuzz/): generated programs are
@@ -49,6 +65,7 @@
 
 #include "fuzz/Campaign.h"
 #include "fuzz/Corpus.h"
+#include "hyperviper/Analyze.h"
 #include "hyperviper/Driver.h"
 
 #include <cstdio>
@@ -180,12 +197,59 @@ int runFuzz(int Argc, char **Argv) {
 
   std::fprintf(stderr,
                "hyperviper fuzz: %u seeds run (%u skipped): %u agree, "
-               "%u soundness-violation, %u completeness-gap, %u flake, "
-               "%u generator-invalid\n",
+               "%u soundness-violation, %u analysis-unsound, "
+               "%u completeness-gap, %u flake, %u generator-invalid; "
+               "%u statically secure\n",
                Report.SeedsRun, Report.SeedsSkipped, Report.Agree,
-               Report.SoundnessViolations, Report.CompletenessGaps,
-               Report.Flakes, Report.GeneratorInvalids);
+               Report.SoundnessViolations, Report.AnalysisUnsound,
+               Report.CompletenessGaps, Report.Flakes,
+               Report.GeneratorInvalids, Report.StaticSecureSeeds);
   return Report.clean() ? 0 : 1;
+}
+
+int runAnalyzeCmd(int Argc, char **Argv) {
+  AnalyzeOptions Options;
+  std::vector<std::string> Inputs;
+  for (int I = 0; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--jobs" && I + 1 < Argc) {
+      long N = std::strtol(Argv[++I], nullptr, 10);
+      if (N < 1) {
+        std::fprintf(stderr, "hyperviper analyze: error: --jobs expects a "
+                             "positive integer\n");
+        return 2;
+      }
+      Options.Jobs = static_cast<unsigned>(N);
+    } else if (Arg == "--check") {
+      Options.Check = true;
+    } else if (Arg == "--write") {
+      Options.Write = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      std::printf("usage: hyperviper analyze [--jobs N] [--check|--write] "
+                  "file-or-dir ...\n");
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr,
+                   "hyperviper analyze: error: unknown option '%s'\n",
+                   Arg.c_str());
+      return 2;
+    } else {
+      Inputs.push_back(Arg);
+    }
+  }
+  if (Inputs.empty()) {
+    std::fprintf(stderr, "hyperviper analyze: error: no inputs\n");
+    return 2;
+  }
+  AnalyzeResult R = runAnalyze(Inputs, Options);
+  std::fputs(R.str().c_str(), stdout);
+  if (Options.Check && !R.Ok) {
+    std::fprintf(stderr,
+                 "hyperviper analyze: error: report does not match the "
+                 "committed .analysis sidecars\n");
+    return 1;
+  }
+  return 0;
 }
 
 } // namespace
@@ -193,6 +257,8 @@ int runFuzz(int Argc, char **Argv) {
 int main(int Argc, char **Argv) {
   if (Argc > 1 && std::strcmp(Argv[1], "fuzz") == 0)
     return runFuzz(Argc - 2, Argv + 2);
+  if (Argc > 1 && std::strcmp(Argv[1], "analyze") == 0)
+    return runAnalyzeCmd(Argc - 2, Argv + 2);
 
   DriverOptions Options;
   bool PrintMetrics = false;
@@ -212,6 +278,8 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       Options.Jobs = static_cast<unsigned>(N);
+    } else if (Arg == "--triage") {
+      Options.Triage = true;
     } else if (Arg == "--metrics") {
       PrintMetrics = true;
     } else if (Arg == "--quiet") {
@@ -219,8 +287,9 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--ni" && I + 1 < Argc) {
       NIProc = Argv[++I];
     } else if (Arg == "--help" || Arg == "-h") {
-      std::printf("usage: hyperviper [--no-validity] [--jobs N] [--metrics] "
-                  "[--quiet] [--ni <proc>] file.hv ...\n"
+      std::printf("usage: hyperviper [--no-validity] [--jobs N] [--triage] "
+                  "[--metrics] [--quiet] [--ni <proc>] file.hv ...\n"
+                  "       hyperviper analyze --help\n"
                   "       hyperviper fuzz --help\n");
       return 0;
     } else {
@@ -250,6 +319,11 @@ int main(int Argc, char **Argv) {
                   R.Metrics.LinesOfCode, R.Metrics.AnnotationLines,
                   R.ParseSeconds, R.ValiditySeconds, R.VerifySeconds,
                   R.totalSeconds());
+      if (Options.Triage)
+        std::printf("  triage: skipped %u/%zu relational proof(s)  "
+                    "analysis %.3fs\n",
+                    R.TriageSkipped, R.Verification.Procs.size(),
+                    R.AnalysisSeconds);
       const CacheStats &C = R.Verification.SpecCache;
       std::printf("  spec memo: %llu hits  %llu misses  %llu entries  "
                   "%llu evictions\n",
