@@ -6,47 +6,17 @@
 
 #include "fuzz/Campaign.h"
 
+#include "support/StringUtils.h"
 #include "support/ThreadPool.h"
+#include "support/trace/Metrics.h"
+#include "support/trace/Stopwatch.h"
+#include "support/trace/Trace.h"
 
-#include <chrono>
 #include <sstream>
 
 using namespace commcsl;
 
 namespace {
-
-/// Minimal JSON string escaping (quotes, backslashes, control characters).
-std::string jsonEscape(const std::string &S) {
-  std::ostringstream OS;
-  for (char C : S) {
-    switch (C) {
-    case '"':
-      OS << "\\\"";
-      break;
-    case '\\':
-      OS << "\\\\";
-      break;
-    case '\n':
-      OS << "\\n";
-      break;
-    case '\t':
-      OS << "\\t";
-      break;
-    case '\r':
-      OS << "\\r";
-      break;
-    default:
-      if (static_cast<unsigned char>(C) < 0x20) {
-        char Buf[8];
-        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
-        OS << Buf;
-      } else {
-        OS << C;
-      }
-    }
-  }
-  return OS.str();
-}
 
 /// Per-seed outcome kept until the deterministic merge.
 struct SeedOutcome {
@@ -64,13 +34,14 @@ CampaignReport commcsl::runCampaign(const CampaignConfig &Config) {
   CampaignReport Report;
   Report.Config = Config;
 
-  auto T0 = std::chrono::steady_clock::now();
+  TraceSpan CampaignSpan("fuzz", [&] {
+    return "campaign (" + std::to_string(Config.NumSeeds) + " seeds)";
+  });
+  Stopwatch T0;
   auto OverBudget = [&]() {
     if (Config.TimeBudgetSeconds <= 0)
       return false;
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         T0)
-               .count() > Config.TimeBudgetSeconds;
+    return T0.seconds() > Config.TimeBudgetSeconds;
   };
 
   DifferentialOracle Oracle(Config.Oracle);
@@ -84,6 +55,8 @@ CampaignReport commcsl::runCampaign(const CampaignConfig &Config) {
         for (uint64_t I = Begin; I < End; ++I) {
           if (OverBudget())
             continue;
+          TraceSpan SeedSpan("fuzz",
+                             [&] { return "seed " + std::to_string(I); });
           SeedOutcome &Out = Outcomes[I];
           GenConfig GC = Config.Gen;
           GC.Seed = deriveSeed(Config.BaseSeed, I);
@@ -155,6 +128,9 @@ CampaignReport commcsl::runCampaign(const CampaignConfig &Config) {
             CampaignFinding &F = Report.Findings[I];
             if (F.Class == OracleClass::GeneratorInvalid || OverBudget())
               continue;
+            TraceSpan ShrinkSpan("fuzz", [&] {
+              return "shrink seed " + std::to_string(F.SeedIndex);
+            });
             ShrinkResult SR =
                 shrinkProgram(F.Source, F.GenTainted, F.Class, F.Seed, SC);
             if (SR.Class != F.Class)
@@ -166,6 +142,22 @@ CampaignReport commcsl::runCampaign(const CampaignConfig &Config) {
           }
         });
   }
+
+  // Per-class tallies are deterministic at any job count (absent a time
+  // budget); see the determinism contract in Campaign.h.
+  MetricsRegistry &M = MetricsRegistry::global();
+  M.counter("fuzz.seeds_run").add(Report.SeedsRun);
+  M.counter("fuzz.seeds_skipped").add(Report.SeedsSkipped);
+  M.counter("fuzz.class.agree").add(Report.Agree);
+  M.counter("fuzz.class.soundness_violation").add(Report.SoundnessViolations);
+  M.counter("fuzz.class.analysis_unsound").add(Report.AnalysisUnsound);
+  M.counter("fuzz.class.completeness_gap").add(Report.CompletenessGaps);
+  M.counter("fuzz.class.flake").add(Report.Flakes);
+  M.counter("fuzz.class.generator_invalid").add(Report.GeneratorInvalids);
+  M.counter("fuzz.tainted_seeds").add(Report.TaintedSeeds);
+  M.counter("fuzz.verified_seeds").add(Report.VerifiedSeeds);
+  M.counter("fuzz.static_secure_seeds").add(Report.StaticSecureSeeds);
+  M.gauge("fuzz.campaign_seconds").add(T0.seconds());
 
   return Report;
 }

@@ -6,8 +6,11 @@
 
 #include "fuzz/Corpus.h"
 
+#include "support/Numeric.h"
+
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 using namespace commcsl;
@@ -70,9 +73,17 @@ std::optional<CorpusEntry> commcsl::parseCorpusEntry(
       Entry.Class = *C;
       HaveClass = true;
     } else if (Key == "seed") {
-      Entry.Seed = std::stoull(Value);
+      // Corpus files are hand-editable; a malformed number is a parse
+      // failure, never an exception.
+      std::optional<uint64_t> Seed = parseUnsigned64(Value);
+      if (!Seed)
+        return std::nullopt;
+      Entry.Seed = *Seed;
     } else if (Key == "seed-index") {
-      Entry.SeedIndex = static_cast<unsigned>(std::stoul(Value));
+      std::optional<uint64_t> Index = parseUnsigned64(Value);
+      if (!Index || *Index > std::numeric_limits<unsigned>::max())
+        return std::nullopt;
+      Entry.SeedIndex = static_cast<unsigned>(*Index);
     } else if (Key == "gen-tainted") {
       Entry.GenTainted = Value == "1" || Value == "true";
     } else if (Key == "inject") {

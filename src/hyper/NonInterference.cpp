@@ -8,10 +8,12 @@
 
 #include "sem/Scheduler.h"
 #include "support/ThreadPool.h"
+#include "support/trace/Metrics.h"
+#include "support/trace/Stopwatch.h"
+#include "support/trace/Trace.h"
 
 #include <atomic>
 #include <cassert>
-#include <chrono>
 #include <climits>
 #include <numeric>
 #include <sstream>
@@ -66,7 +68,8 @@ NIReport NonInterferenceHarness::run() {
     Report.Violation = std::move(V);
     return Report;
   }
-  auto T0 = std::chrono::steady_clock::now();
+  TraceSpan SweepSpan("ni", [&] { return "sweep " + Proc->Name; });
+  Stopwatch T0;
   SpecCaches = Config.MemoizeSpecEval
                    ? std::make_shared<SpecCacheRegistry>(Config.MemoMaxEntries)
                    : nullptr;
@@ -100,7 +103,7 @@ NIReport NonInterferenceHarness::run() {
 
   ThreadPool::shared().parallelForChunks(
       Config.Trials, Jobs, [&](uint64_t Begin, uint64_t End, unsigned Chunk) {
-        auto C0 = std::chrono::steady_clock::now();
+        Stopwatch C0;
         for (uint64_t Trial = Begin; Trial < End; ++Trial) {
           // A trial after an already-known violating one contributes
           // nothing to the merged report; skip it.
@@ -125,7 +128,11 @@ NIReport NonInterferenceHarness::run() {
             }
           }
           NIReport Local;
-          runTrial(Assignments, Rng, Local);
+          {
+            TraceSpan TrialSpan(
+                "ni", [&] { return "trial " + std::to_string(Trial); });
+            runTrial(Assignments, Rng, Local);
+          }
           TrialOutcome &Out = Trials[Trial];
           Out.Runs = Local.Runs;
           Out.Pairs = Local.PairsCompared;
@@ -138,14 +145,10 @@ NIReport NonInterferenceHarness::run() {
             }
           }
         }
-        ChunkSeconds[Chunk] = std::chrono::duration<double>(
-                                  std::chrono::steady_clock::now() - C0)
-                                  .count();
+        ChunkSeconds[Chunk] = C0.seconds();
       });
 
-  Report.WallSeconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
-          .count();
+  Report.WallSeconds = T0.seconds();
   Report.CpuSeconds =
       std::accumulate(ChunkSeconds.begin(), ChunkSeconds.end(), 0.0);
   // Deterministic merge in trial order.
@@ -159,6 +162,19 @@ NIReport NonInterferenceHarness::run() {
   }
   if (SpecCaches)
     Report.Cache = SpecCaches->totals();
+
+  // Runs/pairs (and whether a violation was found) replicate the
+  // sequential sweep at any job count; wall/CPU time and the memo split do
+  // not.
+  MetricsRegistry &M = MetricsRegistry::global();
+  M.counter("ni.runs").add(Report.Runs);
+  M.counter("ni.pairs_compared").add(Report.PairsCompared);
+  M.counter("ni.violations").add(Report.Violation ? 1 : 0);
+  M.gauge("ni.wall_seconds").add(Report.WallSeconds);
+  M.gauge("ni.cpu_seconds").add(Report.CpuSeconds);
+  M.counter("cache.ni.hits", Stability::Varies).add(Report.Cache.hits());
+  M.counter("cache.ni.misses", Stability::Varies)
+      .add(Report.Cache.misses());
   return Report;
 }
 
@@ -184,7 +200,11 @@ bool NonInterferenceHarness::runTrial(
     Scheds.push_back(std::make_unique<BurstScheduler>(Rng(), Config.BurstLen));
 
     for (auto &Sched : Scheds) {
-      RunResult R = Interp.run(Proc->Name, Inputs, *Sched);
+      RunResult R;
+      {
+        TraceSpan RunSpan("ni", [&] { return "run " + Sched->name(); });
+        R = Interp.run(Proc->Name, Inputs, *Sched);
+      }
       ++Report.Runs;
       if (R.St != RunResult::Status::Ok) {
         NIViolation V;

@@ -11,6 +11,9 @@
 #include "lang/TypeChecker.h"
 #include "parser/Parser.h"
 #include "support/ThreadPool.h"
+#include "support/trace/Metrics.h"
+#include "support/trace/Stopwatch.h"
+#include "support/trace/Trace.h"
 
 #include <algorithm>
 #include <filesystem>
@@ -53,6 +56,14 @@ void expandInput(const std::string &Input,
 }
 
 } // namespace
+
+std::vector<std::pair<std::string, std::string>>
+commcsl::expandHvInputs(const std::vector<std::string> &Inputs) {
+  std::vector<std::pair<std::string, std::string>> Paths;
+  for (const std::string &Input : Inputs)
+    expandInput(Input, Paths);
+  return Paths;
+}
 
 AnalyzeFileResult commcsl::analyzeSourceBlock(const std::string &Source,
                                               const std::string &Display) {
@@ -108,31 +119,55 @@ std::string AnalyzeResult::str() const {
 
 AnalyzeResult commcsl::runAnalyze(const std::vector<std::string> &Inputs,
                                   const AnalyzeOptions &Options) {
-  std::vector<std::pair<std::string, std::string>> Paths;
-  for (const std::string &Input : Inputs)
-    expandInput(Input, Paths);
+  std::vector<std::pair<std::string, std::string>> Paths =
+      expandHvInputs(Inputs);
 
   AnalyzeResult R;
   R.Files.resize(Paths.size());
   unsigned Jobs = ThreadPool::effectiveJobs(Options.Jobs);
-  ThreadPool::shared().parallelForChunks(
-      Paths.size(), Jobs, [&](uint64_t Begin, uint64_t End, unsigned) {
-        for (uint64_t I = Begin; I < End; ++I) {
-          std::string Source;
-          if (!readFile(Paths[I].second, Source)) {
-            AnalyzeFileResult F;
-            F.Display = Paths[I].first;
+  Stopwatch T0;
+  {
+    TraceSpan Phase("analyze", [&] {
+      return "analyze (" + std::to_string(Paths.size()) + " files)";
+    });
+    ThreadPool::shared().parallelForChunks(
+        Paths.size(), Jobs, [&](uint64_t Begin, uint64_t End, unsigned) {
+          for (uint64_t I = Begin; I < End; ++I) {
+            TraceSpan Span("analyze",
+                           [&] { return "file " + Paths[I].first; });
+            std::string Source;
+            if (!readFile(Paths[I].second, Source)) {
+              AnalyzeFileResult F;
+              F.Display = Paths[I].first;
+              F.Path = Paths[I].second;
+              F.Verdict = "read-error";
+              F.Block = "verdict: read-error\n";
+              R.Files[I] = std::move(F);
+              continue;
+            }
+            AnalyzeFileResult F = analyzeSourceBlock(Source, Paths[I].first);
             F.Path = Paths[I].second;
-            F.Verdict = "read-error";
-            F.Block = "verdict: read-error\n";
             R.Files[I] = std::move(F);
-            continue;
           }
-          AnalyzeFileResult F = analyzeSourceBlock(Source, Paths[I].first);
-          F.Path = Paths[I].second;
-          R.Files[I] = std::move(F);
-        }
-      });
+        });
+  }
+
+  // Verdict tallies are deterministic: the file list is sorted and each
+  // block is a pure function of its source.
+  MetricsRegistry &M = MetricsRegistry::global();
+  M.counter("analyze.files").add(R.Files.size());
+  auto CountVerdict = [&](const char *Name, const char *Verdict) {
+    uint64_t N = 0;
+    for (const AnalyzeFileResult &F : R.Files)
+      N += F.Verdict == Verdict ? 1 : 0;
+    M.counter(std::string("analyze.") + Name).add(N);
+  };
+  CountVerdict("provably_low", "provably-low");
+  CountVerdict("candidate_leak", "candidate-leak");
+  CountVerdict("parse_error", "parse-error");
+  CountVerdict("type_error", "type-error");
+  CountVerdict("read_error", "read-error");
+  M.gauge("analyze.wall_seconds").add(T0.seconds());
 
   if (Options.Write) {
     for (const AnalyzeFileResult &F : R.Files) {

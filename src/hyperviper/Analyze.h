@@ -28,9 +28,17 @@
 #define COMMCSL_HYPERVIPER_ANALYZE_H
 
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace commcsl {
+
+/// Expands files-or-directories into (display, on-disk path) pairs of
+/// `.hv` files: directories recurse in sorted relative-path order, plain
+/// files pass through. Shared by the `analyze` and verification verbs so
+/// both accept the same input shapes.
+std::vector<std::pair<std::string, std::string>>
+expandHvInputs(const std::vector<std::string> &Inputs);
 
 struct AnalyzeOptions {
   /// Worker threads over input files; 0 = hardware concurrency. Output is

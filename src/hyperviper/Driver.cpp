@@ -11,8 +11,10 @@
 #include "parser/Parser.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
+#include "support/trace/Metrics.h"
+#include "support/trace/Stopwatch.h"
+#include "support/trace/Trace.h"
 
-#include <chrono>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -20,11 +22,36 @@
 using namespace commcsl;
 
 namespace {
-double secondsSince(std::chrono::steady_clock::time_point Start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       Start)
-      .count();
+
+/// Flushes one verification's outcome into the process-wide metrics
+/// registry. Verdict/size tallies are deterministic; phase wall times and
+/// cache splits land under `"timings"`.
+void flushDriverMetrics(const DriverResult &R) {
+  MetricsRegistry &M = MetricsRegistry::global();
+  M.counter("driver.files").add(1);
+  M.counter("driver.files_verified").add(R.Verified ? 1 : 0);
+  M.counter("driver.files_rejected").add(R.Verified ? 0 : 1);
+  M.counter("driver.parse_errors").add(R.ParseOk ? 0 : 1);
+  M.counter("driver.lines_of_code").add(R.Metrics.LinesOfCode);
+  M.counter("driver.annotation_lines").add(R.Metrics.AnnotationLines);
+  M.counter("driver.specs_checked").add(R.Verification.NumSpecsChecked);
+  M.counter("driver.procs_verified").add(R.Verification.Procs.size());
+  M.counter("driver.triage_skipped").add(R.TriageSkipped);
+  M.gauge("driver.parse_seconds").add(R.ParseSeconds);
+  M.gauge("driver.validity_seconds").add(R.ValiditySeconds);
+  M.gauge("driver.verify_seconds").add(R.VerifySeconds);
+  M.gauge("driver.analysis_seconds").add(R.AnalysisSeconds);
+  M.gauge("driver.validity_cpu_seconds").add(R.ValidityCpuSeconds);
+  M.gauge("driver.verify_cpu_seconds").add(R.VerifyCpuSeconds);
+  // Hit/miss splits vary with worker interleaving (two workers may race
+  // to compute the same key), so the cache counters are Varies too.
+  const CacheStats &C = R.Verification.SpecCache;
+  M.counter("cache.spec.hits", Stability::Varies).add(C.hits());
+  M.counter("cache.spec.misses", Stability::Varies).add(C.misses());
+  M.counter("cache.spec.evictions", Stability::Varies).add(C.Evictions);
+  M.gauge("cache.spec.entries").max(static_cast<double>(C.Entries));
 }
+
 } // namespace
 
 SourceMetrics commcsl::measureSource(const std::string &Source) {
@@ -89,16 +116,23 @@ DriverResult Driver::verifySource(const std::string &Source,
   R.Name = Name;
   R.Metrics = measureSource(Source);
 
-  auto T0 = std::chrono::steady_clock::now();
-  R.Prog = std::make_shared<Program>(Parser::parse(Source, R.Diags));
-  if (!R.Diags.hasErrors()) {
-    TypeChecker Checker(*R.Prog, R.Diags);
-    Checker.check();
+  TraceSpan FileSpan("driver", [&] { return "verify " + Name; });
+
+  Stopwatch T0;
+  {
+    TraceSpan Span("driver", "parse");
+    R.Prog = std::make_shared<Program>(Parser::parse(Source, R.Diags));
+    if (!R.Diags.hasErrors()) {
+      TypeChecker Checker(*R.Prog, R.Diags);
+      Checker.check();
+    }
   }
-  R.ParseSeconds = secondsSince(T0);
+  R.ParseSeconds = T0.seconds();
   R.ParseOk = !R.Diags.hasErrors();
-  if (!R.ParseOk)
+  if (!R.ParseOk) {
+    flushDriverMetrics(R);
     return R;
+  }
 
   VerifierConfig VC = Options.Verifier;
   if (VC.Validity.Jobs == 0)
@@ -109,9 +143,10 @@ DriverResult Driver::verifySource(const std::string &Source,
   // other, so they are checked concurrently; each task collects its
   // diagnostics privately and they are merged back in declaration order, so
   // output is identical at any job count.
-  auto T1 = std::chrono::steady_clock::now();
+  Stopwatch T1;
   bool SpecsOk = true;
   if (!VC.SkipValidityCheck && !R.Prog->Specs.empty()) {
+    TraceSpan Phase("driver", "validity");
     struct SpecOutcome {
       bool Ok = true;
       DiagnosticEngine Diags;
@@ -123,10 +158,13 @@ DriverResult Driver::verifySource(const std::string &Source,
         R.Prog->Specs.size(), Jobs,
         [&](uint64_t Begin, uint64_t End, unsigned) {
           for (uint64_t I = Begin; I < End; ++I) {
-            auto S0 = std::chrono::steady_clock::now();
+            TraceSpan Span("validity", [&] {
+              return "spec " + R.Prog->Specs[I].Name;
+            });
+            Stopwatch S0;
             Verifier SpecV(*R.Prog, Outcomes[I].Diags, VC);
             Outcomes[I].Ok = SpecV.verifySpec(R.Prog->Specs[I]);
-            Outcomes[I].Seconds = secondsSince(S0);
+            Outcomes[I].Seconds = S0.seconds();
             Outcomes[I].Cache = SpecV.specCacheStats();
           }
         });
@@ -138,13 +176,14 @@ DriverResult Driver::verifySource(const std::string &Source,
       R.Verification.SpecCache += Out.Cache;
     }
   }
-  R.ValiditySeconds = secondsSince(T1);
+  R.ValiditySeconds = T1.seconds();
 
   // Phase: procedure verification, likewise one independent task per
   // procedure with ordered diagnostic merge.
-  auto T2 = std::chrono::steady_clock::now();
+  Stopwatch T2;
   bool ProcsOk = true;
   if (!R.Prog->Procs.empty()) {
+    TraceSpan Phase("driver", "verify");
     struct ProcOutcome {
       ProcVerdict Verdict;
       DiagnosticEngine Diags;
@@ -158,26 +197,30 @@ DriverResult Driver::verifySource(const std::string &Source,
         [&](uint64_t Begin, uint64_t End, unsigned) {
           for (uint64_t I = Begin; I < End; ++I) {
             const ProcDecl &Proc = R.Prog->Procs[I];
+            TraceSpan Span("verify",
+                           [&] { return "proc " + Proc.Name; });
             if (Triage) {
               // Fast path: a strict (verifier-approximating) taint proof
               // subsumes the relational proof on the triage fragment.
-              auto A0 = std::chrono::steady_clock::now();
+              TraceSpan TriageSpan("verify", "triage");
+              Stopwatch A0;
               TaintConfig TC;
               TC.VerifierApprox = true;
               ProcTaintResult T =
                   analyzeProcTaint(*R.Prog, Proc, TC, nullptr);
-              Outcomes[I].AnalysisSeconds = secondsSince(A0);
+              Outcomes[I].AnalysisSeconds = A0.seconds();
               if (T.Eligible && T.ProvablyLow) {
                 Outcomes[I].Verdict.Proc = Proc.Name;
                 Outcomes[I].Verdict.Ok = true;
                 Outcomes[I].Verdict.SkippedByTriage = true;
+                traceInstant("verify", "triage-skip", Proc.Name);
                 continue;
               }
             }
-            auto P0 = std::chrono::steady_clock::now();
+            Stopwatch P0;
             Verifier ProcV(*R.Prog, Outcomes[I].Diags, VC);
             Outcomes[I].Verdict = ProcV.verifyProc(Proc);
-            Outcomes[I].Seconds = secondsSince(P0);
+            Outcomes[I].Seconds = P0.seconds();
           }
         });
     for (ProcOutcome &Out : Outcomes) {
@@ -189,10 +232,11 @@ DriverResult Driver::verifySource(const std::string &Source,
       R.Verification.Procs.push_back(std::move(Out.Verdict));
     }
   }
-  R.VerifySeconds = secondsSince(T2);
+  R.VerifySeconds = T2.seconds();
 
   R.Verification.Ok = SpecsOk && ProcsOk;
   R.Verified = R.Verification.Ok;
+  flushDriverMetrics(R);
   return R;
 }
 

@@ -10,6 +10,29 @@
 
 using namespace commcsl;
 
+namespace {
+
+/// Evicts every other entry in bucket-iteration order, so a full shard
+/// sheds half its load instead of dropping everything at once (a clear()
+/// forces every cached key to recompute simultaneously — a thundering
+/// herd right when the cache is hottest). Returns the number evicted.
+template <typename MapT> uint64_t evictHalf(MapT &Map) {
+  uint64_t Evicted = 0;
+  bool Drop = true;
+  for (auto It = Map.begin(); It != Map.end();) {
+    if (Drop) {
+      It = Map.erase(It);
+      ++Evicted;
+    } else {
+      ++It;
+    }
+    Drop = !Drop;
+  }
+  return Evicted;
+}
+
+} // namespace
+
 SpecEvalCache::SpecEvalCache(size_t MaxEntries)
     : ShardCap(std::max<size_t>(64, MaxEntries / (2 * NumShards))) {}
 // MaxEntries is split between the alpha and action tables (hence /2), then
@@ -31,10 +54,8 @@ void SpecEvalCache::insertAlpha(const ValueRef &State,
                                 const ValueRef &Result) {
   AlphaShard &S = AlphaShards[State->hash() % NumShards];
   std::lock_guard<std::mutex> Lock(S.Mu);
-  if (S.Map.size() >= ShardCap) {
-    S.Evictions += S.Map.size();
-    S.Map.clear();
-  }
+  if (S.Map.size() >= ShardCap)
+    S.Evictions += evictHalf(S.Map);
   S.Map.emplace(State, Result); // a racing insert of the same key is a no-op
 }
 
@@ -59,10 +80,8 @@ void SpecEvalCache::insertAction(const ActionDecl &Action,
   ActionKey K{&Action, State, Arg};
   ActionShard &S = ActionShards[ActionKeyHash()(K) % NumShards];
   std::lock_guard<std::mutex> Lock(S.Mu);
-  if (S.Map.size() >= ShardCap) {
-    S.Evictions += S.Map.size();
-    S.Map.clear();
-  }
+  if (S.Map.size() >= ShardCap)
+    S.Evictions += evictHalf(S.Map);
   S.Map.emplace(std::move(K), Result);
 }
 

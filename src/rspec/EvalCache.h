@@ -17,9 +17,10 @@
 /// are diagnostic and may vary with thread interleaving when two workers
 /// race to compute the same key).
 ///
-/// Each shard is capacity-bounded: on overflow the shard is flushed whole
-/// (epoch eviction), so long-running processes cannot grow the cache
-/// without bound.
+/// Each shard is capacity-bounded: on overflow half of the shard's entries
+/// are evicted (an every-other sweep in bucket order), so long-running
+/// processes cannot grow the cache without bound yet a full shard keeps
+/// half its working set instead of recomputing everything at once.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -111,6 +112,11 @@ public:
 
   CacheStats stats() const;
 
+  /// Per-shard entry bound (exposed so tests can assert the capacity
+  /// invariant: `stats().Entries <= 2 * numShards() * shardCap()`).
+  size_t shardCap() const { return ShardCap; }
+  static constexpr size_t numShards() { return NumShards; }
+
 private:
   static constexpr unsigned NumShards = 16;
 
@@ -159,7 +165,7 @@ private:
   void insertAction(const ActionDecl &Action, const ValueRef &State,
                     const ValueRef &Arg, const ValueRef &Result);
 
-  size_t ShardCap; ///< per-shard entry bound; flush-whole on overflow
+  size_t ShardCap; ///< per-shard entry bound; evict half on overflow
   std::array<AlphaShard, NumShards> AlphaShards;
   std::array<ActionShard, NumShards> ActionShards;
 };

@@ -7,11 +7,13 @@
 #include "rspec/Validity.h"
 
 #include "support/ThreadPool.h"
+#include "support/trace/Metrics.h"
+#include "support/trace/Stopwatch.h"
+#include "support/trace/Trace.h"
 #include "value/ValueOps.h"
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <mutex>
 #include <numeric>
 #include <sstream>
@@ -20,11 +22,24 @@
 using namespace commcsl;
 
 namespace {
-double secondsSince(std::chrono::steady_clock::time_point Start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       Start)
-      .count();
+
+/// Folds one property check's result into the metrics registry. The check
+/// counts are deterministic at any job count (see runBoundedTier); the
+/// wall/CPU seconds are not.
+void flushValidityMetrics(const char *Property, const ValidityResult &R) {
+  MetricsRegistry &M = MetricsRegistry::global();
+  M.counter(std::string("validity.") + Property + ".bounded_checks")
+      .add(R.BoundedChecks);
+  M.counter(std::string("validity.") + Property + ".random_checks")
+      .add(R.RandomChecks);
+  M.counter(std::string("validity.") + Property + ".counterexamples")
+      .add(R.Valid ? 0 : 1);
+  M.gauge(std::string("validity.") + Property + ".wall_seconds")
+      .add(R.WallSeconds);
+  M.gauge(std::string("validity.") + Property + ".cpu_seconds")
+      .add(R.CpuSeconds);
 }
+
 } // namespace
 
 std::string ValidityCounterexample::describe() const {
@@ -182,6 +197,10 @@ bool ValidityChecker::runBoundedTier(size_t NumArgPairs,
   if (Total == 0)
     return false;
 
+  TraceSpan Tier("validity", [&] {
+    return "bounded tier (" + std::to_string(Total) + " instances)";
+  });
+
   unsigned Jobs = ThreadPool::effectiveJobs(Config.Jobs);
   uint64_t NumChunks = std::min<uint64_t>(std::max(1u, Jobs), Total);
 
@@ -193,10 +212,13 @@ bool ValidityChecker::runBoundedTier(size_t NumArgPairs,
   ValidityCounterexample BestCE;
   std::vector<double> ChunkSeconds(NumChunks, 0.0);
 
-  auto T0 = std::chrono::steady_clock::now();
+  Stopwatch T0;
   ThreadPool::shared().parallelForChunks(
       Total, Jobs, [&](uint64_t Begin, uint64_t End, unsigned Chunk) {
-        auto C0 = std::chrono::steady_clock::now();
+        TraceSpan ChunkSpan("validity", [&] {
+          return "chunk " + std::to_string(Chunk);
+        });
+        Stopwatch C0;
         size_t K = static_cast<size_t>(
             std::upper_bound(Offsets.begin(), Offsets.end(), Begin) -
             Offsets.begin() - 1);
@@ -220,9 +242,9 @@ bool ValidityChecker::runBoundedTier(size_t NumArgPairs,
             break;
           }
         }
-        ChunkSeconds[Chunk] = secondsSince(C0);
+        ChunkSeconds[Chunk] = C0.seconds();
       });
-  ParWall += secondsSince(T0);
+  ParWall += T0.seconds();
   ParCpu += std::accumulate(ChunkSeconds.begin(), ChunkSeconds.end(), 0.0);
 
   uint64_t Found = BestIdx.load(std::memory_order_relaxed);
@@ -241,18 +263,21 @@ bool ValidityChecker::runBoundedTier(size_t NumArgPairs,
 
 ValidityResult ValidityChecker::checkPreconditions() {
   ValidityResult R;
-  auto T0 = std::chrono::steady_clock::now();
+  TraceSpan PropSpan("validity", "preconditions");
+  Stopwatch T0;
   CacheStats Cache0 = Runtime.cacheStats();
   double ParWall = 0, ParCpu = 0;
   auto Finish = [&] {
-    R.WallSeconds = secondsSince(T0);
+    R.WallSeconds = T0.seconds();
     R.CpuSeconds = std::max(0.0, R.WallSeconds - ParWall) + ParCpu;
     R.Cache = Runtime.cacheStats() - Cache0;
+    flushValidityMetrics("preconditions", R);
   };
   buildStateUniverse();
   const ResourceSpecDecl &Decl = Runtime.decl();
 
   for (const ActionDecl &A : Decl.Actions) {
+    TraceSpan ActionSpan("validity", [&] { return "pre " + A.Name; });
     std::vector<ValueRef> Args = argsFor(A);
     // Precompute argument pairs that satisfy the relational precondition.
     std::vector<std::pair<size_t, size_t>> PrePairs;
@@ -308,13 +333,15 @@ ValidityResult ValidityChecker::checkPreconditions() {
 
 ValidityResult ValidityChecker::checkCommutativity() {
   ValidityResult R;
-  auto T0 = std::chrono::steady_clock::now();
+  TraceSpan PropSpan("validity", "commutativity");
+  Stopwatch T0;
   CacheStats Cache0 = Runtime.cacheStats();
   double ParWall = 0, ParCpu = 0;
   auto Finish = [&] {
-    R.WallSeconds = secondsSince(T0);
+    R.WallSeconds = T0.seconds();
     R.CpuSeconds = std::max(0.0, R.WallSeconds - ParWall) + ParCpu;
     R.Cache = Runtime.cacheStats() - Cache0;
+    flushValidityMetrics("commutativity", R);
   };
   buildStateUniverse();
   const ResourceSpecDecl &Decl = Runtime.decl();
@@ -335,6 +362,8 @@ ValidityResult ValidityChecker::checkCommutativity() {
   for (const auto &[IA, IB] : relevantActionPairs(Decl)) {
     const ActionDecl &A = Decl.Actions[IA];
     const ActionDecl &B = Decl.Actions[IB];
+    TraceSpan PairSpan("validity",
+                       [&] { return "comm " + A.Name + " x " + B.Name; });
     std::vector<ValueRef> ArgsA = FilterArgs(A);
     std::vector<ValueRef> ArgsB = FilterArgs(B);
 
@@ -387,12 +416,14 @@ ValidityResult ValidityChecker::checkCommutativity() {
 
 ValidityResult ValidityChecker::checkHistoryCoherence() {
   ValidityResult R;
-  auto T0 = std::chrono::steady_clock::now();
+  TraceSpan PropSpan("validity", "history");
+  Stopwatch T0;
   CacheStats Cache0 = Runtime.cacheStats();
   // Sequential tier: aggregate worker time equals wall time.
   auto Finish = [&] {
-    R.CpuSeconds = R.WallSeconds = secondsSince(T0);
+    R.CpuSeconds = R.WallSeconds = T0.seconds();
     R.Cache = Runtime.cacheStats() - Cache0;
+    flushValidityMetrics("history", R);
   };
   const ResourceSpecDecl &Decl = Runtime.decl();
   bool AnyHistory = Decl.Inv != nullptr;

@@ -7,6 +7,8 @@
 #include "support/StringUtils.h"
 
 #include <cctype>
+#include <cstdio>
+#include <sstream>
 
 using namespace commcsl;
 
@@ -49,4 +51,36 @@ std::string commcsl::trim(const std::string &S) {
 bool commcsl::startsWith(const std::string &S, const std::string &Prefix) {
   return S.size() >= Prefix.size() &&
          S.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+std::string commcsl::jsonEscape(const std::string &S) {
+  std::ostringstream OS;
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    case '\r':
+      OS << "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        OS << Buf;
+      } else {
+        OS << C;
+      }
+    }
+  }
+  return OS.str();
 }

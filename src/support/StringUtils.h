@@ -32,6 +32,9 @@ std::string trim(const std::string &S);
 /// True if \p S starts with \p Prefix.
 bool startsWith(const std::string &S, const std::string &Prefix);
 
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+std::string jsonEscape(const std::string &S);
+
 /// Boost-style hash combiner.
 inline void hashCombine(size_t &Seed, size_t Hash) {
   Seed ^= Hash + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2);

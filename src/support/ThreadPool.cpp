@@ -6,11 +6,42 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/trace/Metrics.h"
+#include "support/trace/Stopwatch.h"
+#include "support/trace/Trace.h"
+
 #include <algorithm>
 #include <atomic>
 #include <exception>
 
 using namespace commcsl;
+
+namespace {
+
+/// Pool-level observability. All Varies-stability: which worker picks up
+/// which chunk — and therefore every latency and depth below — depends on
+/// scheduling, so none of this appears under the deterministic `"counts"`
+/// export section.
+struct PoolMetrics {
+  Metric_Counter &TasksExecuted;
+  Metric_Gauge &QueueDepthMax;
+  Metric_Gauge &BusySeconds;
+  Metric_Histogram &WaitMicros;
+  Metric_Histogram &RunMicros;
+
+  static PoolMetrics &get() {
+    static PoolMetrics M{
+        MetricsRegistry::global().counter("threadpool.tasks_executed",
+                                          Stability::Varies),
+        MetricsRegistry::global().gauge("threadpool.queue_depth_max"),
+        MetricsRegistry::global().gauge("threadpool.busy_seconds"),
+        MetricsRegistry::global().histogram("threadpool.task_wait_us"),
+        MetricsRegistry::global().histogram("threadpool.task_run_us")};
+    return M;
+  }
+};
+
+} // namespace
 
 unsigned ThreadPool::defaultJobs() {
   unsigned N = std::thread::hardware_concurrency();
@@ -39,34 +70,48 @@ ThreadPool::~ThreadPool() {
     W.join();
 }
 
+void ThreadPool::runTask(Task &&T) {
+  PoolMetrics &M = PoolMetrics::get();
+  M.WaitMicros.observe(static_cast<double>(T.Enqueued.micros()));
+  Stopwatch Run;
+  {
+    TraceSpan Span("threadpool", "task");
+    T.Fn();
+  }
+  double Seconds = Run.seconds();
+  M.RunMicros.observe(Seconds * 1e6);
+  M.BusySeconds.add(Seconds);
+  M.TasksExecuted.add(1);
+}
+
 void ThreadPool::workerLoop() {
   for (;;) {
-    std::function<void()> Task;
+    Task T;
     {
       std::unique_lock<std::mutex> Lock(Mu);
       Cv.wait(Lock, [this] { return Stopping || !Queue.empty(); });
       if (Queue.empty())
         return; // Stopping and drained
-      Task = std::move(Queue.front());
+      T = std::move(Queue.front());
       Queue.pop_front();
     }
-    Task();
+    runTask(std::move(T));
   }
 }
 
 void ThreadPool::helpWhilePending(const std::function<bool()> &Done) {
   for (;;) {
-    std::function<void()> Task;
+    Task T;
     {
       std::unique_lock<std::mutex> Lock(Mu);
       // Wake on new tasks (to help) and on chunk completion (to return).
       Cv.wait(Lock, [&] { return Done() || !Queue.empty(); });
       if (Done())
         return;
-      Task = std::move(Queue.front());
+      T = std::move(Queue.front());
       Queue.pop_front();
     }
-    Task();
+    runTask(std::move(T));
   }
 }
 
@@ -105,8 +150,13 @@ void ThreadPool::parallelForChunks(
 
   {
     std::lock_guard<std::mutex> Lock(Mu);
-    for (unsigned Chunk = 1; Chunk < NumChunks; ++Chunk)
-      Queue.emplace_back([RunChunk, Chunk] { RunChunk(Chunk); });
+    for (unsigned Chunk = 1; Chunk < NumChunks; ++Chunk) {
+      Task T;
+      T.Fn = [RunChunk, Chunk] { RunChunk(Chunk); };
+      Queue.push_back(std::move(T));
+    }
+    PoolMetrics::get().QueueDepthMax.max(
+        static_cast<double>(Queue.size()));
   }
   Cv.notify_all();
 

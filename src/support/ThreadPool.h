@@ -20,6 +20,8 @@
 #ifndef COMMCSL_SUPPORT_THREADPOOL_H
 #define COMMCSL_SUPPORT_THREADPOOL_H
 
+#include "support/trace/Stopwatch.h"
+
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -82,13 +84,22 @@ public:
           &Body);
 
 private:
+  /// A queued chunk plus its enqueue timestamp (feeds the
+  /// `threadpool.task_wait_us` latency histogram).
+  struct Task {
+    std::function<void()> Fn;
+    Stopwatch Enqueued;
+  };
+
+  /// Executes one task with trace/metrics instrumentation.
+  void runTask(Task &&T);
   void workerLoop();
   /// Pops and runs queued tasks until \p Pending reaches zero.
   void helpWhilePending(const std::function<bool()> &Done);
 
   unsigned NumWorkers = 0;
   std::vector<std::thread> Workers;
-  std::deque<std::function<void()>> Queue;
+  std::deque<Task> Queue;
   std::mutex Mu;
   std::condition_variable Cv;
   bool Stopping = false;

@@ -1,0 +1,179 @@
+//===-- support/trace/Metrics.cpp - Named metric registry ------------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/trace/Metrics.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+using namespace commcsl;
+
+void Metric_Histogram::observe(double X) {
+  N.fetch_add(1, std::memory_order_relaxed);
+  double Cur = Sum.load(std::memory_order_relaxed);
+  while (!Sum.compare_exchange_weak(Cur, Cur + X,
+                                    std::memory_order_relaxed)) {
+  }
+  Cur = Max.load(std::memory_order_relaxed);
+  while (Cur < X &&
+         !Max.compare_exchange_weak(Cur, X, std::memory_order_relaxed)) {
+  }
+  // Bucket B holds samples in [2^(B-1), 2^B); bucket 0 holds [0, 1).
+  unsigned B = 0;
+  if (X >= 1) {
+    B = 1;
+    double Bound = 2;
+    while (B + 1 < NumBuckets && X >= Bound) {
+      ++B;
+      Bound *= 2;
+    }
+  }
+  Buckets[B].fetch_add(1, std::memory_order_relaxed);
+}
+
+double Metric_Histogram::quantileUpperBound(double Q) const {
+  uint64_t Total = count();
+  if (Total == 0)
+    return 0;
+  uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(Total));
+  if (Rank >= Total)
+    Rank = Total - 1;
+  uint64_t Seen = 0;
+  for (unsigned B = 0; B < NumBuckets; ++B) {
+    Seen += Buckets[B].load(std::memory_order_relaxed);
+    if (Seen > Rank)
+      return B == 0 ? 1.0 : std::ldexp(1.0, static_cast<int>(B));
+  }
+  return maxValue();
+}
+
+void Metric_Histogram::reset() {
+  N.store(0, std::memory_order_relaxed);
+  Sum.store(0, std::memory_order_relaxed);
+  Max.store(0, std::memory_order_relaxed);
+  for (std::atomic<uint64_t> &B : Buckets)
+    B.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry &MetricsRegistry::global() {
+  // Leaked on purpose; see TraceRecorder::global().
+  static MetricsRegistry *R = new MetricsRegistry();
+  return *R;
+}
+
+MetricsRegistry::Entry &MetricsRegistry::entry(const std::string &Name,
+                                               Stability S) {
+  // Caller holds Mu.
+  Entry &E = Entries[Name];
+  if (!E.C && !E.G && !E.H)
+    E.S = S;
+  return E;
+}
+
+Metric_Counter &MetricsRegistry::counter(const std::string &Name,
+                                         Stability S) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Entry &E = entry(Name, S);
+  if (!E.C) {
+    assert(!E.G && !E.H && "metric kind changed across registrations");
+    E.C = std::make_unique<Metric_Counter>();
+  }
+  return *E.C;
+}
+
+Metric_Gauge &MetricsRegistry::gauge(const std::string &Name, Stability S) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Entry &E = entry(Name, S);
+  if (!E.G) {
+    assert(!E.C && !E.H && "metric kind changed across registrations");
+    E.G = std::make_unique<Metric_Gauge>();
+  }
+  return *E.G;
+}
+
+Metric_Histogram &MetricsRegistry::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Entry &E = entry(Name, Stability::Varies);
+  if (!E.H) {
+    assert(!E.C && !E.G && "metric kind changed across registrations");
+    E.H = std::make_unique<Metric_Histogram>();
+  }
+  return *E.H;
+}
+
+namespace {
+
+std::string formatDouble(double X) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6f", X);
+  return Buf;
+}
+
+} // namespace
+
+std::string MetricsRegistry::json() const {
+  // Two passes over the (sorted) map: deterministic metrics into
+  // "counts", everything else into "timings".
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::ostringstream OS;
+  OS << "{\n";
+  for (int Section = 0; Section < 2; ++Section) {
+    Stability Want = Section == 0 ? Stability::Count : Stability::Varies;
+    OS << "  \"" << (Section == 0 ? "counts" : "timings") << "\": {";
+    bool First = true;
+    for (const auto &[Name, E] : Entries) {
+      if (E.S != Want)
+        continue;
+      OS << (First ? "\n" : ",\n");
+      First = false;
+      OS << "    \"" << jsonEscape(Name) << "\": ";
+      if (E.C) {
+        OS << E.C->value();
+      } else if (E.G) {
+        OS << formatDouble(E.G->value());
+      } else if (E.H) {
+        OS << "{\"count\": " << E.H->count()
+           << ", \"sum\": " << formatDouble(E.H->sum())
+           << ", \"max\": " << formatDouble(E.H->maxValue())
+           << ", \"p50\": " << formatDouble(E.H->quantileUpperBound(0.5))
+           << ", \"p95\": " << formatDouble(E.H->quantileUpperBound(0.95))
+           << "}";
+      } else {
+        OS << "null";
+      }
+    }
+    OS << (First ? "" : "\n  ") << "}" << (Section == 0 ? ",\n" : "\n");
+  }
+  OS << "}\n";
+  return OS.str();
+}
+
+bool MetricsRegistry::writeJson(const std::string &Path) const {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << json();
+  return Out.good();
+}
+
+void MetricsRegistry::resetAll() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (auto &[Name, E] : Entries) {
+    (void)Name;
+    if (E.C)
+      E.C->reset();
+    if (E.G)
+      E.G->reset();
+    if (E.H)
+      E.H->reset();
+  }
+}

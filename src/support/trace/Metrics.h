@@ -1,0 +1,147 @@
+//===-- support/trace/Metrics.h - Named metric registry ---------*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide registry of named counters, gauges, and histograms,
+/// exported as JSON (`--metrics-json`). Registration declares each
+/// metric's *stability*:
+///
+///   - `Stability::Count`: deterministic — the exported value is
+///     byte-identical at every `--jobs` setting (and across reruns of the
+///     same input). These land under the top-level `"counts"` object.
+///   - `Stability::Varies`: wall-clock durations, scheduling-dependent
+///     tallies (cache hit/miss splits, queue depths, task latencies).
+///     These land under the top-level `"timings"` object.
+///
+/// The determinism contract — and what CI enforces — is exactly: strip
+/// `"timings"`, and the remaining JSON is byte-identical at any job
+/// count. Keys in both objects are emitted in sorted order.
+///
+/// All mutators are lock-free atomics; lookup by name takes a registry
+/// lock, so hot paths should resolve their metric once and keep the
+/// reference (registered metrics are never deallocated before exit).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_SUPPORT_TRACE_METRICS_H
+#define COMMCSL_SUPPORT_TRACE_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace commcsl {
+
+/// Export section a metric belongs to (see file comment).
+enum class Stability { Count, Varies };
+
+/// Monotone counter.
+class Metric_Counter {
+public:
+  void add(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// Last-write-wins (or accumulating / max-tracking) floating-point gauge.
+class Metric_Gauge {
+public:
+  void set(double X) { V.store(X, std::memory_order_relaxed); }
+  void add(double X) {
+    double Cur = V.load(std::memory_order_relaxed);
+    while (!V.compare_exchange_weak(Cur, Cur + X,
+                                    std::memory_order_relaxed)) {
+    }
+  }
+  void max(double X) {
+    double Cur = V.load(std::memory_order_relaxed);
+    while (Cur < X &&
+           !V.compare_exchange_weak(Cur, X, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<double> V{0};
+};
+
+/// Log2-bucketed histogram of non-negative samples (e.g. latencies in
+/// microseconds). Records count, sum, max, and 64 power-of-two buckets,
+/// from which the exporter reports approximate quantiles.
+class Metric_Histogram {
+public:
+  static constexpr unsigned NumBuckets = 64;
+
+  void observe(double X);
+  uint64_t count() const { return N.load(std::memory_order_relaxed); }
+  double sum() const { return Sum.load(std::memory_order_relaxed); }
+  double maxValue() const { return Max.load(std::memory_order_relaxed); }
+  /// Upper bucket bound below which at least \p Q of the samples fall.
+  double quantileUpperBound(double Q) const;
+  void reset();
+
+private:
+  std::atomic<uint64_t> N{0};
+  std::atomic<double> Sum{0};
+  std::atomic<double> Max{0};
+  std::array<std::atomic<uint64_t>, NumBuckets> Buckets{};
+};
+
+/// The registry. Use `MetricsRegistry::global()`; separate instances exist
+/// only for tests.
+class MetricsRegistry {
+public:
+  static MetricsRegistry &global();
+
+  /// The named counter, created on first use. A metric's stability and
+  /// kind are fixed by its first registration.
+  Metric_Counter &counter(const std::string &Name,
+                          Stability S = Stability::Count);
+  /// The named gauge. Gauges default to Varies: most measure wall time or
+  /// scheduling-dependent state.
+  Metric_Gauge &gauge(const std::string &Name,
+                      Stability S = Stability::Varies);
+  /// The named histogram. Histograms are always exported under
+  /// `"timings"`.
+  Metric_Histogram &histogram(const std::string &Name);
+
+  /// Renders `{"counts": {...}, "timings": {...}}` with sorted keys.
+  /// Deterministic metrics print as integers; Varies metrics print
+  /// fixed-precision doubles.
+  std::string json() const;
+
+  /// Writes `json()` to \p Path. Returns false on I/O failure.
+  bool writeJson(const std::string &Path) const;
+
+  /// Zeroes every registered metric (test support).
+  void resetAll();
+
+private:
+  struct Entry {
+    Stability S = Stability::Count;
+    // Exactly one is set.
+    std::unique_ptr<Metric_Counter> C;
+    std::unique_ptr<Metric_Gauge> G;
+    std::unique_ptr<Metric_Histogram> H;
+  };
+
+  Entry &entry(const std::string &Name, Stability S);
+
+  mutable std::mutex Mu;
+  std::map<std::string, Entry> Entries; ///< ordered => sorted export keys
+};
+
+} // namespace commcsl
+
+#endif // COMMCSL_SUPPORT_TRACE_METRICS_H

@@ -1,0 +1,53 @@
+//===-- support/trace/Stopwatch.h - Monotonic interval timing ---*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one steady-clock stopwatch shared by every subsystem that reports
+/// wall time (driver phases, validity tiers, the NI sweep, fuzz budgets,
+/// the trace recorder). Replaces the four copy-pasted `secondsSince`
+/// helpers that used to live in Driver.cpp, Validity.cpp,
+/// NonInterference.cpp, and Campaign.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_SUPPORT_TRACE_STOPWATCH_H
+#define COMMCSL_SUPPORT_TRACE_STOPWATCH_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace commcsl {
+
+/// Measures elapsed time from construction (or the last restart) on the
+/// monotonic clock. Copyable; reading does not stop it.
+class Stopwatch {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  Stopwatch() : Start(Clock::now()) {}
+
+  /// Elapsed seconds since construction / restart.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Elapsed whole microseconds since construction / restart.
+  uint64_t micros() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              Start)
+            .count());
+  }
+
+  void restart() { Start = Clock::now(); }
+
+private:
+  Clock::time_point Start;
+};
+
+} // namespace commcsl
+
+#endif // COMMCSL_SUPPORT_TRACE_STOPWATCH_H

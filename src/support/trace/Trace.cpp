@@ -1,0 +1,144 @@
+//===-- support/trace/Trace.cpp - Scoped-span trace recording --------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/trace/Trace.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+using namespace commcsl;
+
+TraceRecorder::TraceRecorder() {
+  static std::atomic<uint64_t> NextId{1};
+  Id = NextId.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceRecorder &TraceRecorder::global() {
+  // Leaked on purpose: pool workers may record while static destructors
+  // run, so the recorder must outlive every other static.
+  static TraceRecorder *R = new TraceRecorder();
+  return *R;
+}
+
+TraceRecorder::ThreadBuffer &TraceRecorder::localBuffer() {
+  // Per-thread cache of (recorder id -> buffer). Keyed by the recorder's
+  // unique id, not its address, so an entry for a destroyed test-local
+  // recorder can never be revived by an address-reusing successor.
+  thread_local std::vector<std::pair<uint64_t, ThreadBuffer *>> Cache;
+  for (const auto &[Owner, Buffer] : Cache)
+    if (Owner == Id)
+      return *Buffer;
+  std::lock_guard<std::mutex> Lock(RegistryMu);
+  Buffers.push_back(std::make_unique<ThreadBuffer>());
+  Buffers.back()->Tid = static_cast<unsigned>(Buffers.size());
+  Cache.emplace_back(Id, Buffers.back().get());
+  return *Buffers.back();
+}
+
+void TraceRecorder::append(TraceEvent E) {
+  ThreadBuffer &B = localBuffer();
+  std::lock_guard<std::mutex> Lock(B.Mu);
+  B.Events.push_back(std::move(E));
+}
+
+void TraceRecorder::recordComplete(std::string Name, std::string Category,
+                                   uint64_t TsMicros, uint64_t DurMicros,
+                                   std::string Detail) {
+  if (!enabled())
+    return;
+  TraceEvent E;
+  E.Ph = TraceEvent::Phase::Complete;
+  E.Name = std::move(Name);
+  E.Category = std::move(Category);
+  E.TsMicros = TsMicros;
+  E.DurMicros = DurMicros;
+  E.Detail = std::move(Detail);
+  append(std::move(E));
+}
+
+void TraceRecorder::recordInstant(std::string Name, std::string Category,
+                                  std::string Detail) {
+  if (!enabled())
+    return;
+  TraceEvent E;
+  E.Ph = TraceEvent::Phase::Instant;
+  E.Name = std::move(Name);
+  E.Category = std::move(Category);
+  E.TsMicros = nowMicros();
+  E.Detail = std::move(Detail);
+  append(std::move(E));
+}
+
+void TraceRecorder::recordCounter(std::string Name, double Value) {
+  if (!enabled())
+    return;
+  TraceEvent E;
+  E.Ph = TraceEvent::Phase::Counter;
+  E.Name = std::move(Name);
+  E.Category = "counter";
+  E.TsMicros = nowMicros();
+  E.CounterValue = Value;
+  append(std::move(E));
+}
+
+std::string TraceRecorder::chromeTraceJson() const {
+  std::ostringstream OS;
+  OS << "{\"traceEvents\":[";
+  bool First = true;
+  std::lock_guard<std::mutex> Registry(RegistryMu);
+  for (const std::unique_ptr<ThreadBuffer> &B : Buffers) {
+    std::lock_guard<std::mutex> Lock(B->Mu);
+    for (const TraceEvent &E : B->Events) {
+      OS << (First ? "\n" : ",\n");
+      First = false;
+      OS << "{\"name\":\"" << jsonEscape(E.Name) << "\","
+         << "\"cat\":\"" << jsonEscape(E.Category) << "\","
+         << "\"ph\":\"" << static_cast<char>(E.Ph) << "\","
+         << "\"ts\":" << E.TsMicros << ",\"pid\":1,\"tid\":" << B->Tid;
+      if (E.Ph == TraceEvent::Phase::Complete)
+        OS << ",\"dur\":" << E.DurMicros;
+      if (E.Ph == TraceEvent::Phase::Counter) {
+        OS << ",\"args\":{\"value\":" << E.CounterValue << "}";
+      } else if (!E.Detail.empty()) {
+        OS << ",\"args\":{\"detail\":\"" << jsonEscape(E.Detail) << "\"}";
+      }
+      if (E.Ph == TraceEvent::Phase::Instant)
+        OS << ",\"s\":\"t\""; // thread-scoped instant
+      OS << "}";
+    }
+  }
+  OS << (First ? "" : "\n") << "],\"displayTimeUnit\":\"ms\"}\n";
+  return OS.str();
+}
+
+bool TraceRecorder::writeChromeTrace(const std::string &Path) const {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << chromeTraceJson();
+  return Out.good();
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> Registry(RegistryMu);
+  for (const std::unique_ptr<ThreadBuffer> &B : Buffers) {
+    std::lock_guard<std::mutex> Lock(B->Mu);
+    B->Events.clear();
+  }
+}
+
+size_t TraceRecorder::eventCount() const {
+  std::lock_guard<std::mutex> Registry(RegistryMu);
+  size_t N = 0;
+  for (const std::unique_ptr<ThreadBuffer> &B : Buffers) {
+    std::lock_guard<std::mutex> Lock(B->Mu);
+    N += B->Events.size();
+  }
+  return N;
+}

@@ -53,7 +53,43 @@ std::vector<CorpusFile> loadCorpus() {
   return Files;
 }
 
+std::string corpusWith(const std::string &HeaderLine) {
+  return "// fuzz-corpus v1\n"
+         "// class: soundness-violation\n" +
+         HeaderLine + "\n\nvar x: Int := 0;\n";
+}
+
 } // namespace
+
+TEST(CorpusParseTest, MalformedSeedIsAParseFailureNotACrash) {
+  // Corpus files are hand-editable; a corrupt number must surface as a
+  // parse failure (nullopt), never as a std::stoull exception.
+  EXPECT_FALSE(parseCorpusEntry(corpusWith("// seed: abc")));
+  EXPECT_FALSE(parseCorpusEntry(corpusWith("// seed:")));
+  EXPECT_FALSE(parseCorpusEntry(corpusWith("// seed: 12x")));
+  EXPECT_FALSE(parseCorpusEntry(corpusWith("// seed: -1")));
+  EXPECT_FALSE(parseCorpusEntry(corpusWith("// seed: +1")));
+  EXPECT_FALSE(
+      parseCorpusEntry(corpusWith("// seed: 99999999999999999999999")));
+}
+
+TEST(CorpusParseTest, MalformedSeedIndexIsAParseFailureNotACrash) {
+  EXPECT_FALSE(parseCorpusEntry(corpusWith("// seed-index: abc")));
+  EXPECT_FALSE(parseCorpusEntry(corpusWith("// seed-index: 7th")));
+  EXPECT_FALSE(parseCorpusEntry(corpusWith("// seed-index: -3")));
+  // Fits in uint64_t but not in the unsigned SeedIndex field.
+  EXPECT_FALSE(parseCorpusEntry(corpusWith("// seed-index: 4294967296")));
+}
+
+TEST(CorpusParseTest, BoundaryNumericHeadersParse) {
+  std::optional<CorpusEntry> E =
+      parseCorpusEntry(corpusWith("// seed: 18446744073709551615"));
+  ASSERT_TRUE(E.has_value());
+  EXPECT_EQ(E->Seed, UINT64_MAX);
+  E = parseCorpusEntry(corpusWith("// seed-index: 4294967295"));
+  ASSERT_TRUE(E.has_value());
+  EXPECT_EQ(E->SeedIndex, 4294967295u);
+}
 
 TEST(CorpusReplayTest, CorpusIsNonEmpty) {
   // The PR ships with at least two minimized findings; an empty directory

@@ -1,0 +1,182 @@
+//===-- tests/hyperviper/CliTest.cpp - hyperviper CLI contract tests -------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end tests of the installed `hyperviper` binary (path injected as
+/// COMMCSL_HYPERVIPER_BIN): the unified `--jobs` contract across the
+/// verify / analyze / fuzz subcommands, and the observability flags —
+/// `--trace` emits Chrome trace-event JSON, `--metrics-json` emits a
+/// registry dump whose "counts" object is identical at any job count.
+///
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+#include <vector>
+
+namespace {
+
+struct CmdResult {
+  int Exit = -1;
+  std::string Output; ///< stdout + stderr, interleaved
+};
+
+/// Runs \p Args under the shell with stderr folded into stdout.
+CmdResult run(const std::string &Args) {
+  std::string Cmd = std::string(COMMCSL_HYPERVIPER_BIN) + " " + Args + " 2>&1";
+  FILE *P = popen(Cmd.c_str(), "r");
+  EXPECT_NE(P, nullptr) << Cmd;
+  CmdResult R;
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), P)) > 0)
+    R.Output.append(Buf, N);
+  int Status = pclose(P);
+  R.Exit = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  return R;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << Path;
+  std::ostringstream OS;
+  OS << In.rdbuf();
+  return OS.str();
+}
+
+std::string tmpPath(const std::string &Name) {
+  return ::testing::TempDir() + "hyperviper-cli-" + Name;
+}
+
+std::string example(const std::string &Name) {
+  return std::string(COMMCSL_EXAMPLES_DIR) + "/" + Name;
+}
+
+/// The `"counts"` object of a metrics export — the part contracted to be
+/// identical at every `--jobs` setting.
+std::string countsSection(const std::string &Json) {
+  size_t Begin = Json.find("\"counts\"");
+  size_t End = Json.find("\"timings\"");
+  EXPECT_NE(Begin, std::string::npos);
+  EXPECT_NE(End, std::string::npos);
+  return Json.substr(Begin, End - Begin);
+}
+
+} // namespace
+
+TEST(CliJobsTest, VerifyRejectsBadJobsValues) {
+  for (const char *Bad : {"4x", "0", "-2", "+4", "abc", "4294967296"}) {
+    CmdResult R = run(std::string("--jobs ") + Bad + " " +
+                      example("figure1.hv"));
+    EXPECT_EQ(R.Exit, 2) << Bad;
+    EXPECT_NE(R.Output.find(std::string("invalid --jobs value '") + Bad),
+              std::string::npos)
+        << R.Output;
+  }
+}
+
+TEST(CliJobsTest, AnalyzeRejectsBadJobsValues) {
+  for (const char *Bad : {"4x", "0", "-2"}) {
+    CmdResult R = run(std::string("analyze --jobs ") + Bad + " " +
+                      example("figure1.hv"));
+    EXPECT_EQ(R.Exit, 2) << Bad;
+    EXPECT_NE(R.Output.find(std::string("invalid --jobs value '") + Bad),
+              std::string::npos)
+        << R.Output;
+  }
+}
+
+TEST(CliJobsTest, FuzzRejectsBadJobsValues) {
+  for (const char *Bad : {"4x", "0", "-2"}) {
+    CmdResult R = run(std::string("fuzz --seeds 1 --jobs ") + Bad);
+    EXPECT_EQ(R.Exit, 2) << Bad;
+    EXPECT_NE(R.Output.find(std::string("invalid --jobs value '") + Bad),
+              std::string::npos)
+        << R.Output;
+  }
+}
+
+TEST(CliJobsTest, MissingJobsValueIsAnError) {
+  EXPECT_EQ(run("--jobs").Exit, 2);
+  EXPECT_EQ(run("analyze --jobs").Exit, 2);
+  EXPECT_EQ(run("fuzz --jobs").Exit, 2);
+}
+
+TEST(CliJobsTest, ValidJobsValueAcceptedEverywhere) {
+  EXPECT_EQ(run("--quiet --jobs 2 " + example("figure1.hv")).Exit, 0);
+  EXPECT_EQ(run("analyze --jobs 2 " + example("figure1.hv")).Exit, 0);
+  // Fuzz exit reflects the campaign's findings (0 clean, 1 findings);
+  // what matters here is that a valid --jobs is not a usage error.
+  int FuzzExit = run("fuzz --seeds 2 --jobs 2 --no-shrink --report " +
+                     tmpPath("fuzz-jobs.json"))
+                     .Exit;
+  EXPECT_TRUE(FuzzExit == 0 || FuzzExit == 1) << FuzzExit;
+}
+
+TEST(CliObservabilityTest, TraceFlagEmitsChromeTraceJson) {
+  std::string Trace = tmpPath("verify.trace.json");
+  CmdResult R = run("--quiet --trace " + Trace + " " + example("figure1.hv"));
+  EXPECT_EQ(R.Exit, 0) << R.Output;
+  std::string Json = slurp(Trace);
+  EXPECT_EQ(Json.rfind("{", 0), 0u);
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // The verify pipeline's phases appear as spans.
+  EXPECT_NE(Json.find("\"name\":\"parse\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(CliObservabilityTest, MetricsCountsIdenticalAcrossJobCounts) {
+  std::string M1 = tmpPath("metrics-j1.json");
+  std::string M3 = tmpPath("metrics-j3.json");
+  std::string Files = example("figure1.hv") + " " + example("figure2.hv") +
+                      " " + example("count_purchases.hv");
+  EXPECT_EQ(
+      run("--quiet --jobs 1 --metrics-json " + M1 + " " + Files).Exit, 0);
+  EXPECT_EQ(
+      run("--quiet --jobs 3 --metrics-json " + M3 + " " + Files).Exit, 0);
+  std::string A = slurp(M1), B = slurp(M3);
+  EXPECT_EQ(countsSection(A), countsSection(B));
+  // Both carry a timings object too (whose values legitimately differ).
+  EXPECT_NE(A.find("\"timings\""), std::string::npos);
+}
+
+TEST(CliObservabilityTest, FuzzMetricsCountsIdenticalAcrossJobCounts) {
+  std::string M1 = tmpPath("fuzz-metrics-j1.json");
+  std::string M2 = tmpPath("fuzz-metrics-j2.json");
+  std::string Common = "fuzz --seeds 6 --base-seed 7 --no-shrink --report ";
+  int E1 = run(Common + tmpPath("fuzz-r1.json") + " --jobs 1 --metrics-json " +
+               M1)
+               .Exit;
+  int E2 = run(Common + tmpPath("fuzz-r2.json") + " --jobs 2 --metrics-json " +
+               M2)
+               .Exit;
+  EXPECT_EQ(E1, E2); // the campaign verdict itself is jobs-independent
+  EXPECT_TRUE(E1 == 0 || E1 == 1) << E1;
+  EXPECT_EQ(countsSection(slurp(M1)), countsSection(slurp(M2)));
+}
+
+TEST(CliObservabilityTest, CorruptCorpusSeedReportsParseFailure) {
+  // End-to-end regression for the `// seed: abc` crash: a corrupt header
+  // must be a parse failure, not an uncaught exception.
+  std::string Bad = tmpPath("bad-corpus.hv");
+  {
+    std::ofstream Out(Bad);
+    Out << "// fuzz-corpus v1\n// class: soundness-violation\n"
+           "// seed: abc\n\nvar x: Int := 0;\n";
+  }
+  // The corpus parser is only reachable from tests/tools; what must hold
+  // here is that the verifier front door treats the file as ordinary
+  // (broken) source rather than dying on the malformed header.
+  CmdResult R = run(Bad);
+  EXPECT_EQ(R.Exit, 1) << R.Output;
+  EXPECT_NE(R.Output.find("REJECTED"), std::string::npos) << R.Output;
+}

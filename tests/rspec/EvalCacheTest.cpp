@@ -1,0 +1,90 @@
+//===-- tests/rspec/EvalCacheTest.cpp - Spec memo eviction tests -----------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Capacity-bound behavior of SpecEvalCache: a full shard evicts half of
+/// its entries (not all of them), Entries never exceeds the configured
+/// capacity, and eviction counters record what was actually dropped.
+///
+//===----------------------------------------------------------------------===//
+
+#include "rspec/EvalCache.h"
+
+#include <gtest/gtest.h>
+
+using namespace commcsl;
+
+namespace {
+
+/// Distinct interned integer values make distinct cache keys.
+ValueRef key(int64_t I) { return ValueFactory::intV(I); }
+
+} // namespace
+
+TEST(EvalCacheTest, FirstOverflowEvictsHalfTheShardNotAll) {
+  SpecEvalCache C(/*MaxEntries=*/0); // floor: ShardCap = 64
+  const size_t Cap = C.shardCap();
+  ASSERT_EQ(Cap, 64u);
+  // Insert distinct keys until some shard overflows for the first time.
+  for (int64_t I = 0; I < 4096; ++I) {
+    ValueRef V = key(I);
+    C.alpha(V, [&] { return V; });
+    CacheStats S = C.stats();
+    if (S.Evictions > 0) {
+      // evictHalf drops every other entry of a full shard: exactly
+      // ceil(Cap / 2). A clear() would have reported Cap.
+      EXPECT_EQ(S.Evictions, Cap / 2);
+      return;
+    }
+  }
+  FAIL() << "no shard ever overflowed";
+}
+
+TEST(EvalCacheTest, EntriesNeverExceedConfiguredCapacity) {
+  SpecEvalCache C(/*MaxEntries=*/0);
+  const uint64_t TotalCap =
+      2 * SpecEvalCache::numShards() * C.shardCap(); // alpha + action side
+  uint64_t MaxSeen = 0;
+  ActionDecl Action;
+  Action.Name = "act";
+  for (int64_t I = 0; I < 20000; ++I) {
+    ValueRef V = key(I);
+    C.alpha(V, [&] { return V; });
+    C.action(Action, V, V, [&] { return V; });
+    if (I % 97 == 0)
+      MaxSeen = std::max(MaxSeen, C.stats().Entries);
+  }
+  CacheStats S = C.stats();
+  MaxSeen = std::max(MaxSeen, S.Entries);
+  EXPECT_LE(MaxSeen, TotalCap);
+  EXPECT_GT(S.Evictions, 0u);
+  // Halving keeps survivors: the cache never collapses to empty shards.
+  EXPECT_GE(S.Entries, TotalCap / 4);
+}
+
+TEST(EvalCacheTest, SurvivorsStillHitAfterEviction) {
+  SpecEvalCache C(/*MaxEntries=*/0);
+  // Fill well past capacity, then re-query everything: survivors hit, the
+  // evicted half recomputes (and every returned value is still correct).
+  for (int64_t I = 0; I < 5000; ++I) {
+    ValueRef V = key(I);
+    C.alpha(V, [&] { return V; });
+  }
+  uint64_t HitsBefore = C.stats().AlphaHits;
+  unsigned Recomputed = 0;
+  for (int64_t I = 0; I < 5000; ++I) {
+    ValueRef V = key(I);
+    ValueRef R = C.alpha(V, [&] {
+      ++Recomputed;
+      return V;
+    });
+    EXPECT_TRUE(Value::equal(R, V));
+  }
+  CacheStats S = C.stats();
+  EXPECT_GT(S.AlphaHits, HitsBefore); // some keys survived eviction
+  EXPECT_GT(Recomputed, 0u);          // and some were evicted
+  EXPECT_LT(Recomputed, 5000u);
+}

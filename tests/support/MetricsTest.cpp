@@ -1,0 +1,178 @@
+//===-- tests/support/MetricsTest.cpp - Metrics registry unit tests --------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Covers the metric primitives (counter, gauge, histogram) and the
+/// registry's JSON export contract: deterministic metrics under "counts",
+/// scheduling-dependent ones under "timings", keys sorted, and the
+/// "counts" object identical across registration orders — the property CI
+/// diffs across `--jobs` settings.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/trace/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace commcsl;
+
+namespace {
+
+/// The "counts" object of an export, i.e. the part that must be
+/// byte-identical at any job count.
+std::string countsSection(const std::string &Json) {
+  size_t Begin = Json.find("\"counts\"");
+  size_t End = Json.find("\"timings\"");
+  EXPECT_NE(Begin, std::string::npos);
+  EXPECT_NE(End, std::string::npos);
+  return Json.substr(Begin, End - Begin);
+}
+
+} // namespace
+
+TEST(MetricsTest, CounterAccumulatesAndResets) {
+  Metric_Counter C;
+  EXPECT_EQ(C.value(), 0u);
+  C.add();
+  C.add(41);
+  EXPECT_EQ(C.value(), 42u);
+  C.reset();
+  EXPECT_EQ(C.value(), 0u);
+}
+
+TEST(MetricsTest, GaugeSetAddMax) {
+  Metric_Gauge G;
+  G.set(2.5);
+  EXPECT_DOUBLE_EQ(G.value(), 2.5);
+  G.add(1.5);
+  EXPECT_DOUBLE_EQ(G.value(), 4.0);
+  G.max(3.0); // below current: no change
+  EXPECT_DOUBLE_EQ(G.value(), 4.0);
+  G.max(7.0);
+  EXPECT_DOUBLE_EQ(G.value(), 7.0);
+}
+
+TEST(MetricsTest, GaugeConcurrentAddIsLossless) {
+  Metric_Gauge G;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&] {
+      for (int I = 0; I < 1000; ++I)
+        G.add(1.0);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_DOUBLE_EQ(G.value(), 4000.0);
+}
+
+TEST(MetricsTest, HistogramObservesCountSumMax) {
+  Metric_Histogram H;
+  for (int I = 1; I <= 100; ++I)
+    H.observe(I);
+  EXPECT_EQ(H.count(), 100u);
+  EXPECT_DOUBLE_EQ(H.sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(H.maxValue(), 100.0);
+  // Uniform 1..100 in log2 buckets: the median falls in [32, 64), the 95th
+  // percentile in [64, 128).
+  EXPECT_DOUBLE_EQ(H.quantileUpperBound(0.5), 64.0);
+  EXPECT_DOUBLE_EQ(H.quantileUpperBound(0.95), 128.0);
+  H.reset();
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_DOUBLE_EQ(H.quantileUpperBound(0.5), 0.0);
+}
+
+TEST(MetricsTest, HistogramSubUnitSamplesLandInBucketZero) {
+  Metric_Histogram H;
+  H.observe(0.0);
+  H.observe(0.5);
+  EXPECT_DOUBLE_EQ(H.quantileUpperBound(0.99), 1.0);
+}
+
+TEST(MetricsTest, JsonSplitsCountsFromTimings) {
+  MetricsRegistry R;
+  R.counter("verify.files").add(3);
+  R.counter("cache.hits", Stability::Varies).add(7);
+  R.gauge("wall_seconds").set(1.25);
+  R.histogram("latency_us").observe(10);
+  std::string Json = R.json();
+
+  std::string Counts = countsSection(Json);
+  EXPECT_NE(Counts.find("\"verify.files\": 3"), std::string::npos);
+  EXPECT_EQ(Counts.find("cache.hits"), std::string::npos);
+  EXPECT_EQ(Counts.find("wall_seconds"), std::string::npos);
+
+  size_t Timings = Json.find("\"timings\"");
+  EXPECT_NE(Json.find("\"cache.hits\": 7", Timings), std::string::npos);
+  EXPECT_NE(Json.find("\"wall_seconds\": 1.250000", Timings),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"latency_us\": {\"count\": 1", Timings),
+            std::string::npos);
+}
+
+TEST(MetricsTest, JsonKeysAreSortedRegardlessOfRegistrationOrder) {
+  MetricsRegistry A, B;
+  A.counter("zebra").add(1);
+  A.counter("alpha").add(2);
+  A.counter("mid").add(3);
+  // Same metrics, opposite registration order.
+  B.counter("mid").add(3);
+  B.counter("alpha").add(2);
+  B.counter("zebra").add(1);
+  EXPECT_EQ(A.json(), B.json());
+  std::string Json = A.json();
+  EXPECT_LT(Json.find("\"alpha\""), Json.find("\"mid\""));
+  EXPECT_LT(Json.find("\"mid\""), Json.find("\"zebra\""));
+}
+
+TEST(MetricsTest, CountsSectionIgnoresTimingChanges) {
+  // The CI determinism diff strips "timings"; wall-clock noise must not
+  // leak into "counts".
+  MetricsRegistry A, B;
+  A.counter("n").add(5);
+  A.gauge("seconds").set(0.001);
+  B.counter("n").add(5);
+  B.gauge("seconds").set(123.456);
+  EXPECT_EQ(countsSection(A.json()), countsSection(B.json()));
+  EXPECT_NE(A.json(), B.json());
+}
+
+TEST(MetricsTest, EmptyRegistryStillEmitsBothSections) {
+  MetricsRegistry R;
+  std::string Json = R.json();
+  EXPECT_NE(Json.find("\"counts\": {}"), std::string::npos);
+  EXPECT_NE(Json.find("\"timings\": {}"), std::string::npos);
+}
+
+TEST(MetricsTest, StabilityFixedByFirstRegistration) {
+  MetricsRegistry R;
+  R.counter("x", Stability::Varies).add(1);
+  // A later lookup with the default stability must not move the metric.
+  R.counter("x").add(1);
+  std::string Json = R.json();
+  EXPECT_EQ(countsSection(Json).find("\"x\""), std::string::npos);
+  EXPECT_NE(Json.find("\"x\": 2", Json.find("\"timings\"")),
+            std::string::npos);
+}
+
+TEST(MetricsTest, ResetAllZeroesEveryMetric) {
+  MetricsRegistry R;
+  R.counter("c").add(9);
+  R.gauge("g").set(9);
+  R.histogram("h").observe(9);
+  R.resetAll();
+  EXPECT_EQ(R.counter("c").value(), 0u);
+  EXPECT_DOUBLE_EQ(R.gauge("g").value(), 0.0);
+  EXPECT_EQ(R.histogram("h").count(), 0u);
+}
+
+TEST(MetricsTest, WriteJsonFailsOnUnwritablePath) {
+  MetricsRegistry R;
+  EXPECT_FALSE(R.writeJson("/nonexistent-dir/metrics.json"));
+}

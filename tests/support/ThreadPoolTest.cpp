@@ -102,6 +102,71 @@ TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
   EXPECT_EQ(Count.load(), 4u * 8u);
 }
 
+TEST(ThreadPoolTest, DeeplyNestedCallsCoverEveryLevel) {
+  // Three levels of fan-out on one pool: every waiting level must help
+  // drain the queue rather than hold a worker hostage.
+  ThreadPool Pool(2);
+  std::atomic<uint64_t> Count{0};
+  Pool.parallelForChunks(2, 2, [&](uint64_t B, uint64_t E, unsigned) {
+    for (uint64_t I = B; I < E; ++I)
+      Pool.parallelForChunks(3, 2, [&](uint64_t MB, uint64_t ME, unsigned) {
+        for (uint64_t J = MB; J < ME; ++J)
+          Pool.parallelForChunks(5, 2,
+                                 [&](uint64_t IB, uint64_t IE, unsigned) {
+                                   Count.fetch_add(IE - IB);
+                                 });
+      });
+  });
+  EXPECT_EQ(Count.load(), 2u * 3u * 5u);
+}
+
+TEST(ThreadPoolTest, TwoConcurrentTopLevelCallsBothComplete) {
+  // Two caller threads fanning out on the same pool at once: each call
+  // must see exactly its own range, once, and both must terminate even
+  // when their chunks interleave in the shared queue.
+  ThreadPool Pool(2);
+  for (int Round = 0; Round < 20; ++Round) {
+    std::atomic<uint64_t> SumA{0}, SumB{0};
+    std::thread CallerA([&] {
+      Pool.parallelForChunks(1000, 4, [&](uint64_t B, uint64_t E, unsigned) {
+        for (uint64_t I = B; I < E; ++I)
+          SumA.fetch_add(I);
+      });
+    });
+    std::thread CallerB([&] {
+      Pool.parallelForChunks(500, 4, [&](uint64_t B, uint64_t E, unsigned) {
+        for (uint64_t I = B; I < E; ++I)
+          SumB.fetch_add(I);
+      });
+    });
+    CallerA.join();
+    CallerB.join();
+    EXPECT_EQ(SumA.load(), 1000u * 999u / 2);
+    EXPECT_EQ(SumB.load(), 500u * 499u / 2);
+  }
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersWithNestedFanOut) {
+  // The combination: concurrent top-level calls that each nest. The
+  // help-while-pending path must distinguish "my call is done" from "the
+  // queue is empty", or one caller could return early / deadlock.
+  ThreadPool Pool(2);
+  std::atomic<uint64_t> Total{0};
+  auto Body = [&] {
+    Pool.parallelForChunks(4, 4, [&](uint64_t B, uint64_t E, unsigned) {
+      for (uint64_t I = B; I < E; ++I)
+        Pool.parallelForChunks(8, 4,
+                               [&](uint64_t IB, uint64_t IE, unsigned) {
+                                 Total.fetch_add(IE - IB);
+                               });
+    });
+  };
+  std::thread CallerA(Body), CallerB(Body);
+  CallerA.join();
+  CallerB.join();
+  EXPECT_EQ(Total.load(), 2u * 4u * 8u);
+}
+
 TEST(ThreadPoolTest, ExceptionsPropagateToCaller) {
   ThreadPool Pool(4);
   EXPECT_THROW(

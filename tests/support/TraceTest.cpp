@@ -1,0 +1,219 @@
+//===-- tests/support/TraceTest.cpp - Trace recorder unit tests ------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Covers the Stopwatch, the TraceRecorder's Chrome trace-event export,
+/// and the disabled-path contract of TraceSpan / traceInstant /
+/// traceCounter: with tracing off, nothing is recorded and span labels are
+/// never materialized.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/trace/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+using namespace commcsl;
+
+namespace {
+
+/// Every test leaves the global recorder disabled and empty; the suites
+/// instrumenting library code depend on that default.
+class TraceTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    TraceRecorder::global().disable();
+    TraceRecorder::global().clear();
+  }
+  void TearDown() override {
+    TraceRecorder::global().disable();
+    TraceRecorder::global().clear();
+  }
+};
+
+} // namespace
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch W;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  double S1 = W.seconds();
+  EXPECT_GE(S1, 0.004);
+  EXPECT_GE(W.micros(), 4000u);
+  W.restart();
+  EXPECT_LT(W.seconds(), S1);
+}
+
+TEST(StopwatchTest, SecondsAndMicrosAgree) {
+  Stopwatch W;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  uint64_t Us = W.micros();
+  double S = W.seconds();
+  // micros() was read first, so it is the smaller measurement.
+  EXPECT_LE(static_cast<double>(Us) / 1e6, S + 1e-9);
+  EXPECT_NEAR(static_cast<double>(Us) / 1e6, S, 0.05);
+}
+
+TEST_F(TraceTest, DisabledRecorderRecordsNothing) {
+  TraceRecorder &R = TraceRecorder::global();
+  ASSERT_FALSE(R.enabled());
+  {
+    TraceSpan Span("test", "ignored");
+    traceInstant("test", "ignored");
+    traceCounter("test.counter", 1);
+  }
+  EXPECT_EQ(R.eventCount(), 0u);
+}
+
+TEST_F(TraceTest, LazyLabelNotMaterializedWhenDisabled) {
+  bool Called = false;
+  {
+    TraceSpan Span("test", [&] {
+      Called = true;
+      return std::string("expensive label");
+    });
+  }
+  EXPECT_FALSE(Called);
+}
+
+TEST_F(TraceTest, LazyLabelMaterializedOnceWhenEnabled) {
+  TraceRecorder::global().enable();
+  int Calls = 0;
+  {
+    TraceSpan Span("test", [&] {
+      ++Calls;
+      return std::string("label");
+    });
+  }
+  EXPECT_EQ(Calls, 1);
+  EXPECT_EQ(TraceRecorder::global().eventCount(), 1u);
+}
+
+TEST_F(TraceTest, SpansRecordCompleteEvents) {
+  TraceRecorder &R = TraceRecorder::global();
+  R.enable();
+  {
+    TraceSpan Outer("phase", "outer");
+    {
+      TraceSpan Inner("phase", "inner");
+      Inner.setDetail("d1");
+    }
+  }
+  EXPECT_EQ(R.eventCount(), 2u);
+  std::string Json = R.chromeTraceJson();
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"inner\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(Json.find("\"cat\":\"phase\""), std::string::npos);
+  EXPECT_NE(Json.find("\"detail\":\"d1\""), std::string::npos);
+}
+
+TEST_F(TraceTest, InstantAndCounterEventsExport) {
+  TraceRecorder &R = TraceRecorder::global();
+  R.enable();
+  traceInstant("test", "marker", "payload");
+  traceCounter("queue.depth", 3);
+  EXPECT_EQ(R.eventCount(), 2u);
+  std::string Json = R.chromeTraceJson();
+  EXPECT_NE(Json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(Json.find("\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(Json.find("\"value\":3"), std::string::npos);
+  EXPECT_NE(Json.find("\"detail\":\"payload\""), std::string::npos);
+}
+
+TEST_F(TraceTest, EventNamesAreJsonEscaped) {
+  TraceRecorder &R = TraceRecorder::global();
+  R.enable();
+  traceInstant("test", "quote\"back\\slash\nnewline");
+  std::string Json = R.chromeTraceJson();
+  EXPECT_NE(Json.find("quote\\\"back\\\\slash\\nnewline"),
+            std::string::npos);
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctTids) {
+  TraceRecorder &R = TraceRecorder::global();
+  R.enable();
+  std::thread T1([] { TraceSpan Span("test", "thread-a"); });
+  std::thread T2([] { TraceSpan Span("test", "thread-b"); });
+  T1.join();
+  T2.join();
+  EXPECT_EQ(R.eventCount(), 2u);
+  std::string Json = R.chromeTraceJson();
+  // The two worker threads registered separate buffers with distinct tids.
+  size_t FirstTid = Json.find("\"tid\":");
+  ASSERT_NE(FirstTid, std::string::npos);
+  size_t SecondTid = Json.find("\"tid\":", FirstTid + 1);
+  ASSERT_NE(SecondTid, std::string::npos);
+  EXPECT_NE(Json.substr(FirstTid, 10), Json.substr(SecondTid, 10));
+}
+
+TEST_F(TraceTest, ClearDropsEvents) {
+  TraceRecorder &R = TraceRecorder::global();
+  R.enable();
+  { TraceSpan Span("test", "x"); }
+  EXPECT_EQ(R.eventCount(), 1u);
+  R.clear();
+  EXPECT_EQ(R.eventCount(), 0u);
+  EXPECT_NE(R.chromeTraceJson().find("\"traceEvents\":["),
+            std::string::npos);
+}
+
+TEST_F(TraceTest, SeparateRecorderInstancesAreIndependent) {
+  // Test-local recorders must not share buffers with the global one, and
+  // a recorder created after another was destroyed must not see its
+  // cached thread buffers (ids, not addresses, key the thread cache).
+  {
+    TraceRecorder Local;
+    Local.enable();
+    Local.recordInstant("a", "test");
+    EXPECT_EQ(Local.eventCount(), 1u);
+  }
+  TraceRecorder Fresh;
+  Fresh.enable();
+  EXPECT_EQ(Fresh.eventCount(), 0u);
+  Fresh.recordInstant("b", "test");
+  Fresh.recordCounter("c", 1.5);
+  EXPECT_EQ(Fresh.eventCount(), 2u);
+  EXPECT_EQ(TraceRecorder::global().eventCount(), 0u);
+}
+
+TEST_F(TraceTest, SpanTimestampsNestByContainment) {
+  TraceRecorder &R = TraceRecorder::global();
+  R.enable();
+  {
+    TraceSpan Outer("test", "outer");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    {
+      TraceSpan Inner("test", "inner");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::string Json = R.chromeTraceJson();
+
+  // Pull ("ts", "dur") for a named event out of the JSON text.
+  auto Field = [&](const std::string &Name, const char *Key) {
+    size_t At = Json.find("\"name\":\"" + Name + "\"");
+    EXPECT_NE(At, std::string::npos);
+    // Fields may precede or follow the name within the same object; search
+    // from the start of the enclosing object.
+    size_t Open = Json.rfind('{', At);
+    size_t KeyAt = Json.find(std::string("\"") + Key + "\":", Open);
+    return std::strtoull(Json.c_str() + KeyAt + std::strlen(Key) + 3,
+                         nullptr, 10);
+  };
+  uint64_t OuterTs = Field("outer", "ts"), OuterDur = Field("outer", "dur");
+  uint64_t InnerTs = Field("inner", "ts"), InnerDur = Field("inner", "dur");
+  EXPECT_LE(OuterTs, InnerTs);
+  EXPECT_LE(InnerTs + InnerDur, OuterTs + OuterDur);
+}

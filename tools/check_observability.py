@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Validate hyperviper observability artifacts.
+
+Two subcommands, used by the CI `observability` job and handy locally:
+
+  check_observability.py trace TRACE.json
+      Validate a `--trace` export: well-formed JSON, the Chrome
+      trace-event envelope (`traceEvents` list, `displayTimeUnit`), every
+      event carries the required keys for its phase, and "X" (complete)
+      spans nest properly per thread — span intervals on one tid must be
+      related by containment or disjointness, never partial overlap.
+
+  check_observability.py metrics-diff A.json B.json
+      Validate two `--metrics-json` exports (each must contain exactly the
+      "counts" and "timings" objects, with sorted keys) and diff their
+      "counts" objects, which the determinism contract requires to be
+      identical across `--jobs` settings. Exit 1 with a per-key report on
+      any mismatch.
+"""
+
+import json
+import sys
+
+REQUIRED_BY_PHASE = {
+    "X": ("name", "cat", "ts", "pid", "tid", "dur"),
+    "i": ("name", "cat", "ts", "pid", "tid", "s"),
+    "C": ("name", "ts", "pid", "tid", "args"),
+}
+
+
+def fail(msg):
+    print(f"check_observability: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+
+def check_trace(path):
+    doc = load(path)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: missing traceEvents envelope")
+    if doc.get("displayTimeUnit") != "ms":
+        fail(f"{path}: missing displayTimeUnit")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(f"{path}: traceEvents is not a list")
+
+    spans_by_tid = {}
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph not in REQUIRED_BY_PHASE:
+            fail(f"{path}: event {i}: unknown phase {ph!r}")
+        for key in REQUIRED_BY_PHASE[ph]:
+            if key not in e:
+                fail(f"{path}: event {i} ({ph}): missing key {key!r}")
+        if ph == "X":
+            spans_by_tid.setdefault(e["tid"], []).append(
+                (e["ts"], e["ts"] + e["dur"], e["name"])
+            )
+
+    # Spans on one thread must nest: sorted by (start, -end), each span is
+    # either contained in the enclosing open span or starts after it ends.
+    for tid, spans in spans_by_tid.items():
+        spans.sort(key=lambda s: (s[0], -s[1]))
+        stack = []
+        for start, end, name in spans:
+            while stack and start >= stack[-1][1]:
+                stack.pop()
+            if stack and end > stack[-1][1]:
+                fail(
+                    f"{path}: tid {tid}: span {name!r} [{start},{end}) "
+                    f"partially overlaps {stack[-1][2]!r} "
+                    f"[{stack[-1][0]},{stack[-1][1]})"
+                )
+            stack.append((start, end, name))
+
+    n_spans = sum(len(s) for s in spans_by_tid.values())
+    print(
+        f"check_observability: OK: {path}: {len(events)} events, "
+        f"{n_spans} spans across {len(spans_by_tid)} threads, nesting valid"
+    )
+
+
+def check_metrics_shape(path, doc):
+    if not isinstance(doc, dict) or set(doc) != {"counts", "timings"}:
+        fail(f"{path}: expected exactly 'counts' and 'timings' objects")
+    for section in ("counts", "timings"):
+        obj = doc[section]
+        if not isinstance(obj, dict):
+            fail(f"{path}: {section} is not an object")
+        keys = list(obj)
+        if keys != sorted(keys):
+            fail(f"{path}: {section} keys are not sorted")
+    for name, v in doc["counts"].items():
+        if not isinstance(v, int):
+            fail(f"{path}: counts[{name!r}] is not an integer: {v!r}")
+
+
+def metrics_diff(path_a, path_b):
+    a, b = load(path_a), load(path_b)
+    check_metrics_shape(path_a, a)
+    check_metrics_shape(path_b, b)
+    ca, cb = a["counts"], b["counts"]
+    bad = False
+    for key in sorted(set(ca) | set(cb)):
+        if key not in ca or key not in cb:
+            print(
+                f"  {key}: only in {path_a if key in ca else path_b}",
+                file=sys.stderr,
+            )
+            bad = True
+        elif ca[key] != cb[key]:
+            print(f"  {key}: {ca[key]} != {cb[key]}", file=sys.stderr)
+            bad = True
+    if bad:
+        fail(f"counts differ between {path_a} and {path_b}")
+    print(
+        f"check_observability: OK: {len(ca)} count metrics identical "
+        f"between {path_a} and {path_b}"
+    )
+
+
+def main(argv):
+    if len(argv) >= 3 and argv[1] == "trace":
+        for path in argv[2:]:
+            check_trace(path)
+    elif len(argv) == 4 and argv[1] == "metrics-diff":
+        metrics_diff(argv[2], argv[3])
+    else:
+        print(__doc__, file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -5,7 +5,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Command-line verifier: `hyperviper [options] file.hv ...`
+/// Command-line verifier: `hyperviper [options] file-or-dir.hv ...`
 ///
 /// Options:
 ///   --no-validity   skip resource-spec validity checking (Def. 3.1)
@@ -21,6 +21,18 @@
 ///                   --metrics)
 ///   --metrics       print Table-1-style metrics (LOC / Ann. / time)
 ///   --quiet         only print the verdict line
+///
+/// Observability options (accepted by every subcommand):
+///   --trace <FILE>         record scoped spans into FILE as Chrome
+///                          trace-event JSON (load in Perfetto or
+///                          chrome://tracing); see README "Profiling"
+///   --metrics-json <FILE>  export the process metrics registry as JSON;
+///                          the "counts" object is byte-identical at any
+///                          --jobs, wall-clock values live under "timings"
+///
+/// `--jobs` is parsed identically everywhere: a positive decimal integer,
+/// no sign, no trailing junk (`4x`), no overflow; anything else is a
+/// consistent `invalid --jobs value` error with exit code 2.
 ///
 /// Analysis subcommand: `hyperviper analyze [options] file-or-dir ...`
 /// runs the static information-flow pre-analysis (CFG + taint + lints,
@@ -67,6 +79,9 @@
 #include "fuzz/Corpus.h"
 #include "hyperviper/Analyze.h"
 #include "hyperviper/Driver.h"
+#include "support/Numeric.h"
+#include "support/trace/Metrics.h"
+#include "support/trace/Trace.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -79,39 +94,115 @@ using namespace commcsl;
 
 namespace {
 
+/// Observability flags shared by every subcommand. `parseFlag` consumes
+/// `--trace` / `--metrics-json` (returning true), `finish` writes the
+/// requested files after the verb's work is done.
+struct Observability {
+  std::string Sub; ///< subcommand label for error messages
+  std::string TracePath;
+  std::string MetricsPath;
+
+  /// Returns true when \p Arg was one of ours (value consumed via \p I).
+  /// Exits with code 2 on a missing value.
+  bool parseFlag(const std::string &Arg, int Argc, char **Argv, int &I) {
+    if (Arg != "--trace" && Arg != "--metrics-json")
+      return false;
+    if (I + 1 >= Argc) {
+      std::fprintf(stderr, "%s: error: %s expects a value\n", Sub.c_str(),
+                   Arg.c_str());
+      std::exit(2);
+    }
+    (Arg == "--trace" ? TracePath : MetricsPath) = Argv[++I];
+    if (Arg == "--trace")
+      TraceRecorder::global().enable();
+    return true;
+  }
+
+  /// Writes the trace / metrics files. Returns false (with a message on
+  /// stderr) when a write failed.
+  bool finish() const {
+    bool Ok = true;
+    if (!TracePath.empty() &&
+        !TraceRecorder::global().writeChromeTrace(TracePath)) {
+      std::fprintf(stderr, "%s: error: cannot write trace file %s\n",
+                   Sub.c_str(), TracePath.c_str());
+      Ok = false;
+    }
+    if (!MetricsPath.empty() &&
+        !MetricsRegistry::global().writeJson(MetricsPath)) {
+      std::fprintf(stderr, "%s: error: cannot write metrics file %s\n",
+                   Sub.c_str(), MetricsPath.c_str());
+      Ok = false;
+    }
+    return Ok;
+  }
+};
+
+/// The option's value string, or exit(2) if it is missing.
+const char *requireValue(const char *Sub, const char *Flag, int Argc,
+                         char **Argv, int &I) {
+  if (I + 1 >= Argc) {
+    std::fprintf(stderr, "%s: error: %s expects a value\n", Sub, Flag);
+    std::exit(2);
+  }
+  return Argv[++I];
+}
+
+/// Uniform `--jobs` parsing for every subcommand: rejects zero, signs,
+/// trailing junk, and overflow with one error shape and exit code 2.
+unsigned requireJobs(const char *Sub, int Argc, char **Argv, int &I) {
+  const char *Value = requireValue(Sub, "--jobs", Argc, Argv, I);
+  std::optional<unsigned> Jobs = parseJobsValue(Value);
+  if (!Jobs) {
+    std::fprintf(stderr,
+                 "%s: error: invalid --jobs value '%s' (expected a "
+                 "positive integer)\n",
+                 Sub, Value);
+    std::exit(2);
+  }
+  return *Jobs;
+}
+
+/// Strict unsigned option value (same contract as --jobs but 0 allowed),
+/// for campaign sizes and budgets.
+uint64_t requireUnsigned(const char *Sub, const char *Flag, int Argc,
+                         char **Argv, int &I) {
+  const char *Value = requireValue(Sub, Flag, Argc, Argv, I);
+  std::optional<uint64_t> V = parseUnsigned64(Value);
+  if (!V) {
+    std::fprintf(stderr,
+                 "%s: error: invalid %s value '%s' (expected a "
+                 "non-negative integer)\n",
+                 Sub, Flag, Value);
+    std::exit(2);
+  }
+  return *V;
+}
+
 int runFuzz(int Argc, char **Argv) {
+  const char *Sub = "hyperviper fuzz";
   CampaignConfig Config;
+  Observability Obs{Sub, {}, {}};
   std::string CorpusDir;
   std::string ReportPath = "-";
 
-  auto NumArg = [&](int &I, const char *Flag) -> long {
-    if (I + 1 >= Argc) {
-      std::fprintf(stderr, "hyperviper fuzz: error: %s expects a value\n",
-                   Flag);
-      std::exit(2);
-    }
-    return std::strtol(Argv[++I], nullptr, 10);
-  };
-
   for (int I = 0; I < Argc; ++I) {
     std::string Arg = Argv[I];
-    if (Arg == "--seeds") {
-      Config.NumSeeds = static_cast<unsigned>(NumArg(I, "--seeds"));
+    if (Obs.parseFlag(Arg, Argc, Argv, I)) {
+    } else if (Arg == "--seeds") {
+      Config.NumSeeds =
+          static_cast<unsigned>(requireUnsigned(Sub, "--seeds", Argc, Argv, I));
     } else if (Arg == "--base-seed") {
-      Config.BaseSeed = static_cast<uint64_t>(NumArg(I, "--base-seed"));
+      Config.BaseSeed = requireUnsigned(Sub, "--base-seed", Argc, Argv, I);
     } else if (Arg == "--jobs") {
-      Config.Jobs = static_cast<unsigned>(NumArg(I, "--jobs"));
+      Config.Jobs = requireJobs(Sub, Argc, Argv, I);
     } else if (Arg == "--time-budget") {
-      if (I + 1 >= Argc) {
-        std::fprintf(stderr,
-                     "hyperviper fuzz: error: --time-budget expects a "
-                     "value\n");
-        return 2;
-      }
-      Config.TimeBudgetSeconds = std::strtod(Argv[++I], nullptr);
+      Config.TimeBudgetSeconds =
+          std::strtod(requireValue(Sub, "--time-budget", Argc, Argv, I),
+                      nullptr);
     } else if (Arg == "--target-statements") {
-      Config.Gen.TargetStatements =
-          static_cast<unsigned>(NumArg(I, "--target-statements"));
+      Config.Gen.TargetStatements = static_cast<unsigned>(
+          requireUnsigned(Sub, "--target-statements", Argc, Argv, I));
     } else if (Arg == "--no-concurrency") {
       Config.Gen.EnableConcurrency = false;
     } else if (Arg == "--no-collections") {
@@ -127,34 +218,20 @@ int runFuzz(int Argc, char **Argv) {
     } else if (Arg == "--no-shrink") {
       Config.ShrinkFindings = false;
     } else if (Arg == "--shrink-budget") {
-      Config.Shrink.MaxOracleRuns =
-          static_cast<unsigned>(NumArg(I, "--shrink-budget"));
+      Config.Shrink.MaxOracleRuns = static_cast<unsigned>(
+          requireUnsigned(Sub, "--shrink-budget", Argc, Argv, I));
     } else if (Arg == "--corpus-dir") {
-      if (I + 1 >= Argc) {
-        std::fprintf(stderr, "hyperviper fuzz: error: --corpus-dir expects "
-                             "a value\n");
-        return 2;
-      }
-      CorpusDir = Argv[++I];
+      CorpusDir = requireValue(Sub, "--corpus-dir", Argc, Argv, I);
     } else if (Arg == "--report") {
-      if (I + 1 >= Argc) {
-        std::fprintf(stderr,
-                     "hyperviper fuzz: error: --report expects a value\n");
-        return 2;
-      }
-      ReportPath = Argv[++I];
+      ReportPath = requireValue(Sub, "--report", Argc, Argv, I);
     } else if (Arg == "--inject") {
-      if (I + 1 >= Argc) {
-        std::fprintf(stderr,
-                     "hyperviper fuzz: error: --inject expects a value\n");
-        return 2;
-      }
-      std::optional<OracleFault> F = oracleFaultByName(Argv[++I]);
+      const char *Value = requireValue(Sub, "--inject", Argc, Argv, I);
+      std::optional<OracleFault> F = oracleFaultByName(Value);
       if (!F) {
         std::fprintf(stderr,
-                     "hyperviper fuzz: error: unknown fault '%s' (want "
+                     "%s: error: unknown fault '%s' (want "
                      "none|accept-all|reject-all)\n",
-                     Argv[I]);
+                     Sub, Value);
         return 2;
       }
       Config.Oracle.Inject = *F;
@@ -165,10 +242,11 @@ int runFuzz(int Argc, char **Argv) {
           "  [--no-collections] [--no-unique-par] [--no-value-dependent]\n"
           "  [--no-loops] [--secure-only] [--no-shrink] [--shrink-budget N]\n"
           "  [--corpus-dir DIR] [--report FILE|-] "
-          "[--inject none|accept-all|reject-all]\n");
+          "[--inject none|accept-all|reject-all]\n"
+          "  [--trace FILE] [--metrics-json FILE]\n");
       return 0;
     } else {
-      std::fprintf(stderr, "hyperviper fuzz: error: unknown option '%s'\n",
+      std::fprintf(stderr, "%s: error: unknown option '%s'\n", Sub,
                    Arg.c_str());
       return 2;
     }
@@ -182,7 +260,7 @@ int runFuzz(int Argc, char **Argv) {
   } else {
     std::ofstream Out(ReportPath);
     if (!Out) {
-      std::fprintf(stderr, "hyperviper fuzz: error: cannot write %s\n",
+      std::fprintf(stderr, "%s: error: cannot write %s\n", Sub,
                    ReportPath.c_str());
       return 2;
     }
@@ -191,46 +269,44 @@ int runFuzz(int Argc, char **Argv) {
 
   if (!CorpusDir.empty()) {
     std::vector<std::string> Paths = writeCorpusFiles(Report, CorpusDir);
-    std::fprintf(stderr, "hyperviper fuzz: wrote %zu corpus file(s) to %s\n",
+    std::fprintf(stderr, "%s: wrote %zu corpus file(s) to %s\n", Sub,
                  Paths.size(), CorpusDir.c_str());
   }
 
   std::fprintf(stderr,
-               "hyperviper fuzz: %u seeds run (%u skipped): %u agree, "
+               "%s: %u seeds run (%u skipped): %u agree, "
                "%u soundness-violation, %u analysis-unsound, "
                "%u completeness-gap, %u flake, %u generator-invalid; "
                "%u statically secure\n",
-               Report.SeedsRun, Report.SeedsSkipped, Report.Agree,
+               Sub, Report.SeedsRun, Report.SeedsSkipped, Report.Agree,
                Report.SoundnessViolations, Report.AnalysisUnsound,
                Report.CompletenessGaps, Report.Flakes,
                Report.GeneratorInvalids, Report.StaticSecureSeeds);
+  if (!Obs.finish())
+    return 2;
   return Report.clean() ? 0 : 1;
 }
 
 int runAnalyzeCmd(int Argc, char **Argv) {
+  const char *Sub = "hyperviper analyze";
   AnalyzeOptions Options;
+  Observability Obs{Sub, {}, {}};
   std::vector<std::string> Inputs;
   for (int I = 0; I < Argc; ++I) {
     std::string Arg = Argv[I];
-    if (Arg == "--jobs" && I + 1 < Argc) {
-      long N = std::strtol(Argv[++I], nullptr, 10);
-      if (N < 1) {
-        std::fprintf(stderr, "hyperviper analyze: error: --jobs expects a "
-                             "positive integer\n");
-        return 2;
-      }
-      Options.Jobs = static_cast<unsigned>(N);
+    if (Obs.parseFlag(Arg, Argc, Argv, I)) {
+    } else if (Arg == "--jobs") {
+      Options.Jobs = requireJobs(Sub, Argc, Argv, I);
     } else if (Arg == "--check") {
       Options.Check = true;
     } else if (Arg == "--write") {
       Options.Write = true;
     } else if (Arg == "--help" || Arg == "-h") {
       std::printf("usage: hyperviper analyze [--jobs N] [--check|--write] "
-                  "file-or-dir ...\n");
+                  "[--trace FILE] [--metrics-json FILE] file-or-dir ...\n");
       return 0;
     } else if (!Arg.empty() && Arg[0] == '-') {
-      std::fprintf(stderr,
-                   "hyperviper analyze: error: unknown option '%s'\n",
+      std::fprintf(stderr, "%s: error: unknown option '%s'\n", Sub,
                    Arg.c_str());
       return 2;
     } else {
@@ -238,80 +314,88 @@ int runAnalyzeCmd(int Argc, char **Argv) {
     }
   }
   if (Inputs.empty()) {
-    std::fprintf(stderr, "hyperviper analyze: error: no inputs\n");
+    std::fprintf(stderr, "%s: error: no inputs\n", Sub);
     return 2;
   }
   AnalyzeResult R = runAnalyze(Inputs, Options);
   std::fputs(R.str().c_str(), stdout);
+  if (!Obs.finish())
+    return 2;
   if (Options.Check && !R.Ok) {
     std::fprintf(stderr,
-                 "hyperviper analyze: error: report does not match the "
-                 "committed .analysis sidecars\n");
+                 "%s: error: report does not match the committed .analysis "
+                 "sidecars\n",
+                 Sub);
     return 1;
   }
   return 0;
 }
 
-} // namespace
-
-int main(int Argc, char **Argv) {
-  if (Argc > 1 && std::strcmp(Argv[1], "fuzz") == 0)
-    return runFuzz(Argc - 2, Argv + 2);
-  if (Argc > 1 && std::strcmp(Argv[1], "analyze") == 0)
-    return runAnalyzeCmd(Argc - 2, Argv + 2);
-
+int runVerify(int Argc, char **Argv) {
+  const char *Sub = "hyperviper";
   DriverOptions Options;
+  Observability Obs{Sub, {}, {}};
   bool PrintMetrics = false;
   bool Quiet = false;
   std::string NIProc;
-  std::vector<std::string> Files;
+  std::vector<std::string> Inputs;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
-    if (Arg == "--no-validity") {
+    if (Obs.parseFlag(Arg, Argc, Argv, I)) {
+    } else if (Arg == "--no-validity") {
       Options.Verifier.SkipValidityCheck = true;
-    } else if (Arg == "--jobs" && I + 1 < Argc) {
-      long N = std::strtol(Argv[++I], nullptr, 10);
-      if (N < 1) {
-        std::fprintf(stderr, "hyperviper: error: --jobs expects a positive "
-                             "integer\n");
-        return 2;
-      }
-      Options.Jobs = static_cast<unsigned>(N);
+    } else if (Arg == "--jobs") {
+      Options.Jobs = requireJobs(Sub, Argc, Argv, I);
     } else if (Arg == "--triage") {
       Options.Triage = true;
     } else if (Arg == "--metrics") {
       PrintMetrics = true;
     } else if (Arg == "--quiet") {
       Quiet = true;
-    } else if (Arg == "--ni" && I + 1 < Argc) {
-      NIProc = Argv[++I];
+    } else if (Arg == "--ni") {
+      NIProc = requireValue(Sub, "--ni", Argc, Argv, I);
     } else if (Arg == "--help" || Arg == "-h") {
       std::printf("usage: hyperviper [--no-validity] [--jobs N] [--triage] "
-                  "[--metrics] [--quiet] [--ni <proc>] file.hv ...\n"
+                  "[--metrics] [--quiet] [--ni <proc>]\n"
+                  "                  [--trace FILE] [--metrics-json FILE] "
+                  "file-or-dir.hv ...\n"
                   "       hyperviper analyze --help\n"
                   "       hyperviper fuzz --help\n");
       return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "%s: error: unknown option '%s'\n", Sub,
+                   Arg.c_str());
+      return 2;
     } else {
-      Files.push_back(Arg);
+      Inputs.push_back(Arg);
     }
   }
 
+  if (Inputs.empty()) {
+    std::fprintf(stderr, "%s: error: no input files\n", Sub);
+    return 2;
+  }
+  // Directories expand to their `.hv` files in sorted order, matching the
+  // analyze verb.
+  std::vector<std::pair<std::string, std::string>> Files =
+      expandHvInputs(Inputs);
   if (Files.empty()) {
-    std::fprintf(stderr, "hyperviper: error: no input files\n");
+    std::fprintf(stderr, "%s: error: no .hv files in the given inputs\n",
+                 Sub);
     return 2;
   }
 
   Driver D(Options);
   int Exit = 0;
-  for (const std::string &File : Files) {
-    DriverResult R = D.verifyFile(File);
+  for (const auto &[Display, Path] : Files) {
+    DriverResult R = D.verifyFile(Path);
     if (!R.Verified) {
       Exit = 1;
       if (!Quiet)
-        std::fputs(R.Diags.str(File).c_str(), stderr);
+        std::fputs(R.Diags.str(Display).c_str(), stderr);
     }
-    std::printf("%s: %s\n", File.c_str(),
+    std::printf("%s: %s\n", Display.c_str(),
                 R.Verified ? "verified" : "REJECTED");
     if (PrintMetrics && R.ParseOk) {
       std::printf("  LOC %u  Ann. %u  parse %.3fs  validity %.3fs  "
@@ -353,5 +437,17 @@ int main(int Argc, char **Argv) {
       }
     }
   }
+  if (!Obs.finish())
+    return 2;
   return Exit;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc > 1 && std::strcmp(Argv[1], "fuzz") == 0)
+    return runFuzz(Argc - 2, Argv + 2);
+  if (Argc > 1 && std::strcmp(Argv[1], "analyze") == 0)
+    return runAnalyzeCmd(Argc - 2, Argv + 2);
+  return runVerify(Argc, Argv);
 }
