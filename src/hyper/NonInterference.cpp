@@ -7,6 +7,7 @@
 #include "hyper/NonInterference.h"
 
 #include "sem/Scheduler.h"
+#include "support/Arena.h"
 #include "support/ThreadPool.h"
 #include "support/trace/Metrics.h"
 #include "support/trace/Stopwatch.h"
@@ -97,13 +98,16 @@ NIReport NonInterferenceHarness::run() {
   std::vector<TrialOutcome> Trials(Config.Trials);
   std::atomic<unsigned> FirstViolating{UINT_MAX};
   unsigned Jobs = ThreadPool::effectiveJobs(Config.Jobs);
-  uint64_t NumChunks = std::min<uint64_t>(std::max(1u, Jobs),
-                                          std::max(1u, Config.Trials));
+  uint64_t NumChunks =
+      std::max<uint64_t>(1, ThreadPool::chunkCount(Config.Trials, Jobs));
   std::vector<double> ChunkSeconds(NumChunks, 0.0);
 
   ThreadPool::shared().parallelForChunks(
       Config.Trials, Jobs, [&](uint64_t Begin, uint64_t End, unsigned Chunk) {
         Stopwatch C0;
+        // Trial-transient values (sampled inputs, run states) come from a
+        // chunk-local arena; only violation witnesses escape it.
+        ArenaScope ChunkAS;
         for (uint64_t Trial = Begin; Trial < End; ++Trial) {
           // A trial after an already-known violating one contributes
           // nothing to the merged report; skip it.

@@ -17,6 +17,7 @@
 #include "lang/Contract.h"
 #include "lang/Expr.h"
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -64,6 +65,13 @@ public:
   std::vector<std::string> Rets;      ///< CallProc result targets
   std::vector<Contract> Invariants;   ///< While invariants
   Contract Asserted;                  ///< AssertGhost conjuncts
+
+  /// Cached environment slot indices of `Var` (assignment target) and
+  /// `Aux` (resource handle) from the last execution of this node, same
+  /// contract as Expr::SlotHint: validated before use, atomic because the
+  /// shared AST is executed from parallel worker threads.
+  mutable std::atomic<uint32_t> VarSlotHint{0};
+  mutable std::atomic<uint32_t> AuxSlotHint{0};
 
   explicit Command(CmdKind Kind, SourceLoc Loc = SourceLoc())
       : Kind(Kind), Loc(Loc) {}

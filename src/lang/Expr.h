@@ -19,6 +19,7 @@
 #include "lang/Type.h"
 #include "support/SourceLoc.h"
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -142,6 +143,14 @@ public:
   BinaryOp BOp = BinaryOp::Add;
   BuiltinKind Builtin = BuiltinKind::PairMk;
   std::vector<ExprRef> Args;
+
+  /// Var only: cached index of this variable's binding in the environment
+  /// it was last evaluated against. Purely a performance hint — the
+  /// evaluator validates it against the key before trusting it and falls
+  /// back to a scan, so a stale value is never observable. Atomic (relaxed)
+  /// because multiple interpreter instances evaluate the same shared AST
+  /// from parallel worker threads.
+  mutable std::atomic<uint32_t> SlotHint{0};
 
   explicit Expr(ExprKind Kind, SourceLoc Loc = SourceLoc())
       : Kind(Kind), Loc(Loc) {}

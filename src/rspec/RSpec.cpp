@@ -8,9 +8,45 @@
 
 using namespace commcsl;
 
+namespace {
+
+/// Per-thread scratch environment for spec-function evaluation. The spec
+/// functions are evaluated millions of times on the interpreter's hot path,
+/// and each call binds one or two parameters; reusing one environment per
+/// thread avoids re-allocating the key strings on every call. Safe because
+/// type-checked spec expressions can reference only their declared
+/// parameters (the type checker rejects undeclared variables), and
+/// `truncate` makes any stale deeper slots unobservable.
+EvalEnv &specScratch() {
+  static thread_local EvalEnv Env;
+  return Env;
+}
+
+/// Binds scratch slot \p I to (\p K, \p V). When the slot already carries
+/// key \p K (the common case: the same spec function is evaluated over and
+/// over), only the value is assigned — no string copy, no scan. Otherwise
+/// the stale tail is dropped and the binding goes through `operator[]`,
+/// which preserves the original map semantics (a key duplicated across
+/// parameters overwrites the earlier binding).
+void bindSlot(EvalEnv &Env, size_t I, const std::string &K,
+              const ValueRef &V) {
+  if (I < Env.size()) {
+    EvalEnv::value_type &Slot = Env.begin()[I];
+    if (envKeyEq(Slot.first, K)) {
+      Slot.second = V;
+      return;
+    }
+    Env.truncate(I);
+  }
+  Env[K] = V;
+}
+
+} // namespace
+
 ValueRef RSpecRuntime::evalAlpha(const ValueRef &State) const {
-  EvalEnv Env;
-  Env[Decl.AlphaParam] = State;
+  EvalEnv &Env = specScratch();
+  bindSlot(Env, 0, Decl.AlphaParam, State);
+  Env.truncate(1);
   return Eval.eval(*Decl.Alpha, Env);
 }
 
@@ -23,9 +59,10 @@ ValueRef RSpecRuntime::alphaOf(const ValueRef &State) const {
 ValueRef RSpecRuntime::evalAction(const ActionDecl &Action,
                                   const ValueRef &State,
                                   const ValueRef &Arg) const {
-  EvalEnv Env;
-  Env[Action.StateName] = State;
-  Env[Action.ArgName] = Arg;
+  EvalEnv &Env = specScratch();
+  bindSlot(Env, 0, Action.StateName, State);
+  bindSlot(Env, 1, Action.ArgName, Arg);
+  Env.truncate(2);
   return Eval.eval(*Action.Apply, Env);
 }
 
@@ -43,9 +80,10 @@ ValueRef RSpecRuntime::actionResult(const ActionDecl &Action,
                                     const ValueRef &Arg) const {
   if (!Action.Returns)
     return ValueFactory::unit();
-  EvalEnv Env;
-  Env[Action.StateName] = State;
-  Env[Action.ArgName] = Arg;
+  EvalEnv &Env = specScratch();
+  bindSlot(Env, 0, Action.StateName, State);
+  bindSlot(Env, 1, Action.ArgName, Arg);
+  Env.truncate(2);
   return Eval.eval(*Action.Returns, Env);
 }
 
@@ -53,24 +91,27 @@ bool RSpecRuntime::isEnabled(const ActionDecl &Action,
                              const ValueRef &State) const {
   if (!Action.Enabled)
     return true;
-  EvalEnv Env;
-  Env[Action.StateName] = State;
+  EvalEnv &Env = specScratch();
+  bindSlot(Env, 0, Action.StateName, State);
+  Env.truncate(1);
   return Eval.eval(*Action.Enabled, Env)->getBool();
 }
 
 bool RSpecRuntime::invHolds(const ValueRef &State) const {
   if (!Decl.Inv)
     return true;
-  EvalEnv Env;
-  Env[Decl.AlphaParam] = State;
+  EvalEnv &Env = specScratch();
+  bindSlot(Env, 0, Decl.AlphaParam, State);
+  Env.truncate(1);
   return Eval.eval(*Decl.Inv, Env)->getBool();
 }
 
 ValueRef RSpecRuntime::historyOf(const ActionDecl &Action,
                                  const ValueRef &State) const {
   assert(Action.History && "action has no history clause");
-  EvalEnv Env;
-  Env[Action.StateName] = State;
+  EvalEnv &Env = specScratch();
+  bindSlot(Env, 0, Action.StateName, State);
+  Env.truncate(1);
   return Eval.eval(*Action.History, Env);
 }
 

@@ -6,6 +6,7 @@
 
 #include "rspec/Validity.h"
 
+#include "support/Arena.h"
 #include "support/ThreadPool.h"
 #include "support/trace/Metrics.h"
 #include "support/trace/Stopwatch.h"
@@ -119,15 +120,10 @@ std::vector<ValueRef> ValidityChecker::argsFor(const ActionDecl &A) const {
   return ArgDom->enumerate(Config.MaxArgs);
 }
 
-bool ValidityChecker::checkPreInstance(const ActionDecl &A, const ValueRef &V1,
-                                       const ValueRef &V2,
-                                       const ValueRef &Arg1,
-                                       const ValueRef &Arg2,
-                                       ValidityResult &R) {
-  ValueRef L = Runtime.alphaOf(Runtime.applyAction(A, V1, Arg1));
-  ValueRef Rt = Runtime.alphaOf(Runtime.applyAction(A, V2, Arg2));
-  if (Value::equal(L, Rt))
-    return true;
+void ValidityChecker::failPre(const ActionDecl &A, const ValueRef &V1,
+                              const ValueRef &V2, const ValueRef &Arg1,
+                              const ValueRef &Arg2, const ValueRef &L,
+                              const ValueRef &Rt, ValidityResult &R) {
   ValidityCounterexample CE;
   CE.Prop = ValidityCounterexample::Property::Precondition;
   CE.ActionA = A.Name;
@@ -139,6 +135,37 @@ bool ValidityChecker::checkPreInstance(const ActionDecl &A, const ValueRef &V1,
   CE.AlphaRight = Rt;
   R.Valid = false;
   R.CE = CE;
+}
+
+void ValidityChecker::failComm(const ActionDecl &A, const ActionDecl &B,
+                               const ValueRef &V1, const ValueRef &V2,
+                               const ValueRef &ArgA, const ValueRef &ArgB,
+                               const ValueRef &L, const ValueRef &Rt,
+                               ValidityResult &R) {
+  ValidityCounterexample CE;
+  CE.Prop = ValidityCounterexample::Property::Commutativity;
+  CE.ActionA = A.Name;
+  CE.ActionB = B.Name;
+  CE.V1 = V1;
+  CE.V2 = V2;
+  CE.Arg1 = ArgA;
+  CE.Arg2 = ArgB;
+  CE.AlphaLeft = L;
+  CE.AlphaRight = Rt;
+  R.Valid = false;
+  R.CE = CE;
+}
+
+bool ValidityChecker::checkPreInstance(const ActionDecl &A, const ValueRef &V1,
+                                       const ValueRef &V2,
+                                       const ValueRef &Arg1,
+                                       const ValueRef &Arg2,
+                                       ValidityResult &R) {
+  ValueRef L = Runtime.alphaOf(Runtime.applyAction(A, V1, Arg1));
+  ValueRef Rt = Runtime.alphaOf(Runtime.applyAction(A, V2, Arg2));
+  if (Value::equal(L, Rt))
+    return true;
+  failPre(A, V1, V2, Arg1, Arg2, L, Rt, R);
   return false;
 }
 
@@ -157,19 +184,73 @@ bool ValidityChecker::checkCommInstance(const ActionDecl &A,
                                           ArgA));
   if (Value::equal(L, Rt))
     return true;
-  ValidityCounterexample CE;
-  CE.Prop = ValidityCounterexample::Property::Commutativity;
-  CE.ActionA = A.Name;
-  CE.ActionB = B.Name;
-  CE.V1 = V1;
-  CE.V2 = V2;
-  CE.Arg1 = ArgA;
-  CE.Arg2 = ArgB;
-  CE.AlphaLeft = L;
-  CE.AlphaRight = Rt;
-  R.Valid = false;
-  R.CE = CE;
+  failComm(A, B, V1, V2, ArgA, ArgB, L, Rt, R);
   return false;
+}
+
+uint64_t ValidityChecker::weightedPairTotal() const {
+  uint64_t W = 0;
+  for (const auto &P : SameAlphaPairs)
+    W += P.first == P.second ? 1 : 2;
+  return W;
+}
+
+std::vector<ValueRef>
+ValidityChecker::buildPreTable(const ActionDecl &A,
+                               const std::vector<ValueRef> &Args) {
+  TraceSpan Span("validity", [&] { return "pre table " + A.Name; });
+  const size_t NArgs = Args.size();
+  std::vector<ValueRef> Table(States.size() * NArgs);
+  unsigned Jobs = ThreadPool::effectiveJobs(Config.Jobs);
+  ThreadPool::shared().parallelForChunks(
+      Table.size(), Jobs, [&](uint64_t Begin, uint64_t End, unsigned) {
+        // Chunk-local arena: intermediates die with the chunk, escaping
+        // table cells pin only the blocks they live in.
+        ArenaScope ChunkAS;
+        for (uint64_t I = Begin; I < End; ++I)
+          Table[I] = Runtime.alphaOf(
+              Runtime.applyAction(A, States[I / NArgs], Args[I % NArgs]));
+      });
+  return Table;
+}
+
+void ValidityChecker::buildCommTables(const ActionDecl &A, const ActionDecl &B,
+                                      const std::vector<ValueRef> &ArgsA,
+                                      const std::vector<ValueRef> &ArgsB,
+                                      std::vector<ValueRef> &TAB,
+                                      std::vector<ValueRef> &TBA) {
+  TraceSpan Span("validity",
+                 [&] { return "comm tables " + A.Name + " x " + B.Name; });
+  const size_t NA = ArgsA.size(), NB = ArgsB.size();
+  TAB.resize(States.size() * NA * NB);
+  TBA.resize(States.size() * NA * NB);
+  unsigned Jobs = ThreadPool::effectiveJobs(Config.Jobs);
+  // First table, one row per (state, argA): the inner loop shares the
+  // one-action intermediate f_A(s, argA) across every argB.
+  ThreadPool::shared().parallelForChunks(
+      States.size() * NA, Jobs, [&](uint64_t Begin, uint64_t End, unsigned) {
+        ArenaScope ChunkAS;
+        for (uint64_t I = Begin; I < End; ++I) {
+          size_t S = size_t(I / NA), AI = size_t(I % NA);
+          ValueRef Mid = Runtime.applyAction(A, States[S], ArgsA[AI]);
+          ValueRef *Row = &TAB[(S * NA + AI) * NB];
+          for (size_t BI = 0; BI < NB; ++BI)
+            Row[BI] = Runtime.alphaOf(Runtime.applyAction(B, Mid, ArgsB[BI]));
+        }
+      });
+  // Second table, one column run per (state, argB), written strided into
+  // the same [s][argA][argB] layout the lookup uses.
+  ThreadPool::shared().parallelForChunks(
+      States.size() * NB, Jobs, [&](uint64_t Begin, uint64_t End, unsigned) {
+        ArenaScope ChunkAS;
+        for (uint64_t I = Begin; I < End; ++I) {
+          size_t S = size_t(I / NB), BI = size_t(I % NB);
+          ValueRef Mid = Runtime.applyAction(B, States[S], ArgsB[BI]);
+          for (size_t AI = 0; AI < NA; ++AI)
+            TBA[(S * NA + AI) * NB + BI] =
+                Runtime.alphaOf(Runtime.applyAction(A, Mid, ArgsA[AI]));
+        }
+      });
 }
 
 bool ValidityChecker::runBoundedTier(size_t NumArgPairs,
@@ -202,7 +283,7 @@ bool ValidityChecker::runBoundedTier(size_t NumArgPairs,
   });
 
   unsigned Jobs = ThreadPool::effectiveJobs(Config.Jobs);
-  uint64_t NumChunks = std::min<uint64_t>(std::max(1u, Jobs), Total);
+  uint64_t NumChunks = ThreadPool::chunkCount(Total, Jobs);
 
   // The winning counterexample is the failing instance with the lowest
   // global index; workers abandon their chunk as soon as a lower index has
@@ -219,6 +300,10 @@ bool ValidityChecker::runBoundedTier(size_t NumArgPairs,
           return "chunk " + std::to_string(Chunk);
         });
         Stopwatch C0;
+        // Values the instance checks create (intermediate states, abstract
+        // results) are chunk-transient except the few that escape into a
+        // counterexample; serve them from a chunk-local arena.
+        ArenaScope ChunkAS;
         size_t K = static_cast<size_t>(
             std::upper_bound(Offsets.begin(), Offsets.end(), Begin) -
             Offsets.begin() - 1);
@@ -287,14 +372,38 @@ ValidityResult ValidityChecker::checkPreconditions() {
           PrePairs.emplace_back(I, J);
 
     if (Config.RunBoundedTier) {
+      // Dense fast path: when the full (state x argument) result table is no
+      // larger than the budgeted instance space, precompute every
+      // alpha(f_A(s, arg)) once and reduce each instance to two array loads
+      // plus an interned-pointer comparison. The table performs exactly the
+      // distinct evaluations the instance sweep would have routed through
+      // the memo cache, so the guard can only trade probe time away.
+      const size_t NArgs = Args.size();
+      uint64_t Budget = std::min<uint64_t>(
+          weightedPairTotal() * PrePairs.size(), Config.MaxChecksPerProperty);
+      std::vector<ValueRef> PreTable;
+      if (!PrePairs.empty() && NArgs != 0 &&
+          uint64_t(States.size()) * NArgs <= Budget)
+        PreTable = buildPreTable(A, Args);
+
       if (runBoundedTier(
               PrePairs.size(),
               [&](size_t K, size_t P, bool Swapped, ValidityResult &Out) {
                 auto [SI, SJ] = SameAlphaPairs[K];
-                const ValueRef &V1 = States[Swapped ? SJ : SI];
-                const ValueRef &V2 = States[Swapped ? SI : SJ];
-                return checkPreInstance(A, V1, V2, Args[PrePairs[P].first],
-                                        Args[PrePairs[P].second], Out);
+                size_t S1 = Swapped ? SJ : SI;
+                size_t S2 = Swapped ? SI : SJ;
+                size_t A1 = PrePairs[P].first, A2 = PrePairs[P].second;
+                if (!PreTable.empty()) {
+                  const ValueRef &L = PreTable[S1 * NArgs + A1];
+                  const ValueRef &Rt = PreTable[S2 * NArgs + A2];
+                  if (Value::equal(L, Rt))
+                    return true;
+                  failPre(A, States[S1], States[S2], Args[A1], Args[A2], L,
+                          Rt, Out);
+                  return false;
+                }
+                return checkPreInstance(A, States[S1], States[S2], Args[A1],
+                                        Args[A2], Out);
               },
               R, ParWall, ParCpu)) {
         Finish();
@@ -370,15 +479,36 @@ ValidityResult ValidityChecker::checkCommutativity() {
     if (Config.RunBoundedTier) {
       // Argument pairs are the cross product ArgsA x ArgsB, flattened in
       // the sequential (ArgA-major) order.
+      const size_t NA = ArgsA.size(), NB = ArgsB.size();
+      const uint64_t NumArgPairs = uint64_t(NA) * NB;
+      // Dense fast path (see checkPreconditions): both composition tables
+      // cost 2 * |S| * |ArgsA| * |ArgsB| evaluations, each instance then
+      // reduces to two loads and a pointer comparison.
+      uint64_t Budget = std::min<uint64_t>(
+          weightedPairTotal() * NumArgPairs, Config.MaxChecksPerProperty);
+      std::vector<ValueRef> TAB, TBA;
+      if (NumArgPairs != 0 &&
+          2 * uint64_t(States.size()) * NumArgPairs <= Budget)
+        buildCommTables(A, B, ArgsA, ArgsB, TAB, TBA);
+
       if (runBoundedTier(
-              ArgsA.size() * ArgsB.size(),
+              NA * NB,
               [&](size_t K, size_t P, bool Swapped, ValidityResult &Out) {
                 auto [SI, SJ] = SameAlphaPairs[K];
-                const ValueRef &V1 = States[Swapped ? SJ : SI];
-                const ValueRef &V2 = States[Swapped ? SI : SJ];
-                return checkCommInstance(A, B, V1, V2,
-                                         ArgsA[P / ArgsB.size()],
-                                         ArgsB[P % ArgsB.size()], Out);
+                size_t S1 = Swapped ? SJ : SI;
+                size_t S2 = Swapped ? SI : SJ;
+                size_t AI = P / NB, BI = P % NB;
+                if (!TAB.empty()) {
+                  const ValueRef &L = TAB[(S1 * NA + AI) * NB + BI];
+                  const ValueRef &Rt = TBA[(S2 * NA + AI) * NB + BI];
+                  if (Value::equal(L, Rt))
+                    return true;
+                  failComm(A, B, States[S1], States[S2], ArgsA[AI], ArgsB[BI],
+                           L, Rt, Out);
+                  return false;
+                }
+                return checkCommInstance(A, B, States[S1], States[S2],
+                                         ArgsA[AI], ArgsB[BI], Out);
               },
               R, ParWall, ParCpu)) {
         Finish();

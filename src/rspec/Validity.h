@@ -134,6 +134,38 @@ private:
                          const ValueRef &ArgA, const ValueRef &ArgB,
                          ValidityResult &R);
 
+  /// Records a property (A) counterexample with the already-computed
+  /// abstract results \p L / \p Rt (shared by the direct and dense-table
+  /// instance paths, so both produce bit-identical reports).
+  void failPre(const ActionDecl &A, const ValueRef &V1, const ValueRef &V2,
+               const ValueRef &Arg1, const ValueRef &Arg2, const ValueRef &L,
+               const ValueRef &Rt, ValidityResult &R);
+  /// Property (B) analogue of failPre.
+  void failComm(const ActionDecl &A, const ActionDecl &B, const ValueRef &V1,
+                const ValueRef &V2, const ValueRef &ArgA, const ValueRef &ArgB,
+                const ValueRef &L, const ValueRef &Rt, ValidityResult &R);
+
+  /// Total weight of the same-alpha state-pair list (diagonal pairs count
+  /// one orientation, off-diagonal pairs two); the bounded-tier instance
+  /// space for a property is this times its argument-pair count.
+  uint64_t weightedPairTotal() const;
+
+  /// Dense property (A) result table: cell [s * Args.size() + a] holds
+  /// alpha(f_A(States[s], Args[a])). Built in parallel; every bounded-tier
+  /// instance then reduces to two array loads and an interned-pointer
+  /// comparison instead of two memo-cache probes.
+  std::vector<ValueRef> buildPreTable(const ActionDecl &A,
+                                      const std::vector<ValueRef> &Args);
+
+  /// Dense property (B) result tables, both laid out [s][argA][argB]:
+  /// TAB holds alpha(f_B(f_A(s, argA), argB)) and TBA holds
+  /// alpha(f_A(f_B(s, argB), argA)). Row-major build order lets each row
+  /// share the one-action intermediate state across the inner loop.
+  void buildCommTables(const ActionDecl &A, const ActionDecl &B,
+                       const std::vector<ValueRef> &ArgsA,
+                       const std::vector<ValueRef> &ArgsB,
+                       std::vector<ValueRef> &TAB, std::vector<ValueRef> &TBA);
+
   /// Checks one flattened bounded-tier instance: state pair \p StatePair
   /// (swapped orientation when \p Swapped), argument pair \p ArgPair.
   /// Returns false and fills \p Out with a counterexample on failure.

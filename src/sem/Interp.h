@@ -89,8 +89,7 @@ struct RunConfig {
 /// Interprets programs. Thread-compatible: each run is independent.
 class Interpreter {
 public:
-  Interpreter(const Program &Prog, RunConfig Config = {})
-      : Prog(Prog), Config(Config) {}
+  Interpreter(const Program &Prog, RunConfig Config = {});
 
   /// Runs procedure \p ProcName with the given argument values under
   /// \p Sched. Arguments must match the procedure's parameter count.
@@ -98,8 +97,20 @@ public:
                 const std::vector<ValueRef> &Args, Scheduler &Sched) const;
 
 private:
+  /// The stepping loop, templated on the concrete scheduler so the
+  /// per-step pick() devirtualizes and inlines; run() dispatches the
+  /// known scheduler types here. Defined (and instantiated) in Interp.cpp.
+  template <class SchedT>
+  RunResult runWith(const std::string &ProcName,
+                    const std::vector<ValueRef> &Args, SchedT &Sched) const;
+
   const Program &Prog;
   RunConfig Config;
+  /// Whether any atomic block in the program carries a `when` action.
+  /// Without one, a thread's runnability changes only on spawn/completion
+  /// events, so the scheduler's runnable set can be maintained
+  /// incrementally instead of being rescanned every step.
+  bool HasWhenAtomic;
 };
 
 /// Replays an action log against a spec from an initial value; returns the

@@ -38,7 +38,7 @@ public:
 
 /// Deterministic round-robin over thread ids. This is the scheduler under
 /// which the Fig. 1 program deterministically leaks whether h > 100.
-class RoundRobinScheduler : public Scheduler {
+class RoundRobinScheduler final : public Scheduler {
 public:
   size_t pick(const std::vector<size_t> &Runnable) override {
     // Choose the smallest runnable id strictly greater than the last pick,
@@ -55,14 +55,42 @@ private:
   size_t Last = static_cast<size_t>(-1);
 };
 
+/// Uniform draw over [0, N) from an mt19937_64, producing the same value
+/// sequence as libstdc++'s `std::uniform_int_distribution<size_t>`: Lemire's
+/// nearly-divisionless rejection method (Fast Random Integer Generation in
+/// an Interval, TOMACS 29(1), 2019) over the generator's full 64-bit output.
+/// Two reasons not to call the standard distribution on the scheduler's
+/// per-step path:
+///   - the distribution's algorithm is implementation-defined, so the
+///     committed regression corpus and golden reports would silently depend
+///     on the host C++ standard library; this pins the draw sequence;
+///   - inlining it here avoids constructing a distribution object per pick
+///     and keeps the whole draw division-free except in the rejection case,
+///     whose probability is N/2^64 (i.e. never for scheduler-sized N).
+class UniformPick {
+public:
+  size_t draw(std::mt19937_64 &Rng, size_t N) {
+    const uint64_t Range = N; // draws are over [0, N-1]
+    unsigned __int128 Product = (unsigned __int128)Rng() * Range;
+    uint64_t Low = (uint64_t)Product;
+    if (Low < Range) {
+      const uint64_t Threshold = (0 - Range) % Range;
+      while (Low < Threshold) {
+        Product = (unsigned __int128)Rng() * Range;
+        Low = (uint64_t)Product;
+      }
+    }
+    return static_cast<size_t>(Product >> 64);
+  }
+};
+
 /// Uniformly random scheduling with a fixed seed (reproducible).
-class RandomScheduler : public Scheduler {
+class RandomScheduler final : public Scheduler {
 public:
   explicit RandomScheduler(uint64_t Seed) : Rng(Seed), Seed(Seed) {}
 
   size_t pick(const std::vector<size_t> &Runnable) override {
-    std::uniform_int_distribution<size_t> Dist(0, Runnable.size() - 1);
-    return Runnable[Dist(Rng)];
+    return Runnable[Pick.draw(Rng, Runnable.size())];
   }
 
   std::string name() const override {
@@ -71,12 +99,13 @@ public:
 
 private:
   std::mt19937_64 Rng;
+  UniformPick Pick;
   uint64_t Seed;
 };
 
 /// Runs one preferred thread for a burst of steps before yielding; models
 /// coarse time slicing, which amplifies timing differences between threads.
-class BurstScheduler : public Scheduler {
+class BurstScheduler final : public Scheduler {
 public:
   /// \p BurstLen is clamped to at least 1: `Remaining = BurstLen - 1` on a
   /// zero length would wrap to UINT_MAX and pin one thread forever.
@@ -90,8 +119,7 @@ public:
         return Id;
       }
     }
-    std::uniform_int_distribution<size_t> Dist(0, Runnable.size() - 1);
-    Preferred = Runnable[Dist(Rng)];
+    Preferred = Runnable[Pick.draw(Rng, Runnable.size())];
     Remaining = BurstLen - 1;
     return Preferred;
   }
@@ -103,6 +131,7 @@ public:
 
 private:
   std::mt19937_64 Rng;
+  UniformPick Pick;
   unsigned BurstLen;
   uint64_t Seed;
   size_t Preferred = static_cast<size_t>(-1);

@@ -515,9 +515,12 @@ TermRef TermArena::builtin(BuiltinKind Kind, std::vector<TermRef> Args,
     break;
   }
   case BuiltinKind::SeqMean:
-    // Total semantics: mean(s) == sum(s) / len(s) (both 0 when empty).
-    return binary(BinaryOp::Div, builtin(BuiltinKind::SeqSum, {Args[0]}),
-                  builtin(BuiltinKind::SeqLen, {Args[0]}));
+    // No expansion to Div(SeqSum, SeqLen): the concrete semantics define
+    // mean as *floor* division (mean([-3, -4]) is -4) while Div truncates
+    // toward zero, so that rewrite equates terms that differ on negative
+    // sums. Constant arguments fold above through vops::seqMean; symbolic
+    // means stay uninterpreted.
+    break;
   case BuiltinKind::MsCard: {
     TermRef M = Args[0];
     if (M->K == Term::Kind::Builtin) {

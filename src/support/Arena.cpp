@@ -1,0 +1,15 @@
+//===-- support/Arena.cpp - Bump allocation for short-lived values ---------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+
+namespace commcsl {
+namespace detail {
+
+thread_local Arena *CurrentArena = nullptr;
+
+} // namespace detail
+} // namespace commcsl

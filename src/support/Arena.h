@@ -1,0 +1,190 @@
+//===-- support/Arena.h - Bump allocation for short-lived values -*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bump ("arena") allocation for objects whose lifetimes cluster: the values
+/// materialized inside one bounded-enumeration chunk or one interpreter trial
+/// are created in a burst and die together shortly after.  Routing their
+/// allocations through a per-scope arena replaces one malloc/free pair per
+/// value with a pointer bump, and releases whole 64 KiB blocks at scope exit.
+///
+/// Design notes (see DESIGN.md "Arena lifetime rules" for the full story):
+///
+///  * Blocks are reference-counted, not scope-owned.  An `ArenaAllocator<T>`
+///    pins the specific `ArenaBlock` it allocates from via a
+///    `std::shared_ptr<ArenaBlock>`, and `std::allocate_shared` stores a copy
+///    of the allocator inside the control block it creates.  A value that
+///    escapes its scope (into the interner, a memo cache, a counterexample
+///    report) therefore keeps exactly its own block alive; everything else in
+///    the arena is still freed when the scope ends.  Escape is *safe*; it
+///    only pins the escapee's 64 KiB block for as long as the escapee lives.
+///
+///  * The active arena is an ambient, thread-local property installed with
+///    `ArenaScope` rather than a handle threaded through every factory call.
+///    `ValueFactory` has hundreds of call sites across the evaluator, the
+///    domains and the ops library; a TLS scope gives all of them arena
+///    placement without widening every signature, and nesting scopes is just
+///    a save/restore of one pointer.  Code that builds process-lifetime
+///    singletons (the unit/bool/small-int caches) wraps construction in
+///    `ArenaSuspend` to force plain heap allocation.
+///
+///  * Blocks hand out raw storage and never run destructors for their
+///    contents.  Object destruction is still driven by shared_ptr refcounts;
+///    the arena changes where the bytes live, not when dtors run.
+///
+///  * Thread safety: an Arena and its blocks are owned by one thread's
+///    ArenaScope and bumped only by that thread.  Values allocated in a
+///    worker's arena may be *read* from other threads after the usual
+///    synchronization (pool join, interner shard mutex); the block refcount
+///    is a std::shared_ptr control block and therefore atomic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_SUPPORT_ARENA_H
+#define COMMCSL_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <memory>
+#include <new>
+
+namespace commcsl {
+
+/// One fixed-size chunk of bump-allocated storage.
+class ArenaBlock {
+public:
+  explicit ArenaBlock(size_t Bytes)
+      : Buf(static_cast<char *>(::operator new(Bytes))), Cap(Bytes) {}
+  ~ArenaBlock() { ::operator delete(Buf); }
+
+  ArenaBlock(const ArenaBlock &) = delete;
+  ArenaBlock &operator=(const ArenaBlock &) = delete;
+
+  /// Returns Bytes of storage aligned to Align, or nullptr if the block is
+  /// too full.  Only the owning thread bumps a block.
+  void *tryAlloc(size_t Bytes, size_t Align) {
+    size_t Aligned = (Used + (Align - 1)) & ~(Align - 1);
+    if (Aligned + Bytes > Cap)
+      return nullptr;
+    Used = Aligned + Bytes;
+    return Buf + Aligned;
+  }
+
+  /// Non-consuming fit probe.
+  bool canFit(size_t Bytes, size_t Align) const {
+    size_t Aligned = (Used + (Align - 1)) & ~(Align - 1);
+    return Aligned + Bytes <= Cap;
+  }
+
+  /// True if P points into this block's storage.  Lets the allocator tell
+  /// bump-allocated memory (freed wholesale with the block) from
+  /// heap-fallback memory (must be operator delete'd individually).
+  bool contains(const void *P) const { return P >= Buf && P < Buf + Cap; }
+
+private:
+  char *Buf;
+  size_t Cap;
+  size_t Used = 0;
+};
+
+/// A rotating sequence of ArenaBlocks.  Not thread-safe; one Arena belongs
+/// to one ArenaScope on one thread.
+class Arena {
+public:
+  static constexpr size_t BlockBytes = 64 * 1024;
+
+  /// The block an allocation of roughly Need bytes should target, rotating
+  /// to a fresh block when the current one is too full.  Oversized requests
+  /// (> BlockBytes / 2) are not worth a dedicated block; the returned block
+  /// will fail tryAlloc and the allocator falls back to the heap.
+  const std::shared_ptr<ArenaBlock> &currentBlock(size_t Need) {
+    if (!Cur || (Need <= BlockBytes / 2 &&
+                 !Cur->canFit(Need, alignof(std::max_align_t))))
+      Cur = std::make_shared<ArenaBlock>(BlockBytes);
+    return Cur;
+  }
+
+private:
+  std::shared_ptr<ArenaBlock> Cur;
+};
+
+/// Minimal std allocator that bumps from one pinned ArenaBlock, falling back
+/// to the global heap when the block cannot satisfy a request.  All copies
+/// (including the one std::allocate_shared stores in the control block) share
+/// the same pinned block, so deallocate() can always classify a pointer with
+/// contains(): in-block storage is a no-op (the block frees wholesale),
+/// fallback storage is operator delete'd.  This keeps correctness independent
+/// of which allocator copy the shared_ptr implementation calls when.
+template <typename T> class ArenaAllocator {
+public:
+  using value_type = T;
+
+  explicit ArenaAllocator(std::shared_ptr<ArenaBlock> B) : Block(std::move(B)) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U> &O) : Block(O.Block) {}
+
+  T *allocate(size_t N) {
+    if (Block)
+      if (void *P = Block->tryAlloc(N * sizeof(T), alignof(T)))
+        return static_cast<T *>(P);
+    return static_cast<T *>(::operator new(N * sizeof(T)));
+  }
+
+  void deallocate(T *P, size_t N) {
+    if (Block && Block->contains(P))
+      return; // Block storage dies with the block.
+    ::operator delete(P);
+    (void)N;
+  }
+
+  template <typename U> bool operator==(const ArenaAllocator<U> &O) const {
+    return Block == O.Block;
+  }
+  template <typename U> bool operator!=(const ArenaAllocator<U> &O) const {
+    return Block != O.Block;
+  }
+
+  std::shared_ptr<ArenaBlock> Block;
+};
+
+namespace detail {
+/// The thread's active arena, or nullptr when allocation should use the
+/// plain heap.  Defined in Arena.cpp.
+extern thread_local Arena *CurrentArena;
+} // namespace detail
+
+/// Installs a fresh Arena as the calling thread's active arena for the
+/// lifetime of the scope (stack-only; save/restore semantics nest).
+class ArenaScope {
+public:
+  ArenaScope() : Prev(detail::CurrentArena) { detail::CurrentArena = &A; }
+  ~ArenaScope() { detail::CurrentArena = Prev; }
+  ArenaScope(const ArenaScope &) = delete;
+  ArenaScope &operator=(const ArenaScope &) = delete;
+
+  /// The calling thread's active arena, or nullptr if none is installed.
+  static Arena *current() { return detail::CurrentArena; }
+
+private:
+  Arena A;
+  Arena *Prev;
+};
+
+/// Temporarily disables arena placement on the calling thread; used when
+/// constructing values that must outlive any scope (interned singletons).
+class ArenaSuspend {
+public:
+  ArenaSuspend() : Prev(detail::CurrentArena) { detail::CurrentArena = nullptr; }
+  ~ArenaSuspend() { detail::CurrentArena = Prev; }
+  ArenaSuspend(const ArenaSuspend &) = delete;
+  ArenaSuspend &operator=(const ArenaSuspend &) = delete;
+
+private:
+  Arena *Prev;
+};
+
+} // namespace commcsl
+
+#endif // COMMCSL_SUPPORT_ARENA_H

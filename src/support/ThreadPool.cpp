@@ -24,6 +24,7 @@ namespace {
 /// export section.
 struct PoolMetrics {
   Metric_Counter &TasksExecuted;
+  Metric_Counter &TasksStolen;
   Metric_Gauge &QueueDepthMax;
   Metric_Gauge &BusySeconds;
   Metric_Histogram &WaitMicros;
@@ -33,6 +34,8 @@ struct PoolMetrics {
     static PoolMetrics M{
         MetricsRegistry::global().counter("threadpool.tasks_executed",
                                           Stability::Varies),
+        MetricsRegistry::global().counter("threadpool.tasks_stolen",
+                                          Stability::Varies),
         MetricsRegistry::global().gauge("threadpool.queue_depth_max"),
         MetricsRegistry::global().gauge("threadpool.busy_seconds"),
         MetricsRegistry::global().histogram("threadpool.task_wait_us"),
@@ -40,6 +43,13 @@ struct PoolMetrics {
     return M;
   }
 };
+
+/// Worker identity. A pool worker pushes nested fan-out work onto its own
+/// deque (and pops it back LIFO, so nested calls make progress before older
+/// outer chunks); any other thread is an external submitter and distributes
+/// round-robin.
+thread_local ThreadPool *TlsPool = nullptr;
+thread_local unsigned TlsIndex = 0;
 
 } // namespace
 
@@ -55,9 +65,12 @@ ThreadPool &ThreadPool::shared() {
 
 ThreadPool::ThreadPool(unsigned Threads) {
   NumWorkers = Threads == 0 ? defaultJobs() : Threads;
+  Queues.reserve(NumWorkers);
+  for (unsigned I = 0; I < NumWorkers; ++I)
+    Queues.emplace_back(std::make_unique<WorkerQueue>());
   Workers.reserve(NumWorkers);
   for (unsigned I = 0; I < NumWorkers; ++I)
-    Workers.emplace_back([this] { workerLoop(); });
+    Workers.emplace_back([this, I] { workerLoop(I); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -84,43 +97,102 @@ void ThreadPool::runTask(Task &&T) {
   M.TasksExecuted.add(1);
 }
 
-void ThreadPool::workerLoop() {
+void ThreadPool::pushTo(unsigned Q, Task &&T) {
+  {
+    std::lock_guard<std::mutex> Lock(Queues[Q]->Mu);
+    Queues[Q]->Dq.push_back(std::move(T));
+  }
+  QueuedTasks.fetch_add(1, std::memory_order_release);
+}
+
+unsigned ThreadPool::homeQueue() {
+  if (TlsPool == this)
+    return TlsIndex;
+  return SubmitCursor.fetch_add(1, std::memory_order_relaxed) % NumWorkers;
+}
+
+bool ThreadPool::popOrSteal(unsigned Me, Task &T) {
+  // Fast rejection without touching any deque lock.
+  if (QueuedTasks.load(std::memory_order_acquire) == 0)
+    return false;
+
+  // Own deque first, newest task first (LIFO): nested fan-outs finish before
+  // older outer chunks, which is what keeps a 1-worker pool deadlock-free
+  // and keeps caches warm.
+  if (Me < NumWorkers) {
+    WorkerQueue &Own = *Queues[Me];
+    std::lock_guard<std::mutex> Lock(Own.Mu);
+    if (!Own.Dq.empty()) {
+      T = std::move(Own.Dq.back());
+      Own.Dq.pop_back();
+      QueuedTasks.fetch_sub(1, std::memory_order_release);
+      return true;
+    }
+  }
+
+  // Steal oldest-first (FIFO) from the next non-empty victim.
+  unsigned Start = Me < NumWorkers ? Me + 1 : 0;
+  for (unsigned Off = 0; Off < NumWorkers; ++Off) {
+    unsigned V = (Start + Off) % NumWorkers;
+    if (V == Me)
+      continue;
+    WorkerQueue &Victim = *Queues[V];
+    std::lock_guard<std::mutex> Lock(Victim.Mu);
+    if (!Victim.Dq.empty()) {
+      T = std::move(Victim.Dq.front());
+      Victim.Dq.pop_front();
+      QueuedTasks.fetch_sub(1, std::memory_order_release);
+      PoolMetrics::get().TasksStolen.add(1);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(unsigned Me) {
+  TlsPool = this;
+  TlsIndex = Me;
   for (;;) {
     Task T;
-    {
-      std::unique_lock<std::mutex> Lock(Mu);
-      Cv.wait(Lock, [this] { return Stopping || !Queue.empty(); });
-      if (Queue.empty())
-        return; // Stopping and drained
-      T = std::move(Queue.front());
-      Queue.pop_front();
+    if (popOrSteal(Me, T)) {
+      runTask(std::move(T));
+      continue;
     }
-    runTask(std::move(T));
+    std::unique_lock<std::mutex> Lock(Mu);
+    // Submitters increment QueuedTasks and then take Mu before notifying, so
+    // the increment cannot land unseen inside this check-then-sleep window.
+    Cv.wait(Lock, [this] {
+      return Stopping || QueuedTasks.load(std::memory_order_acquire) > 0;
+    });
+    if (Stopping && QueuedTasks.load(std::memory_order_acquire) == 0)
+      return; // stopping and every deque drained
   }
 }
 
 void ThreadPool::helpWhilePending(const std::function<bool()> &Done) {
+  unsigned Me = TlsPool == this ? TlsIndex : NumWorkers;
   for (;;) {
+    if (Done())
+      return;
     Task T;
-    {
-      std::unique_lock<std::mutex> Lock(Mu);
-      // Wake on new tasks (to help) and on chunk completion (to return).
-      Cv.wait(Lock, [&] { return Done() || !Queue.empty(); });
-      if (Done())
-        return;
-      T = std::move(Queue.front());
-      Queue.pop_front();
+    if (popOrSteal(Me, T)) {
+      runTask(std::move(T));
+      continue;
     }
-    runTask(std::move(T));
+    std::unique_lock<std::mutex> Lock(Mu);
+    // Wake on new tasks (to help) and on chunk completion (to return).
+    Cv.wait(Lock, [&] {
+      return Done() || QueuedTasks.load(std::memory_order_acquire) > 0;
+    });
   }
 }
 
 void ThreadPool::parallelForChunks(
     uint64_t NumItems, unsigned Jobs,
     const std::function<void(uint64_t, uint64_t, unsigned)> &Body) {
-  if (NumItems == 0)
+  uint64_t NumChunks = chunkCount(NumItems, Jobs);
+  if (NumChunks == 0)
     return;
-  uint64_t NumChunks = std::min<uint64_t>(std::max(1u, Jobs), NumItems);
   if (NumChunks <= 1) {
     Body(0, NumItems, 0);
     return;
@@ -140,24 +212,35 @@ void ThreadPool::parallelForChunks(
       if (!FirstError)
         FirstError = std::current_exception();
     }
+    // The final decrement releases the caller: it may return (and its frame
+    // — which owns this closure and every captured local — be reused) the
+    // instant Pending reaches 0. Copy the pool pointer to the executing
+    // thread's stack first and touch nothing captured after the decrement;
+    // resolving `Mu`/`Cv` through the closure's captured `this` afterwards
+    // was a use-after-return.
+    ThreadPool *Pool = this;
     if (Pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Take the lock (empty critical section) so the notify cannot land in
       // the caller's check-then-sleep window and be lost.
-      { std::lock_guard<std::mutex> Lock(Mu); }
-      Cv.notify_all(); // wake the waiting caller
+      { std::lock_guard<std::mutex> Lock(Pool->Mu); }
+      Pool->Cv.notify_all(); // wake the waiting caller
     }
   };
 
-  {
-    std::lock_guard<std::mutex> Lock(Mu);
-    for (unsigned Chunk = 1; Chunk < NumChunks; ++Chunk) {
-      Task T;
-      T.Fn = [RunChunk, Chunk] { RunChunk(Chunk); };
-      Queue.push_back(std::move(T));
-    }
-    PoolMetrics::get().QueueDepthMax.max(
-        static_cast<double>(Queue.size()));
+  // Distribute chunks 1.. across the worker deques starting at the home
+  // queue; the caller runs chunk 0 itself. Tasks capture RunChunk by
+  // reference-to-local safely: Pending keeps this frame alive until every
+  // chunk has executed.
+  unsigned Home = homeQueue();
+  for (uint64_t Chunk = 1; Chunk < NumChunks; ++Chunk) {
+    Task T;
+    T.Fn = [&RunChunk, Chunk] { RunChunk(static_cast<unsigned>(Chunk)); };
+    pushTo(static_cast<unsigned>((Home + Chunk) % NumWorkers), std::move(T));
   }
+  PoolMetrics::get().QueueDepthMax.max(
+      static_cast<double>(QueuedTasks.load(std::memory_order_relaxed)));
+  // Empty critical section pairs with the workers' predicate re-check.
+  { std::lock_guard<std::mutex> Lock(Mu); }
   Cv.notify_all();
 
   RunChunk(0);

@@ -11,7 +11,18 @@
 /// ranges so that callers can implement deterministic selection (e.g. the
 /// lowest-global-index counterexample) independently of the thread count.
 ///
-/// Waiting callers help drain the queue, so nested parallelForChunks calls
+/// Scheduling is work-stealing: each worker owns a deque, task submission
+/// distributes chunks round-robin across the deques, owners pop LIFO from
+/// the back (cache-warm, most recently pushed work first) and idle workers
+/// steal FIFO from the front of a victim's deque.  parallelForChunks
+/// oversubdivides the index range (about `OversubFactor` chunks per job)
+/// so a straggler chunk strands at most a small slice of the range on one
+/// worker while the rest is stolen — this is what kills tail latency at
+/// high `--jobs`.  Determinism is unaffected: chunk *boundaries* are a pure
+/// function of (NumItems, Jobs) via `chunkCount`, and consumers derive
+/// results from global item indices, never from which worker ran a chunk.
+///
+/// Waiting callers help drain the queues, so nested parallelForChunks calls
 /// (a pool worker fanning out again) cannot deadlock even on a single
 /// worker.
 ///
@@ -22,10 +33,13 @@
 
 #include "support/trace/Stopwatch.h"
 
+#include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -72,12 +86,32 @@ public:
     return Jobs == 0 ? defaultJobs() : Jobs;
   }
 
-  /// Splits [0, NumItems) into at most \p Jobs contiguous chunks and runs
-  /// \p Body(Begin, End, Chunk) for each. At most Jobs chunks execute
-  /// concurrently (one on the calling thread). Jobs <= 1 runs a single
-  /// chunk inline on the caller, bypassing the pool entirely — this is the
-  /// `--jobs 1` sequential-recovery path. Rethrows the first exception a
-  /// chunk produced. Blocks until all chunks finished.
+  /// Work-stealing oversubdivision factor: parallelForChunks cuts the range
+  /// into about this many chunks per job (capped at NumItems) so stolen
+  /// work rebalances stragglers.
+  static constexpr unsigned OversubFactor = 8;
+
+  /// Number of chunks parallelForChunks will use for \p NumItems items at
+  /// \p Jobs parallelism: 0 for an empty range, 1 for Jobs <= 1 (the
+  /// sequential inline path), otherwise min(NumItems, Jobs * OversubFactor).
+  /// Callers that index per-chunk output arrays by the Chunk argument must
+  /// size them with this.
+  static uint64_t chunkCount(uint64_t NumItems, unsigned Jobs) {
+    if (NumItems == 0)
+      return 0;
+    if (Jobs <= 1)
+      return 1;
+    return std::min<uint64_t>(NumItems,
+                              static_cast<uint64_t>(Jobs) * OversubFactor);
+  }
+
+  /// Splits [0, NumItems) into chunkCount(NumItems, Jobs) contiguous chunks
+  /// and runs \p Body(Begin, End, Chunk) for each. Chunks execute on the
+  /// worker deques (one seeded on the calling thread, the rest stolen /
+  /// drained cooperatively). Jobs <= 1 runs a single chunk inline on the
+  /// caller, bypassing the pool entirely — this is the `--jobs 1`
+  /// sequential-recovery path. Rethrows the first exception a chunk
+  /// produced. Blocks until all chunks finished.
   void parallelForChunks(
       uint64_t NumItems, unsigned Jobs,
       const std::function<void(uint64_t Begin, uint64_t End, unsigned Chunk)>
@@ -91,15 +125,39 @@ private:
     Stopwatch Enqueued;
   };
 
+  /// One worker's deque.  The owner pushes/pops at the back (LIFO);
+  /// thieves take from the front (FIFO), so stolen work is the oldest —
+  /// typically the largest remaining — item.
+  struct WorkerQueue {
+    std::mutex Mu;
+    std::deque<Task> Dq;
+  };
+
   /// Executes one task with trace/metrics instrumentation.
   void runTask(Task &&T);
-  void workerLoop();
-  /// Pops and runs queued tasks until \p Pending reaches zero.
+  void workerLoop(unsigned Me);
+  /// Pops and runs queued tasks until \p Done; used by callers waiting on
+  /// their own chunks.
   void helpWhilePending(const std::function<bool()> &Done);
+
+  /// Enqueues \p T on queue \p Q (no wakeup; callers batch-notify).
+  void pushTo(unsigned Q, Task &&T);
+  /// The deque the calling thread should push to: its own if it is a worker
+  /// of this pool, else round-robin.
+  unsigned homeQueue();
+  /// Pops from the back of the caller's own queue \p Me, else steals from
+  /// the front of the next non-empty victim.  Returns false if every queue
+  /// came up empty.
+  bool popOrSteal(unsigned Me, Task &T);
 
   unsigned NumWorkers = 0;
   std::vector<std::thread> Workers;
-  std::deque<Task> Queue;
+  std::vector<std::unique_ptr<WorkerQueue>> Queues;
+  /// Tasks currently sitting in some deque (pushed, not yet popped).
+  /// Sleeping workers wake when it is nonzero.
+  std::atomic<uint64_t> QueuedTasks{0};
+  /// Round-robin cursor for external submitters.
+  std::atomic<unsigned> SubmitCursor{0};
   std::mutex Mu;
   std::condition_variable Cv;
   bool Stopping = false;

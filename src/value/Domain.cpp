@@ -78,8 +78,13 @@ uint64_t Domain::count(uint64_t Cap) const {
     return 1;
   case DomainKind::Bool:
     return 2;
-  case DomainKind::Int:
-    return std::min<uint64_t>(Cap, static_cast<uint64_t>(Hi - Lo + 1));
+  case DomainKind::Int: {
+    // Width computed in uint64_t: Hi - Lo is modular and, since Lo <= Hi,
+    // equals the true width even for intRange(INT64_MIN, INT64_MAX), where
+    // the old `Hi - Lo + 1` overflowed int64_t (UB).
+    uint64_t Width = static_cast<uint64_t>(Hi) - static_cast<uint64_t>(Lo);
+    return Width >= Cap ? Cap : Width + 1;
+  }
   case DomainKind::Pair:
     return SatMul(Children[0]->count(Cap), Children[1]->count(Cap));
   case DomainKind::Seq: {
@@ -119,23 +124,32 @@ uint64_t Domain::count(uint64_t Cap) const {
 
 namespace {
 
-/// Appends to \p Out all tuples of length \p Len over \p Elems (with
-/// repetition, order significant), bounded by \p MaxCount total results.
-void enumTuples(const std::vector<ValueRef> &Elems, unsigned Len,
-                size_t MaxCount, std::vector<std::vector<ValueRef>> &Out) {
-  std::vector<size_t> Idx(Len, 0);
+/// Streams all tuples of length \p Len over \p Elems (with repetition,
+/// order significant; odometer order, last position fastest) into \p Emit,
+/// at most \p MaxCount of them.  \p Scratch is the reused tuple buffer; it
+/// is only valid for the duration of each Emit call.  Emit returns false to
+/// stop early.
+template <typename EmitFn>
+void forEachTuple(const std::vector<ValueRef> &Elems, unsigned Len,
+                  size_t MaxCount, std::vector<ValueRef> &Scratch,
+                  EmitFn &&Emit) {
+  if (MaxCount == 0)
+    return;
   if (Len == 0) {
-    Out.push_back({});
+    Scratch.clear();
+    Emit(Scratch);
     return;
   }
   if (Elems.empty())
     return;
-  while (Out.size() < MaxCount) {
-    std::vector<ValueRef> Tuple;
-    Tuple.reserve(Len);
+  std::vector<size_t> Idx(Len, 0);
+  size_t Emitted = 0;
+  while (true) {
+    Scratch.clear();
     for (size_t I : Idx)
-      Tuple.push_back(Elems[I]);
-    Out.push_back(std::move(Tuple));
+      Scratch.push_back(Elems[I]);
+    if (!Emit(Scratch) || ++Emitted >= MaxCount)
+      return;
     // Odometer increment.
     unsigned Pos = Len;
     while (Pos > 0) {
@@ -149,28 +163,36 @@ void enumTuples(const std::vector<ValueRef> &Elems, unsigned Len,
   }
 }
 
-/// Appends all non-decreasing tuples (multicombinations) of length \p Len.
-void enumMulticombos(const std::vector<ValueRef> &Elems, unsigned Len,
-                     size_t MaxCount, std::vector<std::vector<ValueRef>> &Out,
-                     bool Strict) {
+/// Streams all non-decreasing (\p Strict: strictly increasing) tuples of
+/// length \p Len — multicombinations resp. combinations — in lexicographic
+/// order, at most \p MaxCount of them.  Same Emit/Scratch contract as
+/// forEachTuple.
+template <typename EmitFn>
+void forEachMulticombo(const std::vector<ValueRef> &Elems, unsigned Len,
+                       size_t MaxCount, bool Strict,
+                       std::vector<ValueRef> &Scratch, EmitFn &&Emit) {
+  if (MaxCount == 0)
+    return;
   if (Len == 0) {
-    Out.push_back({});
+    Scratch.clear();
+    Emit(Scratch);
     return;
   }
   if (Elems.empty())
+    return;
+  if (Strict && Len > Elems.size())
     return;
   std::vector<size_t> Idx;
   // Initialize to the lexicographically-first valid tuple.
   for (unsigned I = 0; I < Len; ++I)
     Idx.push_back(Strict ? I : 0);
-  if (Strict && Len > Elems.size())
-    return;
-  while (Out.size() < MaxCount) {
-    std::vector<ValueRef> Tuple;
-    Tuple.reserve(Len);
+  size_t Emitted = 0;
+  while (true) {
+    Scratch.clear();
     for (size_t I : Idx)
-      Tuple.push_back(Elems[I]);
-    Out.push_back(std::move(Tuple));
+      Scratch.push_back(Elems[I]);
+    if (!Emit(Scratch) || ++Emitted >= MaxCount)
+      return;
     // Find rightmost position that can be incremented.
     int Pos = static_cast<int>(Len) - 1;
     while (Pos >= 0) {
@@ -192,92 +214,115 @@ void enumMulticombos(const std::vector<ValueRef> &Elems, unsigned Len,
 
 std::vector<ValueRef> Domain::enumerate(size_t MaxCount) const {
   std::vector<ValueRef> Out;
+  enumerateInto(MaxCount, Out);
+  return Out;
+}
+
+size_t Domain::enumerateInto(size_t MaxCount,
+                             std::vector<ValueRef> &Out) const {
+  const size_t Start = Out.size();
+  // Remaining budget; every push below is guarded by it, so no kind can
+  // overshoot MaxCount (enumerate(0) is empty for every kind).
+  auto Remaining = [&] { return MaxCount - (Out.size() - Start); };
   switch (Kind) {
   case DomainKind::Unit:
-    Out.push_back(ValueFactory::unit());
+    if (MaxCount > 0)
+      Out.push_back(ValueFactory::unit());
     break;
   case DomainKind::Bool:
-    Out.push_back(ValueFactory::boolV(false));
+    if (MaxCount > 0)
+      Out.push_back(ValueFactory::boolV(false));
     if (MaxCount > 1)
       Out.push_back(ValueFactory::boolV(true));
     break;
   case DomainKind::Int:
-    for (int64_t I = Lo; I <= Hi && Out.size() < MaxCount; ++I)
+    for (int64_t I = Lo; Remaining() > 0; ++I) {
       Out.push_back(ValueFactory::intV(I));
+      if (I == Hi) // break before ++I: Hi may be INT64_MAX
+        break;
+    }
     break;
   case DomainKind::Pair: {
-    std::vector<ValueRef> Fsts = Children[0]->enumerate(MaxCount);
-    std::vector<ValueRef> Snds = Children[1]->enumerate(MaxCount);
+    std::vector<ValueRef> Fsts, Snds;
+    Children[0]->enumerateInto(MaxCount, Fsts);
+    Children[1]->enumerateInto(MaxCount, Snds);
     for (const ValueRef &F : Fsts) {
       for (const ValueRef &S : Snds) {
-        if (Out.size() >= MaxCount)
-          return Out;
+        if (Remaining() == 0)
+          return Out.size() - Start;
         Out.push_back(ValueFactory::pair(F, S));
       }
     }
     break;
   }
   case DomainKind::Seq: {
-    std::vector<ValueRef> Elems = Children[0]->enumerate(MaxCount);
-    for (unsigned L = 0; L <= MaxSize && Out.size() < MaxCount; ++L) {
-      std::vector<std::vector<ValueRef>> Tuples;
-      enumTuples(Elems, L, MaxCount - Out.size(), Tuples);
-      for (auto &T : Tuples)
-        Out.push_back(ValueFactory::seq(std::move(T)));
-    }
+    std::vector<ValueRef> Elems;
+    Children[0]->enumerateInto(MaxCount, Elems);
+    std::vector<ValueRef> Scratch;
+    for (unsigned L = 0; L <= MaxSize && Remaining() > 0; ++L)
+      forEachTuple(Elems, L, Remaining(), Scratch,
+                   [&](const std::vector<ValueRef> &T) {
+                     Out.push_back(ValueFactory::seq(T.data(), T.size()));
+                     return true;
+                   });
     break;
   }
   case DomainKind::Set: {
-    std::vector<ValueRef> Elems = Children[0]->enumerate(MaxCount);
-    for (unsigned L = 0; L <= MaxSize && Out.size() < MaxCount; ++L) {
-      std::vector<std::vector<ValueRef>> Combos;
-      enumMulticombos(Elems, L, MaxCount - Out.size(), Combos,
-                      /*Strict=*/true);
-      for (auto &T : Combos)
-        Out.push_back(ValueFactory::set(std::move(T)));
-    }
+    std::vector<ValueRef> Elems;
+    Children[0]->enumerateInto(MaxCount, Elems);
+    std::vector<ValueRef> Scratch;
+    for (unsigned L = 0; L <= MaxSize && Remaining() > 0; ++L)
+      forEachMulticombo(Elems, L, Remaining(), /*Strict=*/true, Scratch,
+                        [&](const std::vector<ValueRef> &T) {
+                          // Strictly increasing already: canonical as-is.
+                          Out.push_back(ValueFactory::set(T.data(), T.size()));
+                          return true;
+                        });
     break;
   }
   case DomainKind::Multiset: {
-    std::vector<ValueRef> Elems = Children[0]->enumerate(MaxCount);
-    for (unsigned L = 0; L <= MaxSize && Out.size() < MaxCount; ++L) {
-      std::vector<std::vector<ValueRef>> Combos;
-      enumMulticombos(Elems, L, MaxCount - Out.size(), Combos,
-                      /*Strict=*/false);
-      for (auto &T : Combos)
-        Out.push_back(ValueFactory::multiset(std::move(T)));
-    }
+    std::vector<ValueRef> Elems;
+    Children[0]->enumerateInto(MaxCount, Elems);
+    std::vector<ValueRef> Scratch;
+    for (unsigned L = 0; L <= MaxSize && Remaining() > 0; ++L)
+      forEachMulticombo(
+          Elems, L, Remaining(), /*Strict=*/false, Scratch,
+          [&](const std::vector<ValueRef> &T) {
+            Out.push_back(ValueFactory::multiset(T.data(), T.size()));
+            return true;
+          });
     break;
   }
   case DomainKind::Map: {
-    std::vector<ValueRef> Keys = Children[0]->enumerate(MaxCount);
-    std::vector<ValueRef> Vals = Children[1]->enumerate(MaxCount);
-    for (unsigned L = 0; L <= MaxSize && Out.size() < MaxCount; ++L) {
+    std::vector<ValueRef> Keys, Vals;
+    Children[0]->enumerateInto(MaxCount, Keys);
+    Children[1]->enumerateInto(MaxCount, Vals);
+    std::vector<ValueRef> KeyScratch, ValScratch;
+    std::vector<std::pair<ValueRef, ValueRef>> Entries;
+    for (unsigned L = 0; L <= MaxSize && Remaining() > 0; ++L) {
       // Choose L distinct keys (strict combos), then all value assignments.
       // Each key combo yields at least one map, so the remaining budget
       // (not the full MaxCount) bounds the combos worth generating.
-      std::vector<std::vector<ValueRef>> KeyCombos;
-      enumMulticombos(Keys, L, MaxCount - Out.size(), KeyCombos,
-                      /*Strict=*/true);
-      for (const auto &KC : KeyCombos) {
-        std::vector<std::vector<ValueRef>> ValTuples;
-        enumTuples(Vals, L, MaxCount - Out.size(), ValTuples);
-        for (const auto &VT : ValTuples) {
-          if (Out.size() >= MaxCount)
-            return Out;
-          std::vector<std::pair<ValueRef, ValueRef>> Entries;
-          for (unsigned I = 0; I < L; ++I)
-            Entries.emplace_back(KC[I], VT[I]);
-          Out.push_back(ValueFactory::map(std::move(Entries)));
-        }
-        if (Out.size() >= MaxCount)
-          return Out;
-      }
+      forEachMulticombo(
+          Keys, L, Remaining(), /*Strict=*/true, KeyScratch,
+          [&](const std::vector<ValueRef> &KC) {
+            if (Remaining() == 0)
+              return false;
+            forEachTuple(Vals, L, Remaining(), ValScratch,
+                         [&](const std::vector<ValueRef> &VT) {
+                           Entries.clear();
+                           for (unsigned I = 0; I < L; ++I)
+                             Entries.emplace_back(KC[I], VT[I]);
+                           Out.push_back(ValueFactory::map(Entries));
+                           return true;
+                         });
+            return true;
+          });
     }
     break;
   }
   }
-  return Out;
+  return Out.size() - Start;
 }
 
 ValueRef Domain::sample(std::mt19937_64 &Rng) const {

@@ -66,10 +66,21 @@ public:
   /// produced smallest-first.
   std::vector<ValueRef> enumerate(size_t MaxCount) const;
 
+  /// Buffer-filling form of `enumerate`: appends at most \p MaxCount values
+  /// to \p Out (same values, same order) and returns the number appended.
+  /// This is the hot-path entry point — values are streamed straight into
+  /// the caller's buffer with no per-size intermediate vectors, and nested
+  /// tuples are built in reused scratch storage.  Every domain kind honors
+  /// the budget exactly, including `MaxCount == 0` (historically Unit/Bool
+  /// and the empty-collection cases overshot it).
+  size_t enumerateInto(size_t MaxCount, std::vector<ValueRef> &Out) const;
+
   /// Draws a uniformly-ish random value from this domain.
   ValueRef sample(std::mt19937_64 &Rng) const;
 
-  /// Number of values in this domain, saturating at \p Cap.
+  /// Number of values in this domain, saturating at \p Cap. Exact for
+  /// Unit/Bool/Int/Pair/Seq (of exact children); an upper bound for
+  /// Set/Multiset/Map, which are budgeted by their sequence counts.
   uint64_t count(uint64_t Cap = 1'000'000) const;
 
 private:

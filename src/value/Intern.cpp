@@ -6,6 +6,8 @@
 
 #include "value/Intern.h"
 
+#include "support/Arena.h"
+
 #include <algorithm>
 
 using namespace commcsl;
@@ -21,20 +23,37 @@ ValueInterner &ValueInterner::global() {
   return *I;
 }
 
-ValueRef ValueInterner::intern(Value *Fresh) {
-  if (!enabled())
-    return ValueRef(Fresh);
+namespace {
 
-  size_t H = Fresh->hash();
+/// Moves a staged value to its final storage: the calling thread's active
+/// arena when an ArenaScope is installed, the plain heap otherwise.  With an
+/// arena, std::allocate_shared places the control block and the Value in the
+/// same bump block, and the allocator copy stored in the control block pins
+/// that block for exactly as long as the value lives.
+std::shared_ptr<Value> materialize(Value &&Staged) {
+  if (Arena *A = ArenaScope::current()) {
+    // Slack covers the shared_ptr control block and alignment.
+    ArenaAllocator<Value> Alloc(A->currentBlock(sizeof(Value) + 64));
+    return std::allocate_shared<Value>(Alloc, std::move(Staged));
+  }
+  return std::make_shared<Value>(std::move(Staged));
+}
+
+} // namespace
+
+ValueRef ValueInterner::intern(Value &&Staged) {
+  if (!enabled())
+    return materialize(std::move(Staged));
+
+  size_t H = Staged.hash();
   Shard &S = Shards[H & (NumShards - 1)];
   std::lock_guard<std::mutex> Lock(S.Mu);
 
   auto Range = S.Table.equal_range(H);
   for (auto It = Range.first; It != Range.second;) {
     if (ValueRef Existing = It->second.lock()) {
-      if (Value::compare(*Existing, *Fresh) == 0) {
+      if (Value::compare(*Existing, Staged) == 0) {
         ++S.Hits;
-        delete Fresh;
         return Existing;
       }
       ++It;
@@ -46,8 +65,9 @@ ValueRef ValueInterner::intern(Value *Fresh) {
   }
 
   ++S.Misses;
+  std::shared_ptr<Value> Fresh = materialize(std::move(Staged));
   Fresh->Interned = true;
-  ValueRef Ref(Fresh);
+  ValueRef Ref = std::move(Fresh);
   S.Table.emplace(H, Ref);
 
   if (S.Table.size() >= S.PurgeAt) {

@@ -24,7 +24,10 @@
 /// built while disabled are ordinary uninterned objects and equality falls
 /// back to hash-filtered structural comparison. Toggling is safe at any
 /// quiescent point: the interned flag is only ever set by the table, so the
-/// invariant above survives arbitrary enable/disable sequences.
+/// invariant above survives arbitrary enable/disable sequences. (The
+/// scalar singletons `ValueFactory` caches — unit, the booleans, small
+/// integers — are built once at first use and served from their caches
+/// regardless of the toggle, exactly like the pre-existing `unit()` cache.)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -69,11 +72,12 @@ public:
     Enabled.store(On, std::memory_order_relaxed);
   }
 
-  /// Canonicalizes a freshly-built value, taking ownership: returns the
-  /// existing canonical representative (deleting \p Fresh) or adopts
-  /// \p Fresh as canonical. \p Fresh must have its hash fixed and must not
-  /// be aliased elsewhere.
-  ValueRef intern(Value *Fresh);
+  /// Canonicalizes a staged (stack-built) value: returns the existing
+  /// canonical representative, performing no allocation at all on a hit, or
+  /// materializes \p Staged on the heap — or the calling thread's active
+  /// `ArenaScope` arena — and adopts it as canonical. \p Staged must have
+  /// its hash fixed.
+  ValueRef intern(Value &&Staged);
 
   Stats stats() const;
 

@@ -6,10 +6,12 @@
 
 #include "value/Value.h"
 
+#include "support/Arena.h"
 #include "support/StringUtils.h"
 #include "value/Intern.h"
 
 #include <algorithm>
+#include <array>
 #include <functional>
 #include <sstream>
 
@@ -59,29 +61,21 @@ int Value::compare(const Value &A, const Value &B) {
   case ValueKind::Pair:
   case ValueKind::Seq:
   case ValueKind::Set:
-  case ValueKind::Multiset: {
-    size_t N = std::min(A.Elems.size(), B.Elems.size());
-    for (size_t I = 0; I < N; ++I) {
-      int C = compare(*A.Elems[I], *B.Elems[I]);
-      if (C != 0)
-        return C;
-    }
-    if (A.Elems.size() != B.Elems.size())
-      return A.Elems.size() < B.Elems.size() ? -1 : 1;
-    return 0;
-  }
+  case ValueKind::Multiset:
   case ValueKind::Map: {
-    size_t N = std::min(A.MapElems.size(), B.MapElems.size());
+    // One loop serves both element runs and alternating map-entry runs: for
+    // maps it visits k0, v0, k1, v1, ..., which is exactly the entrywise
+    // key-then-value order, and the slot-count tiebreak has the same sign as
+    // the entry-count tiebreak (slots = 2 * entries).
+    const ValueRef *SA = A.slots(), *SB = B.slots();
+    size_t N = std::min(A.NumSlots, B.NumSlots);
     for (size_t I = 0; I < N; ++I) {
-      int C = compare(*A.MapElems[I].first, *B.MapElems[I].first);
-      if (C != 0)
-        return C;
-      C = compare(*A.MapElems[I].second, *B.MapElems[I].second);
+      int C = compare(*SA[I], *SB[I]);
       if (C != 0)
         return C;
     }
-    if (A.MapElems.size() != B.MapElems.size())
-      return A.MapElems.size() < B.MapElems.size() ? -1 : 1;
+    if (A.NumSlots != B.NumSlots)
+      return A.NumSlots < B.NumSlots ? -1 : 1;
     return 0;
   }
   }
@@ -104,21 +98,21 @@ void Value::computeHash() {
   case ValueKind::Seq:
   case ValueKind::Set:
   case ValueKind::Multiset:
-    for (const ValueRef &E : Elems)
-      hashCombine(Seed, E->HashVal);
+  case ValueKind::Map: {
+    // Maps hash k0, v0, k1, v1, ... — the same sequence the original
+    // entrywise loop produced.
+    const ValueRef *S = slots();
+    for (uint32_t I = 0; I < NumSlots; ++I)
+      hashCombine(Seed, S[I]->HashVal);
     break;
-  case ValueKind::Map:
-    for (const auto &[K, V] : MapElems) {
-      hashCombine(Seed, K->HashVal);
-      hashCombine(Seed, V->HashVal);
-    }
-    break;
+  }
   }
   HashVal = Seed;
 }
 
 std::string Value::str() const {
   std::ostringstream OS;
+  const ValueRef *S = slots();
   switch (Kind) {
   case ValueKind::Unit:
     OS << "unit";
@@ -133,34 +127,33 @@ std::string Value::str() const {
     OS << '"' << StrVal << '"';
     break;
   case ValueKind::Pair:
-    OS << "(" << Elems[0]->str() << ", " << Elems[1]->str() << ")";
+    OS << "(" << S[0]->str() << ", " << S[1]->str() << ")";
     break;
   case ValueKind::Seq: {
     OS << "[";
-    for (size_t I = 0; I < Elems.size(); ++I)
-      OS << (I ? ", " : "") << Elems[I]->str();
+    for (uint32_t I = 0; I < NumSlots; ++I)
+      OS << (I ? ", " : "") << S[I]->str();
     OS << "]";
     break;
   }
   case ValueKind::Set: {
     OS << "{";
-    for (size_t I = 0; I < Elems.size(); ++I)
-      OS << (I ? ", " : "") << Elems[I]->str();
+    for (uint32_t I = 0; I < NumSlots; ++I)
+      OS << (I ? ", " : "") << S[I]->str();
     OS << "}";
     break;
   }
   case ValueKind::Multiset: {
     OS << "ms{";
-    for (size_t I = 0; I < Elems.size(); ++I)
-      OS << (I ? ", " : "") << Elems[I]->str();
+    for (uint32_t I = 0; I < NumSlots; ++I)
+      OS << (I ? ", " : "") << S[I]->str();
     OS << "}";
     break;
   }
   case ValueKind::Map: {
     OS << "map{";
-    for (size_t I = 0; I < MapElems.size(); ++I)
-      OS << (I ? ", " : "") << MapElems[I].first->str() << " -> "
-         << MapElems[I].second->str();
+    for (uint32_t I = 0; I < NumSlots; I += 2)
+      OS << (I ? ", " : "") << S[I]->str() << " -> " << S[I + 1]->str();
     OS << "}";
     break;
   }
@@ -172,70 +165,144 @@ std::string Value::str() const {
 // ValueFactory
 //===----------------------------------------------------------------------===//
 
-// Seals a freshly-built value: fixes its structural hash and hands it to
-// the interner, which either adopts it as the canonical object or returns
-// the existing canonical representative.
-ValueRef ValueFactory::finish(Value *V) {
-  V->computeHash();
-  return ValueInterner::global().intern(V);
+// Seals a freshly-staged value: fixes its structural hash and hands it to
+// the interner, which either returns the existing canonical representative
+// (no allocation) or materializes the staged value as the canonical object.
+ValueRef ValueFactory::finish(Value &&V) {
+  V.computeHash();
+  return ValueInterner::global().intern(std::move(V));
 }
 
 ValueRef ValueFactory::unit() {
   static ValueRef Cached = [] {
-    auto *V = new Value(ValueKind::Unit);
-    return finish(V);
+    ArenaSuspend Suspend; // process-lifetime singleton: never arena-placed
+    return finish(Value(ValueKind::Unit));
   }();
   return Cached;
 }
 
-ValueRef ValueFactory::intV(int64_t I) {
-  auto *V = new Value(ValueKind::Int);
-  V->IntVal = I;
-  return finish(V);
+namespace {
+// Scalar singleton caches.  The enumeration and interpretation hot loops
+// construct the same small integers and booleans millions of times; serving
+// them from a one-time table skips both the interner shard lock and the
+// staged construction entirely.  Like `unit()`, the cached objects are
+// process-lifetime singletons and are returned regardless of the interner
+// enable toggle.
+// The range is sized so that typical loop counters, sequence indices, and
+// running accumulators (e.g. a counter resource summing a few thousand
+// small additions) stay inside it; the table costs well under a megabyte.
+} // namespace
+
+// Dynamic initialization fills the table and publishes it to the inline
+// intV fast path; until then the null check in intV routes every call
+// through intVSlow, which produces the same canonical (interned) values.
+const ValueRef *ValueFactory::SmallIntCache = [] {
+  ArenaSuspend Suspend;
+  static std::array<ValueRef, size_t(SmallIntMax - SmallIntMin + 1)> Table;
+  for (int64_t K = SmallIntMin; K <= SmallIntMax; ++K) {
+    Value V(ValueKind::Int);
+    V.IntVal = K;
+    Table[size_t(K - SmallIntMin)] = finish(std::move(V));
+  }
+  return Table.data();
+}();
+
+ValueRef ValueFactory::intVSlow(int64_t I) {
+  Value V(ValueKind::Int);
+  V.IntVal = I;
+  return finish(std::move(V));
 }
 
 ValueRef ValueFactory::boolV(bool B) {
-  auto *V = new Value(ValueKind::Bool);
-  V->IntVal = B ? 1 : 0;
-  return finish(V);
+  static ValueRef CachedFalse = [] {
+    ArenaSuspend Suspend;
+    Value V(ValueKind::Bool);
+    V.IntVal = 0;
+    return finish(std::move(V));
+  }();
+  static ValueRef CachedTrue = [] {
+    ArenaSuspend Suspend;
+    Value V(ValueKind::Bool);
+    V.IntVal = 1;
+    return finish(std::move(V));
+  }();
+  return B ? CachedTrue : CachedFalse;
 }
 
 ValueRef ValueFactory::stringV(std::string S) {
-  auto *V = new Value(ValueKind::String);
-  V->StrVal = std::move(S);
-  return finish(V);
+  Value V(ValueKind::String);
+  V.StrVal = std::move(S);
+  return finish(std::move(V));
 }
 
 ValueRef ValueFactory::pair(ValueRef Fst, ValueRef Snd) {
   assert(Fst && Snd && "null pair component");
-  auto *V = new Value(ValueKind::Pair);
-  V->Elems = {std::move(Fst), std::move(Snd)};
-  return finish(V);
+  Value V(ValueKind::Pair);
+  V.initSlots(2);
+  ValueRef *S = V.slotsMut();
+  S[0] = std::move(Fst);
+  S[1] = std::move(Snd);
+  return finish(std::move(V));
+}
+
+ValueRef ValueFactory::seq(const ValueRef *Data, size_t N) {
+  Value V(ValueKind::Seq);
+  V.initSlots(uint32_t(N));
+  std::copy(Data, Data + N, V.slotsMut());
+  return finish(std::move(V));
 }
 
 ValueRef ValueFactory::seq(std::vector<ValueRef> Elems) {
-  auto *V = new Value(ValueKind::Seq);
-  V->Elems = std::move(Elems);
-  return finish(V);
+  Value V(ValueKind::Seq);
+  V.initSlots(uint32_t(Elems.size()));
+  std::move(Elems.begin(), Elems.end(), V.slotsMut());
+  return finish(std::move(V));
+}
+
+ValueRef ValueFactory::set(const ValueRef *Data, size_t N) {
+  Value V(ValueKind::Set);
+  V.initSlots(uint32_t(N));
+  ValueRef *S = V.slotsMut();
+  std::copy(Data, Data + N, S);
+  std::sort(S, S + N, ValueRefLess());
+  ValueRef *End =
+      std::unique(S, S + N, [](const ValueRef &A, const ValueRef &B) {
+        return Value::equal(A, B);
+      });
+  V.shrinkSlots(uint32_t(End - S));
+  return finish(std::move(V));
 }
 
 ValueRef ValueFactory::set(std::vector<ValueRef> Elems) {
-  std::sort(Elems.begin(), Elems.end(), ValueRefLess());
-  Elems.erase(std::unique(Elems.begin(), Elems.end(),
-                          [](const ValueRef &A, const ValueRef &B) {
-                            return Value::equal(A, B);
-                          }),
-              Elems.end());
-  auto *V = new Value(ValueKind::Set);
-  V->Elems = std::move(Elems);
-  return finish(V);
+  Value V(ValueKind::Set);
+  V.initSlots(uint32_t(Elems.size()));
+  ValueRef *S = V.slotsMut();
+  std::move(Elems.begin(), Elems.end(), S);
+  std::sort(S, S + Elems.size(), ValueRefLess());
+  ValueRef *End = std::unique(S, S + Elems.size(),
+                              [](const ValueRef &A, const ValueRef &B) {
+                                return Value::equal(A, B);
+                              });
+  V.shrinkSlots(uint32_t(End - S));
+  return finish(std::move(V));
+}
+
+ValueRef ValueFactory::multiset(const ValueRef *Data, size_t N) {
+  Value V(ValueKind::Multiset);
+  V.initSlots(uint32_t(N));
+  ValueRef *S = V.slotsMut();
+  std::copy(Data, Data + N, S);
+  std::sort(S, S + N, ValueRefLess());
+  return finish(std::move(V));
 }
 
 ValueRef ValueFactory::multiset(std::vector<ValueRef> Elems) {
-  std::sort(Elems.begin(), Elems.end(), ValueRefLess());
-  auto *V = new Value(ValueKind::Multiset);
-  V->Elems = std::move(Elems);
-  return finish(V);
+  Value V(ValueKind::Multiset);
+  V.initSlots(uint32_t(Elems.size()));
+  ValueRef *S = V.slotsMut();
+  std::move(Elems.begin(), Elems.end(), S);
+  std::sort(S, S + Elems.size(), ValueRefLess());
+  return finish(std::move(V));
 }
 
 ValueRef
@@ -246,14 +313,52 @@ ValueFactory::map(std::vector<std::pair<ValueRef, ValueRef>> Entries) {
                    [](const auto &A, const auto &B) {
                      return Value::compare(A.first, B.first) < 0;
                    });
-  std::vector<std::pair<ValueRef, ValueRef>> Canon;
+  size_t Canon = 0; // number of surviving entries, compacted in place
   for (size_t I = 0; I < Entries.size(); ++I) {
-    if (!Canon.empty() && Value::equal(Canon.back().first, Entries[I].first))
-      Canon.back().second = Entries[I].second;
+    if (Canon != 0 &&
+        Value::equal(Entries[Canon - 1].first, Entries[I].first))
+      Entries[Canon - 1].second = std::move(Entries[I].second);
     else
-      Canon.push_back(Entries[I]);
+      Entries[Canon++] = std::move(Entries[I]);
   }
-  auto *V = new Value(ValueKind::Map);
-  V->MapElems = std::move(Canon);
-  return finish(V);
+  Value V(ValueKind::Map);
+  V.initSlots(uint32_t(2 * Canon));
+  ValueRef *S = V.slotsMut();
+  for (size_t I = 0; I < Canon; ++I) {
+    S[2 * I] = std::move(Entries[I].first);
+    S[2 * I + 1] = std::move(Entries[I].second);
+  }
+  return finish(std::move(V));
+}
+
+ValueRef ValueFactory::emptySeq() {
+  static ValueRef Cached = [] {
+    ArenaSuspend Suspend;
+    return seq(nullptr, size_t(0));
+  }();
+  return Cached;
+}
+
+ValueRef ValueFactory::emptySet() {
+  static ValueRef Cached = [] {
+    ArenaSuspend Suspend;
+    return set(nullptr, size_t(0));
+  }();
+  return Cached;
+}
+
+ValueRef ValueFactory::emptyMultiset() {
+  static ValueRef Cached = [] {
+    ArenaSuspend Suspend;
+    return multiset(nullptr, size_t(0));
+  }();
+  return Cached;
+}
+
+ValueRef ValueFactory::emptyMap() {
+  static ValueRef Cached = [] {
+    ArenaSuspend Suspend;
+    return map({});
+  }();
+  return Cached;
 }

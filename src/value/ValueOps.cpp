@@ -163,16 +163,18 @@ std::optional<ValueRef> vops::seqLast(const ValueRef &S) {
 
 ValueRef vops::seqTail(const ValueRef &S) {
   assert(S->kind() == ValueKind::Seq && "tail on non-seq");
-  if (S->elems().empty())
+  ValueElems E = S->elems();
+  if (E.empty())
     return S;
-  return VF::seq({S->elems().begin() + 1, S->elems().end()});
+  return VF::seq(E.begin() + 1, E.size() - 1);
 }
 
 ValueRef vops::seqInit(const ValueRef &S) {
   assert(S->kind() == ValueKind::Seq && "init on non-seq");
-  if (S->elems().empty())
+  ValueElems E = S->elems();
+  if (E.empty())
     return S;
-  return VF::seq({S->elems().begin(), S->elems().end() - 1});
+  return VF::seq(E.begin(), E.size() - 1);
 }
 
 ValueRef vops::seqContains(const ValueRef &S, const ValueRef &V) {
@@ -185,16 +187,18 @@ ValueRef vops::seqContains(const ValueRef &S, const ValueRef &V) {
 
 ValueRef vops::seqTake(const ValueRef &S, const ValueRef &N) {
   assert(S->kind() == ValueKind::Seq && "take on non-seq");
-  int64_t K = std::clamp<int64_t>(N->getInt(), 0,
-                                  static_cast<int64_t>(S->elems().size()));
-  return VF::seq({S->elems().begin(), S->elems().begin() + K});
+  ValueElems E = S->elems();
+  int64_t K =
+      std::clamp<int64_t>(N->getInt(), 0, static_cast<int64_t>(E.size()));
+  return VF::seq(E.begin(), static_cast<size_t>(K));
 }
 
 ValueRef vops::seqDrop(const ValueRef &S, const ValueRef &N) {
   assert(S->kind() == ValueKind::Seq && "drop on non-seq");
-  int64_t K = std::clamp<int64_t>(N->getInt(), 0,
-                                  static_cast<int64_t>(S->elems().size()));
-  return VF::seq({S->elems().begin() + K, S->elems().end()});
+  ValueElems E = S->elems();
+  int64_t K =
+      std::clamp<int64_t>(N->getInt(), 0, static_cast<int64_t>(E.size()));
+  return VF::seq(E.begin() + K, E.size() - static_cast<size_t>(K));
 }
 
 ValueRef vops::seqSort(const ValueRef &S) {
@@ -214,22 +218,42 @@ ValueRef vops::seqToSet(const ValueRef &S) {
   return VF::set(S->elems());
 }
 
+namespace {
+/// Saturating signed addition: overflow clamps to the int64_t range in the
+/// direction of the overflow instead of wrapping (the old unguarded
+/// `Sum += x` was signed-overflow UB).
+int64_t satAdd(int64_t A, int64_t B) {
+  int64_t R;
+  if (!__builtin_add_overflow(A, B, &R))
+    return R;
+  return B > 0 ? INT64_MAX : INT64_MIN;
+}
+} // namespace
+
 ValueRef vops::seqSum(const ValueRef &S) {
   assert(S->kind() == ValueKind::Seq && "sum on non-seq");
   int64_t Sum = 0;
   for (const ValueRef &E : S->elems())
-    Sum += E->getInt();
+    Sum = satAdd(Sum, E->getInt());
   return VF::intV(Sum);
 }
 
 ValueRef vops::seqMean(const ValueRef &S) {
   assert(S->kind() == ValueKind::Seq && "mean on non-seq");
-  if (S->elems().empty())
+  ValueElems Elems = S->elems();
+  if (Elems.empty())
     return VF::intV(0);
   int64_t Sum = 0;
-  for (const ValueRef &E : S->elems())
-    Sum += E->getInt();
-  return VF::intV(Sum / static_cast<int64_t>(S->elems().size()));
+  for (const ValueRef &E : Elems)
+    Sum = satAdd(Sum, E->getInt());
+  // Floor division (round toward -inf), matching the mathematical mean on
+  // negatives: mean([-3, -4]) is -4, not the old truncation's -3.  N > 0 and
+  // positive, so only the sign of the remainder matters.
+  int64_t N = static_cast<int64_t>(Elems.size());
+  int64_t Q = Sum / N;
+  if (Sum % N != 0 && Sum < 0)
+    --Q;
+  return VF::intV(Q);
 }
 
 //===----------------------------------------------------------------------===//

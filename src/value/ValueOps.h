@@ -93,9 +93,19 @@ ValueRef seqDrop(const ValueRef &S, const ValueRef &N);
 ValueRef seqSort(const ValueRef &S);
 ValueRef seqToMultiset(const ValueRef &S);
 ValueRef seqToSet(const ValueRef &S);
-/// Sum of an integer sequence (0 if empty).
+/// Sum of an integer sequence (0 if empty).  The sum saturates at the
+/// int64_t bounds instead of overflowing: partial sums are clamped to
+/// [INT64_MIN, INT64_MAX] in the direction of the overflow.  (Saturation is
+/// unobservable unless a sequence's true sum leaves the int64 range, which
+/// bounded-enumeration scopes never produce; it exists to give the former
+/// signed-overflow UB a defined total semantics.)
 ValueRef seqSum(const ValueRef &S);
-/// Integer mean of an integer sequence (0 if empty).
+/// Integer mean of an integer sequence (0 if empty): the saturating seqSum
+/// divided by the length with *floor* division (round toward -inf), so
+/// negative means agree with the mathematical mean: mean([-3, -4]) = -4.
+/// Both the interpreter and the spec evaluator funnel through this
+/// function (and the solver's constant folder calls it via applyBuiltinOp),
+/// so all evaluation paths agree by construction.
 ValueRef seqMean(const ValueRef &S);
 
 //===----------------------------------------------------------------------===//

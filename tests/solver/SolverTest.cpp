@@ -126,11 +126,27 @@ TEST_F(SolverFixture, GetOfPutSameKey) {
   EXPECT_EQ(A.builtin(BuiltinKind::MapGet, {P, K}), V);
 }
 
-TEST_F(SolverFixture, MeanExpandsToSumOverLen) {
+TEST_F(SolverFixture, MeanStaysUninterpretedOnSymbolicSeqs) {
+  // mean must NOT expand to Div(sum, len): Div truncates toward zero while
+  // the concrete mean floors, so the expansion would equate terms that
+  // differ on negative sums (mean([-3, -4]) is -4, but -7 / 2 is -3).
   TermRef S = A.freshSym("s");
-  EXPECT_EQ(A.builtin(BuiltinKind::SeqMean, {S}),
-            A.binary(BinaryOp::Div, A.builtin(BuiltinKind::SeqSum, {S}),
-                     A.builtin(BuiltinKind::SeqLen, {S})));
+  TermRef Mean = A.builtin(BuiltinKind::SeqMean, {S});
+  TermRef Expanded =
+      A.binary(BinaryOp::Div, A.builtin(BuiltinKind::SeqSum, {S}),
+               A.builtin(BuiltinKind::SeqLen, {S}));
+  EXPECT_NE(Mean, Expanded);
+  EXPECT_EQ(Mean->K, Term::Kind::Builtin);
+  EXPECT_EQ(Mean->BK, BuiltinKind::SeqMean);
+}
+
+TEST_F(SolverFixture, MeanConstantFoldsWithFloorSemantics) {
+  // Constant sequences fold through the concrete evaluator, which floors.
+  ValueRef Seq = ValueFactory::seq(
+      {ValueFactory::intV(-3), ValueFactory::intV(-4)});
+  TermRef Mean = A.builtin(BuiltinKind::SeqMean, {A.constant(Seq)});
+  ASSERT_TRUE(Mean->isConst());
+  EXPECT_EQ(Mean->ConstVal->getInt(), -4);
 }
 
 TEST_F(SolverFixture, BooleanSimplification) {

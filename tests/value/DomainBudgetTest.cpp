@@ -1,0 +1,161 @@
+//===-- tests/value/DomainBudgetTest.cpp - Enumeration-budget properties ---===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property tests for the enumeration budget across every DomainKind and a
+/// spread of budgets, including the historically buggy edges:
+///   - Unit/Bool (and empty-collection prefixes) used to emit their values
+///     unconditionally, overshooting MaxCount 0 and 1;
+///   - the map key-combination walk used to receive the full cap instead of
+///     the remaining budget.
+/// The invariants below are what the fuzz harness and the validity checker
+/// rely on: never more than the budget, exactly the budget when the domain
+/// is large enough, deterministic prefix ordering, and agreement between
+/// the vector-returning and buffer-filling entry points.
+///
+//===----------------------------------------------------------------------===//
+
+#include "tests/value/RepresentationGolden.h"
+#include "value/Domain.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace commcsl;
+
+namespace {
+
+const std::vector<size_t> Budgets = {0, 1, 2, 3, 5, 8, 25, 131, 1000};
+
+/// Cap comfortably above every finite golden-domain cardinality that the
+/// budgets can reach, so `count(CountCap) < CountCap` identifies domains
+/// whose exact size is known.
+constexpr uint64_t CountCap = 1'000'000;
+
+std::string describe(const golden::NamedDomain &D, size_t Budget) {
+  return D.Name + " budget " + std::to_string(Budget);
+}
+
+TEST(DomainBudgetTest, EnumerateNeverExceedsBudget) {
+  for (const auto &D : golden::goldenDomains()) {
+    for (size_t Budget : Budgets) {
+      std::vector<ValueRef> Vals = D.Dom->enumerate(Budget);
+      EXPECT_LE(Vals.size(), Budget) << describe(D, Budget);
+    }
+  }
+}
+
+/// `count` is exact for Unit/Bool/Int and for Pair/Seq over exact
+/// children; for Set/Multiset/Map it is a documented upper bound.
+bool countIsExact(const Domain &D) {
+  switch (D.kind()) {
+  case DomainKind::Unit:
+  case DomainKind::Bool:
+  case DomainKind::Int:
+    return true;
+  case DomainKind::Pair:
+    return countIsExact(*D.first()) && countIsExact(*D.second());
+  case DomainKind::Seq:
+    return countIsExact(*D.first());
+  case DomainKind::Set:
+  case DomainKind::Multiset:
+  case DomainKind::Map:
+    return false;
+  }
+  return false;
+}
+
+TEST(DomainBudgetTest, EnumerateFillsBudgetUpToDomainSize) {
+  for (const auto &D : golden::goldenDomains()) {
+    uint64_t Count = D.Dom->count(CountCap);
+    // The exhaustive size: what an effectively unlimited budget yields.
+    size_t Exhaustive = D.Dom->enumerate(100000).size();
+    EXPECT_LE(Exhaustive, Count) << D.Name << ": count is not an upper bound";
+    if (countIsExact(*D.Dom))
+      EXPECT_EQ(Exhaustive, Count) << D.Name;
+    for (size_t Budget : Budgets) {
+      size_t Expected = std::min(Budget, Exhaustive);
+      EXPECT_EQ(D.Dom->enumerate(Budget).size(), Expected)
+          << describe(D, Budget) << " count " << Count;
+    }
+  }
+}
+
+TEST(DomainBudgetTest, EnumerateProducesDistinctValues) {
+  for (const auto &D : golden::goldenDomains()) {
+    std::vector<ValueRef> Vals = D.Dom->enumerate(1000);
+    std::set<std::string> Seen;
+    for (const ValueRef &V : Vals)
+      EXPECT_TRUE(Seen.insert(V->str()).second)
+          << D.Name << " duplicate " << V->str();
+  }
+}
+
+TEST(DomainBudgetTest, SmallerBudgetIsPrefixOfLarger) {
+  for (const auto &D : golden::goldenDomains()) {
+    std::vector<ValueRef> Full = D.Dom->enumerate(1000);
+    for (size_t Budget : Budgets) {
+      std::vector<ValueRef> Part = D.Dom->enumerate(Budget);
+      ASSERT_LE(Part.size(), Full.size()) << describe(D, Budget);
+      for (size_t I = 0; I < Part.size(); ++I)
+        EXPECT_TRUE(Value::equal(Part[I], Full[I]))
+            << describe(D, Budget) << " index " << I;
+    }
+  }
+}
+
+TEST(DomainBudgetTest, EnumerateIntoAgreesAndAppends) {
+  for (const auto &D : golden::goldenDomains()) {
+    for (size_t Budget : Budgets) {
+      std::vector<ValueRef> Expected = D.Dom->enumerate(Budget);
+      // Pre-populate the buffer: enumerateInto must append, not clobber.
+      std::vector<ValueRef> Out = {ValueFactory::intV(-777)};
+      size_t N = D.Dom->enumerateInto(Budget, Out);
+      EXPECT_EQ(N, Expected.size()) << describe(D, Budget);
+      ASSERT_EQ(Out.size(), Expected.size() + 1) << describe(D, Budget);
+      EXPECT_EQ(Out[0]->getInt(), -777);
+      for (size_t I = 0; I < Expected.size(); ++I)
+        EXPECT_TRUE(Value::equal(Out[I + 1], Expected[I]))
+            << describe(D, Budget) << " index " << I;
+    }
+  }
+}
+
+TEST(DomainBudgetTest, ZeroBudgetYieldsNothingForEveryKind) {
+  // The exact historical bug: Unit and Bool pushed their values before
+  // consulting MaxCount, so enumerate(0) returned 1 resp. 2 values.
+  for (const auto &D : golden::goldenDomains()) {
+    EXPECT_TRUE(D.Dom->enumerate(0).empty()) << D.Name;
+    std::vector<ValueRef> Out;
+    EXPECT_EQ(D.Dom->enumerateInto(0, Out), 0u) << D.Name;
+    EXPECT_TRUE(Out.empty()) << D.Name;
+  }
+}
+
+TEST(DomainBudgetTest, CountDoesNotOverflowOnFullIntRange) {
+  // Regression: `Hi - Lo + 1` on the full int64 range overflows (UB) and
+  // used to report tiny bogus cardinalities. The span must saturate at Cap.
+  DomainRef Full = Domain::intRange(INT64_MIN, INT64_MAX);
+  EXPECT_EQ(Full->count(CountCap), CountCap);
+  EXPECT_EQ(Full->count(1), 1u);
+  // Same overflow shape one level up: a pair of huge ranges multiplies two
+  // saturated counts.
+  DomainRef Huge = Domain::pair(Full, Full);
+  EXPECT_EQ(Huge->count(CountCap), CountCap);
+  // Near-full ranges whose span still fits uint64 but not int64.
+  DomainRef AlmostFull = Domain::intRange(INT64_MIN, INT64_MAX - 1);
+  EXPECT_EQ(AlmostFull->count(CountCap), CountCap);
+  DomainRef HalfNeg = Domain::intRange(INT64_MIN, 0);
+  EXPECT_EQ(HalfNeg->count(CountCap), CountCap);
+  // And enumeration over such a range still honors its budget.
+  EXPECT_EQ(Full->enumerate(5).size(), 5u);
+}
+
+} // namespace

@@ -1,0 +1,108 @@
+//===-- tests/value/RepresentationEquivalenceTest.cpp - Golden vectors -----===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pins the flattened/arena `Value` representation to the pre-rewrite
+/// semantics. The files under tests/value/golden/ were generated against
+/// the old representation (shared_ptr children, per-collection vectors) by
+/// tools/dev/gen_value_goldens.cpp; these tests rebuild the same recipes
+/// with the current representation and require identical renderings,
+/// enumeration sequences, sampling sequences, and pairwise compare signs.
+///
+/// If one of these fails after an intentional semantic change, regenerate
+/// with `gen_value_goldens tests/value/golden` and justify the diff in the
+/// commit message — never regenerate to silence an accidental divergence.
+///
+//===----------------------------------------------------------------------===//
+
+#include "tests/value/RepresentationGolden.h"
+#include "value/Domain.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace commcsl;
+
+namespace {
+
+std::vector<std::string> readGolden(const std::string &Name) {
+  std::string Path = std::string(COMMCSL_VALUE_GOLDEN_DIR) + "/" + Name;
+  std::ifstream IS(Path);
+  EXPECT_TRUE(IS.good()) << "missing golden file " << Path;
+  std::vector<std::string> Lines;
+  std::string Line;
+  while (std::getline(IS, Line))
+    Lines.push_back(Line);
+  return Lines;
+}
+
+/// Compares regenerated lines against the committed golden, with a
+/// line-numbered first-divergence message.
+void expectLinesEqual(const std::vector<std::string> &Got,
+                      const std::vector<std::string> &Want,
+                      const std::string &File) {
+  size_t N = std::min(Got.size(), Want.size());
+  for (size_t I = 0; I < N; ++I)
+    ASSERT_EQ(Got[I], Want[I]) << File << ": first divergence at line "
+                               << (I + 1);
+  EXPECT_EQ(Got.size(), Want.size()) << File << ": line count differs";
+}
+
+TEST(RepresentationEquivalenceTest, ValueRenderingMatchesGolden) {
+  std::vector<std::string> Got;
+  auto Vs = golden::goldenValues();
+  for (size_t I = 0; I < Vs.size(); ++I) {
+    std::ostringstream OS;
+    OS << I << " " << valueKindName(Vs[I]->kind()) << " " << Vs[I]->str();
+    Got.push_back(OS.str());
+  }
+  expectLinesEqual(Got, readGolden("values.txt"), "values.txt");
+}
+
+TEST(RepresentationEquivalenceTest, EnumerationMatchesGolden) {
+  std::vector<std::string> Got;
+  for (const auto &D : golden::goldenDomains()) {
+    for (size_t Budget : golden::goldenBudgets()) {
+      Got.push_back("# enum " + D.Name + " budget " + std::to_string(Budget));
+      for (const ValueRef &V : D.Dom->enumerate(Budget))
+        Got.push_back(V->str());
+    }
+  }
+  expectLinesEqual(Got, readGolden("enumeration.txt"), "enumeration.txt");
+}
+
+TEST(RepresentationEquivalenceTest, SamplingMatchesGolden) {
+  std::vector<std::string> Got;
+  auto Domains = golden::goldenDomains();
+  for (size_t I = 0; I < Domains.size(); ++I) {
+    Got.push_back("# sample " + Domains[I].Name);
+    std::mt19937_64 Rng(golden::goldenSampleSeed(I));
+    for (unsigned K = 0; K < golden::GoldenSampleDraws; ++K)
+      Got.push_back(Domains[I].Dom->sample(Rng)->str());
+  }
+  expectLinesEqual(Got, readGolden("sampling.txt"), "sampling.txt");
+}
+
+TEST(RepresentationEquivalenceTest, CompareSignsMatchGolden) {
+  std::vector<std::string> Got;
+  auto Vs = golden::goldenValues();
+  for (size_t I = 0; I < Vs.size(); ++I) {
+    std::string Row;
+    for (size_t J = 0; J < Vs.size(); ++J) {
+      int C = Value::compare(Vs[I], Vs[J]);
+      Row += (C < 0 ? '<' : C > 0 ? '>' : '=');
+    }
+    Got.push_back(Row);
+  }
+  expectLinesEqual(Got, readGolden("compare.txt"), "compare.txt");
+}
+
+} // namespace

@@ -82,6 +82,34 @@ TEST(ValueOpsTest, SeqAggregates) {
   EXPECT_EQ(seqMean(sv({1, 2}))->getInt(), 1); // integer division
 }
 
+TEST(ValueOpsTest, SeqSumSaturatesInsteadOfOverflowing) {
+  // Regression: the old implementation summed with raw `+`, which is
+  // signed-overflow UB once the partial sum leaves the int64 range.
+  ValueRef NearMax = ValueFactory::seq(
+      {iv(INT64_MAX), iv(INT64_MAX), iv(5)});
+  EXPECT_EQ(seqSum(NearMax)->getInt(), INT64_MAX);
+  ValueRef NearMin = ValueFactory::seq(
+      {iv(INT64_MIN), iv(-1), iv(INT64_MIN)});
+  EXPECT_EQ(seqSum(NearMin)->getInt(), INT64_MIN);
+  // Saturation clamps in the direction of the overflow; it does not make
+  // the sum sticky — backing away from the rail is still exact.
+  ValueRef Back = ValueFactory::seq({iv(INT64_MAX), iv(1), iv(-10)});
+  EXPECT_EQ(seqSum(Back)->getInt(), INT64_MAX - 10);
+  // Sums that never leave the range are unaffected by the clamping.
+  EXPECT_EQ(seqSum(sv({-5, 3, -4}))->getInt(), -6);
+}
+
+TEST(ValueOpsTest, SeqMeanFloorsOnNegativeSums) {
+  // Regression: `/` truncates toward zero, so the old mean([-3, -4]) was
+  // -3; the mathematical mean rounds toward -inf.
+  EXPECT_EQ(seqMean(sv({-3, -4}))->getInt(), -4);
+  EXPECT_EQ(seqMean(sv({-1, -1, -1}))->getInt(), -1); // exact: no adjustment
+  EXPECT_EQ(seqMean(sv({-7, 2}))->getInt(), -3);      // -5/2 floors to -3
+  EXPECT_EQ(seqMean(sv({7, -2}))->getInt(), 2);       // positive: floor==trunc
+  ValueRef Sat = ValueFactory::seq({iv(INT64_MIN), iv(-1)});
+  EXPECT_EQ(seqMean(Sat)->getInt(), INT64_MIN / 2); // saturated sum, exact div
+}
+
 TEST(ValueOpsTest, SetOps) {
   ValueRef S = setv({1, 3});
   EXPECT_EQ(setAdd(S, iv(2))->str(), "{1, 2, 3}");

@@ -1,0 +1,78 @@
+//===-- tools/dev/gen_value_goldens.cpp - Golden-vector generator ----------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates the value-representation golden vectors under
+/// tests/value/golden/ from the recipes in tests/value/RepresentationGolden.h.
+/// Usage: gen_value_goldens <output-dir>
+///
+/// The committed goldens were produced by the pre-rewrite representation;
+/// regenerate only when the *intended* semantics change (and say so in the
+/// commit message), never to paper over an accidental divergence.
+///
+//===----------------------------------------------------------------------===//
+
+#include "tests/value/RepresentationGolden.h"
+
+#include <fstream>
+#include <iostream>
+#include <random>
+
+using namespace commcsl;
+
+int main(int argc, char **argv) {
+  if (argc != 2) {
+    std::cerr << "usage: gen_value_goldens <output-dir>\n";
+    return 2;
+  }
+  std::string Dir = argv[1];
+
+  {
+    std::ofstream OS(Dir + "/enumeration.txt");
+    auto Domains = golden::goldenDomains();
+    for (const auto &D : Domains) {
+      for (size_t Budget : golden::goldenBudgets()) {
+        OS << "# enum " << D.Name << " budget " << Budget << "\n";
+        for (const ValueRef &V : D.Dom->enumerate(Budget))
+          OS << V->str() << "\n";
+      }
+    }
+  }
+
+  {
+    std::ofstream OS(Dir + "/sampling.txt");
+    auto Domains = golden::goldenDomains();
+    for (size_t I = 0; I < Domains.size(); ++I) {
+      OS << "# sample " << Domains[I].Name << "\n";
+      std::mt19937_64 Rng(golden::goldenSampleSeed(I));
+      for (unsigned K = 0; K < golden::GoldenSampleDraws; ++K)
+        OS << Domains[I].Dom->sample(Rng)->str() << "\n";
+    }
+  }
+
+  {
+    std::ofstream OS(Dir + "/values.txt");
+    auto Vs = golden::goldenValues();
+    for (size_t I = 0; I < Vs.size(); ++I)
+      OS << I << " " << valueKindName(Vs[I]->kind()) << " " << Vs[I]->str()
+         << "\n";
+  }
+
+  {
+    std::ofstream OS(Dir + "/compare.txt");
+    auto Vs = golden::goldenValues();
+    for (size_t I = 0; I < Vs.size(); ++I) {
+      for (size_t J = 0; J < Vs.size(); ++J) {
+        int C = Value::compare(Vs[I], Vs[J]);
+        OS << (C < 0 ? '<' : C > 0 ? '>' : '=');
+      }
+      OS << "\n";
+    }
+  }
+
+  std::cout << "wrote goldens to " << Dir << "\n";
+  return 0;
+}
