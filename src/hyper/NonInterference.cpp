@@ -71,9 +71,10 @@ NIReport NonInterferenceHarness::run() {
   }
   TraceSpan SweepSpan("ni", [&] { return "sweep " + Proc->Name; });
   Stopwatch T0;
-  SpecCaches = Config.MemoizeSpecEval
-                   ? std::make_shared<SpecCacheRegistry>(Config.MemoMaxEntries)
-                   : nullptr;
+  SpecCaches = !Config.MemoizeSpecEval ? nullptr
+               : Config.SharedSpecCaches
+                   ? Config.SharedSpecCaches
+                   : std::make_shared<SpecCacheRegistry>(Config.MemoMaxEntries);
 
   std::vector<DomainRef> ParamDoms;
   for (const Param &P : Proc->Params)

@@ -52,6 +52,13 @@ struct NIConfig {
   bool MemoizeSpecEval = true;
   /// Capacity bound per spec cache (entries across both memo tables).
   size_t MemoMaxEntries = SpecEvalCache::DefaultMaxEntries;
+  /// Optional externally owned registry. When set (and MemoizeSpecEval is
+  /// on) the sweep evaluates through it instead of building a private
+  /// per-run registry, so memo entries survive across sweeps — the serve
+  /// daemon's warm path. The report's Cache counters then cover the
+  /// registry's whole lifetime, not just this sweep. Must not outlive the
+  /// Program owning the spec declarations.
+  std::shared_ptr<SpecCacheRegistry> SharedSpecCaches;
 
   /// Optional custom trial generator: returns a batch of low-equivalent
   /// input assignments (the harness compares low outputs across the whole

@@ -110,31 +110,48 @@ SourceMetrics commcsl::measureSource(const std::string &Source) {
   return M;
 }
 
-DriverResult Driver::verifySource(const std::string &Source,
-                                  const std::string &Name) {
-  DriverResult R;
-  R.Name = Name;
-  R.Metrics = measureSource(Source);
-
-  TraceSpan FileSpan("driver", [&] { return "verify " + Name; });
-
+ParsedUnit Driver::parseAndCheck(const std::string &Source,
+                                 const std::string &Name) {
+  ParsedUnit U;
+  U.Name = Name;
+  U.Metrics = measureSource(Source);
   Stopwatch T0;
   {
     TraceSpan Span("driver", "parse");
-    R.Prog = std::make_shared<Program>(Parser::parse(Source, R.Diags));
-    if (!R.Diags.hasErrors()) {
-      TypeChecker Checker(*R.Prog, R.Diags);
+    U.Prog = std::make_shared<Program>(Parser::parse(Source, U.Diags));
+    if (!U.Diags.hasErrors()) {
+      TypeChecker Checker(*U.Prog, U.Diags);
       Checker.check();
     }
   }
-  R.ParseSeconds = T0.seconds();
-  R.ParseOk = !R.Diags.hasErrors();
+  U.ParseSeconds = T0.seconds();
+  U.Ok = !U.Diags.hasErrors();
+  return U;
+}
+
+DriverResult Driver::verifySource(const std::string &Source,
+                                  const std::string &Name) {
+  return verifyParsed(parseAndCheck(Source, Name));
+}
+
+DriverResult Driver::verifyParsed(const ParsedUnit &Unit) {
+  DriverResult R;
+  R.Name = Unit.Name;
+  R.Metrics = Unit.Metrics;
+  R.Prog = Unit.Prog;
+  R.Diags = Unit.Diags; // replayed parse/type-check diagnostics
+  R.ParseSeconds = Unit.ParseSeconds;
+  R.ParseOk = Unit.Ok;
+
+  TraceSpan FileSpan("driver", [&] { return "verify " + R.Name; });
+
   if (!R.ParseOk) {
     flushDriverMetrics(R);
     return R;
   }
 
   VerifierConfig VC = Options.Verifier;
+  VC.SpecCaches = Options.SpecCaches;
   if (VC.Validity.Jobs == 0)
     VC.Validity.Jobs = Options.Jobs;
   unsigned Jobs = ThreadPool::effectiveJobs(Options.Jobs);
@@ -259,6 +276,8 @@ NIReport Driver::runEmpirical(const DriverResult &Result,
   assert(Result.Prog && Result.ParseOk && "empirical run needs a program");
   if (Config.Jobs == 0)
     Config.Jobs = Options.Jobs;
+  if (!Config.SharedSpecCaches)
+    Config.SharedSpecCaches = Options.SpecCaches;
   NonInterferenceHarness Harness(*Result.Prog, ProcName, Config);
   return Harness.run();
 }

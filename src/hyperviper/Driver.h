@@ -36,6 +36,20 @@ struct SourceMetrics {
 /// Computes source metrics for a `.hv` buffer.
 SourceMetrics measureSource(const std::string &Source);
 
+/// A parsed and type-checked source buffer, reusable across verification
+/// runs. The serve daemon's program cache stores these so a resubmitted
+/// source skips the parse phase and — because the same `Program` object
+/// (hence the same spec-declaration addresses) is reused — its per-spec
+/// memo caches stay warm across requests.
+struct ParsedUnit {
+  std::string Name;
+  bool Ok = false; ///< no parse or type errors
+  SourceMetrics Metrics;
+  DiagnosticEngine Diags; ///< parse + type-check diagnostics only
+  std::shared_ptr<Program> Prog;
+  double ParseSeconds = 0;
+};
+
 /// Everything the driver learned about one input.
 struct DriverResult {
   std::string Name;
@@ -78,6 +92,12 @@ struct DriverOptions {
   /// counted in DriverResult::TriageSkipped). Verdicts are identical to
   /// the full pipeline by the strict mode's soundness contract.
   bool Triage = false;
+  /// Optional shared per-spec memo-cache registry, forwarded to the
+  /// verifier (validity phase) and the NI harness so evaluations stay warm
+  /// across Driver runs over the same Program. Null (the one-shot CLI
+  /// default) gives every run private caches. See
+  /// VerifierConfig::SpecCaches for the lifetime contract.
+  std::shared_ptr<SpecCacheRegistry> SpecCaches;
 };
 
 /// The verification driver.
@@ -85,9 +105,20 @@ class Driver {
 public:
   explicit Driver(DriverOptions Options = {}) : Options(Options) {}
 
-  /// Verifies a source buffer. \p Name labels diagnostics.
+  /// Verifies a source buffer. \p Name labels diagnostics. Equivalent to
+  /// `verifyParsed(parseAndCheck(Source, Name))`.
   DriverResult verifySource(const std::string &Source,
                             const std::string &Name);
+
+  /// Parses and type-checks a buffer without verifying it.
+  ParsedUnit parseAndCheck(const std::string &Source,
+                           const std::string &Name);
+
+  /// Verifies a previously parsed unit: replays its parse/type-check
+  /// diagnostics, then runs the validity and procedure phases against
+  /// `Unit.Prog`. The verdict, diagnostics, and counts are identical to a
+  /// fresh `verifySource` of the same buffer.
+  DriverResult verifyParsed(const ParsedUnit &Unit);
 
   /// Reads and verifies a file.
   DriverResult verifyFile(const std::string &Path);

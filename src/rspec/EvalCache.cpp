@@ -85,6 +85,19 @@ void SpecEvalCache::insertAction(const ActionDecl &Action,
   S.Map.emplace(std::move(K), Result);
 }
 
+void SpecEvalCache::clear() {
+  for (AlphaShard &S : AlphaShards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    S.Map.clear();
+    S.Hits = S.Misses = S.Evictions = 0;
+  }
+  for (ActionShard &S : ActionShards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    S.Map.clear();
+    S.Hits = S.Misses = S.Evictions = 0;
+  }
+}
+
 CacheStats SpecEvalCache::stats() const {
   CacheStats Total;
   for (const AlphaShard &S : AlphaShards) {
@@ -111,6 +124,19 @@ SpecCacheRegistry::cacheFor(const ResourceSpecDecl *Spec) {
   if (!C)
     C = std::make_shared<SpecEvalCache>(MaxEntries);
   return C;
+}
+
+size_t SpecCacheRegistry::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Caches.size();
+}
+
+void SpecCacheRegistry::clearAll() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (const auto &[Spec, Cache] : Caches) {
+    (void)Spec;
+    Cache->clear();
+  }
 }
 
 CacheStats SpecCacheRegistry::totals() const {

@@ -67,14 +67,19 @@ struct CacheStats {
   }
 
   /// Counter-wise delta against an earlier snapshot; Entries keeps the
-  /// later (this) gauge value.
+  /// later (this) gauge value. Deltas clamp at zero: a cache cleared or
+  /// reset between the two snapshots (a long-lived server evicting a cold
+  /// program, `SpecEvalCache::clear`) makes the later counters smaller
+  /// than the earlier ones, and an unclamped subtraction would wrap to a
+  /// huge uint64 in per-request delta reports.
   CacheStats operator-(const CacheStats &O) const {
+    auto Sub = [](uint64_t A, uint64_t B) { return A >= B ? A - B : 0; };
     CacheStats R = *this;
-    R.AlphaHits -= O.AlphaHits;
-    R.AlphaMisses -= O.AlphaMisses;
-    R.ActionHits -= O.ActionHits;
-    R.ActionMisses -= O.ActionMisses;
-    R.Evictions -= O.Evictions;
+    R.AlphaHits = Sub(AlphaHits, O.AlphaHits);
+    R.AlphaMisses = Sub(AlphaMisses, O.AlphaMisses);
+    R.ActionHits = Sub(ActionHits, O.ActionHits);
+    R.ActionMisses = Sub(ActionMisses, O.ActionMisses);
+    R.Evictions = Sub(Evictions, O.Evictions);
     return R;
   }
 };
@@ -111,6 +116,12 @@ public:
   }
 
   CacheStats stats() const;
+
+  /// Drops every cached entry and zeroes the per-shard counters — a full
+  /// reset, as when a long-lived server recycles a spec family's cache.
+  /// Snapshots taken across a clear() must go through the clamped
+  /// CacheStats::operator- (deltas would otherwise wrap).
+  void clear();
 
   /// Per-shard entry bound (exposed so tests can assert the capacity
   /// invariant: `stats().Entries <= 2 * numShards() * shardCap()`).
@@ -185,6 +196,13 @@ public:
 
   /// Summed stats over every cache created so far.
   CacheStats totals() const;
+
+  /// Number of distinct specs with a cache.
+  size_t size() const;
+
+  /// Clears every cache in the registry (the caches themselves stay
+  /// attached to any runtimes that hold them).
+  void clearAll();
 
 private:
   size_t MaxEntries;

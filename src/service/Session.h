@@ -1,0 +1,157 @@
+//===-- service/Session.h - Reusable verification service -------*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The library service layer the serve daemon (and any embedder) drives:
+/// a `Session` owns everything the one-shot CLI rebuilds per invocation —
+/// the shared ThreadPool (via ThreadPool::shared()), the process-wide
+/// value-intern table, a bounded LRU cache of parsed programs, and one
+/// `SpecCacheRegistry` per cached program — and exposes a request API
+/// covering the five subsystems: verify, validity, analyze, NI, fuzz.
+///
+/// Warm-cache contract: a resubmitted source skips the parse phase and
+/// reuses the cached `Program` object, so its resource-spec declarations
+/// keep their addresses and the per-spec alpha/f_a memo caches (PR 2) stay
+/// warm — repeated spec families hit the memo layer instead of
+/// recomputing. Memoized evaluation is pure, so every response is
+/// byte-identical cold or warm, at any `Jobs`, under any interleaving of
+/// concurrent requests (chunk outcomes are functions of global item
+/// indices, never of the executing worker; see DESIGN §11).
+///
+/// Thread model: every method is safe to call from multiple request
+/// threads concurrently. Requests multiplex onto the one shared pool;
+/// a request thread waiting for its chunks helps drain the pool's queues,
+/// so concurrent requests cannot deadlock the pool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_SERVICE_SESSION_H
+#define COMMCSL_SERVICE_SESSION_H
+
+#include "fuzz/Campaign.h"
+#include "hyperviper/Driver.h"
+#include "rspec/EvalCache.h"
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace commcsl {
+
+/// Session-wide defaults and bounds.
+struct SessionOptions {
+  /// Default worker threads per request (0 = hardware concurrency); a
+  /// request's own Jobs field overrides it.
+  unsigned Jobs = 0;
+  /// Verifier triage fast path for verify requests.
+  bool Triage = false;
+  /// Parsed programs kept warm (LRU beyond this). Evicting a program also
+  /// drops its spec memo caches.
+  size_t MaxCachedPrograms = 32;
+  /// Capacity bound per spec memo cache.
+  size_t MemoMaxEntries = SpecEvalCache::DefaultMaxEntries;
+};
+
+/// One service request. `Verb` selects the subsystem; the source-based
+/// verbs take the program text inline (the daemon has no filesystem
+/// contract with its clients).
+struct ServiceRequest {
+  enum class Verb {
+    Verify,   ///< full pipeline; optionally followed by the NI harness
+    Validity, ///< resource-spec validity (Def. 3.1) only
+    Analyze,  ///< static information-flow pre-analysis only
+    NI,       ///< empirical non-interference harness only
+    Fuzz,     ///< differential soundness-fuzzing campaign
+  };
+  Verb V = Verb::Verify;
+  std::string Source;
+  std::string Name = "<request>"; ///< labels diagnostics, like a CLI path
+  std::string Proc;     ///< NI (and Verify-with-NI): procedure to sweep
+  unsigned Jobs = 0;    ///< 0 = session default
+  bool Triage = false;  ///< verify: static fast path
+  bool NoValidity = false; ///< verify: skip Def. 3.1 checking
+  CampaignConfig Fuzz;  ///< fuzz only
+};
+
+/// One service response. `Report` is the user-facing payload and is
+/// byte-identical to what the one-shot CLI prints (stderr diagnostics
+/// followed by stdout lines) for the corresponding invocation.
+struct ServiceResponse {
+  bool Ok = true; ///< verdict: verified / valid / clean / secure
+  int Exit = 0;   ///< the CLI's exit code for the same input
+  std::string Report;
+  /// Spec memo counters attributable to this request (snapshot deltas;
+  /// clamped, so cache resets between snapshots cannot wrap them).
+  CacheStats Cache;
+  /// True when the request's program came from the warm program cache.
+  bool ProgramCacheHit = false;
+};
+
+/// Aggregate session counters for the stats endpoint.
+struct SessionStats {
+  uint64_t Requests = 0;
+  uint64_t ProgramCacheHits = 0;
+  uint64_t ProgramCacheMisses = 0;
+  uint64_t ProgramsCached = 0;
+  uint64_t SpecsCached = 0; ///< distinct specs holding a memo cache
+  CacheStats Spec;          ///< summed over every live program's registry
+};
+
+/// The long-lived service object. See the file comment for the ownership
+/// and determinism story.
+class Session {
+public:
+  explicit Session(SessionOptions Options = {});
+
+  /// Dispatches on the request's verb.
+  ServiceResponse handle(const ServiceRequest &Request);
+
+  ServiceResponse verify(const ServiceRequest &Request);
+  ServiceResponse validity(const ServiceRequest &Request);
+  ServiceResponse analyze(const ServiceRequest &Request);
+  ServiceResponse ni(const ServiceRequest &Request);
+  ServiceResponse fuzz(const ServiceRequest &Request);
+
+  SessionStats stats() const;
+
+  /// Drops every cached program and its memo caches (maintenance hook).
+  void resetCaches();
+
+private:
+  /// A parsed program plus its warm per-spec memo caches. Cached entries
+  /// are shared_ptrs so eviction cannot invalidate a request mid-flight:
+  /// an in-flight request keeps its entry (program, caches and all) alive
+  /// until it completes.
+  struct CachedProgram {
+    ParsedUnit Unit;
+    std::shared_ptr<SpecCacheRegistry> SpecCaches;
+    uint64_t LastUse = 0;
+  };
+
+  /// The cached parse of \p Source, parsing (and inserting) on a miss.
+  /// Sets \p WasHit for the response's cache flag.
+  std::shared_ptr<CachedProgram> obtain(const std::string &Source,
+                                        const std::string &Name,
+                                        bool &WasHit);
+
+  DriverOptions driverOptions(const ServiceRequest &Request,
+                              const std::shared_ptr<CachedProgram> &P) const;
+
+  SessionOptions Options;
+  mutable std::mutex Mu;
+  std::unordered_map<std::string, std::shared_ptr<CachedProgram>> Programs;
+  uint64_t UseClock = 0;
+  uint64_t Requests = 0;
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+};
+
+} // namespace commcsl
+
+#endif // COMMCSL_SERVICE_SESSION_H

@@ -1,0 +1,131 @@
+//===-- support/Signals.cpp - SIGINT/SIGTERM flush-and-exit ----------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Signals.h"
+
+#include <condition_variable>
+#include <csignal>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+using namespace commcsl;
+
+namespace {
+
+struct SignalState {
+  std::mutex Mu;
+  std::condition_variable GracefulCv;
+  std::vector<std::pair<uint64_t, std::function<void()>>> Flush;
+  std::function<void(int)> Graceful;
+  uint64_t NextToken = 1;
+  int Consumed = 0;
+  bool Installed = false;
+  bool GracefulRunning = false;
+};
+
+SignalState &state() {
+  static SignalState S;
+  return S;
+}
+
+void watcherLoop(sigset_t Set) {
+  for (;;) {
+    int Sig = 0;
+    if (sigwait(&Set, &Sig) != 0)
+      continue;
+
+    // First delivery with a graceful handler installed: hand the signal
+    // over (e.g. the serve daemon starts draining) and keep watching so a
+    // second ^C can force the hard path.
+    {
+      SignalState &S = state();
+      std::unique_lock<std::mutex> Lock(S.Mu);
+      if (S.Graceful && S.Consumed == 0) {
+        S.Consumed = Sig;
+        std::function<void(int)> H = S.Graceful;
+        // Mark the invocation in flight (and run it unlocked): whoever
+        // clears the handler must be able to wait for it, or the objects
+        // it touches could be destroyed under the watcher's feet.
+        S.GracefulRunning = true;
+        Lock.unlock();
+        H(Sig);
+        Lock.lock();
+        S.GracefulRunning = false;
+        S.GracefulCv.notify_all();
+        continue;
+      }
+    }
+
+    // Hard path: flush every registered sink (LIFO — later registrations
+    // may depend on earlier ones), then exit with the conventional
+    // status. _Exit skips static destructors: worker threads may be
+    // mid-verification and unwinding under them is not safe.
+    std::vector<std::function<void()>> Actions;
+    {
+      SignalState &S = state();
+      std::lock_guard<std::mutex> Lock(S.Mu);
+      for (auto It = S.Flush.rbegin(); It != S.Flush.rend(); ++It)
+        Actions.push_back(It->second);
+    }
+    for (const std::function<void()> &A : Actions)
+      A();
+    std::_Exit(128 + Sig);
+  }
+}
+
+} // namespace
+
+void commcsl::installSignalWatcher() {
+  SignalState &S = state();
+  {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    if (S.Installed)
+      return;
+    S.Installed = true;
+  }
+  sigset_t Set;
+  sigemptyset(&Set);
+  sigaddset(&Set, SIGINT);
+  sigaddset(&Set, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &Set, nullptr);
+  std::thread(watcherLoop, Set).detach();
+}
+
+uint64_t commcsl::addSignalFlushAction(std::function<void()> Action) {
+  SignalState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  uint64_t Token = S.NextToken++;
+  S.Flush.emplace_back(Token, std::move(Action));
+  return Token;
+}
+
+void commcsl::removeSignalFlushAction(uint64_t Token) {
+  SignalState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  for (auto It = S.Flush.begin(); It != S.Flush.end(); ++It)
+    if (It->first == Token) {
+      S.Flush.erase(It);
+      return;
+    }
+}
+
+void commcsl::setGracefulSignalHandler(std::function<void(int)> Handler) {
+  SignalState &S = state();
+  std::unique_lock<std::mutex> Lock(S.Mu);
+  // Barrier: once this returns, the previous handler is not running and
+  // will never run again, so its captures may safely be destroyed.
+  S.GracefulCv.wait(Lock, [&] { return !S.GracefulRunning; });
+  S.Graceful = std::move(Handler);
+}
+
+int commcsl::consumedSignal() {
+  SignalState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  return S.Consumed;
+}

@@ -1,0 +1,76 @@
+//===-- support/Signals.h - SIGINT/SIGTERM flush-and-exit -------*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interrupt handling for the CLI and the serve daemon. Before this
+/// existed, a ^C mid-run killed the process with the default disposition
+/// and every buffered observability sink — the in-memory trace recorder,
+/// the metrics registry a `--metrics-json` flag promised to write — was
+/// lost.
+///
+/// The design avoids async-signal-handler restrictions entirely: the
+/// watcher *blocks* SIGINT and SIGTERM in the installing thread (every
+/// thread created afterwards inherits the mask, so install before the
+/// thread pool spins up) and receives them synchronously on a dedicated
+/// thread via `sigwait`. That thread runs ordinary code — it may lock,
+/// allocate, and do file I/O — so the registered flush actions are plain
+/// `std::function`s.
+///
+/// Delivery policy:
+///  - If a graceful handler is set (the serve daemon's drain hook), the
+///    first signal invokes it and the process keeps running; the daemon
+///    drains in-flight requests and exits through `main` normally.
+///  - Otherwise — or on a second signal while a graceful drain is in
+///    progress — every registered flush action runs (LIFO), then the
+///    process terminates with the conventional status `128 + signo`
+///    via `std::_Exit` (no static destructors: worker threads may be
+///    mid-verification and unwinding them is not safe).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_SUPPORT_SIGNALS_H
+#define COMMCSL_SUPPORT_SIGNALS_H
+
+#include <cstdint>
+#include <functional>
+
+namespace commcsl {
+
+/// Blocks SIGINT/SIGTERM in the calling thread and starts the watcher
+/// thread. Call once, first thing in `main`, before any other thread
+/// (pool workers inherit the mask and would otherwise steal deliveries).
+/// Idempotent; subsequent calls are no-ops.
+void installSignalWatcher();
+
+/// Registers a flush action to run on fatal signal delivery, watcher
+/// thread context (ordinary code allowed). Actions run in LIFO order.
+/// Returns a token for `removeSignalFlushAction`.
+uint64_t addSignalFlushAction(std::function<void()> Action);
+
+/// Deregisters a flush action (no-op for unknown tokens).
+void removeSignalFlushAction(uint64_t Token);
+
+/// Sets (or clears, with nullptr-like empty function) the graceful
+/// handler consulted on first delivery. The handler receives the signal
+/// number and must not block: it should only *trigger* a shutdown (e.g.
+/// `Server::stop`) and return.
+///
+/// This call is a barrier: if the previous handler is mid-invocation on
+/// the watcher thread, it waits for that invocation to return before
+/// replacing it. Clear the handler (pass `{}`) *before* destroying
+/// anything it captures — e.g. `runServe` clears it between
+/// `Server::run()` returning and the Server leaving scope, or the
+/// watcher could call `stop()` on a dead object. Consequently the
+/// handler itself must never call this function (self-deadlock).
+void setGracefulSignalHandler(std::function<void(int)> Handler);
+
+/// The signal consumed by the graceful path, or 0. Lets `main` exit
+/// `128 + signo` after a drain that was signal-initiated.
+int consumedSignal();
+
+} // namespace commcsl
+
+#endif // COMMCSL_SUPPORT_SIGNALS_H

@@ -50,6 +50,15 @@ struct VerifierConfig {
   ValidityConfig Validity;
   /// Skip spec validity (used by unit tests that target program rules).
   bool SkipValidityCheck = false;
+  /// Optional shared per-spec memo-cache registry. When set, `verifySpec`
+  /// evaluates through `SpecCaches->cacheFor(&Spec)` instead of a private
+  /// per-checker cache, so entries stay warm across Verifier instances —
+  /// the serve daemon's repeated-spec-family fast path. Memoized
+  /// evaluation is pure, so verdicts, counterexamples, and diagnostics are
+  /// identical warm or cold; only the (diagnostic) hit/miss counters
+  /// change. The registry must not outlive the Program that owns the spec
+  /// declarations used to key it.
+  std::shared_ptr<SpecCacheRegistry> SpecCaches;
 };
 
 /// Per-procedure verdict.

@@ -88,3 +88,114 @@ TEST(EvalCacheTest, SurvivorsStillHitAfterEviction) {
   EXPECT_GT(Recomputed, 0u);          // and some were evicted
   EXPECT_LT(Recomputed, 5000u);
 }
+
+TEST(EvalCacheTest, ClearDropsEntriesAndZeroesCounters) {
+  SpecEvalCache C(/*MaxEntries=*/0);
+  ActionDecl Action;
+  Action.Name = "act";
+  for (int64_t I = 0; I < 100; ++I) {
+    ValueRef V = key(I);
+    C.alpha(V, [&] { return V; });
+    C.action(Action, V, V, [&] { return V; });
+  }
+  ASSERT_GT(C.stats().Entries, 0u);
+  ASSERT_GT(C.stats().misses(), 0u);
+
+  C.clear();
+  CacheStats S = C.stats();
+  EXPECT_EQ(S.Entries, 0u);
+  EXPECT_EQ(S.hits(), 0u);
+  EXPECT_EQ(S.misses(), 0u);
+  EXPECT_EQ(S.Evictions, 0u);
+
+  // The cache stays usable: everything recomputes (a miss), then hits.
+  unsigned Recomputed = 0;
+  ValueRef V = key(7);
+  C.alpha(V, [&] {
+    ++Recomputed;
+    return V;
+  });
+  C.alpha(V, [&] {
+    ++Recomputed;
+    return V;
+  });
+  EXPECT_EQ(Recomputed, 1u);
+}
+
+TEST(EvalCacheTest, SnapshotDeltaClampsAcrossClear) {
+  // The serve daemon computes per-request cache deltas as
+  // `after - before`; a clear() (or program eviction) between the two
+  // snapshots makes the later counters smaller. The subtraction must clamp
+  // at zero instead of wrapping to ~2^64 (the bug this test pins).
+  SpecEvalCache C(/*MaxEntries=*/0);
+  for (int64_t I = 0; I < 50; ++I) {
+    ValueRef V = key(I);
+    C.alpha(V, [&] { return V; });
+    C.alpha(V, [&] { return V; }); // second lookup hits
+  }
+  CacheStats Before = C.stats();
+  ASSERT_GT(Before.AlphaHits, 0u);
+  ASSERT_GT(Before.AlphaMisses, 0u);
+
+  C.clear();
+  ValueRef V = key(1);
+  C.alpha(V, [&] { return V; }); // one fresh miss after the reset
+
+  CacheStats Delta = C.stats() - Before;
+  // Clamped: never the huge wrapped values, and the post-clear activity
+  // cannot be mistaken for billions of hits.
+  EXPECT_EQ(Delta.AlphaHits, 0u);
+  EXPECT_LE(Delta.AlphaMisses, 1u);
+  EXPECT_EQ(Delta.ActionHits, 0u);
+  EXPECT_EQ(Delta.ActionMisses, 0u);
+  EXPECT_EQ(Delta.Evictions, 0u);
+  // Entries is a gauge: the delta keeps the later value as-is.
+  EXPECT_EQ(Delta.Entries, C.stats().Entries);
+}
+
+TEST(EvalCacheTest, SnapshotDeltaStaysConsistentThroughEvictionSweeps) {
+  // Same delta pattern across organic every-other eviction sweeps (no
+  // clear): counters are monotone, so deltas must be exact.
+  SpecEvalCache C(/*MaxEntries=*/0);
+  CacheStats Before = C.stats();
+  for (int64_t I = 0; I < 5000; ++I) {
+    ValueRef V = key(I);
+    C.alpha(V, [&] { return V; });
+  }
+  CacheStats After = C.stats();
+  ASSERT_GT(After.Evictions, 0u); // sweeps actually happened
+  CacheStats Delta = After - Before;
+  EXPECT_EQ(Delta.AlphaMisses, 5000u);
+  EXPECT_EQ(Delta.Evictions, After.Evictions);
+  EXPECT_EQ(Delta.Entries, After.Entries);
+  // Entries tracks live entries through sweeps: inserts minus evictions.
+  EXPECT_EQ(After.Entries, 5000u - After.Evictions);
+}
+
+TEST(EvalCacheTest, RegistrySizeTotalsAndClearAll) {
+  SpecCacheRegistry Registry(/*MaxEntriesPerSpec=*/0);
+  ResourceSpecDecl SpecA, SpecB;
+  SpecA.Name = "a";
+  SpecB.Name = "b";
+  EXPECT_EQ(Registry.size(), 0u);
+
+  std::shared_ptr<SpecEvalCache> CA = Registry.cacheFor(&SpecA);
+  std::shared_ptr<SpecEvalCache> CB = Registry.cacheFor(&SpecB);
+  EXPECT_EQ(Registry.size(), 2u);
+  EXPECT_EQ(Registry.cacheFor(&SpecA), CA); // stable mapping
+
+  ValueRef V = key(42);
+  CA->alpha(V, [&] { return V; });
+  CB->alpha(V, [&] { return V; });
+  CacheStats T = Registry.totals();
+  EXPECT_EQ(T.AlphaMisses, 2u);
+  EXPECT_EQ(T.Entries, 2u);
+
+  Registry.clearAll();
+  T = Registry.totals();
+  EXPECT_EQ(T.Entries, 0u);
+  EXPECT_EQ(T.misses(), 0u);
+  // Handed-out caches stay attached (clearAll empties, not detaches).
+  CA->alpha(V, [&] { return V; });
+  EXPECT_EQ(Registry.totals().AlphaMisses, 1u);
+}

@@ -1,0 +1,206 @@
+//===-- tests/service/SessionTest.cpp - Service session unit tests ---------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// In-process tests of the serve daemon's Session layer: CLI-byte-identity
+/// of reports, warm program/spec-cache reuse across requests, per-request
+/// cache deltas, LRU eviction, and the per-verb surfaces. Wire-level
+/// behavior lives in tests/hyperviper/ServeTest.cpp; this file pins the
+/// semantics the wire merely transports.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Session.h"
+
+#include "hyperviper/Analyze.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace commcsl;
+
+namespace {
+
+const char *VerifiedProgram = R"(
+  resource Counter {
+    state: int;
+    alpha(v) = v;
+    shared action Add(a: int) { apply(v, a) = v + a; requires low(a); }
+  }
+  procedure main(l: int) returns (out: int)
+    requires low(l)
+    ensures low(out)
+  {
+    share r: Counter := 0;
+    atomic r { perform r.Add(l); }
+    out := unshare r;
+  }
+)";
+
+const char *RejectedProgram =
+    "procedure main(h: int) returns (out: int) ensures low(out) "
+    "{ out := h; }";
+
+const char *ParseErrorProgram = "procedure main( {";
+
+ServiceRequest verifyRequest(const char *Source, const char *Name) {
+  ServiceRequest R;
+  R.V = ServiceRequest::Verb::Verify;
+  R.Source = Source;
+  R.Name = Name;
+  return R;
+}
+
+} // namespace
+
+TEST(SessionTest, VerifyReportMatchesOneShotDriverOutput) {
+  // The contract: the session's Report is byte-identical to what the
+  // one-shot CLI prints — assembled here from the independent Driver path.
+  Session S;
+  ServiceResponse Resp = S.handle(verifyRequest(VerifiedProgram, "ok.hv"));
+  EXPECT_TRUE(Resp.Ok);
+  EXPECT_EQ(Resp.Exit, 0);
+  EXPECT_EQ(Resp.Report, "ok.hv: verified\n");
+
+  Driver D;
+  DriverResult R = D.verifySource(RejectedProgram, "bad.hv");
+  ASSERT_FALSE(R.Verified);
+  ServiceResponse Bad = S.handle(verifyRequest(RejectedProgram, "bad.hv"));
+  EXPECT_FALSE(Bad.Ok);
+  EXPECT_EQ(Bad.Exit, 1);
+  EXPECT_EQ(Bad.Report, R.Diags.str("bad.hv") + "bad.hv: REJECTED\n");
+}
+
+TEST(SessionTest, WarmRequestsHitProgramAndSpecCaches) {
+  Session S;
+  ServiceResponse Cold = S.handle(verifyRequest(VerifiedProgram, "a.hv"));
+  EXPECT_FALSE(Cold.ProgramCacheHit);
+  ASSERT_TRUE(Cold.Ok);
+  EXPECT_GT(Cold.Cache.misses(), 0u); // the cold pass populated the memo
+
+  ServiceResponse Warm = S.handle(verifyRequest(VerifiedProgram, "a.hv"));
+  EXPECT_TRUE(Warm.ProgramCacheHit);
+  EXPECT_EQ(Warm.Report, Cold.Report); // byte-identical warm vs cold
+  EXPECT_GT(Warm.Cache.hits(), 0u);    // and actually served from memo
+
+  SessionStats Stats = S.stats();
+  EXPECT_EQ(Stats.Requests, 2u);
+  EXPECT_EQ(Stats.ProgramCacheHits, 1u);
+  EXPECT_EQ(Stats.ProgramCacheMisses, 1u);
+  EXPECT_EQ(Stats.ProgramsCached, 1u);
+  EXPECT_GT(Stats.Spec.hits(), 0u);
+}
+
+TEST(SessionTest, ReportsIdenticalAtEveryJobCount) {
+  Session S;
+  ServiceRequest R1 = verifyRequest(VerifiedProgram, "j.hv");
+  R1.Jobs = 1;
+  ServiceRequest R3 = R1;
+  R3.Jobs = 3;
+  ServiceResponse A = S.handle(R1);
+  ServiceResponse B = S.handle(R3);
+  ServiceResponse C = S.handle(R1); // warm again at jobs 1
+  EXPECT_EQ(A.Report, B.Report);
+  EXPECT_EQ(A.Report, C.Report);
+  EXPECT_EQ(A.Exit, B.Exit);
+}
+
+TEST(SessionTest, ConcurrentClientsGetIdenticalReports) {
+  Session S;
+  constexpr unsigned Clients = 4;
+  std::vector<ServiceResponse> Resps(Clients);
+  std::vector<std::thread> Threads;
+  for (unsigned I = 0; I < Clients; ++I)
+    Threads.emplace_back([&, I] {
+      ServiceRequest R = verifyRequest(VerifiedProgram, "c.hv");
+      R.Jobs = 1 + I % 3;
+      Resps[I] = S.handle(R);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  for (unsigned I = 0; I < Clients; ++I) {
+    EXPECT_TRUE(Resps[I].Ok);
+    EXPECT_EQ(Resps[I].Report, Resps[0].Report);
+  }
+  EXPECT_EQ(S.stats().Requests, Clients);
+  EXPECT_EQ(S.stats().ProgramsCached, 1u); // racing parses collapse to one
+}
+
+TEST(SessionTest, LruEvictsStalestProgram) {
+  SessionOptions Opts;
+  Opts.MaxCachedPrograms = 1;
+  Session S(Opts);
+  S.handle(verifyRequest(VerifiedProgram, "a.hv"));
+  S.handle(verifyRequest(RejectedProgram, "b.hv")); // evicts a.hv
+  EXPECT_EQ(S.stats().ProgramsCached, 1u);
+  ServiceResponse Again = S.handle(verifyRequest(VerifiedProgram, "a.hv"));
+  EXPECT_FALSE(Again.ProgramCacheHit); // was evicted, re-parsed
+  EXPECT_TRUE(Again.Ok);
+}
+
+TEST(SessionTest, ValidityVerbReportsPerSpecVerdicts) {
+  Session S;
+  ServiceRequest R;
+  R.V = ServiceRequest::Verb::Validity;
+  R.Source = VerifiedProgram;
+  R.Name = "v.hv";
+  ServiceResponse Resp = S.handle(R);
+  EXPECT_TRUE(Resp.Ok);
+  EXPECT_EQ(Resp.Report, "spec Counter: valid\n");
+
+  R.Source = ParseErrorProgram;
+  ServiceResponse Err = S.handle(R);
+  EXPECT_FALSE(Err.Ok);
+  EXPECT_EQ(Err.Exit, 1);
+  EXPECT_NE(Err.Report.find("v.hv: REJECTED"), std::string::npos);
+}
+
+TEST(SessionTest, AnalyzeVerbMatchesAnalyzeSourceBlock) {
+  Session S;
+  ServiceRequest R;
+  R.V = ServiceRequest::Verb::Analyze;
+  R.Source = RejectedProgram;
+  R.Name = "an.hv";
+  ServiceResponse Resp = S.handle(R);
+  AnalyzeResult Expected;
+  Expected.Files.push_back(analyzeSourceBlock(RejectedProgram, "an.hv"));
+  EXPECT_EQ(Resp.Report, Expected.str());
+  EXPECT_EQ(Resp.Exit, 0); // analyze reports, it does not gate
+}
+
+TEST(SessionTest, NiVerbMatchesDriverEmpiricalBlock) {
+  Session S;
+  ServiceRequest R;
+  R.V = ServiceRequest::Verb::NI;
+  R.Source = VerifiedProgram;
+  R.Name = "ni.hv";
+  R.Proc = "main";
+  ServiceResponse Resp = S.handle(R);
+  EXPECT_TRUE(Resp.Ok);
+  EXPECT_EQ(Resp.Exit, 0);
+  EXPECT_NE(
+      Resp.Report.find("  empirical non-interference: no violation in"),
+      std::string::npos);
+
+  // Verify-with-NI appends the same block after the verdict line, exactly
+  // as `hyperviper --ni main` does.
+  ServiceRequest V = verifyRequest(VerifiedProgram, "ni.hv");
+  V.Proc = "main";
+  ServiceResponse Both = S.handle(V);
+  EXPECT_EQ(Both.Report, std::string("ni.hv: verified\n") + Resp.Report);
+}
+
+TEST(SessionTest, ResetCachesForcesColdPath) {
+  Session S;
+  S.handle(verifyRequest(VerifiedProgram, "r.hv"));
+  S.resetCaches();
+  EXPECT_EQ(S.stats().ProgramsCached, 0u);
+  ServiceResponse Resp = S.handle(verifyRequest(VerifiedProgram, "r.hv"));
+  EXPECT_FALSE(Resp.ProgramCacheHit);
+  EXPECT_TRUE(Resp.Ok);
+}

@@ -190,3 +190,76 @@ TEST(ThreadPoolTest, SharedPoolIsUsableAndSized) {
   EXPECT_EQ(ThreadPool::effectiveJobs(0), ThreadPool::defaultJobs());
   EXPECT_EQ(ThreadPool::effectiveJobs(3), 3u);
 }
+
+TEST(ThreadPoolTest, BackToBackSubmissionsFromRequestThreads) {
+  // The serve daemon's shape: several long-lived request threads, each
+  // submitting many parallelForChunks calls back-to-back on one shared
+  // pool. Every round must see exactly its own range — no chunk leakage
+  // between a thread's consecutive calls or across threads — and results
+  // must be independent of the interleaving.
+  ThreadPool Pool(3);
+  constexpr unsigned RequestThreads = 4;
+  constexpr unsigned RoundsPerThread = 50;
+  std::vector<std::thread> Threads;
+  std::vector<uint64_t> Failures(RequestThreads, 0);
+  for (unsigned T = 0; T < RequestThreads; ++T) {
+    Threads.emplace_back([&, T] {
+      for (unsigned Round = 0; Round < RoundsPerThread; ++Round) {
+        // Vary the shape per round: empty ranges, single items, more jobs
+        // than items, and normal fan-outs all alternate.
+        const uint64_t Items = (T + Round) % 4 == 0 ? 0 : 1 + (Round % 97);
+        const unsigned Jobs = 1 + ((T + Round) % 8);
+        std::atomic<uint64_t> Sum{0};
+        Pool.parallelForChunks(Items, Jobs,
+                               [&](uint64_t B, uint64_t E, unsigned) {
+                                 for (uint64_t I = B; I < E; ++I)
+                                   Sum.fetch_add(I + 1);
+                               });
+        if (Sum.load() != Items * (Items + 1) / 2)
+          ++Failures[T];
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  for (unsigned T = 0; T < RequestThreads; ++T)
+    EXPECT_EQ(Failures[T], 0u) << "request thread " << T;
+}
+
+TEST(ThreadPoolTest, EmptyAndOversubscribedRangesInterleavedAcrossThreads) {
+  // Degenerate shapes under concurrency: empty ranges must return
+  // immediately (never touching the queues) while sibling threads keep the
+  // pool busy, and jobs far exceeding items must still cover each item
+  // exactly once.
+  ThreadPool Pool(2);
+  std::atomic<uint64_t> Covered{0};
+  std::atomic<bool> Stop{false};
+  std::thread Background([&] {
+    while (!Stop.load())
+      Pool.parallelForChunks(64, 4, [&](uint64_t B, uint64_t E, unsigned) {
+        Covered.fetch_add(E - B);
+      });
+  });
+  for (int I = 0; I < 200; ++I) {
+    std::atomic<uint64_t> Seen{0};
+    Pool.parallelForChunks(0, 4, [&](uint64_t, uint64_t, unsigned) {
+      Seen.fetch_add(1);
+    });
+    EXPECT_EQ(Seen.load(), 0u);
+    std::vector<std::atomic<uint32_t>> Marks(3);
+    Pool.parallelForChunks(3, /*Jobs=*/64,
+                           [&](uint64_t B, uint64_t E, unsigned) {
+                             for (uint64_t K = B; K < E; ++K)
+                               Marks[K].fetch_add(1);
+                           });
+    for (int K = 0; K < 3; ++K)
+      EXPECT_EQ(Marks[K].load(), 1u);
+  }
+  // Let the background contender finish at least one full round before
+  // stopping, so the degenerate shapes above really ran under load.
+  while (Covered.load() == 0)
+    std::this_thread::yield();
+  Stop.store(true);
+  Background.join();
+  EXPECT_GT(Covered.load(), 0u);
+}

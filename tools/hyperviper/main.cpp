@@ -73,13 +73,21 @@
 ///                        verifier fault for exercising the disagreement
 ///                        machinery (testing/tooling only)
 ///
+/// Serve subcommand: `hyperviper serve [options]` runs the persistent
+/// verification daemon (src/service/): newline-delimited JSON over TCP on
+/// 127.0.0.1, multiplexing requests onto the shared thread pool with warm
+/// program/spec-eval caches across requests. Responses are byte-identical
+/// to the one-shot CLI. See DESIGN.md §11 and `serve --help`.
+///
 //===----------------------------------------------------------------------===//
 
 #include "fuzz/Campaign.h"
 #include "fuzz/Corpus.h"
 #include "hyperviper/Analyze.h"
 #include "hyperviper/Driver.h"
+#include "service/Server.h"
 #include "support/Numeric.h"
+#include "support/Signals.h"
 #include "support/trace/Metrics.h"
 #include "support/trace/Trace.h"
 
@@ -135,6 +143,14 @@ struct Observability {
       Ok = false;
     }
     return Ok;
+  }
+
+  /// Re-registers `finish` as a signal flush action so an interrupt mid-run
+  /// still writes the promised trace/metrics files before the process exits
+  /// 128+sig. Call once, after flag parsing (the paths must be final).
+  void armSignalFlush() const {
+    Observability Copy = *this;
+    addSignalFlushAction([Copy] { Copy.finish(); });
   }
 };
 
@@ -252,6 +268,7 @@ int runFuzz(int Argc, char **Argv) {
     }
   }
 
+  Obs.armSignalFlush();
   CampaignReport Report = runCampaign(Config);
 
   std::string Json = Report.json();
@@ -317,6 +334,7 @@ int runAnalyzeCmd(int Argc, char **Argv) {
     std::fprintf(stderr, "%s: error: no inputs\n", Sub);
     return 2;
   }
+  Obs.armSignalFlush();
   AnalyzeResult R = runAnalyze(Inputs, Options);
   std::fputs(R.str().c_str(), stdout);
   if (!Obs.finish())
@@ -329,6 +347,85 @@ int runAnalyzeCmd(int Argc, char **Argv) {
     return 1;
   }
   return 0;
+}
+
+int runServe(int Argc, char **Argv) {
+  const char *Sub = "hyperviper serve";
+  Observability Obs{Sub, {}, {}};
+  SessionOptions SessOpts;
+  uint64_t Port = 0;
+  uint64_t Workers = 2;
+  uint64_t MaxQueue = 64;
+
+  for (int I = 0; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Obs.parseFlag(Arg, Argc, Argv, I)) {
+    } else if (Arg == "--port") {
+      Port = requireUnsigned(Sub, "--port", Argc, Argv, I);
+      if (Port > 65535) {
+        std::fprintf(stderr, "%s: error: invalid --port value %llu\n", Sub,
+                     static_cast<unsigned long long>(Port));
+        return 2;
+      }
+    } else if (Arg == "--jobs") {
+      SessOpts.Jobs = requireJobs(Sub, Argc, Argv, I);
+    } else if (Arg == "--triage") {
+      SessOpts.Triage = true;
+    } else if (Arg == "--workers") {
+      Workers = requireUnsigned(Sub, "--workers", Argc, Argv, I);
+      if (Workers == 0 || Workers > 256) {
+        std::fprintf(stderr, "%s: error: --workers must be 1..256\n", Sub);
+        return 2;
+      }
+    } else if (Arg == "--max-queue") {
+      MaxQueue = requireUnsigned(Sub, "--max-queue", Argc, Argv, I);
+      if (MaxQueue == 0) {
+        std::fprintf(stderr, "%s: error: --max-queue must be positive\n",
+                     Sub);
+        return 2;
+      }
+    } else if (Arg == "--max-programs") {
+      SessOpts.MaxCachedPrograms = static_cast<size_t>(
+          requireUnsigned(Sub, "--max-programs", Argc, Argv, I));
+    } else if (Arg == "--help" || Arg == "-h") {
+      std::printf(
+          "usage: hyperviper serve [--port N] [--jobs N] [--triage]\n"
+          "  [--workers N] [--max-queue N] [--max-programs N]\n"
+          "  [--trace FILE] [--metrics-json FILE]\n"
+          "Listens on 127.0.0.1 (--port 0 = ephemeral, printed on stdout)\n"
+          "speaking newline-delimited JSON; see DESIGN.md §11 for the\n"
+          "protocol. SIGINT/SIGTERM drain in-flight requests, flush\n"
+          "trace/metrics sinks, and exit 128+signal.\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "%s: error: unknown option '%s'\n", Sub,
+                   Arg.c_str());
+      return 2;
+    }
+  }
+
+  Server Srv(SessOpts, static_cast<uint16_t>(Port),
+             static_cast<unsigned>(Workers), static_cast<size_t>(MaxQueue));
+  if (!Srv.start()) {
+    std::fprintf(stderr, "%s: error: %s\n", Sub, Srv.error().c_str());
+    return 2;
+  }
+  Obs.armSignalFlush();
+  // First signal: graceful drain (run() returns, sinks flush, exit
+  // 128+sig below). Second signal while draining: the watcher's hard
+  // path flushes and force-exits.
+  setGracefulSignalHandler([&Srv](int) { Srv.stop(); });
+
+  std::printf("listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(Srv.port()));
+  std::fflush(stdout);
+  Srv.run();
+  setGracefulSignalHandler({});
+
+  if (!Obs.finish())
+    return 2;
+  int Sig = consumedSignal();
+  return Sig != 0 ? 128 + Sig : 0;
 }
 
 int runVerify(int Argc, char **Argv) {
@@ -361,7 +458,8 @@ int runVerify(int Argc, char **Argv) {
                   "                  [--trace FILE] [--metrics-json FILE] "
                   "file-or-dir.hv ...\n"
                   "       hyperviper analyze --help\n"
-                  "       hyperviper fuzz --help\n");
+                  "       hyperviper fuzz --help\n"
+                  "       hyperviper serve --help\n");
       return 0;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "%s: error: unknown option '%s'\n", Sub,
@@ -386,6 +484,7 @@ int runVerify(int Argc, char **Argv) {
     return 2;
   }
 
+  Obs.armSignalFlush();
   Driver D(Options);
   int Exit = 0;
   for (const auto &[Display, Path] : Files) {
@@ -445,9 +544,15 @@ int runVerify(int Argc, char **Argv) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  // Before any other thread exists: every thread created from here on
+  // inherits the blocked SIGINT/SIGTERM mask, so only the watcher thread
+  // ever receives them.
+  installSignalWatcher();
   if (Argc > 1 && std::strcmp(Argv[1], "fuzz") == 0)
     return runFuzz(Argc - 2, Argv + 2);
   if (Argc > 1 && std::strcmp(Argv[1], "analyze") == 0)
     return runAnalyzeCmd(Argc - 2, Argv + 2);
+  if (Argc > 1 && std::strcmp(Argv[1], "serve") == 0)
+    return runServe(Argc - 2, Argv + 2);
   return runVerify(Argc, Argv);
 }

@@ -1,8 +1,10 @@
 #!/usr/bin/env sh
 # Configure, build, and run the concurrency-sensitive test suites under
 # ThreadSanitizer. The interner, the spec-evaluation memo caches, the
-# validity checker's bounded tier, and the NI harness all share state
-# across pool workers; this is the cheap way to prove the locking right.
+# validity checker's bounded tier, the NI harness, and the serve daemon's
+# Session all share state across pool workers (and, for the Session,
+# across concurrent request threads); this is the cheap way to prove the
+# locking right.
 #
 # Usage: tools/run_tsan.sh [build-dir]
 set -eu
@@ -13,13 +15,14 @@ BUILD=${1:-"$ROOT/build-tsan"}
 cmake -S "$ROOT" -B "$BUILD" -DCOMMCSL_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD" -j "$(nproc)" --target \
-  test_support test_value test_rspec test_sem test_hyper
+  test_support test_value test_rspec test_sem test_hyper test_service
 
 # halt_on_error so a single race fails the script immediately.
 TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1}
 export TSAN_OPTIONS
 
-for T in test_support test_value test_rspec test_sem test_hyper; do
+for T in test_support test_value test_rspec test_sem test_hyper \
+         test_service; do
   echo "== $T =="
   "$BUILD/tests/$T"
 done
