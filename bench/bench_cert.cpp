@@ -1,0 +1,122 @@
+//===-- bench/bench_cert.cpp - Certificate check-vs-verify cost -*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The certificate economics: checking a proof must be orders of magnitude
+/// cheaper than producing one, or independent re-checking would never be
+/// worth deploying. For each representative example this registers
+///
+///   verify/<name> — the full pipeline (parse, Def. 3.1 validity,
+///                   relational proofs) with certificate emission on, and
+///   check/<name>  — certificate parse + independent re-derivation
+///                   (cert::checkCertificate) against a pre-parsed AST,
+///
+/// so `time(verify)/time(check)` is the speedup recorded in
+/// BENCH_cert.json (regenerate with tools/gen_bench_cert.sh). The check
+/// side deliberately includes certificate parsing: the consumer of a
+/// certificate always pays it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cert/Cert.h"
+#include "cert/Check.h"
+#include "hyperviper/Driver.h"
+
+#include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace commcsl;
+
+namespace {
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream OS;
+  OS << In.rdbuf();
+  return OS.str();
+}
+
+/// A spread of proof shapes: the paper's flagship example, a
+/// producer/consumer pipeline (loop invariants, guards), a map-typed
+/// resource, and one rejected program (rejection certificates must be
+/// cheap to check too).
+const char *Cases[] = {
+    "figure1.hv",
+    "figure2.hv",
+    "pipeline.hv",
+    "producer_consumer.hv",
+    "broken/counter_high_arg.hv",
+};
+
+struct PreparedCase {
+  std::string Name;
+  std::string Source;
+  std::string Cert;
+  std::shared_ptr<Program> Prog;
+};
+
+PreparedCase prepare(const std::string &File) {
+  PreparedCase C;
+  C.Name = File;
+  C.Source = slurp(std::string(COMMCSL_EXAMPLES_DIR) + "/" + File);
+  DriverOptions O;
+  O.Verifier.EmitCert = true;
+  O.Jobs = 1; // single-threaded on both sides for an honest ratio
+  DriverResult R = Driver(O).verifySource(C.Source, File);
+  C.Cert = R.Cert;
+  C.Prog = R.Prog;
+  return C;
+}
+
+void verifyOnce(benchmark::State &State, const PreparedCase &C) {
+  for (auto _ : State) {
+    DriverOptions O;
+    O.Verifier.EmitCert = true;
+    O.Jobs = 1;
+    DriverResult R = Driver(O).verifySource(C.Source, C.Name);
+    benchmark::DoNotOptimize(R.Verified);
+    benchmark::DoNotOptimize(R.Cert.data());
+  }
+}
+
+void checkOnce(benchmark::State &State, const PreparedCase &C) {
+  for (auto _ : State) {
+    std::string Err;
+    std::optional<cert::Certificate> Parsed = cert::parse(C.Cert, &Err);
+    cert::CheckResult R = cert::checkCertificate(*Parsed, *C.Prog);
+    benchmark::DoNotOptimize(R.Ok);
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::vector<PreparedCase> Prepared;
+  Prepared.reserve(std::size(Cases));
+  for (const char *File : Cases) {
+    Prepared.push_back(prepare(File));
+    const PreparedCase &C = Prepared.back();
+    if (C.Cert.empty()) {
+      fprintf(stderr, "bench_cert: no certificate for %s\n", File);
+      return 1;
+    }
+    benchmark::RegisterBenchmark(
+        ("verify/" + C.Name).c_str(),
+        [&C](benchmark::State &S) { verifyOnce(S, C); });
+    benchmark::RegisterBenchmark(
+        ("check/" + C.Name).c_str(),
+        [&C](benchmark::State &S) { checkOnce(S, C); });
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

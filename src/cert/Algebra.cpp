@@ -1,0 +1,112 @@
+//===-- cert/Algebra.cpp - Syntactic commutative-family matching -----------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cert/Algebra.h"
+
+#include <algorithm>
+
+using namespace commcsl;
+using namespace commcsl::cert;
+
+namespace {
+
+bool mentions(const ExprRef &E, const std::string &Name) {
+  if (!E)
+    return false;
+  std::vector<std::string> Free;
+  E->freeVars(Free);
+  return std::find(Free.begin(), Free.end(), Name) != Free.end();
+}
+
+bool isVar(const ExprRef &E, const std::string &Name) {
+  return E && E->Kind == ExprKind::Var && E->Name == Name;
+}
+
+/// `low(Var(ArgName))` with no condition: the atom that forces argument
+/// agreement between the two executions.
+bool forcesArgAgreement(const ActionDecl &A) {
+  for (const ContractAtom &Atom : A.Pre)
+    if (Atom.AtomKind == ContractAtom::Kind::Low && !Atom.Cond &&
+        isVar(Atom.E, A.ArgName))
+      return true;
+  return false;
+}
+
+/// If \p A's apply expression is one shared-operator update `op(state, arg)`
+/// / `op(arg, state)` for an AC operator, returns its surface name.
+const char *acUpdateOp(const ActionDecl &A) {
+  const ExprRef &E = A.Apply;
+  if (!E)
+    return nullptr;
+  if (E->Kind == ExprKind::Binary && E->Args.size() == 2) {
+    switch (E->BOp) {
+    case BinaryOp::Add:
+    case BinaryOp::Mul:
+    case BinaryOp::And:
+    case BinaryOp::Or:
+      break;
+    default:
+      return nullptr;
+    }
+    bool Fwd = isVar(E->Args[0], A.StateName) && isVar(E->Args[1], A.ArgName);
+    bool Rev = isVar(E->Args[0], A.ArgName) && isVar(E->Args[1], A.StateName);
+    return (Fwd || Rev) ? binaryOpName(E->BOp) : nullptr;
+  }
+  if (E->Kind == ExprKind::Builtin && E->Args.size() == 2) {
+    bool Fwd = isVar(E->Args[0], A.StateName) && isVar(E->Args[1], A.ArgName);
+    bool Rev = isVar(E->Args[0], A.ArgName) && isVar(E->Args[1], A.StateName);
+    switch (E->Builtin) {
+    // Symmetric AC operators: either operand order.
+    case BuiltinKind::SetUnion:
+    case BuiltinKind::SetInter:
+    case BuiltinKind::MsUnion:
+    case BuiltinKind::Min:
+    case BuiltinKind::Max:
+      return (Fwd || Rev) ? builtinName(E->Builtin) : nullptr;
+    // Positional insertions: the state must be the base operand, but
+    // insertions still commute with each other.
+    case BuiltinKind::SetAdd:
+    case BuiltinKind::MsAdd:
+      return Fwd ? builtinName(E->Builtin) : nullptr;
+    default:
+      return nullptr;
+    }
+  }
+  return nullptr;
+}
+
+} // namespace
+
+FamilyMatch cert::matchFamily(const ResourceSpecDecl &Spec) {
+  FamilyMatch M;
+  // An inv / history clause adds coherence properties neither algebraic
+  // argument covers.
+  if (Spec.Inv)
+    return M;
+  for (const ActionDecl &A : Spec.Actions)
+    if (A.History)
+      return M;
+
+  if (!mentions(Spec.Alpha, Spec.AlphaParam)) {
+    M.Fam = Family::ConstantAbstraction;
+    return M;
+  }
+
+  if (!isVar(Spec.Alpha, Spec.AlphaParam) || Spec.Actions.empty())
+    return M;
+  const char *Shared = nullptr;
+  for (const ActionDecl &A : Spec.Actions) {
+    const char *Op = acUpdateOp(A);
+    if (!Op || !forcesArgAgreement(A))
+      return M;
+    if (Shared && std::string(Shared) != Op)
+      return M;
+    Shared = Op;
+  }
+  M.Fam = Family::AcUpdate;
+  M.Op = Shared;
+  return M;
+}

@@ -1,0 +1,51 @@
+//===-- cert/Algebra.h - Syntactic commutative-family matching --*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The algebraic tier of the certificate: a syntactic matcher for resource
+/// specifications whose Def. 3.1 validity follows from a known commutative
+/// family, independent of any enumeration. Two families are recognized:
+///
+/// - **ConstantAbstraction**: the abstraction function does not mention the
+///   state parameter. `alpha` is a constant, so both validity properties
+///   hold for every state and argument trivially.
+///
+/// - **AcUpdate**: `alpha` is the identity (`Var(AlphaParam)`), every action
+///   applies one shared associative-commutative operator `op(state, arg)`
+///   (or `op(arg, state)`), and every action's precondition forces argument
+///   agreement via a `low(arg)` atom. Then property (B) is the AC axiom
+///   `op(op(v,x),y) = op(op(v,y),x)` and property (A) follows from the
+///   forced `arg1 = arg2`.
+///
+/// Both the emitter and the independent checker run the same matcher; a
+/// certificate claiming a family the checker cannot re-derive is rejected.
+/// Specs with an `inv` clause or `history` clauses are never matched —
+/// those add coherence properties the algebraic argument does not cover.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_CERT_ALGEBRA_H
+#define COMMCSL_CERT_ALGEBRA_H
+
+#include "cert/Cert.h"
+#include "lang/Program.h"
+
+namespace commcsl {
+namespace cert {
+
+struct FamilyMatch {
+  Family Fam = Family::None;
+  std::string Op; ///< AcUpdate: surface name of the shared operator
+};
+
+/// Matches \p Spec against the known families (deterministic, purely
+/// syntactic — no evaluation).
+FamilyMatch matchFamily(const ResourceSpecDecl &Spec);
+
+} // namespace cert
+} // namespace commcsl
+
+#endif // COMMCSL_CERT_ALGEBRA_H

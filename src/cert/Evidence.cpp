@@ -1,0 +1,304 @@
+//===-- cert/Evidence.cpp - Recomputable validity evidence -----------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cert/Evidence.h"
+
+#include "lang/ExprEval.h"
+
+using namespace commcsl;
+using namespace commcsl::cert;
+
+namespace {
+
+/// A minimal mirror of the rspec runtime's evaluation semantics over a
+/// plain ExprEvaluator: alpha binds the alpha parameter, actions bind state
+/// and argument, the relational precondition follows the Low / conditional
+/// Low / Bool atom rules of Sec. 3.2.
+struct SpecEval {
+  const ResourceSpecDecl &Spec;
+  ExprEvaluator Eval;
+
+  SpecEval(const ResourceSpecDecl &Spec, const Program *Prog)
+      : Spec(Spec), Eval(Prog) {}
+
+  ValueRef alphaOf(const ValueRef &State) const {
+    EvalEnv Env;
+    Env[Spec.AlphaParam] = State;
+    return Eval.eval(*Spec.Alpha, Env);
+  }
+
+  ValueRef apply(const ActionDecl &A, const ValueRef &State,
+                 const ValueRef &Arg) const {
+    EvalEnv Env;
+    Env[A.StateName] = State;
+    Env[A.ArgName] = Arg;
+    return Eval.eval(*A.Apply, Env);
+  }
+
+  bool invHolds(const ValueRef &State) const {
+    if (!Spec.Inv)
+      return true;
+    EvalEnv Env;
+    Env[Spec.AlphaParam] = State;
+    return Eval.eval(*Spec.Inv, Env)->getBool();
+  }
+
+  bool isEnabled(const ActionDecl &A, const ValueRef &State) const {
+    if (!A.Enabled)
+      return true;
+    EvalEnv Env;
+    Env[A.StateName] = State;
+    return Eval.eval(*A.Enabled, Env)->getBool();
+  }
+
+  ValueRef historyOf(const ActionDecl &A, const ValueRef &State) const {
+    EvalEnv Env;
+    Env[A.StateName] = State;
+    return Eval.eval(*A.History, Env);
+  }
+
+  bool preHolds(const ActionDecl &A, const ValueRef &Arg1,
+                const ValueRef &Arg2) const {
+    EvalEnv Env1, Env2;
+    Env1[A.ArgName] = Arg1;
+    Env2[A.ArgName] = Arg2;
+    for (const ContractAtom &Atom : A.Pre) {
+      switch (Atom.AtomKind) {
+      case ContractAtom::Kind::Low: {
+        if (Atom.Cond) {
+          ValueRef C1 = Eval.eval(*Atom.Cond, Env1);
+          ValueRef C2 = Eval.eval(*Atom.Cond, Env2);
+          if (!Value::equal(C1, C2))
+            return false;
+          if (!C1->getBool())
+            break;
+        }
+        if (!Value::equal(Eval.eval(*Atom.E, Env1), Eval.eval(*Atom.E, Env2)))
+          return false;
+        break;
+      }
+      case ContractAtom::Kind::Bool:
+        if (!Eval.eval(*Atom.E, Env1)->getBool() ||
+            !Eval.eval(*Atom.E, Env2)->getBool())
+          return false;
+        break;
+      case ContractAtom::Kind::SGuard:
+      case ContractAtom::Kind::UGuard:
+      case ContractAtom::Kind::AllPre:
+        break; // rejected by the type checker in action preconditions
+      }
+    }
+    return true;
+  }
+
+  bool preHoldsUnary(const ActionDecl &A, const ValueRef &Arg) const {
+    return preHolds(A, Arg, Arg);
+  }
+};
+
+Type::ScopeParams scopeOf(const ResourceSpecDecl &Spec) {
+  Type::ScopeParams Scope;
+  Scope.IntLo = Spec.ScopeIntLo;
+  Scope.IntHi = Spec.ScopeIntHi;
+  Scope.CollectionBound = Spec.ScopeCollectionBound;
+  return Scope;
+}
+
+/// Action pairs (I, J) with I <= J, excluding the diagonal of unique
+/// actions — the same pair set the validity checker sweeps.
+std::vector<std::pair<size_t, size_t>>
+actionPairs(const ResourceSpecDecl &Spec) {
+  std::vector<std::pair<size_t, size_t>> Pairs;
+  for (size_t I = 0; I < Spec.Actions.size(); ++I)
+    for (size_t J = I; J < Spec.Actions.size(); ++J) {
+      if (I == J && Spec.Actions[I].Unique)
+        continue;
+      Pairs.emplace_back(I, J);
+    }
+  return Pairs;
+}
+
+void foldValue(uint64_t &H, const ValueRef &V) {
+  H = fnv64(printValue(V), H);
+}
+
+} // namespace
+
+SpecEvidence cert::computeSpecEvidence(const ResourceSpecDecl &Spec,
+                                       const Program *Prog, uint64_t StatesCap,
+                                       uint64_t ArgsCap, unsigned K) {
+  SpecEvidence Ev;
+  SpecEval E(Spec, Prog);
+  Type::ScopeParams Scope = scopeOf(Spec);
+
+  std::vector<ValueRef> States =
+      Spec.StateTy->toDomain(Scope)->enumerate(StatesCap);
+  Ev.NumStates = States.size();
+
+  // Group states by abstraction value (linear scan against the distinct
+  // alphas seen so far — state universes are small by construction).
+  std::vector<ValueRef> Alphas(States.size());
+  std::vector<std::pair<ValueRef, std::vector<size_t>>> Groups;
+  for (size_t I = 0; I < States.size(); ++I) {
+    Alphas[I] = E.alphaOf(States[I]);
+    bool Placed = false;
+    for (auto &[Alpha, Members] : Groups)
+      if (Value::equal(Alpha, Alphas[I])) {
+        Members.push_back(I);
+        Placed = true;
+        break;
+      }
+    if (!Placed)
+      Groups.push_back({Alphas[I], {I}});
+  }
+  // Same-alpha pairs (X, Y) with X <= Y within each group, as a flat list
+  // the sampler can index.
+  std::vector<std::pair<size_t, size_t>> SameAlphaPairs;
+  for (const auto &[Alpha, Members] : Groups) {
+    (void)Alpha;
+    for (size_t X = 0; X < Members.size(); ++X)
+      for (size_t Y = X; Y < Members.size(); ++Y)
+        SameAlphaPairs.emplace_back(Members[X], Members[Y]);
+  }
+  Ev.NumAlphaPairs = SameAlphaPairs.size();
+
+  // Per-action enumerated arguments, plus the unary-precondition filtered
+  // subset the commutativity property ranges over.
+  std::vector<std::vector<ValueRef>> Args(Spec.Actions.size());
+  std::vector<std::vector<ValueRef>> CommArgs(Spec.Actions.size());
+  for (size_t I = 0; I < Spec.Actions.size(); ++I) {
+    const ActionDecl &A = Spec.Actions[I];
+    Args[I] = A.ArgTy->toDomain(Scope)->enumerate(ArgsCap);
+    Ev.ArgCounts.emplace_back(A.Name, Args[I].size());
+    for (const ValueRef &V : Args[I])
+      if (E.preHoldsUnary(A, V))
+        CommArgs[I].push_back(V);
+  }
+
+  // K deterministic property samples. The stream is a function of the spec
+  // name alone, so the emitter and the checker derive the same instances.
+  std::vector<std::pair<size_t, size_t>> Pairs = actionPairs(Spec);
+  uint64_t Rng = fnv64(Spec.Name);
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (unsigned S = 0; S < K; ++S) {
+    if (SameAlphaPairs.empty() || Spec.Actions.empty())
+      break;
+    uint64_t R0 = splitmix64(Rng);
+    uint64_t R1 = splitmix64(Rng);
+    uint64_t R2 = splitmix64(Rng);
+    uint64_t R3 = splitmix64(Rng);
+    uint64_t R4 = splitmix64(Rng);
+    auto [SI, SJ] = SameAlphaPairs[R1 % SameAlphaPairs.size()];
+    if (R2 & 1)
+      std::swap(SI, SJ);
+    const ValueRef &V1 = States[SI], &V2 = States[SJ];
+
+    if ((R0 & 1) == 0) {
+      // Property (A): the precondition preserves low-ness of abstraction.
+      size_t AI = R0 % Spec.Actions.size();
+      const ActionDecl &A = Spec.Actions[AI];
+      if (Args[AI].empty())
+        continue;
+      ValueRef Arg1 = Args[AI][R3 % Args[AI].size()];
+      ValueRef Arg2 = Args[AI][R4 % Args[AI].size()];
+      if (!E.preHolds(A, Arg1, Arg2))
+        Arg2 = Arg1;
+      if (!E.preHolds(A, Arg1, Arg2))
+        continue; // even the diagonal violates a unary constraint
+      bool Holds = Value::equal(E.alphaOf(E.apply(A, V1, Arg1)),
+                                E.alphaOf(E.apply(A, V2, Arg2)));
+      H = fnv64("pre:" + A.Name, H);
+      foldValue(H, V1);
+      foldValue(H, V2);
+      foldValue(H, Arg1);
+      foldValue(H, Arg2);
+      H = fnv64(Holds ? "1" : "0", H);
+      Ev.AllSamplesHold &= Holds;
+      ++Ev.SampleCount;
+    } else {
+      // Property (B): actions commute modulo alpha.
+      if (Pairs.empty())
+        break;
+      auto [AI, BI] = Pairs[R0 % Pairs.size()];
+      const ActionDecl &A = Spec.Actions[AI];
+      const ActionDecl &B = Spec.Actions[BI];
+      if (CommArgs[AI].empty() || CommArgs[BI].empty())
+        continue;
+      ValueRef ArgA = CommArgs[AI][R3 % CommArgs[AI].size()];
+      ValueRef ArgB = CommArgs[BI][R4 % CommArgs[BI].size()];
+      bool Holds =
+          Value::equal(E.alphaOf(E.apply(B, E.apply(A, V1, ArgA), ArgB)),
+                       E.alphaOf(E.apply(A, E.apply(B, V2, ArgB), ArgA)));
+      H = fnv64("comm:" + A.Name + "#" + B.Name, H);
+      foldValue(H, V1);
+      foldValue(H, V2);
+      foldValue(H, ArgA);
+      foldValue(H, ArgB);
+      H = fnv64(Holds ? "1" : "0", H);
+      Ev.AllSamplesHold &= Holds;
+      ++Ev.SampleCount;
+    }
+  }
+  Ev.SampleDigest = H;
+  return Ev;
+}
+
+bool cert::ceViolates(const ResourceSpecDecl &Spec, const Program *Prog,
+                      const CertCE &CE) {
+  SpecEval E(Spec, Prog);
+  const ActionDecl *A = Spec.findAction(CE.ActionA);
+  if (!A)
+    return false;
+  switch (CE.P) {
+  case CertCE::Prop::Precondition: {
+    if (!CE.V1 || !CE.V2 || !CE.Arg1 || !CE.Arg2)
+      return false;
+    if (!Value::equal(E.alphaOf(CE.V1), E.alphaOf(CE.V2)))
+      return false;
+    if (!E.preHolds(*A, CE.Arg1, CE.Arg2))
+      return false;
+    return !Value::equal(E.alphaOf(E.apply(*A, CE.V1, CE.Arg1)),
+                         E.alphaOf(E.apply(*A, CE.V2, CE.Arg2)));
+  }
+  case CertCE::Prop::Commutativity: {
+    const ActionDecl *B = Spec.findAction(CE.ActionB);
+    if (!B || !CE.V1 || !CE.V2 || !CE.Arg1 || !CE.Arg2)
+      return false;
+    if (!Value::equal(E.alphaOf(CE.V1), E.alphaOf(CE.V2)))
+      return false;
+    if (!E.preHoldsUnary(*A, CE.Arg1) || !E.preHoldsUnary(*B, CE.Arg2))
+      return false;
+    return !Value::equal(
+        E.alphaOf(E.apply(*B, E.apply(*A, CE.V1, CE.Arg1), CE.Arg2)),
+        E.alphaOf(E.apply(*A, E.apply(*B, CE.V2, CE.Arg2), CE.Arg1)));
+  }
+  case CertCE::Prop::Invariant: {
+    // One enabled, precondition-respecting step out of an invariant state
+    // lands outside the invariant.
+    if (!CE.V1 || !CE.V2 || !CE.Arg1)
+      return false;
+    if (!E.invHolds(CE.V1) || !E.preHoldsUnary(*A, CE.Arg1) ||
+        !E.isEnabled(*A, CE.V1))
+      return false;
+    if (!Value::equal(E.apply(*A, CE.V1, CE.Arg1), CE.V2))
+      return false;
+    return !E.invHolds(CE.V2);
+  }
+  case CertCE::Prop::History: {
+    // The claimed history of the reached state differs from the returns the
+    // simulation actually collected. The collected sequence itself is a
+    // trace artifact; what the checker re-derives is that the history
+    // clause really evaluates to the claimed value and that the two sides
+    // disagree.
+    if (!A->History || !CE.V1 || !CE.AlphaLeft || !CE.AlphaRight)
+      return false;
+    if (!Value::equal(E.historyOf(*A, CE.V1), CE.AlphaLeft))
+      return false;
+    return !Value::equal(CE.AlphaLeft, CE.AlphaRight);
+  }
+  }
+  return false;
+}

@@ -1,0 +1,66 @@
+//===-- cert/Evidence.h - Recomputable validity evidence --------*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bounded-tier exhaustion evidence of a spec certificate, recomputable
+/// from the program AST alone. The emitter and the independent checker both
+/// call `computeSpecEvidence`:
+///
+/// - the **universe counts** (enumerated states under the spec's scope,
+///   same-alpha state pairs including the diagonal, enumerated arguments per
+///   action) pin down exactly which instance space the verifier's bounded
+///   tier swept;
+/// - the **sample digest** folds the outcomes of K deterministic property
+///   samples (Def. 3.1 properties (A) and (B), derived from a splitmix64
+///   stream seeded by the spec name) together with the sampled values'
+///   canonical renderings. A certificate that claims "valid" while one of
+///   its own samples violates the property is rejected — this is what makes
+///   a fault-injected verifier detectable at the spec level.
+///
+/// For invalid specs, `ceViolates` re-executes the recorded counterexample
+/// concretely and confirms it really violates the claimed property.
+///
+/// The spec functions are evaluated with a plain `ExprEvaluator` — this
+/// library never touches the rspec runtime or its memo caches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_CERT_EVIDENCE_H
+#define COMMCSL_CERT_EVIDENCE_H
+
+#include "cert/Cert.h"
+#include "lang/Program.h"
+
+namespace commcsl {
+namespace cert {
+
+struct SpecEvidence {
+  uint64_t NumStates = 0;
+  uint64_t NumAlphaPairs = 0; ///< same-alpha pairs, diagonal included
+  std::vector<std::pair<std::string, uint64_t>> ArgCounts; ///< per action
+  unsigned SampleCount = 0; ///< samples actually evaluated (skips excluded)
+  uint64_t SampleDigest = 0;
+  bool AllSamplesHold = true;
+};
+
+/// Recomputes the evidence for \p Spec under its declared scope. \p Prog
+/// resolves pure-function calls inside spec expressions; \p StatesCap and
+/// \p ArgsCap mirror the validity checker's universe caps; \p K is the
+/// number of sample draws (some may be skipped when no legal arguments
+/// exist).
+SpecEvidence computeSpecEvidence(const ResourceSpecDecl &Spec,
+                                 const Program *Prog, uint64_t StatesCap,
+                                 uint64_t ArgsCap, unsigned K);
+
+/// Re-executes a recorded validity counterexample: true iff \p CE is a
+/// legal instance of its property and concretely violates it.
+bool ceViolates(const ResourceSpecDecl &Spec, const Program *Prog,
+                const CertCE &CE);
+
+} // namespace cert
+} // namespace commcsl
+
+#endif // COMMCSL_CERT_EVIDENCE_H

@@ -97,6 +97,9 @@ CampaignReport commcsl::runCampaign(const CampaignConfig &Config) {
     case OracleClass::CompletenessGap:
       ++Report.CompletenessGaps;
       break;
+    case OracleClass::CertInvalid:
+      ++Report.CertInvalids;
+      break;
     case OracleClass::Flake:
       ++Report.Flakes;
       break;
@@ -152,6 +155,7 @@ CampaignReport commcsl::runCampaign(const CampaignConfig &Config) {
   M.counter("fuzz.class.soundness_violation").add(Report.SoundnessViolations);
   M.counter("fuzz.class.analysis_unsound").add(Report.AnalysisUnsound);
   M.counter("fuzz.class.completeness_gap").add(Report.CompletenessGaps);
+  M.counter("fuzz.class.cert_invalid").add(Report.CertInvalids);
   M.counter("fuzz.class.flake").add(Report.Flakes);
   M.counter("fuzz.class.generator_invalid").add(Report.GeneratorInvalids);
   M.counter("fuzz.tainted_seeds").add(Report.TaintedSeeds);
@@ -191,6 +195,7 @@ std::string CampaignReport::json() const {
   OS << "      \"soundness_violation\": " << SoundnessViolations << ",\n";
   OS << "      \"analysis_unsound\": " << AnalysisUnsound << ",\n";
   OS << "      \"completeness_gap\": " << CompletenessGaps << ",\n";
+  OS << "      \"cert_invalid\": " << CertInvalids << ",\n";
   OS << "      \"flake\": " << Flakes << ",\n";
   OS << "      \"generator_invalid\": " << GeneratorInvalids << "\n";
   OS << "    },\n";

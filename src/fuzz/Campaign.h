@@ -81,6 +81,7 @@ struct CampaignReport {
   unsigned SoundnessViolations = 0;
   unsigned AnalysisUnsound = 0;
   unsigned CompletenessGaps = 0;
+  unsigned CertInvalids = 0;
   unsigned Flakes = 0;
   unsigned GeneratorInvalids = 0;
   // Raw-verdict tallies.
@@ -94,7 +95,7 @@ struct CampaignReport {
 
   bool clean() const {
     return SoundnessViolations == 0 && AnalysisUnsound == 0 &&
-           GeneratorInvalids == 0;
+           CertInvalids == 0 && GeneratorInvalids == 0;
   }
 };
 

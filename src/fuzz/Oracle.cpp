@@ -7,6 +7,7 @@
 #include "fuzz/Oracle.h"
 
 #include "analysis/Analysis.h"
+#include "cert/Check.h"
 #include "hyperviper/Driver.h"
 #include "sem/Interp.h"
 #include "sem/Scheduler.h"
@@ -26,6 +27,8 @@ const char *commcsl::oracleClassName(OracleClass C) {
     return "analysis-unsound";
   case OracleClass::CompletenessGap:
     return "completeness-gap";
+  case OracleClass::CertInvalid:
+    return "cert-invalid";
   case OracleClass::Flake:
     return "flake";
   case OracleClass::GeneratorInvalid:
@@ -38,7 +41,8 @@ std::optional<OracleClass> commcsl::oracleClassByName(const std::string &Name) {
   for (OracleClass C :
        {OracleClass::Agree, OracleClass::SoundnessViolation,
         OracleClass::AnalysisUnsound, OracleClass::CompletenessGap,
-        OracleClass::Flake, OracleClass::GeneratorInvalid})
+        OracleClass::CertInvalid, OracleClass::Flake,
+        OracleClass::GeneratorInvalid})
     if (Name == oracleClassName(C))
       return C;
   return std::nullopt;
@@ -150,6 +154,7 @@ OracleResult DifferentialOracle::evaluate(const std::string &Source,
 
   DriverOptions DO;
   DO.Jobs = 1; // inner phases sequential; parallelism lives across seeds
+  DO.Verifier.EmitCert = true; // verdict 6 replays the certificate
   Driver D(DO);
   DriverResult DR = D.verifySource(Source, "fuzz");
   V.ParseOk = DR.ParseOk;
@@ -192,6 +197,32 @@ OracleResult DifferentialOracle::evaluate(const std::string &Source,
       V.StaticDetail = A.Diags.diagnostics().front().Message;
   }
 
+  // Verdict 6: certificate replay on the independent checker. Under an
+  // injected accept-all fault, the forged run's certificate is the claim
+  // on trial — the real verifier's honest certificate would vacuously
+  // pass while the injected verdict lies.
+  {
+    std::string CertText = DR.Cert;
+    if (Config.Inject == OracleFault::AcceptAll) {
+      DriverOptions FO = DO;
+      FO.Verifier.ForgeAcceptAll = true;
+      CertText = Driver(FO).verifySource(Source, "fuzz").Cert;
+    }
+    if (!CertText.empty()) {
+      V.CertRan = true;
+      std::string PErr;
+      std::optional<cert::Certificate> C = cert::parse(CertText, &PErr);
+      if (!C) {
+        V.CertOk = false;
+        V.CertError = "certificate does not parse: " + PErr;
+      } else {
+        cert::CheckResult CR = cert::checkCertificate(*C, *DR.Prog);
+        V.CertOk = CR.Ok;
+        V.CertError = CR.Error;
+      }
+    }
+  }
+
   NonInterferenceHarness Probe(*DR.Prog, Config.ProcName, Config.NI);
   if (!Probe.valid()) {
     Res.Class = OracleClass::GeneratorInvalid;
@@ -200,6 +231,16 @@ OracleResult DifferentialOracle::evaluate(const std::string &Source,
   }
 
   if (!V.Verified) {
+    // A certificate that fails to replay outranks agreement and
+    // completeness classification: the emitted evidence contradicts the
+    // AST-level re-derivation, which is an emitter or checker bug even
+    // when the verdict itself is a (correct) rejection.
+    if (V.CertRan && !V.CertOk) {
+      Res.Class = OracleClass::CertInvalid;
+      Res.Detail = "certificate fails the independent checker: " +
+                   V.CertError;
+      return Res;
+    }
     // Rejected programs get no empirical phases: the rejection is either
     // correct (tainted) or a completeness gap, and neither needs a run to
     // diagnose.
@@ -289,6 +330,17 @@ OracleResult DifferentialOracle::evaluate(const std::string &Source,
     Res.Class = OracleClass::SoundnessViolation;
     Res.Detail = "verified but scheduler differential found " + V.SchedKind +
                  ": " + SD.Detail;
+    return Res;
+  }
+  // Verdict 6 cross-check, after the concrete-leak classes (a leak is the
+  // stronger finding) and before Flake: the claimed acceptance must be
+  // backed by a certificate the independent checker re-derives.
+  if (V.CertRan && !V.CertOk) {
+    Res.Class = OracleClass::CertInvalid;
+    Res.Detail =
+        "claimed verified but the certificate fails the independent "
+        "checker: " +
+        V.CertError;
     return Res;
   }
   if (StepLimited) {

@@ -19,7 +19,11 @@
 ///      channel must not depend on the schedule),
 ///   5. the static information-flow pre-analysis (analysis/Analysis.h):
 ///      its `provably-low` verdict claims every declared-low return and
-///      output is independent of high inputs and the schedule.
+///      output is independent of high inputs and the schedule,
+///   6. a certificate replay: the verifier's run emits a checkable proof
+///      certificate (cert/Cert.h), and the independent checker must be able
+///      to re-derive every step of it. Under an injected accept-all fault
+///      the forged certificate is the artifact the checker refutes.
 ///
 /// Disagreements are classified (see OracleClass): a verified program that
 /// empirically leaks is a soundness violation — the one class that must
@@ -62,6 +66,15 @@ enum class OracleClass : uint8_t {
   AnalysisUnsound,
   /// The verifier rejected a program that is secure by construction.
   CompletenessGap,
+  /// The verifier's own proof certificate fails the independent checker:
+  /// the claimed verdict is not backed by re-derivable evidence. Catches
+  /// verifier/solver bugs the empirical phases can miss (a wrong proof of
+  /// a coincidentally-secure program) — and is how an injected accept-all
+  /// fault surfaces when the empirical phases observe no concrete leak.
+  /// Campaign-fatal, like the soundness classes. Checked after
+  /// SoundnessViolation (a concrete leak is the stronger finding), before
+  /// Flake.
+  CertInvalid,
   /// Infrastructure noise rather than a verdict: a verified program's
   /// empirical run hit the step budget, so the sweep is inconclusive.
   Flake,
@@ -130,6 +143,9 @@ struct OracleVerdicts {
   bool StaticRan = false;
   bool StaticSecure = false;  ///< verdict 5: analysis says provably-low
   std::string StaticDetail;   ///< first analysis diagnostic when !StaticSecure
+  bool CertRan = false;
+  bool CertOk = false;     ///< verdict 6: cert replays on the checker
+  std::string CertError;   ///< first failing checker step when !CertOk
   /// A concrete run-time leak was observed (an NI or scheduler-differential
   /// mismatch that is not step-limit noise). The shrinker holds this bit
   /// fixed: a soundness finding with a concrete leak must keep leaking as

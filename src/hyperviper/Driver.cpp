@@ -7,6 +7,7 @@
 #include "hyperviper/Driver.h"
 
 #include "analysis/Taint.h"
+#include "cert/Cert.h"
 #include "lang/TypeChecker.h"
 #include "parser/Parser.h"
 #include "support/StringUtils.h"
@@ -155,6 +156,10 @@ DriverResult Driver::verifyParsed(const ParsedUnit &Unit) {
   if (VC.Validity.Jobs == 0)
     VC.Validity.Jobs = Options.Jobs;
   unsigned Jobs = ThreadPool::effectiveJobs(Options.Jobs);
+  const bool EmitCert = VC.EmitCert || VC.ForgeAcceptAll;
+  // A certificate covers every procedure, so the triage fast path (which
+  // skips relational proofs, hence records no derivations) is disabled.
+  const bool Triage = Options.Triage && !EmitCert;
 
   // Phase: spec validity. Resource specifications are independent of each
   // other, so they are checked concurrently; each task collects its
@@ -169,6 +174,7 @@ DriverResult Driver::verifyParsed(const ParsedUnit &Unit) {
       DiagnosticEngine Diags;
       double Seconds = 0;
       CacheStats Cache;
+      std::optional<cert::CertSpecUnit> Unit;
     };
     std::vector<SpecOutcome> Outcomes(R.Prog->Specs.size());
     ThreadPool::shared().parallelForChunks(
@@ -183,6 +189,11 @@ DriverResult Driver::verifyParsed(const ParsedUnit &Unit) {
             Outcomes[I].Ok = SpecV.verifySpec(R.Prog->Specs[I]);
             Outcomes[I].Seconds = S0.seconds();
             Outcomes[I].Cache = SpecV.specCacheStats();
+            if (EmitCert) {
+              auto UIt = SpecV.specUnits().find(R.Prog->Specs[I].Name);
+              if (UIt != SpecV.specUnits().end())
+                Outcomes[I].Unit = UIt->second;
+            }
           }
         });
     for (SpecOutcome &Out : Outcomes) {
@@ -191,6 +202,8 @@ DriverResult Driver::verifyParsed(const ParsedUnit &Unit) {
       R.Diags.append(Out.Diags);
       R.ValidityCpuSeconds += Out.Seconds;
       R.Verification.SpecCache += Out.Cache;
+      if (Out.Unit)
+        R.Verification.SpecUnits.push_back(std::move(*Out.Unit));
     }
   }
   R.ValiditySeconds = T1.seconds();
@@ -208,7 +221,6 @@ DriverResult Driver::verifyParsed(const ParsedUnit &Unit) {
       double AnalysisSeconds = 0;
     };
     std::vector<ProcOutcome> Outcomes(R.Prog->Procs.size());
-    const bool Triage = Options.Triage;
     ThreadPool::shared().parallelForChunks(
         R.Prog->Procs.size(), Jobs,
         [&](uint64_t Begin, uint64_t End, unsigned) {
@@ -253,6 +265,19 @@ DriverResult Driver::verifyParsed(const ParsedUnit &Unit) {
 
   R.Verification.Ok = SpecsOk && ProcsOk;
   R.Verified = R.Verification.Ok;
+
+  if (EmitCert) {
+    cert::Certificate C;
+    C.ProgramName = R.Name;
+    C.ProgramDigest = cert::fnv64(R.Prog->str());
+    C.Verified = R.Verification.Ok;
+    C.Specs = R.Verification.SpecUnits;
+    for (const ProcVerdict &V : R.Verification.Procs)
+      if (V.CertUnit)
+        C.Procs.push_back(*V.CertUnit);
+    R.Cert = cert::print(C);
+  }
+
   flushDriverMetrics(R);
   return R;
 }

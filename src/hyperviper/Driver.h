@@ -59,6 +59,11 @@ struct DriverResult {
   VerifyResult Verification;
   DiagnosticEngine Diags;
   std::shared_ptr<Program> Prog; ///< retained for downstream use (NI, sem)
+  /// Printed proof certificate (VerifierConfig::EmitCert); empty otherwise
+  /// or on parse failure. Byte-deterministic at any job count: units are
+  /// assembled in program order and each unit's content depends only on
+  /// the program text and the (deterministic) per-proc term arenas.
+  std::string Cert;
 
   // Wall-clock seconds per phase.
   double ParseSeconds = 0;

@@ -89,6 +89,8 @@ std::string responseLine(const JsonValue &Request,
   O.set("ok", JsonValue::boolean(Resp.Ok));
   O.set("exit", JsonValue::number(static_cast<uint64_t>(Resp.Exit)));
   O.set("report", JsonValue::string(Resp.Report));
+  if (!Resp.Cert.empty())
+    O.set("cert", JsonValue::string(Resp.Cert));
   O.set("program_cache_hit", JsonValue::boolean(Resp.ProgramCacheHit));
   O.set("cache", cacheJson(Resp.Cache));
   return O.dump() + "\n";
@@ -120,6 +122,7 @@ bool buildRequest(const JsonValue &J, ServiceRequest &Out,
   Out.Jobs = static_cast<unsigned>(J.getU64("jobs", 0));
   Out.Triage = J.getBool("triage");
   Out.NoValidity = J.getBool("no_validity");
+  Out.EmitCert = J.getBool("emit_cert");
 
   if (Out.V == ServiceRequest::Verb::Fuzz) {
     Out.Fuzz.NumSeeds = J.getU64("seeds", Out.Fuzz.NumSeeds);

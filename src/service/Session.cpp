@@ -123,6 +123,7 @@ Session::driverOptions(const ServiceRequest &Request,
   O.Jobs = Request.Jobs != 0 ? Request.Jobs : Options.Jobs;
   O.Triage = Request.Triage || Options.Triage;
   O.Verifier.SkipValidityCheck = Request.NoValidity;
+  O.Verifier.EmitCert = Request.EmitCert;
   O.SpecCaches = P->SpecCaches;
   return O;
 }
@@ -152,6 +153,7 @@ ServiceResponse Session::verify(const ServiceRequest &Request) {
                  (R.Verified ? "verified" : "REJECTED") + "\n";
   Resp.Ok = R.Verified;
   Resp.Exit = R.Verified ? 0 : 1;
+  Resp.Cert = R.Cert;
 
   if (!Request.Proc.empty() && R.ParseOk) {
     NIReport Report = D.runEmpirical(R, Request.Proc);

@@ -76,6 +76,12 @@ struct ServiceRequest {
   unsigned Jobs = 0;    ///< 0 = session default
   bool Triage = false;  ///< verify: static fast path
   bool NoValidity = false; ///< verify: skip Def. 3.1 checking
+  /// Verify: emit a checkable proof certificate (cert/Cert.h) into the
+  /// response. Forces the full pipeline (triage is disabled so every
+  /// obligation is actually discharged and recorded). The warm-cache
+  /// contract extends to certificates: a resubmitted source returns a
+  /// byte-identical certificate, cold or warm, at any Jobs.
+  bool EmitCert = false;
   CampaignConfig Fuzz;  ///< fuzz only
 };
 
@@ -86,6 +92,10 @@ struct ServiceResponse {
   bool Ok = true; ///< verdict: verified / valid / clean / secure
   int Exit = 0;   ///< the CLI's exit code for the same input
   std::string Report;
+  /// Proof certificate text (verify with EmitCert only; empty otherwise or
+  /// when the program failed to parse). Byte-identical to what the CLI's
+  /// `--emit-cert` writes for the same source.
+  std::string Cert;
   /// Spec memo counters attributable to this request (snapshot deltas;
   /// clamped, so cache resets between snapshots cannot wrap them).
   CacheStats Cache;

@@ -198,12 +198,24 @@ void Solver::merge(TermRef A, TermRef B) {
 //===----------------------------------------------------------------------===//
 
 void Solver::assumeEq(TermRef A, TermRef B) {
+  if (Log)
+    Assumed.push_back(Log->addFact(ProofFact::Kind::Eq, A, B));
+  assumeEqImpl(A, B);
+}
+
+void Solver::assumeTrue(TermRef B) {
+  if (Log)
+    Assumed.push_back(Log->addFact(ProofFact::Kind::True, B, nullptr));
+  assumeTrueImpl(B);
+}
+
+void Solver::assumeEqImpl(TermRef A, TermRef B) {
   registerTerm(A);
   registerTerm(B);
   merge(A, B);
 }
 
-void Solver::assumeTrue(TermRef B) {
+void Solver::assumeTrueImpl(TermRef B) {
   if (B->isTrue())
     return;
   if (B->isFalse()) {
@@ -219,12 +231,12 @@ void Solver::assumeTrue(TermRef B) {
   // Then mine structure for stronger theory facts.
   if (B->K == Term::Kind::Binary) {
     if (B->BOp == BinaryOp::And) {
-      assumeTrue(B->Args[0]);
-      assumeTrue(B->Args[1]);
+      assumeTrueImpl(B->Args[0]);
+      assumeTrueImpl(B->Args[1]);
       return;
     }
     if (B->BOp == BinaryOp::Eq) {
-      assumeEq(B->Args[0], B->Args[1]);
+      assumeEqImpl(B->Args[0], B->Args[1]);
       return;
     }
     if (B->BOp == BinaryOp::Le) {
@@ -365,10 +377,12 @@ bool Solver::caseSplitEq(TermRef A, TermRef B, unsigned Depth) {
   if (!Cond)
     return false;
   Solver Pos = *this;
+  Pos.Log = nullptr; // hypothetical context, not a verification assumption
   Pos.assumeTrue(Cond);
   if (!Pos.provesEqCore(A, B) && !Pos.caseSplitEq(A, B, Depth - 1))
     return false;
   Solver Neg = *this;
+  Neg.Log = nullptr;
   Neg.assumeTrue(Neg.Arena->logNot(Cond));
   return Neg.provesEqCore(A, B) || Neg.caseSplitEq(A, B, Depth - 1);
 }
@@ -380,10 +394,12 @@ bool Solver::caseSplitTrue(TermRef B, unsigned Depth) {
   if (!Cond)
     return false;
   Solver Pos = *this;
+  Pos.Log = nullptr; // hypothetical context, not a verification assumption
   Pos.assumeTrue(Cond);
   if (!Pos.provesTrueCore(B) && !Pos.caseSplitTrue(B, Depth - 1))
     return false;
   Solver Neg = *this;
+  Neg.Log = nullptr;
   Neg.assumeTrue(Neg.Arena->logNot(Cond));
   return Neg.provesTrueCore(B) || Neg.caseSplitTrue(B, Depth - 1);
 }
@@ -494,17 +510,25 @@ bool Solver::provesEqCore(TermRef A, TermRef B) {
 }
 
 bool Solver::provesEq(TermRef A, TermRef B) {
-  if (provesEqCore(A, B))
-    return true;
   // Ite case split (value-dependent sensitivity, high-branch joins).
-  return caseSplitEq(A, B, 4);
+  bool R = provesEqCore(A, B) || caseSplitEq(A, B, 4);
+  if (Log && Log->inObligation()) {
+    bool Reported = Log->Forge ? true : R;
+    Log->recordQuery(/*IsEq=*/true, A, B, Reported, Assumed);
+    return Reported;
+  }
+  return R;
 }
 
 bool Solver::provesTrue(TermRef B) {
-  if (provesTrueCore(B))
-    return true;
   // Ite case split (unary postconditions of high conditionals).
-  return caseSplitTrue(B, 4);
+  bool R = provesTrueCore(B) || caseSplitTrue(B, 4);
+  if (Log && Log->inObligation()) {
+    bool Reported = Log->Forge ? true : R;
+    Log->recordQuery(/*IsEq=*/false, B, nullptr, Reported, Assumed);
+    return Reported;
+  }
+  return R;
 }
 
 bool Solver::provesTrueCore(TermRef B) {

@@ -26,6 +26,7 @@
 #ifndef COMMCSL_SOLVER_SOLVER_H
 #define COMMCSL_SOLVER_SOLVER_H
 
+#include "solver/Proof.h"
 #include "solver/Term.h"
 
 #include <map>
@@ -38,6 +39,11 @@ namespace commcsl {
 class Solver {
 public:
   explicit Solver(TermArena &Arena) : Arena(&Arena) {}
+
+  /// Attaches a certificate recording sink (solver/Proof.h). Copies of this
+  /// solver (branch states) inherit the pointer and their assumed prefix;
+  /// the case-split engine's internal clones detach themselves.
+  void attachProofLog(ProofLog *L) { Log = L; }
 
   /// Assumes a boolean term. Conjunctions are decomposed; equalities feed
   /// the congruence closure; `<=` facts feed the bounds engine; everything
@@ -60,6 +66,14 @@ public:
   TermArena &arena() { return *Arena; }
 
 private:
+  /// Unlogged bodies of the assumption entry points. The public wrappers
+  /// record the top-level fact (when a log is attached) and delegate here;
+  /// internal recursion (conjunction decomposition, case-split hypotheses)
+  /// uses these directly so only verification-context assumptions are
+  /// logged.
+  void assumeTrueImpl(TermRef B);
+  void assumeEqImpl(TermRef A, TermRef B);
+
   // Union-find over term ids (lazily registered).
   uint32_t find(uint32_t Id);
   void registerTerm(TermRef T);
@@ -122,6 +136,10 @@ private:
   std::map<std::vector<uint64_t>, TermRef> Sigs;
   std::vector<std::pair<TermRef, TermRef>> LeFacts;   ///< assumed a <= b
   std::vector<std::pair<TermRef, TermRef>> Disequals; ///< assumed a != b
+
+  /// Certificate recording (null outside `--emit-cert` runs).
+  ProofLog *Log = nullptr;
+  std::vector<uint32_t> Assumed; ///< log fact indices visible to this solver
 };
 
 } // namespace commcsl

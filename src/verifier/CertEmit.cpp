@@ -1,0 +1,163 @@
+//===-- verifier/CertEmit.cpp - Certificate emission -----------------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verifier/CertEmit.h"
+
+#include "cert/Algebra.h"
+#include "cert/Check.h"
+#include "cert/Evidence.h"
+
+#include <unordered_map>
+
+using namespace commcsl;
+
+namespace {
+
+/// Memoized arena-term -> pool-id translation. Interning on both sides makes
+/// the mapping injective on structure, so shared subterms stay shared.
+class PoolBuilder {
+public:
+  explicit PoolBuilder(cert::TermPool &Pool) : Pool(Pool) {}
+
+  uint32_t idOf(TermRef T) {
+    auto It = Memo.find(T);
+    if (It != Memo.end())
+      return It->second;
+    uint32_t Id = 0;
+    switch (T->K) {
+    case Term::Kind::Const:
+      Id = Pool.constant(T->ConstVal);
+      break;
+    case Term::Kind::Sym:
+      Id = Pool.sym(T->SymId, T->SymName);
+      break;
+    case Term::Kind::Unary:
+      Id = Pool.unary(T->UOp, idOf(T->Args[0]));
+      break;
+    case Term::Kind::Binary:
+      Id = Pool.binary(T->BOp, idOf(T->Args[0]), idOf(T->Args[1]));
+      break;
+    case Term::Kind::Builtin: {
+      std::vector<uint32_t> Args;
+      Args.reserve(T->Args.size());
+      for (TermRef A : T->Args)
+        Args.push_back(idOf(A));
+      Id = Pool.builtin(T->BK, std::move(Args));
+      break;
+    }
+    }
+    Memo.emplace(T, Id);
+    return Id;
+  }
+
+private:
+  cert::TermPool &Pool;
+  std::unordered_map<TermRef, uint32_t> Memo;
+};
+
+} // namespace
+
+cert::CertProcUnit commcsl::buildProcCertUnit(const ProofLog &Log,
+                                              const std::string &Name,
+                                              bool Ok) {
+  cert::CertProcUnit U;
+  U.Name = Name;
+  U.Ok = Ok;
+  PoolBuilder B(U.Pool);
+
+  U.Facts.reserve(Log.Facts.size());
+  for (const ProofFact &F : Log.Facts) {
+    cert::CertFact CF;
+    CF.K = F.K == ProofFact::Kind::Eq ? cert::CertFact::Kind::Eq
+                                      : cert::CertFact::Kind::True;
+    CF.A = B.idOf(F.A);
+    CF.B = F.B ? B.idOf(F.B) : 0;
+    U.Facts.push_back(CF);
+  }
+
+  bool AllObOk = true;
+  U.Obligations.reserve(Log.Obligations.size());
+  for (const ProofObligation &Ob : Log.Obligations) {
+    cert::CertObligation CO;
+    CO.Label = Ob.Label;
+    CO.Ok = Ob.Ok;
+    AllObOk &= Ob.Ok;
+    CO.Queries.reserve(Ob.Queries.size());
+    for (const ProofQuery &Q : Ob.Queries) {
+      cert::CertQuery CQ;
+      CQ.IsEq = Q.IsEq;
+      CQ.A = B.idOf(Q.A);
+      CQ.B = Q.B ? B.idOf(Q.B) : 0;
+      CQ.Proved = Q.Proved;
+      CQ.Ctx = Q.Ctx;
+      CO.Queries.push_back(std::move(CQ));
+    }
+    U.Obligations.push_back(std::move(CO));
+  }
+
+  // A rejection no failed query explains is structural (missing guard
+  // fraction, heap misuse, racing par branches, ...).
+  U.StructuralFail = !Ok && AllObOk;
+  return U;
+}
+
+cert::CertSpecUnit commcsl::buildSpecCertUnit(const ResourceSpecDecl &Spec,
+                                              const Program &Prog,
+                                              const ValidityConfig &Cfg,
+                                              const ValidityResult &R,
+                                              bool Forge) {
+  cert::CertSpecUnit U;
+  U.Name = Spec.Name;
+  U.Valid = R.Valid || Forge;
+  U.ScopeLo = Spec.ScopeIntLo;
+  U.ScopeHi = Spec.ScopeIntHi;
+  U.ScopeBound = Spec.ScopeCollectionBound;
+  U.StatesCap = Cfg.MaxStates;
+  U.ArgsCap = Cfg.MaxArgs;
+
+  cert::SpecEvidence Ev = cert::computeSpecEvidence(
+      Spec, &Prog, U.StatesCap, U.ArgsCap, cert::SampleDraws);
+  U.NumStates = Ev.NumStates;
+  U.NumAlphaPairs = Ev.NumAlphaPairs;
+  U.ArgCounts = Ev.ArgCounts;
+  U.SampleCount = Ev.SampleCount;
+  U.SampleDigest = Ev.SampleDigest;
+
+  cert::FamilyMatch FM = cert::matchFamily(Spec);
+  U.Fam = FM.Fam;
+  U.FamilyOp = FM.Op;
+
+  U.BoundedChecks = R.BoundedChecks;
+  U.RandomChecks = R.RandomChecks;
+
+  if (!U.Valid && R.CE) {
+    cert::CertCE CE;
+    switch (R.CE->Prop) {
+    case ValidityCounterexample::Property::Precondition:
+      CE.P = cert::CertCE::Prop::Precondition;
+      break;
+    case ValidityCounterexample::Property::Commutativity:
+      CE.P = cert::CertCE::Prop::Commutativity;
+      break;
+    case ValidityCounterexample::Property::History:
+      CE.P = cert::CertCE::Prop::History;
+      break;
+    case ValidityCounterexample::Property::Invariant:
+      CE.P = cert::CertCE::Prop::Invariant;
+      break;
+    }
+    CE.ActionA = R.CE->ActionA;
+    CE.ActionB = R.CE->ActionB;
+    CE.V1 = R.CE->V1;
+    CE.V2 = R.CE->V2;
+    CE.Arg1 = R.CE->Arg1;
+    CE.Arg2 = R.CE->Arg2;
+    CE.AlphaLeft = R.CE->AlphaLeft;
+    CE.AlphaRight = R.CE->AlphaRight;
+    U.CE = std::move(CE);
+  }
+  return U;
+}

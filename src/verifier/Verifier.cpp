@@ -7,7 +7,9 @@
 #include "verifier/Verifier.h"
 
 #include "rspec/RSpec.h"
+#include "solver/Proof.h"
 #include "support/Frac.h"
+#include "verifier/CertEmit.h"
 
 #include <algorithm>
 #include <functional>
@@ -98,8 +100,9 @@ namespace {
 class ProcContext {
 public:
   ProcContext(const Program &Prog, DiagnosticEngine &Diags,
-              const ProcDecl &Proc)
-      : Prog(Prog), Diags(Diags), Proc(Proc), SEval(Arena, &Prog) {}
+              const ProcDecl &Proc, ProofLog *PLog = nullptr)
+      : Prog(Prog), Diags(Diags), Proc(Proc), SEval(Arena, &Prog),
+        PLog(PLog) {}
 
   bool run(unsigned &ObligationsOut);
 
@@ -141,45 +144,56 @@ private:
   //===------------------------------------------------------------------===//
   // Action precondition discharge (relational, over one recorded pair)
   //===------------------------------------------------------------------===//
+  /// \p Required distinguishes the mandatory discharge (unshare / allpre
+  /// consumption, where failure is the verdict) from the best-effort eager
+  /// attempt at record time, which is retried later with more facts. A
+  /// failed best-effort attempt is dropped from the proof log: only the
+  /// attempt that counts belongs in the certificate.
   bool dischargePre(const ActionDecl &Action, TermRef ArgL, TermRef ArgR,
-                    Solver &Facts) {
+                    Solver &Facts, bool Required = true) {
+    ObligationScope Ob(PLog, "pre '" + Action.Name + "'");
     ++Obligations;
-    for (const ContractAtom &A : Action.Pre) {
-      SymEnv EnvL{{Action.ArgName, ArgL}};
-      SymEnv EnvR{{Action.ArgName, ArgR}};
-      switch (A.AtomKind) {
-      case ContractAtom::Kind::Low: {
-        if (A.Cond) {
-          TermRef CL = SEval.eval(*A.Cond, EnvL);
-          TermRef CR = SEval.eval(*A.Cond, EnvR);
-          if (!Facts.provesEq(CL, CR))
-            return false;
+    bool Ok = [&] {
+      for (const ContractAtom &A : Action.Pre) {
+        SymEnv EnvL{{Action.ArgName, ArgL}};
+        SymEnv EnvR{{Action.ArgName, ArgR}};
+        switch (A.AtomKind) {
+        case ContractAtom::Kind::Low: {
+          if (A.Cond) {
+            TermRef CL = SEval.eval(*A.Cond, EnvL);
+            TermRef CR = SEval.eval(*A.Cond, EnvR);
+            if (!Facts.provesEq(CL, CR))
+              return false;
+            TermRef EL = SEval.eval(*A.E, EnvL);
+            TermRef ER = SEval.eval(*A.E, EnvR);
+            TermRef Def = Arena.constant(ValueFactory::unit());
+            if (!Facts.provesEq(
+                    Arena.builtin(BuiltinKind::Ite, {CL, EL, Def}),
+                    Arena.builtin(BuiltinKind::Ite, {CR, ER, Def})))
+              return false;
+            break;
+          }
           TermRef EL = SEval.eval(*A.E, EnvL);
           TermRef ER = SEval.eval(*A.E, EnvR);
-          TermRef Def = Arena.constant(ValueFactory::unit());
-          if (!Facts.provesEq(
-                  Arena.builtin(BuiltinKind::Ite, {CL, EL, Def}),
-                  Arena.builtin(BuiltinKind::Ite, {CR, ER, Def})))
+          if (!Facts.provesEq(EL, ER))
             return false;
           break;
         }
-        TermRef EL = SEval.eval(*A.E, EnvL);
-        TermRef ER = SEval.eval(*A.E, EnvR);
-        if (!Facts.provesEq(EL, ER))
-          return false;
-        break;
+        case ContractAtom::Kind::Bool: {
+          if (!Facts.provesTrue(SEval.eval(*A.E, EnvL)) ||
+              !Facts.provesTrue(SEval.eval(*A.E, EnvR)))
+            return false;
+          break;
+        }
+        default:
+          break; // rejected by the type checker
+        }
       }
-      case ContractAtom::Kind::Bool: {
-        if (!Facts.provesTrue(SEval.eval(*A.E, EnvL)) ||
-            !Facts.provesTrue(SEval.eval(*A.E, EnvR)))
-          return false;
-        break;
-      }
-      default:
-        break; // rejected by the type checker
-      }
-    }
-    return true;
+      return true;
+    }();
+    if (!Ok && !Required)
+      Ob.abandon();
+    return Ok;
   }
 
   /// True when the action's precondition forces the *entire* argument to be
@@ -239,7 +253,7 @@ private:
 
   /// Checks that every chunk of \p G satisfies PRE (retrying undischarged
   /// applications against the current facts — the retroactive check).
-  bool checkAllPre(GuardRt &G, Solver &Facts) {
+  bool checkAllPre(GuardRt &G, Solver &Facts, bool Required = true) {
     for (GuardChunk &C : G.Chunks) {
       if (C.IsSummary) {
         if (!C.AllPre)
@@ -247,7 +261,7 @@ private:
         continue;
       }
       if (!C.PreOk)
-        C.PreOk = dischargePre(*G.Action, C.ArgL, C.ArgR, Facts);
+        C.PreOk = dischargePre(*G.Action, C.ArgL, C.ArgR, Facts, Required);
       if (!C.PreOk)
         return false;
     }
@@ -398,6 +412,7 @@ private:
   bool Failed = false;
   unsigned Obligations = 0;
   unsigned FreshCounter = 0;
+  ProofLog *PLog = nullptr; ///< certificate recording sink (may be null)
   /// Whether divergent guard records being joined may still be summarized
   /// as PRE-respecting (true for low conditions, false for high ones).
   bool JoinChunksRelatable = true;
@@ -516,6 +531,7 @@ bool ProcContext::consumeContract(
     SourceLoc Loc = A.Loc.isValid() ? A.Loc : FallbackLoc;
     switch (A.AtomKind) {
     case ContractAtom::Kind::Low: {
+      ObligationScope Ob(PLog, std::string(What) + ": " + A.str());
       ++Obligations;
       SymEnv EnvL = EnvWith(S.L, true), EnvR = EnvWith(S.R, false);
       if (A.Cond) {
@@ -545,6 +561,7 @@ bool ProcContext::consumeContract(
       break;
     }
     case ContractAtom::Kind::Bool: {
+      ObligationScope Ob(PLog, std::string(What) + ": " + A.str());
       ++Obligations;
       SymEnv EnvL = EnvWith(S.L, true), EnvR = EnvWith(S.R, false);
       if (!S.Facts.provesTrue(SEval.eval(*A.E, EnvL)) ||
@@ -557,6 +574,7 @@ bool ProcContext::consumeContract(
     }
     case ContractAtom::Kind::SGuard:
     case ContractAtom::Kind::UGuard: {
+      ObligationScope Ob(PLog, std::string(What) + ": " + A.str());
       ++Obligations;
       const ActionDecl *Action = atomAction(A, S, HandleMap);
       if (!Action) {
@@ -588,6 +606,7 @@ bool ProcContext::consumeContract(
       break;
     }
     case ContractAtom::Kind::AllPre: {
+      ObligationScope Ob(PLog, std::string(What) + ": " + A.str());
       ++Obligations;
       const ActionDecl *Action = atomAction(A, S, HandleMap);
       if (!Action) {
@@ -700,6 +719,7 @@ void ProcContext::checkCmd(const CommandRef &C, VState &S) {
   case CmdKind::Output: {
     // Outputs go to the public channel: the emitted value must be low at
     // the point of emission (the paper's I/O extension, Sec. 3.7 (4)).
+    ObligationScope Ob(PLog, "output: " + C->Exprs[0]->str());
     ++Obligations;
     if (!S.Facts.provesEq(evalL(*C->Exprs[0], S), evalR(*C->Exprs[0], S)))
       error(DiagCode::VerifyEntailment, C->Loc,
@@ -760,13 +780,15 @@ void ProcContext::joinGuards(VState &S, VState &A, VState &B, SourceLoc Loc) {
       Joined.Chunks = GA.Chunks;
       for (GuardChunk &Ch : Joined.Chunks)
         if (!Ch.IsSummary)
-          Ch.PreOk = dischargePre(*GA.Action, Ch.ArgL, Ch.ArgR, S.Facts);
+          Ch.PreOk = dischargePre(*GA.Action, Ch.ArgL, Ch.ArgR, S.Facts,
+                                  /*Required=*/false);
     } else {
       bool AllPre = true;
       VState *Branches[2] = {&A, &B};
       GuardRt *Gs[2] = {&GA, &GB};
       for (int I = 0; I < 2; ++I)
-        AllPre &= checkAllPre(*Gs[I], Branches[I]->Facts);
+        AllPre &= checkAllPre(*Gs[I], Branches[I]->Facts,
+                              /*Required=*/false);
       // Mixed pairings additionally require the count to be unaffected by
       // the (possibly high) branch condition; a divergent record cannot
       // guarantee that, so the summary is tainted unless the branch was

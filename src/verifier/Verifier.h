@@ -30,6 +30,7 @@
 #ifndef COMMCSL_VERIFIER_VERIFIER_H
 #define COMMCSL_VERIFIER_VERIFIER_H
 
+#include "cert/Cert.h"
 #include "lang/Program.h"
 #include "rspec/Validity.h"
 #include "solver/Solver.h"
@@ -59,6 +60,16 @@ struct VerifierConfig {
   /// change. The registry must not outlive the Program that owns the spec
   /// declarations used to key it.
   std::shared_ptr<SpecCacheRegistry> SpecCaches;
+  /// Record proof certificates: per-spec validity evidence and per-proc
+  /// entailment derivations (cert/Cert.h), re-checkable by the independent
+  /// checker without the solver or verifier libraries.
+  bool EmitCert = false;
+  /// Fault injection: every entailment query answered under an obligation
+  /// reports "proved" and invalid specs are claimed valid. The emitted
+  /// certificate records the forged verdicts, which the independent checker
+  /// then refutes — the end-to-end demonstration of the trust story (and
+  /// the fuzz campaign's `cert-invalid` oracle). Implies EmitCert.
+  bool ForgeAcceptAll = false;
 };
 
 /// Per-procedure verdict.
@@ -69,6 +80,8 @@ struct ProcVerdict {
   /// True when the driver's `--triage` fast path proved the procedure
   /// statically (no relational proof was run).
   bool SkippedByTriage = false;
+  /// Certificate unit for this procedure (set when EmitCert).
+  std::optional<cert::CertProcUnit> CertUnit;
 };
 
 /// Whole-program verification result.
@@ -79,6 +92,9 @@ struct VerifyResult {
   /// Memo-cache counters summed over every spec validity check (zeros when
   /// ValidityConfig::Memoize is off). Diagnostic only.
   CacheStats SpecCache;
+  /// Certificate units for the checked specs, in program order (set when
+  /// EmitCert and validity checking is not skipped).
+  std::vector<cert::CertSpecUnit> SpecUnits;
 };
 
 /// The CommCSL verifier. Construct once per program; `verifyAll` checks
@@ -104,6 +120,11 @@ public:
   /// through this verifier so far.
   const CacheStats &specCacheStats() const { return SpecCache; }
 
+  /// Spec certificate units built so far (EmitCert only), keyed by name.
+  const std::map<std::string, cert::CertSpecUnit> &specUnits() const {
+    return SpecUnits;
+  }
+
 private:
   struct Impl;
   const Program &Prog;
@@ -111,6 +132,9 @@ private:
   VerifierConfig Config;
   std::set<std::string> ValidatedSpecs; ///< cache of validity results
   CacheStats SpecCache;                 ///< summed ValidityResult::Cache
+  /// Spec certificate units by name, so a cached validity verdict still
+  /// yields its (deterministic) unit on later verifyAll calls.
+  std::map<std::string, cert::CertSpecUnit> SpecUnits;
 };
 
 } // namespace commcsl

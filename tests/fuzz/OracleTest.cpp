@@ -45,6 +45,20 @@ procedure main(l: int, h: int) returns (out: int)
 }
 )";
 
+/// Secure in every execution (out is always zero) but beyond the
+/// entailment engine, which cannot prove `low(h % 1)`: a *genuine*
+/// completeness gap, unlike LeakyProgram above. The one shape where an
+/// injected accept-all fault leaves no empirical trace — the forged
+/// certificate is then the only witness.
+const char *SecureButRejectedProgram = R"(
+procedure main(l: int, h: int) returns (out: int)
+  requires low(l)
+  ensures low(out)
+{
+  out := h % 1;
+}
+)";
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -54,8 +68,8 @@ procedure main(l: int, h: int) returns (out: int)
 TEST(OracleNamesTest, ClassNamesRoundTrip) {
   for (OracleClass C :
        {OracleClass::Agree, OracleClass::SoundnessViolation,
-        OracleClass::CompletenessGap, OracleClass::Flake,
-        OracleClass::GeneratorInvalid}) {
+        OracleClass::CompletenessGap, OracleClass::CertInvalid,
+        OracleClass::Flake, OracleClass::GeneratorInvalid}) {
     auto Back = oracleClassByName(oracleClassName(C));
     ASSERT_TRUE(Back.has_value()) << oracleClassName(C);
     EXPECT_EQ(*Back, C);
@@ -146,6 +160,50 @@ TEST(OracleTest, InjectedRejectionOfSecureProgramIsCompletenessGap) {
   EXPECT_EQ(R.Class, OracleClass::CompletenessGap) << R.Detail;
   EXPECT_TRUE(R.Verdicts.Injected);
   EXPECT_FALSE(R.Verdicts.Verified);
+}
+
+TEST(OracleTest, HonestCertificatesReplayClean) {
+  // Verdict 6 in the quiet case: every honest evaluation emits a
+  // certificate and the independent checker re-derives it — on accepted
+  // and on rejected programs alike.
+  DifferentialOracle Oracle;
+  OracleResult A = Oracle.evaluate(SecureProgram, /*GenTainted=*/false, 7);
+  EXPECT_EQ(A.Class, OracleClass::Agree) << A.Detail;
+  EXPECT_TRUE(A.Verdicts.CertRan);
+  EXPECT_TRUE(A.Verdicts.CertOk) << A.Verdicts.CertError;
+
+  OracleResult B = Oracle.evaluate(LeakyProgram, /*GenTainted=*/true, 7);
+  EXPECT_TRUE(B.Verdicts.CertRan);
+  EXPECT_TRUE(B.Verdicts.CertOk) << B.Verdicts.CertError;
+}
+
+TEST(OracleTest, ForgedAcceptanceWithoutEmpiricalLeakIsCertInvalid) {
+  // Honest baseline: a genuine completeness gap whose rejection
+  // certificate checks out.
+  DifferentialOracle Honest;
+  OracleResult H =
+      Honest.evaluate(SecureButRejectedProgram, /*GenTainted=*/false, 7);
+  EXPECT_EQ(H.Class, OracleClass::CompletenessGap) << H.Detail;
+  EXPECT_TRUE(H.Verdicts.CertRan);
+  EXPECT_TRUE(H.Verdicts.CertOk) << H.Verdicts.CertError;
+
+  // Accept-all injection on the same program: the empirical phases see
+  // nothing (it really is secure), so without certificate replay the
+  // fault would vanish into "agree". The forged certificate fails the
+  // checker and the class is campaign-fatal cert-invalid.
+  OracleConfig Config;
+  Config.Inject = OracleFault::AcceptAll;
+  DifferentialOracle Oracle(Config);
+  OracleResult R =
+      Oracle.evaluate(SecureButRejectedProgram, /*GenTainted=*/false, 7);
+  EXPECT_EQ(R.Class, OracleClass::CertInvalid) << R.Detail;
+  EXPECT_TRUE(R.Verdicts.Injected);
+  EXPECT_TRUE(R.Verdicts.Verified);
+  EXPECT_FALSE(R.Verdicts.EmpiricalLeak);
+  EXPECT_TRUE(R.Verdicts.CertRan);
+  EXPECT_FALSE(R.Verdicts.CertOk);
+  EXPECT_FALSE(R.Verdicts.CertError.empty());
+  EXPECT_NE(R.Detail.find("checker"), std::string::npos) << R.Detail;
 }
 
 TEST(OracleTest, UnparseableSourceIsGeneratorInvalid) {

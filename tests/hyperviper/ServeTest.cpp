@@ -263,6 +263,60 @@ TEST(ServeTest, WarmCacheSecondPassIdenticalWithNonzeroHitRate) {
   EXPECT_GT(S->find("spec_cache")->find("hit_rate")->asDouble(), 0.0);
 }
 
+TEST(ServeTest, EmitCertWarmByteIdenticalToColdAndCli) {
+  // The third certificate wiring point: a serve request with
+  // `"emit_cert": true` returns the proof certificate in a `cert` field,
+  // byte-identical warm or cold, at any jobs — and identical to what the
+  // one-shot CLI's --emit-cert writes for the same file.
+  const std::string Path = example("figure1.hv");
+  const std::string Src = slurp(Path);
+  const std::string CliCertPath = tmpPath("cli-figure1.cert");
+  std::remove(CliCertPath.c_str());
+  cliOutput("--jobs 1 --emit-cert " + CliCertPath + " " + Path);
+  const std::string CliCert = slurp(CliCertPath);
+  ASSERT_FALSE(CliCert.empty());
+
+  auto certLine = [&](int Id, unsigned Jobs) {
+    JsonValue O = JsonValue::object();
+    O.set("id", JsonValue::number(static_cast<uint64_t>(Id)));
+    O.set("verb", JsonValue::string("verify"));
+    O.set("source", JsonValue::string(Src));
+    O.set("name", JsonValue::string(Path));
+    O.set("emit_cert", JsonValue::boolean(true));
+    O.set("jobs", JsonValue::number(static_cast<uint64_t>(Jobs)));
+    return O.dump();
+  };
+
+  ServerProc Server;
+  Client C(Server.port());
+  JsonValue Cold = C.rpc(certLine(1, 1));
+  EXPECT_TRUE(Cold.getBool("ok"));
+  EXPECT_FALSE(Cold.getBool("program_cache_hit"));
+  const std::string ColdCert = Cold.getString("cert");
+  ASSERT_FALSE(ColdCert.empty());
+  EXPECT_EQ(ColdCert, CliCert);
+
+  JsonValue Warm = C.rpc(certLine(2, 3));
+  EXPECT_TRUE(Warm.getBool("program_cache_hit"));
+  EXPECT_EQ(Warm.getString("cert"), ColdCert);
+
+  // Requests without emit_cert carry no cert field.
+  JsonValue Plain = C.rpc(verifyLine(3, Src, Path));
+  EXPECT_EQ(Plain.find("cert"), nullptr);
+
+  // The daemon's bytes pass the independent checker.
+  const std::string DaemonCertPath = tmpPath("daemon-figure1.cert");
+  {
+    std::ofstream Out(DaemonCertPath);
+    Out << ColdCert;
+  }
+  std::string CheckOut =
+      cliOutput("check-cert " + Path + " " + DaemonCertPath);
+  EXPECT_NE(CheckOut.find(": OK"), std::string::npos) << CheckOut;
+  std::remove(CliCertPath.c_str());
+  std::remove(DaemonCertPath.c_str());
+}
+
 TEST(ServeTest, ConcurrentClientsGetByteIdenticalResponses) {
   const std::string Path = example("figure1.hv");
   const std::string Src = slurp(Path);

@@ -15,6 +15,8 @@
 
 #include "service/Session.h"
 
+#include "cert/Cert.h"
+#include "cert/Check.h"
 #include "hyperviper/Analyze.h"
 
 #include <gtest/gtest.h>
@@ -193,6 +195,59 @@ TEST(SessionTest, NiVerbMatchesDriverEmpiricalBlock) {
   V.Proc = "main";
   ServiceResponse Both = S.handle(V);
   EXPECT_EQ(Both.Report, std::string("ni.hv: verified\n") + Resp.Report);
+}
+
+TEST(SessionTest, WarmCertByteIdenticalToColdAndChecks) {
+  // The warm-cache contract extends to certificates: a resubmitted source
+  // (warm Program + warm spec memo caches) must return the exact bytes the
+  // cold request produced, at any job count.
+  Session S;
+  ServiceRequest R = verifyRequest(VerifiedProgram, "cert.hv");
+  R.EmitCert = true;
+  ServiceResponse Cold = S.handle(R);
+  ASSERT_TRUE(Cold.Ok);
+  EXPECT_FALSE(Cold.ProgramCacheHit);
+  ASSERT_FALSE(Cold.Cert.empty());
+
+  ServiceResponse Warm = S.handle(R);
+  EXPECT_TRUE(Warm.ProgramCacheHit);
+  EXPECT_EQ(Warm.Cert, Cold.Cert);
+
+  ServiceRequest R3 = R;
+  R3.Jobs = 3;
+  EXPECT_EQ(S.handle(R3).Cert, Cold.Cert);
+
+  // And the bytes the service hands out survive the independent checker.
+  std::string Err;
+  std::optional<cert::Certificate> C = cert::parse(Cold.Cert, &Err);
+  ASSERT_TRUE(C) << Err;
+  Driver D;
+  ParsedUnit Unit = D.parseAndCheck(VerifiedProgram, "cert.hv");
+  ASSERT_TRUE(Unit.Ok);
+  cert::CheckResult CR = cert::checkCertificate(*C, *Unit.Prog);
+  EXPECT_TRUE(CR.Ok) << CR.Error;
+
+  // Certificates are opt-in: a plain verify request carries none.
+  EXPECT_TRUE(
+      S.handle(verifyRequest(VerifiedProgram, "cert.hv")).Cert.empty());
+}
+
+TEST(SessionTest, RejectedProgramCertRecordsRejection) {
+  Session S;
+  ServiceRequest R = verifyRequest(RejectedProgram, "bad-cert.hv");
+  R.EmitCert = true;
+  ServiceResponse Resp = S.handle(R);
+  EXPECT_FALSE(Resp.Ok);
+  ASSERT_FALSE(Resp.Cert.empty());
+  std::string Err;
+  std::optional<cert::Certificate> C = cert::parse(Resp.Cert, &Err);
+  ASSERT_TRUE(C) << Err;
+  EXPECT_FALSE(C->Verified);
+
+  // Parse failures have nothing to certify.
+  ServiceRequest P = verifyRequest(ParseErrorProgram, "parse-err.hv");
+  P.EmitCert = true;
+  EXPECT_TRUE(S.handle(P).Cert.empty());
 }
 
 TEST(SessionTest, ResetCachesForcesColdPath) {

@@ -1,0 +1,108 @@
+//===-- tests/support/SignalsTest.cpp - Signal flush unit tests ------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Direct unit tests of support/Signals: LIFO flush ordering on fatal
+/// delivery, idempotent watcher double-installation, flush-action
+/// deregistration, and the conventional `128 + signo` exit status. These
+/// contracts were previously only covered indirectly through the serve
+/// daemon's end-to-end tests (ServeTest.SigtermFlushesSinksAndExits143),
+/// which cannot distinguish ordering or double-install bugs.
+///
+/// Everything observable happens post-signal in a process that `_Exit`s,
+/// so the tests are death tests: the child installs the watcher, raises
+/// the signal against itself, and the parent asserts on exit status and
+/// the flush actions' stderr trail.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Signals.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <unistd.h>
+
+using namespace commcsl;
+
+namespace {
+
+/// Raises \p Sig against the current process and parks the calling thread;
+/// the watcher thread owns delivery from here on (never returns).
+[[noreturn]] void raiseAndWait(int Sig) {
+  kill(getpid(), Sig);
+  for (;;)
+    pause();
+}
+
+} // namespace
+
+TEST(SignalsDeathTest, FlushActionsRunLifoThenExit143) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Registration order A, B — delivery must run them B-then-A (later
+  // registrations may depend on sinks the earlier ones own) and then
+  // _Exit with 128 + SIGTERM. The anchored pattern also pins that the
+  // removed action "C" and the unknown-token removal leave no trace.
+  EXPECT_EXIT(
+      {
+        installSignalWatcher();
+        addSignalFlushAction([] {
+          std::fputs("A", stderr);
+          std::fflush(stderr);
+        });
+        addSignalFlushAction([] {
+          std::fputs("B", stderr);
+          std::fflush(stderr);
+        });
+        uint64_t Token = addSignalFlushAction([] {
+          std::fputs("C", stderr);
+          std::fflush(stderr);
+        });
+        removeSignalFlushAction(Token);
+        removeSignalFlushAction(Token);      // unknown token: no-op
+        removeSignalFlushAction(0xdeadbeef); // never-issued token: no-op
+        raiseAndWait(SIGTERM);
+      },
+      ::testing::ExitedWithCode(128 + SIGTERM), "^BA$");
+}
+
+TEST(SignalsDeathTest, DoubleInstallIsIdempotent) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // A second installSignalWatcher must not start a second watcher thread:
+  // with two watchers, one would consume the signal and flush while the
+  // other kept waiting — racy double-flush or none at all. One "F" and a
+  // single clean exit pin the single-watcher behavior.
+  EXPECT_EXIT(
+      {
+        installSignalWatcher();
+        installSignalWatcher();
+        installSignalWatcher();
+        addSignalFlushAction([] {
+          std::fputs("F", stderr);
+          std::fflush(stderr);
+        });
+        raiseAndWait(SIGINT);
+      },
+      ::testing::ExitedWithCode(128 + SIGINT), "^F$");
+}
+
+TEST(SignalsTest, TokensAreDistinctAndRemovalIsStable) {
+  // Pure bookkeeping (no delivery): tokens must be unique so removal
+  // cannot alias, and removing in any order must leave the rest intact.
+  // Actions registered here are removed again so later death tests (and
+  // the real CLI paths) never see them.
+  uint64_t A = addSignalFlushAction([] {});
+  uint64_t B = addSignalFlushAction([] {});
+  uint64_t C = addSignalFlushAction([] {});
+  EXPECT_NE(A, B);
+  EXPECT_NE(B, C);
+  EXPECT_NE(A, C);
+  removeSignalFlushAction(B); // middle first
+  removeSignalFlushAction(A);
+  removeSignalFlushAction(C);
+  removeSignalFlushAction(C); // double-remove: no-op
+}

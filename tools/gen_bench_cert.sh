@@ -1,0 +1,53 @@
+#!/usr/bin/env sh
+# Run bench_cert and assemble BENCH_cert.json: the raw google-benchmark
+# record plus a computed check-vs-verify speedup summary per example.
+#
+# Usage: tools/gen_bench_cert.sh [build-dir]
+set -eu
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD=${1:-"$ROOT/build"}
+BIN="$BUILD/bench/bench_cert"
+
+if [ ! -x "$BIN" ]; then
+  echo "gen_bench_cert.sh: $BIN not built (cmake --build $BUILD -j --target bench_cert)" >&2
+  exit 1
+fi
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+"$BIN" --benchmark_format=json --benchmark_min_time=0.2 >"$RAW"
+
+python3 - "$RAW" "$ROOT/BENCH_cert.json" <<'EOF'
+import json, sys
+
+raw = json.load(open(sys.argv[1]))
+times = {}
+for b in raw["benchmarks"]:
+    kind, _, name = b["name"].partition("/")
+    times.setdefault(name, {})[kind] = b["real_time"]
+
+ratios = {}
+for name, t in sorted(times.items()):
+    if "verify" in t and "check" in t and t["check"] > 0:
+        ratios[name] = round(t["verify"] / t["check"], 1)
+
+out = {
+    "comment": "Certificate economics: checking an emitted proof certificate "
+               "(cert parse + independent re-derivation, bench_cert's check/*) "
+               "vs producing it (full verify pipeline with --emit-cert, "
+               "verify/*), both single-threaded Release. "
+               "summary.check_vs_verify_speedup is verify/check wall time per "
+               "example; the acceptance bar is orders of magnitude. "
+               "Regenerate with tools/gen_bench_cert.sh.",
+    "summary": {
+        "check_vs_verify_speedup": ratios,
+        "min_speedup": min(ratios.values()) if ratios else 0,
+        "max_speedup": max(ratios.values()) if ratios else 0,
+    },
+    "bench": raw,
+}
+json.dump(out, open(sys.argv[2], "w"), indent=1)
+open(sys.argv[2], "a").write("\n")
+print("BENCH_cert.json: speedups", ratios)
+EOF

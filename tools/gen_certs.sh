@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# Regenerate the committed golden certificate sidecars: one `<file>.hv.cert`
+# next to every example program (accepted and broken) and every corpus
+# witness. Run from anywhere; paths inside the certificates are always
+# repo-root-relative ("examples/programs/figure1.hv"), which is what keeps
+# the goldens machine-independent — CertGoldenTest and CorpusReplayTest
+# reproduce the same names when re-emitting.
+#
+# Usage: tools/gen_certs.sh [build-dir]
+#
+# After regenerating, review the diff: golden drift means the certificate
+# format changed (fine, commit it) or the verifier started proving
+# something different (investigate before committing).
+set -eu
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD=${1:-"$ROOT/build"}
+BIN="$BUILD/tools/hyperviper"
+
+if [ ! -x "$BIN" ]; then
+  echo "gen_certs.sh: $BIN not built (cmake --build $BUILD -j)" >&2
+  exit 1
+fi
+
+cd "$ROOT"
+
+N=0
+for F in examples/programs/*.hv examples/programs/broken/*.hv \
+         tests/corpus/*.hv; do
+  [ -f "$F" ] || continue
+  # Verification exit status is part of the program, not an error here:
+  # rejected programs get (checkable) rejection certificates.
+  "$BIN" --emit-cert "$F.cert" "$F" >/dev/null 2>&1 || true
+  if [ ! -s "$F.cert" ]; then
+    echo "gen_certs.sh: no certificate emitted for $F" >&2
+    exit 1
+  fi
+  N=$((N + 1))
+done
+echo "gen_certs.sh: regenerated $N certificates"

@@ -21,6 +21,18 @@
 ///                   --metrics)
 ///   --metrics       print Table-1-style metrics (LOC / Ann. / time)
 ///   --quiet         only print the verdict line
+///   --emit-cert <FILE>  write a checkable proof certificate ('-' =
+///                   stdout); requires exactly one input file. Implies the
+///                   relational proof runs for every procedure (the
+///                   --triage fast path is disabled for the run).
+///   --inject <FAULT>  none | accept-all: forge the verifier's entailment
+///                   verdicts (testing only; implies certificate
+///                   recording so `check-cert` can refute the forgery)
+///
+/// Certificate checking: `hyperviper check-cert <prog.hv> <cert>` re-checks
+/// a certificate against the program using only the AST and the
+/// independent checker (src/cert/) — no solver or verifier code runs.
+/// Prints `<cert>: OK` or `<cert>: INVALID (<reason>)`; exit 0/1.
 ///
 /// Observability options (accepted by every subcommand):
 ///   --trace <FILE>         record scoped spans into FILE as Chrome
@@ -81,10 +93,14 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "cert/Cert.h"
+#include "cert/Check.h"
 #include "fuzz/Campaign.h"
 #include "fuzz/Corpus.h"
 #include "hyperviper/Analyze.h"
 #include "hyperviper/Driver.h"
+#include "lang/TypeChecker.h"
+#include "parser/Parser.h"
 #include "service/Server.h"
 #include "support/Numeric.h"
 #include "support/Signals.h"
@@ -95,6 +111,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -293,11 +310,11 @@ int runFuzz(int Argc, char **Argv) {
   std::fprintf(stderr,
                "%s: %u seeds run (%u skipped): %u agree, "
                "%u soundness-violation, %u analysis-unsound, "
-               "%u completeness-gap, %u flake, %u generator-invalid; "
-               "%u statically secure\n",
+               "%u completeness-gap, %u cert-invalid, %u flake, "
+               "%u generator-invalid; %u statically secure\n",
                Sub, Report.SeedsRun, Report.SeedsSkipped, Report.Agree,
                Report.SoundnessViolations, Report.AnalysisUnsound,
-               Report.CompletenessGaps, Report.Flakes,
+               Report.CompletenessGaps, Report.CertInvalids, Report.Flakes,
                Report.GeneratorInvalids, Report.StaticSecureSeeds);
   if (!Obs.finish())
     return 2;
@@ -428,6 +445,78 @@ int runServe(int Argc, char **Argv) {
   return Sig != 0 ? 128 + Sig : 0;
 }
 
+/// `hyperviper check-cert <prog.hv> <cert>`: parse and type-check the
+/// program, parse the certificate, and re-derive every step with the
+/// independent checker. Deliberately bypasses the Driver so no solver or
+/// verifier code runs on this path.
+int runCheckCert(int Argc, char **Argv) {
+  const char *Sub = "hyperviper check-cert";
+  std::vector<std::string> Inputs;
+  for (int I = 0; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--help" || Arg == "-h") {
+      std::printf("usage: hyperviper check-cert <prog.hv> <cert>\n"
+                  "Re-checks a proof certificate against the program with "
+                  "the independent\nchecker (no solver/verifier code). "
+                  "Exit 0 = OK, 1 = INVALID, 2 = usage.\n");
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "%s: error: unknown option '%s'\n", Sub,
+                   Arg.c_str());
+      return 2;
+    } else {
+      Inputs.push_back(Arg);
+    }
+  }
+  if (Inputs.size() != 2) {
+    std::fprintf(stderr, "%s: error: expected <prog.hv> <cert>\n", Sub);
+    return 2;
+  }
+  auto Slurp = [&](const std::string &Path,
+                   std::string &Out) {
+    std::ifstream In(Path);
+    if (!In) {
+      std::fprintf(stderr, "%s: error: cannot open '%s'\n", Sub,
+                   Path.c_str());
+      return false;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    Out = SS.str();
+    return true;
+  };
+  std::string ProgText, CertText;
+  if (!Slurp(Inputs[0], ProgText) || !Slurp(Inputs[1], CertText))
+    return 2;
+
+  DiagnosticEngine Diags;
+  Program Prog = Parser::parse(ProgText, Diags);
+  if (!Diags.hasErrors()) {
+    TypeChecker Checker(Prog, Diags);
+    Checker.check();
+  }
+  if (Diags.hasErrors()) {
+    std::fprintf(stderr, "%s", Diags.str(Inputs[0]).c_str());
+    std::fprintf(stderr, "%s: error: program does not parse\n", Sub);
+    return 2;
+  }
+
+  std::string ParseError;
+  std::optional<cert::Certificate> C = cert::parse(CertText, &ParseError);
+  if (!C) {
+    std::printf("%s: INVALID (parse: %s)\n", Inputs[1].c_str(),
+                ParseError.c_str());
+    return 1;
+  }
+  cert::CheckResult R = cert::checkCertificate(*C, Prog);
+  if (!R.Ok) {
+    std::printf("%s: INVALID (%s)\n", Inputs[1].c_str(), R.Error.c_str());
+    return 1;
+  }
+  std::printf("%s: OK\n", Inputs[1].c_str());
+  return 0;
+}
+
 int runVerify(int Argc, char **Argv) {
   const char *Sub = "hyperviper";
   DriverOptions Options;
@@ -435,6 +524,7 @@ int runVerify(int Argc, char **Argv) {
   bool PrintMetrics = false;
   bool Quiet = false;
   std::string NIProc;
+  std::string CertPath;
   std::vector<std::string> Inputs;
 
   for (int I = 1; I < Argc; ++I) {
@@ -452,11 +542,27 @@ int runVerify(int Argc, char **Argv) {
       Quiet = true;
     } else if (Arg == "--ni") {
       NIProc = requireValue(Sub, "--ni", Argc, Argv, I);
+    } else if (Arg == "--emit-cert") {
+      CertPath = requireValue(Sub, "--emit-cert", Argc, Argv, I);
+      Options.Verifier.EmitCert = true;
+    } else if (Arg == "--inject") {
+      const char *Value = requireValue(Sub, "--inject", Argc, Argv, I);
+      if (std::strcmp(Value, "accept-all") == 0) {
+        Options.Verifier.ForgeAcceptAll = true;
+      } else if (std::strcmp(Value, "none") != 0) {
+        std::fprintf(stderr,
+                     "%s: error: unknown fault '%s' (want none|accept-all)\n",
+                     Sub, Value);
+        return 2;
+      }
     } else if (Arg == "--help" || Arg == "-h") {
       std::printf("usage: hyperviper [--no-validity] [--jobs N] [--triage] "
                   "[--metrics] [--quiet] [--ni <proc>]\n"
+                  "                  [--emit-cert FILE|-] "
+                  "[--inject none|accept-all]\n"
                   "                  [--trace FILE] [--metrics-json FILE] "
                   "file-or-dir.hv ...\n"
+                  "       hyperviper check-cert <prog.hv> <cert>\n"
                   "       hyperviper analyze --help\n"
                   "       hyperviper fuzz --help\n"
                   "       hyperviper serve --help\n");
@@ -483,6 +589,13 @@ int runVerify(int Argc, char **Argv) {
                  Sub);
     return 2;
   }
+  if (!CertPath.empty() && Files.size() != 1) {
+    std::fprintf(stderr,
+                 "%s: error: --emit-cert expects exactly one input file "
+                 "(got %zu)\n",
+                 Sub, Files.size());
+    return 2;
+  }
 
   Obs.armSignalFlush();
   Driver D(Options);
@@ -496,6 +609,23 @@ int runVerify(int Argc, char **Argv) {
     }
     std::printf("%s: %s\n", Display.c_str(),
                 R.Verified ? "verified" : "REJECTED");
+    if (!CertPath.empty()) {
+      if (R.Cert.empty()) {
+        std::fprintf(stderr,
+                     "%s: error: no certificate (file did not parse)\n",
+                     Sub);
+        Exit = Exit ? Exit : 1;
+      } else if (CertPath == "-") {
+        std::fputs(R.Cert.c_str(), stdout);
+      } else {
+        std::ofstream Out(CertPath, std::ios::binary);
+        if (!Out || !(Out << R.Cert)) {
+          std::fprintf(stderr, "%s: error: cannot write %s\n", Sub,
+                       CertPath.c_str());
+          return 2;
+        }
+      }
+    }
     if (PrintMetrics && R.ParseOk) {
       std::printf("  LOC %u  Ann. %u  parse %.3fs  validity %.3fs  "
                   "verify %.3fs  total %.3fs\n",
@@ -554,5 +684,7 @@ int main(int Argc, char **Argv) {
     return runAnalyzeCmd(Argc - 2, Argv + 2);
   if (Argc > 1 && std::strcmp(Argv[1], "serve") == 0)
     return runServe(Argc - 2, Argv + 2);
+  if (Argc > 1 && std::strcmp(Argv[1], "check-cert") == 0)
+    return runCheckCert(Argc - 2, Argv + 2);
   return runVerify(Argc, Argv);
 }

@@ -1,10 +1,12 @@
 #!/usr/bin/env sh
-# Configure, build, and run the concurrency-sensitive test suites under
-# ThreadSanitizer. The interner, the spec-evaluation memo caches, the
-# validity checker's bounded tier, the NI harness, and the serve daemon's
-# Session all share state across pool workers (and, for the Session,
-# across concurrent request threads); this is the cheap way to prove the
-# locking right.
+# Configure, build, and run the test suites under ThreadSanitizer. The
+# interner, the spec-evaluation memo caches, the validity checker's
+# bounded tier, the NI harness, and the serve daemon's Session all share
+# state across pool workers (and, for the Session, across concurrent
+# request threads); this is the cheap way to prove the locking right.
+#
+# Test binaries are discovered by glob (tests/test_*) so new suites are
+# covered automatically instead of requiring an edit here.
 #
 # Usage: tools/run_tsan.sh [build-dir]
 set -eu
@@ -14,16 +16,22 @@ BUILD=${1:-"$ROOT/build-tsan"}
 
 cmake -S "$ROOT" -B "$BUILD" -DCOMMCSL_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD" -j "$(nproc)" --target \
-  test_support test_value test_rspec test_sem test_hyper test_service
+cmake --build "$BUILD" -j "$(nproc)"
 
 # halt_on_error so a single race fails the script immediately.
 TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1}
 export TSAN_OPTIONS
 
-for T in test_support test_value test_rspec test_sem test_hyper \
-         test_service; do
-  echo "== $T =="
-  "$BUILD/tests/$T"
+RAN=0
+for T in "$BUILD"/tests/test_*; do
+  [ -f "$T" ] && [ -x "$T" ] || continue
+  RAN=$((RAN + 1))
+  echo "== $(basename "$T") =="
+  "$T"
 done
-echo "tsan: all suites clean"
+
+if [ "$RAN" -eq 0 ]; then
+  echo "run_tsan.sh: no test binaries found under $BUILD/tests" >&2
+  exit 1
+fi
+echo "tsan: all $RAN suites clean"
