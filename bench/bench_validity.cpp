@@ -217,6 +217,56 @@ BENCHMARK(BM_JobsScaling_MapKeySet)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+/// Tier-4 conclusiveness ablation: the full tier stack with the
+/// differencing abstract tier toggled (arg: 0 = off, 1 = on). Verdicts are
+/// identical either way; what changes is how *conclusive* a `valid` is.
+/// The `unbounded` counter (1.0 when the spec concluded over the full
+/// unbounded domains) and the `checks` counter (concrete instances the
+/// run still needed — 0 when the abstract tier proved everything) are
+/// BENCH_validity.json's conclusiveness column. The Queue row documents
+/// the deliberate fall-through: `enabled`/`history` clauses stay with the
+/// concrete tiers, so it reports unbounded=0 at both settings.
+void runAbsintAblation(benchmark::State &State, const char *Source) {
+  Program P = parseSpec(Source);
+  RSpecRuntime Runtime(P.Specs[0], &P);
+  ValidityConfig Cfg;
+  Cfg.RunAbsintTier = State.range(0) != 0;
+  uint64_t Checks = 0;
+  bool Unbounded = false;
+  for (auto _ : State) {
+    ValidityChecker Checker(Runtime, Cfg);
+    ValidityResult R = Checker.check();
+    if (!R.Valid)
+      State.SkipWithError("unexpected validity verdict");
+    Checks = R.BoundedChecks + R.RandomChecks;
+    Unbounded = R.Unbounded;
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["checks"] = static_cast<double>(Checks);
+  State.counters["unbounded"] = Unbounded ? 1.0 : 0.0;
+}
+void BM_AbsintConclusive_Counter(benchmark::State &S) {
+  runAbsintAblation(S, CounterSpec);
+}
+void BM_AbsintConclusive_MapKeySet(benchmark::State &S) {
+  runAbsintAblation(S, MapKeySetSpec);
+}
+void BM_AbsintConclusive_Queue(benchmark::State &S) {
+  runAbsintAblation(S, QueueSpec);
+}
+BENCHMARK(BM_AbsintConclusive_Counter)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AbsintConclusive_MapKeySet)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AbsintConclusive_Queue)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 /// Interning / memoization ablation: the scope-3 bounded workload with
 /// value interning and alpha/f_a memoization independently toggled.
 /// Verdicts and check counts are identical across all four variants; only

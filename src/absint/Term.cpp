@@ -1,0 +1,198 @@
+//===-- absint/Term.cpp - Interned terms for the differencing tier ---------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "absint/Term.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace commcsl;
+using namespace commcsl::absint;
+
+int ATerm::compare(const ATerm *A, const ATerm *B) {
+  if (A == B)
+    return 0;
+  if (A->K != B->K)
+    return static_cast<int>(A->K) < static_cast<int>(B->K) ? -1 : 1;
+  switch (A->K) {
+  case AOp::IntConst:
+    return A->IntVal < B->IntVal ? -1 : (A->IntVal > B->IntVal ? 1 : 0);
+  case AOp::BoolConst:
+    return int(A->BoolVal) - int(B->BoolVal);
+  case AOp::StrConst:
+  case AOp::Sym:
+    return A->Str.compare(B->Str);
+  case AOp::Bi:
+    if (A->B != B->B)
+      return static_cast<int>(A->B) < static_cast<int>(B->B) ? -1 : 1;
+    break;
+  default:
+    break;
+  }
+  if (A->Kids.size() != B->Kids.size())
+    return A->Kids.size() < B->Kids.size() ? -1 : 1;
+  for (size_t I = 0; I < A->Kids.size(); ++I)
+    if (int C = compare(A->Kids[I], B->Kids[I]))
+      return C;
+  return 0;
+}
+
+std::string ATerm::str() const {
+  std::ostringstream OS;
+  switch (K) {
+  case AOp::IntConst:
+    OS << IntVal;
+    return OS.str();
+  case AOp::BoolConst:
+    return BoolVal ? "true" : "false";
+  case AOp::StrConst:
+    return "\"" + Str + "\"";
+  case AOp::UnitConst:
+    return "unit";
+  case AOp::Sym:
+    return Str;
+  default:
+    break;
+  }
+  const char *Head = nullptr;
+  switch (K) {
+  case AOp::Add:
+    Head = "+";
+    break;
+  case AOp::Mul:
+    Head = "*";
+    break;
+  case AOp::Div:
+    Head = "/";
+    break;
+  case AOp::Mod:
+    Head = "%";
+    break;
+  case AOp::Eq:
+    Head = "==";
+    break;
+  case AOp::Lt:
+    Head = "<";
+    break;
+  case AOp::Le:
+    Head = "<=";
+    break;
+  case AOp::Not:
+    Head = "!";
+    break;
+  case AOp::And:
+    Head = "&&";
+    break;
+  case AOp::Or:
+    Head = "||";
+    break;
+  case AOp::Ite:
+    Head = "ite";
+    break;
+  case AOp::Bi:
+    Head = builtinName(B);
+    break;
+  default:
+    Head = "?";
+    break;
+  }
+  OS << "(" << Head;
+  for (const ATerm *Kid : Kids)
+    OS << " " << Kid->str();
+  OS << ")";
+  return OS.str();
+}
+
+size_t TermFactory::KeyHash::operator()(const Key &K) const {
+  uint64_t H = 0x9E3779B97F4A7C15ULL;
+  auto Mix = [&H](uint64_t V) {
+    H ^= V + 0x9E3779B97F4A7C15ULL + (H << 6) + (H >> 2);
+  };
+  Mix(static_cast<uint64_t>(K.K));
+  Mix(static_cast<uint64_t>(K.B));
+  Mix(static_cast<uint64_t>(K.IntVal));
+  Mix(K.BoolVal ? 1 : 0);
+  Mix(std::hash<std::string>()(K.Str));
+  for (const ATerm *Kid : K.Kids)
+    Mix(Kid->Hash);
+  return static_cast<size_t>(H);
+}
+
+const ATerm *TermFactory::intern(Key K) {
+  auto It = Terms.find(K);
+  if (It != Terms.end())
+    return It->second.get();
+  auto T = std::make_unique<ATerm>();
+  T->K = K.K;
+  T->B = K.B;
+  T->IntVal = K.IntVal;
+  T->BoolVal = K.BoolVal;
+  T->Str = K.Str;
+  T->Kids = K.Kids;
+  T->Hash = KeyHash()(K);
+  T->Size = 1;
+  for (const ATerm *Kid : T->Kids)
+    T->Size += Kid->Size;
+  const ATerm *Out = T.get();
+  Terms.emplace(std::move(K), std::move(T));
+  return Out;
+}
+
+const ATerm *TermFactory::intConst(int64_t V) {
+  Key K{AOp::IntConst, BuiltinKind::PairMk, V, false, {}, {}};
+  return intern(std::move(K));
+}
+
+const ATerm *TermFactory::boolConst(bool V) {
+  Key K{AOp::BoolConst, BuiltinKind::PairMk, 0, V, {}, {}};
+  return intern(std::move(K));
+}
+
+const ATerm *TermFactory::strConst(const std::string &S) {
+  Key K{AOp::StrConst, BuiltinKind::PairMk, 0, false, S, {}};
+  return intern(std::move(K));
+}
+
+const ATerm *TermFactory::unitConst() {
+  Key K{AOp::UnitConst, BuiltinKind::PairMk, 0, false, {}, {}};
+  return intern(std::move(K));
+}
+
+const ATerm *TermFactory::sym(const std::string &Name) {
+  Key K{AOp::Sym, BuiltinKind::PairMk, 0, false, Name, {}};
+  return intern(std::move(K));
+}
+
+const ATerm *TermFactory::app(AOp K, std::vector<const ATerm *> Kids) {
+  Key Ky{K, BuiltinKind::PairMk, 0, false, {}, std::move(Kids)};
+  return intern(std::move(Ky));
+}
+
+const ATerm *TermFactory::bi(BuiltinKind B, std::vector<const ATerm *> Kids) {
+  Key Ky{AOp::Bi, B, 0, false, {}, std::move(Kids)};
+  return intern(std::move(Ky));
+}
+
+const ATerm *TermFactory::add2(const ATerm *A, const ATerm *B) {
+  return app(AOp::Add, {A, B});
+}
+
+const ATerm *TermFactory::mul2(const ATerm *A, const ATerm *B) {
+  return app(AOp::Mul, {A, B});
+}
+
+const ATerm *TermFactory::notT(const ATerm *A) { return app(AOp::Not, {A}); }
+
+const ATerm *TermFactory::eq(const ATerm *A, const ATerm *B) {
+  if (ATerm::compare(A, B) > 0)
+    std::swap(A, B);
+  return app(AOp::Eq, {A, B});
+}
+
+const ATerm *TermFactory::ite(const ATerm *C, const ATerm *T,
+                              const ATerm *E) {
+  return app(AOp::Ite, {C, T, E});
+}

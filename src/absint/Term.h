@@ -1,0 +1,139 @@
+//===-- absint/Term.h - Interned terms for the differencing tier -*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hash-consed symbolic terms for the differencing abstract interpreter
+/// (DESIGN §13). Terms are the normal-form currency of the tier: action and
+/// abstraction expressions are translated into `ATerm`s, rewritten into a
+/// canonical form, and compared by pointer. A few operators get dedicated
+/// n-ary AC nodes (`Add`, `Mul`, `And`, `Or`); everything else reuses the
+/// surface language's `BuiltinKind` under a generic application node, so the
+/// rewrite rules can key on the same enum the concrete evaluator dispatches
+/// on.
+///
+/// Ordering between terms is *structural* (never pointer- or
+/// creation-order-based): the canonical form of an AC node sorts its
+/// children with `ATerm::compare`, which makes normal forms reproducible
+/// across factories — the certificate checker re-normalizes in a fresh
+/// factory and must reach identical trees.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_ABSINT_TERM_H
+#define COMMCSL_ABSINT_TERM_H
+
+#include "lang/Expr.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace commcsl {
+namespace absint {
+
+/// Term operator. `Bi` covers every `BuiltinKind` not given a dedicated
+/// node; `Add`/`Mul`/`And`/`Or` are variadic and kept flattened + sorted.
+enum class AOp : uint8_t {
+  IntConst,
+  BoolConst,
+  StrConst,
+  UnitConst,
+  Sym, ///< free symbol (state, argument, or abstraction slot)
+  Add, ///< n-ary, wrap-around int64 ring (matches vops::add)
+  Mul, ///< n-ary; constant factor first when present
+  Div,
+  Mod,
+  Eq, ///< binary, children in canonical order
+  Lt,
+  Le,
+  Not,
+  And, ///< n-ary
+  Or,  ///< n-ary
+  Ite,
+  Bi, ///< generic builtin application (BuiltinKind payload)
+};
+
+class ATerm {
+public:
+  AOp K;
+  BuiltinKind B = BuiltinKind::PairMk; ///< valid when K == Bi
+  int64_t IntVal = 0;
+  bool BoolVal = false;
+  std::string Str; ///< Sym name / StrConst payload
+  std::vector<const ATerm *> Kids;
+  uint64_t Hash = 0;
+  uint32_t Size = 1; ///< node count, used by ordering and budgets
+
+  /// Total structural order: negative/zero/positive like strcmp. Comparing
+  /// interned terms from the same factory can shortcut on pointer equality,
+  /// but the order itself never depends on pointers.
+  static int compare(const ATerm *A, const ATerm *B);
+
+  bool isInt(int64_t V) const { return K == AOp::IntConst && IntVal == V; }
+  bool isBool(bool V) const { return K == AOp::BoolConst && BoolVal == V; }
+
+  /// Surface-ish rendering for diagnostics and tests.
+  std::string str() const;
+};
+
+/// Hash-consing factory. Terms live as long as the factory; equal terms are
+/// the same pointer. Construction does *not* normalize (see Normalize.h) —
+/// but the AC constructors do flatten/sort so that even raw translation
+/// output is canonical enough to hash-cons well.
+class TermFactory {
+public:
+  TermFactory() = default;
+  TermFactory(const TermFactory &) = delete;
+  TermFactory &operator=(const TermFactory &) = delete;
+
+  const ATerm *intConst(int64_t V);
+  const ATerm *boolConst(bool V);
+  const ATerm *strConst(const std::string &S);
+  const ATerm *unitConst();
+  const ATerm *sym(const std::string &Name);
+
+  /// Generic constructor; callers that want canonical AC layout should use
+  /// the helpers below (the normalizer relies on them).
+  const ATerm *app(AOp K, std::vector<const ATerm *> Kids);
+  const ATerm *bi(BuiltinKind B, std::vector<const ATerm *> Kids);
+
+  const ATerm *add2(const ATerm *A, const ATerm *B);
+  const ATerm *mul2(const ATerm *A, const ATerm *B);
+  const ATerm *notT(const ATerm *A);
+  const ATerm *eq(const ATerm *A, const ATerm *B);
+  const ATerm *ite(const ATerm *C, const ATerm *T, const ATerm *E);
+
+  /// Number of distinct terms interned so far.
+  size_t size() const { return Terms.size(); }
+
+private:
+  struct Key {
+    AOp K;
+    BuiltinKind B;
+    int64_t IntVal;
+    bool BoolVal;
+    std::string Str;
+    std::vector<const ATerm *> Kids;
+    bool operator==(const Key &O) const {
+      return K == O.K && B == O.B && IntVal == O.IntVal &&
+             BoolVal == O.BoolVal && Str == O.Str && Kids == O.Kids;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const;
+  };
+
+  const ATerm *intern(Key K);
+
+  std::unordered_map<Key, std::unique_ptr<ATerm>, KeyHash> Terms;
+};
+
+} // namespace absint
+} // namespace commcsl
+
+#endif // COMMCSL_ABSINT_TERM_H

@@ -1,0 +1,252 @@
+//===-- cert/AbsCheck.cpp - Unbounded-validity evidence checker ------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cert/AbsCheck.h"
+
+#include "absint/Differencing.h"
+#include "absint/TermIO.h"
+
+#include <map>
+#include <set>
+
+using namespace commcsl;
+using namespace commcsl::cert;
+using namespace commcsl::absint;
+
+namespace {
+
+/// Rebuilds a split tree from its flattened pre-order guard list. An empty
+/// guard string is a leaf; anything else parses as the split guard followed
+/// by the then- and else-subtrees. Depth is capped well above anything the
+/// analysis emits so a hostile certificate cannot drive the recursion (here
+/// or in replay) off the stack.
+std::unique_ptr<SplitNode> rebuildTree(TermFactory &F,
+                                       const std::vector<std::string> &Guards,
+                                       size_t &I, unsigned Depth) {
+  if (I >= Guards.size() || Depth > 64)
+    return nullptr;
+  const std::string &G = Guards[I++];
+  auto N = std::make_unique<SplitNode>();
+  if (G.empty()) {
+    N->Ok = true; // replay ignores leaf flags; only structure matters
+    return N;
+  }
+  N->Guard = parseTerm(F, G);
+  if (!N->Guard)
+    return nullptr;
+  N->Then = rebuildTree(F, Guards, I, Depth + 1);
+  if (!N->Then)
+    return nullptr;
+  N->Else = rebuildTree(F, Guards, I, Depth + 1);
+  if (!N->Else)
+    return nullptr;
+  return N;
+}
+
+std::string pairKey(const std::string &A, const std::string &B) {
+  return A <= B ? A + "\x1f" + B : B + "\x1f" + A;
+}
+
+const ActionDecl *findAction(const ResourceSpecDecl &Decl,
+                             const std::string &Name) {
+  for (const ActionDecl &A : Decl.Actions)
+    if (A.Name == Name)
+      return &A;
+  return nullptr;
+}
+
+} // namespace
+
+bool commcsl::cert::checkAbsintSection(const CertAbsSection &S,
+                                       const ResourceSpecDecl &Decl,
+                                       const Program &Prog,
+                                       std::string &Error) {
+  auto fail = [&](const std::string &Msg) {
+    Error = "absint: " + Msg;
+    return false;
+  };
+
+  TermFactory F;
+  const NormLimits Limits;
+
+  // Re-derive the abstraction's component decomposition. A certificate
+  // recording differencing evidence for an untranslatable alpha is lying
+  // about applicability.
+  const ATerm *St = F.sym(stateSymName());
+  const ATerm *NAlpha = nullptr;
+  {
+    const std::map<std::string, const ATerm *> Env{{Decl.AlphaParam, St}};
+    const ATerm *AlphaS =
+        Decl.Alpha ? translateExpr(F, *Decl.Alpha, Env, &Prog) : nullptr;
+    if (!AlphaS)
+      return fail("abstraction is not translatable");
+    FactCtx Empty(F);
+    Normalizer N(F, Empty, Limits);
+    NAlpha = N.normalize(AlphaS);
+    if (!NAlpha)
+      return fail("abstraction does not normalize");
+  }
+  std::vector<const ATerm *> Comps = pairComps(NAlpha);
+  if (Comps.size() != S.NumComps)
+    return fail("component count mismatch: recorded " +
+                std::to_string(S.NumComps) + ", derived " +
+                std::to_string(Comps.size()));
+
+  // Slot map, exactly as the analysis builds it: state-dependent components
+  // in index order, duplicates sharing the earliest slot.
+  std::map<const ATerm *, const ATerm *> SlotMap;
+  for (unsigned I = 0; I < Comps.size(); ++I)
+    if (mentionsSym(Comps[I], stateSymName()))
+      SlotMap.emplace(Comps[I], F.sym(slotSymName(I)));
+
+  // Re-derive every action's update template from the AST. Recorded
+  // templates must match the derivation structurally — this is where a
+  // corrupted template (the seeded-unsound fault) is caught.
+  const ATerm *Arg = F.sym(argSymName());
+  std::map<std::string, const ATerm *> DerivedU;
+  for (const ActionDecl &Act : Decl.Actions) {
+    if (!Act.Apply)
+      continue;
+    const std::map<std::string, const ATerm *> Env{{Act.StateName, St},
+                                                   {Act.ArgName, Arg}};
+    const ATerm *FA = translateExpr(F, *Act.Apply, Env, &Prog);
+    if (!FA)
+      continue;
+    const std::map<std::string, const ATerm *> AEnv{{Decl.AlphaParam, FA}};
+    const ATerm *AFA = translateExpr(F, *Decl.Alpha, AEnv, &Prog);
+    if (!AFA)
+      continue;
+    FactCtx Empty(F);
+    Normalizer N(F, Empty, Limits);
+    const ATerm *NA = N.normalize(AFA);
+    if (!NA)
+      continue;
+    const ATerm *U = substTerm(F, NA, SlotMap);
+    if (!mentionsSym(U, stateSymName()))
+      DerivedU[Act.Name] = U;
+  }
+
+  std::set<std::string> TemplatedActions;
+  for (const auto &[Name, UText] : S.Templates) {
+    if (!findAction(Decl, Name))
+      return fail("template for unknown action '" + Name + "'");
+    if (!TemplatedActions.insert(Name).second)
+      return fail("duplicate template for action '" + Name + "'");
+    auto It = DerivedU.find(Name);
+    if (It == DerivedU.end())
+      return fail("action '" + Name + "' does not factorize through alpha");
+    const ATerm *Recorded = parseTerm(F, UText);
+    if (!Recorded)
+      return fail("unparsable template for action '" + Name + "'");
+    // Hash-consing makes structural equality pointer equality.
+    if (Recorded != It->second)
+      return fail("template for action '" + Name +
+                  "' does not match derivation");
+  }
+
+  // Replay every recorded obligation: rebuild its sides from the AST and
+  // walk the recorded tree. No search — a branch that does not close as
+  // recorded is a rejection, never a retry.
+  std::set<std::string> ProvedPre;
+  std::set<std::string> ProvedComm;
+  for (const CertAbsOb &Ob : S.Obligations) {
+    size_t Cursor = 0;
+    std::unique_ptr<SplitNode> Tree = rebuildTree(F, Ob.Tree, Cursor, 0);
+    if (!Tree || Cursor != Ob.Tree.size())
+      return fail("malformed split tree for obligation on '" + Ob.ActionA +
+                  "'");
+    if (Ob.IsPre) {
+      if (!Ob.ActionB.empty())
+        return fail("low-preservation obligation with two actions");
+      const ActionDecl *Act = findAction(Decl, Ob.ActionA);
+      if (!Act)
+        return fail("low-preservation obligation for unknown action '" +
+                    Ob.ActionA + "'");
+      auto It = DerivedU.find(Ob.ActionA);
+      if (It == DerivedU.end())
+        return fail("low-preservation obligation for unfactorized action '" +
+                    Ob.ActionA + "'");
+      const ATerm *X = F.sym(argSymA());
+      const ATerm *X2 = F.sym(argSymA2());
+      FactCtx Ctx(F);
+      PreFacts PF = addRelationalPreFacts(Ctx, F, &Prog, *Act, X, X2);
+      if (!PF.Supported)
+        return fail("precondition of '" + Ob.ActionA +
+                    "' is outside the differencing fragment");
+      bool Ok = true;
+      if (!PF.Infeasible) {
+        const ATerm *L = substTerm(F, It->second, {{Arg, X}});
+        const ATerm *R = substTerm(F, It->second, {{Arg, X2}});
+        Ok = replaySplitTree(F, L, R, Ctx, Tree.get(), Limits);
+      }
+      if (!Ok)
+        return fail("low-preservation replay failed for action '" +
+                    Ob.ActionA + "'");
+      ProvedPre.insert(Ob.ActionA);
+    } else {
+      const ActionDecl *A = findAction(Decl, Ob.ActionA);
+      const ActionDecl *B = findAction(Decl, Ob.ActionB);
+      if (!A || !B)
+        return fail("commutation obligation for unknown pair (" + Ob.ActionA +
+                    ", " + Ob.ActionB + ")");
+      if (A == B && A->Unique)
+        return fail("commutation obligation for unique self-pair '" +
+                    Ob.ActionA + "'");
+      const ATerm *X = F.sym(argSymA());
+      const ATerm *Y = F.sym(argSymB());
+      const ATerm *L = nullptr, *R = nullptr;
+      if (!buildCommObligation(F, Decl, &Prog, *A, *B, X, Y, L, R))
+        return fail("commutation obligation for pair (" + Ob.ActionA + ", " +
+                    Ob.ActionB + ") is not translatable");
+      FactCtx Ctx(F);
+      PreFacts PFA = addUnaryPreFacts(Ctx, F, &Prog, *A, X);
+      PreFacts PFB = addUnaryPreFacts(Ctx, F, &Prog, *B, Y);
+      if (!PFA.Supported || !PFB.Supported)
+        return fail("preconditions of pair (" + Ob.ActionA + ", " +
+                    Ob.ActionB + ") are outside the differencing fragment");
+      bool Ok = true;
+      if (!PFA.Infeasible && !PFB.Infeasible)
+        Ok = replaySplitTree(F, L, R, Ctx, Tree.get(), Limits);
+      if (!Ok)
+        return fail("commutation replay failed for pair (" + Ob.ActionA +
+                    ", " + Ob.ActionB + ")");
+      ProvedComm.insert(pairKey(Ob.ActionA, Ob.ActionB));
+    }
+  }
+
+  // The unbounded claim must be covered: a replayed A' proof and a recorded
+  // (matching) template per action, a replayed B1 proof per relevant pair,
+  // and nothing the symbolic tiers cannot speak to (history/invariant
+  // clauses are only ever simulation-checked).
+  if (S.Unbounded) {
+    if (Decl.Inv)
+      return fail("unbounded claim on a spec with an invariant clause");
+    for (const ActionDecl &Act : Decl.Actions) {
+      if (Act.History)
+        return fail("unbounded claim on a spec with a history clause");
+      if (!TemplatedActions.count(Act.Name))
+        return fail("unbounded claim without a template for action '" +
+                    Act.Name + "'");
+      if (!ProvedPre.count(Act.Name))
+        return fail("unbounded claim without a low-preservation proof for "
+                    "action '" +
+                    Act.Name + "'");
+    }
+    for (size_t I = 0; I < Decl.Actions.size(); ++I)
+      for (size_t J = I; J < Decl.Actions.size(); ++J) {
+        const ActionDecl &A = Decl.Actions[I];
+        const ActionDecl &B = Decl.Actions[J];
+        if (I == J && A.Unique)
+          continue;
+        if (!ProvedComm.count(pairKey(A.Name, B.Name)))
+          return fail("unbounded claim without a commutation proof for pair "
+                      "(" +
+                      A.Name + ", " + B.Name + ")");
+      }
+  }
+
+  return true;
+}

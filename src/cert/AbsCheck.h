@@ -1,0 +1,53 @@
+//===-- cert/AbsCheck.h - Unbounded-validity evidence checker ---*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Independent re-checking of a certificate's differencing-tier evidence
+/// (DESIGN §13). The checker never re-runs the analysis' split *search* —
+/// it re-derives the inputs and replays the recorded proofs:
+///
+///  1. **Templates re-derive.** alpha is translated and normalized in a
+///     fresh term factory; each recorded update template `U_a` must equal
+///     (structurally) the residue of normalizing `alpha(f_a(s, arg))` and
+///     substituting the state-dependent alpha components by their slots. A
+///     certificate recording a template the program does not induce — the
+///     seeded-unsound fault, or any tampering — fails here.
+///  2. **Trees replay.** Every recorded obligation is rebuilt from the AST
+///     (A' from the re-derived template and the relational precondition,
+///     B1 from the two action bodies and the unary preconditions) and its
+///     split tree is replayed guard by guard: each feasible branch must
+///     close by normal-form equality or a contradictory fact store.
+///  3. **The unbounded claim is inductive.** `unbounded` additionally
+///     requires a replayed A' proof for every action and a replayed B1
+///     proof for every relevant pair, with no history/invariant clauses
+///     (those are only simulation-checked, never proved symbolically).
+///
+/// Trusted base: the shared equational core (absint's normalizer and fact
+/// domains) — shared deliberately, so the checker and analyzer cannot
+/// drift — plus expression translation. Everything the *analysis* chose
+/// (factorizations, splits, budgets) is re-validated, not trusted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_CERT_ABSCHECK_H
+#define COMMCSL_CERT_ABSCHECK_H
+
+#include "cert/Cert.h"
+#include "lang/Program.h"
+
+namespace commcsl {
+namespace cert {
+
+/// Re-checks one spec unit's differencing-tier section against the program
+/// AST. On failure returns false and sets \p Error to the first failing
+/// step (prefixed with the obligation it belongs to).
+bool checkAbsintSection(const CertAbsSection &S, const ResourceSpecDecl &Decl,
+                        const Program &Prog, std::string &Error);
+
+} // namespace cert
+} // namespace commcsl
+
+#endif // COMMCSL_CERT_ABSCHECK_H

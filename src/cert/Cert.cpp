@@ -313,6 +313,23 @@ void printSpecInto(const CertSpecUnit &S, std::string &Out) {
   Out += ")\n";
   Out += "  (checks " + std::to_string(S.BoundedChecks) + ' ' +
          std::to_string(S.RandomChecks) + ")\n";
+  if (S.Absint) {
+    const CertAbsSection &A = *S.Absint;
+    Out += std::string("  (absint ") + (A.Unbounded ? "unbounded" : "partial") +
+           " (comps " + std::to_string(A.NumComps) + ")\n";
+    for (const auto &[Action, U] : A.Templates)
+      Out += "   (u " + quoted(Action) + ' ' + quoted(U) + ")\n";
+    for (const CertAbsOb &Ob : A.Obligations) {
+      Out += Ob.IsPre ? "   (pre " + quoted(Ob.ActionA)
+                      : "   (comm " + quoted(Ob.ActionA) + ' ' +
+                            quoted(Ob.ActionB);
+      Out += " (tree";
+      for (const std::string &G : Ob.Tree)
+        Out += ' ' + quoted(G);
+      Out += "))\n";
+    }
+    Out += "  )\n";
+  }
   if (S.CE) {
     Out += std::string("  (ce ") + ceName(S.CE->P) + ' ' +
            quoted(S.CE->ActionA) + ' ' + quoted(S.CE->ActionB);
@@ -824,6 +841,59 @@ struct Parser {
         !parseU64(Ck.Kids[1], S.BoundedChecks) ||
         !parseU64(Ck.Kids[2], S.RandomChecks))
       return fail("bad spec checks");
+    if (I < E.Kids.size() && E.Kids[I].isForm("absint")) {
+      const SExpr &Ab = E.Kids[I++];
+      CertAbsSection A;
+      if (Ab.Kids.size() < 3)
+        return fail("bad spec absint");
+      if (Ab.Kids[1].isAtom("unbounded"))
+        A.Unbounded = true;
+      else if (!Ab.Kids[1].isAtom("partial"))
+        return fail("bad absint mode");
+      uint64_t NComps;
+      if (!Ab.Kids[2].isForm("comps") || Ab.Kids[2].Kids.size() != 2 ||
+          !parseU64(Ab.Kids[2].Kids[1], NComps))
+        return fail("bad absint comps");
+      A.NumComps = static_cast<uint32_t>(NComps);
+      for (size_t J = 3; J < Ab.Kids.size(); ++J) {
+        const SExpr &K = Ab.Kids[J];
+        if (K.isForm("u")) {
+          std::string Action, U;
+          if (K.Kids.size() != 3 || !parseStr(K.Kids[1], Action) ||
+              !parseStr(K.Kids[2], U))
+            return fail("bad absint template");
+          A.Templates.emplace_back(std::move(Action), std::move(U));
+          continue;
+        }
+        CertAbsOb Ob;
+        size_t TreeAt;
+        if (K.isForm("pre")) {
+          Ob.IsPre = true;
+          if (K.Kids.size() != 3 || !parseStr(K.Kids[1], Ob.ActionA))
+            return fail("bad absint pre obligation");
+          TreeAt = 2;
+        } else if (K.isForm("comm")) {
+          Ob.IsPre = false;
+          if (K.Kids.size() != 4 || !parseStr(K.Kids[1], Ob.ActionA) ||
+              !parseStr(K.Kids[2], Ob.ActionB))
+            return fail("bad absint comm obligation");
+          TreeAt = 3;
+        } else {
+          return fail("unknown absint field");
+        }
+        const SExpr &Tr = K.Kids[TreeAt];
+        if (!Tr.isForm("tree"))
+          return fail("bad absint tree");
+        for (size_t G = 1; G < Tr.Kids.size(); ++G) {
+          std::string Guard;
+          if (!parseStr(Tr.Kids[G], Guard))
+            return fail("bad absint guard");
+          Ob.Tree.push_back(std::move(Guard));
+        }
+        A.Obligations.push_back(std::move(Ob));
+      }
+      S.Absint = std::move(A);
+    }
     if (I < E.Kids.size()) {
       const SExpr &CE = E.Kids[I++];
       if (!CE.isForm("ce") || CE.Kids.size() != 10)
@@ -1129,6 +1199,21 @@ bool cert::structurallyEqual(const Certificate &A, const Certificate &B) {
         SA.FamilyOp != SB.FamilyOp || SA.BoundedChecks != SB.BoundedChecks ||
         SA.RandomChecks != SB.RandomChecks || !sameCE(SA.CE, SB.CE))
       return false;
+    if (SA.Absint.has_value() != SB.Absint.has_value())
+      return false;
+    if (SA.Absint) {
+      const CertAbsSection &AA = *SA.Absint, &AB = *SB.Absint;
+      if (AA.Unbounded != AB.Unbounded || AA.NumComps != AB.NumComps ||
+          AA.Templates != AB.Templates ||
+          AA.Obligations.size() != AB.Obligations.size())
+        return false;
+      for (size_t J = 0; J < AA.Obligations.size(); ++J) {
+        const CertAbsOb &OA = AA.Obligations[J], &OB = AB.Obligations[J];
+        if (OA.IsPre != OB.IsPre || OA.ActionA != OB.ActionA ||
+            OA.ActionB != OB.ActionB || OA.Tree != OB.Tree)
+          return false;
+      }
+    }
   }
   for (size_t I = 0; I < A.Procs.size(); ++I) {
     const CertProcUnit &PA = A.Procs[I], &PB = B.Procs[I];

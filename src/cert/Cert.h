@@ -21,9 +21,10 @@
 /// which is what makes golden certificates and the warm-vs-cold byte-identity
 /// contract of the serve daemon testable.
 ///
-/// This library deliberately depends only on `commcsl_lang` and
-/// `commcsl_value` (the AST and the pure value domain) — never on the solver
-/// or verifier it audits.
+/// This library deliberately depends only on `commcsl_lang`,
+/// `commcsl_value` (the AST and the pure value domain), and
+/// `commcsl_absint` (the shared equational core that split-tree replay
+/// needs, cert/AbsCheck.h) — never on the solver or verifier it audits.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -193,6 +194,34 @@ struct CertCE {
 /// (cert/Algebra.h). `None` means only enumeration evidence backs the spec.
 enum class Family : uint8_t { None, ConstantAbstraction, AcUpdate };
 
+/// One recorded differencing-tier obligation (DESIGN §13): the A'
+/// low-preservation proof of an action (`IsPre`, ActionB empty) or the B1
+/// commutation proof of an action pair. `Tree` is the recorded split tree,
+/// flattened pre-order — a node with a non-empty guard (a serialized absint
+/// term, absint/TermIO.h) is followed by its then- and else-subtrees; an
+/// empty string is a leaf. Only *proved* obligations are recorded; the
+/// checker re-derives both sides of each one from the program AST and
+/// replays the tree without searching.
+struct CertAbsOb {
+  bool IsPre = true;
+  std::string ActionA, ActionB;
+  std::vector<std::string> Tree;
+};
+
+/// Recorded unbounded-validity evidence: the normalized abstraction's
+/// component count, the per-action update templates the factorization
+/// produced, and the proved obligations. The templates are the claim the
+/// checker audits semantically — it re-derives each from alpha and the
+/// action body and compares structurally, so a certificate recording a
+/// corrupted template (or tree) is rejected even though the analysis
+/// verdict it shipped with was honest.
+struct CertAbsSection {
+  bool Unbounded = false; ///< whole spec proved for the unbounded domains
+  uint32_t NumComps = 0;  ///< pair-tree components of normalized alpha(s)
+  std::vector<std::pair<std::string, std::string>> Templates; ///< action, U
+  std::vector<CertAbsOb> Obligations;
+};
+
 /// Per-specification certificate unit. The universe counts and the sample
 /// digest are recomputable from the program AST alone (cert/Evidence.h);
 /// the bounded/random check counts are informational.
@@ -209,6 +238,9 @@ struct CertSpecUnit {
   Family Fam = Family::None;
   std::string FamilyOp; ///< AcUpdate: the shared operator's surface name
   uint64_t BoundedChecks = 0, RandomChecks = 0;
+  /// Differencing-tier evidence; absent when the tier was off or the
+  /// abstraction was not translatable.
+  std::optional<CertAbsSection> Absint;
   std::optional<CertCE> CE;
 };
 

@@ -6,6 +6,7 @@
 
 #include "cert/Check.h"
 
+#include "cert/AbsCheck.h"
 #include "cert/Algebra.h"
 #include "cert/Evidence.h"
 
@@ -606,6 +607,13 @@ bool checkSpecUnit(const CertSpecUnit &S, const ResourceSpecDecl &Decl,
     if (!ceViolates(Decl, &Prog, *S.CE))
       return F.fail(Where + "counterexample does not re-execute as a "
                             "violation");
+    if (S.Absint && S.Absint->Unbounded)
+      return F.fail(Where + "invalid unit claims unbounded validity");
+  }
+  if (S.Absint) {
+    std::string AbsError;
+    if (!checkAbsintSection(*S.Absint, Decl, Prog, AbsError))
+      return F.fail(Where + AbsError);
   }
   return true;
 }

@@ -169,29 +169,21 @@ AnalyzeResult commcsl::runAnalyze(const std::vector<std::string> &Inputs,
   CountVerdict("read_error", "read-error");
   M.gauge("analyze.wall_seconds").add(T0.seconds());
 
+  // Every shipped program carries a committed sidecar — clean files
+  // included. A missing sidecar is a check failure, not an implicit
+  // "clean" claim: the exhaustiveness contract is that adding a program
+  // without rerunning `analyze --write` cannot pass CI silently.
   if (Options.Write) {
     for (const AnalyzeFileResult &F : R.Files) {
-      std::string Sidecar = F.Path + ".analysis";
-      if (F.Verdict == "provably-low" &&
-          F.Block == "verdict: provably-low\n") {
-        std::error_code EC;
-        std::filesystem::remove(Sidecar, EC);
-        continue;
-      }
-      std::ofstream Out(Sidecar);
+      std::ofstream Out(F.Path + ".analysis");
       Out << F.Block;
     }
   }
   if (Options.Check) {
     for (AnalyzeFileResult &F : R.Files) {
       std::string Expected;
-      if (readFile(F.Path + ".analysis", Expected)) {
-        F.SidecarOk = F.Block == Expected;
-      } else {
-        // No sidecar: the file must be clean.
-        F.SidecarOk = F.Verdict == "provably-low" &&
-                      F.Block == "verdict: provably-low\n";
-      }
+      F.SidecarOk =
+          readFile(F.Path + ".analysis", Expected) && F.Block == Expected;
       R.Ok &= F.SidecarOk;
     }
   }

@@ -44,11 +44,13 @@ struct AnalyzeOptions {
   /// Worker threads over input files; 0 = hardware concurrency. Output is
   /// identical at every setting.
   unsigned Jobs = 0;
-  /// Compare each block against its `<file>.analysis` sidecar.
+  /// Compare each block against its `<file>.analysis` sidecar. Every
+  /// analyzed file must have one — clean files included — so a program
+  /// added without rerunning `--write` fails the check rather than being
+  /// silently assumed clean.
   bool Check = false;
-  /// Regenerate sidecars: write `<file>.analysis` for every file whose
-  /// block is not the bare `verdict: provably-low` line, and remove stale
-  /// sidecars of files that became clean. Mutually exclusive with Check.
+  /// Regenerate sidecars: write `<file>.analysis` for every analyzed file.
+  /// Mutually exclusive with Check.
   bool Write = false;
 };
 

@@ -34,9 +34,13 @@ class RSpecRuntime {
 public:
   RSpecRuntime(const ResourceSpecDecl &Decl, const Program *Prog,
                std::shared_ptr<SpecEvalCache> Cache = nullptr)
-      : Decl(Decl), Eval(Prog), Cache(std::move(Cache)) {}
+      : Decl(Decl), Prog(Prog), Eval(Prog), Cache(std::move(Cache)) {}
 
   const ResourceSpecDecl &decl() const { return Decl; }
+
+  /// The enclosing program (for inlining user functions in static tiers);
+  /// may be null when the spec was built without one.
+  const Program *program() const { return Prog; }
 
   /// Attaches (or detaches, with null) a memoization cache.
   void attachCache(std::shared_ptr<SpecEvalCache> C) { Cache = std::move(C); }
@@ -90,6 +94,7 @@ private:
                       const ValueRef &Arg) const;
 
   const ResourceSpecDecl &Decl;
+  const Program *Prog;
   ExprEvaluator Eval;
   std::shared_ptr<SpecEvalCache> Cache;
 };

@@ -1,0 +1,209 @@
+//===-- rspec/Suggest.cpp - Abstraction/precondition synthesis -------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rspec/Suggest.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace commcsl;
+
+namespace {
+
+ExprRef bi(BuiltinKind K, std::vector<ExprRef> Args) {
+  return Expr::builtin(K, std::move(Args));
+}
+
+/// Candidate abstractions for a value of type \p T denoted by \p V,
+/// ordered most-revealing first. The constant abstraction is appended only
+/// at the top level (a constant component inside a pair adds nothing).
+std::vector<ExprRef> candidatesFor(const TypeRef &T, const ExprRef &V,
+                                   unsigned Depth) {
+  std::vector<ExprRef> Out;
+  Out.push_back(V); // identity: reveal the component exactly
+  if (!T || Depth > 2)
+    return Out;
+  switch (T->kind()) {
+  case TypeKind::Seq: {
+    // Order-forgetting views first — they are what make concurrent appends
+    // commute — then the pure size.
+    Out.push_back(bi(BuiltinKind::SeqToMs, {V->clone()}));
+    Out.push_back(bi(BuiltinKind::SeqToSet, {V->clone()}));
+    if (T->first() && T->first()->isInt()) {
+      Out.push_back(bi(BuiltinKind::SeqSum, {V->clone()}));
+      Out.push_back(bi(BuiltinKind::PairMk,
+                       {bi(BuiltinKind::SeqSum, {V->clone()}),
+                        bi(BuiltinKind::SeqLen, {V->clone()})}));
+    }
+    Out.push_back(bi(BuiltinKind::SeqLen, {V->clone()}));
+    break;
+  }
+  case TypeKind::Set:
+    Out.push_back(bi(BuiltinKind::SetSize, {V->clone()}));
+    break;
+  case TypeKind::Multiset:
+    Out.push_back(bi(BuiltinKind::MsCard, {V->clone()}));
+    break;
+  case TypeKind::Map:
+    Out.push_back(bi(BuiltinKind::MapDom, {V->clone()}));
+    Out.push_back(bi(BuiltinKind::MapSize, {V->clone()}));
+    break;
+  case TypeKind::Pair: {
+    // Componentwise products, row-major so earlier (more revealing) left
+    // components rank first; then the bare projections.
+    std::vector<ExprRef> Fst = candidatesFor(
+        T->first(), bi(BuiltinKind::Fst, {V->clone()}), Depth + 1);
+    std::vector<ExprRef> Snd = candidatesFor(
+        T->second(), bi(BuiltinKind::Snd, {V->clone()}), Depth + 1);
+    for (const ExprRef &A : Fst)
+      for (const ExprRef &B : Snd) {
+        if (A->Kind == ExprKind::Builtin && A->Builtin == BuiltinKind::Fst &&
+            B->Kind == ExprKind::Builtin && B->Builtin == BuiltinKind::Snd)
+          continue; // pair(fst(v), snd(v)) is the identity already emitted
+        Out.push_back(bi(BuiltinKind::PairMk, {A->clone(), B->clone()}));
+      }
+    Out.push_back(bi(BuiltinKind::Fst, {V->clone()}));
+    Out.push_back(bi(BuiltinKind::Snd, {V->clone()}));
+    break;
+  }
+  default:
+    break;
+  }
+  if (Depth == 0)
+    Out.push_back(Expr::intLit(0)); // reveal nothing
+  return Out;
+}
+
+/// True when the action's precondition already demands an unconditionally
+/// low argument.
+bool hasLowArgPre(const ActionDecl &A) {
+  for (const ContractAtom &At : A.Pre)
+    if (At.AtomKind == ContractAtom::Kind::Low && !At.Cond && At.E &&
+        At.E->Kind == ExprKind::Var && At.E->Name == A.ArgName)
+      return true;
+  return false;
+}
+
+} // namespace
+
+SuggestResult commcsl::suggestSpec(const ResourceSpecDecl &Spec,
+                                   const Program &Prog,
+                                   const SuggestOptions &Opts) {
+  SuggestResult Res;
+  Res.SpecName = Spec.Name;
+
+  std::vector<std::string> Missing; // actions lacking low(arg)
+  for (const ActionDecl &A : Spec.Actions)
+    if (!hasLowArgPre(A))
+      Missing.push_back(A.Name);
+
+  // Candidate list: the spec exactly as declared first, then every
+  // template alpha, each with the declared preconditions and (when some
+  // action lacks it) with `low(arg)` added across the board.
+  struct Candidate {
+    ExprRef Alpha;
+    bool AddLow = false;
+    bool Declared = false;
+  };
+  std::vector<Candidate> Cands;
+  std::set<std::pair<std::string, bool>> Seen;
+  auto push = [&](ExprRef Alpha, bool AddLow, bool Declared) {
+    if (!Alpha)
+      return;
+    if (!Seen.insert({Alpha->str(), AddLow}).second)
+      return;
+    Cands.push_back({std::move(Alpha), AddLow, Declared});
+  };
+  push(Spec.Alpha, false, true);
+  if (!Missing.empty())
+    push(Spec.Alpha ? Spec.Alpha->clone() : nullptr, true, false);
+  ExprRef V = Expr::var(Spec.AlphaParam);
+  for (const ExprRef &Alpha : candidatesFor(Spec.StateTy, V, 0)) {
+    push(Alpha->clone(), false, false);
+    if (!Missing.empty())
+      push(Alpha->clone(), true, false);
+  }
+  if (Cands.size() > Opts.MaxCandidates) {
+    Cands.resize(Opts.MaxCandidates);
+    Res.Truncated = true;
+  }
+
+  unsigned Index = 0;
+  for (const Candidate &C : Cands) {
+    ResourceSpecDecl Mod = Spec; // shallow copy shares immutable exprs
+    Mod.Alpha = C.Alpha;
+    if (C.AddLow)
+      for (ActionDecl &A : Mod.Actions)
+        if (!hasLowArgPre(A))
+          A.Pre.push_back(ContractAtom::low(Expr::var(A.ArgName)));
+
+    RSpecRuntime Rt(Mod, &Prog);
+    ValidityChecker Checker(Rt, Opts.Validity);
+    ValidityResult R = Checker.check();
+
+    SpecSuggestion S;
+    S.AlphaText = C.Alpha->str();
+    if (C.AddLow)
+      S.LowPreAdded = Missing;
+    S.Declared = C.Declared;
+    S.Valid = R.Valid;
+    S.Unbounded = R.Unbounded;
+    S.BoundedChecks = R.BoundedChecks;
+    S.RandomChecks = R.RandomChecks;
+    S.Index = Index++;
+    Res.Ranked.push_back(std::move(S));
+  }
+  Res.CandidatesTried = Cands.size();
+
+  std::stable_sort(Res.Ranked.begin(), Res.Ranked.end(),
+                   [](const SpecSuggestion &A, const SpecSuggestion &B) {
+                     if (A.Unbounded != B.Unbounded)
+                       return A.Unbounded;
+                     if (A.Valid != B.Valid)
+                       return A.Valid;
+                     if (A.LowPreAdded.empty() != B.LowPreAdded.empty())
+                       return A.LowPreAdded.empty();
+                     return A.Index < B.Index;
+                   });
+  return Res;
+}
+
+std::string commcsl::renderSuggestReport(
+    const Program &Prog, const std::vector<SuggestResult> &Results,
+    const std::string &Name) {
+  std::string Out;
+  for (const SuggestResult &R : Results) {
+    std::string Param = "v";
+    for (const ResourceSpecDecl &S : Prog.Specs)
+      if (S.Name == R.SpecName)
+        Param = S.AlphaParam;
+    Out += Name + ": spec '" + R.SpecName + "': tried " +
+           std::to_string(R.CandidatesTried) + " candidates";
+    if (R.Truncated)
+      Out += " (truncated)";
+    Out += "\n";
+    unsigned N = 0;
+    for (const SpecSuggestion &S : R.Ranked) {
+      Out += "  " + std::to_string(++N) + ". alpha(" + Param + ") = ";
+      Out += S.AlphaText;
+      if (!S.LowPreAdded.empty()) {
+        Out += ", +low(arg) on ";
+        for (size_t I = 0; I < S.LowPreAdded.size(); ++I) {
+          if (I)
+            Out += ", ";
+          Out += S.LowPreAdded[I];
+        }
+      }
+      if (S.Declared)
+        Out += " [declared]";
+      Out += S.Unbounded ? " -- valid (unbounded)"
+                         : (S.Valid ? " -- valid (bounded evidence)"
+                                    : " -- invalid");
+      Out += "\n";
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,76 @@
+//===-- rspec/Suggest.h - Abstraction/precondition synthesis ----*- C++ -*-===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Specification suggestion (`hyperviper suggest-spec`): enumerates
+/// candidate abstraction functions for a resource specification's state
+/// type — identity, order-forgetting collection views, sizes, component
+/// projections, the constant abstraction — optionally strengthening action
+/// preconditions with `low(arg)`, and runs the validity tiers on every
+/// candidate. The ranked result puts certified unbounded proofs first,
+/// then bounded-evidence validity, preferring candidates that reveal more
+/// (earlier templates) and demand less (no added preconditions).
+///
+/// Everything is deterministic: candidate order is fixed by the template
+/// table, verdicts come from the (deterministic) validity tiers, and ties
+/// rank by generation index — the report is byte-identical at any --jobs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMMCSL_RSPEC_SUGGEST_H
+#define COMMCSL_RSPEC_SUGGEST_H
+
+#include "rspec/Validity.h"
+
+#include <string>
+#include <vector>
+
+namespace commcsl {
+
+struct SuggestOptions {
+  /// Cap on candidates *tried* per spec (enumeration is cut off, not
+  /// sampled, so the prefix is always the same).
+  unsigned MaxCandidates = 24;
+  /// Validity configuration used for every candidate run.
+  ValidityConfig Validity;
+};
+
+/// One evaluated candidate specification.
+struct SpecSuggestion {
+  std::string AlphaText; ///< candidate alpha in surface syntax
+  /// Actions that gained a `requires low(<arg>)` atom (empty: declared
+  /// preconditions were used unchanged).
+  std::vector<std::string> LowPreAdded;
+  bool Declared = false; ///< candidate is the spec exactly as written
+  bool Valid = false;
+  bool Unbounded = false; ///< proved by the differencing tier, all domains
+  uint64_t BoundedChecks = 0;
+  uint64_t RandomChecks = 0;
+  unsigned Index = 0; ///< generation index (deterministic tie-break)
+};
+
+struct SuggestResult {
+  std::string SpecName;
+  uint64_t CandidatesTried = 0;
+  bool Truncated = false; ///< enumeration hit MaxCandidates
+  /// Best first: unbounded proofs, then valid, then the rest; ties in
+  /// generation order.
+  std::vector<SpecSuggestion> Ranked;
+};
+
+/// Enumerates and evaluates candidates for one spec. Deterministic.
+SuggestResult suggestSpec(const ResourceSpecDecl &Spec, const Program &Prog,
+                          const SuggestOptions &Opts = {});
+
+/// Renders results for every spec of \p Prog as the CLI report (one header
+/// line per spec, one line per candidate).
+std::string renderSuggestReport(const Program &Prog,
+                                const std::vector<SuggestResult> &Results,
+                                const std::string &Name);
+
+} // namespace commcsl
+
+#endif // COMMCSL_RSPEC_SUGGEST_H

@@ -35,6 +35,12 @@ void flushValidityMetrics(const char *Property, const ValidityResult &R) {
       .add(R.RandomChecks);
   M.counter(std::string("validity.") + Property + ".counterexamples")
       .add(R.Valid ? 0 : 1);
+  M.counter(std::string("validity.") + Property + ".absint_obligations")
+      .add(R.AbsintObligations);
+  M.counter(std::string("validity.") + Property + ".absint_proved")
+      .add(R.AbsintProved);
+  M.counter(std::string("validity.") + Property + ".unbounded")
+      .add(R.Unbounded ? 1 : 0);
   M.gauge(std::string("validity.") + Property + ".wall_seconds")
       .add(R.WallSeconds);
   M.gauge(std::string("validity.") + Property + ".cpu_seconds")
@@ -118,6 +124,35 @@ void ValidityChecker::buildStateUniverse() {
 std::vector<ValueRef> ValidityChecker::argsFor(const ActionDecl &A) const {
   DomainRef ArgDom = A.ArgTy->toDomain(Scope);
   return ArgDom->enumerate(Config.MaxArgs);
+}
+
+const absint::SpecAbsResult *
+ValidityChecker::absintResult(ValidityResult &R) {
+  if (!Config.RunAbsintTier)
+    return nullptr;
+  if (!AbsRan) {
+    AbsRan = true;
+    TraceSpan Span("validity", "absint tier");
+    auto Res = std::make_shared<absint::SpecAbsResult>(
+        absint::analyzeSpec(Runtime.decl(), Runtime.program(), Config.Absint));
+    Abs = Res;
+    MetricsRegistry &M = MetricsRegistry::global();
+    M.counter("validity.absint.specs").add(1);
+    M.counter("validity.absint.applicable").add(Res->Applicable ? 1 : 0);
+    M.counter("validity.absint.obligations").add(Res->Obligations);
+    M.counter("validity.absint.proved").add(Res->ProvedCount);
+    M.counter("validity.absint.rewrite_steps").add(Res->RewriteSteps);
+    M.counter("validity.absint.splits").add(Res->Splits);
+    M.counter("validity.absint.widenings").add(Res->Widenings);
+  }
+  if (Abs && !AbsCostFlushed) {
+    // Whole-spec analysis cost, attributed to whichever property ran first.
+    AbsCostFlushed = true;
+    R.AbsintSteps += Abs->RewriteSteps;
+    R.AbsintSplits += Abs->Splits;
+  }
+  R.Absint = Abs;
+  return Abs.get();
 }
 
 void ValidityChecker::failPre(const ActionDecl &A, const ValueRef &V1,
@@ -307,8 +342,19 @@ bool ValidityChecker::runBoundedTier(size_t NumArgPairs,
         size_t K = static_cast<size_t>(
             std::upper_bound(Offsets.begin(), Offsets.end(), Begin) -
             Offsets.begin() - 1);
+        // Budget checkpoints: steps are charged per instance (one relaxed
+        // add); the deadline is polled every 512 instances. An exhausted
+        // budget makes the worker abandon the rest of its chunk — the
+        // graceful partial drain the serve daemon's timeout contract
+        // promises.
+        CheckBudget *Budget = Config.Budget.get();
+        if (Budget && Budget->exhausted())
+          return;
         for (uint64_t Idx = Begin; Idx < End; ++Idx) {
           if (Idx >= BestIdx.load(std::memory_order_relaxed))
+            break;
+          if (Budget && (Budget->charge(1) ||
+                         (((Idx - Begin) & 511) == 0 && Budget->expired())))
             break;
           while (Offsets[K + 1] <= Idx)
             ++K;
@@ -342,6 +388,13 @@ bool ValidityChecker::runBoundedTier(size_t NumArgPairs,
     R.CE = BestCE;
     return true;
   }
+  if (Config.Budget && Config.Budget->fired()) {
+    // The sweep was cut short with no counterexample: inconclusive, not
+    // valid. BoundedChecks stays at whatever was completed before the cut.
+    R.TimedOut = true;
+    R.Valid = false;
+    return true;
+  }
   R.BoundedChecks += Total;
   return false;
 }
@@ -358,11 +411,33 @@ ValidityResult ValidityChecker::checkPreconditions() {
     R.Cache = Runtime.cacheStats() - Cache0;
     flushValidityMetrics("preconditions", R);
   };
-  buildStateUniverse();
   const ResourceSpecDecl &Decl = Runtime.decl();
+  const absint::SpecAbsResult *AbsR = absintResult(R);
 
   for (const ActionDecl &A : Decl.Actions) {
+    // A budget exhausted by an earlier action (or an earlier spec sharing
+    // the same request budget) stops the walk before any new tier starts.
+    if (Config.Budget && Config.Budget->exhausted()) {
+      R.TimedOut = true;
+      R.Valid = false;
+      Finish();
+      return R;
+    }
     TraceSpan ActionSpan("validity", [&] { return "pre " + A.Name; });
+    if (AbsR && AbsR->Applicable) {
+      const absint::ActionAbs *AA = AbsR->action(A.Name);
+      if (AA) {
+        ++R.AbsintObligations;
+        if (AA->Pre == absint::ObStatus::Proved) {
+          // Proved for every state and argument; nothing left for the
+          // concrete tiers. (Refuted is only a hint — it falls through so
+          // the report always carries a concrete counterexample.)
+          ++R.AbsintProved;
+          continue;
+        }
+      }
+    }
+    buildStateUniverse();
     std::vector<ValueRef> Args = argsFor(A);
     // Precompute argument pairs that satisfy the relational precondition.
     std::vector<std::pair<size_t, size_t>> PrePairs;
@@ -416,6 +491,14 @@ ValidityResult ValidityChecker::checkPreconditions() {
       DomainRef StateDom = Decl.StateTy->toDomain(Scope);
       DomainRef ArgDom = A.ArgTy->toDomain(Scope);
       for (unsigned Round = 0; Round < Config.RandomRounds; ++Round) {
+        if (Config.Budget &&
+            (Config.Budget->charge(1) ||
+             ((Round & 255) == 0 && Config.Budget->expired()))) {
+          R.TimedOut = true;
+          R.Valid = false;
+          Finish();
+          return R;
+        }
         ValueRef V1 = StateDom->sample(Rng);
         // Prefer pairs with equal abstraction: first try an independent
         // sample, fall back to the diagonal.
@@ -436,6 +519,8 @@ ValidityResult ValidityChecker::checkPreconditions() {
       }
     }
   }
+  R.Unbounded = R.Valid && AbsR && AbsR->Applicable &&
+                R.AbsintProved == Decl.Actions.size();
   Finish();
   return R;
 }
@@ -452,8 +537,8 @@ ValidityResult ValidityChecker::checkCommutativity() {
     R.Cache = Runtime.cacheStats() - Cache0;
     flushValidityMetrics("commutativity", R);
   };
-  buildStateUniverse();
   const ResourceSpecDecl &Decl = Runtime.decl();
+  const absint::SpecAbsResult *AbsR = absintResult(R);
 
   // Commutativity is only required for arguments satisfying the unary
   // projection of each action's precondition: at unshare time, Lemma 4.2
@@ -469,10 +554,27 @@ ValidityResult ValidityChecker::checkCommutativity() {
   };
 
   for (const auto &[IA, IB] : relevantActionPairs(Decl)) {
+    if (Config.Budget && Config.Budget->exhausted()) {
+      R.TimedOut = true;
+      R.Valid = false;
+      Finish();
+      return R;
+    }
     const ActionDecl &A = Decl.Actions[IA];
     const ActionDecl &B = Decl.Actions[IB];
     TraceSpan PairSpan("validity",
                        [&] { return "comm " + A.Name + " x " + B.Name; });
+    if (AbsR && AbsR->Applicable) {
+      const absint::PairAbs *PA = AbsR->pair(A.Name, B.Name);
+      if (PA) {
+        ++R.AbsintObligations;
+        if (PA->Comm == absint::ObStatus::Proved) {
+          ++R.AbsintProved;
+          continue; // commutes for all states/arguments of the types
+        }
+      }
+    }
+    buildStateUniverse();
     std::vector<ValueRef> ArgsA = FilterArgs(A);
     std::vector<ValueRef> ArgsB = FilterArgs(B);
 
@@ -523,6 +625,14 @@ ValidityResult ValidityChecker::checkCommutativity() {
       DomainRef DomA = A.ArgTy->toDomain(Scope);
       DomainRef DomB = B.ArgTy->toDomain(Scope);
       for (unsigned Round = 0; Round < Config.RandomRounds; ++Round) {
+        if (Config.Budget &&
+            (Config.Budget->charge(1) ||
+             ((Round & 255) == 0 && Config.Budget->expired()))) {
+          R.TimedOut = true;
+          R.Valid = false;
+          Finish();
+          return R;
+        }
         ValueRef V1 = StateDom->sample(Rng);
         ValueRef V2 = StateDom->sample(Rng);
         if (!Value::equal(Runtime.alphaOf(V1), Runtime.alphaOf(V2)))
@@ -540,6 +650,8 @@ ValidityResult ValidityChecker::checkCommutativity() {
       }
     }
   }
+  R.Unbounded = R.Valid && AbsR && AbsR->Applicable &&
+                R.AbsintProved == relevantActionPairs(Decl).size();
   Finish();
   return R;
 }
@@ -570,6 +682,12 @@ ValidityResult ValidityChecker::checkHistoryCoherence() {
   const unsigned StepsPerRound = 12;
 
   for (unsigned Round = 0; Round < Rounds; ++Round) {
+    if (Config.Budget && Config.Budget->exhausted()) {
+      R.TimedOut = true;
+      R.Valid = false;
+      Finish();
+      return R;
+    }
     ValueRef V = StateDom->sample(Rng);
     // History is a statement about *reachable* executions, so start states
     // are filtered by the spec's well-formedness invariant (unlike the
@@ -643,6 +761,10 @@ ValidityResult ValidityChecker::check() {
   ValidityResult C = checkCommutativity();
   C.BoundedChecks += R.BoundedChecks;
   C.RandomChecks += R.RandomChecks;
+  C.AbsintObligations += R.AbsintObligations;
+  C.AbsintProved += R.AbsintProved;
+  C.AbsintSteps += R.AbsintSteps;
+  C.AbsintSplits += R.AbsintSplits;
   C.WallSeconds += R.WallSeconds;
   C.CpuSeconds += R.CpuSeconds;
   C.Cache += R.Cache;
@@ -651,8 +773,21 @@ ValidityResult ValidityChecker::check() {
   ValidityResult H = checkHistoryCoherence();
   H.BoundedChecks += C.BoundedChecks;
   H.RandomChecks += C.RandomChecks;
+  H.AbsintObligations += C.AbsintObligations;
+  H.AbsintProved += C.AbsintProved;
+  H.AbsintSteps += C.AbsintSteps;
+  H.AbsintSplits += C.AbsintSplits;
   H.WallSeconds += C.WallSeconds;
   H.CpuSeconds += C.CpuSeconds;
   H.Cache += C.Cache;
+  H.Absint = C.Absint ? C.Absint : R.Absint;
+  // The spec as a whole holds on the unbounded domains only when both
+  // symbolic properties were fully discharged and nothing was left to the
+  // (finite, simulation-based) history/invariant tier.
+  const ResourceSpecDecl &Decl = Runtime.decl();
+  bool AnyHistory = Decl.Inv != nullptr;
+  for (const ActionDecl &A : Decl.Actions)
+    AnyHistory |= (A.History != nullptr);
+  H.Unbounded = H.Valid && R.Unbounded && C.Unbounded && !AnyHistory;
   return H;
 }

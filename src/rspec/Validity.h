@@ -17,9 +17,14 @@
 ///       alpha(f_b(f_a(v, arg), arg')) = alpha(f_a(f_b(v', arg'), arg)).
 ///
 /// The paper discharges these quantified properties with Z3 via Viper; this
-/// implementation replaces that with two checking tiers over the pure value
-/// domain: bounded-exhaustive enumeration within the spec's declared scope
-/// (complete for refutation in scope) and randomized sampling beyond it.
+/// implementation replaces that with three checking tiers over the pure
+/// value domain: the differencing abstract interpreter (src/absint, DESIGN
+/// §13), which proves obligations for *unbounded* state/argument domains;
+/// bounded-exhaustive enumeration within the spec's declared scope
+/// (complete for refutation in scope); and randomized sampling beyond it.
+/// Obligations the abstract tier proves are skipped by the concrete tiers;
+/// everything it leaves inconclusive (or merely hints is refutable) falls
+/// through to them, so reported counterexamples are always concrete.
 /// Invalid specifications are refuted with a concrete counterexample.
 ///
 //===----------------------------------------------------------------------===//
@@ -27,14 +32,82 @@
 #ifndef COMMCSL_RSPEC_VALIDITY_H
 #define COMMCSL_RSPEC_VALIDITY_H
 
+#include "absint/Differencing.h"
 #include "rspec/RSpec.h"
 #include "value/Domain.h"
 
+#include <atomic>
+#include <chrono>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 
 namespace commcsl {
+
+/// Cooperative wall-clock/step budget shared by every validity check one
+/// service request runs. The concrete tiers consult it at instance and
+/// chunk boundaries, so exhaustion drains gracefully: work already
+/// dispatched to pool workers finishes, no new work starts, and nothing is
+/// torn down. Memoized evaluation is pure, so entries a cut-short check
+/// already wrote into the warm spec caches stay correct — a timeout never
+/// requires (or performs) any cache invalidation.
+///
+/// Steps are concrete check instances (the same unit as BoundedChecks +
+/// RandomChecks). The step cap is an atomic counter; the deadline is
+/// polled only every few hundred instances because `now()` dwarfs a
+/// dense-table instance check.
+class CheckBudget {
+public:
+  /// Either bound may be 0 (unlimited). A budget with both 0 never fires.
+  CheckBudget(uint64_t BudgetMs, uint64_t MaxSteps)
+      : MaxSteps(MaxSteps), HasDeadline(BudgetMs != 0),
+        Deadline(std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(BudgetMs)) {}
+
+  /// Charges \p N check instances; true when the step cap is now exceeded.
+  bool charge(uint64_t N) {
+    if (Steps.fetch_add(N, std::memory_order_relaxed) + N > MaxSteps &&
+        MaxSteps != 0) {
+      Fired.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// True when the wall-clock deadline has passed.
+  bool expired() const {
+    if (!HasDeadline)
+      return false;
+    if (std::chrono::steady_clock::now() < Deadline)
+      return false;
+    Fired.store(true, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// True when either bound has been hit (does not advance the counter).
+  bool exhausted() const {
+    if (MaxSteps != 0 &&
+        Steps.load(std::memory_order_relaxed) >= MaxSteps) {
+      Fired.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return expired();
+  }
+
+  /// True once any bound has ever been observed exhausted — the caller's
+  /// "this request timed out" signal, sticky across checks.
+  bool fired() const { return Fired.load(std::memory_order_relaxed); }
+
+  uint64_t steps() const { return Steps.load(std::memory_order_relaxed); }
+
+private:
+  uint64_t MaxSteps;
+  bool HasDeadline;
+  std::chrono::steady_clock::time_point Deadline;
+  mutable std::atomic<uint64_t> Steps{0};
+  mutable std::atomic<bool> Fired{false};
+};
 
 /// Budgets for the validity checker's tiers.
 struct ValidityConfig {
@@ -49,6 +122,19 @@ struct ValidityConfig {
   uint64_t Seed = 0xC0FFEEULL;
   bool RunBoundedTier = true;
   bool RunRandomTier = true;
+  /// Run the differencing abstract interpreter first and skip the concrete
+  /// tiers for every obligation it proves over the unbounded domain. The
+  /// analysis is pure and deterministic, so the verdict and reported
+  /// counterexamples are identical with the tier on or off — only
+  /// BoundedChecks/RandomChecks (fewer obligations reach them) and the
+  /// Absint* counters change.
+  bool RunAbsintTier = true;
+  /// Budgets and fault-injection knobs for the abstract tier.
+  absint::AbsOptions Absint;
+  /// Optional cooperative request budget. When it fires, the concrete
+  /// tiers stop early and the result comes back TimedOut (Valid = false,
+  /// no counterexample) — inconclusive, not refuted. Null = unlimited.
+  std::shared_ptr<CheckBudget> Budget;
   /// Worker threads for the bounded tier's instance space. 0 = hardware
   /// concurrency; 1 = fully sequential (no pool involvement). The verdict,
   /// counterexample, and check counts are identical at every setting: the
@@ -84,6 +170,28 @@ struct ValidityResult {
   std::optional<ValidityCounterexample> CE;
   uint64_t BoundedChecks = 0;
   uint64_t RandomChecks = 0;
+  /// Abstract-tier obligations attempted / proved for the property (one A'
+  /// obligation per action, one B1 obligation per relevant pair).
+  uint64_t AbsintObligations = 0;
+  uint64_t AbsintProved = 0;
+  /// Rewrite steps and case splits the abstract analysis spent. The whole
+  /// spec is analyzed once (lazily); its cost is attributed to the first
+  /// property that ran.
+  uint64_t AbsintSteps = 0;
+  uint64_t AbsintSplits = 0;
+  /// True when the property (for `check()`: the whole spec) was proved for
+  /// the *unbounded* state/argument domains — every obligation discharged
+  /// by the abstract tier, with no history/invariant clauses left to the
+  /// simulation tier. A bounded-only pass never sets this.
+  bool Unbounded = false;
+  /// True when ValidityConfig::Budget fired and cut the check short. The
+  /// verdict is then inconclusive: Valid is false but CE is unset (a
+  /// timeout is not a refutation). Counters hold whatever the partial run
+  /// accumulated.
+  bool TimedOut = false;
+  /// The abstract analysis behind the Absint* counters, for certificate
+  /// emission; null when the tier was off or never ran.
+  std::shared_ptr<const absint::SpecAbsResult> Absint;
   /// Wall-clock duration of the check.
   double WallSeconds = 0;
   /// Aggregate time spent by all workers (>= WallSeconds when parallel);
@@ -125,6 +233,12 @@ private:
   /// Enumerates states and same-alpha state pairs.
   void buildStateUniverse();
   std::vector<ValueRef> argsFor(const ActionDecl &A) const;
+
+  /// Runs the abstract tier once per checker (lazily) and caches the
+  /// result; returns null when Config.RunAbsintTier is off or the runtime
+  /// has no program. Also folds the analysis-wide step/split counters into
+  /// \p R the first time it is called.
+  const absint::SpecAbsResult *absintResult(ValidityResult &R);
 
   bool checkPreInstance(const ActionDecl &A, const ValueRef &V1,
                         const ValueRef &V2, const ValueRef &Arg1,
@@ -193,6 +307,11 @@ private:
 
   std::vector<ValueRef> States;
   std::vector<std::pair<size_t, size_t>> SameAlphaPairs;
+
+  /// Lazily-run abstract analysis shared by both properties.
+  std::shared_ptr<const absint::SpecAbsResult> Abs;
+  bool AbsRan = false;
+  bool AbsCostFlushed = false;
 };
 
 /// Returns the relevant commuting pairs per Def. 3.1 (B): indices (I, J)

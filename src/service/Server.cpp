@@ -123,6 +123,8 @@ bool buildRequest(const JsonValue &J, ServiceRequest &Out,
   Out.Triage = J.getBool("triage");
   Out.NoValidity = J.getBool("no_validity");
   Out.EmitCert = J.getBool("emit_cert");
+  Out.BudgetMs = J.getU64("budget_ms", 0);
+  Out.MaxSteps = J.getU64("max_steps", 0);
 
   if (Out.V == ServiceRequest::Verb::Fuzz) {
     Out.Fuzz.NumSeeds = J.getU64("seeds", Out.Fuzz.NumSeeds);
@@ -361,7 +363,17 @@ void Server::workerLoop() {
     std::string Message;
     if (J && buildRequest(*J, Request, Message)) {
       ServiceResponse Resp = Sess.handle(Request);
-      Item.Conn->writeLine(responseLine(*J, Resp));
+      if (Resp.TimedOut)
+        // Typed timeout: the budget fired before a verdict. The partial
+        // work drained gracefully and the warm caches are untouched, so a
+        // retry with a larger budget starts from a warmer state.
+        Item.Conn->writeLine(errorLine(
+            &*J, "timeout",
+            "request exceeded its budget (budget_ms/max_steps) before "
+            "reaching a verdict; caches remain warm — retry with a larger "
+            "budget"));
+      else
+        Item.Conn->writeLine(responseLine(*J, Resp));
     }
     {
       std::lock_guard<std::mutex> Lock(QueueMu);

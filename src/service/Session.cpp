@@ -47,6 +47,30 @@ std::string formatNIBlock(const NIReport &Report, int &Exit) {
   return std::string(Buf) + Report.Violation->describe();
 }
 
+/// The request's cooperative budget, or null when unlimited. One budget
+/// object spans every spec the request checks, so the caps are per
+/// request, not per spec.
+std::shared_ptr<CheckBudget> makeBudget(const ServiceRequest &Request) {
+  if (Request.BudgetMs == 0 && Request.MaxSteps == 0)
+    return nullptr;
+  return std::make_shared<CheckBudget>(Request.BudgetMs, Request.MaxSteps);
+}
+
+/// Marks \p Resp timed out when \p Budget fired. Caches are deliberately
+/// left alone: every entry a cut-short check wrote is a pure, correct
+/// evaluation, so the warm-cache contract survives timeouts unchanged.
+void noteTimeout(const std::shared_ptr<CheckBudget> &Budget,
+                 ServiceResponse &Resp) {
+  if (!Budget || !Budget->fired())
+    return;
+  Resp.TimedOut = true;
+  Resp.Ok = false;
+  Resp.Exit = 1;
+  MetricsRegistry::global()
+      .counter("service.timeouts", Stability::Varies)
+      .add(1);
+}
+
 } // namespace
 
 Session::Session(SessionOptions Options) : Options(Options) {}
@@ -139,7 +163,10 @@ ServiceResponse Session::verify(const ServiceRequest &Request) {
   }
 
   CacheStats Before = P->SpecCaches->totals();
-  Driver D(driverOptions(Request, P));
+  std::shared_ptr<CheckBudget> Budget = makeBudget(Request);
+  DriverOptions DO = driverOptions(Request, P);
+  DO.Verifier.Validity.Budget = Budget;
+  Driver D(DO);
   ParsedUnit Unit = P->Unit; // relabel under the request's name
   Unit.Name = Request.Name;
   DriverResult R = D.verifyParsed(Unit);
@@ -162,6 +189,7 @@ ServiceResponse Session::verify(const ServiceRequest &Request) {
   }
 
   Resp.Cache = P->SpecCaches->totals() - Before;
+  noteTimeout(Budget, Resp);
   return Resp;
 }
 
@@ -184,14 +212,20 @@ ServiceResponse Session::validity(const ServiceRequest &Request) {
   }
 
   CacheStats Before = P->SpecCaches->totals();
+  std::shared_ptr<CheckBudget> Budget = makeBudget(Request);
   VerifierConfig VC;
   VC.Validity.Jobs = Request.Jobs != 0 ? Request.Jobs : Options.Jobs;
+  VC.Validity.Budget = Budget;
   VC.SpecCaches = P->SpecCaches;
   DiagnosticEngine Diags;
   Verifier V(*P->Unit.Prog, Diags, VC);
   std::string Lines;
   bool AllValid = true;
   for (const ResourceSpecDecl &Spec : P->Unit.Prog->Specs) {
+    // A fired budget stops the walk; specs not reached are simply not
+    // reported (the whole response becomes a typed timeout error anyway).
+    if (Budget && Budget->fired())
+      break;
     bool Ok = V.verifySpec(Spec);
     AllValid &= Ok;
     Lines += "spec " + Spec.Name + ": " + (Ok ? "valid" : "INVALID") + "\n";
@@ -202,6 +236,7 @@ ServiceResponse Session::validity(const ServiceRequest &Request) {
   Resp.Ok = AllValid;
   Resp.Exit = AllValid ? 0 : 1;
   Resp.Cache = P->SpecCaches->totals() - Before;
+  noteTimeout(Budget, Resp);
   return Resp;
 }
 

@@ -82,6 +82,16 @@ struct ServiceRequest {
   /// contract extends to certificates: a resubmitted source returns a
   /// byte-identical certificate, cold or warm, at any Jobs.
   bool EmitCert = false;
+  /// Wall-clock budget in milliseconds for the request's validity tiers
+  /// (verify and validity verbs). 0 = unlimited. When it fires the request
+  /// comes back with TimedOut set and the daemon answers with a typed
+  /// `timeout` error. Exhaustion drains gracefully — dispatched pool work
+  /// finishes, nothing is torn down — and the warm caches are untouched:
+  /// memoized evaluation is pure, so partial entries are correct and stay.
+  uint64_t BudgetMs = 0;
+  /// Cap on concrete check instances (bounded + random tiers) across the
+  /// request, same unit as BoundedChecks + RandomChecks. 0 = unlimited.
+  uint64_t MaxSteps = 0;
   CampaignConfig Fuzz;  ///< fuzz only
 };
 
@@ -101,6 +111,10 @@ struct ServiceResponse {
   CacheStats Cache;
   /// True when the request's program came from the warm program cache.
   bool ProgramCacheHit = false;
+  /// True when the request's budget (BudgetMs/MaxSteps) fired before a
+  /// verdict was reached. Ok is false and Report explains; the daemon
+  /// turns this into a typed `timeout` error line.
+  bool TimedOut = false;
 };
 
 /// Aggregate session counters for the stats endpoint.

@@ -30,6 +30,8 @@ const char *commcsl::diagCodeName(DiagCode Code) {
     return "spec-commutes";
   case DiagCode::SpecIllFormed:
     return "spec-ill-formed";
+  case DiagCode::SpecCheckTimeout:
+    return "spec-check-timeout";
   case DiagCode::VerifyLowInitialValue:
     return "verify-low-initial";
   case DiagCode::VerifyGuardMissing:

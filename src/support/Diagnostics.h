@@ -45,6 +45,7 @@ enum class DiagCode {
   SpecInvalidPrecondition, ///< Property (A): pre does not preserve low alpha.
   SpecInvalidCommutes,     ///< Property (B): an action pair fails to commute.
   SpecIllFormed,
+  SpecCheckTimeout, ///< validity check cut short by a request budget.
   // Program verification (CommCSL rules).
   VerifyLowInitialValue,  ///< alpha of initial shared value not provably low.
   VerifyGuardMissing,     ///< action performed without holding its guard.

@@ -6,6 +6,8 @@
 
 #include "verifier/CertEmit.h"
 
+#include "absint/Differencing.h"
+#include "absint/TermIO.h"
 #include "cert/Algebra.h"
 #include "cert/Check.h"
 #include "cert/Evidence.h"
@@ -57,6 +59,18 @@ private:
   cert::TermPool &Pool;
   std::unordered_map<TermRef, uint32_t> Memo;
 };
+
+/// Flattens a split tree pre-order: guard text for interior nodes, "" for
+/// leaves (including a missing subtree — replay treats both identically).
+void flattenTree(const absint::SplitNode *N, std::vector<std::string> &Out) {
+  if (!N || !N->Guard) {
+    Out.emplace_back();
+    return;
+  }
+  Out.push_back(absint::printTerm(N->Guard));
+  flattenTree(N->Then.get(), Out);
+  flattenTree(N->Else.get(), Out);
+}
 
 } // namespace
 
@@ -132,6 +146,37 @@ cert::CertSpecUnit commcsl::buildSpecCertUnit(const ResourceSpecDecl &Spec,
 
   U.BoundedChecks = R.BoundedChecks;
   U.RandomChecks = R.RandomChecks;
+
+  // Differencing-tier evidence: the update templates and every proved
+  // obligation's split tree, recorded verbatim for search-free replay.
+  if (R.Absint && R.Absint->Applicable) {
+    cert::CertAbsSection AS;
+    AS.Unbounded = R.Unbounded;
+    AS.NumComps = static_cast<uint32_t>(R.Absint->Comps.size());
+    for (const absint::ActionAbs &A : R.Absint->Actions) {
+      if (!A.U)
+        continue;
+      AS.Templates.emplace_back(A.Name, absint::printTerm(A.U));
+      if (A.Pre == absint::ObStatus::Proved) {
+        cert::CertAbsOb Ob;
+        Ob.IsPre = true;
+        Ob.ActionA = A.Name;
+        flattenTree(A.PreTree.get(), Ob.Tree);
+        AS.Obligations.push_back(std::move(Ob));
+      }
+    }
+    for (const absint::PairAbs &P : R.Absint->Pairs) {
+      if (P.Comm != absint::ObStatus::Proved)
+        continue;
+      cert::CertAbsOb Ob;
+      Ob.IsPre = false;
+      Ob.ActionA = P.First;
+      Ob.ActionB = P.Second;
+      flattenTree(P.Tree.get(), Ob.Tree);
+      AS.Obligations.push_back(std::move(Ob));
+    }
+    U.Absint = std::move(AS);
+  }
 
   if (!U.Valid && R.CE) {
     cert::CertCE CE;

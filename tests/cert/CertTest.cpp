@@ -51,10 +51,12 @@ const char *RejectedProgram =
 /// document and the type-checked program it certifies.
 std::optional<Certificate> emitCert(const char *Source, const char *Name,
                                     std::shared_ptr<Program> &ProgOut,
-                                    bool Forge = false) {
+                                    bool Forge = false,
+                                    bool InjectUnsound = false) {
   DriverOptions O;
   O.Verifier.EmitCert = true;
   O.Verifier.ForgeAcceptAll = Forge;
+  O.Verifier.Validity.Absint.InjectUnsound = InjectUnsound;
   DriverResult R = Driver(O).verifySource(Source, Name);
   ProgOut = R.Prog;
   if (R.Cert.empty())
@@ -129,6 +131,22 @@ Certificate sampleCert() {
   CE.ActionA = "Add";
   CE.ActionB = "Reset";
   S.CE = CE;
+  CertAbsSection AS;
+  AS.Unbounded = false;
+  AS.NumComps = 2;
+  AS.Templates = {{"Add", "(pair (+ %arg %g0) %g1)"}};
+  CertAbsOb Ob1;
+  Ob1.IsPre = true;
+  Ob1.ActionA = "Add";
+  Ob1.Tree = {"(= %x %x')", "", ""};
+  AS.Obligations.push_back(std::move(Ob1));
+  CertAbsOb Ob2;
+  Ob2.IsPre = false;
+  Ob2.ActionA = "Add";
+  Ob2.ActionB = "Reset";
+  Ob2.Tree = {""};
+  AS.Obligations.push_back(std::move(Ob2));
+  S.Absint = std::move(AS);
   C.Specs.push_back(std::move(S));
 
   CertProcUnit P;
@@ -175,6 +193,12 @@ TEST(CertPrintTest, StructuralEqualitySeesThroughPoolIdLayout) {
   EXPECT_FALSE(structurallyEqual(A, B));
   B = sampleCert();
   B.Procs[0].Obligations[0].Queries[0].Proved = false;
+  EXPECT_FALSE(structurallyEqual(A, B));
+  B = sampleCert();
+  B.Specs[0].Absint->Templates[0].second = "(+ %arg %g0)";
+  EXPECT_FALSE(structurallyEqual(A, B));
+  B = sampleCert();
+  B.Specs[0].Absint->Obligations[0].Tree[0] = "(= %x %y)";
   EXPECT_FALSE(structurallyEqual(A, B));
 }
 
@@ -338,6 +362,71 @@ TEST(CertCheckTest, ForgedAcceptAllCertificateIsRefuted) {
   CheckResult R = checkCertificate(*C, *Prog);
   EXPECT_FALSE(R.Ok) << "checker accepted a forged certificate";
   EXPECT_FALSE(R.Error.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Differencing-tier evidence
+//===----------------------------------------------------------------------===//
+
+TEST(CertCheckTest, UnboundedCertificateIsAcceptedWithNoConcreteChecks) {
+  // The flagship claim: the counter spec is proved for the *unbounded*
+  // domains, the certificate records the proof, and the checker re-derives
+  // and replays it — with the concrete tiers never having run.
+  std::shared_ptr<Program> Prog;
+  std::optional<Certificate> C = emitCert(VerifiedProgram, "ok.hv", Prog);
+  ASSERT_TRUE(C && Prog);
+  ASSERT_FALSE(C->Specs.empty());
+  ASSERT_TRUE(C->Specs[0].Absint.has_value());
+  EXPECT_TRUE(C->Specs[0].Absint->Unbounded);
+  EXPECT_EQ(C->Specs[0].BoundedChecks, 0u);
+  EXPECT_EQ(C->Specs[0].RandomChecks, 0u);
+  EXPECT_FALSE(C->Specs[0].Absint->Templates.empty());
+  CheckResult R = checkCertificate(*C, *Prog);
+  EXPECT_TRUE(R.Ok) << R.Error;
+}
+
+TEST(CertCheckTest, InjectedUnsoundTemplateIsRefuted) {
+  // The seeded-fault contract for the differencing tier: --inject
+  // absint-unsound corrupts the recorded update template after the proof
+  // ran, so the verifier's verdict is honest but the certificate's
+  // evidence is not — and re-derivation catches it.
+  std::shared_ptr<Program> Prog;
+  std::optional<Certificate> C = emitCert(VerifiedProgram, "unsound.hv", Prog,
+                                          /*Forge=*/false,
+                                          /*InjectUnsound=*/true);
+  ASSERT_TRUE(C && Prog);
+  ASSERT_FALSE(C->Specs.empty());
+  ASSERT_TRUE(C->Specs[0].Absint.has_value());
+  CheckResult R = checkCertificate(*C, *Prog);
+  EXPECT_FALSE(R.Ok) << "checker accepted a corrupted update template";
+  EXPECT_NE(R.Error.find("template"), std::string::npos) << R.Error;
+}
+
+TEST(CertCheckTest, TamperedAbsintEvidenceIsRejected) {
+  std::shared_ptr<Program> Prog;
+  std::optional<Certificate> C = emitCert(VerifiedProgram, "ok.hv", Prog);
+  ASSERT_TRUE(C && Prog);
+  ASSERT_TRUE(C->Specs[0].Absint.has_value());
+  ASSERT_FALSE(C->Specs[0].Absint->Obligations.empty());
+
+  Certificate T = *C;
+  T.Specs[0].Absint->NumComps += 1;
+  EXPECT_FALSE(checkCertificate(T, *Prog).Ok);
+
+  T = *C; // truncated split tree: structurally malformed, not replayable
+  T.Specs[0].Absint->Obligations[0].Tree.clear();
+  CheckResult R = checkCertificate(T, *Prog);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("tree"), std::string::npos) << R.Error;
+
+  T = *C; // drop a proof while keeping the unbounded claim
+  T.Specs[0].Absint->Obligations.clear();
+  EXPECT_FALSE(checkCertificate(T, *Prog).Ok);
+
+  T = *C; // rewrite a template to a constant (hand-rolled unsoundness)
+  ASSERT_FALSE(T.Specs[0].Absint->Templates.empty());
+  T.Specs[0].Absint->Templates[0].second = "42";
+  EXPECT_FALSE(checkCertificate(T, *Prog).Ok);
 }
 
 TEST(CertCheckTest, CertificateBoundToOtherProgramIsRejected) {

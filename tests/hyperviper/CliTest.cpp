@@ -180,3 +180,41 @@ TEST(CliObservabilityTest, CorruptCorpusSeedReportsParseFailure) {
   EXPECT_EQ(R.Exit, 1) << R.Output;
   EXPECT_NE(R.Output.find("REJECTED"), std::string::npos) << R.Output;
 }
+
+TEST(CliSuggestSpecTest, RanksDeclaredSpecAndFlagsInvalidCandidates) {
+  CmdResult R = run("suggest-spec " + example("debt_sum.hv"));
+  ASSERT_EQ(R.Exit, 0) << R.Output;
+  // The declared abstraction (reveal only the running sum) must rank first
+  // with an unbounded proof; the identity abstraction must surface as
+  // invalid (it would leak the individual debts).
+  EXPECT_NE(R.Output.find("1. alpha(v) = snd(v) [declared] -- valid "
+                          "(unbounded)"),
+            std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("alpha(v) = v -- invalid"), std::string::npos)
+      << R.Output;
+}
+
+TEST(CliSuggestSpecTest, OutputIsDeterministicAcrossRuns) {
+  CmdResult A = run("suggest-spec " + example("sick_employee_names.hv"));
+  CmdResult B = run("suggest-spec " + example("sick_employee_names.hv"));
+  ASSERT_EQ(A.Exit, 0) << A.Output;
+  EXPECT_EQ(A.Output, B.Output);
+}
+
+TEST(CliSuggestSpecTest, UsageErrors) {
+  EXPECT_EQ(run("suggest-spec").Exit, 2);
+  EXPECT_EQ(run("suggest-spec --max 0 " + example("figure1.hv")).Exit, 2);
+  EXPECT_EQ(run("suggest-spec --spec NoSuch " + example("figure1.hv")).Exit,
+            2);
+  EXPECT_EQ(run("suggest-spec " + example("public_stats.hv")).Exit, 2);
+  EXPECT_EQ(run("suggest-spec --help").Exit, 0);
+}
+
+TEST(CliSuggestSpecTest, MaxTruncatesDeterministically) {
+  CmdResult R = run("suggest-spec --max 3 " + example("debt_sum.hv"));
+  ASSERT_EQ(R.Exit, 0) << R.Output;
+  EXPECT_NE(R.Output.find("tried 3 candidates (truncated)"),
+            std::string::npos)
+      << R.Output;
+}

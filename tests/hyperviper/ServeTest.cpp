@@ -242,7 +242,10 @@ TEST(ServeTest, VerifyMatchesOneShotCliByteForByte) {
 }
 
 TEST(ServeTest, WarmCacheSecondPassIdenticalWithNonzeroHitRate) {
-  const std::string Path = example("figure1.hv");
+  // producer_consumer's actions carry `enabled` clauses, which the
+  // differencing tier leaves to the bounded tiers — so warm requests still
+  // have a spec-eval memo to hit (fully abstractly-proved specs skip it).
+  const std::string Path = example("producer_consumer.hv");
   const std::string Src = slurp(Path);
   ServerProc Server;
   Client C(Server.port());
@@ -484,4 +487,44 @@ TEST(ServeTest, SigintOneShotCliFlushesMetrics) {
   std::string M = slurp(Metrics);
   EXPECT_NE(M.find("\"counts\""), std::string::npos);
   std::remove(Metrics.c_str());
+}
+
+TEST(ServeTest, BudgetTimeoutIsTypedAndLeavesCachesWarm) {
+  // A one-step cap on a spec the differencing tier cannot fully prove
+  // (producer_consumer's enabled actions fall to the concrete tiers) must
+  // yield a typed `timeout` error — and the program cache must survive it,
+  // so an unbudgeted retry of the same source runs warm and verifies.
+  const std::string Path = example("producer_consumer.hv");
+  const std::string Src = slurp(Path);
+  ServerProc Server;
+  Client C(Server.port());
+
+  JsonValue O = JsonValue::object();
+  O.set("id", JsonValue::number(uint64_t(1)));
+  O.set("verb", JsonValue::string("verify"));
+  O.set("source", JsonValue::string(Src));
+  O.set("name", JsonValue::string(Path));
+  O.set("max_steps", JsonValue::number(uint64_t(1)));
+  JsonValue R = C.rpc(O.dump());
+  const JsonValue *E = R.find("error");
+  ASSERT_NE(E, nullptr) << "expected a timeout error";
+  EXPECT_EQ(E->getString("type"), "timeout");
+  EXPECT_NE(E->getString("message").find("budget"), std::string::npos);
+
+  JsonValue Retry = C.rpc(verifyLine(2, Src, Path));
+  EXPECT_TRUE(Retry.getBool("ok"));
+  EXPECT_TRUE(Retry.getBool("program_cache_hit"));
+
+  // A generous budget never fires.
+  JsonValue G = JsonValue::object();
+  G.set("id", JsonValue::number(uint64_t(3)));
+  G.set("verb", JsonValue::string("verify"));
+  G.set("source", JsonValue::string(Src));
+  G.set("name", JsonValue::string(Path));
+  G.set("budget_ms", JsonValue::number(uint64_t(600000)));
+  G.set("max_steps", JsonValue::number(uint64_t(1000000000)));
+  JsonValue Ok = C.rpc(G.dump());
+  EXPECT_EQ(Ok.find("error"), nullptr);
+  EXPECT_TRUE(Ok.getBool("ok"));
+  EXPECT_EQ(Ok.getString("report"), Retry.getString("report"));
 }

@@ -53,6 +53,33 @@ TEST(ValidityTest, CounterAddIsValid) {
     }
   )");
   EXPECT_TRUE(R.Valid) << R.CE->describe();
+  // The abstract tier discharges both obligations (A' for Add, B1 for
+  // (Add, Add)) over the unbounded int domain; nothing reaches the
+  // concrete tiers.
+  EXPECT_TRUE(R.Unbounded);
+  EXPECT_EQ(R.AbsintObligations, 2u);
+  EXPECT_EQ(R.AbsintProved, 2u);
+  EXPECT_EQ(R.BoundedChecks, 0u);
+  EXPECT_EQ(R.RandomChecks, 0u);
+}
+
+TEST(ValidityTest, CounterAddBoundedTiersStillPassWithAbsintOff) {
+  ValidityConfig Cfg;
+  Cfg.RunAbsintTier = false;
+  ValidityResult R = checkSpec(R"(
+    resource Counter {
+      state: int;
+      alpha(v) = v;
+      shared action Add(a: int) {
+        apply(v, a) = v + a;
+        requires low(a);
+      }
+    }
+  )",
+                               Cfg);
+  EXPECT_TRUE(R.Valid) << R.CE->describe();
+  EXPECT_FALSE(R.Unbounded);
+  EXPECT_EQ(R.AbsintObligations, 0u);
   EXPECT_GT(R.BoundedChecks, 0u);
 }
 
@@ -458,6 +485,7 @@ TEST(ValidityTest, BudgetIsConsumedBySymmetricInstances) {
   // that used to overshoot.
   ValidityConfig Cfg;
   Cfg.RunRandomTier = false;
+  Cfg.RunAbsintTier = false; // the regression lives in the bounded tier
   Cfg.MaxChecksPerProperty = 10;
   ValidityResult R = checkSpec(R"(
     resource BlindBudget {
@@ -605,6 +633,9 @@ TEST(ValidityTest, MemoizedValidSpecCountsMatchUncached) {
   ValidityConfig Cfg;
   Cfg.Jobs = 1;
   Cfg.Memoize = false;
+  // MapKS is proved unbounded by the abstract tier, which would leave the
+  // memo cache cold; this test is about the concrete tiers' caching.
+  Cfg.RunAbsintTier = false;
   ValidityResult Ref = checkSpec(Source, Cfg);
   ASSERT_TRUE(Ref.Valid) << Ref.CE->describe();
   for (unsigned Jobs : {1u, 8u}) {
@@ -618,4 +649,99 @@ TEST(ValidityTest, MemoizedValidSpecCountsMatchUncached) {
     // cache must actually be hitting for the speedup claim to hold.
     EXPECT_GT(Memo.Cache.hits(), Memo.Cache.misses()) << "Jobs=" << Jobs;
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Request budgets (CheckBudget)
+//===----------------------------------------------------------------------===//
+
+TEST(ValidityBudgetTest, StepCapTimesOutWithoutCounterexample) {
+  ValidityConfig Cfg;
+  Cfg.RunAbsintTier = false; // force the concrete tiers to do the work
+  Cfg.Budget = std::make_shared<CheckBudget>(0, 1);
+  ValidityResult R = checkSpec(R"(
+    resource Counter {
+      state: int;
+      alpha(v) = v;
+      shared action Add(a: int) {
+        apply(v, a) = v + a;
+        requires low(a);
+      }
+    }
+  )",
+                               Cfg);
+  EXPECT_TRUE(R.TimedOut);
+  EXPECT_FALSE(R.Valid);
+  EXPECT_FALSE(R.CE.has_value()); // a timeout is not a refutation
+  EXPECT_TRUE(Cfg.Budget->fired());
+}
+
+TEST(ValidityBudgetTest, ExpiredDeadlineTimesOut) {
+  ValidityConfig Cfg;
+  Cfg.RunAbsintTier = false;
+  Cfg.Budget = std::make_shared<CheckBudget>(1, 0);
+  // Let the 1ms deadline lapse before the check even starts; the first
+  // checkpoint must observe it.
+  while (!Cfg.Budget->expired()) {
+  }
+  ValidityResult R = checkSpec(R"(
+    resource Counter {
+      state: int;
+      alpha(v) = v;
+      shared action Add(a: int) {
+        apply(v, a) = v + a;
+        requires low(a);
+      }
+    }
+  )",
+                               Cfg);
+  EXPECT_TRUE(R.TimedOut);
+  EXPECT_FALSE(R.Valid);
+  EXPECT_FALSE(R.CE.has_value());
+}
+
+TEST(ValidityBudgetTest, GenerousBudgetChangesNothing) {
+  ValidityConfig Plain;
+  Plain.RunAbsintTier = false;
+  ValidityConfig Budgeted = Plain;
+  Budgeted.Budget = std::make_shared<CheckBudget>(600000, 1000000000);
+  const char *Source = R"(
+    resource Counter {
+      state: int;
+      alpha(v) = v;
+      shared action Add(a: int) {
+        apply(v, a) = v + a;
+        requires low(a);
+      }
+    }
+  )";
+  ValidityResult A = checkSpec(Source, Plain);
+  ValidityResult B = checkSpec(Source, Budgeted);
+  EXPECT_FALSE(B.TimedOut);
+  EXPECT_EQ(A.Valid, B.Valid);
+  EXPECT_EQ(A.BoundedChecks, B.BoundedChecks);
+  EXPECT_EQ(A.RandomChecks, B.RandomChecks);
+}
+
+TEST(ValidityBudgetTest, AbsintProofNeedsNoConcreteSteps) {
+  // When the differencing tier proves the spec outright, a one-step cap
+  // never fires: the abstract tier is not budgeted (it is cheap and pure),
+  // and no concrete instance runs.
+  ValidityConfig Cfg;
+  Cfg.Budget = std::make_shared<CheckBudget>(0, 1);
+  ValidityResult R = checkSpec(R"(
+    resource Counter {
+      state: int;
+      alpha(v) = v;
+      shared action Add(a: int) {
+        apply(v, a) = v + a;
+        requires low(a);
+      }
+    }
+  )",
+                               Cfg);
+  EXPECT_FALSE(R.TimedOut);
+  EXPECT_TRUE(R.Valid);
+  EXPECT_TRUE(R.Unbounded);
+  EXPECT_FALSE(Cfg.Budget->fired());
 }

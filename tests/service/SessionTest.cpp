@@ -44,6 +44,30 @@ const char *VerifiedProgram = R"(
   }
 )";
 
+/// Like VerifiedProgram, but the action carries an `enabled` clause: the
+/// differencing tier deliberately leaves enabled pairs to the bounded
+/// tiers (enabledness restricts which interleavings are reachable), so
+/// this spec still exercises the spec-eval memo that warm requests hit.
+const char *MemoProgram = R"(
+  resource Counter {
+    state: int;
+    alpha(v) = v;
+    shared action Add(a: int) {
+      apply(v, a) = v + a;
+      enabled(v) = true;
+      requires low(a);
+    }
+  }
+  procedure main(l: int) returns (out: int)
+    requires low(l)
+    ensures low(out)
+  {
+    share r: Counter := 0;
+    atomic r { perform r.Add(l); }
+    out := unshare r;
+  }
+)";
+
 const char *RejectedProgram =
     "procedure main(h: int) returns (out: int) ensures low(out) "
     "{ out := h; }";
@@ -80,12 +104,12 @@ TEST(SessionTest, VerifyReportMatchesOneShotDriverOutput) {
 
 TEST(SessionTest, WarmRequestsHitProgramAndSpecCaches) {
   Session S;
-  ServiceResponse Cold = S.handle(verifyRequest(VerifiedProgram, "a.hv"));
+  ServiceResponse Cold = S.handle(verifyRequest(MemoProgram, "a.hv"));
   EXPECT_FALSE(Cold.ProgramCacheHit);
   ASSERT_TRUE(Cold.Ok);
   EXPECT_GT(Cold.Cache.misses(), 0u); // the cold pass populated the memo
 
-  ServiceResponse Warm = S.handle(verifyRequest(VerifiedProgram, "a.hv"));
+  ServiceResponse Warm = S.handle(verifyRequest(MemoProgram, "a.hv"));
   EXPECT_TRUE(Warm.ProgramCacheHit);
   EXPECT_EQ(Warm.Report, Cold.Report); // byte-identical warm vs cold
   EXPECT_GT(Warm.Cache.hits(), 0u);    // and actually served from memo
@@ -258,4 +282,52 @@ TEST(SessionTest, ResetCachesForcesColdPath) {
   ServiceResponse Resp = S.handle(verifyRequest(VerifiedProgram, "r.hv"));
   EXPECT_FALSE(Resp.ProgramCacheHit);
   EXPECT_TRUE(Resp.Ok);
+}
+
+TEST(SessionTest, MaxStepsBudgetTimesOutAndLeavesCachesWarm) {
+  Session S;
+  // MemoProgram's enabled action forces the concrete tiers to run, so a
+  // one-step cap must fire before they reach a verdict.
+  ServiceRequest Budgeted = verifyRequest(MemoProgram, "b.hv");
+  Budgeted.MaxSteps = 1;
+  ServiceResponse Resp = S.handle(Budgeted);
+  EXPECT_TRUE(Resp.TimedOut);
+  EXPECT_FALSE(Resp.Ok);
+  EXPECT_EQ(Resp.Exit, 1);
+
+  // Caches untouched on timeout: the parsed program stays cached and an
+  // unbudgeted retry succeeds warm with the normal verdict.
+  ServiceResponse Retry = S.handle(verifyRequest(MemoProgram, "b.hv"));
+  EXPECT_TRUE(Retry.ProgramCacheHit);
+  EXPECT_FALSE(Retry.TimedOut);
+  EXPECT_TRUE(Retry.Ok);
+  EXPECT_EQ(Retry.Report, "b.hv: verified\n");
+}
+
+TEST(SessionTest, GenerousBudgetDoesNotFire) {
+  Session S;
+  ServiceRequest R = verifyRequest(MemoProgram, "c.hv");
+  R.BudgetMs = 600000;
+  R.MaxSteps = 1000000000;
+  ServiceResponse Resp = S.handle(R);
+  EXPECT_FALSE(Resp.TimedOut);
+  EXPECT_TRUE(Resp.Ok);
+  EXPECT_EQ(Resp.Report, "c.hv: verified\n");
+}
+
+TEST(SessionTest, ValidityVerbHonorsBudget) {
+  Session S;
+  ServiceRequest R = verifyRequest(MemoProgram, "d.hv");
+  R.V = ServiceRequest::Verb::Validity;
+  R.MaxSteps = 1;
+  ServiceResponse Resp = S.handle(R);
+  EXPECT_TRUE(Resp.TimedOut);
+  EXPECT_FALSE(Resp.Ok);
+
+  ServiceRequest Unbudgeted = verifyRequest(MemoProgram, "d.hv");
+  Unbudgeted.V = ServiceRequest::Verb::Validity;
+  ServiceResponse Ok = S.handle(Unbudgeted);
+  EXPECT_FALSE(Ok.TimedOut);
+  EXPECT_TRUE(Ok.Ok);
+  EXPECT_NE(Ok.Report.find("spec Counter: valid"), std::string::npos);
 }

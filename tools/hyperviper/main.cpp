@@ -25,9 +25,12 @@
 ///                   stdout); requires exactly one input file. Implies the
 ///                   relational proof runs for every procedure (the
 ///                   --triage fast path is disabled for the run).
-///   --inject <FAULT>  none | accept-all: forge the verifier's entailment
-///                   verdicts (testing only; implies certificate
-///                   recording so `check-cert` can refute the forgery)
+///   --inject <FAULT>  none | accept-all | absint-unsound: seeded faults
+///                   (testing only). accept-all forges the verifier's
+///                   entailment verdicts; absint-unsound corrupts the
+///                   differencing tier's recorded update template after
+///                   proving, so the emitted certificate is unsound. Both
+///                   exist so `check-cert` can demonstrably refute them.
 ///
 /// Certificate checking: `hyperviper check-cert <prog.hv> <cert>` re-checks
 /// a certificate against the program using only the AST and the
@@ -101,6 +104,7 @@
 #include "hyperviper/Driver.h"
 #include "lang/TypeChecker.h"
 #include "parser/Parser.h"
+#include "rspec/Suggest.h"
 #include "service/Server.h"
 #include "support/Numeric.h"
 #include "support/Signals.h"
@@ -517,6 +521,91 @@ int runCheckCert(int Argc, char **Argv) {
   return 0;
 }
 
+/// `hyperviper suggest-spec [--spec NAME] [--max N] <prog.hv>`: enumerate
+/// candidate abstractions (and `low(arg)` precondition strengthenings) for
+/// each resource spec and rank them by what the validity tiers establish —
+/// unbounded differencing proofs first. Purely deterministic output.
+int runSuggestSpec(int Argc, char **Argv) {
+  const char *Sub = "hyperviper suggest-spec";
+  std::string OnlySpec;
+  SuggestOptions Options;
+  std::vector<std::string> Inputs;
+  for (int I = 0; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--spec") {
+      OnlySpec = requireValue(Sub, "--spec", Argc, Argv, I);
+    } else if (Arg == "--max") {
+      Options.MaxCandidates = static_cast<unsigned>(
+          requireUnsigned(Sub, "--max", Argc, Argv, I));
+      if (Options.MaxCandidates == 0) {
+        std::fprintf(stderr, "%s: error: --max must be positive\n", Sub);
+        return 2;
+      }
+    } else if (Arg == "--help" || Arg == "-h") {
+      std::printf(
+          "usage: hyperviper suggest-spec [--spec NAME] [--max N] "
+          "<prog.hv>\n"
+          "Enumerates candidate alpha abstractions for each resource spec\n"
+          "(identity, order-forgetting collection views, sizes, component\n"
+          "products, the constant abstraction) and candidate `low(arg)`\n"
+          "precondition strengthenings, runs the validity tiers on each,\n"
+          "and prints them ranked: unbounded differencing proofs first,\n"
+          "then bounded-evidence validity. Deterministic.\n");
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "%s: error: unknown option '%s'\n", Sub,
+                   Arg.c_str());
+      return 2;
+    } else {
+      Inputs.push_back(Arg);
+    }
+  }
+  if (Inputs.size() != 1) {
+    std::fprintf(stderr, "%s: error: expected exactly one <prog.hv>\n", Sub);
+    return 2;
+  }
+
+  std::ifstream In(Inputs[0]);
+  if (!In) {
+    std::fprintf(stderr, "%s: error: cannot open '%s'\n", Sub,
+                 Inputs[0].c_str());
+    return 2;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+
+  DiagnosticEngine Diags;
+  Program Prog = Parser::parse(SS.str(), Diags);
+  if (!Diags.hasErrors()) {
+    TypeChecker Checker(Prog, Diags);
+    Checker.check();
+  }
+  if (Diags.hasErrors()) {
+    std::fprintf(stderr, "%s", Diags.str(Inputs[0]).c_str());
+    std::fprintf(stderr, "%s: error: program does not parse\n", Sub);
+    return 2;
+  }
+  if (Prog.Specs.empty()) {
+    std::fprintf(stderr, "%s: error: program declares no resource specs\n",
+                 Sub);
+    return 2;
+  }
+
+  std::vector<SuggestResult> Results;
+  for (const ResourceSpecDecl &Spec : Prog.Specs) {
+    if (!OnlySpec.empty() && Spec.Name != OnlySpec)
+      continue;
+    Results.push_back(suggestSpec(Spec, Prog, Options));
+  }
+  if (Results.empty()) {
+    std::fprintf(stderr, "%s: error: no spec named '%s'\n", Sub,
+                 OnlySpec.c_str());
+    return 2;
+  }
+  std::fputs(renderSuggestReport(Prog, Results, Inputs[0]).c_str(), stdout);
+  return 0;
+}
+
 int runVerify(int Argc, char **Argv) {
   const char *Sub = "hyperviper";
   DriverOptions Options;
@@ -549,9 +638,12 @@ int runVerify(int Argc, char **Argv) {
       const char *Value = requireValue(Sub, "--inject", Argc, Argv, I);
       if (std::strcmp(Value, "accept-all") == 0) {
         Options.Verifier.ForgeAcceptAll = true;
+      } else if (std::strcmp(Value, "absint-unsound") == 0) {
+        Options.Verifier.Validity.Absint.InjectUnsound = true;
       } else if (std::strcmp(Value, "none") != 0) {
         std::fprintf(stderr,
-                     "%s: error: unknown fault '%s' (want none|accept-all)\n",
+                     "%s: error: unknown fault '%s' (want "
+                     "none|accept-all|absint-unsound)\n",
                      Sub, Value);
         return 2;
       }
@@ -559,10 +651,11 @@ int runVerify(int Argc, char **Argv) {
       std::printf("usage: hyperviper [--no-validity] [--jobs N] [--triage] "
                   "[--metrics] [--quiet] [--ni <proc>]\n"
                   "                  [--emit-cert FILE|-] "
-                  "[--inject none|accept-all]\n"
+                  "[--inject none|accept-all|absint-unsound]\n"
                   "                  [--trace FILE] [--metrics-json FILE] "
                   "file-or-dir.hv ...\n"
                   "       hyperviper check-cert <prog.hv> <cert>\n"
+                  "       hyperviper suggest-spec --help\n"
                   "       hyperviper analyze --help\n"
                   "       hyperviper fuzz --help\n"
                   "       hyperviper serve --help\n");
@@ -686,5 +779,7 @@ int main(int Argc, char **Argv) {
     return runServe(Argc - 2, Argv + 2);
   if (Argc > 1 && std::strcmp(Argv[1], "check-cert") == 0)
     return runCheckCert(Argc - 2, Argv + 2);
+  if (Argc > 1 && std::strcmp(Argv[1], "suggest-spec") == 0)
+    return runSuggestSpec(Argc - 2, Argv + 2);
   return runVerify(Argc, Argv);
 }
