@@ -7,9 +7,11 @@
 #include "analysis/Taint.h"
 
 #include "analysis/Dataflow.h"
+#include "lang/ExprEval.h"
 
 #include <algorithm>
 #include <functional>
+#include <optional>
 #include <sstream>
 
 using namespace commcsl;
@@ -25,6 +27,57 @@ const std::string *bareLowVar(const ContractAtom &A) {
       A.E->Kind != ExprKind::Var)
     return nullptr;
   return &A.E->Name;
+}
+
+/// If \p A is a conditional classification over a plain variable
+/// (`level(x) = if g then low else high`, or `g ==> low(x)`), returns the
+/// variable name; null otherwise.
+const std::string *condLowVar(const ContractAtom &A) {
+  if (A.AtomKind != ContractAtom::Kind::Low || !A.Cond || !A.E ||
+      A.E->Kind != ExprKind::Var)
+    return nullptr;
+  return &A.E->Name;
+}
+
+bool exprHasCall(const ExprRef &E) {
+  if (!E)
+    return false;
+  if (E->Kind == ExprKind::Call)
+    return true;
+  for (const ExprRef &A : E->Args)
+    if (exprHasCall(A))
+      return true;
+  return false;
+}
+
+bool exprHasDivMod(const ExprRef &E);
+
+/// Statically evaluates a level guard when it is closed (no free
+/// variables, no function calls, no div/mod whose abort semantics the
+/// total folder would miss). Everything else is statically unknown: the
+/// analysis must then join the classified variable to High — the in-state
+/// truth of the guard is only available to the relational verifier and
+/// the NI harness.
+std::optional<bool> closedGuardValue(const ExprRef &G) {
+  if (!G)
+    return std::nullopt;
+  std::vector<std::string> Vars;
+  G->freeVars(Vars);
+  if (!Vars.empty() || exprHasCall(G) || exprHasDivMod(G))
+    return std::nullopt;
+  ExprEvaluator Eval(nullptr);
+  return Eval.eval(*G, EvalEnv())->getBool();
+}
+
+bool exprHasDeclassify(const ExprRef &E) {
+  if (!E)
+    return false;
+  if (E->Kind == ExprKind::Builtin && E->Builtin == BuiltinKind::Declassify)
+    return true;
+  for (const ExprRef &A : E->Args)
+    if (exprHasDeclassify(A))
+      return true;
+  return false;
 }
 
 using State = std::map<std::string, unsigned>;
@@ -111,14 +164,23 @@ struct TaintProblem {
                      const CFGNode &N) const {
     if (!E)
       return 0;
-    std::vector<std::string> Vars;
-    E->freeVars(Vars);
-    unsigned L = 0;
-    for (const std::string &V : Vars) {
-      L = std::max(L, levelOf(S, V));
-      if (crossTop(N, V))
+    switch (E->Kind) {
+    case ExprKind::Var: {
+      unsigned L = levelOf(S, E->Name);
+      if (crossTop(N, E->Name))
         L = top();
+      return L;
     }
+    case ExprKind::Builtin:
+      if (E->Builtin == BuiltinKind::Declassify)
+        return 0; // released: audited separately as an explicit sink
+      break;
+    default:
+      break;
+    }
+    unsigned L = 0;
+    for (const ExprRef &A : E->Args)
+      L = std::max(L, exprLevel(A, S, N));
     return L;
   }
 
@@ -339,12 +401,24 @@ TaintLevels commcsl::taintLevelsFromContracts(const ProcDecl &Proc) {
   TaintLevels L;
   L.NumLevels = 2;
   std::set<std::string> LowReq, LowEns;
-  for (const ContractAtom &A : Proc.Requires)
+  for (const ContractAtom &A : Proc.Requires) {
     if (const std::string *V = bareLowVar(A))
       LowReq.insert(*V);
-  for (const ContractAtom &A : Proc.Ensures)
+    // A conditional classification whose guard folds to true statically is
+    // a bare low; any other guard is statically unknown, so the parameter
+    // stays high (the relational verifier and the NI harness evaluate the
+    // guard in-state instead).
+    else if (const std::string *CV = condLowVar(A))
+      if (closedGuardValue(A.Cond) == std::optional<bool>(true))
+        LowReq.insert(*CV);
+  }
+  for (const ContractAtom &A : Proc.Ensures) {
     if (const std::string *V = bareLowVar(A))
       LowEns.insert(*V);
+    else if (const std::string *CV = condLowVar(A))
+      if (closedGuardValue(A.Cond) == std::optional<bool>(true))
+        LowEns.insert(*CV);
+  }
   for (const Param &P : Proc.Params)
     L.ParamLevel[P.Name] = LowReq.count(P.Name) ? 0 : L.top();
   for (const Param &R : Proc.Returns)
@@ -357,11 +431,21 @@ bool commcsl::triageEligible(const ProcDecl &Proc) {
   for (const ContractAtom &A : Proc.Ensures)
     if (!bareLowVar(A))
       return false;
+  // Conditional requires atoms shrink the input relation, which triage's
+  // bare-fragment reasoning cannot exploit but also must not rely on; a
+  // declassify anywhere switches the property from plain non-interference
+  // to delimited release, which triage does not model.
+  for (const ContractAtom &A : Proc.Requires)
+    if (A.AtomKind == ContractAtom::Kind::Low && A.Cond)
+      return false;
   std::function<bool(const Command &, bool)> Ok = [&](const Command &C,
                                                       bool InLoop) -> bool {
-    for (const ExprRef &E : C.Exprs)
+    for (const ExprRef &E : C.Exprs) {
       if (exprHasDivMod(E)) // possible abort: outside the skip fragment
         return false;
+      if (exprHasDeclassify(E))
+        return false;
+    }
     switch (C.Kind) {
     case CmdKind::Skip:
     case CmdKind::Assign:
@@ -543,10 +627,40 @@ ProcTaintResult commcsl::analyzeProcTaint(
       Report(Proc.Loc, "return '" + V + "' must be low but has " +
                            levelStr(levelOf(ExitIn, V), Config.NumLevels) +
                            " data at exit");
-  for (const ContractAtom &A : Proc.Ensures)
-    if (!bareLowVar(A))
+  for (const ContractAtom &A : Proc.Ensures) {
+    if (bareLowVar(A))
+      continue;
+    if (const std::string *V = condLowVar(A)) {
+      std::optional<bool> G = closedGuardValue(A.Cond);
+      if (G == std::optional<bool>(true))
+        continue; // enforced via Levels.ReturnLevel above
+      if (G == std::optional<bool>(false))
+        continue; // vacuous: classifies nothing
       Report(A.Loc.isValid() ? A.Loc : Proc.Loc,
-             "ensures atom beyond the static fragment: " + A.str());
+             "level guard for '" + *V +
+                 "' is not statically decidable; treating it as high "
+                 "(the relational verifier evaluates it in-state)");
+      continue;
+    }
+    Report(A.Loc.isValid() ? A.Loc : Proc.Loc,
+           "ensures atom beyond the static fragment: " + A.str());
+  }
+
+  // Every declassify site is an explicit, audited release: surface it so
+  // the analysis never reports a releasing body as plainly non-interferent.
+  {
+    std::function<void(const Command &)> WalkRelease = [&](const Command &C) {
+      for (const ExprRef &E : C.Exprs)
+        if (exprHasDeclassify(E))
+          Report(C.Loc, "declassify release: secure only under delimited "
+                        "release, not plain non-interference");
+      for (const CommandRef &Child : C.Children)
+        if (Child)
+          WalkRelease(*Child);
+    };
+    if (Proc.Body)
+      WalkRelease(*Proc.Body);
+  }
 
   std::stable_sort(Findings.begin(), Findings.end(),
                    [](const TaintFinding &A, const TaintFinding &B) {

@@ -9,10 +9,12 @@
 #include "analysis/Analysis.h"
 #include "cert/Check.h"
 #include "hyperviper/Driver.h"
+#include "lang/ExprEval.h"
 #include "sem/Interp.h"
 #include "sem/Scheduler.h"
 #include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <sstream>
 
 using namespace commcsl;
@@ -106,8 +108,23 @@ SchedDiffOutcome runSchedulerDifferential(const Program &Prog,
   RC.MaxSteps = Config.NI.MaxSteps;
   Interpreter Interp(Prog, RC);
 
+  // Conditionally-low returns are compared through their in-state level
+  // guards, and runs are related only when they agree on what was
+  // declassified: a release log is compared as a sorted multiset (the
+  // schedule may reorder evaluation, but not the released information),
+  // and a run whose log differs from the reference is incomparable rather
+  // than a mismatch — mirroring the NI harness's delimited-release rule.
+  auto SortedLog = [](std::vector<ValueRef> Log) {
+    std::sort(Log.begin(), Log.end(), [](const ValueRef &A,
+                                         const ValueRef &B) {
+      return Value::compare(A, B) < 0;
+    });
+    return Log;
+  };
+
   bool HaveRef = false;
-  std::vector<ValueRef> RefLow;
+  std::vector<ValueRef> RefLow, RefCond, RefReleased;
+  std::vector<uint8_t> RefGuards;
   std::string RefSched;
   for (auto &Sched : Scheds) {
     RunResult R = Interp.run(Proc.Name, Inputs, *Sched);
@@ -123,12 +140,35 @@ SchedDiffOutcome runSchedulerDifferential(const Program &Prog,
     for (size_t I : H.lowReturns())
       Low.push_back(R.Returns[I]);
     Low.insert(Low.end(), R.Outputs.begin(), R.Outputs.end());
+
+    EvalEnv Env;
+    for (size_t I = 0; I < Proc.Params.size(); ++I)
+      Env[Proc.Params[I].Name] = Inputs[I];
+    for (size_t I = 0; I < Proc.Returns.size() && I < R.Returns.size(); ++I)
+      Env[Proc.Returns[I].Name] = R.Returns[I];
+    ExprEvaluator Eval(&Prog);
+    std::vector<uint8_t> Guards;
+    std::vector<ValueRef> Cond;
+    for (const NonInterferenceHarness::LevelSlot &LS : H.levelReturns()) {
+      Guards.push_back(Eval.eval(*LS.Guard, Env)->getBool() ? 1 : 0);
+      Cond.push_back(R.Returns[LS.Index]);
+    }
+    std::vector<ValueRef> Released = SortedLog(std::move(R.Declassified));
+
     if (!HaveRef) {
       HaveRef = true;
       RefLow = std::move(Low);
+      RefCond = std::move(Cond);
+      RefGuards = std::move(Guards);
+      RefReleased = std::move(Released);
       RefSched = Sched->name();
       continue;
     }
+    bool SameLog = Released.size() == RefReleased.size();
+    for (size_t I = 0; SameLog && I < Released.size(); ++I)
+      SameLog = Value::equal(Released[I], RefReleased[I]);
+    if (!SameLog)
+      continue; // incomparable under delimited release
     bool Equal = Low.size() == RefLow.size();
     for (size_t I = 0; Equal && I < Low.size(); ++I)
       Equal = Value::equal(Low[I], RefLow[I]);
@@ -138,6 +178,24 @@ SchedDiffOutcome runSchedulerDifferential(const Program &Prog,
       Out.Detail = "same inputs, schedulers " + RefSched + " vs " +
                    Sched->name() + " disagree on low outputs";
       return Out;
+    }
+    for (size_t I = 0; I < Guards.size(); ++I) {
+      if (Guards[I] != RefGuards[I]) {
+        Out.Stable = false;
+        Out.Kind = "level guard mismatch";
+        Out.Detail = "same inputs, schedulers " + RefSched + " vs " +
+                     Sched->name() +
+                     " disagree on a conditional level guard";
+        return Out;
+      }
+      if (Guards[I] && !Value::equal(Cond[I], RefCond[I])) {
+        Out.Stable = false;
+        Out.Kind = "low-output mismatch";
+        Out.Detail = "same inputs, schedulers " + RefSched + " vs " +
+                     Sched->name() +
+                     " disagree on a conditionally-low return";
+        return Out;
+      }
     }
   }
   return Out;

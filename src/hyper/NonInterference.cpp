@@ -13,6 +13,7 @@
 #include "support/trace/Stopwatch.h"
 #include "support/trace/Trace.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <climits>
@@ -58,6 +59,18 @@ NonInterferenceHarness::NonInterferenceHarness(const Program &Prog,
   for (size_t I = 0; I < Proc->Returns.size(); ++I)
     if (MarksLow(Proc->Ensures, Proc->Returns[I].Name))
       LowReturns.push_back(I);
+  // Conditional classifications over plain variables, both the `level`
+  // clause and the equivalent `g ==> low(x)` form.
+  auto CollectLevels = [](const Contract &C, const std::vector<Param> &Vars,
+                          std::vector<LevelSlot> &Out) {
+    for (size_t I = 0; I < Vars.size(); ++I)
+      for (const ContractAtom &A : C)
+        if (A.AtomKind == ContractAtom::Kind::Low && A.Cond &&
+            A.E->Kind == ExprKind::Var && A.E->Name == Vars[I].Name)
+          Out.push_back({I, A.Cond});
+  };
+  CollectLevels(Proc->Requires, Proc->Params, LevelParams);
+  CollectLevels(Proc->Ensures, Proc->Returns, LevelReturns);
 }
 
 NIReport NonInterferenceHarness::run() {
@@ -129,6 +142,28 @@ NIReport NonInterferenceHarness::run() {
               for (size_t I = 0; I < Proc->Params.size(); ++I)
                 Inputs[I] =
                     IsLowParam(I) ? LowVals[I] : ParamDoms[I]->sample(Rng);
+              // Stay inside the relation induced by conditional
+              // classifications: the guard must agree with the reference
+              // assignment (copy its free variables), and when it holds
+              // the classified parameter is low (copy it too).
+              if (!LevelParams.empty() && !Assignments.empty()) {
+                const std::vector<ValueRef> &First = Assignments.front();
+                for (const LevelSlot &LS : LevelParams) {
+                  std::vector<std::string> Vars;
+                  LS.Guard->freeVars(Vars);
+                  for (const std::string &V : Vars)
+                    for (size_t I = 0; I < Proc->Params.size(); ++I)
+                      if (Proc->Params[I].Name == V)
+                        Inputs[I] = First[I];
+                }
+                ExprEvaluator GuardEval(&Prog);
+                EvalEnv Env;
+                for (size_t I = 0; I < Proc->Params.size(); ++I)
+                  Env[Proc->Params[I].Name] = First[I];
+                for (const LevelSlot &LS : LevelParams)
+                  if (GuardEval.eval(*LS.Guard, Env)->getBool())
+                    Inputs[LS.Index] = First[LS.Index];
+              }
               Assignments.push_back(std::move(Inputs));
             }
           }
@@ -190,13 +225,131 @@ bool NonInterferenceHarness::runTrial(
   RC.MaxSteps = Config.MaxSteps;
   RC.SpecCaches = SpecCaches;
   Interpreter Interp(Prog, RC);
+  ExprEvaluator Eval(&Prog);
+
+  // Everything one run exposes to the comparison: the low outputs, the
+  // in-state verdicts of ensures-side level guards (with the classified
+  // values), and the sorted multiset of declassified values. The release
+  // log is sorted because its order under `par` is schedule-dependent
+  // while the released *information* is the multiset.
+  struct Obs {
+    std::vector<ValueRef> Low;
+    std::vector<ValueRef> Inputs;
+    std::string Sched;
+    std::vector<uint8_t> EnsGuards;
+    std::vector<ValueRef> EnsVals;
+    std::vector<ValueRef> Released;
+  };
+  auto SortedLog = [](std::vector<ValueRef> Log) {
+    std::sort(Log.begin(), Log.end(),
+              [](const ValueRef &A, const ValueRef &B) {
+                return Value::compare(A, B) < 0;
+              });
+    return Log;
+  };
+  auto SameLog = [](const std::vector<ValueRef> &A,
+                    const std::vector<ValueRef> &B) {
+    if (A.size() != B.size())
+      return false;
+    for (size_t I = 0; I < A.size(); ++I)
+      if (!Value::equal(A[I], B[I]))
+        return false;
+    return true;
+  };
+  // Compares run B against reference A; fills Report.Violation and
+  // returns false on a mismatch. Incomparable pairs (differing release
+  // logs) are skipped without counting.
+  auto Compare = [&](const Obs &A, const Obs &B) {
+    if (!SameLog(A.Released, B.Released))
+      return true;
+    ++Report.PairsCompared;
+    auto Mismatch = [&](const char *Detail) {
+      NIViolation V;
+      V.Kind = "low-output mismatch";
+      V.Detail = Detail;
+      V.InputsA = A.Inputs;
+      V.InputsB = B.Inputs;
+      V.SchedulerA = A.Sched;
+      V.SchedulerB = B.Sched;
+      V.LowOutputsA = A.Low;
+      V.LowOutputsB = B.Low;
+      Report.Violation = std::move(V);
+      return false;
+    };
+    if (A.Low.size() != B.Low.size())
+      return Mismatch("different numbers of public outputs");
+    for (size_t I = 0; I < A.Low.size(); ++I)
+      if (!Value::equal(A.Low[I], B.Low[I]))
+        return Mismatch("low-equivalent inputs produced different low "
+                        "outputs (a value channel)");
+    for (size_t I = 0; I < LevelReturns.size(); ++I) {
+      if (A.EnsGuards[I] != B.EnsGuards[I]) {
+        NIViolation V;
+        V.Kind = "level guard mismatch";
+        V.Detail = "conditional classification guard disagrees across "
+                   "low-equivalent runs (the level itself leaks)";
+        V.InputsA = A.Inputs;
+        V.InputsB = B.Inputs;
+        V.SchedulerA = A.Sched;
+        V.SchedulerB = B.Sched;
+        V.LowOutputsA = {A.EnsVals[I]};
+        V.LowOutputsB = {B.EnsVals[I]};
+        Report.Violation = std::move(V);
+        return false;
+      }
+      if (A.EnsGuards[I] && !Value::equal(A.EnsVals[I], B.EnsVals[I])) {
+        NIViolation V;
+        V.Kind = "low-output mismatch";
+        V.Detail = "conditionally-low return differs while its level "
+                   "guard holds";
+        V.InputsA = A.Inputs;
+        V.InputsB = B.Inputs;
+        V.SchedulerA = A.Sched;
+        V.SchedulerB = B.Sched;
+        V.LowOutputsA = {A.EnsVals[I]};
+        V.LowOutputsB = {B.EnsVals[I]};
+        Report.Violation = std::move(V);
+        return false;
+      }
+    }
+    return true;
+  };
+  // Whether two input assignments are related by the requires-side level
+  // relation: every guard agrees, and a held guard forces agreement of the
+  // classified parameter. The default generator pins inputs to satisfy
+  // this by construction; a custom TrialGen may not, and unrelated
+  // assignments are only compared within themselves.
+  auto RelatedInputs = [&](const std::vector<ValueRef> &A,
+                           const std::vector<ValueRef> &B) {
+    if (LevelParams.empty())
+      return true;
+    EvalEnv EnvA, EnvB;
+    for (size_t I = 0; I < Proc->Params.size(); ++I) {
+      EnvA[Proc->Params[I].Name] = A[I];
+      EnvB[Proc->Params[I].Name] = B[I];
+    }
+    for (const LevelSlot &LS : LevelParams) {
+      bool GA = Eval.eval(*LS.Guard, EnvA)->getBool();
+      bool GB = Eval.eval(*LS.Guard, EnvB)->getBool();
+      if (GA != GB)
+        return false;
+      if (GA && !Value::equal(A[LS.Index], B[LS.Index]))
+        return false;
+    }
+    return true;
+  };
 
   bool HaveRef = false;
-  std::vector<ValueRef> RefLow;
-  std::vector<ValueRef> RefInputs;
-  std::string RefSched;
+  Obs Ref;
 
   for (const std::vector<ValueRef> &Inputs : Assignments) {
+    // Runs of an assignment outside the reference's relation are still
+    // executed (faults count) and compared among themselves (scheduler
+    // determinism is a property of the single input), just not against
+    // the reference.
+    bool Related = !HaveRef || RelatedInputs(Ref.Inputs, Inputs);
+    bool HaveLocalRef = false;
+    Obs LocalRef;
     // Scheduler family: round-robin, several random seeds, burst.
     std::vector<std::unique_ptr<Scheduler>> Scheds;
     Scheds.push_back(std::make_unique<RoundRobinScheduler>());
@@ -226,47 +379,43 @@ bool NonInterferenceHarness::runTrial(
         Report.Violation = std::move(V);
         return false;
       }
-      std::vector<ValueRef> Low;
+      Obs O;
+      O.Inputs = Inputs;
+      O.Sched = Sched->name();
       for (size_t I : LowReturns)
-        Low.push_back(R.Returns[I]);
+        O.Low.push_back(R.Returns[I]);
       // The public output channel is observable in its entirety.
-      Low.insert(Low.end(), R.Outputs.begin(), R.Outputs.end());
-      if (!HaveRef) {
-        HaveRef = true;
-        RefLow = Low;
-        RefInputs = Inputs;
-        RefSched = Sched->name();
-        continue;
-      }
-      ++Report.PairsCompared;
-      if (Low.size() != RefLow.size()) {
-        NIViolation V;
-        V.Kind = "low-output mismatch";
-        V.Detail = "different numbers of public outputs";
-        V.InputsA = RefInputs;
-        V.InputsB = Inputs;
-        V.SchedulerA = RefSched;
-        V.SchedulerB = Sched->name();
-        V.LowOutputsA = RefLow;
-        V.LowOutputsB = Low;
-        Report.Violation = std::move(V);
-        return false;
-      }
-      for (size_t I = 0; I < Low.size(); ++I) {
-        if (!Value::equal(Low[I], RefLow[I])) {
-          NIViolation V;
-          V.Kind = "low-output mismatch";
-          V.Detail = "low-equivalent inputs produced different low "
-                     "outputs (a value channel)";
-          V.InputsA = RefInputs;
-          V.InputsB = Inputs;
-          V.SchedulerA = RefSched;
-          V.SchedulerB = Sched->name();
-          V.LowOutputsA = RefLow;
-          V.LowOutputsB = Low;
-          Report.Violation = std::move(V);
-          return false;
+      O.Low.insert(O.Low.end(), R.Outputs.begin(), R.Outputs.end());
+      O.Released = SortedLog(std::move(R.Declassified));
+      if (!LevelReturns.empty()) {
+        EvalEnv Env;
+        for (size_t I = 0; I < Proc->Params.size(); ++I)
+          Env[Proc->Params[I].Name] = Inputs[I];
+        for (size_t I = 0; I < Proc->Returns.size(); ++I)
+          Env[Proc->Returns[I].Name] = R.Returns[I];
+        for (const LevelSlot &LS : LevelReturns) {
+          O.EnsGuards.push_back(Eval.eval(*LS.Guard, Env)->getBool() ? 1
+                                                                     : 0);
+          O.EnsVals.push_back(R.Returns[LS.Index]);
         }
+      }
+
+      if (Related) {
+        if (!HaveRef) {
+          HaveRef = true;
+          Ref = std::move(O);
+          continue;
+        }
+        if (!Compare(Ref, O))
+          return false;
+      } else {
+        if (!HaveLocalRef) {
+          HaveLocalRef = true;
+          LocalRef = std::move(O);
+          continue;
+        }
+        if (!Compare(LocalRef, O))
+          return false;
       }
     }
   }

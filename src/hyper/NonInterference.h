@@ -16,6 +16,17 @@
 /// (return variable) is low iff the requires (ensures) clause contains a
 /// bare `low(x)` atom for it. Everything else is varied (compared) as high.
 ///
+/// Conditional classifications (`level(x) = if g then low else high`, or
+/// equivalently `g ==> low(x)`) induce the relation of the product
+/// translation: the guard must agree across the two runs, and when it
+/// holds the classified variable must agree too. On the requires side the
+/// harness *generates* within that relation (guard inputs are pinned to
+/// the reference assignment, the classified parameter is pinned when the
+/// guard holds); on the ensures side it *checks* it (guard disagreement is
+/// itself a leak of the level). Runs whose `declassify` release logs
+/// differ are incomparable — delimited release only relates executions
+/// that agree on what was released — and are skipped, not compared.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef COMMCSL_HYPER_NONINTERFERENCE_H
@@ -128,12 +139,23 @@ public:
   const std::vector<size_t> &lowParams() const { return LowParams; }
   const std::vector<size_t> &lowReturns() const { return LowReturns; }
 
+  /// One conditional classification: parameter/return \p Index is low
+  /// exactly when \p Guard evaluates to true in-state.
+  struct LevelSlot {
+    size_t Index;
+    ExprRef Guard;
+  };
+  const std::vector<LevelSlot> &levelParams() const { return LevelParams; }
+  const std::vector<LevelSlot> &levelReturns() const { return LevelReturns; }
+
 private:
   const Program &Prog;
   const ProcDecl *Proc;
   NIConfig Config;
   std::vector<size_t> LowParams;
   std::vector<size_t> LowReturns;
+  std::vector<LevelSlot> LevelParams;
+  std::vector<LevelSlot> LevelReturns;
   /// Shared across every trial of a sweep (set up per `run()` call).
   std::shared_ptr<SpecCacheRegistry> SpecCaches;
 };

@@ -343,7 +343,8 @@ Contract commcsl::cloneContract(const Contract &C) {
 }
 
 bool commcsl::structurallyEqual(const ContractAtom &A, const ContractAtom &B) {
-  return A.AtomKind == B.AtomKind && structurallyEqual(A.E, B.E) &&
+  return A.AtomKind == B.AtomKind && A.Level == B.Level &&
+         structurallyEqual(A.E, B.E) &&
          structurallyEqual(A.Cond, B.Cond) && A.Res == B.Res &&
          A.Action == B.Action && A.FracNum == B.FracNum &&
          A.FracDen == B.FracDen && A.ArgVar == B.ArgVar &&

@@ -46,6 +46,14 @@ struct ContractAtom {
   /// value-dependent assertion `Cond ==> Low(E)` (Sec. 3.4).
   ExprRef Cond;
 
+  /// Low only: true when the atom was written with the conditional
+  /// classification surface syntax `level(x) = if g then low else high`.
+  /// Semantically identical to the condLow form `g ==> low(x)` — the level
+  /// of `x` is a function of the in-state guard — but the flag is kept so
+  /// the printer round-trips the clause and the static analysis can treat
+  /// declared classifications flow-sensitively.
+  bool Level = false;
+
   /// Guard/AllPre atoms: resource handle and action name.
   std::string Res;
   std::string Action;
@@ -75,6 +83,13 @@ struct ContractAtom {
     A.Cond = std::move(Cond);
     A.E = std::move(E);
     A.Loc = Loc;
+    return A;
+  }
+
+  static ContractAtom level(ExprRef Var, ExprRef Guard,
+                            SourceLoc Loc = SourceLoc()) {
+    ContractAtom A = condLow(std::move(Guard), std::move(Var), Loc);
+    A.Level = true;
     return A;
   }
 

@@ -73,6 +73,7 @@ const BuiltinInfo BuiltinTable[] = {
     {BuiltinKind::Min, "min", 2},
     {BuiltinKind::Max, "max", 2},
     {BuiltinKind::Abs, "abs", 1},
+    {BuiltinKind::Declassify, "declassify", 1},
 };
 
 const BuiltinInfo &infoFor(BuiltinKind Kind) {

@@ -115,6 +115,7 @@ enum class BuiltinKind : uint8_t {
   Min,
   Max,
   Abs,
+  Declassify, ///< `declassify e`: identity on values, relationally released
 };
 
 /// Returns the surface name of a builtin ("map_put", ...).

@@ -151,7 +151,10 @@ ValueRef ExprEvaluator::eval(const Expr &E, const EvalEnv &Env) const {
     const ValueRef *Args[3];
     for (size_t I = 0; I < E.Args.size(); ++I)
       Args[I] = &evalArg(*E.Args[I], Env, Tmps[I]);
-    return applyBuiltinOp(E.Builtin, Args, E.Args.size(), E.Ty);
+    ValueRef R = applyBuiltinOp(E.Builtin, Args, E.Args.size(), E.Ty);
+    if (E.Builtin == BuiltinKind::Declassify && DeclassifySink)
+      DeclassifySink->push_back(R);
+    return R;
   }
   case ExprKind::Call: {
     assert(Prog && "function call without program context");
@@ -281,6 +284,10 @@ ValueRef commcsl::applyBuiltinOp(BuiltinKind Kind,
     return vops::maxV((*Args[0]), (*Args[1]));
   case BuiltinKind::Abs:
     return vops::absV((*Args[0]));
+  case BuiltinKind::Declassify:
+    // Identity on values; the release is a property of the relational
+    // semantics (the pair of runs), not of a single execution.
+    return *Args[0];
   }
   assert(false && "unhandled builtin");
   return ValueFactory::unit();

@@ -192,6 +192,12 @@ public:
   /// matching the paper's total expression semantics.
   ValueRef eval(const Expr &E, const EvalEnv &Env) const;
 
+  /// When non-null, every `declassify` evaluation appends the released
+  /// value here in evaluation order. The interpreter points this at the
+  /// run's release log; spec/validity evaluation leaves it null (the type
+  /// checker keeps declassify out of those positions anyway).
+  std::vector<ValueRef> *DeclassifySink = nullptr;
+
 private:
   /// eval() specialized for operand position: handles the overwhelmingly
   /// common leaf operands (hinted variables and int/bool literals) inline

@@ -14,6 +14,11 @@ std::string ContractAtom::str() const {
   std::ostringstream OS;
   switch (AtomKind) {
   case Kind::Low:
+    if (Level) {
+      OS << "level(" << E->str() << ") = if " << Cond->str()
+         << " then low else high";
+      break;
+    }
     if (Cond)
       OS << Cond->str() << " ==> ";
     OS << "low(" << E->str() << ")";

@@ -167,7 +167,9 @@ void TypeChecker::checkProc(ProcDecl &P) {
   checkContract(P.Ensures, /*AllowGuards=*/true);
   popScope();
 
+  AllowDeclassify = true;
   checkCommand(P.Body, CmdCtx());
+  AllowDeclassify = false;
   popScope();
 }
 
@@ -192,9 +194,16 @@ const ResourceSpecDecl *TypeChecker::resolveResource(const ContractAtom &A) {
 }
 
 void TypeChecker::checkContract(Contract &C, bool AllowGuards) {
+  // Contracts describe a release but never perform one, including asserts
+  // and invariants nested inside a procedure body.
+  bool SavedDeclassify = AllowDeclassify;
+  AllowDeclassify = false;
   for (ContractAtom &A : C) {
     switch (A.AtomKind) {
     case ContractAtom::Kind::Low:
+      if (A.Level && (!A.E || A.E->Kind != ExprKind::Var))
+        error(DiagCode::TypeError, A.Loc,
+              "level clause must classify a plain variable");
       if (A.Cond)
         checkExpr(A.Cond, Type::boolTy());
       checkExpr(A.E, nullptr);
@@ -270,6 +279,7 @@ void TypeChecker::checkContract(Contract &C, bool AllowGuards) {
     }
     }
   }
+  AllowDeclassify = SavedDeclassify;
 }
 
 //===----------------------------------------------------------------------===//
@@ -1030,6 +1040,17 @@ TypeRef TypeChecker::checkBuiltin(const ExprRef &E, const TypeRef &Expected) {
     if (!ArgTy(0, Type::intTy()))
       return nullptr;
     return Type::intTy();
+  }
+  case BuiltinKind::Declassify: {
+    // Declassification is a command-level act of the program, not a
+    // specification construct: contracts, invariants, functions, and spec
+    // clauses must describe the release, never perform it.
+    if (!AllowDeclassify) {
+      error(DiagCode::TypeError, E->Loc,
+            "declassify is only allowed inside procedure bodies");
+      return nullptr;
+    }
+    return ArgTy(0, Expected);
   }
   }
   return nullptr;

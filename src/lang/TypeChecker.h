@@ -83,6 +83,10 @@ private:
   DiagnosticEngine &Diags;
   std::vector<std::map<std::string, TypeRef>> Scopes;
   size_t NumCheckedFuncs = 0; ///< for enforcing non-recursive functions
+  /// True only while checking command-position expressions of a procedure
+  /// body; `declassify` is rejected everywhere else (specs, contracts,
+  /// functions, invariants).
+  bool AllowDeclassify = false;
 };
 
 } // namespace commcsl

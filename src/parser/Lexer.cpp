@@ -81,6 +81,12 @@ const char *commcsl::tokenKindName(TokenKind Kind) {
     return "'output'";
   case TokenKind::KwLow:
     return "'low'";
+  case TokenKind::KwLevel:
+    return "'level'";
+  case TokenKind::KwThen:
+    return "'then'";
+  case TokenKind::KwHigh:
+    return "'high'";
   case TokenKind::KwSGuard:
     return "'sguard'";
   case TokenKind::KwUGuard:
@@ -206,6 +212,9 @@ const std::unordered_map<std::string, TokenKind> &keywordTable() {
       {"call", TokenKind::KwCall},
       {"output", TokenKind::KwOutput},
       {"low", TokenKind::KwLow},
+      {"level", TokenKind::KwLevel},
+      {"then", TokenKind::KwThen},
+      {"high", TokenKind::KwHigh},
       {"sguard", TokenKind::KwSGuard},
       {"uguard", TokenKind::KwUGuard},
       {"allpre", TokenKind::KwAllPre},
@@ -232,7 +241,9 @@ char Lexer::advance() {
   if (C == '\n') {
     ++Line;
     Column = 1;
-  } else {
+  } else if ((static_cast<unsigned char>(C) & 0xC0) != 0x80) {
+    // Columns count UTF-8 code points, not bytes: continuation bytes
+    // (0b10xxxxxx) extend the previous character instead of starting one.
     ++Column;
   }
   return C;
@@ -395,8 +406,15 @@ Token Lexer::lexToken() {
     break;
   }
 
+  // Report the whole UTF-8 code point, not its lead byte: consume any
+  // continuation bytes so the message is valid UTF-8 and the next token
+  // starts on a character boundary.
+  std::string Char(1, C);
+  while (Pos < Source.size() &&
+         (static_cast<unsigned char>(peek()) & 0xC0) == 0x80)
+    Char += advance();
   Diags.error(DiagCode::LexError, Start,
-              std::string("unexpected character '") + C + "'");
+              "unexpected character '" + Char + "'");
   return lexToken();
 }
 

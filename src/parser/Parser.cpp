@@ -420,6 +420,30 @@ bool Parser::parseAtom(Contract &Out) {
     Out.push_back(ContractAtom::low(std::move(E), Loc));
     return true;
   }
+  if (accept(TokenKind::KwLevel)) {
+    // level(x) = if <bexp> then low else high
+    //   — conditional classification: x is low exactly when the guard holds
+    //     in the state where the contract is evaluated.
+    expect(TokenKind::LParen, "after 'level'");
+    if (!check(TokenKind::Identifier)) {
+      error("expected a variable name in level clause");
+      return false;
+    }
+    SourceLoc VarLoc = peek().Loc;
+    ExprRef Var = Expr::var(advance().Text, VarLoc);
+    expect(TokenKind::RParen, "after level variable");
+    expect(TokenKind::EqEq, "after 'level(x)'");
+    expect(TokenKind::KwIf, "in level clause");
+    ExprRef Guard = parseExpr();
+    if (!Guard)
+      return false;
+    expect(TokenKind::KwThen, "after level guard");
+    expect(TokenKind::KwLow, "after 'then' in level clause");
+    expect(TokenKind::KwElse, "after 'low' in level clause");
+    expect(TokenKind::KwHigh, "after 'else' in level clause");
+    Out.push_back(ContractAtom::level(std::move(Var), std::move(Guard), Loc));
+    return true;
+  }
   if (accept(TokenKind::KwSGuard)) {
     expect(TokenKind::LParen, "after 'sguard'");
     std::string Res, Action;

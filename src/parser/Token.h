@@ -56,6 +56,9 @@ enum class TokenKind : uint8_t {
   KwCall,
   KwOutput,
   KwLow,
+  KwLevel,
+  KwThen,
+  KwHigh,
   KwSGuard,
   KwUGuard,
   KwAllPre,

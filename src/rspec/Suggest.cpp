@@ -6,6 +6,8 @@
 
 #include "rspec/Suggest.h"
 
+#include "support/ThreadPool.h"
+
 #include <algorithm>
 #include <set>
 
@@ -126,36 +128,45 @@ SuggestResult commcsl::suggestSpec(const ResourceSpecDecl &Spec,
     if (!Missing.empty())
       push(Alpha->clone(), true, false);
   }
-  if (Cands.size() > Opts.MaxCandidates) {
+  if (Opts.MaxCandidates != 0 && Cands.size() > Opts.MaxCandidates) {
     Cands.resize(Opts.MaxCandidates);
     Res.Truncated = true;
   }
 
-  unsigned Index = 0;
-  for (const Candidate &C : Cands) {
-    ResourceSpecDecl Mod = Spec; // shallow copy shares immutable exprs
-    Mod.Alpha = C.Alpha;
-    if (C.AddLow)
-      for (ActionDecl &A : Mod.Actions)
-        if (!hasLowArgPre(A))
-          A.Pre.push_back(ContractAtom::low(Expr::var(A.ArgName)));
+  // Evaluate candidates in parallel, each writing to its generation index:
+  // the ranked report is a pure function of the candidate list, so it is
+  // byte-identical at any job count. Candidate specs are rebuilt per item —
+  // RSpecRuntime and ValidityChecker are not shared across threads.
+  Res.Ranked.resize(Cands.size());
+  ThreadPool::shared().parallelForChunks(
+      Cands.size(), ThreadPool::effectiveJobs(Opts.Jobs),
+      [&](uint64_t Begin, uint64_t End, unsigned) {
+        for (uint64_t I = Begin; I < End; ++I) {
+          const Candidate &C = Cands[I];
+          ResourceSpecDecl Mod = Spec; // shallow copy shares immutable exprs
+          Mod.Alpha = C.Alpha;
+          if (C.AddLow)
+            for (ActionDecl &A : Mod.Actions)
+              if (!hasLowArgPre(A))
+                A.Pre.push_back(ContractAtom::low(Expr::var(A.ArgName)));
 
-    RSpecRuntime Rt(Mod, &Prog);
-    ValidityChecker Checker(Rt, Opts.Validity);
-    ValidityResult R = Checker.check();
+          RSpecRuntime Rt(Mod, &Prog);
+          ValidityChecker Checker(Rt, Opts.Validity);
+          ValidityResult R = Checker.check();
 
-    SpecSuggestion S;
-    S.AlphaText = C.Alpha->str();
-    if (C.AddLow)
-      S.LowPreAdded = Missing;
-    S.Declared = C.Declared;
-    S.Valid = R.Valid;
-    S.Unbounded = R.Unbounded;
-    S.BoundedChecks = R.BoundedChecks;
-    S.RandomChecks = R.RandomChecks;
-    S.Index = Index++;
-    Res.Ranked.push_back(std::move(S));
-  }
+          SpecSuggestion S;
+          S.AlphaText = C.Alpha->str();
+          if (C.AddLow)
+            S.LowPreAdded = Missing;
+          S.Declared = C.Declared;
+          S.Valid = R.Valid;
+          S.Unbounded = R.Unbounded;
+          S.BoundedChecks = R.BoundedChecks;
+          S.RandomChecks = R.RandomChecks;
+          S.Index = static_cast<unsigned>(I);
+          Res.Ranked[I] = std::move(S);
+        }
+      });
   Res.CandidatesTried = Cands.size();
 
   std::stable_sort(Res.Ranked.begin(), Res.Ranked.end(),

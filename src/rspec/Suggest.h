@@ -32,8 +32,15 @@ namespace commcsl {
 
 struct SuggestOptions {
   /// Cap on candidates *tried* per spec (enumeration is cut off, not
-  /// sampled, so the prefix is always the same).
+  /// sampled, so the prefix is always the same). 0 means no cap: every
+  /// enumerated candidate is tried. A cap at or above the pool size is
+  /// equivalent to no cap and never marks the result truncated.
   unsigned MaxCandidates = 24;
+  /// Worker threads for evaluating candidates. 1 = sequential (default),
+  /// 0 = hardware concurrency. Every candidate's verdict is computed
+  /// independently and written to its generation index, so the ranked
+  /// report is byte-identical at any job count.
+  unsigned Jobs = 1;
   /// Validity configuration used for every candidate run.
   ValidityConfig Validity;
 };

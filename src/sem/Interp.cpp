@@ -71,6 +71,7 @@ struct RunState {
   std::vector<Thread> Threads;
   std::vector<ResourceState> Resources;
   std::vector<ValueRef> Outputs;
+  std::vector<ValueRef> Declassified;
   std::map<int64_t, int64_t> Heap;
   int64_t NextLoc = 1;
 
@@ -89,7 +90,9 @@ struct RunState {
   const ActionDecl *LastPerformAction = nullptr;
 
   explicit RunState(const Program &Prog, RunConfig Config)
-      : Prog(Prog), Eval(&Prog), Config(std::move(Config)) {}
+      : Prog(Prog), Eval(&Prog), Config(std::move(Config)) {
+    Eval.DeclassifySink = &Declassified;
+  }
 
   /// A spec runtime wired to the shared per-spec memo cache, when one is
   /// configured. The returned reference is invalidated by the next
@@ -596,6 +599,7 @@ RunResult Interpreter::runWith(const std::string &ProcName,
       Result.Returns.push_back(MainAct->Locals[R.Name]);
   Result.Resources = std::move(S.Resources);
   Result.Outputs = std::move(S.Outputs);
+  Result.Declassified = std::move(S.Declassified);
   return Result;
 }
 

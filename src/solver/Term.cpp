@@ -373,6 +373,12 @@ TermRef TermArena::builtin(BuiltinKind Kind, std::vector<TermRef> Args,
                            TypeRef Ty) {
   assert(Args.size() == builtinArity(Kind) && "builtin arity mismatch");
 
+  // `declassify e` is symbolically transparent: its single-run meaning is
+  // exactly `e`. The relational release it grants is handled where the
+  // product program is built, never inside the term language.
+  if (Kind == BuiltinKind::Declassify)
+    return Args[0];
+
   // Constant folding. For partial builtins without a type annotation, fold
   // only when the operation is defined on the arguments.
   if (allConst(Args)) {

@@ -133,9 +133,16 @@ DiagnosticEngine::strWithSnippets(const std::string &Source,
     const std::string &Line = Lines[D.Loc.Line - 1];
     OS << "  " << Line << "\n  ";
     // Keep tabs aligned in the caret line; everything else becomes a space.
+    // Columns count UTF-8 code points (matching the lexer), so pad one
+    // character per code point and skip continuation bytes (0b10xxxxxx).
     unsigned Col = D.Loc.Column > 0 ? D.Loc.Column : 1;
-    for (unsigned I = 0; I + 1 < Col && I < Line.size(); ++I)
+    unsigned Seen = 0;
+    for (size_t I = 0; Seen + 1 < Col && I < Line.size(); ++I) {
+      if ((static_cast<unsigned char>(Line[I]) & 0xC0) == 0x80)
+        continue;
       OS << (Line[I] == '\t' ? '\t' : ' ');
+      ++Seen;
+    }
     OS << "^\n";
   }
   return OS.str();

@@ -83,7 +83,7 @@ private:
 
   /// x := e for a random local.
   void genAssign(bool ForceTaint) {
-    size_t V = 2 + pick(Vars.size() - 2); // never assign the parameters
+    size_t V = FirstLocal + pick(Vars.size() - FirstLocal); // never assign params
     bool T = false;
     std::string E = expr(/*LowOnly=*/false, T);
     if (ForceTaint && !T) {
@@ -97,7 +97,7 @@ private:
   void genLowIf() {
     bool T = false;
     std::string Cond = expr(/*LowOnly=*/true, T) + " > 1";
-    size_t V = 2 + pick(Vars.size() - 2);
+    size_t V = FirstLocal + pick(Vars.size() - FirstLocal);
     bool T1 = false, T2 = false;
     std::string E1 = expr(false, T1);
     std::string E2 = expr(false, T2);
@@ -114,7 +114,7 @@ private:
   }
 
   void genHighIf() {
-    size_t V = 2 + pick(Vars.size() - 2);
+    size_t V = FirstLocal + pick(Vars.size() - FirstLocal);
     bool T = false;
     std::string E = expr(false, T);
     line("if (h % " + std::to_string(smallConst() + 2) + " == 0) {");
@@ -128,7 +128,7 @@ private:
   void genLoop() {
     // Accumulation loop over a fresh counter; the accumulator must start
     // low, and the invariant re-establishes the lowness of both.
-    size_t Acc = 2 + pick(Vars.size() - 2);
+    size_t Acc = FirstLocal + pick(Vars.size() - FirstLocal);
     if (Vars[Acc].Tainted) {
       line(Vars[Acc].Name + " := 0;");
       Vars[Acc].Tainted = false;
@@ -164,6 +164,58 @@ private:
   /// taint, breaking the exactness of the reject verdict.
   std::string sealHigh(const std::string &LowE) {
     return "(" + LowE + " + h)";
+  }
+
+  /// Seals \p LowE with the conditionally-classified parameter `c` used
+  /// *outside* its level guard. The only relational fact about `c` is
+  /// `l > 0 ==> cL == cR`, and `l`'s sign is free, so the verifier can
+  /// never relate the two copies: an unguarded single occurrence is a
+  /// guaranteed reject, with no cancellation risk (the base is low-only).
+  std::string sealCond(const std::string &LowE) {
+    return "(" + LowE + " + c)";
+  }
+
+  /// Guarded read of the conditionally-classified parameter: `c` flows
+  /// into a fresh local only under its own level guard, with a low
+  /// fallback on the refusal path. The local is low — the relational
+  /// verifier discharges it from `l > 0 ==> cL == cR` plus the branch
+  /// condition — so it joins the untainted pool.
+  void genCondRead() {
+    std::string G = fresh("g");
+    bool T = false;
+    std::string Fallback = expr(/*LowOnly=*/true, T);
+    line("var " + G + ": int := 0;");
+    line("if (l > 0) {");
+    ++Indent;
+    line(G + " := c;");
+    --Indent;
+    line("} else {");
+    ++Indent;
+    line(G + " := " + Fallback + ";");
+    --Indent;
+    line("}");
+    Vars.push_back({G, false});
+  }
+
+  /// Declassify release site: the released value is low by fiat, so the
+  /// fresh local joins the untainted pool. The released expression is a
+  /// residue of the secret, never the secret itself: releasing an
+  /// expression from which `hL == hR` is derivable (e.g. `l + h`) would
+  /// let the verifier soundly accept a later sealHigh leak the generator
+  /// marked tainted — laundering the exactness contract. From
+  /// `hL % K == hR % K` no sound solver can recover `hL == hR`, so seals
+  /// stay guaranteed rejects, while the release log still varies with h
+  /// (exercising the delimited-release skip in the NI and scheduler
+  /// oracles). Scalars only, so the log cannot depend on the schedule.
+  void genDeclassifyStmt() {
+    std::string D = fresh("d");
+    bool T = false;
+    std::string Low = expr(/*LowOnly=*/true, T);
+    std::string E =
+        "(" + Low + " + (h % " + std::to_string(2 + pick(5)) + "))";
+    line("var " + D + ": int := declassify(" + E + ");");
+    Vars.push_back({D, false});
+    UsedDeclassify = true;
   }
 
   void genCounterBlock(bool TaintArg) {
@@ -336,7 +388,9 @@ private:
   }
 
   const GenConfig &Config;
-  bool ForcedReject = false; ///< a leaky perform was emitted
+  bool ForcedReject = false;     ///< a leaky perform was emitted
+  bool UseCondParam = false;     ///< main takes the conditional param `c`
+  bool UsedDeclassify = false;
   bool UsedCounter = false;
   bool UsedSet = false;
   bool UsedMap = false;
@@ -345,6 +399,9 @@ private:
   bool UsedRecordLog = false;
   std::mt19937_64 Rng;
   std::vector<Var> Vars;
+  /// Index of the first non-parameter entry of Vars (parameters are never
+  /// assignment targets).
+  size_t FirstLocal = 2;
   std::ostringstream Body;
   unsigned Indent = 1;
   unsigned FreshId = 0;
@@ -355,6 +412,14 @@ GeneratedProgram Generator::run() {
 
   Vars.push_back({"l", false});
   Vars.push_back({"h", true});
+
+  // The conditionally-classified parameter is tainted for pool purposes:
+  // only the guarded read (genCondRead) and the deliberate sealCond leak
+  // may rely on its level.
+  UseCondParam = Config.EnableConditionalLevels && coin(0.5);
+  if (UseCondParam)
+    Vars.push_back({"c", true});
+  FirstLocal = Vars.size();
 
   // Pre-declared locals (assignment targets).
   for (unsigned I = 0; I < Config.NumLocals; ++I) {
@@ -369,7 +434,7 @@ GeneratedProgram Generator::run() {
   for (unsigned S = 0; S < Config.TargetStatements; ++S) {
     ++Out.Statements;
     bool Leaky = Config.AllowLeakyOutput && coin(0.3);
-    switch (pick(11)) {
+    switch (pick(13)) {
     case 0:
     case 1:
     case 2:
@@ -414,19 +479,34 @@ GeneratedProgram Generator::run() {
       else
         genAssign(false);
       break;
+    case 10:
+      if (UseCondParam)
+        genCondRead();
+      else
+        genAssign(false);
+      break;
+    case 11:
+      if (Config.EnableDeclassify)
+        genDeclassifyStmt();
+      else
+        genAssign(false);
+      break;
     default:
       genAssign(Config.AllowLeakyOutput && coin(0.2));
       break;
     }
   }
 
-  // The output. A leaky output seals a low-only base (see sealHigh): the
-  // taint verdict must be exact in both directions.
+  // The output. A leaky output seals a low-only base (see sealHigh /
+  // sealCond): the taint verdict must be exact in both directions. The
+  // conditional-parameter leak exercises the other reject path — an
+  // unguarded use of a value whose level guard is statically unknown.
   bool WantLeak = Config.AllowLeakyOutput && coin();
   bool T = false;
   std::string OutExpr = expr(/*LowOnly=*/true, T);
   if (WantLeak) {
-    OutExpr = sealHigh(OutExpr);
+    OutExpr = UseCondParam && coin(0.4) ? sealCond(OutExpr)
+                                        : sealHigh(OutExpr);
     T = true;
   }
   line("out := " + OutExpr + ";");
@@ -505,9 +585,12 @@ GeneratedProgram Generator::run() {
             "  }\n"
             "}\n\n";
   }
-  Prog << "procedure main(l: int, h: int) returns (out: int)\n"
-          "  requires low(l)\n"
-          "  ensures low(out)\n"
+  Prog << "procedure main(l: int, h: int"
+       << (UseCondParam ? ", c: int" : "") << ") returns (out: int)\n"
+          "  requires low(l)\n";
+  if (UseCondParam)
+    Prog << "  requires level(c) = if l > 0 then low else high\n";
+  Prog << "  ensures low(out)\n"
           "{\n"
        << Body.str() << "}\n";
   Out.Source = Prog.str();

@@ -51,6 +51,17 @@ struct GenConfig {
   /// (Sec. 3.4), and the published abstraction is the record count.
   /// Requires EnableConcurrency.
   bool EnableValueDependent = true;
+  /// Conditionally-classified parameter: main gains a third parameter `c`
+  /// with `level(c) = if l > 0 then low else high`. Secure programs read
+  /// it only under the guard (`if (l > 0) { x := c; }`); the leaky output
+  /// variant seals it unguarded, which the verifier must reject.
+  bool EnableConditionalLevels = true;
+  /// `declassify e` release sites: the declassified value is low by fiat
+  /// (delimited release), so it may feed the public output even when the
+  /// expression underneath is secret. Generated release expressions are
+  /// always schedule-independent, keeping the scheduler-differential
+  /// verdict exact.
+  bool EnableDeclassify = true;
   /// When true, the output expression may (with probability ~1/2) be
   /// tainted — such programs must be rejected by the verifier.
   bool AllowLeakyOutput = false;

@@ -121,6 +121,22 @@ private:
   TermRef evalL(const Expr &E, VState &S) { return SEval.eval(E, S.L); }
   TermRef evalR(const Expr &E, VState &S) { return SEval.eval(E, S.R); }
 
+  /// Delimited release: evaluating `declassify e` publishes e, so from
+  /// this point the two runs agree on its value. The released equality is
+  /// assumed into the fact solver before the enclosing command's own
+  /// obligations run (e.g. `output declassify(total)` is low by fiat).
+  /// Soundness rests on the operational side: the NI harness only relates
+  /// run pairs whose release logs agree, exactly this assumption.
+  void releaseDeclassified(const ExprRef &E, VState &S) {
+    if (!E)
+      return;
+    for (const ExprRef &A : E->Args)
+      releaseDeclassified(A, S);
+    if (E->Kind == ExprKind::Builtin &&
+        E->Builtin == BuiltinKind::Declassify)
+      S.Facts.assumeEq(evalL(*E->Args[0], S), evalR(*E->Args[0], S));
+  }
+
   /// Applies a one-parameter spec expression (alpha, inv, enabled, history).
   TermRef applyFn1(const ExprRef &Body, const std::string &Param,
                    TermRef Val) {
@@ -634,6 +650,8 @@ bool ProcContext::consumeContract(
 //===----------------------------------------------------------------------===//
 
 void ProcContext::checkCmd(const CommandRef &C, VState &S) {
+  for (const ExprRef &E : C->Exprs)
+    releaseDeclassified(E, S);
   switch (C->Kind) {
   case CmdKind::Skip:
     break;
@@ -937,6 +955,7 @@ void ProcContext::checkWhile(const CommandRef &C, VState &S) {
 
   VState Iter = S;
   MakeInvState(Iter);
+  releaseDeclassified(C->Exprs[0], Iter);
   TermRef CondL = evalL(*C->Exprs[0], Iter);
   TermRef CondR = evalR(*C->Exprs[0], Iter);
   bool LowCond = Iter.Facts.provesEq(CondL, CondR);
@@ -998,6 +1017,7 @@ void ProcContext::checkWhile(const CommandRef &C, VState &S) {
         Ch.AllPre = false;
     }
   }
+  releaseDeclassified(C->Exprs[0], S);
   TermRef PostCondL = evalL(*C->Exprs[0], S);
   TermRef PostCondR = evalR(*C->Exprs[0], S);
   S.Facts.assumeTrue(Arena.logNot(PostCondL));

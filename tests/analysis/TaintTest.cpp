@@ -290,6 +290,77 @@ TEST(TaintTest, TriageFragmentExcludesConcurrencyAndDiv) {
   EXPECT_FALSE(triageEligible(*Div.findProc("main")));
 }
 
+TEST(TaintTest, ClosedTrueLevelGuardReadsAsLow) {
+  // A level guard with no free variables folds statically: `1 > 0` is
+  // true, so the conditionally-low parameter is low for the whole run.
+  ProcTaintResult R =
+      analyze("procedure main(c: int) returns (out: int)\n"
+              "  requires level(c) = if 1 > 0 then low else high\n"
+              "  ensures low(out)\n"
+              "{\n"
+              "  out := c;\n"
+              "}\n");
+  EXPECT_TRUE(R.ProvablyLow) << (R.Findings.empty()
+                                     ? ""
+                                     : R.Findings.front().Message);
+}
+
+TEST(TaintTest, ClosedFalseLevelGuardReadsAsHigh) {
+  ProcTaintResult R =
+      analyze("procedure main(c: int) returns (out: int)\n"
+              "  requires level(c) = if 0 > 1 then low else high\n"
+              "  ensures low(out)\n"
+              "{\n"
+              "  out := c;\n"
+              "}\n");
+  EXPECT_FALSE(R.ProvablyLow);
+  ASSERT_FALSE(R.Findings.empty());
+}
+
+TEST(TaintTest, OpenLevelGuardJoinsToHighWithExplanation) {
+  // The guard depends on an input, so the static fragment cannot decide
+  // it: the parameter is top, the conditional ensures atom is flagged as
+  // beyond the fragment (the relational verifier owns it), and the
+  // procedure is not triage-eligible.
+  const char *Src =
+      "procedure main(l: int, c: int) returns (out: int)\n"
+      "  requires low(l)\n"
+      "  requires level(c) = if l > 0 then low else high\n"
+      "  ensures level(out) = if l > 0 then low else high\n"
+      "{\n"
+      "  if (l > 0) { out := c; } else { out := 0; }\n"
+      "}\n";
+  ProcTaintResult R = analyze(Src);
+  EXPECT_FALSE(R.ProvablyLow);
+  bool Explained = false;
+  for (const TaintFinding &F : R.Findings)
+    if (F.Message.find("not statically decidable") != std::string::npos)
+      Explained = true;
+  EXPECT_TRUE(Explained);
+  Program P = parseChecked(Src);
+  EXPECT_FALSE(triageEligible(*P.findProc("main")));
+}
+
+TEST(TaintTest, DeclassifyIsAnExplicitLintedSink) {
+  // declassify() launders the level (its result is statically low) but
+  // every release site is linted: the program is secure only under
+  // delimited release, which the triage fast path must never certify.
+  const char *Src = "procedure main(h: int) returns (out: int)\n"
+                    "  ensures low(out)\n"
+                    "{\n"
+                    "  out := declassify(h % 2);\n"
+                    "}\n";
+  ProcTaintResult R = analyze(Src);
+  EXPECT_FALSE(R.ProvablyLow);
+  bool Linted = false;
+  for (const TaintFinding &F : R.Findings)
+    if (F.Message.find("declassify release") != std::string::npos)
+      Linted = true;
+  EXPECT_TRUE(Linted);
+  Program P = parseChecked(Src);
+  EXPECT_FALSE(triageEligible(*P.findProc("main")));
+}
+
 TEST(TaintTest, StrictModeHavocsLoopTargetsWithoutInvariant) {
   // The loop pins nothing low, so in VerifierApprox mode `x` is havocked at
   // the head and the procedure is not strictly provable — even though the

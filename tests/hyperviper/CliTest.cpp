@@ -204,11 +204,26 @@ TEST(CliSuggestSpecTest, OutputIsDeterministicAcrossRuns) {
 
 TEST(CliSuggestSpecTest, UsageErrors) {
   EXPECT_EQ(run("suggest-spec").Exit, 2);
-  EXPECT_EQ(run("suggest-spec --max 0 " + example("figure1.hv")).Exit, 2);
   EXPECT_EQ(run("suggest-spec --spec NoSuch " + example("figure1.hv")).Exit,
             2);
   EXPECT_EQ(run("suggest-spec " + example("public_stats.hv")).Exit, 2);
   EXPECT_EQ(run("suggest-spec --help").Exit, 0);
+}
+
+TEST(CliSuggestSpecTest, MaxZeroLiftsTheCap) {
+  // `--max 0` means no cap: every enumerated candidate is tried and the
+  // report is never marked truncated.
+  CmdResult R = run("suggest-spec --max 0 " + example("figure1.hv"));
+  ASSERT_EQ(R.Exit, 0) << R.Output;
+  EXPECT_EQ(R.Output.find("(truncated)"), std::string::npos) << R.Output;
+}
+
+TEST(CliSuggestSpecTest, JobsDoNotChangeReportBytes) {
+  CmdResult J1 = run("suggest-spec --jobs 1 " + example("figure1.hv"));
+  CmdResult J3 = run("suggest-spec --jobs 3 " + example("figure1.hv"));
+  ASSERT_EQ(J1.Exit, 0) << J1.Output;
+  ASSERT_EQ(J3.Exit, 0) << J3.Output;
+  EXPECT_EQ(J1.Output, J3.Output);
 }
 
 TEST(CliSuggestSpecTest, MaxTruncatesDeterministically) {

@@ -61,6 +61,9 @@ const CorpusCase Corpus[] = {
     {"value_dependent.hv", true},
     {"bounded_buffer.hv", true},
     {"public_stats.hv", true},
+    {"consent_telemetry.hv", true},
+    {"sealed_auction.hv", true},
+    {"vote_tally.hv", true},
 };
 
 std::string pathOf(const char *File) {
@@ -119,6 +122,9 @@ const BrokenCase BrokenCorpus[] = {
     {"broken/intermediate_read_leak.hv", DiagCode::VerifyEntailment},
     {"broken/guard_dropped.hv", DiagCode::VerifyGuardMissing},
     {"broken/output_intermediate.hv", DiagCode::VerifyEntailment},
+    {"broken/consent_ignored.hv", DiagCode::VerifyEntailment},
+    {"broken/auction_bid_leak.hv", DiagCode::VerifyEntailment},
+    {"broken/tally_ballot_leak.hv", DiagCode::VerifyEntailment},
 };
 
 class BrokenTest : public ::testing::TestWithParam<BrokenCase> {};

@@ -86,6 +86,31 @@ TEST(DiagnosticLocTest, ParseErrorsAreLocated) {
                    "{ out := ; }\n");
 }
 
+TEST(DiagnosticLocTest, Utf8ColumnsCountCodePointsNotBytes) {
+  // `é` is two bytes (0xC3 0xA9) but one column. The lexer rejects it with
+  // an error located at its code-point column, the message carries the
+  // whole character (not a lone lead byte), and the caret-snippet renderer
+  // pads one cell per code point so the caret lands under the character.
+  const std::string Source = "procedure main() returns (out: int)\n"
+                             "  ensures low(out)\n"
+                             "{ var café: int := 0; }\n";
+  DiagnosticEngine Diags = diagnose(Source);
+  ASSERT_TRUE(Diags.hasErrors());
+  const Diagnostic &D = Diags.diagnostics().front();
+  EXPECT_NE(D.Message.find("unexpected character 'é'"), std::string::npos)
+      << D.Message;
+  EXPECT_EQ(D.Loc.Line, 3u);
+  EXPECT_EQ(D.Loc.Column, 10u); // code points: `{ var caf` is 9 cells
+
+  // Golden caret rendering: two-space snippet indent plus nine pads puts
+  // the caret exactly under the `é`.
+  std::string Rendered = Diags.strWithSnippets(Source, "utf8.hv");
+  EXPECT_NE(Rendered.find("  { var café: int := 0; }\n"
+                          "           ^\n"),
+            std::string::npos)
+      << Rendered;
+}
+
 TEST(DiagnosticLocTest, ContractDiagnosticsAreLocated) {
   // Ill-typed contract atom.
   expectAllLocated("procedure main(x: int) returns (out: int)\n"

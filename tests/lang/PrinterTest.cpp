@@ -116,6 +116,27 @@ TEST(PrinterTest, ContractAtomsRoundTrip) {
   )");
 }
 
+TEST(PrinterTest, ConditionalLevelAndDeclassifyRoundTrip) {
+  // The value-dependent classification surface: `level(x) = if g then low
+  // else high` contract clauses (requires and ensures side) and the
+  // `declassify e` expression, nested and at statement level.
+  expectRoundTrip(R"(
+    procedure main(consent: bool, metric: int, h: int) returns (out: int)
+      requires low(consent)
+      requires level(metric) = if consent then low else high
+      ensures level(out) = if consent then low else high
+    {
+      var r: int := 0;
+      if (consent) {
+        r := metric;
+      } else {
+        r := declassify(h % 2);
+      }
+      out := declassify(r + declassify(0));
+    }
+  )");
+}
+
 TEST(PrinterTest, HeapCommandsRoundTrip) {
   expectRoundTrip(R"(
     procedure main() returns (out: int) {

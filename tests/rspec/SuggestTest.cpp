@@ -1,0 +1,114 @@
+//===-- tests/rspec/SuggestTest.cpp - suggest-spec edge cases --------------===//
+//
+// Part of the CommCSL-C++ project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Edge cases for the candidate cap (`--max 0` means unlimited, a cap at
+/// or above the pool size never truncates) and byte-determinism of the
+/// ranked report across job counts.
+///
+//===----------------------------------------------------------------------===//
+
+#include "rspec/Suggest.h"
+
+#include "tests/common/TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace commcsl;
+using namespace commcsl::test;
+
+namespace {
+
+/// A spec whose seq-of-int state enumerates several template alphas and
+/// whose action lacks `low(arg)`, so the +low strengthening doubles the
+/// pool — enough candidates to exercise the cap from both sides.
+const char *LogSource = R"(
+  resource Log {
+    state: seq<int>;
+    alpha(v) = seq_to_mset(v);
+    shared action Append(a: int) {
+      apply(v, a) = append(v, a);
+    }
+  }
+
+  procedure main(x: int) returns (out: int)
+    requires low(x)
+    ensures low(out)
+  {
+    share l: Log := seq_empty();
+    atomic l { perform l.Append(x); }
+    var s: seq<int> := seq_empty();
+    s := unshare l;
+    out := len(s);
+  }
+)";
+
+SuggestResult suggest(const Program &P, SuggestOptions Opts) {
+  return suggestSpec(P.Specs[0], P, Opts);
+}
+
+} // namespace
+
+TEST(SuggestTest, MaxZeroMeansNoCap) {
+  Program P = parseChecked(LogSource);
+  SuggestOptions Opts;
+  Opts.MaxCandidates = 0;
+  SuggestResult R = suggest(P, Opts);
+  EXPECT_FALSE(R.Truncated);
+  EXPECT_GT(R.CandidatesTried, 2u);
+  EXPECT_EQ(R.Ranked.size(), R.CandidatesTried);
+}
+
+TEST(SuggestTest, CapAbovePoolNeverTruncates) {
+  Program P = parseChecked(LogSource);
+  SuggestOptions Unlimited;
+  Unlimited.MaxCandidates = 0;
+  uint64_t Pool = suggest(P, Unlimited).CandidatesTried;
+
+  SuggestOptions AtPool;
+  AtPool.MaxCandidates = static_cast<unsigned>(Pool);
+  SuggestResult R = suggest(P, AtPool);
+  EXPECT_FALSE(R.Truncated);
+  EXPECT_EQ(R.CandidatesTried, Pool);
+
+  SuggestOptions Above;
+  Above.MaxCandidates = static_cast<unsigned>(Pool) + 7;
+  SuggestResult R2 = suggest(P, Above);
+  EXPECT_FALSE(R2.Truncated);
+  EXPECT_EQ(R2.CandidatesTried, Pool);
+}
+
+TEST(SuggestTest, CapBelowPoolTruncatesToPrefix) {
+  Program P = parseChecked(LogSource);
+  SuggestOptions One;
+  One.MaxCandidates = 1;
+  SuggestResult R = suggest(P, One);
+  EXPECT_TRUE(R.Truncated);
+  EXPECT_EQ(R.CandidatesTried, 1u);
+  ASSERT_EQ(R.Ranked.size(), 1u);
+  // Enumeration is cut off, not sampled: the sole survivor is the spec
+  // exactly as declared.
+  EXPECT_TRUE(R.Ranked[0].Declared);
+}
+
+TEST(SuggestTest, ReportByteIdenticalAcrossJobs) {
+  Program P = parseChecked(LogSource);
+  SuggestOptions J1;
+  J1.MaxCandidates = 0;
+  J1.Jobs = 1;
+  SuggestOptions J3 = J1;
+  J3.Jobs = 3;
+  std::vector<SuggestResult> R1{suggest(P, J1)};
+  std::vector<SuggestResult> R3{suggest(P, J3)};
+  EXPECT_EQ(renderSuggestReport(P, R1, "x.hv"),
+            renderSuggestReport(P, R3, "x.hv"));
+  ASSERT_EQ(R1[0].Ranked.size(), R3[0].Ranked.size());
+  for (size_t I = 0; I < R1[0].Ranked.size(); ++I) {
+    EXPECT_EQ(R1[0].Ranked[I].Index, R3[0].Ranked[I].Index);
+    EXPECT_EQ(R1[0].Ranked[I].Valid, R3[0].Ranked[I].Valid);
+    EXPECT_EQ(R1[0].Ranked[I].Unbounded, R3[0].Ranked[I].Unbounded);
+  }
+}

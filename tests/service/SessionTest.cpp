@@ -284,6 +284,47 @@ TEST(SessionTest, ResetCachesForcesColdPath) {
   EXPECT_TRUE(Resp.Ok);
 }
 
+TEST(SessionTest, ResetUnderConcurrentLoadIsSafeAndDeterministic) {
+  // `reset` may land while requests are in flight. Cached entries are
+  // shared_ptrs, so an in-flight request keeps its program (and memo
+  // caches) alive even after the map is cleared — verdicts and report
+  // bytes must be unaffected, only the cache temperature may change.
+  Session S;
+  ServiceResponse Reference = S.handle(verifyRequest(VerifiedProgram, "r.hv"));
+  ASSERT_TRUE(Reference.Ok);
+
+  constexpr unsigned Clients = 4;
+  constexpr unsigned Rounds = 8;
+  std::vector<std::vector<ServiceResponse>> Resps(
+      Clients, std::vector<ServiceResponse>(Rounds));
+  std::vector<std::thread> Threads;
+  for (unsigned I = 0; I < Clients; ++I)
+    Threads.emplace_back([&, I] {
+      for (unsigned J = 0; J < Rounds; ++J)
+        Resps[I][J] = S.handle(verifyRequest(VerifiedProgram, "r.hv"));
+    });
+  std::thread Resetter([&] {
+    for (unsigned J = 0; J < Rounds * 2; ++J) {
+      S.resetCaches();
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread &T : Threads)
+    T.join();
+  Resetter.join();
+
+  for (unsigned I = 0; I < Clients; ++I)
+    for (unsigned J = 0; J < Rounds; ++J) {
+      EXPECT_TRUE(Resps[I][J].Ok);
+      EXPECT_EQ(Resps[I][J].Report, Reference.Report);
+    }
+  // The session stays serviceable afterwards and the stats are coherent.
+  EXPECT_EQ(S.stats().Requests, 1u + Clients * Rounds);
+  ServiceResponse After = S.handle(verifyRequest(VerifiedProgram, "r.hv"));
+  EXPECT_TRUE(After.Ok);
+  EXPECT_EQ(After.Report, Reference.Report);
+}
+
 TEST(SessionTest, MaxStepsBudgetTimesOutAndLeavesCachesWarm) {
   Session S;
   // MemoProgram's enabled action forces the concrete tiers to run, so a

@@ -537,20 +537,21 @@ int runSuggestSpec(int Argc, char **Argv) {
     } else if (Arg == "--max") {
       Options.MaxCandidates = static_cast<unsigned>(
           requireUnsigned(Sub, "--max", Argc, Argv, I));
-      if (Options.MaxCandidates == 0) {
-        std::fprintf(stderr, "%s: error: --max must be positive\n", Sub);
-        return 2;
-      }
+    } else if (Arg == "--jobs") {
+      Options.Jobs = static_cast<unsigned>(
+          requireUnsigned(Sub, "--jobs", Argc, Argv, I));
     } else if (Arg == "--help" || Arg == "-h") {
       std::printf(
           "usage: hyperviper suggest-spec [--spec NAME] [--max N] "
-          "<prog.hv>\n"
+          "[--jobs N] <prog.hv>\n"
           "Enumerates candidate alpha abstractions for each resource spec\n"
           "(identity, order-forgetting collection views, sizes, component\n"
           "products, the constant abstraction) and candidate `low(arg)`\n"
           "precondition strengthenings, runs the validity tiers on each,\n"
           "and prints them ranked: unbounded differencing proofs first,\n"
-          "then bounded-evidence validity. Deterministic.\n");
+          "then bounded-evidence validity. --max 0 lifts the candidate cap;\n"
+          "--jobs 0 uses every hardware thread. The report is byte-identical\n"
+          "at any job count. Deterministic.\n");
       return 0;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "%s: error: unknown option '%s'\n", Sub,
